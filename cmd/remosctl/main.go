@@ -1,0 +1,184 @@
+// Command remosctl queries a running remosd (or any Remos Master
+// Collector served over the wire protocols) from the command line.
+//
+// Usage:
+//
+//	remosctl [-server 127.0.0.1:3567] [-xml http://127.0.0.1:3568] <command> [args]
+//
+// Commands:
+//
+//	bw <src> <dst>              available bandwidth between two hosts
+//	topo <host> [host...]       virtual topology spanning the hosts
+//	flows <src>:<dst> [...]     max-min answer for a set of flows
+//	best <client> <srv> [...]   rank candidate servers for the client
+//	predict <src> <dst> <model> <k>   RPS forecast over collector history
+//	load <host> [horizon]       current and predicted CPU load (needs -hostload)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"strconv"
+	"strings"
+
+	"remos"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:3567", "ASCII protocol server address")
+	xml := flag.String("xml", "", "XML protocol base URL (overrides -server when set)")
+	loadSrv := flag.String("hostload", "127.0.0.1:3570", "host load collector address (for the load command)")
+	raw := flag.Bool("raw", false, "topology: skip simplification")
+	predictFlows := flag.Bool("predicted", false, "flows: include RPS prediction")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var m *remos.Modeler
+	if *xml != "" {
+		m = remos.ConnectHTTP(*xml)
+	} else if *loadSrv != "" {
+		m = remos.ConnectTCPWithHostLoad(*server, *loadSrv)
+	} else {
+		m = remos.ConnectTCP(*server)
+	}
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "remosctl: %v\n", err)
+		os.Exit(1)
+	}
+	parseAddr := func(s string) netip.Addr {
+		a, err := netip.ParseAddr(s)
+		if err != nil {
+			die(fmt.Errorf("bad address %q: %v", s, err))
+		}
+		return a
+	}
+
+	args := flag.Args()
+	switch args[0] {
+	case "bw":
+		if len(args) != 3 {
+			die(errors.New("bw needs <src> <dst>"))
+		}
+		bw, err := m.AvailableBandwidth(parseAddr(args[1]), parseAddr(args[2]))
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%.3f Mbit/s\n", bw/1e6)
+
+	case "topo":
+		if len(args) < 2 {
+			die(errors.New("topo needs at least one host"))
+		}
+		var hosts []netip.Addr
+		for _, a := range args[1:] {
+			hosts = append(hosts, parseAddr(a))
+		}
+		g, err := m.GetTopology(hosts, remos.TopologyOptions{Raw: *raw})
+		if err != nil {
+			die(err)
+		}
+		if err := g.EncodeText(os.Stdout); err != nil {
+			die(err)
+		}
+
+	case "flows":
+		if len(args) < 2 {
+			die(errors.New("flows needs at least one <src>:<dst>"))
+		}
+		var flows []remos.Flow
+		for _, spec := range args[1:] {
+			parts := strings.Split(spec, ":")
+			if len(parts) != 2 {
+				die(fmt.Errorf("bad flow spec %q (want src:dst)", spec))
+			}
+			flows = append(flows, remos.Flow{Src: parseAddr(parts[0]), Dst: parseAddr(parts[1])})
+		}
+		infos, err := m.GetFlows(flows, remos.FlowOptions{Predict: *predictFlows})
+		if err != nil {
+			die(err)
+		}
+		for _, inf := range infos {
+			fmt.Printf("%s -> %s: %.3f Mbit/s, latency %v", inf.Flow.Src, inf.Flow.Dst,
+				inf.Available/1e6, inf.Latency)
+			if inf.Jitter > 0 {
+				fmt.Printf(", jitter %v", inf.Jitter)
+			}
+			if *predictFlows {
+				fmt.Printf(", predicted %.3f Mbit/s", inf.Predicted/1e6)
+			}
+			fmt.Println()
+		}
+
+	case "best":
+		if len(args) < 3 {
+			die(errors.New("best needs <client> <server> [server...]"))
+		}
+		client := parseAddr(args[1])
+		var servers []netip.Addr
+		for _, a := range args[2:] {
+			servers = append(servers, parseAddr(a))
+		}
+		ranks, err := m.BestServer(client, servers, remos.FlowOptions{})
+		if err != nil {
+			die(err)
+		}
+		for i, r := range ranks {
+			if r.Err != nil {
+				fmt.Printf("%d. %s  (unreachable: %v)\n", i+1, r.Server, r.Err)
+				continue
+			}
+			fmt.Printf("%d. %s  %.3f Mbit/s\n", i+1, r.Server, r.Bandwidth/1e6)
+		}
+
+	case "predict":
+		if len(args) != 5 {
+			die(errors.New("predict needs <src> <dst> <model> <horizon>"))
+		}
+		k, err := strconv.Atoi(args[4])
+		if err != nil || k < 1 {
+			die(fmt.Errorf("bad horizon %q", args[4]))
+		}
+		p, err := m.PredictSeries(parseAddr(args[1]), parseAddr(args[2]), args[3], k)
+		if err != nil {
+			die(err)
+		}
+		for h := range p.Values {
+			fmt.Printf("t+%d: %.3f Mbit/s (errvar %.3g)\n", h+1, p.Values[h]/1e6, p.ErrVar[h])
+		}
+
+	case "load":
+		if len(args) != 2 && len(args) != 3 {
+			die(errors.New("load needs <host> [horizon]"))
+		}
+		horizon := 5
+		if len(args) == 3 {
+			h, err := strconv.Atoi(args[2])
+			if err != nil || h < 1 {
+				die(fmt.Errorf("bad horizon %q", args[2]))
+			}
+			horizon = h
+		}
+		info, err := m.HostLoad(parseAddr(args[1]), horizon)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("current load: %.2f\n", info.Current)
+		for i, v := range info.Forecast.Values {
+			ev := 0.0
+			if i < len(info.Forecast.ErrVar) {
+				ev = info.Forecast.ErrVar[i]
+			}
+			fmt.Printf("t+%d: %.2f (errvar %.3g)\n", i+1, v, ev)
+		}
+
+	default:
+		die(fmt.Errorf("unknown command %q", args[0]))
+	}
+}

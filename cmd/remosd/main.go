@@ -1,0 +1,216 @@
+// Command remosd runs a Remos measurement service: a Master Collector
+// (with its SNMP, Bridge and Benchmark collectors) served over the ASCII
+// TCP protocol and the XML HTTP protocol, ready for remosctl or any
+// Modeler to query.
+//
+// The daemon hosts a demonstration deployment over the in-repository
+// network emulator, advanced in step with the wall clock, so collectors
+// poll, background traffic flows, and counters move in real time. A
+// production build would attach the same collectors to real SNMP agents
+// instead (see package snmp's UDP transport and package benchcoll's
+// TCPProber).
+//
+// Usage:
+//
+//	remosd [-listen :3567] [-http :3568] [-dir :3569] [-hostload :3570]
+//	       [-scenario twosite|campus]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"time"
+
+	"net/netip"
+
+	"remos/internal/collector/hostcoll"
+	"remos/internal/core"
+	"remos/internal/directory"
+	"remos/internal/hostload"
+	"remos/internal/mib"
+	"remos/internal/netsim"
+	"remos/internal/proto"
+	"remos/internal/sim"
+	"remos/internal/snmp"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:3567", "ASCII protocol listen address")
+	httpAddr := flag.String("http", "127.0.0.1:3568", "XML/HTTP protocol listen address ('' disables)")
+	dirAddr := flag.String("dir", "127.0.0.1:3569", "directory service listen address ('' disables)")
+	loadAddr := flag.String("hostload", "127.0.0.1:3570", "host load collector listen address ('' disables)")
+	scenario := flag.String("scenario", "twosite", "demo scenario: twosite or campus")
+	flag.Parse()
+
+	s := sim.NewSim()
+	dep, hosts, err := buildScenario(s, *scenario)
+	if err != nil {
+		log.Fatalf("remosd: %v", err)
+	}
+	defer dep.Stop()
+	if err := dep.MeasureAllBenchmarks(); err != nil {
+		log.Printf("remosd: initial benchmarks: %v", err)
+	}
+
+	var master = dep.Sites[firstSite(dep)].Master
+	tcpSrv := &proto.TCPServer{Collector: master}
+	addr, err := tcpSrv.ListenAndServe(*listen)
+	if err != nil {
+		log.Fatalf("remosd: listen: %v", err)
+	}
+	defer tcpSrv.Close()
+	log.Printf("remosd: ASCII protocol on %s", addr)
+	if *httpAddr != "" {
+		httpSrv := &proto.HTTPServer{Collector: master}
+		haddr, err := httpSrv.ListenAndServe(*httpAddr)
+		if err != nil {
+			log.Fatalf("remosd: http listen: %v", err)
+		}
+		defer httpSrv.Close()
+		log.Printf("remosd: XML protocol on http://%s", haddr)
+	}
+	if *loadAddr != "" {
+		// Host load: attach synthetic load signals to the demo hosts,
+		// run a host load collector at 1 Hz, and serve it over the
+		// ASCII protocol (remosctl load / ConnectTCPWithHostLoad).
+		var managed []netip.Addr
+		for i, h := range hosts {
+			gen := hostload.NewGenerator(hostload.Config{Seed: int64(100 + i)})
+			h.SetLoadSource(gen.Next)
+			h.SNMP.Reachable = true
+			managed = append(managed, h.Addr())
+		}
+		mib.AttachAll(dep.Net, dep.Registry) // re-attach: hosts now reachable
+		hc := hostcoll.New(hostcoll.Config{
+			Client:        snmp.NewClient(dep.Transport, "public"),
+			Sched:         s,
+			Hosts:         managed,
+			StreamPredict: "AR(16)",
+		})
+		defer hc.Stop()
+		loadSrv := &proto.TCPServer{Collector: hc}
+		laddr, err := loadSrv.ListenAndServe(*loadAddr)
+		if err != nil {
+			log.Fatalf("remosd: host load listen: %v", err)
+		}
+		defer loadSrv.Close()
+		log.Printf("remosd: host load collector on %s", laddr)
+	}
+	if *dirAddr != "" && dep.Directory != nil {
+		dirSrv := &directory.Server{Service: dep.Directory}
+		daddr, err := dirSrv.ListenAndServe(*dirAddr)
+		if err != nil {
+			log.Fatalf("remosd: directory listen: %v", err)
+		}
+		defer dirSrv.Close()
+		log.Printf("remosd: directory service on %s (remote collectors may REGISTER)", daddr)
+	}
+	log.Printf("remosd: scenario %q; queryable hosts:", *scenario)
+	for _, h := range hosts {
+		log.Printf("remosd:   %-12s %s", h.Name, h.Addr())
+	}
+
+	stop := make(chan struct{})
+	go s.RunRealTime(50*time.Millisecond, stop)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	close(stop)
+	fmt.Println("remosd: shutting down")
+}
+
+func firstSite(dep *core.Deployment) string {
+	names := make([]string, 0, len(dep.Sites))
+	for name := range dep.Sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0]
+}
+
+// buildScenario wires one of the demo networks.
+func buildScenario(s *sim.Sim, name string) (*core.Deployment, []*netsim.Device, error) {
+	n := netsim.New(s)
+	switch name {
+	case "twosite":
+		app1 := n.AddHost("app1")
+		app2 := n.AddHost("app2")
+		benchA := n.AddHost("bench-a")
+		benchB := n.AddHost("bench-b")
+		srv := n.AddHost("srv")
+		swA := n.AddSwitch("swA")
+		swB := n.AddSwitch("swB")
+		rA := n.AddRouter("rA")
+		rB := n.AddRouter("rB")
+		n.Connect(app1, swA, 100e6, time.Millisecond)
+		n.Connect(app2, swA, 100e6, time.Millisecond)
+		n.Connect(benchA, swA, 100e6, time.Millisecond)
+		n.Connect(swA, rA, 1e9, time.Millisecond)
+		n.Connect(rA, rB, 10e6, 40*time.Millisecond)
+		n.Connect(rB, swB, 1e9, time.Millisecond)
+		n.Connect(benchB, swB, 100e6, time.Millisecond)
+		n.Connect(srv, swB, 100e6, time.Millisecond)
+		n.AssignSubnets()
+		n.ComputeRoutes()
+		// Background load so measurements move.
+		noise1 := app2
+		noise2 := srv
+		dep := core.NewDeployment(s, n, core.Options{})
+		if _, err := dep.AddSite(core.SiteSpec{
+			Name: "a", Switches: []*netsim.Device{swA}, BenchHost: benchA,
+		}); err != nil {
+			return nil, nil, err
+		}
+		if _, err := dep.AddSite(core.SiteSpec{
+			Name: "b", Switches: []*netsim.Device{swB}, BenchHost: benchB,
+		}); err != nil {
+			return nil, nil, err
+		}
+		if err := dep.Finish(); err != nil {
+			return nil, nil, err
+		}
+		if _, err := n.StartCrossTraffic(noise1, noise2, netsim.CrossTrafficSpec{
+			Mean: 3e6, Jitter: 0.4, Period: 2 * time.Second, Seed: 7,
+		}); err != nil {
+			return nil, nil, err
+		}
+		return dep, []*netsim.Device{app1, app2, srv, benchA, benchB}, nil
+	case "campus":
+		// A small campus: one wing per quadrant, 8 hosts each.
+		var switches []*netsim.Device
+		coreSw := n.AddSwitch("core-sw")
+		switches = append(switches, coreSw)
+		var hosts []*netsim.Device
+		for w := 0; w < 4; w++ {
+			r := n.AddRouter(fmt.Sprintf("gw%d", w))
+			n.Connect(r, coreSw, 1e9, time.Millisecond)
+			edge := n.AddSwitch(fmt.Sprintf("edge%d", w))
+			switches = append(switches, edge)
+			n.Connect(edge, r, 1e9, time.Millisecond)
+			for h := 0; h < 8; h++ {
+				host := n.AddHost(fmt.Sprintf("h%d-%d", w, h))
+				n.Connect(host, edge, 100e6, time.Millisecond)
+				hosts = append(hosts, host)
+			}
+		}
+		n.AssignSubnets()
+		n.ComputeRoutes()
+		dep := core.NewDeployment(s, n, core.Options{})
+		if _, err := dep.AddSite(core.SiteSpec{Name: "campus", Switches: switches}); err != nil {
+			return nil, nil, err
+		}
+		if err := dep.Finish(); err != nil {
+			return nil, nil, err
+		}
+		return dep, hosts[:8], nil
+	}
+	return nil, nil, fmt.Errorf("unknown scenario %q", name)
+}

@@ -1,0 +1,103 @@
+// Quickstart: bring up a two-site Remos deployment on the in-repository
+// network emulator and ask the questions the Remos API was built for —
+// available bandwidth, topology, and multi-flow max-min answers.
+//
+// The emulator plays the role of the physical testbed; every query below
+// goes through the real Remos components (Modeler -> Master Collector ->
+// SNMP/Bridge/Benchmark collectors) exactly as it would against live
+// hardware.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"time"
+
+	"remos"
+	"remos/internal/core"
+	"remos/internal/netsim"
+	"remos/internal/sim"
+)
+
+func main() {
+	// 1. An emulated internetwork: two switched LANs joined by a
+	//    10 Mbit/s wide-area link.
+	s := sim.NewSim()
+	n := netsim.New(s)
+	app := n.AddHost("app")
+	peer := n.AddHost("peer")
+	benchA := n.AddHost("bench-a")
+	benchB := n.AddHost("bench-b")
+	srv := n.AddHost("srv")
+	swA, swB := n.AddSwitch("swA"), n.AddSwitch("swB")
+	rA, rB := n.AddRouter("rA"), n.AddRouter("rB")
+	n.Connect(app, swA, 100e6, time.Millisecond)
+	n.Connect(peer, swA, 100e6, time.Millisecond)
+	n.Connect(benchA, swA, 100e6, time.Millisecond)
+	n.Connect(swA, rA, 1e9, time.Millisecond)
+	n.Connect(rA, rB, 10e6, 40*time.Millisecond)
+	n.Connect(rB, swB, 1e9, time.Millisecond)
+	n.Connect(benchB, swB, 100e6, time.Millisecond)
+	n.Connect(srv, swB, 100e6, time.Millisecond)
+	n.AssignSubnets()
+	n.ComputeRoutes()
+
+	// 2. A Remos deployment: one site per LAN, collectors wired, and a
+	//    first benchmark round so the WAN is measured.
+	dep := core.NewDeployment(s, n, core.Options{})
+	_, err := dep.AddSite(core.SiteSpec{Name: "east", Switches: []*netsim.Device{swA}, BenchHost: benchA})
+	must(err)
+	_, err = dep.AddSite(core.SiteSpec{Name: "west", Switches: []*netsim.Device{swB}, BenchHost: benchB})
+	must(err)
+	must(dep.Finish())
+	must(dep.MeasureAllBenchmarks())
+	defer dep.Stop()
+
+	// 3. The public API: a Modeler over the site's Master Collector.
+	m := remos.NewModeler(dep.Sites["east"].Master)
+
+	bw, err := m.AvailableBandwidth(app.Addr(), srv.Addr())
+	must(err)
+	fmt.Printf("available bandwidth %s -> %s: %.2f Mbit/s\n", app.Addr(), srv.Addr(), bw/1e6)
+
+	// Put some load on the WAN and watch the answer change once the
+	// collectors measure again (benchmark results are cached between
+	// rounds; SNMP utilization refreshes every 5 s poll).
+	flow, err := n.StartFlow(peer, srv, netsim.FlowSpec{Demand: 4e6})
+	must(err)
+	s.RunFor(12 * time.Second) // let the 5s poller observe it
+	must(dep.MeasureAllBenchmarks())
+	bw, err = m.AvailableBandwidth(app.Addr(), srv.Addr())
+	must(err)
+	fmt.Printf("with 4 Mbit/s of background load:   %.2f Mbit/s\n", bw/1e6)
+	flow.Stop()
+
+	// A topology query, simplified the way applications see it.
+	g, err := m.GetTopology([]netip.Addr{app.Addr(), srv.Addr()}, remos.TopologyOptions{})
+	must(err)
+	fmt.Println("\nvirtual topology (simplified):")
+	must(g.EncodeText(os.Stdout))
+	fmt.Println()
+
+	// A two-flow query: both flows share the WAN max-min fairly.
+	infos, err := m.GetFlows([]remos.Flow{
+		{Src: app.Addr(), Dst: srv.Addr()},
+		{Src: peer.Addr(), Dst: srv.Addr()},
+	}, remos.FlowOptions{})
+	must(err)
+	for _, inf := range infos {
+		fmt.Printf("flow %s -> %s: %.2f Mbit/s over %d hops (latency %v)\n",
+			inf.Flow.Src, inf.Flow.Dst, inf.Available/1e6, len(inf.Path)-1, inf.Latency)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+// Wirelessroam: the paper's announced 802.11 collector in action — a
+// wireless LAN with two access points, a laptop that roams and loses
+// signal, and a wireless collector that tracks its location and
+// negotiated rate so Remos answers stay truthful as the station moves.
+//
+// Run with: go run ./examples/wirelessroam
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/collector/wirelesscoll"
+	"remos/internal/mib"
+	"remos/internal/netsim"
+	"remos/internal/sim"
+	"remos/internal/snmp"
+)
+
+func main() {
+	s := sim.NewSim()
+	n := netsim.New(s)
+
+	// Two access points on a wired distribution switch, plus a wired
+	// file server the laptop talks to.
+	ap1 := n.AddAccessPoint("ap-floor1")
+	ap2 := n.AddAccessPoint("ap-floor2")
+	dsw := n.AddSwitch("dist-sw")
+	server := n.AddHost("fileserver")
+	n.Connect(ap1.Dev, dsw, 1e9, time.Millisecond)
+	n.Connect(ap2.Dev, dsw, 1e9, time.Millisecond)
+	n.Connect(server, dsw, 1e9, time.Millisecond)
+
+	laptop := n.AddHost("laptop")
+	if _, err := ap1.Associate(laptop, -50); err != nil {
+		log.Fatal(err)
+	}
+	n.AssignSubnets()
+	n.ComputeRoutes()
+
+	// The wireless collector manages both APs over SNMP.
+	reg := snmp.NewRegistry()
+	mib.AttachAll(n, reg)
+	wc := wirelesscoll.New(wirelesscoll.Config{
+		Client: snmp.NewClient(&snmp.InProc{Registry: reg}, "public"),
+		Sched:  s,
+		APs:    []netip.Addr{ap1.Dev.ManagementAddr(), ap2.Dev.ManagementAddr()},
+		OnRoam: func(mac collector.MAC, from, to netip.Addr) {
+			fmt.Printf("  [collector] station %v roamed %v -> %v\n", mac, from, to)
+		},
+		OnRateChange: func(mac collector.MAC, ap netip.Addr, oldR, newR float64) {
+			fmt.Printf("  [collector] station %v renegotiated %0.f -> %0.f Mbit/s\n",
+				mac, oldR/1e6, newR/1e6)
+		},
+	})
+	if err := wc.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer wc.Stop()
+
+	mac := collector.MAC(laptop.Ifaces()[0].MAC)
+	report := func(when string) {
+		rate, _ := wc.Rate(mac)
+		ap, _ := wc.Locate(mac)
+		tput, _, err := n.Transfer(laptop, server, 2e6, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s at %v, radio %0.f Mbit/s; 2MB download ran at %.1f Mbit/s\n",
+			when, ap, rate/1e6, tput/1e6)
+	}
+
+	report("strong signal on floor 1:")
+
+	// The user walks toward the stairwell: signal drops in place.
+	ap1.UpdateSignal(laptop, -77)
+	s.RunFor(6 * time.Second) // one monitor sweep notices
+	report("weak signal on floor 1:")
+
+	// And up to floor 2, where the signal is good again.
+	ap2.Associate(laptop, -57)
+	s.RunFor(6 * time.Second)
+	report("after roaming to floor 2:")
+
+	// A topology query reflects what the collector believes right now.
+	res, err := wc.Collect(collector.Query{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwireless topology as Remos reports it:")
+	for _, l := range res.Graph.Links() {
+		fmt.Printf("  %s <-> %s at %0.f Mbit/s\n", l.From, l.To, l.Capacity/1e6)
+	}
+}

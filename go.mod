@@ -1,0 +1,3 @@
+module remos
+
+go 1.22

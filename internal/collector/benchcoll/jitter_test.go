@@ -1,0 +1,64 @@
+package benchcoll
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/topology"
+)
+
+// Jitter support is the §6.2 extension: benchmark collectors measure
+// delay variation and expose it on the virtual WAN links they report.
+
+func TestNetsimProberJitter(t *testing.T) {
+	s, n, d := wan(t)
+	_ = s
+	// Give the two WAN hops known jitter: 3ms and 4ms combine to 5ms.
+	links := n.Links()
+	for _, l := range links {
+		switch {
+		case l.Capacity == 50e6:
+			l.Jitter = 3 * time.Millisecond
+		case l.Capacity == 10e6:
+			l.Jitter = 4 * time.Millisecond
+		}
+	}
+	p := &NetsimProber{Net: n}
+	j, err := p.Jitter(d["a"].Addr(), d["b"].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(j.Seconds()-0.005) > 1e-6 {
+		t.Fatalf("path jitter %v, want 5ms (3,4 combine in quadrature)", j)
+	}
+}
+
+func TestCollectReportsJitter(t *testing.T) {
+	s, n, d := wan(t)
+	for _, l := range n.Links() {
+		if l.Capacity == 10e6 { // b's access link
+			l.Jitter = 7 * time.Millisecond
+		}
+	}
+	c := newBench(t, s, n, d)
+	if err := c.MeasureAll(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Collect(collector.Query{Hosts: []netip.Addr{d["a"].Addr(), d["b"].Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End-to-end jitter across the virtual WAN equals the measurement.
+	preds, err := res.Graph.FlowAlloc([]topology.FlowRequest{
+		{Src: d["a"].Addr().String(), Dst: d["b"].Addr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(preds[0].Jitter.Seconds()-0.007) > 1e-6 {
+		t.Fatalf("reported jitter %v, want 7ms", preds[0].Jitter)
+	}
+}

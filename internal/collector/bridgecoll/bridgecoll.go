@@ -1,0 +1,362 @@
+// Package bridgecoll implements the Remos Bridge Collector: it discovers
+// the level-2 topology of a switched Ethernet LAN from the forwarding
+// databases in each bridge's Bridge-MIB (Section 3.1.2, after Lowekamp et
+// al., SIGCOMM 2001), serves level-2 path queries to the SNMP Collector,
+// and continuously monitors host locations so that stations moving between
+// switches are tracked.
+package bridgecoll
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/mib"
+	"remos/internal/sim"
+	"remos/internal/snmp"
+)
+
+// Config configures a Bridge Collector.
+type Config struct {
+	// Client issues the SNMP requests.
+	Client *snmp.Client
+	// Sched drives periodic host-location monitoring.
+	Sched sim.Scheduler
+	// Switches are the management addresses of the bridges to manage
+	// (in a real deployment these come from configuration or SLP).
+	Switches []netip.Addr
+	// MonitorInterval is the period of host-location verification;
+	// 0 disables monitoring.
+	MonitorInterval time.Duration
+	// OnMove, if set, is called when monitoring detects that a station
+	// changed its attachment point.
+	OnMove func(mac collector.MAC, from, to netip.Addr)
+}
+
+// switchInfo is everything learned about one bridge.
+type switchInfo struct {
+	addr     netip.Addr
+	name     string
+	numPorts int
+	fdb      map[collector.MAC]int // station -> port
+	perPort  map[int][]collector.MAC
+	speed    map[int]float64 // port -> bits/s
+	mgmtMAC  collector.MAC   // this bridge's own station MAC, if known
+}
+
+// swLink is one inferred switch-to-switch connection.
+type swLink struct {
+	a     netip.Addr
+	aPort int
+	b     netip.Addr
+	bPort int
+}
+
+// station is one end host/router attachment.
+type station struct {
+	mac  collector.MAC
+	sw   netip.Addr
+	port int
+}
+
+// Collector is a running Bridge Collector.
+type Collector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	switches map[netip.Addr]*switchInfo
+	links    []swLink
+	stations map[collector.MAC]station
+	domainOf map[netip.Addr]int // switch -> broadcast-domain id
+	started  bool
+	monitor  *sim.Timer
+
+	// walkRequests counts full FDB walks, for cost accounting in tests.
+	walkRequests int
+}
+
+// New creates a Bridge Collector; call Start to walk the bridges and build
+// the topology database.
+func New(cfg Config) *Collector {
+	return &Collector{
+		cfg:      cfg,
+		switches: make(map[netip.Addr]*switchInfo),
+		stations: make(map[collector.MAC]station),
+	}
+}
+
+// Name implements collector.Interface.
+func (c *Collector) Name() string { return "bridge" }
+
+// Start walks every configured bridge's forwarding database, infers the
+// level-2 topology, and begins location monitoring. "At startup, the
+// Bridge Collector queries all components of a bridged Ethernet to
+// determine its topology, then stores this information in a database."
+func (c *Collector) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, addr := range c.cfg.Switches {
+		si, err := c.walkSwitchLocked(addr)
+		if err != nil {
+			return fmt.Errorf("bridgecoll: walking %v: %w", addr, err)
+		}
+		c.switches[addr] = si
+	}
+	if err := c.inferTopologyLocked(); err != nil {
+		return err
+	}
+	c.started = true
+	if c.cfg.MonitorInterval > 0 && c.cfg.Sched != nil {
+		c.monitor = c.cfg.Sched.Every(c.cfg.MonitorInterval, c.monitorOnce)
+	}
+	return nil
+}
+
+// Stop halts location monitoring.
+func (c *Collector) Stop() {
+	if c.monitor != nil {
+		c.monitor.Stop()
+	}
+}
+
+// walkSwitchLocked reads one bridge's Bridge-MIB and interface table.
+func (c *Collector) walkSwitchLocked(addr netip.Addr) (*switchInfo, error) {
+	a := addr.String()
+	si := &switchInfo{
+		addr:    addr,
+		fdb:     make(map[collector.MAC]int),
+		perPort: make(map[int][]collector.MAC),
+		speed:   make(map[int]float64),
+	}
+	c.walkRequests++
+	if v, err := c.cfg.Client.GetOne(a, mib.SysName); err == nil {
+		si.name = string(v.Bytes)
+	}
+	v, err := c.cfg.Client.GetOne(a, mib.Dot1dBaseNumPorts)
+	if err != nil {
+		return nil, err
+	}
+	si.numPorts = int(v.Int)
+	// dot1dBaseBridgeAddress names the bridge's own MAC, which must not
+	// be mistaken for a station.
+	if v, err := c.cfg.Client.GetOne(a, mib.Dot1dBaseBridgeAddr); err == nil {
+		if m, ok := collector.MACFromBytes(v.Bytes); ok {
+			si.mgmtMAC = m
+		}
+	}
+	err = c.cfg.Client.BulkWalk(a, mib.Dot1dTpFdbPort, 32, func(o snmp.OID, val snmp.Value) bool {
+		mac, ok := collector.MACFromOID(o)
+		if !ok {
+			return true
+		}
+		port := int(val.Int)
+		si.fdb[mac] = port
+		si.perPort[port] = append(si.perPort[port], mac)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = c.cfg.Client.BulkWalk(a, mib.IfSpeed, 16, func(o snmp.OID, val snmp.Value) bool {
+		si.speed[int(o[len(o)-1])] = float64(val.Int)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A bridge's own management MAC is the one station MAC every *other*
+	// bridge has learned but this one does not list (it is local).
+	return si, nil
+}
+
+// inferTopologyLocked runs the forwarding-database inference: two bridge
+// ports are directly connected iff their FDB station sets are disjoint and
+// jointly complete (Breitbart/Lowekamp condition; our FDBs are converged,
+// so completeness holds). Ports with no switch neighbour are edge ports and
+// their learned stations are direct attachments.
+func (c *Collector) inferTopologyLocked() error {
+	// The universe of stations: every MAC seen in any FDB. Bridges'
+	// own MACs (from dot1dBaseBridgeAddress) are known and are kept in
+	// the universe — they disambiguate interior switches — but are not
+	// stations.
+	bridgeMAC := make(map[collector.MAC]netip.Addr)
+	for _, si := range c.switches {
+		var zero collector.MAC
+		if si.mgmtMAC != zero {
+			bridgeMAC[si.mgmtMAC] = si.addr
+		}
+	}
+	universe := make(map[collector.MAC]bool)
+	for _, si := range c.switches {
+		for mac := range si.fdb {
+			universe[mac] = true
+		}
+	}
+
+	// Station set per port, as bitsets over a stable MAC ordering.
+	macs := make([]collector.MAC, 0, len(universe))
+	for mac := range universe {
+		macs = append(macs, mac)
+	}
+	sort.Slice(macs, func(i, j int) bool { return lessMAC(macs[i], macs[j]) })
+	macIdx := make(map[collector.MAC]int, len(macs))
+	for i, m := range macs {
+		macIdx[m] = i
+	}
+	words := (len(macs) + 63) / 64
+	portSet := func(si *switchInfo, port int) []uint64 {
+		bs := make([]uint64, words)
+		for _, m := range si.perPort[port] {
+			i := macIdx[m]
+			bs[i/64] |= 1 << (i % 64)
+		}
+		return bs
+	}
+	// Everything one switch has learned, over all ports. For a directly
+	// connected port pair, the two ports' FDBs partition exactly the
+	// union of the two switches' universes: a collector may manage
+	// bridges in several broadcast domains at once, so completeness is
+	// relative to the pair, not global.
+	allSet := func(si *switchInfo) []uint64 {
+		bs := make([]uint64, words)
+		for mac := range si.fdb {
+			i := macIdx[mac]
+			bs[i/64] |= 1 << (i % 64)
+		}
+		return bs
+	}
+
+	// The disjoint-and-complete test needs no special-casing for the
+	// bridges' own MACs: for a directly connected port pair, each
+	// bridge's management MAC is behind the other's port, so the union
+	// covers the full universe.
+	addrs := make([]netip.Addr, 0, len(c.switches))
+	for a := range c.switches {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+
+	c.links = nil
+	linkPorts := make(map[netip.Addr]map[int]bool)
+	for _, a := range addrs {
+		linkPorts[a] = make(map[int]bool)
+	}
+	for i := 0; i < len(addrs); i++ {
+		for j := i + 1; j < len(addrs); j++ {
+			x, y := c.switches[addrs[i]], c.switches[addrs[j]]
+			ax, ay := allSet(x), allSet(y)
+			// Bridges in the same broadcast domain always share
+			// stations (at least each other's bridge MACs); fully
+			// disjoint universes mean separate domains, where no
+			// direct connection is possible.
+			if disjoint(ax, ay) {
+				continue
+			}
+			need := orSets(ax, ay)
+			for px := 1; px <= x.numPorts; px++ {
+				sx := portSet(x, px)
+				for py := 1; py <= y.numPorts; py++ {
+					sy := portSet(y, py)
+					if !disjoint(sx, sy) {
+						continue
+					}
+					if !coversUnion(sx, sy, need) {
+						continue
+					}
+					c.links = append(c.links, swLink{a: x.addr, aPort: px, b: y.addr, bPort: py})
+					linkPorts[x.addr][px] = true
+					linkPorts[y.addr][py] = true
+				}
+			}
+		}
+	}
+
+	// Broadcast-domain ids: connected components of the inferred
+	// switch topology.
+	c.domainOf = make(map[netip.Addr]int)
+	domain := 0
+	for _, a := range addrs {
+		if _, seen := c.domainOf[a]; seen {
+			continue
+		}
+		domain++
+		queue := []netip.Addr{a}
+		c.domainOf[a] = domain
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, l := range c.links {
+				var next netip.Addr
+				switch cur {
+				case l.a:
+					next = l.b
+				case l.b:
+					next = l.a
+				default:
+					continue
+				}
+				if _, seen := c.domainOf[next]; !seen {
+					c.domainOf[next] = domain
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+
+	// Stations: MACs learned on edge ports of the switch that sees them
+	// closest (the unique switch-port pair where the MAC is on a
+	// non-link port).
+	c.stations = make(map[collector.MAC]station)
+	for _, a := range addrs {
+		si := c.switches[a]
+		for mac, port := range si.fdb {
+			if bridgeMAC[mac].IsValid() {
+				continue // bridges are not stations
+			}
+			if linkPorts[a][port] {
+				continue // learned through another switch
+			}
+			c.stations[mac] = station{mac: mac, sw: a, port: port}
+		}
+	}
+	return nil
+}
+
+func disjoint(a, b []uint64) bool {
+	for i := range a {
+		if a[i]&b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// coversUnion reports whether a ∪ b covers every bit in need.
+func coversUnion(a, b, need []uint64) bool {
+	for i := range need {
+		if (a[i]|b[i])&need[i] != need[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func orSets(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	for i := range a {
+		out[i] = a[i] | b[i]
+	}
+	return out
+}
+
+func lessMAC(a, b collector.MAC) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

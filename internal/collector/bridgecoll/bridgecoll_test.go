@@ -1,0 +1,336 @@
+package bridgecoll
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/mib"
+	"remos/internal/netsim"
+	"remos/internal/sim"
+	"remos/internal/snmp"
+)
+
+// lan builds a three-level switched LAN:
+//
+//	      core
+//	     /    \
+//	  eA        eB        (edge switches)
+//	 / | \     / | \
+//	h0 h1 r   h2 h3 h4
+//
+// The core switch has no directly attached stations — the hard case for
+// FDB inference, solvable because bridges appear as stations in each
+// other's FDBs.
+func lan(t testing.TB) (*sim.Sim, *netsim.Network, *Collector, map[string]*netsim.Device) {
+	t.Helper()
+	s := sim.NewSim()
+	n := netsim.New(s)
+	d := map[string]*netsim.Device{
+		"core": n.AddSwitch("core"),
+		"eA":   n.AddSwitch("eA"),
+		"eB":   n.AddSwitch("eB"),
+		"r":    n.AddRouter("r"),
+	}
+	for _, h := range []string{"h0", "h1", "h2", "h3", "h4"} {
+		d[h] = n.AddHost(h)
+	}
+	n.Connect(d["eA"], d["core"], 1e9, time.Millisecond)
+	n.Connect(d["eB"], d["core"], 1e9, time.Millisecond)
+	n.Connect(d["h0"], d["eA"], 100e6, time.Millisecond)
+	n.Connect(d["h1"], d["eA"], 100e6, time.Millisecond)
+	n.Connect(d["r"], d["eA"], 1e9, time.Millisecond)
+	n.Connect(d["h2"], d["eB"], 100e6, time.Millisecond)
+	n.Connect(d["h3"], d["eB"], 100e6, time.Millisecond)
+	n.Connect(d["h4"], d["eB"], 100e6, time.Millisecond)
+	n.AssignSubnets()
+	n.ComputeRoutes()
+	reg := snmp.NewRegistry()
+	mib.AttachAll(n, reg)
+	client := snmp.NewClient(&snmp.InProc{Registry: reg}, "public")
+	bc := New(Config{
+		Client: client,
+		Sched:  s,
+		Switches: []netip.Addr{
+			d["core"].ManagementAddr(),
+			d["eA"].ManagementAddr(),
+			d["eB"].ManagementAddr(),
+		},
+	})
+	if err := bc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s, n, bc, d
+}
+
+func macOf(d *netsim.Device) collector.MAC {
+	return collector.MAC(d.Ifaces()[0].MAC)
+}
+
+func TestInfersSwitchLinks(t *testing.T) {
+	_, _, bc, _ := lan(t)
+	if got := bc.SwitchLinks(); got != 2 {
+		t.Fatalf("inferred %d switch links, want 2 (eA-core, eB-core)", got)
+	}
+}
+
+func TestStationsDiscovered(t *testing.T) {
+	_, _, bc, d := lan(t)
+	sts := bc.Stations()
+	if len(sts) != 6 { // 5 hosts + router iface
+		t.Fatalf("found %d stations, want 6", len(sts))
+	}
+	sw, port, ok := bc.Locate(macOf(d["h0"]))
+	if !ok {
+		t.Fatal("h0 not located")
+	}
+	if sw != d["eA"].ManagementAddr() {
+		t.Fatalf("h0 located at %v, want eA", sw)
+	}
+	if port == 0 {
+		t.Fatal("h0 port is 0")
+	}
+}
+
+func TestPathSameSwitch(t *testing.T) {
+	_, _, bc, d := lan(t)
+	segs, err := bc.Path(macOf(d["h0"]), macOf(d["h1"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("same-switch path has %d segments, want 2", len(segs))
+	}
+	if segs[0].Capacity != 100e6 || segs[1].Capacity != 100e6 {
+		t.Fatalf("segment capacities %v, %v", segs[0].Capacity, segs[1].Capacity)
+	}
+}
+
+func TestPathAcrossCore(t *testing.T) {
+	_, _, bc, d := lan(t)
+	segs, err := bc.Path(macOf(d["h0"]), macOf(d["h4"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h0-eA, eA-core, core-eB, eB-h4
+	if len(segs) != 4 {
+		t.Fatalf("cross-core path has %d segments, want 4", len(segs))
+	}
+	if segs[1].Capacity != 1e9 || segs[2].Capacity != 1e9 {
+		t.Fatalf("trunk capacities %v, %v, want 1e9", segs[1].Capacity, segs[2].Capacity)
+	}
+	if segs[0].FromID != StationID(macOf(d["h0"])) {
+		t.Fatalf("path does not start at h0: %v", segs[0].FromID)
+	}
+	if segs[3].ToID != StationID(macOf(d["h4"])) {
+		t.Fatalf("path does not end at h4: %v", segs[3].ToID)
+	}
+	// Poll points are always switch ports.
+	for i, s := range segs {
+		if !s.PollSwitch.IsValid() || s.PollPort == 0 {
+			t.Fatalf("segment %d has no poll point: %+v", i, s)
+		}
+	}
+}
+
+func TestPathUnknownStation(t *testing.T) {
+	_, _, bc, d := lan(t)
+	if _, err := bc.Path(collector.MAC{1, 2, 3, 4, 5, 6}, macOf(d["h0"])); err == nil {
+		t.Fatal("path from unknown MAC succeeded")
+	}
+}
+
+func TestVerifyLocationCheap(t *testing.T) {
+	_, _, bc, d := lan(t)
+	meter := &snmp.Meter{}
+	bc.cfg.Client.Meter = meter
+	sw, _, err := bc.VerifyLocation(macOf(d["h0"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw != d["eA"].ManagementAddr() {
+		t.Fatalf("verified location %v, want eA", sw)
+	}
+	if n, _ := meter.Snapshot(); n != 1 {
+		t.Fatalf("in-place verification used %d requests, want 1", n)
+	}
+}
+
+func TestHostMoveDetected(t *testing.T) {
+	_, n, bc, d := lan(t)
+	var movedMAC collector.MAC
+	bc.cfg.OnMove = func(mac collector.MAC, from, to netip.Addr) { movedMAC = mac }
+	n.MoveHost(d["h0"], d["eB"], 100e6, time.Millisecond)
+	sw, _, err := bc.VerifyLocation(macOf(d["h0"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw != d["eB"].ManagementAddr() {
+		t.Fatalf("after move, location %v, want eB", sw)
+	}
+	if movedMAC != macOf(d["h0"]) {
+		t.Fatal("OnMove not fired for h0")
+	}
+	// Path service must use the new location.
+	segs, err := bc.Path(macOf(d["h0"]), macOf(d["h1"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 4 {
+		t.Fatalf("post-move path has %d segments, want 4 (now across core)", len(segs))
+	}
+}
+
+func TestPeriodicMonitoringCatchesMove(t *testing.T) {
+	s, n, bc, d := lan(t)
+	moves := 0
+	bc.cfg.OnMove = func(collector.MAC, netip.Addr, netip.Addr) { moves++ }
+	bc.cfg.MonitorInterval = 10 * time.Second
+	bc.monitor = s.Every(bc.cfg.MonitorInterval, bc.monitorOnce)
+	defer bc.Stop()
+	n.MoveHost(d["h3"], d["eA"], 100e6, time.Millisecond)
+	s.RunFor(11 * time.Second)
+	if moves != 1 {
+		t.Fatalf("monitoring detected %d moves, want 1", moves)
+	}
+	sw, _, _ := bc.Locate(macOf(d["h3"]))
+	if sw != d["eA"].ManagementAddr() {
+		t.Fatalf("database still places h3 at %v", sw)
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	_, _, bc, _ := lan(t)
+	g := bc.Graph()
+	if len(g.Nodes()) != 9 { // 3 switches + 6 stations
+		t.Fatalf("graph nodes = %d, want 9", len(g.Nodes()))
+	}
+	if len(g.Links()) != 8 { // 6 station links + 2 trunks
+		t.Fatalf("graph links = %d, want 8", len(g.Links()))
+	}
+}
+
+func TestCollectRequiresStart(t *testing.T) {
+	bc := New(Config{})
+	if _, err := bc.Collect(collector.Query{}); err == nil {
+		t.Fatal("Collect before Start succeeded")
+	}
+}
+
+func TestSingleSwitchLAN(t *testing.T) {
+	s := sim.NewSim()
+	n := netsim.New(s)
+	sw := n.AddSwitch("sw")
+	h1 := n.AddHost("h1")
+	h2 := n.AddHost("h2")
+	n.Connect(h1, sw, 100e6, 0)
+	n.Connect(h2, sw, 100e6, 0)
+	n.AssignSubnets()
+	n.ComputeRoutes()
+	reg := snmp.NewRegistry()
+	mib.AttachAll(n, reg)
+	bc := New(Config{
+		Client:   snmp.NewClient(&snmp.InProc{Registry: reg}, "public"),
+		Sched:    s,
+		Switches: []netip.Addr{sw.ManagementAddr()},
+	})
+	if err := bc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if bc.SwitchLinks() != 0 {
+		t.Fatalf("single switch inferred %d links", bc.SwitchLinks())
+	}
+	segs, err := bc.Path(collector.MAC(h1.Ifaces()[0].MAC), collector.MAC(h2.Ifaces()[0].MAC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("path segments = %d, want 2", len(segs))
+	}
+}
+
+func TestDeepChainTopology(t *testing.T) {
+	// A 5-switch chain with one host at each end and one on each
+	// interior switch: inference must recover exactly the chain.
+	s := sim.NewSim()
+	n := netsim.New(s)
+	var sws []*netsim.Device
+	var addrs []netip.Addr
+	for i := 0; i < 5; i++ {
+		sw := n.AddSwitch("sw" + string(rune('0'+i)))
+		sws = append(sws, sw)
+		if i > 0 {
+			n.Connect(sws[i-1], sw, 1e9, 0)
+		}
+	}
+	var hosts []*netsim.Device
+	for i := 0; i < 5; i++ {
+		h := n.AddHost("h" + string(rune('0'+i)))
+		hosts = append(hosts, h)
+		n.Connect(h, sws[i], 100e6, 0)
+	}
+	n.AssignSubnets()
+	n.ComputeRoutes()
+	for _, sw := range sws {
+		addrs = append(addrs, sw.ManagementAddr())
+	}
+	reg := snmp.NewRegistry()
+	mib.AttachAll(n, reg)
+	bc := New(Config{
+		Client:   snmp.NewClient(&snmp.InProc{Registry: reg}, "public"),
+		Sched:    s,
+		Switches: addrs,
+	})
+	if err := bc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if bc.SwitchLinks() != 4 {
+		t.Fatalf("chain of 5 switches inferred %d links, want 4", bc.SwitchLinks())
+	}
+	segs, err := bc.Path(collector.MAC(hosts[0].Ifaces()[0].MAC), collector.MAC(hosts[4].Ifaces()[0].MAC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 6 { // host-sw0, 4 trunks, sw4-host
+		t.Fatalf("end-to-end path segments = %d, want 6", len(segs))
+	}
+}
+
+func TestInteriorSwitchWithoutStations(t *testing.T) {
+	// Chain sw0 - sw1 - sw2 where sw1 has NO attached stations. The
+	// bridges' own management MACs disambiguate it.
+	s := sim.NewSim()
+	n := netsim.New(s)
+	sw0 := n.AddSwitch("sw0")
+	sw1 := n.AddSwitch("sw1")
+	sw2 := n.AddSwitch("sw2")
+	n.Connect(sw0, sw1, 1e9, 0)
+	n.Connect(sw1, sw2, 1e9, 0)
+	h0 := n.AddHost("h0")
+	h2 := n.AddHost("h2")
+	n.Connect(h0, sw0, 100e6, 0)
+	n.Connect(h2, sw2, 100e6, 0)
+	n.AssignSubnets()
+	n.ComputeRoutes()
+	reg := snmp.NewRegistry()
+	mib.AttachAll(n, reg)
+	bc := New(Config{
+		Client:   snmp.NewClient(&snmp.InProc{Registry: reg}, "public"),
+		Sched:    s,
+		Switches: []netip.Addr{sw0.ManagementAddr(), sw1.ManagementAddr(), sw2.ManagementAddr()},
+	})
+	if err := bc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if bc.SwitchLinks() != 2 {
+		t.Fatalf("inferred %d links, want 2 (sw0-sw1, sw1-sw2; no sw0-sw2 shortcut)", bc.SwitchLinks())
+	}
+	segs, err := bc.Path(collector.MAC(h0.Ifaces()[0].MAC), collector.MAC(h2.Ifaces()[0].MAC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 4 {
+		t.Fatalf("path segments = %d, want 4", len(segs))
+	}
+}

@@ -1,0 +1,283 @@
+package bridgecoll
+
+import (
+	"fmt"
+	"net/netip"
+
+	"remos/internal/collector"
+	"remos/internal/mib"
+	"remos/internal/topology"
+)
+
+// Segment is one directed level-2 link along a path: from one attachment
+// point to the next. IDs name graph nodes ("st:<mac>" for stations,
+// switch management addresses for bridges). PollSwitch/PollPort identify
+// the switch interface whose octet counters measure this link, which is
+// what the SNMP Collector polls for utilization.
+type Segment struct {
+	FromID     string
+	ToID       string
+	Capacity   float64
+	PollSwitch netip.Addr
+	PollPort   int
+	// PollIsFrom is true when the polled port sits at the From end, so
+	// the port's out-octets measure From->To traffic; false means the
+	// polled port is at the To end and its in-octets measure From->To.
+	PollIsFrom bool
+}
+
+// StationID renders the graph node ID used for a station.
+func StationID(mac collector.MAC) string { return "st:" + mac.String() }
+
+// Domain returns the broadcast-domain id a station belongs to. Two
+// stations with the same domain id are level-2 reachable from each other.
+func (c *Collector) Domain(mac collector.MAC) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.stations[mac]
+	if !ok {
+		return 0, false
+	}
+	return c.domainOf[st.sw], true
+}
+
+// Locate returns the believed attachment point of a station from the
+// database (no SNMP traffic).
+func (c *Collector) Locate(mac collector.MAC) (sw netip.Addr, port int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.stations[mac]
+	if !ok {
+		return netip.Addr{}, 0, false
+	}
+	return st.sw, st.port, true
+}
+
+// VerifyLocation checks a station's forwarding entry on the bridge it is
+// believed to be attached to with one SNMP Get — the paper's cheap
+// location check. If the entry is gone or moved, the affected bridges are
+// re-walked and the topology database updated. It reports the (possibly
+// corrected) location.
+func (c *Collector) VerifyLocation(mac collector.MAC) (netip.Addr, int, error) {
+	c.mu.Lock()
+	st, known := c.stations[mac]
+	c.mu.Unlock()
+	if !known {
+		return c.SearchStation(mac)
+	}
+	v, err := c.cfg.Client.GetOne(st.sw.String(), mib.Dot1dTpFdbPort.Append(mac.OIDSuffix()...))
+	if err == nil && int(v.Int) == st.port {
+		return st.sw, st.port, nil // still where we thought
+	}
+	return c.SearchStation(mac)
+}
+
+// SearchStation re-walks all bridges to find a station that moved or is
+// new, updating the database. This is the expensive path.
+func (c *Collector) SearchStation(mac collector.MAC) (netip.Addr, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, hadOld := c.stations[mac]
+	for _, addr := range c.cfg.Switches {
+		si, err := c.walkSwitchLocked(addr)
+		if err != nil {
+			return netip.Addr{}, 0, err
+		}
+		c.switches[addr] = si
+	}
+	if err := c.inferTopologyLocked(); err != nil {
+		return netip.Addr{}, 0, err
+	}
+	st, ok := c.stations[mac]
+	if !ok {
+		return netip.Addr{}, 0, fmt.Errorf("bridgecoll: station %v not found on any bridge", mac)
+	}
+	if hadOld && (old.sw != st.sw || old.port != st.port) && c.cfg.OnMove != nil {
+		c.cfg.OnMove(mac, old.sw, st.sw)
+	}
+	return st.sw, st.port, nil
+}
+
+// monitorOnce verifies the location of every known station, the
+// continuous monitoring Section 3.1.2 requires for mobile nodes.
+func (c *Collector) monitorOnce() {
+	c.mu.Lock()
+	macs := make([]collector.MAC, 0, len(c.stations))
+	for m := range c.stations {
+		macs = append(macs, m)
+	}
+	c.mu.Unlock()
+	for _, m := range macs {
+		c.VerifyLocation(m) // errors are tolerated; next round retries
+	}
+}
+
+// Path returns the level-2 segments between two stations. Both must be in
+// the topology database.
+func (c *Collector) Path(a, b collector.MAC) ([]Segment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sa, oka := c.stations[a]
+	sb, okb := c.stations[b]
+	if !oka || !okb {
+		return nil, fmt.Errorf("bridgecoll: unknown station (%v known=%v, %v known=%v)", a, oka, b, okb)
+	}
+	segs := []Segment{{
+		FromID:     StationID(a),
+		ToID:       sa.sw.String(),
+		Capacity:   c.switches[sa.sw].speed[sa.port],
+		PollSwitch: sa.sw,
+		PollPort:   sa.port,
+		PollIsFrom: false, // polled port is at the To (switch) end
+	}}
+	if sa.sw != sb.sw {
+		swPath, err := c.switchPathLocked(sa.sw, sb.sw)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range swPath {
+			segs = append(segs, Segment{
+				FromID:     l.a.String(),
+				ToID:       l.b.String(),
+				Capacity:   c.switches[l.a].speed[l.aPort],
+				PollSwitch: l.a,
+				PollPort:   l.aPort,
+				PollIsFrom: true,
+			})
+		}
+	}
+	segs = append(segs, Segment{
+		FromID:     sb.sw.String(),
+		ToID:       StationID(b),
+		Capacity:   c.switches[sb.sw].speed[sb.port],
+		PollSwitch: sb.sw,
+		PollPort:   sb.port,
+		PollIsFrom: true, // polled port is at the From (switch) end
+	})
+	return segs, nil
+}
+
+// switchPathLocked finds the bridge-to-bridge path as directed swLinks
+// from sa to sb over the inferred topology.
+func (c *Collector) switchPathLocked(sa, sb netip.Addr) ([]swLink, error) {
+	type state struct {
+		at   netip.Addr
+		prev *state
+		via  swLink // oriented so via.a is the earlier switch
+	}
+	visited := map[netip.Addr]bool{sa: true}
+	queue := []*state{{at: sa}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, l := range c.links {
+			var next netip.Addr
+			var oriented swLink
+			switch cur.at {
+			case l.a:
+				next = l.b
+				oriented = l
+			case l.b:
+				next = l.a
+				oriented = swLink{a: l.b, aPort: l.bPort, b: l.a, bPort: l.aPort}
+			default:
+				continue
+			}
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			st := &state{at: next, prev: cur, via: oriented}
+			if next == sb {
+				var rev []swLink
+				for s := st; s.prev != nil; s = s.prev {
+					rev = append(rev, s.via)
+				}
+				out := make([]swLink, len(rev))
+				for i := range rev {
+					out[i] = rev[len(rev)-1-i]
+				}
+				return out, nil
+			}
+			queue = append(queue, st)
+		}
+	}
+	return nil, fmt.Errorf("bridgecoll: no L2 path between %v and %v", sa, sb)
+}
+
+// Stations lists the known station MACs in stable order.
+func (c *Collector) Stations() []collector.MAC {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]collector.MAC, 0, len(c.stations))
+	for m := range c.stations {
+		out = append(out, m)
+	}
+	sortMACs(out)
+	return out
+}
+
+func sortMACs(ms []collector.MAC) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && lessMAC(ms[j], ms[j-1]); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// SwitchLinks returns the number of inferred switch-to-switch links.
+func (c *Collector) SwitchLinks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.links)
+}
+
+// PortSpeed reports the learned speed of a switch port.
+func (c *Collector) PortSpeed(sw netip.Addr, port int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	si := c.switches[sw]
+	if si == nil {
+		return 0
+	}
+	return si.speed[port]
+}
+
+// Graph returns the level-2 topology as a graph: switches and stations,
+// links with capacities, no utilization (dynamic data is the SNMP
+// Collector's job).
+func (c *Collector) Graph() *topology.Graph {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := topology.NewGraph()
+	for _, addr := range c.cfg.Switches {
+		g.AddNode(topology.Node{ID: addr.String(), Kind: topology.SwitchNode, Addr: addr.String()})
+	}
+	for mac, st := range c.stations {
+		g.AddNode(topology.Node{ID: StationID(mac), Kind: topology.HostNode})
+		g.AddLink(topology.Link{
+			From: StationID(mac), To: st.sw.String(),
+			Capacity: c.switches[st.sw].speed[st.port],
+		})
+	}
+	for _, l := range c.links {
+		g.AddLink(topology.Link{
+			From: l.a.String(), To: l.b.String(),
+			Capacity: c.switches[l.a].speed[l.aPort],
+		})
+	}
+	return g
+}
+
+// Collect implements collector.Interface: the Bridge Collector's own
+// answer is the static L2 graph (hosts resolve by MAC only, so Hosts in
+// the query are ignored; the SNMP Collector composes richer answers).
+func (c *Collector) Collect(q collector.Query) (*collector.Result, error) {
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if !started {
+		return nil, fmt.Errorf("bridgecoll: not started")
+	}
+	return &collector.Result{Graph: c.Graph()}, nil
+}

@@ -1,0 +1,216 @@
+package collector
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"remos/internal/snmp"
+)
+
+func sample(i int) Sample {
+	return Sample{T: time.Unix(int64(i), 0), Bits: float64(i)}
+}
+
+func TestHistoryAddGetLatest(t *testing.T) {
+	h := NewHistory(8)
+	k := HistKey{From: "a", To: "b"}
+	if _, ok := h.Latest(k); ok {
+		t.Fatal("empty history has a latest sample")
+	}
+	for i := 0; i < 5; i++ {
+		h.Add(k, sample(i))
+	}
+	got := h.Get(k)
+	if len(got) != 5 || got[0].Bits != 0 || got[4].Bits != 4 {
+		t.Fatalf("Get = %v", got)
+	}
+	last, ok := h.Latest(k)
+	if !ok || last.Bits != 4 {
+		t.Fatalf("Latest = %v ok=%v", last, ok)
+	}
+}
+
+func TestHistoryEvictsOldest(t *testing.T) {
+	h := NewHistory(4)
+	k := HistKey{From: "a", To: "b"}
+	for i := 0; i < 10; i++ {
+		h.Add(k, sample(i))
+	}
+	got := h.Get(k)
+	if len(got) != 4 {
+		t.Fatalf("kept %d samples, want 4", len(got))
+	}
+	if got[0].Bits != 6 || got[3].Bits != 9 {
+		t.Fatalf("evicted wrong end: %v", got)
+	}
+}
+
+func TestHistoryKeysSortedAndIndependent(t *testing.T) {
+	h := NewHistory(0) // default capacity
+	h.Add(HistKey{From: "z", To: "a"}, sample(1))
+	h.Add(HistKey{From: "a", To: "z"}, sample(2))
+	h.Add(HistKey{From: "a", To: "b"}, sample(3))
+	keys := h.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if keys[0] != (HistKey{From: "a", To: "b"}) || keys[2] != (HistKey{From: "z", To: "a"}) {
+		t.Fatalf("keys unsorted: %v", keys)
+	}
+	if len(h.Get(HistKey{From: "a", To: "b"})) != 1 {
+		t.Fatal("keys bleed into each other")
+	}
+}
+
+func TestHistorySnapshotIsACopy(t *testing.T) {
+	h := NewHistory(8)
+	k := HistKey{From: "a", To: "b"}
+	h.Add(k, sample(1))
+	snap := h.Snapshot()
+	snap[k][0].Bits = 999
+	if h.Get(k)[0].Bits == 999 {
+		t.Fatal("snapshot aliases the store")
+	}
+	// Get is a copy too.
+	g := h.Get(k)
+	g[0].Bits = 888
+	if h.Get(k)[0].Bits == 888 {
+		t.Fatal("Get aliases the store")
+	}
+}
+
+func TestValues(t *testing.T) {
+	vs := Values([]Sample{sample(3), sample(7)})
+	if len(vs) != 2 || vs[0] != 3 || vs[1] != 7 {
+		t.Fatalf("Values = %v", vs)
+	}
+}
+
+func TestMACStringAndOID(t *testing.T) {
+	m := MAC{0x02, 0x00, 0xab, 0xcd, 0xef, 0x01}
+	if m.String() != "02:00:ab:cd:ef:01" {
+		t.Fatalf("String = %s", m.String())
+	}
+	suffix := m.OIDSuffix()
+	oid := snmp.MustParseOID("1.3.6.1.2.1.17.4.3.1.2").Append(suffix...)
+	back, ok := MACFromOID(oid)
+	if !ok || back != m {
+		t.Fatalf("MACFromOID = %v ok=%v", back, ok)
+	}
+	if _, ok := MACFromOID(snmp.MustParseOID("1.3")); ok {
+		t.Fatal("short OID produced a MAC")
+	}
+	if _, ok := MACFromOID(snmp.MustParseOID("1.3.6.1.2.1.300.1.2.3.4.5")); ok {
+		t.Fatal("out-of-range component produced a MAC")
+	}
+}
+
+func TestMACFromBytes(t *testing.T) {
+	m, ok := MACFromBytes([]byte{1, 2, 3, 4, 5, 6})
+	if !ok || m != (MAC{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("MACFromBytes = %v ok=%v", m, ok)
+	}
+	if _, ok := MACFromBytes([]byte{1, 2, 3}); ok {
+		t.Fatal("short byte slice produced a MAC")
+	}
+}
+
+// Property: a MAC survives the OID suffix round trip.
+func TestPropertyMACOIDRoundTrip(t *testing.T) {
+	f := func(b [6]byte) bool {
+		m := MAC(b)
+		oid := snmp.OID{1, 3, 6}.Append(m.OIDSuffix()...)
+		back, ok := MACFromOID(oid)
+		return ok && back == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: history never exceeds capacity and Latest equals the last Add.
+func TestPropertyHistoryBounded(t *testing.T) {
+	f := func(adds []float64) bool {
+		h := NewHistory(16)
+		k := HistKey{From: "x", To: "y"}
+		for i, v := range adds {
+			h.Add(k, Sample{T: time.Unix(int64(i), 0), Bits: v})
+		}
+		got := h.Get(k)
+		if len(got) > 16 {
+			return false
+		}
+		if len(adds) > 0 {
+			last, ok := h.Latest(k)
+			if !ok || last.Bits != adds[len(adds)-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryArchiveRoundTrip(t *testing.T) {
+	h := NewHistory(32)
+	k1 := HistKey{From: "r1", To: "r2"}
+	k2 := HistKey{From: "10.0.1.2", To: "cpu"}
+	for i := 0; i < 5; i++ {
+		h.Add(k1, Sample{T: time.Unix(int64(i), 42), Bits: float64(i) * 1e6})
+		h.Add(k2, Sample{T: time.Unix(int64(i), 0), Bits: float64(i) / 10})
+	}
+	var buf bytes.Buffer
+	if err := h.Archive(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadHistory(&buf, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []HistKey{k1, k2} {
+		a, b := h.Get(k), back.Get(k)
+		if len(a) != len(b) {
+			t.Fatalf("key %v: %d vs %d samples", k, len(a), len(b))
+		}
+		for i := range a {
+			if !a[i].T.Equal(b[i].T) || a[i].Bits != b[i].Bits {
+				t.Fatalf("key %v sample %d: %+v vs %+v", k, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestReadHistoryRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"NOPE 1\n",
+		"HISTORYV1 1\nSERIES a b x\nEND\n",
+		"HISTORYV1 1\nSERIES a b 1\nbadline\nEND\n",
+		"HISTORYV1 0\n", // missing END
+	}
+	for i, c := range cases {
+		if _, err := ReadHistory(strings.NewReader(c), 0); err == nil {
+			t.Errorf("case %d: garbage archive accepted", i)
+		}
+	}
+}
+
+func TestArchiveEmptyStore(t *testing.T) {
+	h := NewHistory(4)
+	var buf bytes.Buffer
+	if err := h.Archive(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadHistory(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Keys()) != 0 {
+		t.Fatal("empty archive produced keys")
+	}
+}

@@ -1,0 +1,226 @@
+// Package hostcoll implements the host load collector: the Remos-side
+// integration of the RPS "host load sensor" (Section 3.3). It polls each
+// managed host's hrProcessorLoad over SNMP, keeps per-host measurement
+// history, and — in the streaming configuration of Section 2.3 — feeds a
+// directly attached RPS predictor per host, making load forecasts
+// available to every consumer.
+package hostcoll
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/mib"
+	"remos/internal/rps"
+	"remos/internal/sim"
+	"remos/internal/snmp"
+	"remos/internal/topology"
+)
+
+// LoadKeyTo is the To component of the history key carrying a host's CPU
+// load series (the From is the host address). Load is not a link
+// quantity, so it gets a reserved pseudo-endpoint.
+const LoadKeyTo = "cpu"
+
+// LoadKey builds the history key for a host's load series.
+func LoadKey(h netip.Addr) collector.HistKey {
+	return collector.HistKey{From: h.String(), To: LoadKeyTo}
+}
+
+// Config configures a host load collector.
+type Config struct {
+	// Client issues the SNMP requests.
+	Client *snmp.Client
+	// Sched drives periodic sampling.
+	Sched sim.Scheduler
+	// Hosts are the managed hosts' addresses (their agents must serve
+	// the Host Resources MIB).
+	Hosts []netip.Addr
+	// Poll is the sampling period; host load is conventionally sampled
+	// at 1 Hz (the paper's "normal 1 Hz rate").
+	Poll time.Duration
+	// StreamPredict attaches a streaming RPS predictor per host (model
+	// spec, e.g. "AR(16)" — the paper's host-load choice). Empty
+	// disables prediction.
+	StreamPredict string
+	// StreamMinFit is the history needed before fitting (default 64).
+	StreamMinFit int
+	// StreamHorizon is the forecast depth (default 30, matching the
+	// paper's "benefits out to at least 30 seconds").
+	StreamHorizon int
+	// HistoryLen bounds per-host history (default 512).
+	HistoryLen int
+}
+
+// Collector is a running host load collector.
+type Collector struct {
+	cfg Config
+
+	mu      sync.Mutex
+	hist    *collector.History
+	streams map[netip.Addr]*rps.Stream
+	timer   *sim.Timer
+	samples int
+}
+
+// New creates a host load collector and starts its sampler.
+func New(cfg Config) *Collector {
+	if cfg.Poll <= 0 {
+		cfg.Poll = time.Second
+	}
+	if cfg.StreamPredict != "" {
+		if _, err := rps.ParseFitter(cfg.StreamPredict); err != nil {
+			panic(fmt.Sprintf("hostcoll: bad StreamPredict spec %q: %v", cfg.StreamPredict, err))
+		}
+	}
+	c := &Collector{
+		cfg:     cfg,
+		hist:    collector.NewHistory(cfg.HistoryLen),
+		streams: make(map[netip.Addr]*rps.Stream),
+	}
+	if cfg.Sched != nil && len(cfg.Hosts) > 0 {
+		c.timer = cfg.Sched.Every(cfg.Poll, c.pollOnce)
+	}
+	return c
+}
+
+// Name implements collector.Interface.
+func (c *Collector) Name() string { return "hostload" }
+
+// Stop halts sampling.
+func (c *Collector) Stop() {
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+}
+
+func (c *Collector) minFit() int {
+	if c.cfg.StreamMinFit > 0 {
+		return c.cfg.StreamMinFit
+	}
+	return 64
+}
+
+func (c *Collector) horizon() int {
+	if c.cfg.StreamHorizon > 0 {
+		return c.cfg.StreamHorizon
+	}
+	return 30
+}
+
+// pollOnce samples every host's hrProcessorLoad.
+func (c *Collector) pollOnce() {
+	now := c.cfg.Sched.Now()
+	for _, h := range c.cfg.Hosts {
+		v, err := c.cfg.Client.GetOne(h.String(), mib.HrProcessorLoad)
+		if err != nil {
+			continue // unreachable this round; next round retries
+		}
+		load := float64(v.Int) / 100
+		c.hist.Add(LoadKey(h), collector.Sample{T: now, Bits: load})
+		c.mu.Lock()
+		c.samples++
+		st := c.streams[h]
+		c.mu.Unlock()
+		if c.cfg.StreamPredict == "" {
+			continue
+		}
+		if st == nil {
+			series := c.hist.Get(LoadKey(h))
+			if len(series) < c.minFit() {
+				continue
+			}
+			fitter, _ := rps.ParseFitter(c.cfg.StreamPredict)
+			model, err := fitter.Fit(collector.Values(series))
+			if err != nil {
+				continue
+			}
+			c.mu.Lock()
+			if c.streams[h] == nil {
+				c.streams[h] = rps.NewStream(model, c.horizon())
+			}
+			c.mu.Unlock()
+			continue
+		}
+		st.Observe(load)
+	}
+}
+
+// Samples reports how many load samples have been taken.
+func (c *Collector) Samples() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.samples
+}
+
+// Load returns a host's most recent load sample.
+func (c *Collector) Load(h netip.Addr) (float64, bool) {
+	s, ok := c.hist.Latest(LoadKey(h))
+	return s.Bits, ok
+}
+
+// Forecast returns a host's streaming load forecast, if one is fitted.
+func (c *Collector) Forecast(h netip.Addr) (collector.Forecast, bool) {
+	c.mu.Lock()
+	st := c.streams[h]
+	c.mu.Unlock()
+	if st == nil {
+		return collector.Forecast{}, false
+	}
+	p, n := st.Last()
+	if n == 0 || len(p.Values) == 0 {
+		return collector.Forecast{}, false
+	}
+	return collector.Forecast{
+		Values: append([]float64(nil), p.Values...),
+		ErrVar: append([]float64(nil), p.ErrVar...),
+	}, true
+}
+
+// History exposes the load history store.
+func (c *Collector) History() *collector.History { return c.hist }
+
+// Collect implements collector.Interface: host nodes only (no links —
+// load is a node property), with per-host history and forecasts under
+// LoadKey keys.
+func (c *Collector) Collect(q collector.Query) (*collector.Result, error) {
+	g := topology.NewGraph()
+	hosts := q.Hosts
+	if len(hosts) == 0 {
+		hosts = c.cfg.Hosts
+	}
+	res := &collector.Result{Graph: g}
+	for _, h := range hosts {
+		if !c.manages(h) {
+			return nil, fmt.Errorf("hostcoll: %v is not a managed host", h)
+		}
+		g.AddNode(topology.Node{ID: h.String(), Kind: topology.HostNode, Addr: h.String()})
+		if q.WithHistory {
+			if res.History == nil {
+				res.History = make(map[collector.HistKey][]collector.Sample)
+			}
+			res.History[LoadKey(h)] = c.hist.Get(LoadKey(h))
+		}
+		if q.WithPredictions {
+			if fc, ok := c.Forecast(h); ok {
+				if res.Predictions == nil {
+					res.Predictions = make(map[collector.HistKey]collector.Forecast)
+				}
+				res.Predictions[LoadKey(h)] = fc
+			}
+		}
+	}
+	return res, nil
+}
+
+func (c *Collector) manages(h netip.Addr) bool {
+	for _, m := range c.cfg.Hosts {
+		if m == h {
+			return true
+		}
+	}
+	return false
+}

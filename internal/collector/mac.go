@@ -1,0 +1,49 @@
+package collector
+
+import (
+	"fmt"
+
+	"remos/internal/snmp"
+)
+
+// MAC is a 48-bit station address as collectors see it in Bridge-MIB
+// forwarding tables.
+type MAC [6]byte
+
+// String formats the address as colon-separated hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// OIDSuffix returns the six sub-identifiers indexing this MAC in
+// dot1dTpFdb tables.
+func (m MAC) OIDSuffix() []uint32 {
+	return []uint32{uint32(m[0]), uint32(m[1]), uint32(m[2]), uint32(m[3]), uint32(m[4]), uint32(m[5])}
+}
+
+// MACFromOID recovers a MAC from the last six sub-identifiers of a
+// dot1dTpFdb row OID.
+func MACFromOID(o snmp.OID) (MAC, bool) {
+	if len(o) < 6 {
+		return MAC{}, false
+	}
+	var m MAC
+	for i := 0; i < 6; i++ {
+		v := o[len(o)-6+i]
+		if v > 0xff {
+			return MAC{}, false
+		}
+		m[i] = byte(v)
+	}
+	return m, true
+}
+
+// MACFromBytes converts a 6-byte slice (dot1dTpFdbAddress value) to a MAC.
+func MACFromBytes(b []byte) (MAC, bool) {
+	if len(b) != 6 {
+		return MAC{}, false
+	}
+	var m MAC
+	copy(m[:], b)
+	return m, true
+}

@@ -1,0 +1,222 @@
+// Package master implements the Remos Master Collector (Section 3.1.4):
+// it keeps a directory of collectors and the network prefixes each is
+// responsible for, splits an application query into per-site sub-queries
+// plus a wide-area benchmark query, fans them out, and coalesces the
+// responses into one topology "without revealing that the response was
+// obtained from multiple collectors". A Master is itself a collector, so
+// masters compose hierarchically — a remote collector may be another
+// Master.
+package master
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"remos/internal/collector"
+	"remos/internal/topology"
+)
+
+// Entry is one directory row: a collector and its responsibility. The
+// directory plays the role the paper assigns to an SLP-like service.
+type Entry struct {
+	// Name identifies the site.
+	Name string
+	// Prefixes are the networks this collector is responsible for.
+	Prefixes []netip.Prefix
+	// Collector answers queries about those networks (an SNMP
+	// collector, or a remote Master reached through the protocol).
+	Collector collector.Interface
+	// BenchHost is the site's benchmark endpoint, included in sub-
+	// queries so inter-site answers join up with intra-site topology.
+	BenchHost netip.Addr
+}
+
+// Directory supplies the master's entries dynamically — the SLP-style
+// lookup of Section 3.1.4. When set, the static Entries are ignored and
+// every query consults the directory, so collectors registering or
+// expiring take effect without reconfiguration. Implemented by
+// *directory.Service via master.FromDirectory.
+type Directory interface {
+	// Entries returns the current directory contents.
+	Entries() ([]Entry, error)
+}
+
+// Config configures a Master Collector.
+type Config struct {
+	Name    string
+	Entries []Entry
+	// Directory, when non-nil, overrides Entries per query.
+	Directory Directory
+	// WideArea answers queries between sites — normally the local
+	// Benchmark Collector. Optional for single-site deployments.
+	WideArea collector.Interface
+}
+
+// Master is a Master Collector.
+type Master struct {
+	cfg Config
+	mu  sync.Mutex
+	// served counts queries, for diagnostics.
+	served int
+}
+
+// New builds a Master Collector.
+func New(cfg Config) *Master { return &Master{cfg: cfg} }
+
+// Name implements collector.Interface.
+func (m *Master) Name() string {
+	if m.cfg.Name != "" {
+		return m.cfg.Name
+	}
+	return "master"
+}
+
+// Prefixes returns the union of the directory's prefixes, so a Master can
+// itself be registered as an Entry of a higher-level Master.
+func (m *Master) Prefixes() []netip.Prefix {
+	entries, err := m.entries()
+	if err != nil {
+		return nil
+	}
+	var out []netip.Prefix
+	for _, e := range entries {
+		out = append(out, e.Prefixes...)
+	}
+	return out
+}
+
+// entries resolves the current directory contents.
+func (m *Master) entries() ([]Entry, error) {
+	if m.cfg.Directory != nil {
+		return m.cfg.Directory.Entries()
+	}
+	return m.cfg.Entries, nil
+}
+
+// entryFor finds the directory entry responsible for an address.
+func entryFor(entries []Entry, h netip.Addr) (*Entry, bool) {
+	best := -1
+	var found *Entry
+	for i := range entries {
+		e := &entries[i]
+		for _, p := range e.Prefixes {
+			if p.Contains(h) && p.Bits() > best {
+				best = p.Bits()
+				found = e
+			}
+		}
+	}
+	return found, found != nil
+}
+
+// Collect implements collector.Interface.
+func (m *Master) Collect(q collector.Query) (*collector.Result, error) {
+	if len(q.Hosts) == 0 {
+		return nil, fmt.Errorf("master: empty query")
+	}
+	m.mu.Lock()
+	m.served++
+	m.mu.Unlock()
+
+	// "The first task for the Master Collector is identifying the IP
+	// networks and subnets needed to answer the query, along with the
+	// associated collectors."
+	all, err := m.entries()
+	if err != nil {
+		return nil, fmt.Errorf("master: directory lookup: %w", err)
+	}
+	groups := make(map[string][]netip.Addr)
+	entries := make(map[string]*Entry)
+	for _, h := range q.Hosts {
+		e, ok := entryFor(all, h)
+		if !ok {
+			return nil, fmt.Errorf("master: no collector is responsible for %v", h)
+		}
+		groups[e.Name] = append(groups[e.Name], h)
+		entries[e.Name] = e
+	}
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	multiSite := len(names) > 1
+	merged := topology.NewGraph()
+	history := make(map[collector.HistKey][]collector.Sample)
+	forecasts := make(map[collector.HistKey]collector.Forecast)
+
+	for _, name := range names {
+		e := entries[name]
+		hosts := groups[name]
+		if multiSite && e.BenchHost.IsValid() {
+			// Join point: the site's benchmark endpoint.
+			hosts = appendUnique(hosts, e.BenchHost)
+		}
+		sub, err := e.Collector.Collect(collector.Query{
+			Hosts: hosts, WithHistory: q.WithHistory, WithPredictions: q.WithPredictions,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("master: collector %s: %w", e.Collector.Name(), err)
+		}
+		merged.Merge(sub.Graph)
+		for k, v := range sub.History {
+			history[k] = v
+		}
+		for k, v := range sub.Predictions {
+			forecasts[k] = v
+		}
+	}
+
+	if multiSite {
+		if m.cfg.WideArea == nil {
+			return nil, fmt.Errorf("master: query spans %d sites but no wide-area collector is configured", len(names))
+		}
+		var benchHosts []netip.Addr
+		for _, name := range names {
+			if e := entries[name]; e.BenchHost.IsValid() {
+				benchHosts = append(benchHosts, e.BenchHost)
+			}
+		}
+		wa, err := m.cfg.WideArea.Collect(collector.Query{
+			Hosts: benchHosts, WithHistory: q.WithHistory, WithPredictions: q.WithPredictions,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("master: wide-area collector: %w", err)
+		}
+		merged.Merge(wa.Graph)
+		for k, v := range wa.History {
+			history[k] = v
+		}
+		for k, v := range wa.Predictions {
+			forecasts[k] = v
+		}
+	}
+
+	res := &collector.Result{Graph: merged}
+	if q.WithHistory {
+		res.History = history
+	}
+	if q.WithPredictions {
+		res.Predictions = forecasts
+	}
+	return res, nil
+}
+
+// Served returns how many queries the master has answered.
+func (m *Master) Served() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.served
+}
+
+func appendUnique(hs []netip.Addr, h netip.Addr) []netip.Addr {
+	for _, x := range hs {
+		if x == h {
+			return hs
+		}
+	}
+	return append(hs, h)
+}

@@ -1,0 +1,216 @@
+package master
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"remos/internal/collector"
+	"remos/internal/topology"
+)
+
+// fake is a scripted collector.
+type fake struct {
+	name    string
+	gotQs   []collector.Query
+	results func(q collector.Query) (*collector.Result, error)
+}
+
+func (f *fake) Name() string { return f.name }
+func (f *fake) Collect(q collector.Query) (*collector.Result, error) {
+	f.gotQs = append(f.gotQs, q)
+	return f.results(q)
+}
+
+func addr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// lineGraph builds a chain graph over the given node IDs.
+func lineGraph(ids ...string) *collector.Result {
+	g := topology.NewGraph()
+	for _, id := range ids {
+		g.AddNode(topology.Node{ID: id, Kind: topology.HostNode, Addr: id})
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		g.AddLink(topology.Link{From: ids[i], To: ids[i+1], Capacity: 1e6 * float64(i+1)})
+	}
+	return &collector.Result{Graph: g}
+}
+
+func newTestMaster() (*Master, *fake, *fake, *fake) {
+	siteA := &fake{name: "snmp-a", results: func(q collector.Query) (*collector.Result, error) {
+		var ids []string
+		for _, h := range q.Hosts {
+			ids = append(ids, h.String())
+		}
+		return lineGraph(ids...), nil
+	}}
+	siteB := &fake{name: "snmp-b", results: func(q collector.Query) (*collector.Result, error) {
+		var ids []string
+		for _, h := range q.Hosts {
+			ids = append(ids, h.String())
+		}
+		return lineGraph(ids...), nil
+	}}
+	wide := &fake{name: "bench", results: func(q collector.Query) (*collector.Result, error) {
+		g := topology.NewGraph()
+		g.AddNode(topology.Node{ID: "10.0.1.9", Kind: topology.HostNode, Addr: "10.0.1.9"})
+		g.AddNode(topology.Node{ID: "10.0.2.9", Kind: topology.HostNode, Addr: "10.0.2.9"})
+		g.AddNode(topology.Node{ID: "wan:a-b", Kind: topology.VirtualNode})
+		g.AddLink(topology.Link{From: "10.0.1.9", To: "wan:a-b", Capacity: 3e6})
+		g.AddLink(topology.Link{From: "wan:a-b", To: "10.0.2.9", Capacity: 3e6})
+		return &collector.Result{Graph: g, History: map[collector.HistKey][]collector.Sample{
+			{From: "10.0.1.9", To: "10.0.2.9"}: {{Bits: 3e6}},
+		}}, nil
+	}}
+	m := New(Config{
+		Name: "master-a",
+		Entries: []Entry{
+			{Name: "a", Prefixes: []netip.Prefix{pfx("10.0.1.0/24")}, Collector: siteA, BenchHost: addr("10.0.1.9")},
+			{Name: "b", Prefixes: []netip.Prefix{pfx("10.0.2.0/24")}, Collector: siteB, BenchHost: addr("10.0.2.9")},
+		},
+		WideArea: wide,
+	})
+	return m, siteA, siteB, wide
+}
+
+func TestSingleSiteQueryForwardsDirectly(t *testing.T) {
+	m, siteA, siteB, wide := newTestMaster()
+	res, err := m.Collect(collector.Query{Hosts: []netip.Addr{addr("10.0.1.1"), addr("10.0.1.2")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(siteA.gotQs) != 1 || len(siteB.gotQs) != 0 || len(wide.gotQs) != 0 {
+		t.Fatalf("sub-queries a=%d b=%d wide=%d, want 1/0/0",
+			len(siteA.gotQs), len(siteB.gotQs), len(wide.gotQs))
+	}
+	// Single-site query must NOT drag in the benchmark endpoint.
+	if len(siteA.gotQs[0].Hosts) != 2 {
+		t.Fatalf("site sub-query hosts = %v", siteA.gotQs[0].Hosts)
+	}
+	if len(res.Graph.Nodes()) != 2 {
+		t.Fatalf("merged nodes = %d", len(res.Graph.Nodes()))
+	}
+}
+
+func TestMultiSiteQuerySplitsAndJoins(t *testing.T) {
+	m, siteA, siteB, wide := newTestMaster()
+	res, err := m.Collect(collector.Query{Hosts: []netip.Addr{addr("10.0.1.1"), addr("10.0.2.1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(siteA.gotQs) != 1 || len(siteB.gotQs) != 1 || len(wide.gotQs) != 1 {
+		t.Fatal("expected one sub-query per site plus wide area")
+	}
+	// Site sub-queries include the benchmark join point.
+	if len(siteA.gotQs[0].Hosts) != 2 || siteA.gotQs[0].Hosts[1] != addr("10.0.1.9") {
+		t.Fatalf("site a sub-query = %v", siteA.gotQs[0].Hosts)
+	}
+	// Merged graph must connect end to end through the WAN.
+	bw, path, err := res.Graph.BottleneckAvail("10.0.1.1", "10.0.2.1")
+	if err != nil {
+		t.Fatalf("no end-to-end path in merged graph: %v", err)
+	}
+	if bw <= 0 || len(path) < 5 {
+		t.Fatalf("end-to-end bw=%v path=%v", bw, path)
+	}
+}
+
+func TestHistoryMergedWhenRequested(t *testing.T) {
+	m, _, _, _ := newTestMaster()
+	res, err := m.Collect(collector.Query{
+		Hosts:       []netip.Addr{addr("10.0.1.1"), addr("10.0.2.1")},
+		WithHistory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("wide-area history not merged")
+	}
+}
+
+func TestUnknownHostRejected(t *testing.T) {
+	m, _, _, _ := newTestMaster()
+	if _, err := m.Collect(collector.Query{Hosts: []netip.Addr{addr("192.168.1.1")}}); err == nil {
+		t.Fatal("host outside every scope accepted")
+	}
+}
+
+func TestEmptyQueryRejected(t *testing.T) {
+	m, _, _, _ := newTestMaster()
+	if _, err := m.Collect(collector.Query{}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+}
+
+func TestSubCollectorErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	bad := &fake{name: "bad", results: func(collector.Query) (*collector.Result, error) {
+		return nil, boom
+	}}
+	m := New(Config{Entries: []Entry{{Name: "x", Prefixes: []netip.Prefix{pfx("10.0.0.0/8")}, Collector: bad}}})
+	if _, err := m.Collect(collector.Query{Hosts: []netip.Addr{addr("10.1.2.3")}}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestMultiSiteWithoutWideAreaFails(t *testing.T) {
+	m, _, _, _ := newTestMaster()
+	m.cfg.WideArea = nil
+	if _, err := m.Collect(collector.Query{Hosts: []netip.Addr{addr("10.0.1.1"), addr("10.0.2.1")}}); err == nil {
+		t.Fatal("multi-site query without wide-area collector succeeded")
+	}
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	special := &fake{name: "special", results: func(q collector.Query) (*collector.Result, error) {
+		var ids []string
+		for _, h := range q.Hosts {
+			ids = append(ids, h.String())
+		}
+		return lineGraph(ids...), nil
+	}}
+	broad := &fake{name: "broad", results: func(q collector.Query) (*collector.Result, error) {
+		var ids []string
+		for _, h := range q.Hosts {
+			ids = append(ids, h.String())
+		}
+		return lineGraph(ids...), nil
+	}}
+	m := New(Config{Entries: []Entry{
+		{Name: "broad", Prefixes: []netip.Prefix{pfx("10.0.0.0/8")}, Collector: broad},
+		{Name: "special", Prefixes: []netip.Prefix{pfx("10.0.5.0/24")}, Collector: special},
+	}})
+	if _, err := m.Collect(collector.Query{Hosts: []netip.Addr{addr("10.0.5.7")}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(special.gotQs) != 1 || len(broad.gotQs) != 0 {
+		t.Fatal("longest-prefix entry did not win")
+	}
+}
+
+func TestHierarchicalMasters(t *testing.T) {
+	inner, siteA, _, _ := newTestMaster()
+	// An outer master delegates the 10.0.0.0/16 region to the inner
+	// master — "the remote collector might be another Master Collector".
+	outer := New(Config{
+		Name: "master-top",
+		Entries: []Entry{
+			{Name: "region", Prefixes: inner.Prefixes(), Collector: inner},
+		},
+	})
+	res, err := outer.Collect(collector.Query{Hosts: []netip.Addr{addr("10.0.1.1"), addr("10.0.1.3")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(siteA.gotQs) != 1 {
+		t.Fatal("inner master did not receive the delegated query")
+	}
+	if len(res.Graph.Nodes()) != 2 {
+		t.Fatalf("merged nodes = %d", len(res.Graph.Nodes()))
+	}
+	if inner.Served() != 1 || outer.Served() != 1 {
+		t.Fatalf("served counts inner=%d outer=%d", inner.Served(), outer.Served())
+	}
+}

@@ -1,0 +1,106 @@
+package collector
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// History persistence: collectors "will be responsible for maintaining
+// history information for each component they monitor"; archiving that
+// history lets a restarted collector resume with warm prediction state
+// and lets experiments snapshot measurement campaigns. The format is the
+// same line-oriented style as the ASCII protocol:
+//
+//	HISTORYV1 <nKeys>
+//	SERIES <from> <to> <nSamples>
+//	<unixNano> <bits>
+//	...
+//	END
+
+// Archive writes the whole store to w.
+func (h *History) Archive(w io.Writer) error {
+	snap := h.Snapshot()
+	keys := make([]HistKey, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "HISTORYV1 %d\n", len(keys))
+	for _, k := range keys {
+		ss := snap[k]
+		fmt.Fprintf(bw, "SERIES %s %s %d\n", k.From, k.To, len(ss))
+		for _, s := range ss {
+			fmt.Fprintf(bw, "%d %g\n", s.T.UnixNano(), s.Bits)
+		}
+	}
+	fmt.Fprintln(bw, "END")
+	return bw.Flush()
+}
+
+// ReadHistory parses an archive produced by Archive into a new store with
+// the given per-key capacity (0 for the default).
+func ReadHistory(r io.Reader, capPerKey int) (*History, error) {
+	h := NewHistory(capPerKey)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("collector: empty history archive")
+	}
+	var nk int
+	if _, err := fmt.Sscanf(sc.Text(), "HISTORYV1 %d", &nk); err != nil {
+		return nil, fmt.Errorf("collector: bad archive header %q", sc.Text())
+	}
+	for i := 0; i < nk; i++ {
+		if !sc.Scan() {
+			return nil, io.ErrUnexpectedEOF
+		}
+		f := strings.Fields(sc.Text())
+		if len(f) != 4 || f[0] != "SERIES" {
+			return nil, fmt.Errorf("collector: bad series line %q", sc.Text())
+		}
+		n, err := strconv.Atoi(f[3])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("collector: bad sample count %q", f[3])
+		}
+		k := HistKey{From: f[1], To: f[2]}
+		for j := 0; j < n; j++ {
+			if !sc.Scan() {
+				return nil, io.ErrUnexpectedEOF
+			}
+			sf := strings.Fields(sc.Text())
+			if len(sf) != 2 {
+				return nil, fmt.Errorf("collector: bad sample line %q", sc.Text())
+			}
+			ns, err1 := strconv.ParseInt(sf[0], 10, 64)
+			bits, err2 := strconv.ParseFloat(sf[1], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("collector: bad sample %q", sc.Text())
+			}
+			h.Add(k, Sample{T: time.Unix(0, ns), Bits: bits})
+		}
+	}
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != "END" {
+		return nil, fmt.Errorf("collector: missing archive trailer")
+	}
+	return h, nil
+}
+
+func sortKeys(keys []HistKey) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && lessKey(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+func lessKey(a, b HistKey) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}

@@ -1,0 +1,472 @@
+package snmpcoll
+
+import (
+	"fmt"
+	"net/netip"
+
+	"remos/internal/collector"
+	"remos/internal/collector/bridgecoll"
+	"remos/internal/mib"
+	"remos/internal/snmp"
+	"remos/internal/topology"
+)
+
+// Collect implements collector.Interface.
+func (c *Collector) Collect(q collector.Query) (*collector.Result, error) {
+	res, _, err := c.CollectWithStats(q)
+	return res, err
+}
+
+// CollectWithStats answers a query and reports its SNMP cost — requests
+// sent and total round-trip time — which the scalability experiments use
+// as the query response time.
+func (c *Collector) CollectWithStats(q collector.Query) (*collector.Result, QueryStats, error) {
+	meter := &snmp.Meter{}
+	cl := c.client(meter)
+	b := newBuild(c, cl)
+
+	if len(q.Hosts) == 0 {
+		return nil, QueryStats{}, fmt.Errorf("snmpcoll: empty query")
+	}
+	// Discover the union of pairwise paths. The route cache makes this
+	// effectively linear in the number of new hosts even though it
+	// iterates pairs (the naive algorithm's worst case is O(N²); this
+	// is the optimization the paper alludes to).
+	for i := 0; i < len(q.Hosts); i++ {
+		for j := i + 1; j < len(q.Hosts); j++ {
+			if err := b.addPath(q.Hosts[i], q.Hosts[j]); err != nil {
+				return nil, QueryStats{}, fmt.Errorf("snmpcoll: path %v-%v: %w", q.Hosts[i], q.Hosts[j], err)
+			}
+		}
+	}
+	if len(q.Hosts) == 1 {
+		if err := b.addHostOnly(q.Hosts[0]); err != nil {
+			return nil, QueryStats{}, err
+		}
+	}
+
+	// Per-query validation of every cached device involved (reboot and
+	// liveness check) — the warm-cache query cost.
+	for _, ri := range b.routersUsed {
+		if err := c.validateRouter(cl, ri); err != nil {
+			return nil, QueryStats{}, err
+		}
+	}
+
+	// Annotate utilization from monitoring history, registering any
+	// unmonitored links for the poller; registration performs the
+	// initial counter read.
+	cold := c.annotate(cl, b)
+
+	res := &collector.Result{Graph: b.g}
+	if q.WithHistory {
+		res.History = c.hist.Snapshot()
+	}
+	if q.WithPredictions {
+		res.Predictions = c.predictions()
+	}
+	reqs, rtt := meter.Snapshot()
+	c.mu.Lock()
+	c.queriesServed++
+	c.mu.Unlock()
+	return res, QueryStats{Requests: reqs, RTT: rtt, ColdStart: cold}, nil
+}
+
+// build accumulates one query's graph.
+type build struct {
+	c  *Collector
+	cl *snmp.Client
+	g  *topology.Graph
+
+	routersUsed map[netip.Addr]*routerInfo
+	linkPolls   map[string]pollReg // link key -> poll registration
+	verified    map[netip.Addr]bool
+	l2Attached  map[netip.Addr]bool // hosts already connected via an L2 path
+	connected   map[string]bool     // node-ID pairs already joined (possibly multi-hop)
+}
+
+type pollReg struct {
+	agent       netip.Addr
+	ifIndex     int
+	from, to    string
+	outIsFromTo bool
+}
+
+func newBuild(c *Collector, cl *snmp.Client) *build {
+	return &build{
+		c:           c,
+		cl:          cl,
+		g:           topology.NewGraph(),
+		routersUsed: make(map[netip.Addr]*routerInfo),
+		linkPolls:   make(map[string]pollReg),
+		verified:    make(map[netip.Addr]bool),
+		l2Attached:  make(map[netip.Addr]bool),
+		connected:   make(map[string]bool),
+	}
+}
+
+func linkKey(a, b string) string {
+	if a < b {
+		return a + "|" + b
+	}
+	return b + "|" + a
+}
+
+// ensureLink adds a link once per unordered pair, remembering its poll
+// point.
+func (b *build) ensureLink(l topology.Link, reg *pollReg) error {
+	key := linkKey(l.From, l.To)
+	if _, dup := b.linkPolls[key]; dup {
+		return nil
+	}
+	if _, err := b.g.AddLink(l); err != nil {
+		return err
+	}
+	if reg != nil {
+		b.linkPolls[key] = *reg
+	} else {
+		b.linkPolls[key] = pollReg{}
+	}
+	return nil
+}
+
+// addHostOnly places a lone queried host in the graph.
+func (b *build) addHostOnly(h netip.Addr) error {
+	b.g.AddNode(topology.Node{ID: h.String(), Kind: topology.HostNode, Addr: h.String()})
+	return b.verifyHost(h)
+}
+
+// resolveMAC resolves a host's MAC: from the static ARP cache, by an SNMP
+// ipNetToMedia lookup at the host's gateway router, or from configuration.
+// The result is cached — it is part of the collector's static state
+// (dropped by DropCaches, kept by DropDynamic).
+func (b *build) resolveMAC(h netip.Addr) (collector.MAC, bool) {
+	b.c.mu.Lock()
+	mac, ok := b.c.arp[h]
+	b.c.mu.Unlock()
+	if ok && !b.c.cfg.DisableRouteCache {
+		return mac, true
+	}
+	if gw, okGw := b.c.cfg.GatewayOf(h); okGw {
+		if ri, err := b.c.routerFor(b.cl, gw); err == nil {
+			if e, okR := ri.lpm(h); okR {
+				ip4 := h.As4()
+				oid := mib.IPNetToMediaPhys.Append(uint32(e.ifIndex),
+					uint32(ip4[0]), uint32(ip4[1]), uint32(ip4[2]), uint32(ip4[3]))
+				if v, err := b.cl.GetOne(gw.String(), oid); err == nil {
+					if m, okM := collector.MACFromBytes(v.Bytes); okM {
+						b.c.mu.Lock()
+						b.c.arp[h] = m
+						b.c.mu.Unlock()
+						return m, true
+					}
+				}
+			}
+		}
+	}
+	if b.c.cfg.ResolveMAC != nil {
+		if m, okC := b.c.cfg.ResolveMAC(h); okC {
+			b.c.mu.Lock()
+			b.c.arp[h] = m
+			b.c.mu.Unlock()
+			return m, true
+		}
+	}
+	return collector.MAC{}, false
+}
+
+// verifyHost performs the per-query host location check through the
+// Bridge Collector (one SNMP Get when the location is already believed).
+func (b *build) verifyHost(h netip.Addr) error {
+	if b.verified[h] {
+		return nil
+	}
+	b.verified[h] = true
+	if b.c.cfg.Bridge == nil {
+		return nil
+	}
+	mac, ok := b.resolveMAC(h)
+	if !ok {
+		return nil
+	}
+	// Unknown stations are outside the bridge domain; fine.
+	sw, port, known := b.c.cfg.Bridge.Locate(mac)
+	if !known {
+		return nil
+	}
+	// One Get of the station's forwarding entry on the bridge it is
+	// believed to be attached to — the cheap location check, issued on
+	// this query's metered client so it counts toward query time.
+	v, err := b.cl.GetOne(sw.String(), mib.Dot1dTpFdbPort.Append(mac.OIDSuffix()...))
+	if err == nil && int(v.Int) == port {
+		return nil
+	}
+	// The station moved (or the bridge lost it): have the Bridge
+	// Collector resynchronize its database.
+	_, _, err = b.c.cfg.Bridge.SearchStation(mac)
+	return err
+}
+
+// addPath discovers and adds the full path between two hosts.
+func (b *build) addPath(src, dst netip.Addr) error {
+	for _, h := range []netip.Addr{src, dst} {
+		b.g.AddNode(topology.Node{ID: h.String(), Kind: topology.HostNode, Addr: h.String()})
+		if err := b.verifyHost(h); err != nil {
+			return err
+		}
+	}
+	// Same level-2 domain? Then the whole path is bridged. If both
+	// endpoints are already attached to the bridged portion of this
+	// query's graph, the connecting path is already present (bridged
+	// topologies are trees) — this is the route-caching optimization
+	// that keeps large-N queries from exploring all O(N²) pairs.
+	if b.c.cfg.Bridge != nil {
+		ms, okS := b.resolveMAC(src)
+		md, okD := b.resolveMAC(dst)
+		if okS && okD {
+			dS, okDS := b.c.cfg.Bridge.Domain(ms)
+			dD, okDD := b.c.cfg.Bridge.Domain(md)
+			if okDS && okDD && dS == dD && b.l2Attached[src] && b.l2Attached[dst] {
+				return nil
+			}
+			if segs, err := b.c.cfg.Bridge.Path(ms, md); err == nil {
+				if err := b.addL2Segments(segs, src.String(), dst.String()); err != nil {
+					return err
+				}
+				b.l2Attached[src] = true
+				b.l2Attached[dst] = true
+				return nil
+			}
+		}
+	}
+	// Routed: follow from src's gateway.
+	gw, ok := b.c.cfg.GatewayOf(src)
+	if !ok {
+		return fmt.Errorf("no gateway configured for %v", src)
+	}
+	chain, err := b.routerChain(gw, dst)
+	if err != nil {
+		return err
+	}
+	// Attach src to the first router over level 2.
+	if err := b.attachHostToRouter(src, chain[0]); err != nil {
+		return err
+	}
+	// Router-to-router hops.
+	for i := 0; i+1 < len(chain); i++ {
+		if err := b.addRouterHop(chain[i], chain[i+1], dst); err != nil {
+			return err
+		}
+	}
+	// Attach dst to the last router.
+	return b.attachHostToRouter(dst, chain[len(chain)-1])
+}
+
+// routerChain follows routes hop-to-hop from the start router toward dst,
+// returning the router addresses traversed. Cached per (start, dst).
+func (b *build) routerChain(start, dst netip.Addr) ([]netip.Addr, error) {
+	ck := chainKey{start: start, dst: dst}
+	b.c.mu.Lock()
+	cached, ok := b.c.chains[ck]
+	b.c.mu.Unlock()
+	if ok && !b.c.cfg.DisableRouteCache {
+		for _, r := range cached {
+			if err := b.useRouter(r); err != nil {
+				return nil, err
+			}
+		}
+		return cached, nil
+	}
+	var chain []netip.Addr
+	cur := start
+	for hops := 0; ; hops++ {
+		if hops > 32 {
+			return nil, fmt.Errorf("route loop toward %v", dst)
+		}
+		chain = append(chain, cur)
+		if err := b.useRouter(cur); err != nil {
+			return nil, err
+		}
+		ri := b.routersUsed[cur]
+		e, ok := ri.lpm(dst)
+		if !ok {
+			return nil, fmt.Errorf("router %v has no route to %v", cur, dst)
+		}
+		if !e.nextHop.IsValid() {
+			break // directly connected: dst is on this router's segment
+		}
+		cur = e.nextHop
+	}
+	b.c.mu.Lock()
+	b.c.chains[ck] = chain
+	b.c.mu.Unlock()
+	return chain, nil
+}
+
+// useRouter ensures a router's tables are loaded and tracked this query.
+// The graph node is keyed by the router's canonical identity (sysName),
+// so a router contacted under several of its addresses appears once.
+func (b *build) useRouter(addr netip.Addr) error {
+	if _, ok := b.routersUsed[addr]; ok {
+		return nil
+	}
+	ri, err := b.c.routerFor(b.cl, addr)
+	if err != nil {
+		return err
+	}
+	b.routersUsed[addr] = ri
+	if b.g.Node(ri.nodeID()) == nil {
+		b.g.AddNode(topology.Node{ID: ri.nodeID(), Kind: topology.RouterNode, Addr: ri.addr.String()})
+	}
+	return nil
+}
+
+// attachHostToRouter adds the host-to-gateway connection: through the
+// Bridge Collector's level-2 path when available (using the router's own
+// interface MAC on the host's segment, from its ifPhysAddress table),
+// otherwise through a virtual switch — the paper's representation for
+// shared Ethernets and segments the collector cannot see inside.
+func (b *build) attachHostToRouter(h, r netip.Addr) error {
+	ri := b.routersUsed[r]
+	rtrID := r.String()
+	if ri != nil {
+		rtrID = ri.nodeID()
+	}
+	hostID := h.String()
+	if b.connected[linkKey(hostID, rtrID)] {
+		return nil
+	}
+	if b.c.cfg.Bridge != nil && ri != nil {
+		if mh, okH := b.resolveMAC(h); okH {
+			if e, okR := ri.lpm(h); okR {
+				if mr, okM := ri.macByIf[e.ifIndex]; okM {
+					if segs, err := b.c.cfg.Bridge.Path(mh, mr); err == nil {
+						b.connected[linkKey(hostID, rtrID)] = true
+						return b.addL2Segments(segs, hostID, rtrID)
+					}
+				}
+			}
+		}
+	}
+	// Virtual switch fallback: host -- vswitch -- router, capacity from
+	// the router's interface speed toward the host.
+	speed := 0.0
+	if ri != nil {
+		if e, ok := ri.lpm(h); ok {
+			speed = ri.ifSpeed[e.ifIndex]
+		}
+	}
+	vID := "v:" + rtrID
+	if b.g.Node(vID) == nil {
+		b.g.AddNode(topology.Node{ID: vID, Kind: topology.VirtualNode})
+	}
+	if err := b.ensureLink(topology.Link{From: hostID, To: vID, Capacity: speed}, nil); err != nil {
+		return err
+	}
+	b.connected[linkKey(hostID, rtrID)] = true
+	// Router side of the virtual switch is pollable on the router.
+	var reg *pollReg
+	if ri != nil {
+		if e, ok := ri.lpm(h); ok {
+			reg = &pollReg{agent: r, ifIndex: e.ifIndex, from: rtrID, to: vID, outIsFromTo: true}
+		}
+	}
+	return b.ensureLink(topology.Link{From: rtrID, To: vID, Capacity: speed}, reg)
+}
+
+// addL2Segments folds Bridge Collector path segments into the graph,
+// renaming the station endpoints to the given IDs and registering each
+// segment's poll point.
+func (b *build) addL2Segments(segs []bridgecoll.Segment, fromID, toID string) error {
+	for i, s := range segs {
+		f, t := s.FromID, s.ToID
+		if i == 0 {
+			f = fromID
+		}
+		if i == len(segs)-1 {
+			t = toID
+		}
+		// Interior IDs are switch management addresses: add nodes.
+		for _, n := range []struct {
+			id    string
+			first bool
+		}{{f, i == 0}, {t, i == len(segs)-1}} {
+			if b.g.Node(n.id) == nil {
+				kind := topology.SwitchNode
+				addr := n.id
+				b.g.AddNode(topology.Node{ID: n.id, Kind: kind, Addr: addr})
+			}
+		}
+		reg := &pollReg{
+			agent:   s.PollSwitch,
+			ifIndex: s.PollPort,
+			from:    f,
+			to:      t,
+			// When the polled port is at the From end, its out
+			// octets measure From->To.
+			outIsFromTo: s.PollIsFrom,
+		}
+		if err := b.ensureLink(topology.Link{From: f, To: t, Capacity: s.Capacity}, reg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addRouterHop connects two adjacent routers: through the bridged segment
+// between them when the Bridge Collector covers it (the egress interface
+// MAC comes from the router's own ifPhysAddress, the next hop's from the
+// router's ARP table), otherwise as a direct link. The egress interface
+// speed gives the capacity and the egress interface is the poll point.
+func (b *build) addRouterHop(a, bAddr netip.Addr, dst netip.Addr) error {
+	riA := b.routersUsed[a]
+	riB := b.routersUsed[bAddr]
+	aID, bID := riA.nodeID(), riB.nodeID()
+	if b.connected[linkKey(aID, bID)] {
+		return nil
+	}
+	e, ok := riA.lpm(dst)
+	if !ok {
+		return fmt.Errorf("router %v lost its route to %v", a, dst)
+	}
+	if b.c.cfg.Bridge != nil {
+		ma, okA := riA.macByIf[e.ifIndex]
+		mb, okB := b.arpLookup(a, riA, e.ifIndex, bAddr)
+		if okA && okB {
+			if segs, err := b.c.cfg.Bridge.Path(ma, mb); err == nil {
+				b.connected[linkKey(aID, bID)] = true
+				return b.addL2Segments(segs, aID, bID)
+			}
+		}
+	}
+	speed := riA.ifSpeed[e.ifIndex]
+	b.connected[linkKey(aID, bID)] = true
+	reg := &pollReg{agent: a, ifIndex: e.ifIndex, from: aID, to: bID, outIsFromTo: true}
+	return b.ensureLink(topology.Link{From: aID, To: bID, Capacity: speed}, reg)
+}
+
+// arpLookup resolves target's MAC through the ARP table of the router at
+// via (interface ifIndex), with the collector-level ARP cache.
+func (b *build) arpLookup(via netip.Addr, ri *routerInfo, ifIndex int, target netip.Addr) (collector.MAC, bool) {
+	b.c.mu.Lock()
+	mac, ok := b.c.arp[target]
+	b.c.mu.Unlock()
+	if ok && !b.c.cfg.DisableRouteCache {
+		return mac, true
+	}
+	ip4 := target.As4()
+	oid := mib.IPNetToMediaPhys.Append(uint32(ifIndex),
+		uint32(ip4[0]), uint32(ip4[1]), uint32(ip4[2]), uint32(ip4[3]))
+	v, err := b.cl.GetOne(via.String(), oid)
+	if err != nil {
+		return collector.MAC{}, false
+	}
+	m, okM := collector.MACFromBytes(v.Bytes)
+	if !okM {
+		return collector.MAC{}, false
+	}
+	b.c.mu.Lock()
+	b.c.arp[target] = m
+	b.c.mu.Unlock()
+	return m, true
+}

@@ -1,0 +1,181 @@
+package snmpcoll
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/mib"
+	"remos/internal/snmp"
+)
+
+// annotate fills each graph link's utilization from history, registering
+// poll points for links not yet monitored. It reports whether any link was
+// cold (registered just now, so utilization is not yet available).
+func (c *Collector) annotate(cl *snmp.Client, b *build) (coldStart bool) {
+	for _, l := range b.g.Links() {
+		reg, ok := b.linkPolls[linkKey(l.From, l.To)]
+		if !ok || !reg.agent.IsValid() {
+			continue // unmeasurable link (virtual host side)
+		}
+		kFwd := collector.HistKey{From: reg.from, To: reg.to}
+		kRev := collector.HistKey{From: reg.to, To: reg.from}
+		sFwd, okF := c.hist.Latest(kFwd)
+		sRev, okR := c.hist.Latest(kRev)
+		if okF || okR {
+			// Orient onto the link (reg.from/to may be swapped
+			// relative to l.From/To).
+			fwd, rev := sFwd.Bits, sRev.Bits
+			if l.From != reg.from {
+				fwd, rev = rev, fwd
+			}
+			l.UtilFromTo = fwd
+			l.UtilToFrom = rev
+		}
+		c.mu.Lock()
+		mk := monitorKey{agent: reg.agent, ifIndex: reg.ifIndex}
+		_, monitored := c.monitors[mk]
+		if !monitored {
+			p := &pollPoint{
+				agent:       reg.agent,
+				ifIndex:     reg.ifIndex,
+				from:        reg.from,
+				to:          reg.to,
+				outIsFromTo: reg.outIsFromTo,
+			}
+			c.monitors[mk] = p
+			c.mu.Unlock()
+			coldStart = true
+			// Initial baseline read so the first poll yields a
+			// delta one interval from now.
+			c.readCounters(cl, p)
+			continue
+		}
+		c.mu.Unlock()
+		if !okF && !okR {
+			coldStart = true // monitored, but no delta yet
+		}
+	}
+	return coldStart
+}
+
+// readCounters reads a poll point's octet counters once, recording a
+// utilization sample when a previous baseline exists.
+func (c *Collector) readCounters(cl *snmp.Client, p *pollPoint) {
+	now := c.now()
+	vbs, err := cl.Get(p.agent.String(),
+		mib.IfInOctets.Append(uint32(p.ifIndex)),
+		mib.IfOutOctets.Append(uint32(p.ifIndex)))
+	if err != nil {
+		p.havePrev = false // device unreachable; resync next time
+		return
+	}
+	var in, out uint32
+	for _, vb := range vbs {
+		if vb.Value.Kind != snmp.KindCounter32 {
+			p.havePrev = false
+			return
+		}
+		if vb.Name.HasPrefix(mib.IfInOctets) {
+			in = uint32(vb.Value.Int)
+		} else {
+			out = uint32(vb.Value.Int)
+		}
+	}
+	if p.havePrev {
+		dt := now.Sub(p.prevAt).Seconds()
+		if dt > 0 {
+			dIn := uint32(in - p.prevIn) // wraps correctly in uint32
+			dOut := uint32(out - p.prevOut)
+			// A counter moving backwards by more than half the range
+			// is a device reset, not a wrap: resynchronize instead of
+			// recording an absurd rate.
+			if dIn > 1<<31 || dOut > 1<<31 {
+				p.prevIn, p.prevOut, p.prevAt = in, out, now
+				return
+			}
+			inBits := float64(dIn) * 8 / dt
+			outBits := float64(dOut) * 8 / dt
+			fwdKey := collector.HistKey{From: p.from, To: p.to}
+			revKey := collector.HistKey{From: p.to, To: p.from}
+			fwdBits, revBits := outBits, inBits
+			if !p.outIsFromTo {
+				fwdBits, revBits = inBits, outBits
+			}
+			c.hist.Add(fwdKey, collector.Sample{T: now, Bits: fwdBits})
+			c.hist.Add(revKey, collector.Sample{T: now, Bits: revBits})
+			// Feed the directly attached streaming predictors
+			// (Section 2.3), when configured.
+			c.feedStream(fwdKey, fwdBits)
+			c.feedStream(revKey, revBits)
+		}
+	}
+	p.prevIn, p.prevOut, p.prevAt, p.havePrev = in, out, now, true
+}
+
+func (c *Collector) now() time.Time {
+	if c.cfg.Sched != nil {
+		return c.cfg.Sched.Now()
+	}
+	return time.Now()
+}
+
+// pollOnce reads every monitored interface — the periodic monitoring loop
+// ("by default, the utilization is monitored every five seconds").
+func (c *Collector) pollOnce() {
+	c.mu.Lock()
+	points := make([]*pollPoint, 0, len(c.monitors))
+	for _, p := range c.monitors {
+		points = append(points, p)
+	}
+	c.mu.Unlock()
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].agent != points[j].agent {
+			return points[i].agent.Less(points[j].agent)
+		}
+		return points[i].ifIndex < points[j].ifIndex
+	})
+	cl := c.client(nil)
+	for _, p := range points {
+		c.readCounters(cl, p)
+	}
+}
+
+// Monitored returns the number of interfaces under periodic monitoring.
+func (c *Collector) Monitored() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.monitors)
+}
+
+// Utilization returns the latest measured utilization for the directed
+// pair of node IDs, if any.
+func (c *Collector) Utilization(from, to string) (float64, bool) {
+	s, ok := c.hist.Latest(collector.HistKey{From: from, To: to})
+	return s.Bits, ok
+}
+
+// DropCaches clears the router, route, and monitoring caches — used by
+// experiments to produce the Fig 3 "cold" scenario on a running collector.
+func (c *Collector) DropCaches() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.routers = make(map[netip.Addr]*routerInfo)
+	c.chains = make(map[chainKey][]netip.Addr)
+	c.arp = make(map[netip.Addr]collector.MAC)
+	c.monitors = make(map[monitorKey]*pollPoint)
+	c.hist = collector.NewHistory(c.cfg.HistoryLen)
+	c.streams = make(map[collector.HistKey]*streamState)
+}
+
+// DropDynamic clears only the dynamic data (monitoring baselines and
+// history), keeping static topology caches — the Fig 3 "warm-bridge"
+// scenario (static warm, dynamic cold).
+func (c *Collector) DropDynamic() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.monitors = make(map[monitorKey]*pollPoint)
+	c.hist = collector.NewHistory(c.cfg.HistoryLen)
+	c.streams = make(map[collector.HistKey]*streamState)
+}

@@ -1,0 +1,385 @@
+// Package snmpcoll implements the Remos SNMP Collector (Section 3.1.1):
+// it discovers the routed topology between queried hosts by following
+// routes hop-to-hop through router route tables, learns link capacities
+// from interface tables, periodically monitors utilization through octet
+// counters, aggressively caches everything it learns, and represents
+// unreachable regions and shared segments with virtual switches.
+//
+// Level-2 detail inside switched segments comes from a Bridge Collector
+// when one is attached, exactly as in the paper.
+package snmpcoll
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/collector/bridgecoll"
+	"remos/internal/mib"
+	"remos/internal/rps"
+	"remos/internal/sim"
+	"remos/internal/snmp"
+)
+
+// Config configures an SNMP Collector.
+type Config struct {
+	// Name identifies the collector (e.g. "snmp-cmu").
+	Name string
+	// Transport and Community configure SNMP access.
+	Transport snmp.Transport
+	Community string
+	// Sched drives periodic polling.
+	Sched sim.Scheduler
+	// GatewayOf returns the configured first-hop router for a host —
+	// "the routers they are configured to use" in the paper's words.
+	GatewayOf func(netip.Addr) (netip.Addr, bool)
+	// ResolveMAC maps a host or router address to its MAC for level-2
+	// lookups (ARP knowledge).
+	ResolveMAC func(netip.Addr) (collector.MAC, bool)
+	// Bridge optionally supplies level-2 paths within switched
+	// segments.
+	Bridge *bridgecoll.Collector
+	// PollInterval is the utilization monitoring period (default 5s,
+	// the paper's default).
+	PollInterval time.Duration
+	// HistoryLen bounds per-link measurement history (default 512).
+	HistoryLen int
+	// DisableRouteCache turns off route and router-table caching, the
+	// ablation knob behind the Fig 3 cold/warm comparison.
+	DisableRouteCache bool
+
+	// StreamPredict, when set to an RPS model spec (e.g. "AR(16)"),
+	// attaches a streaming predictor to every monitored link direction:
+	// the Section 2.3 configuration where predictions are computed at
+	// the collector and shared across consumers. Empty disables.
+	StreamPredict string
+	// StreamMinFit is the history length required before fitting
+	// (default 64 samples).
+	StreamMinFit int
+	// StreamHorizon is how many steps ahead streaming predictions run
+	// (default 8).
+	StreamHorizon int
+}
+
+// routerInfo caches what has been learned about one router.
+type routerInfo struct {
+	addr    netip.Addr
+	sysName string
+	upTime  uint32 // ticks at cache fill, for reboot detection
+	routes  []routeEntry
+	ifSpeed map[int]float64
+	// addrByIf and macByIf come from ipAddrTable and ifPhysAddress:
+	// every address the router holds and each interface's MAC. They let
+	// the collector recognize one router contacted under several
+	// addresses and find its attachment points on bridged segments.
+	addrByIf map[int]netip.Addr
+	macByIf  map[int]collector.MAC
+}
+
+// nodeID is the canonical graph identity of the router: its sysName,
+// which stays stable no matter which address the collector contacted.
+func (ri *routerInfo) nodeID() string {
+	if ri.sysName != "" {
+		return ri.sysName
+	}
+	return ri.addr.String()
+}
+
+type routeEntry struct {
+	prefix  netip.Prefix
+	nextHop netip.Addr // invalid = directly connected
+	ifIndex int
+}
+
+// pollPoint is one monitored interface: the device and ifIndex polled,
+// and the directed graph link it measures.
+type pollPoint struct {
+	agent   netip.Addr
+	ifIndex int
+	from    string // node ID at the polled port's end
+	to      string
+	// outIsFromTo: the port's out-octets measure from->to traffic.
+	outIsFromTo bool
+
+	prevIn   uint32
+	prevOut  uint32
+	prevAt   time.Time
+	havePrev bool
+}
+
+// QueryStats reports the SNMP cost of one Collect call — the quantity
+// Figure 3 plots as query response time.
+type QueryStats struct {
+	Requests int
+	RTT      time.Duration
+	// ColdStart reports whether the query had to start monitoring links
+	// that had no utilization history yet; such a query's usable answer
+	// arrives only after one poll interval.
+	ColdStart bool
+}
+
+// Collector is a running SNMP Collector.
+type Collector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	routers  map[netip.Addr]*routerInfo
+	chains   map[chainKey][]netip.Addr // route cache: first router + dst -> router chain
+	arp      map[netip.Addr]collector.MAC
+	monitors map[monitorKey]*pollPoint
+	hist     *collector.History
+	streams  map[collector.HistKey]*streamState
+	poller   *sim.Timer
+
+	queriesServed int
+}
+
+type chainKey struct {
+	start netip.Addr
+	dst   netip.Addr
+}
+
+type monitorKey struct {
+	agent   netip.Addr
+	ifIndex int
+}
+
+// New creates an SNMP Collector and starts its periodic poller.
+func New(cfg Config) *Collector {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 5 * time.Second
+	}
+	c := &Collector{
+		cfg:      cfg,
+		routers:  make(map[netip.Addr]*routerInfo),
+		chains:   make(map[chainKey][]netip.Addr),
+		arp:      make(map[netip.Addr]collector.MAC),
+		monitors: make(map[monitorKey]*pollPoint),
+		hist:     collector.NewHistory(cfg.HistoryLen),
+		streams:  make(map[collector.HistKey]*streamState),
+	}
+	if cfg.StreamPredict != "" {
+		if _, err := rps.ParseFitter(cfg.StreamPredict); err != nil {
+			panic(fmt.Sprintf("snmpcoll: bad StreamPredict spec %q: %v", cfg.StreamPredict, err))
+		}
+	}
+	if cfg.Sched != nil {
+		c.poller = cfg.Sched.Every(cfg.PollInterval, c.pollOnce)
+	}
+	return c
+}
+
+// Name implements collector.Interface.
+func (c *Collector) Name() string {
+	if c.cfg.Name != "" {
+		return c.cfg.Name
+	}
+	return "snmp"
+}
+
+// Stop halts periodic polling.
+func (c *Collector) Stop() {
+	if c.poller != nil {
+		c.poller.Stop()
+	}
+}
+
+// client builds a client around the shared transport with the given meter.
+func (c *Collector) client(m *snmp.Meter) *snmp.Client {
+	cl := snmp.NewClient(c.cfg.Transport, c.cfg.Community)
+	cl.Meter = m
+	return cl
+}
+
+// PollInterval returns the monitoring period.
+func (c *Collector) PollInterval() time.Duration { return c.cfg.PollInterval }
+
+// History exposes the measurement history store (for prediction services).
+func (c *Collector) History() *collector.History { return c.hist }
+
+// fetchRouter walks one router's route table and interface speeds.
+func (c *Collector) fetchRouter(cl *snmp.Client, addr netip.Addr) (*routerInfo, error) {
+	a := addr.String()
+	ri := &routerInfo{
+		addr:     addr,
+		ifSpeed:  make(map[int]float64),
+		addrByIf: make(map[int]netip.Addr),
+		macByIf:  make(map[int]collector.MAC),
+	}
+	vbs, err := cl.Get(a, mib.SysName, mib.SysUpTime)
+	if err != nil {
+		return nil, err
+	}
+	for _, vb := range vbs {
+		switch {
+		case vb.Name.Cmp(mib.SysName) == 0:
+			ri.sysName = string(vb.Value.Bytes)
+		case vb.Name.Cmp(mib.SysUpTime) == 0:
+			ri.upTime = uint32(vb.Value.Int)
+		}
+	}
+	// Route table: collect dest, mask, next hop, ifIndex column walks.
+	type parsed struct {
+		maskLen int
+		nextHop netip.Addr
+		ifIndex int
+	}
+	dests := map[netip.Addr]*parsed{}
+	order := []netip.Addr{}
+	col := func(root snmp.OID, fn func(e *parsed, v snmp.Value)) error {
+		return cl.BulkWalk(a, root, 32, func(o snmp.OID, v snmp.Value) bool {
+			if len(o) < 4 {
+				return true
+			}
+			ip := netip.AddrFrom4([4]byte{byte(o[len(o)-4]), byte(o[len(o)-3]), byte(o[len(o)-2]), byte(o[len(o)-1])})
+			e := dests[ip]
+			if e == nil {
+				e = &parsed{maskLen: 24}
+				dests[ip] = e
+				order = append(order, ip)
+			}
+			fn(e, v)
+			return true
+		})
+	}
+	if err := col(mib.IPRouteDest, func(e *parsed, v snmp.Value) {}); err != nil {
+		return nil, err
+	}
+	if err := col(mib.IPRouteMask, func(e *parsed, v snmp.Value) {
+		if len(v.Bytes) == 4 {
+			e.maskLen = maskBits([4]byte{v.Bytes[0], v.Bytes[1], v.Bytes[2], v.Bytes[3]})
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if err := col(mib.IPRouteNext, func(e *parsed, v snmp.Value) {
+		if len(v.Bytes) == 4 {
+			nh := netip.AddrFrom4([4]byte{v.Bytes[0], v.Bytes[1], v.Bytes[2], v.Bytes[3]})
+			if nh != netip.AddrFrom4([4]byte{0, 0, 0, 0}) {
+				e.nextHop = nh
+			}
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if err := col(mib.IPRouteIfIdx, func(e *parsed, v snmp.Value) {
+		e.ifIndex = int(v.Int)
+	}); err != nil {
+		return nil, err
+	}
+	for _, ip := range order {
+		e := dests[ip]
+		ri.routes = append(ri.routes, routeEntry{
+			prefix:  netip.PrefixFrom(ip, e.maskLen),
+			nextHop: e.nextHop,
+			ifIndex: e.ifIndex,
+		})
+	}
+	if err := cl.BulkWalk(a, mib.IfSpeed, 16, func(o snmp.OID, v snmp.Value) bool {
+		ri.ifSpeed[int(o[len(o)-1])] = float64(v.Int)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if err := cl.BulkWalk(a, mib.IfPhysAddr, 16, func(o snmp.OID, v snmp.Value) bool {
+		if m, ok := collector.MACFromBytes(v.Bytes); ok {
+			ri.macByIf[int(o[len(o)-1])] = m
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	if err := cl.BulkWalk(a, mib.IPAdEntIfIndex, 16, func(o snmp.OID, v snmp.Value) bool {
+		if len(o) < 4 {
+			return true
+		}
+		ip := netip.AddrFrom4([4]byte{byte(o[len(o)-4]), byte(o[len(o)-3]), byte(o[len(o)-2]), byte(o[len(o)-1])})
+		ri.addrByIf[int(v.Int)] = ip
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return ri, nil
+}
+
+func maskBits(m [4]byte) int {
+	bits := 0
+	for _, b := range m {
+		for i := 7; i >= 0; i-- {
+			if b&(1<<i) != 0 {
+				bits++
+			} else {
+				return bits
+			}
+		}
+	}
+	return bits
+}
+
+// routerFor returns a (possibly cached) router view; caching is skipped
+// when the ablation knob disables it.
+func (c *Collector) routerFor(cl *snmp.Client, addr netip.Addr) (*routerInfo, error) {
+	c.mu.Lock()
+	ri, ok := c.routers[addr]
+	c.mu.Unlock()
+	if ok && !c.cfg.DisableRouteCache {
+		return ri, nil
+	}
+	ri, err := c.fetchRouter(cl, addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.routers[addr] = ri
+	c.mu.Unlock()
+	return ri, nil
+}
+
+// validateRouter performs the cheap per-query liveness/reboot check on a
+// cached router: one sysUpTime read. A reboot (uptime going backwards)
+// invalidates the cached tables and the counter baselines for that
+// device and refreshes them; the query proceeds on fresh data. An
+// unreachable agent is an error.
+func (c *Collector) validateRouter(cl *snmp.Client, ri *routerInfo) error {
+	v, err := cl.GetOne(ri.addr.String(), mib.SysUpTime)
+	if err != nil {
+		return fmt.Errorf("snmpcoll: router %v unreachable: %w", ri.addr, err)
+	}
+	if uint32(v.Int) >= ri.upTime {
+		ri.upTime = uint32(v.Int)
+		return nil
+	}
+	// Rebooted: drop what we believed about it and re-learn.
+	c.mu.Lock()
+	delete(c.routers, ri.addr)
+	for _, p := range c.monitors {
+		if p.agent == ri.addr {
+			p.havePrev = false
+		}
+	}
+	c.mu.Unlock()
+	fresh, err := c.fetchRouter(cl, ri.addr)
+	if err != nil {
+		return fmt.Errorf("snmpcoll: refreshing rebooted router %v: %w", ri.addr, err)
+	}
+	c.mu.Lock()
+	c.routers[ri.addr] = fresh
+	c.mu.Unlock()
+	*ri = *fresh
+	return nil
+}
+
+// lpm finds the longest-prefix route for dst in a cached router table.
+func (ri *routerInfo) lpm(dst netip.Addr) (routeEntry, bool) {
+	best := -1
+	var out routeEntry
+	for _, e := range ri.routes {
+		if e.prefix.Contains(dst) && e.prefix.Bits() > best {
+			best = e.prefix.Bits()
+			out = e
+		}
+	}
+	return out, best >= 0
+}

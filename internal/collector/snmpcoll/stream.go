@@ -1,0 +1,104 @@
+package snmpcoll
+
+import (
+	"remos/internal/collector"
+	"remos/internal/rps"
+)
+
+// Collector-side streaming prediction (Section 2.3): "streaming
+// predictors operate in tandem with collectors ... as each sample became
+// available, it would be fed to a directly attached streaming predictor.
+// The collector would then make these predictions available to modelers
+// that were interested." When Config.StreamPredict names an RPS model,
+// every monitored link direction gets a streaming predictor: fitted once
+// enough history has accumulated, then advanced per poll, amortizing the
+// fit over every consumer of every subsequent query.
+
+// streamState is one directed link's predictor.
+type streamState struct {
+	stream *rps.Stream
+	fed    int // samples fed since fitting
+}
+
+// feedStream advances (or lazily fits) the streaming predictor for one
+// history key with a fresh sample. Caller must NOT hold c.mu.
+func (c *Collector) feedStream(k collector.HistKey, v float64) {
+	if c.cfg.StreamPredict == "" {
+		return
+	}
+	c.mu.Lock()
+	st := c.streams[k]
+	c.mu.Unlock()
+	if st == nil {
+		// Enough history to fit?
+		hist := c.hist.Get(k)
+		if len(hist) < c.streamMinFit() {
+			return
+		}
+		fitter, err := rps.ParseFitter(c.cfg.StreamPredict)
+		if err != nil {
+			return // validated at construction; defensive
+		}
+		model, err := fitter.Fit(collector.Values(hist))
+		if err != nil {
+			return // degenerate history; retry on a later sample
+		}
+		st = &streamState{stream: rps.NewStream(model, c.streamHorizon())}
+		c.mu.Lock()
+		if existing := c.streams[k]; existing != nil {
+			st = existing // another poll raced us
+		} else {
+			c.streams[k] = st
+		}
+		c.mu.Unlock()
+		return // the fit consumed this sample via history
+	}
+	st.stream.Observe(v)
+	st.fed++
+}
+
+func (c *Collector) streamMinFit() int {
+	if c.cfg.StreamMinFit > 0 {
+		return c.cfg.StreamMinFit
+	}
+	return 64
+}
+
+func (c *Collector) streamHorizon() int {
+	if c.cfg.StreamHorizon > 0 {
+		return c.cfg.StreamHorizon
+	}
+	return 8
+}
+
+// predictions snapshots the current streaming forecasts for query results.
+func (c *Collector) predictions() map[collector.HistKey]collector.Forecast {
+	c.mu.Lock()
+	keys := make([]collector.HistKey, 0, len(c.streams))
+	states := make([]*streamState, 0, len(c.streams))
+	for k, st := range c.streams {
+		keys = append(keys, k)
+		states = append(states, st)
+	}
+	c.mu.Unlock()
+	out := make(map[collector.HistKey]collector.Forecast, len(keys))
+	for i, st := range states {
+		p, n := st.stream.Last()
+		if n == 0 || len(p.Values) == 0 {
+			continue
+		}
+		out[keys[i]] = collector.Forecast{
+			Values: append([]float64(nil), p.Values...),
+			ErrVar: append([]float64(nil), p.ErrVar...),
+		}
+	}
+	return out
+}
+
+// StreamCount reports how many link directions have live streaming
+// predictors (diagnostics and tests).
+func (c *Collector) StreamCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.streams)
+}

@@ -1,0 +1,211 @@
+package wirelesscoll
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/mib"
+	"remos/internal/netsim"
+	"remos/internal/sim"
+	"remos/internal/snmp"
+)
+
+// wlan builds a two-AP wireless LAN wired through a distribution switch:
+//
+//	laptop ~~~ ap1 --- dsw --- ap2 ~~~ tablet
+//	phone  ~~~ ap1
+type wlan struct {
+	s        *sim.Sim
+	n        *netsim.Network
+	wc       *Collector
+	ap1, ap2 *netsim.AccessPoint
+	d        map[string]*netsim.Device
+}
+
+func newWlan(t testing.TB, cfgMut func(*Config)) *wlan {
+	t.Helper()
+	s := sim.NewSim()
+	n := netsim.New(s)
+	d := map[string]*netsim.Device{
+		"laptop": n.AddHost("laptop"),
+		"phone":  n.AddHost("phone"),
+		"tablet": n.AddHost("tablet"),
+		"dsw":    n.AddSwitch("dsw"),
+		"uplink": n.AddHost("uplink"),
+	}
+	ap1 := n.AddAccessPoint("ap1")
+	ap2 := n.AddAccessPoint("ap2")
+	n.Connect(ap1.Dev, d["dsw"], 1e9, time.Millisecond)
+	n.Connect(ap2.Dev, d["dsw"], 1e9, time.Millisecond)
+	n.Connect(d["uplink"], d["dsw"], 1e9, time.Millisecond)
+	if _, err := ap1.Associate(d["laptop"], -52); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap1.Associate(d["phone"], -71); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap2.Associate(d["tablet"], -63); err != nil {
+		t.Fatal(err)
+	}
+	n.AssignSubnets()
+	n.ComputeRoutes()
+	reg := snmp.NewRegistry()
+	mib.AttachAll(n, reg)
+	cfg := Config{
+		Client: snmp.NewClient(&snmp.InProc{Registry: reg}, "public"),
+		Sched:  s,
+		APs:    []netip.Addr{ap1.Dev.ManagementAddr(), ap2.Dev.ManagementAddr()},
+	}
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	wc := New(cfg)
+	if err := wc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(wc.Stop)
+	return &wlan{s: s, n: n, wc: wc, ap1: ap1, ap2: ap2, d: d}
+}
+
+func macOf(d *netsim.Device) collector.MAC { return collector.MAC(d.Ifaces()[0].MAC) }
+
+func TestRateForRSSISteps(t *testing.T) {
+	if netsim.RateForRSSI(-50) != 54e6 {
+		t.Fatalf("strong signal rate %v", netsim.RateForRSSI(-50))
+	}
+	if netsim.RateForRSSI(-72) != 18e6 {
+		t.Fatalf("-72 dBm rate %v, want 18e6", netsim.RateForRSSI(-72))
+	}
+	if netsim.RateForRSSI(-95) != 0 {
+		t.Fatal("out-of-range signal should not associate")
+	}
+	// Monotone non-increasing as signal weakens.
+	prev := netsim.RateForRSSI(-40)
+	for rssi := -41; rssi >= -95; rssi-- {
+		r := netsim.RateForRSSI(rssi)
+		if r > prev {
+			t.Fatalf("rate increased as signal weakened at %d dBm", rssi)
+		}
+		prev = r
+	}
+}
+
+func TestAssociationsDiscovered(t *testing.T) {
+	w := newWlan(t, nil)
+	if got := len(w.wc.Stations()); got != 3 {
+		t.Fatalf("stations = %d, want 3", got)
+	}
+	ap, ok := w.wc.Locate(macOf(w.d["laptop"]))
+	if !ok || ap != w.ap1.Dev.ManagementAddr() {
+		t.Fatalf("laptop located at %v (ok=%v), want ap1", ap, ok)
+	}
+	rate, ok := w.wc.Rate(macOf(w.d["phone"]))
+	if !ok || rate != 18e6 {
+		t.Fatalf("phone rate %v (ok=%v), want 18e6 at -71 dBm", rate, ok)
+	}
+}
+
+func TestCollectGraphCarriesRadioRates(t *testing.T) {
+	w := newWlan(t, nil)
+	res, err := w.wc.Collect(collector.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 APs + 3 stations.
+	if len(res.Graph.Nodes()) != 5 || len(res.Graph.Links()) != 3 {
+		t.Fatalf("graph %d nodes %d links", len(res.Graph.Nodes()), len(res.Graph.Links()))
+	}
+	l := res.Graph.FindLink(StationID(macOf(w.d["laptop"])), w.ap1.Dev.ManagementAddr().String())
+	if l == nil || l.Capacity != 54e6 {
+		t.Fatalf("laptop radio link %+v, want 54e6", l)
+	}
+}
+
+func TestRoamDetected(t *testing.T) {
+	w := newWlan(t, nil)
+	var roamed collector.MAC
+	var from, to netip.Addr
+	w.wc.cfg.OnRoam = func(mac collector.MAC, f, tt netip.Addr) { roamed, from, to = mac, f, tt }
+	// The laptop walks over to ap2's cell.
+	if _, err := w.ap2.Associate(w.d["laptop"], -66); err != nil {
+		t.Fatal(err)
+	}
+	w.s.RunFor(6 * time.Second) // one monitor sweep
+	if roamed != macOf(w.d["laptop"]) {
+		t.Fatal("roam not detected")
+	}
+	if from != w.ap1.Dev.ManagementAddr() || to != w.ap2.Dev.ManagementAddr() {
+		t.Fatalf("roam %v -> %v, want ap1 -> ap2", from, to)
+	}
+	// Rate renegotiated for the weaker signal at ap2.
+	rate, _ := w.wc.Rate(macOf(w.d["laptop"]))
+	if rate != 24e6 {
+		t.Fatalf("post-roam rate %v, want 24e6 at -66 dBm", rate)
+	}
+}
+
+func TestRateChangeDetectedWithoutRoam(t *testing.T) {
+	w := newWlan(t, nil)
+	var gotOld, gotNew float64
+	w.wc.cfg.OnRateChange = func(_ collector.MAC, _ netip.Addr, o, nw float64) { gotOld, gotNew = o, nw }
+	// The phone's signal degrades in place.
+	if _, err := w.ap1.UpdateSignal(w.d["phone"], -82); err != nil {
+		t.Fatal(err)
+	}
+	w.s.RunFor(6 * time.Second)
+	if gotOld != 18e6 || gotNew != 9e6 {
+		t.Fatalf("rate change %v -> %v, want 18e6 -> 9e6", gotOld, gotNew)
+	}
+}
+
+func TestWirelessTrafficLimitedByRadioRate(t *testing.T) {
+	w := newWlan(t, nil)
+	// Phone at 24 Mbit/s radio: a transfer to the wired uplink is
+	// bottlenecked by the air link, not the gigabit wires.
+	f, err := w.n.StartFlow(w.d["phone"], w.d["uplink"], netsim.FlowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := f.Rate(); r != 18e6 {
+		t.Fatalf("flow rate %v, want radio-limited 18e6", r)
+	}
+}
+
+func TestAssociateTooWeakRejected(t *testing.T) {
+	w := newWlan(t, nil)
+	if _, err := w.ap2.Associate(w.d["phone"], -95); err == nil {
+		t.Fatal("association at -95 dBm accepted")
+	}
+}
+
+func TestCollectRequiresStart(t *testing.T) {
+	c := New(Config{})
+	if _, err := c.Collect(collector.Query{}); err == nil {
+		t.Fatal("Collect before Start succeeded")
+	}
+}
+
+func TestMobileStationKeepsConnectivityAcrossRoam(t *testing.T) {
+	w := newWlan(t, nil)
+	// Traffic before, during and after a roam: the path re-resolves.
+	tput1, _, err := w.n.Transfer(w.d["laptop"], w.d["uplink"], 1e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tput1-54e6) > 1e3 {
+		t.Fatalf("pre-roam throughput %v", tput1)
+	}
+	if _, err := w.ap2.Associate(w.d["laptop"], -78); err != nil {
+		t.Fatal(err)
+	}
+	tput2, _, err := w.n.Transfer(w.d["laptop"], w.d["uplink"], 1e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tput2-12e6) > 1e3 {
+		t.Fatalf("post-roam throughput %v, want 12e6 at -78 dBm", tput2)
+	}
+}

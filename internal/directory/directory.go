@@ -1,0 +1,179 @@
+// Package directory implements the service-location directory the Master
+// Collector uses to find the collectors responsible for each network.
+// Section 3.1.4 notes the Master's database "is very similar to the SLP
+// directory, and SLP may be used by the Master Collector in the near
+// future" — this is that directory: collectors register advertisements
+// with a lifetime (as SLP services do), masters look responsibilities up
+// per query, and stale registrations age out.
+package directory
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/collector/master"
+	"remos/internal/proto"
+	"remos/internal/sim"
+)
+
+// Advert is one collector's registration.
+type Advert struct {
+	// Name identifies the registration (re-registering replaces it).
+	Name string
+	// Prefixes are the networks the collector is responsible for.
+	Prefixes []netip.Prefix
+	// Collector is the local handle, when the collector runs in this
+	// process. Remote collectors leave it nil and set Endpoint.
+	Collector collector.Interface
+	// Endpoint locates a remote collector: "tcp://host:port" (ASCII
+	// protocol) or "http://host:port" (XML protocol).
+	Endpoint string
+	// BenchHost is the site's benchmark endpoint, used as the join
+	// point for inter-site queries.
+	BenchHost netip.Addr
+}
+
+type entry struct {
+	advert  Advert
+	expires time.Time
+}
+
+// Service is a directory instance.
+type Service struct {
+	sched sim.Scheduler
+
+	mu       sync.Mutex
+	entries  map[string]entry
+	resolved map[string]collector.Interface
+}
+
+// New creates a directory on the given clock.
+func New(sched sim.Scheduler) *Service {
+	return &Service{sched: sched, entries: make(map[string]entry)}
+}
+
+// DefaultTTL is the advertisement lifetime when Register gets ttl <= 0,
+// mirroring SLP's default registration lifetime.
+const DefaultTTL = 3 * time.Hour
+
+// Register adds or refreshes an advertisement with the given lifetime.
+func (s *Service) Register(a Advert, ttl time.Duration) error {
+	if a.Name == "" {
+		return fmt.Errorf("directory: advertisement needs a name")
+	}
+	if a.Collector == nil && a.Endpoint == "" {
+		return fmt.Errorf("directory: advertisement %q has neither a local collector nor an endpoint", a.Name)
+	}
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[a.Name] = entry{advert: a, expires: s.sched.Now().Add(ttl)}
+	return nil
+}
+
+// Deregister removes an advertisement.
+func (s *Service) Deregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, name)
+}
+
+// Adverts returns the unexpired advertisements, sorted by name. Expired
+// entries are purged as a side effect.
+func (s *Service) Adverts() []Advert {
+	now := s.sched.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Advert
+	for name, e := range s.entries {
+		if e.expires.Before(now) {
+			delete(s.entries, name)
+			continue
+		}
+		out = append(out, e.advert)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the advertisement responsible for the address by
+// longest-prefix match.
+func (s *Service) Lookup(h netip.Addr) (Advert, bool) {
+	best := -1
+	var found Advert
+	for _, a := range s.Adverts() {
+		for _, p := range a.Prefixes {
+			if p.Contains(h) && p.Bits() > best {
+				best = p.Bits()
+				found = a
+			}
+		}
+	}
+	return found, best >= 0
+}
+
+// Resolve turns an advertisement into a usable collector: the local
+// handle when present, otherwise a protocol client for the endpoint.
+func Resolve(a Advert) (collector.Interface, error) {
+	if a.Collector != nil {
+		return a.Collector, nil
+	}
+	switch {
+	case len(a.Endpoint) > 6 && a.Endpoint[:6] == "tcp://":
+		return &proto.TCPClient{Addr: a.Endpoint[6:]}, nil
+	case len(a.Endpoint) > 7 && a.Endpoint[:7] == "http://":
+		return &proto.HTTPClient{BaseURL: a.Endpoint}, nil
+	}
+	return nil, fmt.Errorf("directory: cannot resolve endpoint %q", a.Endpoint)
+}
+
+// Entries implements master.Directory: the current advertisements as
+// master entries, with remote endpoints resolved to protocol clients
+// (cached so connections persist across queries).
+func (s *Service) Entries() ([]master.Entry, error) {
+	adverts := s.Adverts()
+	out := make([]master.Entry, 0, len(adverts))
+	for _, a := range adverts {
+		c, err := s.resolveCached(a)
+		if err != nil {
+			return nil, fmt.Errorf("directory: advert %q: %w", a.Name, err)
+		}
+		out = append(out, master.Entry{
+			Name:      a.Name,
+			Prefixes:  a.Prefixes,
+			Collector: c,
+			BenchHost: a.BenchHost,
+		})
+	}
+	return out, nil
+}
+
+func (s *Service) resolveCached(a Advert) (collector.Interface, error) {
+	if a.Collector != nil {
+		return a.Collector, nil
+	}
+	key := a.Name + "|" + a.Endpoint
+	s.mu.Lock()
+	if s.resolved == nil {
+		s.resolved = make(map[string]collector.Interface)
+	}
+	if c, ok := s.resolved[key]; ok {
+		s.mu.Unlock()
+		return c, nil
+	}
+	s.mu.Unlock()
+	c, err := Resolve(a)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.resolved[key] = c
+	s.mu.Unlock()
+	return c, nil
+}

@@ -1,0 +1,279 @@
+package directory
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/netip"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The directory wire protocol: a line-oriented service in the spirit of
+// SLP, letting collectors at other sites register their responsibilities
+// with a deployment's directory and masters elsewhere list them.
+//
+//	C: REGISTER <name> <ttlSeconds> <endpoint> <benchHost|-> <nPrefixes>
+//	C: <prefix> ... (n lines)
+//	S: OK | ERR <message>
+//
+//	C: DEREGISTER <name>
+//	S: OK
+//
+//	C: LIST
+//	S: OK <n>
+//	S: ADVERT <name> <endpoint> <benchHost|-> <nPrefixes>
+//	S: <prefix> ... (n lines, repeated per advert)
+
+// Server exposes a Service over TCP.
+type Server struct {
+	Service *Service
+
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// ListenAndServe binds addr and serves in the background, returning the
+// bound address.
+func (s *Server) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				for {
+					if err := s.serveOne(conn, r); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Close()
+}
+
+func (s *Server) serveOne(conn net.Conn, r *bufio.Reader) error {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		fmt.Fprintln(conn, "ERR empty command")
+		return nil
+	}
+	switch f[0] {
+	case "REGISTER":
+		if len(f) != 6 {
+			fmt.Fprintln(conn, "ERR REGISTER needs name ttl endpoint benchHost nPrefixes")
+			return nil
+		}
+		ttlSec, err1 := strconv.Atoi(f[2])
+		nPrefixes, err2 := strconv.Atoi(f[5])
+		if err1 != nil || err2 != nil || nPrefixes < 0 || nPrefixes > 1024 {
+			fmt.Fprintln(conn, "ERR bad numbers")
+			return nil
+		}
+		a := Advert{Name: f[1], Endpoint: f[3]}
+		if f[4] != "-" {
+			bh, err := netip.ParseAddr(f[4])
+			if err != nil {
+				fmt.Fprintln(conn, "ERR bad bench host")
+				return nil
+			}
+			a.BenchHost = bh
+		}
+		for i := 0; i < nPrefixes; i++ {
+			pl, err := r.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			p, err := netip.ParsePrefix(strings.TrimSpace(pl))
+			if err != nil {
+				fmt.Fprintf(conn, "ERR bad prefix %q\n", strings.TrimSpace(pl))
+				return nil
+			}
+			a.Prefixes = append(a.Prefixes, p)
+		}
+		if err := s.Service.Register(a, time.Duration(ttlSec)*time.Second); err != nil {
+			fmt.Fprintf(conn, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+			return nil
+		}
+		fmt.Fprintln(conn, "OK")
+	case "DEREGISTER":
+		if len(f) != 2 {
+			fmt.Fprintln(conn, "ERR DEREGISTER needs name")
+			return nil
+		}
+		s.Service.Deregister(f[1])
+		fmt.Fprintln(conn, "OK")
+	case "LIST":
+		adverts := s.Service.Adverts()
+		bw := bufio.NewWriter(conn)
+		fmt.Fprintf(bw, "OK %d\n", len(adverts))
+		for _, a := range adverts {
+			bench := "-"
+			if a.BenchHost.IsValid() {
+				bench = a.BenchHost.String()
+			}
+			endpoint := a.Endpoint
+			if endpoint == "" {
+				endpoint = "-"
+			}
+			fmt.Fprintf(bw, "ADVERT %s %s %s %d\n", a.Name, endpoint, bench, len(a.Prefixes))
+			for _, p := range a.Prefixes {
+				fmt.Fprintln(bw, p.String())
+			}
+		}
+		return bw.Flush()
+	default:
+		fmt.Fprintf(conn, "ERR unknown command %q\n", f[0])
+	}
+	return nil
+}
+
+// Client registers with a remote directory server.
+type Client struct {
+	Addr string
+	// Timeout bounds each exchange (default 10s).
+	Timeout time.Duration
+}
+
+func (c *Client) exchange(fn func(conn net.Conn, r *bufio.Reader) error) error {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", c.Addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	return fn(conn, bufio.NewReader(conn))
+}
+
+func expectOK(r *bufio.Reader) error {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	line = strings.TrimSpace(line)
+	if line != "OK" {
+		return fmt.Errorf("directory: %s", line)
+	}
+	return nil
+}
+
+// Register advertises a remote collector (endpoint form only — a local
+// handle cannot cross the wire).
+func (c *Client) Register(a Advert, ttl time.Duration) error {
+	if a.Endpoint == "" {
+		return fmt.Errorf("directory: remote registration requires an endpoint")
+	}
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return c.exchange(func(conn net.Conn, r *bufio.Reader) error {
+		bench := "-"
+		if a.BenchHost.IsValid() {
+			bench = a.BenchHost.String()
+		}
+		bw := bufio.NewWriter(conn)
+		fmt.Fprintf(bw, "REGISTER %s %d %s %s %d\n",
+			a.Name, int(ttl.Seconds()), a.Endpoint, bench, len(a.Prefixes))
+		for _, p := range a.Prefixes {
+			fmt.Fprintln(bw, p.String())
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return expectOK(r)
+	})
+}
+
+// Deregister removes a remote registration.
+func (c *Client) Deregister(name string) error {
+	return c.exchange(func(conn net.Conn, r *bufio.Reader) error {
+		fmt.Fprintf(conn, "DEREGISTER %s\n", name)
+		return expectOK(r)
+	})
+}
+
+// List fetches the remote directory's current advertisements.
+func (c *Client) List() ([]Advert, error) {
+	var out []Advert
+	err := c.exchange(func(conn net.Conn, r *bufio.Reader) error {
+		fmt.Fprintln(conn, "LIST")
+		head, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		var n int
+		if _, err := fmt.Sscanf(head, "OK %d", &n); err != nil {
+			return fmt.Errorf("directory: %s", strings.TrimSpace(head))
+		}
+		for i := 0; i < n; i++ {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			f := strings.Fields(line)
+			if len(f) != 5 || f[0] != "ADVERT" {
+				return fmt.Errorf("directory: bad advert line %q", strings.TrimSpace(line))
+			}
+			a := Advert{Name: f[1]}
+			if f[2] != "-" {
+				a.Endpoint = f[2]
+			}
+			if f[3] != "-" {
+				bh, err := netip.ParseAddr(f[3])
+				if err != nil {
+					return err
+				}
+				a.BenchHost = bh
+			}
+			np, err := strconv.Atoi(f[4])
+			if err != nil || np < 0 || np > 1024 {
+				return fmt.Errorf("directory: bad prefix count %q", f[4])
+			}
+			for j := 0; j < np; j++ {
+				pl, err := r.ReadString('\n')
+				if err != nil {
+					return err
+				}
+				p, err := netip.ParsePrefix(strings.TrimSpace(pl))
+				if err != nil {
+					return err
+				}
+				a.Prefixes = append(a.Prefixes, p)
+			}
+			out = append(out, a)
+		}
+		return nil
+	})
+	return out, err
+}

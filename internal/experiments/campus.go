@@ -1,0 +1,99 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation (Section 5). Each experiment has a builder that lays out the
+// paper's scenario on the network emulator, a runner that produces the
+// same rows/series the paper reports, and formatting helpers used by
+// cmd/remosbench. See EXPERIMENTS.md for paper-vs-measured notes.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"remos/internal/core"
+	"remos/internal/netsim"
+	"remos/internal/sim"
+)
+
+// Campus is a CMU-SCS-like campus network: four wings, each with a
+// gateway router and a tree of edge switches (16 hosts per edge switch,
+// up to wingAgg edge switches under a wing aggregation switch), joined by
+// a routed core segment. It is the substrate of the Fig 3 scalability
+// experiment.
+type Campus struct {
+	Dep   *core.Deployment
+	Sim   *sim.Sim
+	Net   *netsim.Network
+	Hosts []*netsim.Device // in query order (round-robin across wings)
+	Site  *core.Site
+}
+
+// hostsPerEdge is the fan-out of one edge switch.
+const hostsPerEdge = 16
+
+// BuildCampus creates a campus with at least nHosts hosts.
+func BuildCampus(nHosts int) (*Campus, error) {
+	const wings = 4
+	s := sim.NewSim()
+	n := netsim.New(s)
+
+	coreSwitch := n.AddSwitch("core-sw")
+	var switches []*netsim.Device
+	switches = append(switches, coreSwitch)
+
+	perWing := (nHosts + wings - 1) / wings
+	edgesPerWing := (perWing + hostsPerEdge - 1) / hostsPerEdge
+	if edgesPerWing < 1 {
+		edgesPerWing = 1
+	}
+	wingHosts := make([][]*netsim.Device, wings)
+	for w := 0; w < wings; w++ {
+		r := n.AddRouter(fmt.Sprintf("gw%d", w))
+		n.Connect(r, coreSwitch, 1e9, time.Millisecond)
+		agg := n.AddSwitch(fmt.Sprintf("agg%d", w))
+		switches = append(switches, agg)
+		n.Connect(agg, r, 1e9, time.Millisecond)
+		for e := 0; e < edgesPerWing; e++ {
+			edge := n.AddSwitch(fmt.Sprintf("edge%d-%d", w, e))
+			switches = append(switches, edge)
+			n.Connect(edge, agg, 1e9, time.Millisecond)
+			for h := 0; h < hostsPerEdge; h++ {
+				idx := e*hostsPerEdge + h
+				if idx >= perWing {
+					break
+				}
+				host := n.AddHost(fmt.Sprintf("h%d-%d", w, idx))
+				n.Connect(host, edge, 100e6, time.Millisecond)
+				wingHosts[w] = append(wingHosts[w], host)
+			}
+		}
+	}
+	n.AssignSubnets()
+	n.ComputeRoutes()
+
+	dep := core.NewDeployment(s, n, core.Options{})
+	site, err := dep.AddSite(core.SiteSpec{
+		Name:     "campus",
+		Switches: switches,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := dep.Finish(); err != nil {
+		return nil, err
+	}
+
+	// Interleave hosts across wings so a size-N query spans the campus
+	// the way a parallel application's node set would.
+	var hosts []*netsim.Device
+	for i := 0; len(hosts) < nHosts; i++ {
+		w := i % wings
+		j := i / wings
+		if j < len(wingHosts[w]) {
+			hosts = append(hosts, wingHosts[w][j])
+		}
+		if i > nHosts*2+wings {
+			break
+		}
+	}
+	return &Campus{Dep: dep, Sim: s, Net: n, Hosts: hosts, Site: site}, nil
+}

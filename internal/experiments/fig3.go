@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"remos/internal/collector"
+)
+
+// Fig3Row is one x-position of Figure 3: the SNMP Collector response time
+// for a query of N nodes under the four cache scenarios.
+type Fig3Row struct {
+	N          int
+	Cold       time.Duration // no static or dynamic state cached
+	PartWarm   time.Duration // result of a previous half-size query cached
+	WarmBridge time.Duration // static topology cached, dynamic data cold
+	Warm       time.Duration // everything cached
+}
+
+// Fig3Result is the full figure.
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// Fig3Sizes are the paper's x-axis query sizes.
+var Fig3Sizes = []int{2, 4, 8, 16, 32, 64, 96, 128, 256, 512, 1024, 1280}
+
+// Fig3 reproduces the LAN scalability experiment: the response time of
+// the campus SNMP Collector versus the number of nodes in the query, for
+// cold, part-warm (previous query cached about half the data),
+// warm-bridge and warm caches. Query time is the SNMP cost of the query —
+// the metered round-trip time of every request it issued — plus, for
+// queries that had to start monitoring links without utilization history,
+// one poll interval (the wait for the first counter delta).
+//
+// maxN caps the largest query (the paper's is 1280); sizes beyond maxN
+// are skipped.
+func Fig3(maxN int) (*Fig3Result, error) {
+	campus, err := BuildCampus(min(maxN, Fig3Sizes[len(Fig3Sizes)-1]))
+	if err != nil {
+		return nil, err
+	}
+	defer campus.Dep.Stop()
+	sc := campus.Site.SNMP
+	out := &Fig3Result{}
+
+	queryTime := func(hosts []netip.Addr) (time.Duration, error) {
+		_, stats, err := sc.CollectWithStats(collector.Query{Hosts: hosts})
+		if err != nil {
+			return 0, err
+		}
+		cost := stats.RTT
+		if stats.ColdStart {
+			cost += sc.PollInterval()
+		}
+		return cost, nil
+	}
+
+	for _, n := range Fig3Sizes {
+		if n > maxN || n > len(campus.Hosts) {
+			break
+		}
+		hosts := make([]netip.Addr, n)
+		for i := 0; i < n; i++ {
+			hosts[i] = campus.Hosts[i].Addr()
+		}
+		row := Fig3Row{N: n}
+
+		// Cold: no static or dynamic information.
+		sc.DropCaches()
+		if row.Cold, err = queryTime(hosts); err != nil {
+			return nil, fmt.Errorf("fig3 cold N=%d: %w", n, err)
+		}
+
+		// Part-warm: the result of a previous query covering half the
+		// nodes is cached ("typically about 1/2 or 1/3 of the data").
+		sc.DropCaches()
+		if _, err := sc.Collect(collector.Query{Hosts: hosts[:(n+1)/2]}); err != nil {
+			return nil, err
+		}
+		campus.Sim.RunFor(sc.PollInterval() + time.Second)
+		if row.PartWarm, err = queryTime(hosts); err != nil {
+			return nil, fmt.Errorf("fig3 part-warm N=%d: %w", n, err)
+		}
+
+		// Warm-bridge: static topology (routes, ARP, L2 database)
+		// cached; dynamic data dropped.
+		sc.DropDynamic()
+		if row.WarmBridge, err = queryTime(hosts); err != nil {
+			return nil, fmt.Errorf("fig3 warm-bridge N=%d: %w", n, err)
+		}
+
+		// Warm: repeat the same query after monitoring has settled.
+		campus.Sim.RunFor(sc.PollInterval() + time.Second)
+		if row.Warm, err = queryTime(hosts); err != nil {
+			return nil, fmt.Errorf("fig3 warm N=%d: %w", n, err)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Print writes the figure as a table.
+func (r *Fig3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3: LAN collector response time vs. query size")
+	fmt.Fprintf(w, "%8s %12s %12s %12s %12s\n", "nodes", "cold", "part-warm", "warm-bridge", "warm")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%8d %12s %12s %12s %12s\n",
+			row.N, fmtDur(row.Cold), fmtDur(row.PartWarm), fmtDur(row.WarmBridge), fmtDur(row.Warm))
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

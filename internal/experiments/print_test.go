@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The Print methods feed cmd/remosbench; these tests pin their formats
+// enough that accidental breakage is caught without golden files.
+
+func TestPrintFormats(t *testing.T) {
+	var sb strings.Builder
+
+	f3, err := Fig3(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3.Print(&sb)
+	if !strings.Contains(sb.String(), "Figure 3") || !strings.Contains(sb.String(), "warm-bridge") {
+		t.Fatalf("Fig3 print: %q", sb.String()[:80])
+	}
+
+	sb.Reset()
+	f45, err := Fig45(5*time.Second, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f45.Print(&sb)
+	if !strings.Contains(sb.String(), "mean absolute error") {
+		t.Fatal("Fig45 print missing MAE line")
+	}
+
+	sb.Reset()
+	f6, err := Fig6([]float64{1, 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6.Print(&sb)
+	if !strings.Contains(sb.String(), "Figure 6") {
+		t.Fatal("Fig6 header missing")
+	}
+
+	sb.Reset()
+	f7, err := Fig7([]string{"MEAN", "AR(4)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7.Print(&sb)
+	if !strings.Contains(sb.String(), "step/predict") {
+		t.Fatal("Fig7 columns missing")
+	}
+
+	sb.Reset()
+	m, err := Mirror(Fig8Sites, 4, 3e6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Print(&sb, "Figure 8")
+	if !strings.Contains(sb.String(), "picked the fastest site") {
+		t.Fatal("Mirror headline missing")
+	}
+
+	sb.Reset()
+	tb, err := Table1(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Print(&sb)
+	if !strings.Contains(sb.String(), "coimbra") {
+		t.Fatal("Table1 rows missing")
+	}
+
+	sb.Reset()
+	f10, err := Fig10(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10.Print(&sb)
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatal("Fig10 pick marker missing")
+	}
+
+	sb.Reset()
+	f11, err := Fig11(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f11.Print(&sb)
+	if !strings.Contains(sb.String(), "Remos reported") {
+		t.Fatal("Fig11 report line missing")
+	}
+}
+
+func TestPrintToDiscardNeverPanics(t *testing.T) {
+	// Regression guard: every Print must tolerate any writer.
+	f45, err := Fig45(2*time.Second, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f45.Print(io.Discard)
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"remos/internal/netsim"
+	"remos/internal/sim"
+)
+
+// This file models the adaptive video system of Section 5.5 (after Hemy
+// et al.): an MPEG-like stream of prioritized frames, and a server that
+// "adapts the outgoing video stream to the available bandwidth by
+// intelligently dropping frames of lower importance", maximizing the
+// number of frames transmitted correctly.
+
+// Frame is one video frame.
+type Frame struct {
+	// Pri is the drop priority: 0 = I (never drop first), 1 = P,
+	// 2 = B (dropped first).
+	Pri   int
+	Bytes float64
+}
+
+// Movie is a prioritized frame sequence at a fixed frame rate.
+type Movie struct {
+	FPS    int
+	Frames []Frame
+}
+
+// Duration returns the movie's play time.
+func (m *Movie) Duration() time.Duration {
+	return time.Duration(float64(len(m.Frames)) / float64(m.FPS) * float64(time.Second))
+}
+
+// AvgRate returns the stream's average bit rate.
+func (m *Movie) AvgRate() float64 {
+	var b float64
+	for _, f := range m.Frames {
+		b += f.Bytes
+	}
+	return b * 8 / m.Duration().Seconds()
+}
+
+// MakeMovie synthesizes a movie with MPEG GOP structure (IBBPBBPBBPBB),
+// an average bit rate of avgRate bits/s, and content-driven rate
+// variation (slow modulation plus noise) — the fluctuations Figure 11
+// explains as "variation of the movie content".
+func MakeMovie(seed int64, duration time.Duration, fps int, avgRate float64) *Movie {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(duration.Seconds() * float64(fps))
+	frames := make([]Frame, n)
+	avgFrame := avgRate / 8 / float64(fps)
+	// Relative sizes by type, normalized so a GOP averages 1.
+	// GOP: I BB P BB P BB P BB (1 I, 3 P, 8 B).
+	const gop = 12
+	wI, wP, wB := 4.0, 1.6, 0.4
+	norm := (wI + 3*wP + 8*wB) / gop
+	for i := range frames {
+		pos := i % gop
+		var w float64
+		var pri int
+		switch {
+		case pos == 0:
+			w, pri = wI, 0
+		case pos%3 == 0:
+			w, pri = wP, 1
+		default:
+			w, pri = wB, 2
+		}
+		t := float64(i) / float64(fps)
+		content := 1 + 0.35*math.Sin(2*math.Pi*t/23) + 0.15*rng.NormFloat64()
+		if content < 0.3 {
+			content = 0.3
+		}
+		frames[i] = Frame{Pri: pri, Bytes: avgFrame * w / norm * content}
+	}
+	return &Movie{FPS: fps, Frames: frames}
+}
+
+// RecvSample records bytes delivered during one step of a download, for
+// the application-side bandwidth averaging of Figure 11.
+type RecvSample struct {
+	T     time.Duration // since download start
+	Bytes float64
+	Dt    time.Duration
+}
+
+// DownloadResult is one adaptive video download.
+type DownloadResult struct {
+	FramesReceived int
+	FramesTotal    int
+	Samples        []RecvSample
+}
+
+// AdaptiveDownload streams the movie from server to client through the
+// emulator. Per step, the server offers the step's frames; whatever the
+// network delivers is spent on frames in priority order (I before P
+// before B, larger-priority frames dropped first); undelivered frames are
+// late and dropped. slowFactor < 1 throttles the server itself (the
+// paper's "high load on the server" failure case); 0 means full speed.
+func AdaptiveDownload(n *netsim.Network, s *sim.Sim, server, client *netsim.Device, movie *Movie, slowFactor float64) (*DownloadResult, error) {
+	if slowFactor <= 0 || slowFactor > 1 {
+		slowFactor = 1
+	}
+	const step = 200 * time.Millisecond
+	perStep := int(float64(movie.FPS) * step.Seconds())
+	if perStep < 1 {
+		perStep = 1
+	}
+	flow, err := n.StartFlow(server, client, netsim.FlowSpec{Demand: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer flow.Stop()
+
+	res := &DownloadResult{FramesTotal: len(movie.Frames)}
+	start := s.Now()
+	prevSent := 0.0
+	carry := 0.0 // small sender buffer smooths step boundaries
+	for at := 0; at < len(movie.Frames); at += perStep {
+		endIdx := at + perStep
+		if endIdx > len(movie.Frames) {
+			endIdx = len(movie.Frames)
+		}
+		stepFrames := movie.Frames[at:endIdx]
+		var offered float64
+		for _, f := range stepFrames {
+			offered += f.Bytes
+		}
+		rate := offered * 8 / step.Seconds() * slowFactor
+		flow.SetDemand(rate)
+		s.RunFor(step)
+		sent := flow.Sent()
+		budget := sent - prevSent + carry
+		prevSent = sent
+
+		// Spend the delivered bytes on frames in priority order.
+		order := make([]int, len(stepFrames))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return stepFrames[order[a]].Pri < stepFrames[order[b]].Pri
+		})
+		delivered := 0.0
+		for _, idx := range order {
+			f := stepFrames[idx]
+			if budget >= f.Bytes {
+				budget -= f.Bytes
+				delivered += f.Bytes
+				res.FramesReceived++
+			}
+		}
+		// Bytes that fit no frame carry into the next step (partial
+		// frame in flight).
+		if budget > offered {
+			budget = offered
+		}
+		carry = budget
+		res.Samples = append(res.Samples, RecvSample{
+			T:     s.Now().Sub(start),
+			Bytes: delivered,
+			Dt:    step,
+		})
+	}
+	return res, nil
+}
+
+// WindowAverages converts receive samples into bandwidth (bits/s)
+// averaged over the given window, one point per window.
+func WindowAverages(samples []RecvSample, window time.Duration) []float64 {
+	if len(samples) == 0 || window <= 0 {
+		return nil
+	}
+	var out []float64
+	var acc float64
+	var accDur time.Duration
+	for _, smp := range samples {
+		acc += smp.Bytes
+		accDur += smp.Dt
+		if accDur >= window {
+			out = append(out, acc*8/accDur.Seconds())
+			acc, accDur = 0, 0
+		}
+	}
+	return out
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

@@ -1,0 +1,440 @@
+// Package modeler implements the Remos Modeler: the single component that
+// exposes the Remos API to applications (Section 2.2). It submits queries
+// to its Master Collector, post-processes the returned topologies
+// (pruning, virtual-switch simplification, max-min flow calculation) and,
+// when predictions are requested, acts as the intermediary between the
+// collectors' measurement histories and the RPS prediction toolkit.
+package modeler
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/rps"
+	"remos/internal/topology"
+)
+
+// Config configures a Modeler.
+type Config struct {
+	// Collector answers the Modeler's queries — normally a Master
+	// Collector, local or reached through one of the wire protocols.
+	Collector collector.Interface
+
+	// PredictModel is the RPS model spec used for flow predictions
+	// (default "AR(16)", the paper's host-load choice; bandwidth series
+	// at 5s polls are well served by it too).
+	PredictModel string
+
+	// MinHistory is the minimum samples before a model is fitted;
+	// shorter histories fall back to the last measured value (default
+	// 64).
+	MinHistory int
+
+	// HostLoad, when set, answers host load queries (a host load
+	// collector, local or remote). Optional; HostLoad queries fail
+	// without it.
+	HostLoad collector.Interface
+}
+
+// Modeler is a per-application Remos endpoint.
+type Modeler struct {
+	cfg Config
+}
+
+// New creates a Modeler over the given collector.
+func New(cfg Config) *Modeler {
+	if cfg.PredictModel == "" {
+		cfg.PredictModel = "AR(16)"
+	}
+	if cfg.MinHistory <= 0 {
+		cfg.MinHistory = 64
+	}
+	return &Modeler{cfg: cfg}
+}
+
+// TopologyOptions controls post-processing of topology query results.
+type TopologyOptions struct {
+	// Raw disables all simplification, returning the collectors' graph.
+	Raw bool
+	// KeepSwitches retains individual switches instead of collapsing
+	// switch clouds into virtual switches.
+	KeepSwitches bool
+}
+
+// GetTopology answers the Remos topology query: the virtual topology
+// spanning the given hosts, annotated with capacity and utilization. By
+// default the Modeler simplifies the graph — pruning off-path detail,
+// collapsing switch clouds into virtual switches and splicing out
+// degree-2 chains — "to present the topology to the application in a more
+// manageable form".
+func (m *Modeler) GetTopology(hosts []netip.Addr, opt TopologyOptions) (*topology.Graph, error) {
+	res, err := m.cfg.Collector.Collect(collector.Query{Hosts: hosts})
+	if err != nil {
+		return nil, err
+	}
+	g := res.Graph
+	if opt.Raw {
+		return g, nil
+	}
+	ids := make([]string, len(hosts))
+	protect := make(map[string]bool, len(hosts))
+	for i, h := range hosts {
+		ids[i] = h.String()
+		protect[ids[i]] = true
+	}
+	g, err = g.Prune(ids)
+	if err != nil {
+		return nil, err
+	}
+	if !opt.KeepSwitches {
+		g.CollapseSwitchClouds("vswitch")
+	}
+	g.CollapseChains(protect)
+	return g, nil
+}
+
+// Flow names one flow an application wants to create.
+type Flow struct {
+	Src, Dst netip.Addr
+	// Demand is the rate the application wants in bits per second;
+	// 0 asks "as much as possible".
+	Demand float64
+}
+
+// FlowInfo is the answer for one requested flow.
+type FlowInfo struct {
+	Flow      Flow
+	Available float64 // max-min fair bandwidth the flow can expect now
+	Latency   time.Duration
+	// Jitter is the path's delay variation, measured by benchmark
+	// collectors where available (zero on purely SNMP-derived paths).
+	Jitter time.Duration
+	Path   []string
+
+	// Predicted, when prediction was requested, is the expected
+	// available bandwidth at the prediction horizon, with ErrVar the
+	// model's own error estimate — RPS characterizes its prediction
+	// error so applications can make variance-aware decisions.
+	Predicted float64
+	ErrVar    float64
+}
+
+// FlowOptions controls flow queries.
+type FlowOptions struct {
+	// Predict asks for a prediction Horizon poll intervals ahead using
+	// collector-side measurement history and the RPS toolkit.
+	Predict bool
+	// Horizon is the number of steps ahead (default 1).
+	Horizon int
+	// Model overrides the modeler's prediction model spec.
+	Model string
+	// FromCollector prefers collector-side streaming predictions over
+	// fitting models client-side — the Section 2.3 trade-off: streaming
+	// predictions are amortized and shared between consumers, while
+	// client-side fitting honors per-application model choices. Links
+	// without a streaming forecast fall back to client-side fitting.
+	FromCollector bool
+}
+
+// GetFlows answers the Remos flow query: for the set of flows the
+// application wants to create simultaneously, the max-min fair bandwidth
+// each can expect, on the current topology and optionally on the
+// predicted one.
+func (m *Modeler) GetFlows(flows []Flow, opt FlowOptions) ([]FlowInfo, error) {
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("modeler: no flows requested")
+	}
+	hostSet := map[netip.Addr]bool{}
+	var hosts []netip.Addr
+	for _, f := range flows {
+		for _, h := range []netip.Addr{f.Src, f.Dst} {
+			if !hostSet[h] {
+				hostSet[h] = true
+				hosts = append(hosts, h)
+			}
+		}
+	}
+	res, err := m.cfg.Collector.Collect(collector.Query{
+		Hosts:           hosts,
+		WithHistory:     opt.Predict,
+		WithPredictions: opt.Predict && opt.FromCollector,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	reqs := make([]topology.FlowRequest, len(flows))
+	for i, f := range flows {
+		reqs[i] = topology.FlowRequest{Src: f.Src.String(), Dst: f.Dst.String(), Demand: f.Demand}
+	}
+	preds, err := res.Graph.FlowAlloc(reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FlowInfo, len(flows))
+	for i := range flows {
+		out[i] = FlowInfo{
+			Flow:      flows[i],
+			Available: preds[i].Available,
+			Latency:   preds[i].Latency,
+			Jitter:    preds[i].Jitter,
+			Path:      preds[i].Path,
+			Predicted: preds[i].Available,
+		}
+	}
+	if !opt.Predict {
+		return out, nil
+	}
+
+	// Prediction: forecast each link's utilization from its history,
+	// rebuild the graph with predicted utilizations, and re-run the
+	// max-min calculation. Prediction happens here, above the
+	// collectors, because component behaviours must be combined after
+	// forecasting, not before (Section 2.3).
+	horizon := opt.Horizon
+	if horizon <= 0 {
+		horizon = 1
+	}
+	spec := opt.Model
+	if spec == "" {
+		spec = m.cfg.PredictModel
+	}
+	fitter, err := rps.ParseFitter(spec)
+	if err != nil {
+		return nil, err
+	}
+	predicted := res.Graph.Clone()
+	linkErr := make(map[string]float64) // link key -> predicted errvar (bits²)
+	for _, l := range predicted.Links() {
+		fwd, fv := m.predictLink(res, collector.HistKey{From: l.From, To: l.To}, fitter, horizon, opt)
+		rev, rv := m.predictLink(res, collector.HistKey{From: l.To, To: l.From}, fitter, horizon, opt)
+		if fwd >= 0 {
+			l.UtilFromTo = fwd
+		}
+		if rev >= 0 {
+			l.UtilToFrom = rev
+		}
+		linkErr[l.From+"|"+l.To] = maxf(fv, rv)
+	}
+	ppreds, err := predicted.FlowAlloc(reqs)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i].Predicted = ppreds[i].Available
+		// The flow's error estimate: the worst link error along its
+		// path.
+		var ev float64
+		p := ppreds[i].Path
+		for j := 0; j+1 < len(p); j++ {
+			if v, ok := linkErr[p[j]+"|"+p[j+1]]; ok && v > ev {
+				ev = v
+			}
+			if v, ok := linkErr[p[j+1]+"|"+p[j]]; ok && v > ev {
+				ev = v
+			}
+		}
+		out[i].ErrVar = ev
+	}
+	return out, nil
+}
+
+// predictLink forecasts one directed link's utilization at the horizon:
+// from the collector's streaming forecast when requested and available,
+// otherwise by fitting client-side to the link's history.
+func (m *Modeler) predictLink(res *collector.Result, k collector.HistKey, fitter rps.Fitter, horizon int, opt FlowOptions) (float64, float64) {
+	if opt.FromCollector {
+		if fc, ok := res.Predictions[k]; ok && len(fc.Values) > 0 {
+			h := horizon
+			if h > len(fc.Values) {
+				h = len(fc.Values) // use the furthest available step
+			}
+			v := fc.Values[h-1]
+			if v < 0 {
+				v = 0
+			}
+			ev := 0.0
+			if h-1 < len(fc.ErrVar) {
+				ev = fc.ErrVar[h-1]
+			}
+			return v, ev
+		}
+	}
+	return m.predictSeries(res.History[k], fitter, horizon)
+}
+
+// predictSeries forecasts the mean of the next horizon values of a
+// utilization series; negative return means no usable history. The error
+// variance at the horizon is returned alongside.
+func (m *Modeler) predictSeries(ss []collector.Sample, fitter rps.Fitter, horizon int) (float64, float64) {
+	if len(ss) == 0 {
+		return -1, 0
+	}
+	vals := collector.Values(ss)
+	if len(vals) < m.cfg.MinHistory {
+		// Too little history to fit: use the last measurement.
+		return vals[len(vals)-1], 0
+	}
+	p, err := rps.Predict(fitter, vals, horizon)
+	if err != nil {
+		return vals[len(vals)-1], 0
+	}
+	v := p.Values[horizon-1]
+	if v < 0 {
+		v = 0 // utilization cannot be negative
+	}
+	return v, p.ErrVar[horizon-1]
+}
+
+// AvailableBandwidth is the scalar convenience query: the max-min
+// bandwidth a single new flow between the two hosts can expect.
+func (m *Modeler) AvailableBandwidth(src, dst netip.Addr) (float64, error) {
+	infos, err := m.GetFlows([]Flow{{Src: src, Dst: dst}}, FlowOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return infos[0].Available, nil
+}
+
+// ServerRank is one candidate in a BestServer answer.
+type ServerRank struct {
+	Server    netip.Addr
+	Bandwidth float64 // predicted available bandwidth client<-server
+	Err       error   // non-nil if the candidate could not be evaluated
+}
+
+// BestServer ranks candidate servers by the bandwidth a download to
+// client can expect, best first — the mirrored-server and video-server
+// selection pattern of Sections 5.4 and 5.5. Unreachable candidates sort
+// last with their error recorded.
+func (m *Modeler) BestServer(client netip.Addr, servers []netip.Addr, opt FlowOptions) ([]ServerRank, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("modeler: no candidate servers")
+	}
+	ranks := make([]ServerRank, len(servers))
+	for i, srv := range servers {
+		ranks[i].Server = srv
+		// Server-to-client direction: downloads flow that way.
+		infos, err := m.GetFlows([]Flow{{Src: srv, Dst: client}}, opt)
+		if err != nil {
+			ranks[i].Err = err
+			continue
+		}
+		if opt.Predict {
+			ranks[i].Bandwidth = infos[0].Predicted
+		} else {
+			ranks[i].Bandwidth = infos[0].Available
+		}
+	}
+	sort.SliceStable(ranks, func(i, j int) bool {
+		if (ranks[i].Err == nil) != (ranks[j].Err == nil) {
+			return ranks[i].Err == nil
+		}
+		return ranks[i].Bandwidth > ranks[j].Bandwidth
+	})
+	if ranks[0].Err != nil {
+		return ranks, fmt.Errorf("modeler: no candidate server reachable: %v", ranks[0].Err)
+	}
+	return ranks, nil
+}
+
+// HostLoadInfo answers a host load query.
+type HostLoadInfo struct {
+	// Current is the most recent load sample.
+	Current float64
+	// Forecast holds predicted load for horizons 1..len(Values) with
+	// per-horizon error variances; empty when no prediction could be
+	// made.
+	Forecast rps.Prediction
+}
+
+// HostLoad reports a host's current CPU load and its forecast, from the
+// configured host load collector: collector-side streaming forecasts when
+// available, otherwise a client-side fit over the load history with the
+// modeler's prediction model. This is the host-measurement half of the
+// Remos/RPS coupling ("RPS provides prediction services and host
+// measurement services to Remos").
+func (m *Modeler) HostLoad(h netip.Addr, horizon int) (HostLoadInfo, error) {
+	if m.cfg.HostLoad == nil {
+		return HostLoadInfo{}, fmt.Errorf("modeler: no host load collector configured")
+	}
+	if horizon <= 0 {
+		horizon = 1
+	}
+	res, err := m.cfg.HostLoad.Collect(collector.Query{
+		Hosts:           []netip.Addr{h},
+		WithHistory:     true,
+		WithPredictions: true,
+	})
+	if err != nil {
+		return HostLoadInfo{}, err
+	}
+	key := collector.HistKey{From: h.String(), To: "cpu"}
+	hist := res.History[key]
+	if len(hist) == 0 {
+		return HostLoadInfo{}, fmt.Errorf("modeler: no load samples for %v yet", h)
+	}
+	info := HostLoadInfo{Current: hist[len(hist)-1].Bits}
+	if fc, ok := res.Predictions[key]; ok && len(fc.Values) > 0 {
+		n := horizon
+		if n > len(fc.Values) {
+			n = len(fc.Values)
+		}
+		info.Forecast = rps.Prediction{
+			Values: append([]float64(nil), fc.Values[:n]...),
+			ErrVar: append([]float64(nil), fc.ErrVar[:n]...),
+		}
+		return info, nil
+	}
+	// Client-side fit over the history.
+	if len(hist) >= m.cfg.MinHistory {
+		fitter, err := rps.ParseFitter(m.cfg.PredictModel)
+		if err == nil {
+			if p, err := rps.Predict(fitter, collector.Values(hist), horizon); err == nil {
+				info.Forecast = p
+			}
+		}
+	}
+	return info, nil
+}
+
+// PredictSeries runs a client-server RPS prediction over the measurement
+// history the collectors hold for the directed pair of node IDs.
+func (m *Modeler) PredictSeries(src, dst netip.Addr, spec string, horizon int) (rps.Prediction, error) {
+	res, err := m.cfg.Collector.Collect(collector.Query{
+		Hosts:       []netip.Addr{src, dst},
+		WithHistory: true,
+	})
+	if err != nil {
+		return rps.Prediction{}, err
+	}
+	// Use the bottleneck link's history along the path.
+	_, path, err := res.Graph.BottleneckAvail(src.String(), dst.String())
+	if err != nil {
+		return rps.Prediction{}, err
+	}
+	fitter, err := rps.ParseFitter(spec)
+	if err != nil {
+		return rps.Prediction{}, err
+	}
+	var best []collector.Sample
+	for i := 0; i+1 < len(path); i++ {
+		if ss := res.History[collector.HistKey{From: path[i], To: path[i+1]}]; len(ss) > len(best) {
+			best = ss
+		}
+	}
+	if len(best) == 0 {
+		return rps.Prediction{}, fmt.Errorf("modeler: no history available between %v and %v", src, dst)
+	}
+	return rps.Predict(fitter, collector.Values(best), horizon)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"remos/internal/sim"
+)
+
+// Tests for the emulator features behind the paper's §6.2 extensions:
+// device reboots, link jitter, and wireless cells.
+
+func TestRebootResetsCountersAndUptime(t *testing.T) {
+	s := sim.NewSim()
+	n, d := dumbbell(t, s, 8e6)
+	n.StartFlow(d["h1"], d["h2"], FlowSpec{Demand: 8e6})
+	s.RunFor(10 * time.Second)
+	_, out := d["r1"].Ifaces()[1].Counters()
+	if out == 0 {
+		t.Fatal("no traffic accounted before reboot")
+	}
+	bootBefore := d["r1"].BootTime()
+	n.Reboot(d["r1"])
+	if _, out := d["r1"].Ifaces()[1].Counters(); out != 0 {
+		t.Fatalf("counters = %d after reboot, want 0", out)
+	}
+	if !d["r1"].BootTime().After(bootBefore) {
+		t.Fatal("boot time did not advance")
+	}
+	// Traffic keeps flowing and counters climb again.
+	s.RunFor(5 * time.Second)
+	if _, out := d["r1"].Ifaces()[1].Counters(); out == 0 {
+		t.Fatal("counters frozen after reboot")
+	}
+}
+
+func TestRebootDoesNotAffectOtherDevices(t *testing.T) {
+	s := sim.NewSim()
+	n, d := dumbbell(t, s, 8e6)
+	n.StartFlow(d["h1"], d["h2"], FlowSpec{Demand: 8e6})
+	s.RunFor(10 * time.Second)
+	in, _ := d["h2"].Ifaces()[0].Counters()
+	n.Reboot(d["r1"])
+	in2, _ := d["h2"].Ifaces()[0].Counters()
+	if in2 < in {
+		t.Fatal("another device's counters moved backwards")
+	}
+}
+
+func TestPathDelayJitterCombinesInQuadrature(t *testing.T) {
+	s := sim.NewSim()
+	n, d := dumbbell(t, s, 10e6)
+	for _, l := range n.Links() {
+		l.Jitter = 3 * time.Millisecond
+	}
+	// h1-h2 path: 5 links, each 3ms jitter: sqrt(5)*3ms.
+	delay, jitter, err := n.PathDelayJitter(d["h1"], d["h2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delay != 14*time.Millisecond {
+		t.Fatalf("delay = %v", delay)
+	}
+	want := 3e-3 * math.Sqrt(5)
+	if math.Abs(jitter.Seconds()-want) > 1e-6 {
+		t.Fatalf("jitter = %v, want %.3fms", jitter, want*1e3)
+	}
+}
+
+func TestAccessPointAssociationLifecycle(t *testing.T) {
+	s := sim.NewSim()
+	n := New(s)
+	ap1 := n.AddAccessPoint("ap1")
+	ap2 := n.AddAccessPoint("ap2")
+	dsw := n.AddSwitch("dsw")
+	n.Connect(ap1.Dev, dsw, 1e9, 0)
+	n.Connect(ap2.Dev, dsw, 1e9, 0)
+	station := n.AddHost("sta")
+	rate, err := ap1.Associate(station, -58)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 48e6 {
+		t.Fatalf("rate at -58 dBm = %v, want 48e6", rate)
+	}
+	n.AssignSubnets()
+	n.ComputeRoutes()
+	mac := MAC(station.Ifaces()[0].MAC)
+	if _, ok := ap1.Association(mac); !ok {
+		t.Fatal("station missing from ap1's table")
+	}
+	// Roam: ap1 forgets, ap2 learns, link capacity changes.
+	if _, err := ap2.Associate(station, -84); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ap1.Association(mac); ok {
+		t.Fatal("ap1 still lists the roamed station")
+	}
+	a, ok := ap2.Association(mac)
+	if !ok || a.Rate != 9e6 {
+		t.Fatalf("ap2 association = %+v ok=%v", a, ok)
+	}
+	if got := station.Ifaces()[0].Speed(); got != 9e6 {
+		t.Fatalf("link speed after roam = %v", got)
+	}
+	// FDB view follows the roam.
+	sw, _ := n.LocateMAC(station.Ifaces()[0].MAC)
+	if sw != ap2.Dev {
+		t.Fatalf("station located at %v, want ap2", sw)
+	}
+}
+
+func TestAssociateMultiHomedRejected(t *testing.T) {
+	s := sim.NewSim()
+	n := New(s)
+	ap := n.AddAccessPoint("ap")
+	sw := n.AddSwitch("sw")
+	h := n.AddHost("h")
+	n.Connect(h, sw, 1e6, 0)
+	n.Connect(h, sw, 1e6, 0) // second interface
+	if _, err := ap.Associate(h, -50); err == nil {
+		t.Fatal("multi-homed host associated")
+	}
+}
+
+func TestRunRealTimeTracksWallClock(t *testing.T) {
+	s := sim.NewSim()
+	fired := 0
+	s.Every(20*time.Millisecond, func() { fired++ })
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.RunRealTime(5*time.Millisecond, stop)
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	<-done
+	if fired < 5 || fired > 15 {
+		t.Fatalf("periodic callback fired %d times in ~200ms at 20ms period", fired)
+	}
+	if got := s.Now().Sub(sim.Epoch); got < 150*time.Millisecond || got > 400*time.Millisecond {
+		t.Fatalf("simulated clock advanced %v for ~200ms of wall time", got)
+	}
+}

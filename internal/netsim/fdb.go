@@ -1,0 +1,113 @@
+package netsim
+
+import "sort"
+
+// FdbEntry is one learned entry in a switch's forwarding database: the MAC
+// address of a station and the bridge port (ifIndex) leading toward it.
+// The emulated Bridge-MIB serves these entries as dot1dTpFdbTable rows.
+type FdbEntry struct {
+	MAC  MAC
+	Port int // ifIndex of the switch port toward the station
+}
+
+// FDB returns the forwarding database of a switch: for every addressed
+// interface reachable in the switch's broadcast domain, the port it is
+// learned on. The database is recomputed from the topology on demand (the
+// emulator models fully-converged learning) and is stable across calls
+// until the topology changes.
+func (n *Network) FDB(sw *Device) []FdbEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if sw.Kind != Switch {
+		return nil
+	}
+	var entries []FdbEntry
+	for _, port := range sw.ifaces {
+		if port.Link == nil {
+			continue
+		}
+		for _, m := range n.macsBeyondLocked(sw, port) {
+			entries = append(entries, FdbEntry{MAC: m, Port: port.Index})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return lessMAC(entries[i].MAC, entries[j].MAC)
+	})
+	return entries
+}
+
+// macsBeyondLocked collects the MACs of all device interfaces reachable
+// from the given switch port, traversing through switches only. Caller
+// holds n.mu.
+func (n *Network) macsBeyondLocked(sw *Device, port *Iface) []MAC {
+	var macs []MAC
+	visited := map[*Device]bool{sw: true}
+	peer := port.Peer()
+	if peer == nil {
+		return nil
+	}
+	queue := []*Iface{peer}
+	for len(queue) > 0 {
+		arrived := queue[0]
+		queue = queue[1:]
+		d := arrived.Dev
+		if visited[d] {
+			continue
+		}
+		visited[d] = true
+		if d.Kind == Switch {
+			// A bridge's own management MAC is learned by its
+			// neighbours like any station (real switches source
+			// management and spanning-tree traffic). Without it,
+			// FDB-based topology inference cannot distinguish a
+			// station-less interior switch from a wire.
+			if len(d.ifaces) > 0 {
+				macs = append(macs, d.ifaces[0].MAC)
+			}
+			for _, p := range d.ifaces {
+				if p != arrived && p.Link != nil {
+					queue = append(queue, p.Peer())
+				}
+			}
+			continue
+		}
+		// Host or router: the station's MAC on this segment.
+		macs = append(macs, arrived.MAC)
+	}
+	return macs
+}
+
+func lessMAC(a, b MAC) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// LocateMAC returns the switch port (device and ifIndex) a station with
+// the given MAC is directly attached to, or nil if the MAC is unknown or
+// not attached to a switch. This mirrors the Bridge Collector's
+// host-location check ("the location of a host can be monitored merely by
+// checking its forwarding entry in the bridge to which it is connected").
+func (n *Network) LocateMAC(m MAC) (*Device, int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, d := range n.order {
+		if d.Kind == Switch {
+			continue
+		}
+		for _, ifc := range d.ifaces {
+			if ifc.MAC != m || ifc.Link == nil {
+				continue
+			}
+			peer := ifc.Peer()
+			if peer != nil && peer.Dev.Kind == Switch {
+				return peer.Dev, peer.Index
+			}
+			return nil, 0
+		}
+	}
+	return nil, 0
+}

@@ -1,0 +1,324 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"remos/internal/maxmin"
+	"remos/internal/sim"
+)
+
+// Flow is a fluid traffic stream between two hosts. Concurrent flows share
+// each directed link max-min fairly; a flow with a Demand cap takes at most
+// that rate. Finite flows (a transfer of a fixed number of bytes) complete
+// by an event on the simulation clock and report their achieved throughput.
+type Flow struct {
+	ID  int
+	Src *Device
+	Dst *Device
+
+	net  *Network
+	path []dirHop
+
+	demand    float64 // bits/s cap; 0 = elastic
+	rate      float64 // current allocation, bits/s
+	remaining float64 // bytes left for finite flows; Inf for unbounded
+	sentBytes float64
+	started   time.Time
+	done      bool
+
+	completion *sim.Timer
+	onDone     func(*Flow)
+}
+
+// Rate returns the flow's currently allocated rate in bits per second.
+func (f *Flow) Rate() float64 {
+	f.net.mu.Lock()
+	defer f.net.mu.Unlock()
+	return f.rate
+}
+
+// Sent returns bytes transferred so far, advanced to the current time.
+func (f *Flow) Sent() float64 {
+	f.net.mu.Lock()
+	defer f.net.mu.Unlock()
+	f.net.advanceLocked(f.net.sched.Now())
+	return f.sentBytes
+}
+
+// Done reports whether a finite flow has completed or the flow was stopped.
+func (f *Flow) Done() bool {
+	f.net.mu.Lock()
+	defer f.net.mu.Unlock()
+	return f.done
+}
+
+// Started returns the simulation time the flow was started.
+func (f *Flow) Started() time.Time { return f.started }
+
+// SetDemand changes the flow's rate cap (0 = elastic) and reallocates.
+func (f *Flow) SetDemand(bitsPerSec float64) {
+	n := f.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f.done {
+		return
+	}
+	n.advanceLocked(n.sched.Now())
+	f.demand = bitsPerSec
+	n.reallocateLocked()
+}
+
+// Stop removes the flow from the network and returns the bytes it
+// transferred and the time it was active. Stopping a completed or stopped
+// flow returns its final figures.
+func (f *Flow) Stop() (bytes float64, active time.Duration) {
+	n := f.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.sched.Now()
+	n.advanceLocked(now)
+	if !f.done {
+		n.removeFlowLocked(f)
+		n.reallocateLocked()
+	}
+	return f.sentBytes, now.Sub(f.started)
+}
+
+// FlowSpec configures StartFlow.
+type FlowSpec struct {
+	// Demand caps the flow's rate in bits per second; 0 means elastic
+	// (the flow takes its full max-min share).
+	Demand float64
+	// Bytes, if positive, makes the flow a finite transfer that
+	// completes after that many bytes.
+	Bytes float64
+	// OnComplete runs (on the scheduler goroutine) when a finite flow
+	// finishes.
+	OnComplete func(*Flow)
+}
+
+// StartFlow starts a fluid flow from src to dst. The path is resolved once
+// at start (static routing).
+func (n *Network) StartFlow(src, dst *Device, spec FlowSpec) (*Flow, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if src.Kind != Host || dst.Kind != Host {
+		return nil, fmt.Errorf("netsim: flows run between hosts (got %s, %s)", src.Kind, dst.Kind)
+	}
+	path, err := n.resolvePathLocked(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	now := n.sched.Now()
+	n.advanceLocked(now)
+	n.nextFlowID++
+	f := &Flow{
+		ID:        n.nextFlowID,
+		Src:       src,
+		Dst:       dst,
+		net:       n,
+		path:      path,
+		demand:    spec.Demand,
+		remaining: math.Inf(1),
+		started:   now,
+		onDone:    spec.OnComplete,
+	}
+	if spec.Bytes > 0 {
+		f.remaining = spec.Bytes
+	}
+	n.flows[f.ID] = f
+	n.reallocateLocked()
+	return f, nil
+}
+
+// advanceLocked integrates all flow transfers and interface counters from
+// lastAdvance to now. Caller holds n.mu.
+func (n *Network) advanceLocked(now time.Time) {
+	dt := now.Sub(n.lastAdvance).Seconds()
+	if dt <= 0 {
+		return
+	}
+	n.lastAdvance = now
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		bytes := f.rate * dt / 8
+		if bytes > f.remaining {
+			bytes = f.remaining
+		}
+		f.sentBytes += bytes
+		if !math.IsInf(f.remaining, 1) {
+			f.remaining -= bytes
+		}
+		for _, h := range f.path {
+			h.out().outOctets += bytes
+			h.in().inOctets += bytes
+		}
+	}
+}
+
+// reallocateLocked recomputes max-min shares for all active flows and
+// reschedules completion events for finite flows. Caller holds n.mu and
+// must have advanced accounting to the current time first.
+func (n *Network) reallocateLocked() {
+	// Build the directed-capacity problem: 2 directed capacities per
+	// link (index link.ID*2 for A->B, +1 for B->A).
+	caps := make([]float64, len(n.links)*2)
+	for _, l := range n.links {
+		caps[l.ID*2] = l.Capacity
+		caps[l.ID*2+1] = l.Capacity
+	}
+	ids := make([]int, 0, len(n.flows))
+	for id := range n.flows {
+		ids = append(ids, id)
+	}
+	// Deterministic order (map iteration is random).
+	sort.Ints(ids)
+	problem := make([]maxmin.Flow, len(ids))
+	for i, id := range ids {
+		f := n.flows[id]
+		links := make([]int, len(f.path))
+		for j, h := range f.path {
+			idx := h.link.ID * 2
+			if !h.fromA {
+				idx++
+			}
+			links[j] = idx
+		}
+		problem[i] = maxmin.Flow{Links: links, Demand: f.demand}
+	}
+	rates, err := maxmin.Allocate(caps, problem)
+	if err != nil {
+		// Only possible via an internal indexing bug.
+		panic(fmt.Sprintf("netsim: allocation failed: %v", err))
+	}
+	now := n.sched.Now()
+	for i, id := range ids {
+		f := n.flows[id]
+		f.rate = rates[i]
+		if f.completion != nil {
+			f.completion.Stop()
+			f.completion = nil
+		}
+		if math.IsInf(f.remaining, 1) {
+			continue
+		}
+		if f.remaining <= 0.5 {
+			// Finished within float tolerance: complete immediately.
+			n.scheduleCompletionLocked(f, now)
+			continue
+		}
+		if f.rate <= 0 {
+			continue // stalled; will be rescheduled when rates change
+		}
+		eta := time.Duration(f.remaining * 8 / f.rate * float64(time.Second))
+		if eta < 0 {
+			eta = 0
+		}
+		n.scheduleCompletionLocked(f, now.Add(eta))
+	}
+}
+
+func (n *Network) scheduleCompletionLocked(f *Flow, at time.Time) {
+	f.completion = n.sched.At(at, func() {
+		n.completeFlow(f)
+	})
+}
+
+func (n *Network) completeFlow(f *Flow) {
+	n.mu.Lock()
+	if f.done {
+		n.mu.Unlock()
+		return
+	}
+	n.advanceLocked(n.sched.Now())
+	if f.remaining > 0.5 {
+		// Rates changed since this event was scheduled and the stop
+		// raced; reallocate will have rescheduled. Ignore.
+		n.mu.Unlock()
+		return
+	}
+	n.removeFlowLocked(f)
+	n.reallocateLocked()
+	cb := f.onDone
+	n.mu.Unlock()
+	if cb != nil {
+		cb(f)
+	}
+}
+
+func (n *Network) removeFlowLocked(f *Flow) {
+	f.done = true
+	f.rate = 0
+	if f.completion != nil {
+		f.completion.Stop()
+		f.completion = nil
+	}
+	delete(n.flows, f.ID)
+}
+
+// ActiveFlows returns the number of flows currently in the network.
+func (n *Network) ActiveFlows() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.flows)
+}
+
+// LinkRate returns the current aggregate flow rate over the link in the
+// A->B direction (aToB) and B->A direction, in bits per second. This is
+// the ground truth Figures 4 and 5 compare the SNMP Collector against.
+func (n *Network) LinkRate(l *Link) (aToB, bToA float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, f := range n.flows {
+		for _, h := range f.path {
+			if h.link != l {
+				continue
+			}
+			if h.fromA {
+				aToB += f.rate
+			} else {
+				bToA += f.rate
+			}
+		}
+	}
+	return aToB, bToA
+}
+
+// Transfer runs a finite transfer of the given size between two hosts to
+// completion, driving the simulated clock, and returns the achieved
+// throughput in bits per second. It requires the network's scheduler to be
+// a *sim.Sim. Background flows keep running (and completing) while the
+// transfer proceeds.
+func (n *Network) Transfer(src, dst *Device, bytes float64, demand float64) (throughput float64, elapsed time.Duration, err error) {
+	s, ok := n.sched.(*sim.Sim)
+	if !ok {
+		return 0, 0, fmt.Errorf("netsim: Transfer requires a simulated scheduler")
+	}
+	doneAt := time.Time{}
+	f, err := n.StartFlow(src, dst, FlowSpec{
+		Demand: demand,
+		Bytes:  bytes,
+		OnComplete: func(f *Flow) {
+			doneAt = s.Now()
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	start := s.Now()
+	for doneAt.IsZero() {
+		if !s.Step() {
+			return 0, 0, fmt.Errorf("netsim: simulation ran dry before transfer %d completed", f.ID)
+		}
+	}
+	elapsed = doneAt.Sub(start)
+	if elapsed <= 0 {
+		return math.Inf(1), 0, nil
+	}
+	return bytes * 8 / elapsed.Seconds(), elapsed, nil
+}

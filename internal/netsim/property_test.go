@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"remos/internal/sim"
+)
+
+// randomCampus builds a random routed+switched internetwork: several
+// wings (router + switch tree + hosts) joined through a core segment.
+func randomCampus(rng *rand.Rand) (*Network, []*Device) {
+	s := sim.NewSim()
+	n := New(s)
+	core := n.AddSwitch("core")
+	wings := 2 + rng.Intn(3)
+	var hosts []*Device
+	for w := 0; w < wings; w++ {
+		r := n.AddRouter("r" + strconv.Itoa(w))
+		n.Connect(r, core, 1e9, time.Millisecond)
+		// A random switch tree under the wing.
+		sws := []*Device{n.AddSwitch("w" + strconv.Itoa(w) + "s0")}
+		n.Connect(sws[0], r, 1e9, time.Millisecond)
+		extra := rng.Intn(3)
+		for k := 1; k <= extra; k++ {
+			sw := n.AddSwitch("w" + strconv.Itoa(w) + "s" + strconv.Itoa(k))
+			n.Connect(sw, sws[rng.Intn(len(sws))], 1e9, time.Millisecond)
+			sws = append(sws, sw)
+		}
+		nh := 1 + rng.Intn(4)
+		for k := 0; k < nh; k++ {
+			h := n.AddHost("w" + strconv.Itoa(w) + "h" + strconv.Itoa(k))
+			n.Connect(h, sws[rng.Intn(len(sws))], 100e6, time.Millisecond)
+			hosts = append(hosts, h)
+		}
+	}
+	n.AssignSubnets()
+	n.ComputeRoutes()
+	return n, hosts
+}
+
+// Property: every host pair routes loop-free, and the path visits only
+// hosts at the endpoints.
+func TestPropertyRoutingLoopFree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, hosts := randomCampus(rng)
+		for trial := 0; trial < 6; trial++ {
+			a := hosts[rng.Intn(len(hosts))]
+			b := hosts[rng.Intn(len(hosts))]
+			if a == b {
+				continue
+			}
+			path, err := n.Path(a, b)
+			if err != nil {
+				t.Logf("no path %s->%s: %v", a.Name, b.Name, err)
+				return false
+			}
+			seen := map[*Device]bool{}
+			for i, d := range path {
+				if seen[d] {
+					t.Logf("loop through %s", d.Name)
+					return false
+				}
+				seen[d] = true
+				if d.Kind == Host && i != 0 && i != len(path)-1 {
+					t.Logf("path transits host %s", d.Name)
+					return false
+				}
+			}
+			if path[0] != a || path[len(path)-1] != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flow conservation — whatever a host sends arrives: the
+// receiver's in-octets delta equals the sender's transferred bytes, and
+// every interface on the path saw the same amount.
+func TestPropertyFlowConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0xf10))
+		n, hosts := randomCampus(rng)
+		a := hosts[rng.Intn(len(hosts))]
+		b := hosts[rng.Intn(len(hosts))]
+		if a == b {
+			return true
+		}
+		s := n.Scheduler().(*sim.Sim)
+		demand := float64(1+rng.Intn(50)) * 1e6
+		fl, err := n.StartFlow(a, b, FlowSpec{Demand: demand})
+		if err != nil {
+			return false
+		}
+		dur := time.Duration(1+rng.Intn(20)) * time.Second
+		s.RunFor(dur)
+		sent := fl.Sent()
+		in, _ := b.Ifaces()[0].Counters()
+		if math.Abs(float64(in)-sent) > 2 {
+			t.Logf("receiver saw %d, sender sent %v", in, sent)
+			return false
+		}
+		_, out := a.Ifaces()[0].Counters()
+		if math.Abs(float64(out)-sent) > 2 {
+			t.Logf("sender iface out %d vs sent %v", out, sent)
+			return false
+		}
+		// The flow never exceeded its demand.
+		maxBytes := demand / 8 * dur.Seconds()
+		if sent > maxBytes+2 {
+			t.Logf("sent %v exceeds demand ceiling %v", sent, maxBytes)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concurrent random flows never over-subscribe any link.
+func TestPropertyNoLinkOversubscription(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0xcafe))
+		n, hosts := randomCampus(rng)
+		if len(hosts) < 2 {
+			return true
+		}
+		for k := 0; k < 6; k++ {
+			a := hosts[rng.Intn(len(hosts))]
+			b := hosts[rng.Intn(len(hosts))]
+			if a == b {
+				continue
+			}
+			var demand float64
+			if rng.Intn(2) == 0 {
+				demand = float64(1+rng.Intn(200)) * 1e6
+			}
+			n.StartFlow(a, b, FlowSpec{Demand: demand})
+		}
+		for _, l := range n.Links() {
+			fwd, rev := n.LinkRate(l)
+			if fwd > l.Capacity*(1+1e-9) || rev > l.Capacity*(1+1e-9) {
+				t.Logf("link %d oversubscribed: %v/%v of %v", l.ID, fwd, rev, l.Capacity)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// This file provides the scripted and stochastic background-traffic
+// processes the experiments use: the Netperf-style burst generator of
+// Figures 4/5 and the random cross-traffic that makes the mirrored-server
+// and video experiments (Figures 8-11, Table 1) non-trivial.
+
+// Burst is one constant-rate traffic episode.
+type Burst struct {
+	Start time.Time
+	Dur   time.Duration
+	Rate  float64 // bits per second
+}
+
+// ScriptBursts runs a sequence of constant-rate bursts from src to dst,
+// creating a demand-capped flow for each burst. It returns a function
+// reporting the scripted (ground-truth) send rate at any time, which
+// accuracy experiments compare against collector observations.
+func (n *Network) ScriptBursts(src, dst *Device, bursts []Burst) (truth func(time.Time) float64, err error) {
+	for _, b := range bursts {
+		b := b
+		startDelay := b.Start.Sub(n.sched.Now())
+		if startDelay < 0 {
+			startDelay = 0
+		}
+		n.sched.After(startDelay, func() {
+			f, err := n.StartFlow(src, dst, FlowSpec{Demand: b.Rate})
+			if err != nil {
+				return // path broke mid-experiment; burst is lost
+			}
+			n.sched.After(b.Dur, func() { f.Stop() })
+		})
+	}
+	return func(t time.Time) float64 {
+		var r float64
+		for _, b := range bursts {
+			if !t.Before(b.Start) && t.Before(b.Start.Add(b.Dur)) {
+				r += b.Rate
+			}
+		}
+		return r
+	}, nil
+}
+
+// CrossTraffic is a stochastic background load between two hosts: an
+// elastic-capped flow whose demand is re-drawn periodically from a
+// bounded random walk. It keeps a path busy with time-varying load so that
+// available bandwidth measured by Remos fluctuates realistically.
+type CrossTraffic struct {
+	flow   *Flow
+	timer  interface{ Stop() bool }
+	rng    *rand.Rand
+	mean   float64
+	jitter float64 // fraction of mean used as the walk step scale
+	cur    float64
+	minR   float64
+	maxR   float64
+}
+
+// CrossTrafficSpec configures StartCrossTraffic.
+type CrossTrafficSpec struct {
+	Mean   float64       // long-run mean demand, bits/s
+	Jitter float64       // step scale as a fraction of mean (e.g. 0.2)
+	Period time.Duration // how often the demand is re-drawn
+	Seed   int64
+}
+
+// StartCrossTraffic starts a stochastic background flow between the hosts.
+func (n *Network) StartCrossTraffic(src, dst *Device, spec CrossTrafficSpec) (*CrossTraffic, error) {
+	if spec.Period <= 0 {
+		spec.Period = time.Second
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	ct := &CrossTraffic{
+		rng:    rng,
+		mean:   spec.Mean,
+		jitter: spec.Jitter,
+		cur:    spec.Mean,
+		minR:   0,
+		maxR:   2 * spec.Mean,
+	}
+	f, err := n.StartFlow(src, dst, FlowSpec{Demand: ct.cur})
+	if err != nil {
+		return nil, err
+	}
+	ct.flow = f
+	ct.timer = n.sched.Every(spec.Period, func() {
+		// Mean-reverting bounded walk.
+		step := ct.jitter * ct.mean * (2*ct.rng.Float64() - 1)
+		ct.cur += step + 0.1*(ct.mean-ct.cur)
+		if ct.cur < ct.minR {
+			ct.cur = ct.minR
+		}
+		if ct.cur > ct.maxR {
+			ct.cur = ct.maxR
+		}
+		ct.flow.SetDemand(ct.cur)
+	})
+	return ct, nil
+}
+
+// Stop halts the background process and removes its flow.
+func (ct *CrossTraffic) Stop() {
+	if ct.timer != nil {
+		ct.timer.Stop()
+	}
+	ct.flow.Stop()
+}
+
+// Demand returns the current demand of the background flow in bits/s.
+func (ct *CrossTraffic) Demand() float64 { return ct.cur }

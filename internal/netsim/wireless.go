@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Wireless support: the paper's Section 3.1 mentions "a collector for
+// wireless LANs (802.11) is under development", and Section 6.2 lists
+// mobile-host support as ongoing work. The emulator models an access
+// point as a bridge with radio associations: each associated station gets
+// a point-to-point link whose capacity is the negotiated PHY rate, which
+// degrades with signal quality and changes on roam.
+
+// Assoc describes one station's association with an access point.
+type Assoc struct {
+	MAC   MAC
+	Rate  float64 // negotiated PHY rate, bits per second
+	RSSI  int     // received signal strength indicator, dBm (negative)
+	Since time.Time
+}
+
+// AccessPoint is a bridge whose downstream ports are radio associations.
+type AccessPoint struct {
+	Dev *Device
+
+	mu    sync.Mutex
+	net   *Network
+	assoc map[MAC]Assoc
+}
+
+// Dot11Rates are the 802.11a/g PHY rate steps the emulator negotiates,
+// best first.
+var Dot11Rates = []float64{54e6, 48e6, 36e6, 24e6, 18e6, 12e6, 9e6, 6e6}
+
+// RateForRSSI maps signal strength to the negotiated PHY rate, a standard
+// monotone step function (≥ -55 dBm gets the top rate; below -89 dBm the
+// station cannot associate and 0 is returned).
+func RateForRSSI(rssi int) float64 {
+	switch {
+	case rssi >= -55:
+		return Dot11Rates[0]
+	case rssi >= -60:
+		return Dot11Rates[1]
+	case rssi >= -65:
+		return Dot11Rates[2]
+	case rssi >= -70:
+		return Dot11Rates[3]
+	case rssi >= -75:
+		return Dot11Rates[4]
+	case rssi >= -80:
+		return Dot11Rates[5]
+	case rssi >= -85:
+		return Dot11Rates[6]
+	case rssi >= -89:
+		return Dot11Rates[7]
+	}
+	return 0
+}
+
+// AddAccessPoint creates an access point. The returned AP's device is a
+// switch (it bridges at level 2, appears in Bridge-MIB walks, and can be
+// uplinked with Connect like any switch); stations join with Associate.
+func (n *Network) AddAccessPoint(name string) *AccessPoint {
+	d := n.AddSwitch(name)
+	ap := &AccessPoint{Dev: d, net: n, assoc: make(map[MAC]Assoc)}
+	n.mu.Lock()
+	if n.aps == nil {
+		n.aps = make(map[*Device]*AccessPoint)
+	}
+	n.aps[d] = ap
+	n.mu.Unlock()
+	return ap
+}
+
+// AccessPointOf returns the AccessPoint wrapper for a device, or nil.
+func (n *Network) AccessPointOf(d *Device) *AccessPoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.aps[d]
+}
+
+// Associate joins (or re-joins, on roam) a single-homed host to the
+// access point at the rate implied by the given signal strength. A host
+// already associated elsewhere is moved — its forwarding entries follow,
+// which is exactly the event the Bridge and wireless collectors must
+// track. Returns the negotiated rate.
+func (ap *AccessPoint) Associate(h *Device, rssi int) (float64, error) {
+	rate := RateForRSSI(rssi)
+	if rate <= 0 {
+		return 0, fmt.Errorf("netsim: %s cannot associate with %s at %d dBm", h.Name, ap.Dev.Name, rssi)
+	}
+	if h.Kind != Host || len(h.Ifaces()) > 1 {
+		return 0, fmt.Errorf("netsim: Associate requires a single-homed host")
+	}
+	// First association must happen before AssignSubnets (the station
+	// needs an address on the AP's segment); later calls are roams.
+	first := len(h.Ifaces()) == 0
+
+	// The radio link: wireless is half-duplexish and contended; the
+	// emulator models the association as a dedicated link at the PHY
+	// rate with a short airtime delay.
+	n := ap.net
+	if first {
+		n.Connect(h, ap.Dev, rate, 2*time.Millisecond)
+	} else {
+		n.MoveHost(h, ap.Dev, rate, 2*time.Millisecond)
+	}
+	mac := MAC(h.Ifaces()[0].MAC)
+
+	// Drop any previous association (possibly on another AP).
+	n.mu.Lock()
+	for _, other := range n.aps {
+		if other == ap {
+			continue
+		}
+		other.mu.Lock()
+		delete(other.assoc, mac)
+		other.mu.Unlock()
+	}
+	n.mu.Unlock()
+	ap.mu.Lock()
+	ap.assoc[mac] = Assoc{MAC: mac, Rate: rate, RSSI: rssi, Since: n.sched.Now()}
+	ap.mu.Unlock()
+	return rate, nil
+}
+
+// UpdateSignal renegotiates an associated station's rate after a signal
+// change (the station walking away from the AP), without a roam.
+func (ap *AccessPoint) UpdateSignal(h *Device, rssi int) (float64, error) {
+	mac := MAC(h.Ifaces()[0].MAC)
+	ap.mu.Lock()
+	_, ok := ap.assoc[mac]
+	ap.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("netsim: %s is not associated with %s", h.Name, ap.Dev.Name)
+	}
+	return ap.Associate(h, rssi)
+}
+
+// Associations lists the AP's current stations, stable order.
+func (ap *AccessPoint) Associations() []Assoc {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	out := make([]Assoc, 0, len(ap.assoc))
+	for _, a := range ap.assoc {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessMAC(out[i].MAC, out[j].MAC) })
+	return out
+}
+
+// Association returns one station's association, if present.
+func (ap *AccessPoint) Association(mac MAC) (Assoc, bool) {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	a, ok := ap.assoc[mac]
+	return a, ok
+}

@@ -1,0 +1,425 @@
+// Package proto implements the two Remos component protocols: the
+// original line-oriented ASCII protocol over TCP ("a simple ASCII
+// protocol", Section 3.2) and the XML-over-HTTP protocol the paper
+// describes transitioning to, which additionally carries measurement
+// history so modelers can drive prediction from collector-side data.
+//
+// Both protocols expose any collector.Interface remotely, and both client
+// types implement collector.Interface, so a remote Master Collector plugs
+// into a Modeler exactly like a local one.
+package proto
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/topology"
+)
+
+// writeQuery sends one ASCII query. The third header flag (predictions)
+// extends the original protocol; servers and clients accept both forms.
+func writeQuery(w io.Writer, q collector.Query) error {
+	hist, pred := 0, 0
+	if q.WithHistory {
+		hist = 1
+	}
+	if q.WithPredictions {
+		pred = 1
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "QUERY %d %d %d\n", len(q.Hosts), hist, pred)
+	for _, h := range q.Hosts {
+		fmt.Fprintln(bw, h.String())
+	}
+	fmt.Fprintln(bw, "END")
+	return bw.Flush()
+}
+
+// readQuery parses one ASCII query; io.EOF on a cleanly closed connection.
+func readQuery(r *bufio.Reader) (collector.Query, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return collector.Query{}, err
+	}
+	f := strings.Fields(line)
+	if (len(f) != 3 && len(f) != 4) || f[0] != "QUERY" {
+		return collector.Query{}, fmt.Errorf("proto: bad query header %q", strings.TrimSpace(line))
+	}
+	nums := make([]int, 0, 3)
+	for _, s := range f[1:] {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return collector.Query{}, fmt.Errorf("proto: bad query header %q", strings.TrimSpace(line))
+		}
+		nums = append(nums, v)
+	}
+	n, hist := nums[0], nums[1]
+	pred := 0
+	if len(nums) == 3 {
+		pred = nums[2]
+	}
+	if n < 0 || n > 1<<20 {
+		return collector.Query{}, fmt.Errorf("proto: absurd host count %d", n)
+	}
+	q := collector.Query{WithHistory: hist != 0, WithPredictions: pred != 0}
+	for i := 0; i < n; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return collector.Query{}, err
+		}
+		a, err := netip.ParseAddr(strings.TrimSpace(line))
+		if err != nil {
+			return collector.Query{}, fmt.Errorf("proto: bad host %q: %v", strings.TrimSpace(line), err)
+		}
+		q.Hosts = append(q.Hosts, a)
+	}
+	line, err = r.ReadString('\n')
+	if err != nil {
+		return collector.Query{}, err
+	}
+	if strings.TrimSpace(line) != "END" {
+		return collector.Query{}, fmt.Errorf("proto: missing END, got %q", strings.TrimSpace(line))
+	}
+	return q, nil
+}
+
+// writeResult sends one ASCII result.
+func writeResult(w io.Writer, res *collector.Result) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "OK")
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := res.Graph.EncodeText(w); err != nil {
+		return err
+	}
+	keys := make([]collector.HistKey, 0, len(res.History))
+	for k := range res.History {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].From != keys[j].From {
+			return keys[i].From < keys[j].From
+		}
+		return keys[i].To < keys[j].To
+	})
+	fmt.Fprintf(bw, "HISTORY %d\n", len(keys))
+	for _, k := range keys {
+		ss := res.History[k]
+		fmt.Fprintf(bw, "HIST %s %s %d\n", k.From, k.To, len(ss))
+		for _, s := range ss {
+			fmt.Fprintf(bw, "%d %g\n", s.T.UnixNano(), s.Bits)
+		}
+	}
+	if len(res.Predictions) > 0 {
+		pkeys := make([]collector.HistKey, 0, len(res.Predictions))
+		for k := range res.Predictions {
+			pkeys = append(pkeys, k)
+		}
+		sort.Slice(pkeys, func(i, j int) bool {
+			if pkeys[i].From != pkeys[j].From {
+				return pkeys[i].From < pkeys[j].From
+			}
+			return pkeys[i].To < pkeys[j].To
+		})
+		fmt.Fprintf(bw, "PREDICTIONS %d\n", len(pkeys))
+		for _, k := range pkeys {
+			f := res.Predictions[k]
+			fmt.Fprintf(bw, "PRED %s %s %d\n", k.From, k.To, len(f.Values))
+			for i := range f.Values {
+				ev := 0.0
+				if i < len(f.ErrVar) {
+					ev = f.ErrVar[i]
+				}
+				fmt.Fprintf(bw, "%g %g\n", f.Values[i], ev)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "DONE")
+	return bw.Flush()
+}
+
+func writeError(w io.Writer, err error) {
+	fmt.Fprintf(w, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+}
+
+// readResult parses one ASCII result.
+func readResult(r *bufio.Reader) (*collector.Result, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR ") {
+		return nil, fmt.Errorf("proto: remote error: %s", strings.TrimPrefix(line, "ERR "))
+	}
+	if line != "OK" {
+		return nil, fmt.Errorf("proto: unexpected response %q", line)
+	}
+	g, err := topology.DecodeText(&lineLimitedReader{r: r})
+	if err != nil {
+		return nil, err
+	}
+	res := &collector.Result{Graph: g}
+	line, err = r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	var nk int
+	if _, err := fmt.Sscanf(line, "HISTORY %d", &nk); err != nil {
+		return nil, fmt.Errorf("proto: bad history header %q", strings.TrimSpace(line))
+	}
+	if nk > 0 {
+		res.History = make(map[collector.HistKey][]collector.Sample, nk)
+	}
+	for i := 0; i < nk; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		f := strings.Fields(line)
+		if len(f) != 4 || f[0] != "HIST" {
+			return nil, fmt.Errorf("proto: bad HIST line %q", strings.TrimSpace(line))
+		}
+		m, err := strconv.Atoi(f[3])
+		if err != nil || m < 0 {
+			return nil, fmt.Errorf("proto: bad sample count %q", f[3])
+		}
+		key := collector.HistKey{From: f[1], To: f[2]}
+		samples := make([]collector.Sample, 0, m)
+		for j := 0; j < m; j++ {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return nil, err
+			}
+			sf := strings.Fields(line)
+			if len(sf) != 2 {
+				return nil, fmt.Errorf("proto: bad sample line %q", strings.TrimSpace(line))
+			}
+			ns, err1 := strconv.ParseInt(sf[0], 10, 64)
+			bits, err2 := strconv.ParseFloat(sf[1], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("proto: bad sample %q", strings.TrimSpace(line))
+			}
+			samples = append(samples, collector.Sample{T: time.Unix(0, ns), Bits: bits})
+		}
+		res.History[key] = samples
+	}
+	line, err = r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "PREDICTIONS ") {
+		nk, err := strconv.Atoi(strings.TrimPrefix(line, "PREDICTIONS "))
+		if err != nil || nk < 0 {
+			return nil, fmt.Errorf("proto: bad predictions header %q", line)
+		}
+		if nk > 0 {
+			res.Predictions = make(map[collector.HistKey]collector.Forecast, nk)
+		}
+		for i := 0; i < nk; i++ {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return nil, err
+			}
+			f := strings.Fields(line)
+			if len(f) != 4 || f[0] != "PRED" {
+				return nil, fmt.Errorf("proto: bad PRED line %q", strings.TrimSpace(line))
+			}
+			h, err := strconv.Atoi(f[3])
+			if err != nil || h < 0 {
+				return nil, fmt.Errorf("proto: bad horizon %q", f[3])
+			}
+			fc := collector.Forecast{
+				Values: make([]float64, 0, h),
+				ErrVar: make([]float64, 0, h),
+			}
+			for j := 0; j < h; j++ {
+				line, err := r.ReadString('\n')
+				if err != nil {
+					return nil, err
+				}
+				sf := strings.Fields(line)
+				if len(sf) != 2 {
+					return nil, fmt.Errorf("proto: bad forecast line %q", strings.TrimSpace(line))
+				}
+				v, err1 := strconv.ParseFloat(sf[0], 64)
+				ev, err2 := strconv.ParseFloat(sf[1], 64)
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("proto: bad forecast numbers %q", strings.TrimSpace(line))
+				}
+				fc.Values = append(fc.Values, v)
+				fc.ErrVar = append(fc.ErrVar, ev)
+			}
+			res.Predictions[collector.HistKey{From: f[1], To: f[2]}] = fc
+		}
+		line2, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSpace(line2)
+	}
+	if line != "DONE" {
+		return nil, fmt.Errorf("proto: missing DONE trailer")
+	}
+	return res, nil
+}
+
+// lineLimitedReader adapts a bufio.Reader to io.Reader for the graph
+// decoder without over-reading: the graph format is line-oriented and
+// self-delimiting (header gives counts, END trails), so we feed it exactly
+// the lines it needs.
+type lineLimitedReader struct {
+	r    *bufio.Reader
+	buf  []byte
+	done bool
+}
+
+func (l *lineLimitedReader) Read(p []byte) (int, error) {
+	if len(l.buf) == 0 {
+		if l.done {
+			return 0, io.EOF
+		}
+		line, err := l.r.ReadString('\n')
+		if err != nil {
+			return 0, err
+		}
+		if strings.TrimSpace(line) == "END" {
+			l.done = true
+		}
+		l.buf = []byte(line)
+	}
+	n := copy(p, l.buf)
+	l.buf = l.buf[n:]
+	return n, nil
+}
+
+// TCPServer serves a collector over the ASCII protocol. Connections are
+// persistent: a modeler can issue many queries over one connection.
+type TCPServer struct {
+	Collector collector.Interface
+
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// ListenAndServe binds addr ("127.0.0.1:0" for ephemeral) and serves in
+// the background, returning the bound address.
+func (s *TCPServer) ListenAndServe(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				for {
+					q, err := readQuery(r)
+					if err != nil {
+						return // EOF or garbage: drop the connection
+					}
+					res, err := s.Collector.Collect(q)
+					if err != nil {
+						writeError(conn, err)
+						continue
+					}
+					if err := writeResult(conn, res); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server and waits for active connections to finish their
+// current exchange.
+func (s *TCPServer) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	err := s.ln.Close()
+	return err
+}
+
+// TCPClient is a collector.Interface speaking the ASCII protocol to a
+// remote server, reconnecting on demand.
+type TCPClient struct {
+	Addr string
+	// Timeout bounds each query round trip (default 10s).
+	Timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Name implements collector.Interface.
+func (c *TCPClient) Name() string { return "remote-ascii:" + c.Addr }
+
+// Collect implements collector.Interface.
+func (c *TCPClient) Collect(q collector.Query) (*collector.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	try := func() (*collector.Result, error) {
+		if c.conn == nil {
+			conn, err := net.DialTimeout("tcp", c.Addr, timeout)
+			if err != nil {
+				return nil, err
+			}
+			c.conn = conn
+			c.r = bufio.NewReader(conn)
+		}
+		c.conn.SetDeadline(time.Now().Add(timeout))
+		if err := writeQuery(c.conn, q); err != nil {
+			return nil, err
+		}
+		return readResult(c.r)
+	}
+	res, err := try()
+	if err != nil && c.conn != nil {
+		// Stale connection: reconnect once.
+		c.conn.Close()
+		c.conn = nil
+		res, err = try()
+	}
+	return res, err
+}
+
+// Close drops the client connection.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}

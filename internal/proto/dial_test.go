@@ -1,0 +1,7 @@
+package proto
+
+import "net"
+
+func netDialTCP(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}

@@ -1,0 +1,352 @@
+package proto
+
+import (
+	"fmt"
+	"net/netip"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/topology"
+)
+
+// echoCollector returns a fixed graph plus history and records queries.
+type echoCollector struct {
+	mu   sync.Mutex
+	got  []collector.Query
+	fail bool
+}
+
+func (e *echoCollector) Name() string { return "echo" }
+
+func (e *echoCollector) Collect(q collector.Query) (*collector.Result, error) {
+	e.mu.Lock()
+	e.got = append(e.got, q)
+	fail := e.fail
+	e.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("synthetic failure\nwith newline")
+	}
+	g := topology.NewGraph()
+	for _, h := range q.Hosts {
+		g.AddNode(topology.Node{ID: h.String(), Kind: topology.HostNode, Addr: h.String()})
+	}
+	hosts := q.Hosts
+	for i := 0; i+1 < len(hosts); i++ {
+		g.AddLink(topology.Link{
+			From: hosts[i].String(), To: hosts[i+1].String(),
+			Capacity: 10e6, UtilFromTo: 1e6, Latency: 5 * time.Millisecond,
+		})
+	}
+	res := &collector.Result{Graph: g}
+	if q.WithHistory && len(hosts) >= 2 {
+		res.History = map[collector.HistKey][]collector.Sample{
+			{From: hosts[0].String(), To: hosts[1].String()}: {
+				{T: time.Unix(0, 1000), Bits: 1e6},
+				{T: time.Unix(0, 2000), Bits: 2e6},
+			},
+		}
+	}
+	return res, nil
+}
+
+func (e *echoCollector) queries() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.got)
+}
+
+func hostList(ss ...string) []netip.Addr {
+	var out []netip.Addr
+	for _, s := range ss {
+		out = append(out, netip.MustParseAddr(s))
+	}
+	return out
+}
+
+func checkRoundTrip(t *testing.T, cl collector.Interface) {
+	t.Helper()
+	q := collector.Query{Hosts: hostList("10.0.1.1", "10.0.2.2"), WithHistory: true}
+	res, err := cl.Collect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Graph.Nodes()) != 2 || len(res.Graph.Links()) != 1 {
+		t.Fatalf("graph %d nodes %d links", len(res.Graph.Nodes()), len(res.Graph.Links()))
+	}
+	l := res.Graph.Links()[0]
+	if l.Capacity != 10e6 || l.UtilFromTo != 1e6 || l.Latency != 5*time.Millisecond {
+		t.Fatalf("link did not survive: %+v", l)
+	}
+	hist := res.History[collector.HistKey{From: "10.0.1.1", To: "10.0.2.2"}]
+	want := []collector.Sample{
+		{T: time.Unix(0, 1000), Bits: 1e6},
+		{T: time.Unix(0, 2000), Bits: 2e6},
+	}
+	if !reflect.DeepEqual(hist, want) {
+		t.Fatalf("history = %v, want %v", hist, want)
+	}
+}
+
+func TestASCIIRoundTrip(t *testing.T) {
+	srv := &TCPServer{Collector: &echoCollector{}}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &TCPClient{Addr: addr}
+	defer cl.Close()
+	checkRoundTrip(t, cl)
+}
+
+func TestASCIIPersistentConnection(t *testing.T) {
+	ec := &echoCollector{}
+	srv := &TCPServer{Collector: ec}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &TCPClient{Addr: addr}
+	defer cl.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Collect(collector.Query{Hosts: hostList("10.0.0.1")}); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if ec.queries() != 5 {
+		t.Fatalf("server saw %d queries, want 5", ec.queries())
+	}
+}
+
+func TestASCIIErrorPropagates(t *testing.T) {
+	ec := &echoCollector{fail: true}
+	srv := &TCPServer{Collector: ec}
+	addr, _ := srv.ListenAndServe("127.0.0.1:0")
+	defer srv.Close()
+	cl := &TCPClient{Addr: addr}
+	defer cl.Close()
+	_, err := cl.Collect(collector.Query{Hosts: hostList("10.0.0.1")})
+	if err == nil || !strings.Contains(err.Error(), "synthetic failure") {
+		t.Fatalf("err = %v, want remote synthetic failure", err)
+	}
+	// The connection survives an application-level error.
+	ec.fail = false
+	if _, err := cl.Collect(collector.Query{Hosts: hostList("10.0.0.1")}); err != nil {
+		t.Fatalf("post-error query failed: %v", err)
+	}
+}
+
+func TestASCIIReconnectAfterServerRestart(t *testing.T) {
+	ec := &echoCollector{}
+	srv := &TCPServer{Collector: ec}
+	addr, _ := srv.ListenAndServe("127.0.0.1:0")
+	cl := &TCPClient{Addr: addr, Timeout: 2 * time.Second}
+	defer cl.Close()
+	if _, err := cl.Collect(collector.Query{Hosts: hostList("10.0.0.1")}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv2 := &TCPServer{Collector: ec}
+	if _, err := srv2.ListenAndServe(addr); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	if _, err := cl.Collect(collector.Query{Hosts: hostList("10.0.0.1")}); err != nil {
+		t.Fatalf("reconnect failed: %v", err)
+	}
+}
+
+func TestXMLHTTPRoundTrip(t *testing.T) {
+	srv := &HTTPServer{Collector: &echoCollector{}}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &HTTPClient{BaseURL: "http://" + addr}
+	checkRoundTrip(t, cl)
+}
+
+func TestXMLHTTPErrorPropagates(t *testing.T) {
+	srv := &HTTPServer{Collector: &echoCollector{fail: true}}
+	addr, _ := srv.ListenAndServe("127.0.0.1:0")
+	defer srv.Close()
+	cl := &HTTPClient{BaseURL: "http://" + addr}
+	if _, err := cl.Collect(collector.Query{Hosts: hostList("10.0.0.1")}); err == nil {
+		t.Fatal("remote failure not reported")
+	}
+}
+
+func TestQueryWithoutHistoryOmitsIt(t *testing.T) {
+	for _, mk := range []func(t *testing.T) collector.Interface{
+		func(t *testing.T) collector.Interface {
+			srv := &TCPServer{Collector: &echoCollector{}}
+			addr, err := srv.ListenAndServe("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close() })
+			cl := &TCPClient{Addr: addr}
+			t.Cleanup(func() { cl.Close() })
+			return cl
+		},
+		func(t *testing.T) collector.Interface {
+			srv := &HTTPServer{Collector: &echoCollector{}}
+			addr, err := srv.ListenAndServe("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close() })
+			return &HTTPClient{BaseURL: "http://" + addr}
+		},
+	} {
+		cl := mk(t)
+		res, err := cl.Collect(collector.Query{Hosts: hostList("10.0.1.1", "10.0.2.2")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.History) != 0 {
+			t.Fatalf("%s: history sent without being requested", cl.Name())
+		}
+	}
+}
+
+func TestASCIIGarbageHandled(t *testing.T) {
+	srv := &TCPServer{Collector: &echoCollector{}}
+	addr, _ := srv.ListenAndServe("127.0.0.1:0")
+	defer srv.Close()
+	// A raw connection sending garbage must be dropped without harming
+	// the server.
+	cl := &TCPClient{Addr: addr}
+	defer cl.Close()
+	rawOK := make(chan struct{})
+	go func() {
+		defer close(rawOK)
+		c := &TCPClient{Addr: addr}
+		defer c.Close()
+		c.Collect(collector.Query{Hosts: hostList("10.0.0.1")})
+	}()
+	conn, err := netDial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("WHAT IS THIS\n"))
+	conn.Close()
+	<-rawOK
+	if _, err := cl.Collect(collector.Query{Hosts: hostList("10.0.0.1")}); err != nil {
+		t.Fatalf("server broken after garbage: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	ec := &echoCollector{}
+	srv := &TCPServer{Collector: ec}
+	addr, _ := srv.ListenAndServe("127.0.0.1:0")
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := &TCPClient{Addr: addr}
+			defer cl.Close()
+			for j := 0; j < 10; j++ {
+				if _, err := cl.Collect(collector.Query{Hosts: hostList("10.0.0.1", "10.0.0.2")}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if ec.queries() != 80 {
+		t.Fatalf("server saw %d queries, want 80", ec.queries())
+	}
+}
+
+func netDial(addr string) (interface {
+	Write([]byte) (int, error)
+	Close() error
+}, error) {
+	return netDialTCP(addr)
+}
+
+// predColl returns a graph plus a forecast for its single link.
+type predColl struct{ echoCollector }
+
+func (p *predColl) Collect(q collector.Query) (*collector.Result, error) {
+	res, err := p.echoCollector.Collect(q)
+	if err != nil {
+		return nil, err
+	}
+	if q.WithPredictions && len(q.Hosts) >= 2 {
+		res.Predictions = map[collector.HistKey]collector.Forecast{
+			{From: q.Hosts[0].String(), To: q.Hosts[1].String()}: {
+				Values: []float64{1e6, 2e6, 3e6},
+				ErrVar: []float64{1e10, 2e10, 3e10},
+			},
+		}
+	}
+	return res, nil
+}
+
+func checkPredictions(t *testing.T, cl collector.Interface) {
+	t.Helper()
+	res, err := cl.Collect(collector.Query{
+		Hosts:           hostList("10.0.1.1", "10.0.2.2"),
+		WithPredictions: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, ok := res.Predictions[collector.HistKey{From: "10.0.1.1", To: "10.0.2.2"}]
+	if !ok {
+		t.Fatalf("forecast lost in transit; got %d", len(res.Predictions))
+	}
+	want := []float64{1e6, 2e6, 3e6}
+	for i, v := range want {
+		if fc.Values[i] != v || fc.ErrVar[i] != v*1e4 {
+			t.Fatalf("forecast step %d = (%v, %v)", i, fc.Values[i], fc.ErrVar[i])
+		}
+	}
+	// Not requested -> omitted.
+	res, err = cl.Collect(collector.Query{Hosts: hostList("10.0.1.1", "10.0.2.2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Predictions) != 0 {
+		t.Fatal("unrequested predictions sent")
+	}
+}
+
+func TestASCIIPredictionsRoundTrip(t *testing.T) {
+	srv := &TCPServer{Collector: &predColl{}}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := &TCPClient{Addr: addr}
+	defer cl.Close()
+	checkPredictions(t, cl)
+}
+
+func TestXMLPredictionsRoundTrip(t *testing.T) {
+	srv := &HTTPServer{Collector: &predColl{}}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	checkPredictions(t, &HTTPClient{BaseURL: "http://" + addr})
+}

@@ -1,0 +1,269 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/netip"
+	"sort"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/topology"
+)
+
+// The XML-over-HTTP protocol ("we would like to replace [the text format]
+// with an XML format using HTTP as a communication protocol ... the XML
+// format will enable us to send an entire history of network measurements
+// to the RPS subsystem").
+
+type xmlQuery struct {
+	XMLName     xml.Name `xml:"query"`
+	Hosts       []string `xml:"host"`
+	History     bool     `xml:"history,attr,omitempty"`
+	Predictions bool     `xml:"predictions,attr,omitempty"`
+}
+
+type xmlSample struct {
+	T    int64   `xml:"t,attr"` // unix nanoseconds
+	Bits float64 `xml:"bits,attr"`
+}
+
+type xmlSeries struct {
+	From    string      `xml:"from,attr"`
+	To      string      `xml:"to,attr"`
+	Samples []xmlSample `xml:"sample"`
+}
+
+type xmlStep struct {
+	V  float64 `xml:"v,attr"`
+	Ev float64 `xml:"ev,attr"`
+}
+
+type xmlForecast struct {
+	From  string    `xml:"from,attr"`
+	To    string    `xml:"to,attr"`
+	Steps []xmlStep `xml:"step"`
+}
+
+type xmlResult struct {
+	XMLName   xml.Name      `xml:"result"`
+	Graph     innerXML      `xml:"topology"`
+	Series    []xmlSeries   `xml:"history>series"`
+	Forecasts []xmlForecast `xml:"predictions>forecast"`
+}
+
+// innerXML captures the topology element verbatim so the topology
+// package's own codec handles it.
+type innerXML struct {
+	Raw []byte `xml:",innerxml"`
+}
+
+// encodeResultXML renders a collector result.
+func encodeResultXML(res *collector.Result) ([]byte, error) {
+	var gbuf bytes.Buffer
+	if err := res.Graph.EncodeXML(&gbuf); err != nil {
+		return nil, err
+	}
+	// Re-parse to splice the topology element inside <result>: simplest
+	// correct composition without hand-writing XML.
+	out := xmlResult{}
+	// Strip the outer <topology> wrapper from the graph encoding; keep
+	// its inner content.
+	var probe struct {
+		Inner []byte `xml:",innerxml"`
+	}
+	if err := xml.Unmarshal(gbuf.Bytes(), &probe); err != nil {
+		return nil, err
+	}
+	out.Graph = innerXML{Raw: probe.Inner}
+	keys := make([]collector.HistKey, 0, len(res.History))
+	for k := range res.History {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].From != keys[j].From {
+			return keys[i].From < keys[j].From
+		}
+		return keys[i].To < keys[j].To
+	})
+	for _, k := range keys {
+		s := xmlSeries{From: k.From, To: k.To}
+		for _, smp := range res.History[k] {
+			s.Samples = append(s.Samples, xmlSample{T: smp.T.UnixNano(), Bits: smp.Bits})
+		}
+		out.Series = append(out.Series, s)
+	}
+	pkeys := make([]collector.HistKey, 0, len(res.Predictions))
+	for k := range res.Predictions {
+		pkeys = append(pkeys, k)
+	}
+	sort.Slice(pkeys, func(i, j int) bool {
+		if pkeys[i].From != pkeys[j].From {
+			return pkeys[i].From < pkeys[j].From
+		}
+		return pkeys[i].To < pkeys[j].To
+	})
+	for _, k := range pkeys {
+		fc := res.Predictions[k]
+		xf := xmlForecast{From: k.From, To: k.To}
+		for i := range fc.Values {
+			ev := 0.0
+			if i < len(fc.ErrVar) {
+				ev = fc.ErrVar[i]
+			}
+			xf.Steps = append(xf.Steps, xmlStep{V: fc.Values[i], Ev: ev})
+		}
+		out.Forecasts = append(out.Forecasts, xf)
+	}
+	return xml.MarshalIndent(out, "", " ")
+}
+
+// decodeResultXML parses a result document.
+func decodeResultXML(b []byte) (*collector.Result, error) {
+	var in xmlResult
+	if err := xml.Unmarshal(b, &in); err != nil {
+		return nil, err
+	}
+	gdoc := append([]byte("<topology>"), in.Graph.Raw...)
+	gdoc = append(gdoc, []byte("</topology>")...)
+	g, err := topology.DecodeXML(bytes.NewReader(gdoc))
+	if err != nil {
+		return nil, err
+	}
+	res := &collector.Result{Graph: g}
+	if len(in.Series) > 0 {
+		res.History = make(map[collector.HistKey][]collector.Sample, len(in.Series))
+		for _, s := range in.Series {
+			var ss []collector.Sample
+			for _, smp := range s.Samples {
+				ss = append(ss, collector.Sample{T: time.Unix(0, smp.T), Bits: smp.Bits})
+			}
+			res.History[collector.HistKey{From: s.From, To: s.To}] = ss
+		}
+	}
+	if len(in.Forecasts) > 0 {
+		res.Predictions = make(map[collector.HistKey]collector.Forecast, len(in.Forecasts))
+		for _, xf := range in.Forecasts {
+			fc := collector.Forecast{}
+			for _, st := range xf.Steps {
+				fc.Values = append(fc.Values, st.V)
+				fc.ErrVar = append(fc.ErrVar, st.Ev)
+			}
+			res.Predictions[collector.HistKey{From: xf.From, To: xf.To}] = fc
+		}
+	}
+	return res, nil
+}
+
+// HTTPServer serves a collector over the XML protocol at POST /query.
+type HTTPServer struct {
+	Collector collector.Interface
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ListenAndServe binds addr and serves in the background, returning the
+// bound address.
+func (s *HTTPServer) ListenAndServe(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *HTTPServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var xq xmlQuery
+	if err := xml.Unmarshal(body, &xq); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := collector.Query{WithHistory: xq.History, WithPredictions: xq.Predictions}
+	for _, h := range xq.Hosts {
+		a, err := netip.ParseAddr(h)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad host %q", h), http.StatusBadRequest)
+			return
+		}
+		q.Hosts = append(q.Hosts, a)
+	}
+	res, err := s.Collector.Collect(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	out, err := encodeResultXML(res)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(out)
+}
+
+// Close stops the server.
+func (s *HTTPServer) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// HTTPClient is a collector.Interface speaking the XML protocol.
+type HTTPClient struct {
+	// BaseURL is e.g. "http://host:port".
+	BaseURL string
+	// Client overrides the HTTP client (default: 10s timeout).
+	Client *http.Client
+}
+
+// Name implements collector.Interface.
+func (c *HTTPClient) Name() string { return "remote-xml:" + c.BaseURL }
+
+// Collect implements collector.Interface.
+func (c *HTTPClient) Collect(q collector.Query) (*collector.Result, error) {
+	xq := xmlQuery{History: q.WithHistory, Predictions: q.WithPredictions}
+	for _, h := range q.Hosts {
+		xq.Hosts = append(xq.Hosts, h.String())
+	}
+	body, err := xml.Marshal(xq)
+	if err != nil {
+		return nil, err
+	}
+	hc := c.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	resp, err := hc.Post(c.BaseURL+"/query", "application/xml", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("proto: remote error (%d): %s", resp.StatusCode, bytes.TrimSpace(out))
+	}
+	return decodeResultXML(out)
+}

@@ -1,0 +1,162 @@
+package rps
+
+import "fmt"
+
+// ARFitter fits an autoregressive model AR(p) by the Yule-Walker method
+// solved with Levinson-Durbin recursion. The Remos host-load prediction
+// system uses AR(16), which the RPS papers found appropriate despite host
+// load's complex behavior.
+type ARFitter struct {
+	// P is the model order (default 16, the paper's choice).
+	P int
+}
+
+// Name implements Fitter.
+func (f ARFitter) Name() string { return fmt.Sprintf("AR(%d)", f.order()) }
+
+func (f ARFitter) order() int {
+	if f.P <= 0 {
+		return 16
+	}
+	return f.P
+}
+
+// Fit implements Fitter.
+func (f ARFitter) Fit(series []float64) (Model, error) {
+	p := f.order()
+	if err := checkSeries(series, 2*p+2); err != nil {
+		return nil, err
+	}
+	acvf := autocovariance(series, p)
+	phi, sigma2, err := levinsonDurbin(acvf, p)
+	if err != nil {
+		return nil, err
+	}
+	m := &armaModel{
+		name:   f.Name(),
+		phi:    phi,
+		mu:     mean(series),
+		sigma2: sigma2,
+		hist:   newRing(p),
+		eps:    newRing(1),
+	}
+	m.prime(series)
+	return m, nil
+}
+
+// levinsonDurbin solves the Yule-Walker equations for AR(p) given
+// autocovariances acvf[0..p]. It returns the AR coefficients and the
+// innovation variance.
+func levinsonDurbin(acvf []float64, p int) (phi []float64, sigma2 float64, err error) {
+	if acvf[0] <= 0 {
+		// Constant series: model as zero-coefficient AR with zero
+		// variance; predictions will be the mean.
+		return make([]float64, p), 0, nil
+	}
+	phi = make([]float64, p)
+	prev := make([]float64, p)
+	sigma2 = acvf[0]
+	for k := 1; k <= p; k++ {
+		acc := acvf[k]
+		for j := 1; j < k; j++ {
+			acc -= prev[j-1] * acvf[k-j]
+		}
+		if sigma2 <= 1e-300 {
+			return nil, 0, errSingular
+		}
+		reflect := acc / sigma2
+		phi[k-1] = reflect
+		for j := 1; j < k; j++ {
+			phi[j-1] = prev[j-1] - reflect*prev[k-j-1]
+		}
+		sigma2 *= 1 - reflect*reflect
+		if sigma2 < 0 {
+			sigma2 = 0
+		}
+		copy(prev, phi[:k])
+	}
+	return phi, sigma2, nil
+}
+
+// armaModel is the shared runtime for AR, MA and ARMA models: an
+// ARMA(p,q) forecaster over deviations from the mean, tracking recent
+// observations and innovations.
+type armaModel struct {
+	name   string
+	phi    []float64 // AR coefficients
+	theta  []float64 // MA coefficients
+	mu     float64
+	sigma2 float64
+
+	hist *ring // recent observations (deviation form not stored; raw)
+	eps  *ring // recent innovations
+
+	lastForecast float64 // one-step forecast of the next observation
+	primed       bool
+}
+
+// prime replays the training series through the state rings so prediction
+// can start immediately after Fit.
+func (m *armaModel) prime(series []float64) {
+	for _, x := range series {
+		m.Step(x)
+	}
+}
+
+// Step implements Model: records the innovation against the previous
+// one-step forecast and updates state.
+func (m *armaModel) Step(x float64) {
+	var e float64
+	if m.primed {
+		e = x - m.lastForecast
+	}
+	m.hist.push(x)
+	if len(m.theta) > 0 {
+		m.eps.push(e)
+	}
+	m.primed = true
+	m.lastForecast = m.forecastOne()
+}
+
+// forecastOne computes the one-step forecast from current state.
+func (m *armaModel) forecastOne() float64 {
+	v := m.mu
+	for i, c := range m.phi {
+		v += c * (m.hist.at(i+1) - m.mu)
+	}
+	for i, c := range m.theta {
+		v += c * m.eps.at(i+1)
+	}
+	return v
+}
+
+// Predict implements Model with the standard ARMA forecast recursion:
+// future innovations are zero, future observations are replaced by their
+// forecasts.
+func (m *armaModel) Predict(k int) Prediction {
+	vals := make([]float64, k)
+	// devs[h] holds forecasted deviation at horizon h (1-based).
+	for h := 1; h <= k; h++ {
+		v := 0.0
+		for i, c := range m.phi {
+			lag := h - (i + 1) // index into prior forecasts
+			var dev float64
+			if lag >= 1 {
+				dev = vals[lag-1] - m.mu
+			} else {
+				dev = m.hist.at((i+1)-h+1) - m.mu
+			}
+			v += c * dev
+		}
+		for i, c := range m.theta {
+			lag := (i + 1) - h + 1 // innovation index in the past
+			if lag >= 1 {
+				v += c * m.eps.at(lag)
+			}
+			// Future innovations have expectation zero.
+		}
+		vals[h-1] = m.mu + v
+	}
+	psi := psiWeights(m.phi, m.theta, k)
+	return Prediction{Values: vals, ErrVar: errVarFromPsi(psi, m.sigma2)}
+}

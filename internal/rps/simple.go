@@ -1,0 +1,175 @@
+package rps
+
+import "fmt"
+
+// This file holds the trivial but practically important RPS models: the
+// long-term average (MEAN), the last-value predictor (LAST), and the
+// windowed average BM(p). The RPS papers found these are strong baselines
+// and orders of magnitude cheaper than Box-Jenkins models (Figure 7).
+
+// MeanFitter builds the long-term-average model: predictions are the
+// running mean of everything seen; error variance is the running variance.
+type MeanFitter struct{}
+
+// Name implements Fitter.
+func (MeanFitter) Name() string { return "MEAN" }
+
+// Fit implements Fitter.
+func (MeanFitter) Fit(series []float64) (Model, error) {
+	if err := checkSeries(series, 1); err != nil {
+		return nil, err
+	}
+	m := &meanModel{}
+	for _, x := range series {
+		m.Step(x)
+	}
+	return m, nil
+}
+
+type meanModel struct {
+	n     float64
+	sum   float64
+	sumSq float64
+}
+
+func (m *meanModel) Step(x float64) {
+	m.n++
+	m.sum += x
+	m.sumSq += x * x
+}
+
+func (m *meanModel) Predict(k int) Prediction {
+	mu := 0.0
+	v := 0.0
+	if m.n > 0 {
+		mu = m.sum / m.n
+		v = m.sumSq/m.n - mu*mu
+		if v < 0 {
+			v = 0
+		}
+	}
+	p := Prediction{Values: make([]float64, k), ErrVar: make([]float64, k)}
+	for i := range p.Values {
+		p.Values[i] = mu
+		p.ErrVar[i] = v
+	}
+	return p
+}
+
+// LastFitter builds the last-value model: the forecast at every horizon is
+// the latest observation; the error variance estimate is the variance of
+// one-step differences scaled by the horizon (random-walk assumption).
+type LastFitter struct{}
+
+// Name implements Fitter.
+func (LastFitter) Name() string { return "LAST" }
+
+// Fit implements Fitter.
+func (LastFitter) Fit(series []float64) (Model, error) {
+	if err := checkSeries(series, 2); err != nil {
+		return nil, err
+	}
+	var sum, sumSq float64
+	n := 0
+	for i := 1; i < len(series); i++ {
+		d := series[i] - series[i-1]
+		sum += d
+		sumSq += d * d
+		n++
+	}
+	dv := sumSq/float64(n) - (sum/float64(n))*(sum/float64(n))
+	if dv < 0 {
+		dv = 0
+	}
+	return &lastModel{last: series[len(series)-1], diffVar: dv}, nil
+}
+
+type lastModel struct {
+	last    float64
+	diffVar float64
+}
+
+func (m *lastModel) Step(x float64) { m.last = x }
+
+func (m *lastModel) Predict(k int) Prediction {
+	p := Prediction{Values: make([]float64, k), ErrVar: make([]float64, k)}
+	for i := range p.Values {
+		p.Values[i] = m.last
+		p.ErrVar[i] = m.diffVar * float64(i+1)
+	}
+	return p
+}
+
+// BMFitter builds the windowed-average model BM(p): predictions are the
+// mean of the last p observations.
+type BMFitter struct {
+	// P is the window length (default 32).
+	P int
+}
+
+// Name implements Fitter.
+func (f BMFitter) Name() string { return fmt.Sprintf("BM(%d)", f.window()) }
+
+func (f BMFitter) window() int {
+	if f.P <= 0 {
+		return 32
+	}
+	return f.P
+}
+
+// Fit implements Fitter.
+func (f BMFitter) Fit(series []float64) (Model, error) {
+	p := f.window()
+	if err := checkSeries(series, 1); err != nil {
+		return nil, err
+	}
+	m := &bmModel{win: newRing(p)}
+	// Error variance: in-sample MSE of the windowed mean as a one-step
+	// predictor, computed with a rolling window sum.
+	var se, winSum float64
+	cnt := 0
+	for i, x := range series {
+		if i > 0 {
+			d := x - winSum/float64(m.win.len())
+			se += d * d
+			cnt++
+		}
+		if m.win.len() == len(m.win.buf) {
+			winSum -= m.win.at(m.win.len())
+		}
+		m.win.push(x)
+		winSum += x
+	}
+	if cnt > 0 {
+		m.mse = se / float64(cnt)
+	}
+	m.sum = winSum
+	return m, nil
+}
+
+type bmModel struct {
+	win *ring
+	sum float64 // rolling sum of the window
+	mse float64
+}
+
+func (m *bmModel) Step(x float64) {
+	if m.win.len() == len(m.win.buf) {
+		m.sum -= m.win.at(m.win.len())
+	}
+	m.win.push(x)
+	m.sum += x
+}
+
+func (m *bmModel) Predict(k int) Prediction {
+	mu := 0.0
+	if m.win.len() > 0 {
+		mu = m.sum / float64(m.win.len())
+	}
+	p := Prediction{Values: make([]float64, k), ErrVar: make([]float64, k)}
+	for i := range p.Values {
+		p.Values[i] = mu
+		p.ErrVar[i] = m.mse
+	}
+	return p
+}

@@ -1,0 +1,330 @@
+// Package sim provides the notion of time used throughout Remos: a
+// Scheduler that can either be a deterministic discrete-event simulation
+// clock (Sim) or a thin wrapper over the real runtime clock (Real).
+//
+// Every Remos component that polls, waits, or timestamps measurements takes
+// a Scheduler. In experiments, time is simulated so a thousand-node campus
+// network and minutes of polling run in milliseconds and are bit
+// reproducible. In live deployments (cmd/remosd) the same components run
+// against real timers without modification.
+package sim
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Scheduler is the clock and timer service shared by all components.
+//
+// Implementations must be safe for concurrent use. Callbacks run without
+// any locks held by the scheduler, but the Sim implementation runs all
+// callbacks on the goroutine that calls Run/Step, which gives simulated
+// deployments a simple single-threaded execution model.
+type Scheduler interface {
+	// Now returns the current time on this scheduler's clock.
+	Now() time.Time
+
+	// At schedules fn to run when the clock reaches t. If t is not after
+	// Now, fn runs at the next opportunity. The returned Timer can cancel
+	// the callback before it fires.
+	At(t time.Time, fn func()) *Timer
+
+	// After schedules fn to run d from now.
+	After(d time.Duration, fn func()) *Timer
+
+	// Every schedules fn to run every d, first firing d from now.
+	// Stop the returned Timer to cancel the series.
+	Every(d time.Duration, fn func()) *Timer
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	mu      sync.Mutex
+	stopped bool
+	// cancel releases implementation resources; may be nil.
+	cancel func()
+}
+
+// Stop cancels the timer. It is idempotent and reports whether this call
+// was the one that stopped it.
+func (t *Timer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	if t.cancel != nil {
+		t.cancel()
+	}
+	return true
+}
+
+func (t *Timer) isStopped() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stopped
+}
+
+// event is one pending callback in the simulated timeline.
+type event struct {
+	at    time.Time
+	seq   uint64 // tie-break so same-time events run in schedule order
+	fn    func()
+	timer *Timer
+	index int // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulated clock. The zero value is not usable;
+// construct with NewSim.
+type Sim struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64
+	events eventHeap
+}
+
+// Epoch is the default start time of simulated clocks: an arbitrary fixed
+// instant so simulated timestamps are stable across runs.
+var Epoch = time.Date(2001, time.June, 18, 9, 0, 0, 0, time.UTC)
+
+// NewSim returns a simulated scheduler starting at Epoch.
+func NewSim() *Sim { return NewSimAt(Epoch) }
+
+// NewSimAt returns a simulated scheduler starting at the given instant.
+func NewSimAt(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// At schedules fn at simulated time t.
+func (s *Sim) At(t time.Time, fn func()) *Timer {
+	tm := &Timer{}
+	s.mu.Lock()
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	e := &event{at: t, seq: s.seq, fn: fn, timer: tm}
+	heap.Push(&s.events, e)
+	s.mu.Unlock()
+	return tm
+}
+
+// After schedules fn to run d after the current simulated time.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.Now().Add(d), fn)
+}
+
+// Every schedules fn every d of simulated time.
+func (s *Sim) Every(d time.Duration, fn func()) *Timer {
+	if d <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	tm := &Timer{}
+	var schedule func(at time.Time)
+	schedule = func(at time.Time) {
+		s.mu.Lock()
+		s.seq++
+		e := &event{at: at, seq: s.seq, timer: tm}
+		e.fn = func() {
+			fn()
+			if !tm.isStopped() {
+				schedule(at.Add(d))
+			}
+		}
+		heap.Push(&s.events, e)
+		s.mu.Unlock()
+	}
+	schedule(s.Now().Add(d))
+	return tm
+}
+
+// Step runs the single earliest pending event, advancing the clock to its
+// deadline. It reports whether an event was run.
+func (s *Sim) Step() bool {
+	for {
+		s.mu.Lock()
+		if len(s.events) == 0 {
+			s.mu.Unlock()
+			return false
+		}
+		e := heap.Pop(&s.events).(*event)
+		if e.at.After(s.now) {
+			s.now = e.at
+		}
+		s.mu.Unlock()
+		if e.timer.isStopped() {
+			continue // cancelled; try the next event
+		}
+		e.fn()
+		return true
+	}
+}
+
+// RunUntil processes events in time order until the queue is empty or the
+// next event is after deadline; the clock is then set to deadline if that
+// is later than the current time. It returns the number of events run.
+func (s *Sim) RunUntil(deadline time.Time) int {
+	n := 0
+	for {
+		s.mu.Lock()
+		if len(s.events) == 0 || s.events[0].at.After(deadline) {
+			if deadline.After(s.now) {
+				s.now = deadline
+			}
+			s.mu.Unlock()
+			return n
+		}
+		e := heap.Pop(&s.events).(*event)
+		if e.at.After(s.now) {
+			s.now = e.at
+		}
+		s.mu.Unlock()
+		if e.timer.isStopped() {
+			continue
+		}
+		e.fn()
+		n++
+	}
+}
+
+// RunFor advances the simulation by d, processing all events due in that
+// window, and returns the number of events run.
+func (s *Sim) RunFor(d time.Duration) int {
+	return s.RunUntil(s.Now().Add(d))
+}
+
+// Drain runs events until none remain or limit events have run. It returns
+// the number of events run. A limit <= 0 means no limit.
+func (s *Sim) Drain(limit int) int {
+	n := 0
+	for limit <= 0 || n < limit {
+		if !s.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// RunRealTime advances the simulated clock in step with the wall clock
+// until stop is closed: every resolution of real time, the simulation is
+// advanced by the same amount. This lets an emulated deployment serve
+// live clients (cmd/remosd): collectors poll, flows progress, and
+// counters advance at wall-clock pace.
+func (s *Sim) RunRealTime(resolution time.Duration, stop <-chan struct{}) {
+	if resolution <= 0 {
+		resolution = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(resolution)
+	defer ticker.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-ticker.C:
+			dt := now.Sub(last)
+			last = now
+			if dt > 0 {
+				s.RunFor(dt)
+			}
+		}
+	}
+}
+
+// Real is a Scheduler backed by the runtime clock, for live deployments.
+type Real struct{}
+
+// Now returns the wall-clock time.
+func (Real) Now() time.Time { return time.Now() }
+
+// At schedules fn on the real clock.
+func (r Real) At(t time.Time, fn func()) *Timer {
+	return r.After(time.Until(t), fn)
+}
+
+// After schedules fn after real duration d.
+func (Real) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	tm := &Timer{}
+	at := time.AfterFunc(d, func() {
+		if !tm.isStopped() {
+			fn()
+		}
+	})
+	tm.cancel = func() { at.Stop() }
+	return tm
+}
+
+// Every schedules fn on a real ticker of period d.
+func (Real) Every(d time.Duration, fn func()) *Timer {
+	if d <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	tm := &Timer{}
+	ticker := time.NewTicker(d)
+	done := make(chan struct{})
+	tm.cancel = func() {
+		ticker.Stop()
+		close(done)
+	}
+	go func() {
+		for {
+			select {
+			case <-ticker.C:
+				if !tm.isStopped() {
+					fn()
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return tm
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimNowStartsAtEpoch(t *testing.T) {
+	s := NewSim()
+	if !s.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", s.Now(), Epoch)
+	}
+}
+
+func TestSimAtRunsInOrder(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(Epoch.Add(3*time.Second), func() { order = append(order, 3) })
+	s.At(Epoch.Add(1*time.Second), func() { order = append(order, 1) })
+	s.At(Epoch.Add(2*time.Second), func() { order = append(order, 2) })
+	s.Drain(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran in order %v, want [1 2 3]", order)
+	}
+	if got := s.Now(); !got.Equal(Epoch.Add(3 * time.Second)) {
+		t.Fatalf("clock = %v, want epoch+3s", got)
+	}
+}
+
+func TestSimSameTimeFIFO(t *testing.T) {
+	s := NewSim()
+	var order []int
+	at := Epoch.Add(time.Second)
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(at, func() { order = append(order, i) })
+	}
+	s.Drain(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestSimPastEventRunsImmediately(t *testing.T) {
+	s := NewSim()
+	ran := false
+	s.At(Epoch.Add(-time.Hour), func() { ran = true })
+	if !s.Step() || !ran {
+		t.Fatal("past-dated event did not run")
+	}
+	if !s.Now().Equal(Epoch) {
+		t.Fatalf("past event moved clock backwards to %v", s.Now())
+	}
+}
+
+func TestSimAfter(t *testing.T) {
+	s := NewSim()
+	var at time.Time
+	s.After(90*time.Second, func() { at = s.Now() })
+	s.Drain(0)
+	if want := Epoch.Add(90 * time.Second); !at.Equal(want) {
+		t.Fatalf("After fired at %v, want %v", at, want)
+	}
+}
+
+func TestSimEveryRepeatsAndStops(t *testing.T) {
+	s := NewSim()
+	count := 0
+	var tm *Timer
+	tm = s.Every(time.Second, func() {
+		count++
+		if count == 4 {
+			tm.Stop()
+		}
+	})
+	s.RunFor(time.Minute)
+	if count != 4 {
+		t.Fatalf("Every fired %d times, want 4 (stopped after 4th)", count)
+	}
+	if got := s.Now(); !got.Equal(Epoch.Add(time.Minute)) {
+		t.Fatalf("RunFor left clock at %v", got)
+	}
+}
+
+func TestSimTimerStopBeforeFire(t *testing.T) {
+	s := NewSim()
+	ran := false
+	tm := s.After(time.Second, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true; Stop must be idempotent")
+	}
+	s.Drain(0)
+	if ran {
+		t.Fatal("stopped timer still fired")
+	}
+}
+
+func TestSimRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	s := NewSim()
+	deadline := Epoch.Add(10 * time.Minute)
+	if n := s.RunUntil(deadline); n != 0 {
+		t.Fatalf("RunUntil ran %d events on empty queue", n)
+	}
+	if !s.Now().Equal(deadline) {
+		t.Fatalf("clock = %v, want %v", s.Now(), deadline)
+	}
+}
+
+func TestSimRunUntilStopsAtDeadline(t *testing.T) {
+	s := NewSim()
+	ran := false
+	s.After(2*time.Hour, func() { ran = true })
+	s.RunUntil(Epoch.Add(time.Hour))
+	if ran {
+		t.Fatal("event beyond deadline ran")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	s.RunFor(2 * time.Hour)
+	if !ran {
+		t.Fatal("event never ran after extending the run window")
+	}
+}
+
+func TestSimEventScheduledByEventRunsSameDrain(t *testing.T) {
+	s := NewSim()
+	var hits []string
+	s.After(time.Second, func() {
+		hits = append(hits, "outer")
+		s.After(time.Second, func() { hits = append(hits, "inner") })
+	})
+	s.RunFor(5 * time.Second)
+	if len(hits) != 2 || hits[1] != "inner" {
+		t.Fatalf("hits = %v, want [outer inner]", hits)
+	}
+}
+
+func TestSimConcurrentScheduling(t *testing.T) {
+	s := NewSim()
+	var mu sync.Mutex
+	count := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.After(time.Duration(i)*time.Millisecond, func() {
+				mu.Lock()
+				count++
+				mu.Unlock()
+			})
+		}(i)
+	}
+	wg.Wait()
+	s.Drain(0)
+	if count != 50 {
+		t.Fatalf("ran %d events, want 50", count)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	var r Real
+	done := make(chan struct{})
+	r.After(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}
+
+func TestRealEveryStops(t *testing.T) {
+	var r Real
+	var mu sync.Mutex
+	count := 0
+	tm := r.Every(time.Millisecond, func() {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	time.Sleep(20 * time.Millisecond)
+	tm.Stop()
+	mu.Lock()
+	after := count
+	mu.Unlock()
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	final := count
+	mu.Unlock()
+	if after == 0 {
+		t.Fatal("Real.Every never fired")
+	}
+	// Allow one in-flight tick after Stop, but no continuing series.
+	if final > after+1 {
+		t.Fatalf("ticker kept firing after Stop: %d -> %d", after, final)
+	}
+}
+
+func TestRealAtPastRunsSoon(t *testing.T) {
+	var r Real
+	done := make(chan struct{})
+	r.At(time.Now().Add(-time.Hour), func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real.At with past deadline never fired")
+	}
+}
+
+func TestSimDrainLimit(t *testing.T) {
+	s := NewSim()
+	for i := 0; i < 10; i++ {
+		s.After(time.Duration(i)*time.Second, func() {})
+	}
+	if n := s.Drain(3); n != 3 {
+		t.Fatalf("Drain(3) ran %d", n)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("Pending = %d, want 7", s.Pending())
+	}
+}

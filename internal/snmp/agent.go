@@ -1,0 +1,113 @@
+package snmp
+
+// MIBView is the read interface an agent serves. Implementations are
+// provided by package mib, backed by emulated devices.
+type MIBView interface {
+	// Get returns the value bound to exactly the given OID.
+	Get(oid OID) (Value, bool)
+
+	// Next returns the first bound OID strictly after the given one, in
+	// lexicographic order, with its value. ok is false at the end of
+	// the MIB.
+	Next(oid OID) (next OID, v Value, ok bool)
+}
+
+// Agent serves one device's MIB view under a community string.
+type Agent struct {
+	Community string
+	View      MIBView
+
+	// MaxRepetitions caps GetBulk repetition counts to bound response
+	// size; 0 means the default of 64.
+	MaxRepetitions int
+}
+
+// Handle processes one request message and produces the response message,
+// or nil if the request must be silently dropped (community mismatch, as
+// real agents do).
+func (a *Agent) Handle(req *Message) *Message {
+	if req.Community != a.Community {
+		return nil // drop, like an agent with a wrong community
+	}
+	resp := &Message{Community: req.Community}
+	resp.PDU.Type = GetResponse
+	resp.PDU.RequestID = req.PDU.RequestID
+
+	switch req.PDU.Type {
+	case GetRequest:
+		for _, vb := range req.PDU.VarBinds {
+			v, ok := a.View.Get(vb.Name)
+			if !ok {
+				v = NoSuchObject
+			}
+			resp.PDU.VarBinds = append(resp.PDU.VarBinds, VarBind{Name: vb.Name.Clone(), Value: v})
+		}
+	case GetNextRequest:
+		for _, vb := range req.PDU.VarBinds {
+			next, v, ok := a.View.Next(vb.Name)
+			if !ok {
+				resp.PDU.VarBinds = append(resp.PDU.VarBinds, VarBind{Name: vb.Name.Clone(), Value: EndOfMibView})
+				continue
+			}
+			resp.PDU.VarBinds = append(resp.PDU.VarBinds, VarBind{Name: next, Value: v})
+		}
+	case GetBulkRequest:
+		nonRep := req.PDU.ErrorStatus
+		maxRep := req.PDU.ErrorIndex
+		limit := a.MaxRepetitions
+		if limit <= 0 {
+			limit = 64
+		}
+		if maxRep > limit {
+			maxRep = limit
+		}
+		if nonRep < 0 {
+			nonRep = 0
+		}
+		if nonRep > len(req.PDU.VarBinds) {
+			nonRep = len(req.PDU.VarBinds)
+		}
+		for _, vb := range req.PDU.VarBinds[:nonRep] {
+			next, v, ok := a.View.Next(vb.Name)
+			if !ok {
+				resp.PDU.VarBinds = append(resp.PDU.VarBinds, VarBind{Name: vb.Name.Clone(), Value: EndOfMibView})
+				continue
+			}
+			resp.PDU.VarBinds = append(resp.PDU.VarBinds, VarBind{Name: next, Value: v})
+		}
+		for _, vb := range req.PDU.VarBinds[nonRep:] {
+			cur := vb.Name
+			for i := 0; i < maxRep; i++ {
+				next, v, ok := a.View.Next(cur)
+				if !ok {
+					resp.PDU.VarBinds = append(resp.PDU.VarBinds, VarBind{Name: cur.Clone(), Value: EndOfMibView})
+					break
+				}
+				resp.PDU.VarBinds = append(resp.PDU.VarBinds, VarBind{Name: next, Value: v})
+				cur = next
+			}
+		}
+	default:
+		resp.PDU.ErrorStatus = ErrStatusGenErr
+		resp.PDU.VarBinds = req.PDU.VarBinds
+	}
+	return resp
+}
+
+// HandleBytes decodes a request datagram, handles it, and encodes the
+// response; nil means drop.
+func (a *Agent) HandleBytes(req []byte) []byte {
+	msg, err := Unmarshal(req)
+	if err != nil {
+		return nil
+	}
+	resp := a.Handle(msg)
+	if resp == nil {
+		return nil
+	}
+	out, err := resp.Marshal()
+	if err != nil {
+		return nil
+	}
+	return out
+}

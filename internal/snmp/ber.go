@@ -1,0 +1,415 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BER tag bytes for the types the Remos collectors use.
+const (
+	tagInteger      = 0x02
+	tagOctetString  = 0x04
+	tagNull         = 0x05
+	tagOID          = 0x06
+	tagSequence     = 0x30
+	tagIPAddress    = 0x40
+	tagCounter32    = 0x41
+	tagGauge32      = 0x42
+	tagTimeTicks    = 0x43
+	tagCounter64    = 0x46
+	tagNoSuchObject = 0x80 // varbind exception (v2c)
+	tagNoSuchInst   = 0x81
+	tagEndOfMibView = 0x82
+)
+
+// Kind enumerates SNMP value types.
+type Kind int
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindInteger
+	KindOctetString
+	KindOID
+	KindIPAddress
+	KindCounter32
+	KindGauge32
+	KindTimeTicks
+	KindCounter64
+	KindNoSuchObject
+	KindNoSuchInstance
+	KindEndOfMibView
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "Null"
+	case KindInteger:
+		return "Integer"
+	case KindOctetString:
+		return "OctetString"
+	case KindOID:
+		return "ObjectIdentifier"
+	case KindIPAddress:
+		return "IpAddress"
+	case KindCounter32:
+		return "Counter32"
+	case KindGauge32:
+		return "Gauge32"
+	case KindTimeTicks:
+		return "TimeTicks"
+	case KindCounter64:
+		return "Counter64"
+	case KindNoSuchObject:
+		return "noSuchObject"
+	case KindNoSuchInstance:
+		return "noSuchInstance"
+	case KindEndOfMibView:
+		return "endOfMibView"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is one SNMP variable value. Exactly one of Int, Bytes, Oid carries
+// data depending on Kind; exception kinds carry none.
+type Value struct {
+	Kind  Kind
+	Int   int64  // Integer; unsigned value for Counter/Gauge/TimeTicks/Counter64
+	Bytes []byte // OctetString and IPAddress (4 bytes)
+	Oid   OID    // ObjectIdentifier
+}
+
+// Convenience constructors.
+
+// Int64 returns an Integer value.
+func Int64(v int64) Value { return Value{Kind: KindInteger, Int: v} }
+
+// Str returns an OctetString value.
+func Str(s string) Value { return Value{Kind: KindOctetString, Bytes: []byte(s)} }
+
+// Octets returns an OctetString value from raw bytes.
+func Octets(b []byte) Value { return Value{Kind: KindOctetString, Bytes: b} }
+
+// Counter returns a Counter32 value (wrapped to 32 bits).
+func Counter(v uint64) Value { return Value{Kind: KindCounter32, Int: int64(uint32(v))} }
+
+// Gauge returns a Gauge32 value.
+func Gauge(v uint32) Value { return Value{Kind: KindGauge32, Int: int64(v)} }
+
+// Ticks returns a TimeTicks value (hundredths of seconds).
+func Ticks(v uint32) Value { return Value{Kind: KindTimeTicks, Int: int64(v)} }
+
+// IPv4 returns an IpAddress value.
+func IPv4(b [4]byte) Value { return Value{Kind: KindIPAddress, Bytes: b[:]} }
+
+// OIDValue returns an ObjectIdentifier value.
+func OIDValue(o OID) Value { return Value{Kind: KindOID, Oid: o} }
+
+// Null is the null value.
+var Null = Value{Kind: KindNull}
+
+// NoSuchObject is the v2c exception returned for missing objects.
+var NoSuchObject = Value{Kind: KindNoSuchObject}
+
+// EndOfMibView is the v2c exception ending GetNext/GetBulk walks.
+var EndOfMibView = Value{Kind: KindEndOfMibView}
+
+// String renders the value for debugging and the ASCII protocol.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInteger, KindCounter32, KindGauge32, KindTimeTicks, KindCounter64:
+		return fmt.Sprintf("%s(%d)", v.Kind, v.Int)
+	case KindOctetString:
+		return fmt.Sprintf("OctetString(%q)", v.Bytes)
+	case KindOID:
+		return fmt.Sprintf("OID(%s)", v.Oid)
+	case KindIPAddress:
+		if len(v.Bytes) == 4 {
+			return fmt.Sprintf("IpAddress(%d.%d.%d.%d)", v.Bytes[0], v.Bytes[1], v.Bytes[2], v.Bytes[3])
+		}
+		return "IpAddress(?)"
+	default:
+		return v.Kind.String()
+	}
+}
+
+// ErrTruncated reports a BER message shorter than its length fields claim.
+var ErrTruncated = errors.New("snmp: truncated BER data")
+
+// appendTLV appends tag, definite length, and content.
+func appendTLV(dst []byte, tag byte, content []byte) []byte {
+	dst = append(dst, tag)
+	dst = appendLength(dst, len(content))
+	return append(dst, content...)
+}
+
+func appendLength(dst []byte, n int) []byte {
+	if n < 0x80 {
+		return append(dst, byte(n))
+	}
+	// Long form.
+	var tmp [8]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte(n)
+		n >>= 8
+	}
+	dst = append(dst, 0x80|byte(len(tmp)-i))
+	return append(dst, tmp[i:]...)
+}
+
+// appendInt encodes a signed integer body (two's complement, minimal).
+func appendIntBody(dst []byte, v int64) []byte {
+	// Compute minimal length.
+	n := 1
+	for x := v; (x > 0x7f || x < -0x80) && n < 9; n++ {
+		x >>= 8
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>(8*i)))
+	}
+	return dst
+}
+
+// appendUintBody encodes an unsigned integer body with a leading zero when
+// the high bit would otherwise be set (SNMP counters are unsigned).
+func appendUintBody(dst []byte, v uint64) []byte {
+	n := 1
+	for x := v; x > 0xff && n < 9; n++ {
+		x >>= 8
+	}
+	if v>>(8*uint(n-1))&0x80 != 0 {
+		dst = append(dst, 0)
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>(8*uint(i))))
+	}
+	return dst
+}
+
+func appendOIDBody(dst []byte, o OID) ([]byte, error) {
+	if len(o) < 2 {
+		return nil, fmt.Errorf("snmp: OID %v too short to encode", o)
+	}
+	if o[0] > 2 || o[1] >= 40 {
+		return nil, fmt.Errorf("snmp: invalid OID head %d.%d", o[0], o[1])
+	}
+	dst = append(dst, byte(o[0]*40+o[1]))
+	for _, v := range o[2:] {
+		dst = appendBase128(dst, v)
+	}
+	return dst, nil
+}
+
+func appendBase128(dst []byte, v uint32) []byte {
+	var tmp [5]byte
+	i := len(tmp) - 1
+	tmp[i] = byte(v & 0x7f)
+	v >>= 7
+	for v > 0 {
+		i--
+		tmp[i] = byte(v&0x7f) | 0x80
+		v >>= 7
+	}
+	return append(dst, tmp[i:]...)
+}
+
+// marshalValue encodes one Value as a TLV.
+func marshalValue(dst []byte, v Value) ([]byte, error) {
+	switch v.Kind {
+	case KindNull:
+		return append(dst, tagNull, 0), nil
+	case KindInteger:
+		return appendTLV(dst, tagInteger, appendIntBody(nil, v.Int)), nil
+	case KindOctetString:
+		return appendTLV(dst, tagOctetString, v.Bytes), nil
+	case KindOID:
+		body, err := appendOIDBody(nil, v.Oid)
+		if err != nil {
+			return nil, err
+		}
+		return appendTLV(dst, tagOID, body), nil
+	case KindIPAddress:
+		if len(v.Bytes) != 4 {
+			return nil, fmt.Errorf("snmp: IpAddress must be 4 bytes, got %d", len(v.Bytes))
+		}
+		return appendTLV(dst, tagIPAddress, v.Bytes), nil
+	case KindCounter32:
+		return appendTLV(dst, tagCounter32, appendUintBody(nil, uint64(uint32(v.Int)))), nil
+	case KindGauge32:
+		return appendTLV(dst, tagGauge32, appendUintBody(nil, uint64(uint32(v.Int)))), nil
+	case KindTimeTicks:
+		return appendTLV(dst, tagTimeTicks, appendUintBody(nil, uint64(uint32(v.Int)))), nil
+	case KindCounter64:
+		return appendTLV(dst, tagCounter64, appendUintBody(nil, uint64(v.Int))), nil
+	case KindNoSuchObject:
+		return append(dst, tagNoSuchObject, 0), nil
+	case KindNoSuchInstance:
+		return append(dst, tagNoSuchInst, 0), nil
+	case KindEndOfMibView:
+		return append(dst, tagEndOfMibView, 0), nil
+	}
+	return nil, fmt.Errorf("snmp: cannot marshal kind %v", v.Kind)
+}
+
+// reader is a cursor over BER bytes.
+type reader struct {
+	b []byte
+	i int
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.i }
+
+func (r *reader) byteAt() (byte, error) {
+	if r.i >= len(r.b) {
+		return 0, ErrTruncated
+	}
+	c := r.b[r.i]
+	r.i++
+	return c, nil
+}
+
+func (r *reader) readTL() (tag byte, length int, err error) {
+	tag, err = r.byteAt()
+	if err != nil {
+		return 0, 0, err
+	}
+	first, err := r.byteAt()
+	if err != nil {
+		return 0, 0, err
+	}
+	if first < 0x80 {
+		return tag, int(first), nil
+	}
+	n := int(first & 0x7f)
+	if n == 0 || n > 4 {
+		return 0, 0, fmt.Errorf("snmp: unsupported BER length of length %d", n)
+	}
+	length = 0
+	for j := 0; j < n; j++ {
+		c, err := r.byteAt()
+		if err != nil {
+			return 0, 0, err
+		}
+		length = length<<8 | int(c)
+	}
+	return tag, length, nil
+}
+
+func (r *reader) readBytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, ErrTruncated
+	}
+	out := r.b[r.i : r.i+n]
+	r.i += n
+	return out, nil
+}
+
+func parseIntBody(b []byte) (int64, error) {
+	if len(b) == 0 || len(b) > 8 {
+		return 0, fmt.Errorf("snmp: bad integer length %d", len(b))
+	}
+	v := int64(int8(b[0])) // sign extend
+	for _, c := range b[1:] {
+		v = v<<8 | int64(c)
+	}
+	return v, nil
+}
+
+func parseUintBody(b []byte) (uint64, error) {
+	if len(b) == 0 || len(b) > 9 || (len(b) == 9 && b[0] != 0) {
+		return 0, fmt.Errorf("snmp: bad unsigned length %d", len(b))
+	}
+	var v uint64
+	for _, c := range b {
+		v = v<<8 | uint64(c)
+	}
+	return v, nil
+}
+
+func parseOIDBody(b []byte) (OID, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("snmp: empty OID body")
+	}
+	o := OID{uint32(b[0]) / 40, uint32(b[0]) % 40}
+	if b[0] >= 80 {
+		o = OID{2, uint32(b[0]) - 80}
+	}
+	var cur uint32
+	inRun := false
+	for _, c := range b[1:] {
+		cur = cur<<7 | uint32(c&0x7f)
+		if c&0x80 == 0 {
+			o = append(o, cur)
+			cur = 0
+			inRun = false
+		} else {
+			inRun = true
+		}
+	}
+	if inRun {
+		return nil, ErrTruncated
+	}
+	return o, nil
+}
+
+// unmarshalValue decodes one TLV into a Value.
+func (r *reader) unmarshalValue() (Value, error) {
+	tag, length, err := r.readTL()
+	if err != nil {
+		return Value{}, err
+	}
+	body, err := r.readBytes(length)
+	if err != nil {
+		return Value{}, err
+	}
+	switch tag {
+	case tagNull:
+		return Null, nil
+	case tagInteger:
+		v, err := parseIntBody(body)
+		if err != nil {
+			return Value{}, err
+		}
+		return Int64(v), nil
+	case tagOctetString:
+		out := make([]byte, len(body))
+		copy(out, body)
+		return Octets(out), nil
+	case tagOID:
+		o, err := parseOIDBody(body)
+		if err != nil {
+			return Value{}, err
+		}
+		return OIDValue(o), nil
+	case tagIPAddress:
+		if len(body) != 4 {
+			return Value{}, fmt.Errorf("snmp: IpAddress body %d bytes", len(body))
+		}
+		var b4 [4]byte
+		copy(b4[:], body)
+		return IPv4(b4), nil
+	case tagCounter32, tagGauge32, tagTimeTicks, tagCounter64:
+		v, err := parseUintBody(body)
+		if err != nil {
+			return Value{}, err
+		}
+		k := map[byte]Kind{
+			tagCounter32: KindCounter32,
+			tagGauge32:   KindGauge32,
+			tagTimeTicks: KindTimeTicks,
+			tagCounter64: KindCounter64,
+		}[tag]
+		return Value{Kind: k, Int: int64(v)}, nil
+	case tagNoSuchObject:
+		return NoSuchObject, nil
+	case tagNoSuchInst:
+		return Value{Kind: KindNoSuchInstance}, nil
+	case tagEndOfMibView:
+		return EndOfMibView, nil
+	}
+	return Value{}, fmt.Errorf("snmp: unsupported BER tag 0x%02x", tag)
+}

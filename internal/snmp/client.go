@@ -1,0 +1,210 @@
+package snmp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Meter accumulates the modeled or measured cost of SNMP exchanges: how
+// many requests were sent and the total round-trip time. The SNMP
+// Collector attaches one meter per query to report "query time" the way
+// Figure 3 measures it.
+type Meter struct {
+	mu       sync.Mutex
+	requests int
+	total    time.Duration
+}
+
+// Add records one exchange.
+func (m *Meter) Add(rtt time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.requests++
+	m.total += rtt
+	m.mu.Unlock()
+}
+
+// Snapshot returns the request count and summed round-trip time so far.
+func (m *Meter) Snapshot() (requests int, total time.Duration) {
+	if m == nil {
+		return 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests, m.total
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.requests = 0
+	m.total = 0
+	m.mu.Unlock()
+}
+
+// Client issues SNMP requests through a Transport.
+type Client struct {
+	Transport Transport
+	Community string
+
+	// Retries is the number of re-sends after a timeout (default 1).
+	Retries int
+
+	// Meter, when set, accumulates exchange costs.
+	Meter *Meter
+
+	reqID atomic.Int32
+}
+
+// NewClient returns a client over the given transport with the community.
+func NewClient(t Transport, community string) *Client {
+	return &Client{Transport: t, Community: community, Retries: 1}
+}
+
+func (c *Client) roundTrip(addr string, pdu PDU) (*PDU, error) {
+	pdu.RequestID = c.reqID.Add(1)
+	msg := &Message{Community: c.Community, PDU: pdu}
+	req, err := msg.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	attempts := c.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		respB, rtt, err := c.Transport.RoundTrip(addr, req)
+		c.Meter.Add(rtt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := Unmarshal(respB)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.PDU.Type != GetResponse || resp.PDU.RequestID != pdu.RequestID {
+			lastErr = fmt.Errorf("snmp: mismatched response (type %v, id %d)", resp.PDU.Type, resp.PDU.RequestID)
+			continue
+		}
+		if resp.PDU.ErrorStatus != ErrStatusNoError {
+			return nil, fmt.Errorf("snmp: agent %s returned error status %d at index %d",
+				addr, resp.PDU.ErrorStatus, resp.PDU.ErrorIndex)
+		}
+		return &resp.PDU, nil
+	}
+	return nil, fmt.Errorf("snmp: %s: %w", addr, lastErr)
+}
+
+// Get fetches the exact OIDs. Missing objects come back with
+// KindNoSuchObject values rather than an error.
+func (c *Client) Get(addr string, oids ...OID) ([]VarBind, error) {
+	vbs := make([]VarBind, len(oids))
+	for i, o := range oids {
+		vbs[i] = VarBind{Name: o, Value: Null}
+	}
+	pdu, err := c.roundTrip(addr, PDU{Type: GetRequest, VarBinds: vbs})
+	if err != nil {
+		return nil, err
+	}
+	return pdu.VarBinds, nil
+}
+
+// GetOne fetches a single OID and requires the object to exist.
+func (c *Client) GetOne(addr string, oid OID) (Value, error) {
+	vbs, err := c.Get(addr, oid)
+	if err != nil {
+		return Value{}, err
+	}
+	if len(vbs) != 1 {
+		return Value{}, fmt.Errorf("snmp: got %d varbinds for one OID", len(vbs))
+	}
+	v := vbs[0].Value
+	switch v.Kind {
+	case KindNoSuchObject, KindNoSuchInstance, KindEndOfMibView:
+		return Value{}, fmt.Errorf("snmp: %s has no object %s", addr, oid)
+	}
+	return v, nil
+}
+
+// Next performs one GetNext step.
+func (c *Client) Next(addr string, oid OID) (OID, Value, error) {
+	pdu, err := c.roundTrip(addr, PDU{Type: GetNextRequest, VarBinds: []VarBind{{Name: oid, Value: Null}}})
+	if err != nil {
+		return nil, Value{}, err
+	}
+	if len(pdu.VarBinds) != 1 {
+		return nil, Value{}, fmt.Errorf("snmp: GetNext returned %d varbinds", len(pdu.VarBinds))
+	}
+	vb := pdu.VarBinds[0]
+	if vb.Value.Kind == KindEndOfMibView {
+		return nil, Value{}, nil
+	}
+	return vb.Name, vb.Value, nil
+}
+
+// Walk visits every object under root in order using GetNext, calling fn
+// for each. fn returning false stops the walk early.
+func (c *Client) Walk(addr string, root OID, fn func(OID, Value) bool) error {
+	cur := root
+	for {
+		next, v, err := c.Next(addr, cur)
+		if err != nil {
+			return err
+		}
+		if next == nil || !next.HasPrefix(root) {
+			return nil
+		}
+		if !fn(next, v) {
+			return nil
+		}
+		cur = next
+	}
+}
+
+// BulkWalk visits every object under root using GetBulk with the given
+// repetition count (<=0 selects 32), which costs far fewer round trips
+// than Walk on large tables.
+func (c *Client) BulkWalk(addr string, root OID, maxRep int, fn func(OID, Value) bool) error {
+	if maxRep <= 0 {
+		maxRep = 32
+	}
+	cur := root
+	for {
+		pdu, err := c.roundTrip(addr, PDU{
+			Type:        GetBulkRequest,
+			ErrorStatus: 0,      // non-repeaters
+			ErrorIndex:  maxRep, // max-repetitions
+			VarBinds:    []VarBind{{Name: cur, Value: Null}},
+		})
+		if err != nil {
+			return err
+		}
+		if len(pdu.VarBinds) == 0 {
+			return nil
+		}
+		progressed := false
+		for _, vb := range pdu.VarBinds {
+			if vb.Value.Kind == KindEndOfMibView || !vb.Name.HasPrefix(root) {
+				return nil
+			}
+			if !fn(vb.Name, vb.Value) {
+				return nil
+			}
+			cur = vb.Name
+			progressed = true
+		}
+		if !progressed {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package snmp
+
+import "fmt"
+
+// PDUType identifies the SNMP operation.
+type PDUType byte
+
+// PDU types (context-class BER tags).
+const (
+	GetRequest     PDUType = 0xA0
+	GetNextRequest PDUType = 0xA1
+	GetResponse    PDUType = 0xA2
+	SetRequest     PDUType = 0xA3
+	GetBulkRequest PDUType = 0xA5
+)
+
+// String names the PDU type.
+func (t PDUType) String() string {
+	switch t {
+	case GetRequest:
+		return "GetRequest"
+	case GetNextRequest:
+		return "GetNextRequest"
+	case GetResponse:
+		return "Response"
+	case SetRequest:
+		return "SetRequest"
+	case GetBulkRequest:
+		return "GetBulkRequest"
+	}
+	return fmt.Sprintf("PDUType(0x%02x)", byte(t))
+}
+
+// SNMP error-status codes used here.
+const (
+	ErrStatusNoError  = 0
+	ErrStatusTooBig   = 1
+	ErrStatusGenErr   = 5
+	ErrStatusAuthName = 16 // authorizationError
+)
+
+// VarBind pairs an OID with a value.
+type VarBind struct {
+	Name  OID
+	Value Value
+}
+
+// PDU is one SNMP protocol data unit.
+//
+// For GetBulkRequest, ErrorStatus holds non-repeaters and ErrorIndex holds
+// max-repetitions, per RFC 3416.
+type PDU struct {
+	Type        PDUType
+	RequestID   int32
+	ErrorStatus int
+	ErrorIndex  int
+	VarBinds    []VarBind
+}
+
+// Message is a community-string SNMP message (v2c).
+type Message struct {
+	Community string
+	PDU       PDU
+}
+
+const snmpVersion2c = 1
+
+// Marshal encodes the message in BER.
+func (m *Message) Marshal() ([]byte, error) {
+	var vbs []byte
+	for _, vb := range m.PDU.VarBinds {
+		nameBody, err := appendOIDBody(nil, vb.Name)
+		if err != nil {
+			return nil, err
+		}
+		entry := appendTLV(nil, tagOID, nameBody)
+		entry, err = marshalValue(entry, vb.Value)
+		if err != nil {
+			return nil, err
+		}
+		vbs = appendTLV(vbs, tagSequence, entry)
+	}
+	var pdu []byte
+	pdu = appendTLV(pdu, tagInteger, appendIntBody(nil, int64(m.PDU.RequestID)))
+	pdu = appendTLV(pdu, tagInteger, appendIntBody(nil, int64(m.PDU.ErrorStatus)))
+	pdu = appendTLV(pdu, tagInteger, appendIntBody(nil, int64(m.PDU.ErrorIndex)))
+	pdu = appendTLV(pdu, tagSequence, vbs)
+
+	var body []byte
+	body = appendTLV(body, tagInteger, appendIntBody(nil, snmpVersion2c))
+	body = appendTLV(body, tagOctetString, []byte(m.Community))
+	body = appendTLV(body, byte(m.PDU.Type), pdu)
+	return appendTLV(nil, tagSequence, body), nil
+}
+
+// Unmarshal decodes a BER message.
+func Unmarshal(b []byte) (*Message, error) {
+	r := &reader{b: b}
+	tag, length, err := r.readTL()
+	if err != nil {
+		return nil, err
+	}
+	if tag != tagSequence {
+		return nil, fmt.Errorf("snmp: message does not start with SEQUENCE (0x%02x)", tag)
+	}
+	inner, err := r.readBytes(length)
+	if err != nil {
+		return nil, err
+	}
+	r = &reader{b: inner}
+
+	ver, err := r.unmarshalValue()
+	if err != nil {
+		return nil, err
+	}
+	if ver.Kind != KindInteger || ver.Int != snmpVersion2c {
+		return nil, fmt.Errorf("snmp: unsupported version %v", ver)
+	}
+	comm, err := r.unmarshalValue()
+	if err != nil {
+		return nil, err
+	}
+	if comm.Kind != KindOctetString {
+		return nil, fmt.Errorf("snmp: community is %v, want OctetString", comm.Kind)
+	}
+
+	ptag, plen, err := r.readTL()
+	if err != nil {
+		return nil, err
+	}
+	pbody, err := r.readBytes(plen)
+	if err != nil {
+		return nil, err
+	}
+	pr := &reader{b: pbody}
+	msg := &Message{Community: string(comm.Bytes)}
+	msg.PDU.Type = PDUType(ptag)
+	switch msg.PDU.Type {
+	case GetRequest, GetNextRequest, GetResponse, SetRequest, GetBulkRequest:
+	default:
+		return nil, fmt.Errorf("snmp: unsupported PDU type 0x%02x", ptag)
+	}
+
+	reqID, err := pr.unmarshalValue()
+	if err != nil {
+		return nil, err
+	}
+	errStat, err := pr.unmarshalValue()
+	if err != nil {
+		return nil, err
+	}
+	errIdx, err := pr.unmarshalValue()
+	if err != nil {
+		return nil, err
+	}
+	if reqID.Kind != KindInteger || errStat.Kind != KindInteger || errIdx.Kind != KindInteger {
+		return nil, fmt.Errorf("snmp: malformed PDU header")
+	}
+	msg.PDU.RequestID = int32(reqID.Int)
+	msg.PDU.ErrorStatus = int(errStat.Int)
+	msg.PDU.ErrorIndex = int(errIdx.Int)
+
+	vtag, vlen, err := pr.readTL()
+	if err != nil {
+		return nil, err
+	}
+	if vtag != tagSequence {
+		return nil, fmt.Errorf("snmp: varbind list tag 0x%02x", vtag)
+	}
+	vbody, err := pr.readBytes(vlen)
+	if err != nil {
+		return nil, err
+	}
+	vr := &reader{b: vbody}
+	for vr.remaining() > 0 {
+		etag, elen, err := vr.readTL()
+		if err != nil {
+			return nil, err
+		}
+		if etag != tagSequence {
+			return nil, fmt.Errorf("snmp: varbind tag 0x%02x", etag)
+		}
+		ebody, err := vr.readBytes(elen)
+		if err != nil {
+			return nil, err
+		}
+		er := &reader{b: ebody}
+		name, err := er.unmarshalValue()
+		if err != nil {
+			return nil, err
+		}
+		if name.Kind != KindOID {
+			return nil, fmt.Errorf("snmp: varbind name kind %v", name.Kind)
+		}
+		val, err := er.unmarshalValue()
+		if err != nil {
+			return nil, err
+		}
+		msg.PDU.VarBinds = append(msg.PDU.VarBinds, VarBind{Name: name.Oid, Value: val})
+	}
+	return msg, nil
+}

@@ -1,0 +1,47 @@
+package snmp
+
+import "sort"
+
+// StaticView is a MIBView over a fixed set of bindings, useful for tests
+// and for agents whose contents change rarely (rebuild and swap).
+type StaticView struct {
+	entries []VarBind // sorted by Name
+}
+
+// NewStaticView builds a view from OID-string keyed values.
+func NewStaticView(binds map[string]Value) (*StaticView, error) {
+	v := &StaticView{}
+	for k, val := range binds {
+		o, err := ParseOID(k)
+		if err != nil {
+			return nil, err
+		}
+		v.entries = append(v.entries, VarBind{Name: o, Value: val})
+	}
+	sort.Slice(v.entries, func(i, j int) bool {
+		return v.entries[i].Name.Cmp(v.entries[j].Name) < 0
+	})
+	return v, nil
+}
+
+// Get implements MIBView.
+func (v *StaticView) Get(oid OID) (Value, bool) {
+	i := sort.Search(len(v.entries), func(i int) bool {
+		return v.entries[i].Name.Cmp(oid) >= 0
+	})
+	if i < len(v.entries) && v.entries[i].Name.Cmp(oid) == 0 {
+		return v.entries[i].Value, true
+	}
+	return Value{}, false
+}
+
+// Next implements MIBView.
+func (v *StaticView) Next(oid OID) (OID, Value, bool) {
+	i := sort.Search(len(v.entries), func(i int) bool {
+		return v.entries[i].Name.Cmp(oid) > 0
+	})
+	if i < len(v.entries) {
+		return v.entries[i].Name, v.entries[i].Value, true
+	}
+	return nil, Value{}, false
+}

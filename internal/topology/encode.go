@@ -1,0 +1,187 @@
+package topology
+
+import (
+	"bufio"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file provides the two wire encodings of topology graphs: the
+// line-oriented ASCII form used by the original Remos TCP protocol, and
+// the XML form of the protocol the paper says Remos was transitioning to.
+
+// EncodeText writes the graph in the ASCII protocol form:
+//
+//	GRAPH <nodes> <links>
+//	NODE <id> <kind> <addr|->
+//	LINK <from> <to> <capacity> <utilFromTo> <utilToFrom> <latencyNs> <jitterNs>
+//	END
+//
+// Decoding also accepts seven-field LINK lines (the pre-jitter protocol).
+//
+// Node IDs must not contain whitespace.
+func (g *Graph) EncodeText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	nodes := g.Nodes()
+	fmt.Fprintf(bw, "GRAPH %d %d\n", len(nodes), len(g.links))
+	for _, n := range nodes {
+		if strings.ContainsAny(n.ID, " \t\n") {
+			return fmt.Errorf("topology: node ID %q contains whitespace", n.ID)
+		}
+		addr := n.Addr
+		if addr == "" {
+			addr = "-"
+		}
+		fmt.Fprintf(bw, "NODE %s %s %s\n", n.ID, n.Kind, addr)
+	}
+	for _, l := range g.links {
+		fmt.Fprintf(bw, "LINK %s %s %g %g %g %d %d\n",
+			l.From, l.To, l.Capacity, l.UtilFromTo, l.UtilToFrom,
+			l.Latency.Nanoseconds(), l.Jitter.Nanoseconds())
+	}
+	fmt.Fprintln(bw, "END")
+	return bw.Flush()
+}
+
+// DecodeText parses the ASCII form produced by EncodeText.
+func DecodeText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("topology: empty input")
+	}
+	var nn, nl int
+	if _, err := fmt.Sscanf(sc.Text(), "GRAPH %d %d", &nn, &nl); err != nil {
+		return nil, fmt.Errorf("topology: bad header %q: %v", sc.Text(), err)
+	}
+	g := NewGraph()
+	for i := 0; i < nn; i++ {
+		if !sc.Scan() {
+			return nil, io.ErrUnexpectedEOF
+		}
+		f := strings.Fields(sc.Text())
+		if len(f) != 4 || f[0] != "NODE" {
+			return nil, fmt.Errorf("topology: bad node line %q", sc.Text())
+		}
+		kind, err := ParseNodeKind(f[2])
+		if err != nil {
+			return nil, err
+		}
+		addr := f[3]
+		if addr == "-" {
+			addr = ""
+		}
+		g.AddNode(Node{ID: f[1], Kind: kind, Addr: addr})
+	}
+	for i := 0; i < nl; i++ {
+		if !sc.Scan() {
+			return nil, io.ErrUnexpectedEOF
+		}
+		f := strings.Fields(sc.Text())
+		if (len(f) != 7 && len(f) != 8) || f[0] != "LINK" {
+			return nil, fmt.Errorf("topology: bad link line %q", sc.Text())
+		}
+		var vals [3]float64
+		for j := 0; j < 3; j++ {
+			v, err := strconv.ParseFloat(f[3+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("topology: bad link number %q: %v", f[3+j], err)
+			}
+			vals[j] = v
+		}
+		ns, err := strconv.ParseInt(f[6], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("topology: bad latency %q: %v", f[6], err)
+		}
+		var jitterNs int64
+		if len(f) == 8 {
+			jitterNs, err = strconv.ParseInt(f[7], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("topology: bad jitter %q: %v", f[7], err)
+			}
+		}
+		if _, err := g.AddLink(Link{
+			From: f[1], To: f[2],
+			Capacity: vals[0], UtilFromTo: vals[1], UtilToFrom: vals[2],
+			Latency: time.Duration(ns), Jitter: time.Duration(jitterNs),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != "END" {
+		return nil, fmt.Errorf("topology: missing END trailer")
+	}
+	return g, nil
+}
+
+// xmlGraph mirrors Graph for the XML protocol.
+type xmlGraph struct {
+	XMLName xml.Name  `xml:"topology"`
+	Nodes   []xmlNode `xml:"node"`
+	Links   []xmlLink `xml:"link"`
+}
+
+type xmlNode struct {
+	ID   string `xml:"id,attr"`
+	Kind string `xml:"kind,attr"`
+	Addr string `xml:"addr,attr,omitempty"`
+}
+
+type xmlLink struct {
+	From       string  `xml:"from,attr"`
+	To         string  `xml:"to,attr"`
+	Capacity   float64 `xml:"capacity,attr"`
+	UtilFromTo float64 `xml:"utilFromTo,attr"`
+	UtilToFrom float64 `xml:"utilToFrom,attr"`
+	LatencyNs  int64   `xml:"latencyNs,attr"`
+	JitterNs   int64   `xml:"jitterNs,attr,omitempty"`
+}
+
+// EncodeXML writes the graph in the XML protocol form.
+func (g *Graph) EncodeXML(w io.Writer) error {
+	x := xmlGraph{}
+	for _, n := range g.Nodes() {
+		x.Nodes = append(x.Nodes, xmlNode{ID: n.ID, Kind: n.Kind.String(), Addr: n.Addr})
+	}
+	for _, l := range g.links {
+		x.Links = append(x.Links, xmlLink{
+			From: l.From, To: l.To, Capacity: l.Capacity,
+			UtilFromTo: l.UtilFromTo, UtilToFrom: l.UtilToFrom,
+			LatencyNs: l.Latency.Nanoseconds(),
+			JitterNs:  l.Jitter.Nanoseconds(),
+		})
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	return enc.Encode(x)
+}
+
+// DecodeXML parses the XML form produced by EncodeXML.
+func DecodeXML(r io.Reader) (*Graph, error) {
+	var x xmlGraph
+	if err := xml.NewDecoder(r).Decode(&x); err != nil {
+		return nil, err
+	}
+	g := NewGraph()
+	for _, n := range x.Nodes {
+		kind, err := ParseNodeKind(n.Kind)
+		if err != nil {
+			return nil, err
+		}
+		g.AddNode(Node{ID: n.ID, Kind: kind, Addr: n.Addr})
+	}
+	for _, l := range x.Links {
+		if _, err := g.AddLink(Link{
+			From: l.From, To: l.To, Capacity: l.Capacity,
+			UtilFromTo: l.UtilFromTo, UtilToFrom: l.UtilToFrom,
+			Latency: time.Duration(l.LatencyNs), Jitter: time.Duration(l.JitterNs),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,135 @@
+package topology
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomTree builds a random tree-shaped topology: hosts hanging off a
+// random arrangement of switches and routers, like the LANs the
+// collectors produce. Returns the graph and its host IDs.
+func randomTree(rng *rand.Rand) (*Graph, []string) {
+	g := NewGraph()
+	nInterior := 2 + rng.Intn(6)
+	interior := make([]string, nInterior)
+	for i := range interior {
+		kind := SwitchNode
+		if rng.Intn(3) == 0 {
+			kind = RouterNode
+		}
+		id := fmt.Sprintf("n%d", i)
+		interior[i] = id
+		g.AddNode(Node{ID: id, Kind: kind})
+		if i > 0 {
+			parent := interior[rng.Intn(i)]
+			g.AddLink(Link{
+				From: parent, To: id,
+				Capacity:   float64(10+rng.Intn(90)) * 1e6,
+				UtilFromTo: float64(rng.Intn(9)) * 1e6,
+				UtilToFrom: float64(rng.Intn(9)) * 1e6,
+				Latency:    time.Duration(rng.Intn(10)) * time.Millisecond,
+				Jitter:     time.Duration(rng.Intn(3)) * time.Millisecond,
+			})
+		}
+	}
+	nHosts := 2 + rng.Intn(6)
+	hosts := make([]string, nHosts)
+	for i := range hosts {
+		id := fmt.Sprintf("h%d", i)
+		hosts[i] = id
+		g.AddNode(Node{ID: id, Kind: HostNode})
+		g.AddLink(Link{
+			From: interior[rng.Intn(nInterior)], To: id,
+			Capacity: 100e6,
+			Latency:  time.Millisecond,
+		})
+	}
+	return g, hosts
+}
+
+// Property: pruning to a set of endpoints and collapsing chains never
+// changes the bottleneck-available answer between those endpoints.
+func TestPropertySimplificationPreservesAnswers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, hosts := randomTree(rng)
+		a, b := hosts[0], hosts[1]
+		want, _, err := g.BottleneckAvail(a, b)
+		if err != nil {
+			return false
+		}
+		p, err := g.Prune(hosts[:2])
+		if err != nil {
+			t.Logf("prune: %v", err)
+			return false
+		}
+		p.CollapseChains(map[string]bool{a: true, b: true})
+		got, _, err := p.BottleneckAvail(a, b)
+		if err != nil {
+			t.Logf("post-simplify path lost: %v", err)
+			return false
+		}
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Logf("avail changed: %v -> %v", want, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: simplification never changes latency between the endpoints
+// either (chains sum their latencies).
+func TestPropertySimplificationPreservesLatency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		g, hosts := randomTree(rng)
+		a, b := hosts[0], hosts[1]
+		before, err := g.FlowAlloc([]FlowRequest{{Src: a, Dst: b}})
+		if err != nil {
+			return false
+		}
+		p, err := g.Prune(hosts[:2])
+		if err != nil {
+			return false
+		}
+		p.CollapseChains(map[string]bool{a: true, b: true})
+		after, err := p.FlowAlloc([]FlowRequest{{Src: a, Dst: b}})
+		if err != nil {
+			return false
+		}
+		return before[0].Latency == after[0].Latency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: wire encodings round-trip random tree graphs exactly,
+// including the jitter extension.
+func TestPropertyTreeEncodingRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x7ee))
+		g, _ := randomTree(rng)
+		var tb, xb bytes.Buffer
+		if g.EncodeText(&tb) != nil || g.EncodeXML(&xb) != nil {
+			return false
+		}
+		gt, err1 := DecodeText(&tb)
+		gx, err2 := DecodeXML(&xb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return graphsEqual(g, gt) && graphsEqual(g, gx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
