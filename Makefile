@@ -1,0 +1,28 @@
+# Development targets. `make verify` is the pre-merge gate: vet, build,
+# the full test suite, and the race detector over every package.
+
+GO ?= go
+
+.PHONY: build test vet race verify bench bench-concurrency
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: vet build test race
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# The concurrent-pipeline exhibits: cold fan-out serial vs. parallel and
+# the warm-query cache (compare ns/op for the cold/warm gap).
+bench-concurrency:
+	$(GO) test -run xxx -bench 'MasterFanout|WarmQueryCache' ./

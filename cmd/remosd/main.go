@@ -13,7 +13,7 @@
 // Usage:
 //
 //	remosd [-listen :3567] [-http :3568] [-dir :3569] [-hostload :3570]
-//	       [-scenario twosite|campus]
+//	       [-scenario twosite|campus] [-qcache-ttl 2s] [-parallelism 0]
 package main
 
 import (
@@ -28,6 +28,7 @@ import (
 	"net/netip"
 
 	"remos/internal/collector/hostcoll"
+	"remos/internal/collector/qcache"
 	"remos/internal/core"
 	"remos/internal/directory"
 	"remos/internal/hostload"
@@ -44,10 +45,14 @@ func main() {
 	dirAddr := flag.String("dir", "127.0.0.1:3569", "directory service listen address ('' disables)")
 	loadAddr := flag.String("hostload", "127.0.0.1:3570", "host load collector listen address ('' disables)")
 	scenario := flag.String("scenario", "twosite", "demo scenario: twosite or campus")
+	qcacheTTL := flag.Duration("qcache-ttl", 2*time.Second,
+		"warm-query cache staleness bound; 0 keeps only single-flight dedup of concurrent identical queries")
+	parallelism := flag.Int("parallelism", 0,
+		"collector pipeline parallelism (master fan-out, device walks, polling); 0 = GOMAXPROCS, 1 = serial")
 	flag.Parse()
 
 	s := sim.NewSim()
-	dep, hosts, err := buildScenario(s, *scenario)
+	dep, hosts, err := buildScenario(s, *scenario, *parallelism)
 	if err != nil {
 		log.Fatalf("remosd: %v", err)
 	}
@@ -56,8 +61,13 @@ func main() {
 		log.Printf("remosd: initial benchmarks: %v", err)
 	}
 
-	var master = dep.Sites[firstSite(dep)].Master
-	tcpSrv := &proto.TCPServer{Collector: master}
+	// The served collector: the first site's Master behind the warm-query
+	// cache, so repeated and concurrent identical queries answer from
+	// cached state instead of re-walking the network.
+	master := dep.Sites[firstSite(dep)].Master
+	queryable := qcache.New(master, qcache.Config{TTL: *qcacheTTL})
+	log.Printf("remosd: warm-query cache TTL %v, parallelism %d (0=GOMAXPROCS)", *qcacheTTL, *parallelism)
+	tcpSrv := &proto.TCPServer{Collector: queryable}
 	addr, err := tcpSrv.ListenAndServe(*listen)
 	if err != nil {
 		log.Fatalf("remosd: listen: %v", err)
@@ -65,7 +75,7 @@ func main() {
 	defer tcpSrv.Close()
 	log.Printf("remosd: ASCII protocol on %s", addr)
 	if *httpAddr != "" {
-		httpSrv := &proto.HTTPServer{Collector: master}
+		httpSrv := &proto.HTTPServer{Collector: queryable}
 		haddr, err := httpSrv.ListenAndServe(*httpAddr)
 		if err != nil {
 			log.Fatalf("remosd: http listen: %v", err)
@@ -137,7 +147,7 @@ func firstSite(dep *core.Deployment) string {
 }
 
 // buildScenario wires one of the demo networks.
-func buildScenario(s *sim.Sim, name string) (*core.Deployment, []*netsim.Device, error) {
+func buildScenario(s *sim.Sim, name string, parallelism int) (*core.Deployment, []*netsim.Device, error) {
 	n := netsim.New(s)
 	switch name {
 	case "twosite":
@@ -163,7 +173,7 @@ func buildScenario(s *sim.Sim, name string) (*core.Deployment, []*netsim.Device,
 		// Background load so measurements move.
 		noise1 := app2
 		noise2 := srv
-		dep := core.NewDeployment(s, n, core.Options{})
+		dep := core.NewDeployment(s, n, core.Options{Parallelism: parallelism})
 		if _, err := dep.AddSite(core.SiteSpec{
 			Name: "a", Switches: []*netsim.Device{swA}, BenchHost: benchA,
 		}); err != nil {
@@ -203,7 +213,7 @@ func buildScenario(s *sim.Sim, name string) (*core.Deployment, []*netsim.Device,
 		}
 		n.AssignSubnets()
 		n.ComputeRoutes()
-		dep := core.NewDeployment(s, n, core.Options{})
+		dep := core.NewDeployment(s, n, core.Options{Parallelism: parallelism})
 		if _, err := dep.AddSite(core.SiteSpec{Name: "campus", Switches: switches}); err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,241 @@
+// Benchmarks for the concurrent collector pipeline: master fan-out
+// serial vs. parallel on a multi-site topology, and the warm-query cache
+// against a cold collector fan-out. The fan-out pair uses a transport
+// that really sleeps a small per-request latency, so the wall-clock
+// numbers reflect what parallelism buys on a management plane with
+// non-zero round-trip times (the regime the paper's collectors live in).
+package remos_test
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/collector/benchcoll"
+	"remos/internal/collector/bridgecoll"
+	"remos/internal/collector/master"
+	"remos/internal/collector/qcache"
+	"remos/internal/collector/snmpcoll"
+	"remos/internal/mib"
+	"remos/internal/netsim"
+	"remos/internal/sim"
+	"remos/internal/snmp"
+)
+
+// sleepTransport wraps a transport with a real (wall-clock) per-request
+// delay, modeling management-plane RTT that the in-process transport only
+// reports but never pays.
+type sleepTransport struct {
+	inner snmp.Transport
+	delay time.Duration
+}
+
+func (t *sleepTransport) RoundTrip(addr string, req []byte) ([]byte, time.Duration, error) {
+	if t.delay > 0 {
+		time.Sleep(t.delay)
+	}
+	return t.inner.RoundTrip(addr, req)
+}
+
+// multiSiteRig is a hand-built 4-site deployment: per site one router,
+// one switch, one benchmark host and three application hosts, all routers
+// meeting at a backbone hub.
+type multiSiteRig struct {
+	sites  []*snmpcoll.Collector
+	master *master.Master
+	query  collector.Query
+}
+
+func newMultiSiteRig(b testing.TB, nSites, parallelism int, delay time.Duration) *multiSiteRig {
+	b.Helper()
+	s := sim.NewSim()
+	n := netsim.New(s)
+	hub := n.AddRouter("hub")
+
+	type sitedevs struct {
+		sw, bench *netsim.Device
+		apps      []*netsim.Device
+	}
+	devs := make([]sitedevs, nSites)
+	for i := 0; i < nSites; i++ {
+		r := n.AddRouter(fmt.Sprintf("r%d", i))
+		sw := n.AddSwitch(fmt.Sprintf("sw%d", i))
+		bench := n.AddHost(fmt.Sprintf("bench%d", i))
+		n.Connect(r, hub, 1e9, 10*time.Millisecond)
+		n.Connect(sw, r, 1e9, time.Millisecond)
+		n.Connect(bench, sw, 100e6, time.Millisecond)
+		ds := sitedevs{sw: sw, bench: bench}
+		for h := 0; h < 3; h++ {
+			app := n.AddHost(fmt.Sprintf("app%d-%d", i, h))
+			n.Connect(app, sw, 100e6, time.Millisecond)
+			ds.apps = append(ds.apps, app)
+		}
+		devs[i] = ds
+	}
+	n.AssignSubnets()
+	n.ComputeRoutes()
+
+	reg := snmp.NewRegistry()
+	mib.AttachAll(n, reg)
+	tr := &sleepTransport{inner: &snmp.InProc{Registry: reg}, delay: delay}
+
+	rig := &multiSiteRig{}
+	var entries []master.Entry
+	for i := 0; i < nSites; i++ {
+		ds := devs[i]
+		bc := bridgecoll.New(bridgecoll.Config{
+			Client:      snmp.NewClient(tr, "public"),
+			Sched:       s,
+			Switches:    []netip.Addr{ds.sw.ManagementAddr()},
+			Parallelism: parallelism,
+		})
+		if err := bc.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(bc.Stop)
+		sc := snmpcoll.New(snmpcoll.Config{
+			Name:      fmt.Sprintf("snmp-%d", i),
+			Transport: tr,
+			Community: "public",
+			Sched:     s,
+			GatewayOf: func(h netip.Addr) (netip.Addr, bool) {
+				dev := n.DeviceByIP(h)
+				if dev == nil || !dev.Gateway.IsValid() {
+					return netip.Addr{}, false
+				}
+				return dev.Gateway, true
+			},
+			ResolveMAC: func(ip netip.Addr) (collector.MAC, bool) {
+				ifc := n.IfaceByIP(ip)
+				if ifc == nil {
+					return collector.MAC{}, false
+				}
+				return collector.MAC(ifc.MAC), true
+			},
+			Bridge:      bc,
+			Parallelism: parallelism,
+		})
+		b.Cleanup(sc.Stop)
+		rig.sites = append(rig.sites, sc)
+		pfx := n.IfaceByIP(ds.apps[0].Addr()).Prefix
+		entries = append(entries, master.Entry{
+			Name:      fmt.Sprintf("site%d", i),
+			Prefixes:  []netip.Prefix{pfx},
+			Collector: sc,
+			BenchHost: ds.bench.Addr(),
+		})
+		rig.query.Hosts = append(rig.query.Hosts, ds.apps[0].Addr(), ds.apps[1].Addr())
+	}
+
+	// Wide-area benchmark collector at site 0, peered with every other
+	// site's bench host, measured once so warm queries answer instantly.
+	var peers []benchcoll.Peer
+	for i := 1; i < nSites; i++ {
+		peers = append(peers, benchcoll.Peer{
+			Name: fmt.Sprintf("site%d", i),
+			Host: devs[i].bench.Addr(),
+		})
+	}
+	wide := benchcoll.New(benchcoll.Config{
+		LocalName: "site0",
+		LocalHost: devs[0].bench.Addr(),
+		Peers:     peers,
+		Prober:    &benchcoll.NetsimProber{Net: n},
+		Sched:     s,
+	})
+	b.Cleanup(wide.Stop)
+	if err := wide.MeasureAll(); err != nil {
+		b.Fatal(err)
+	}
+
+	rig.master = master.New(master.Config{
+		Name:        "master-bench",
+		Entries:     entries,
+		WideArea:    wide,
+		Parallelism: parallelism,
+	})
+	return rig
+}
+
+func (r *multiSiteRig) dropCaches() {
+	for _, sc := range r.sites {
+		sc.DropCaches()
+	}
+}
+
+// benchMasterFanout measures cold multi-site queries: every iteration
+// drops the SNMP collectors' caches so the fan-out re-walks all sites.
+func benchMasterFanout(b *testing.B, parallelism int) {
+	rig := newMultiSiteRig(b, 4, parallelism, 25*time.Microsecond)
+	if _, err := rig.master.Collect(rig.query); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.dropCaches()
+		if _, err := rig.master.Collect(rig.query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMasterFanoutSerial(b *testing.B) { benchMasterFanout(b, 1) }
+
+// The parallel variant pins an explicit width rather than the GOMAXPROCS
+// default: the fan-out hides management-plane latency, which pays off
+// even on a single-core box where GOMAXPROCS would select 1.
+func BenchmarkMasterFanoutParallel(b *testing.B) { benchMasterFanout(b, 8) }
+
+// TestMasterFanoutRigDeterminism pins the benchmark rig itself: the
+// serial and parallel masters over identical 4-site topologies produce
+// byte-identical merged answers.
+func TestMasterFanoutRigDeterminism(t *testing.T) {
+	encode := func(parallelism int) string {
+		rig := newMultiSiteRig(t, 4, parallelism, 0)
+		res, err := rig.master.Collect(rig.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := res.Graph.EncodeText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	serial, parallel := encode(1), encode(0)
+	if serial != parallel {
+		t.Fatalf("serial and parallel merges diverged:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	// Every queried host (two per site) must appear in the merged graph.
+	rig := newMultiSiteRig(t, 4, 1, 0)
+	for _, h := range rig.query.Hosts {
+		if !strings.Contains(serial, "NODE "+h.String()) {
+			t.Fatalf("merged graph misses host %s:\n%s", h, serial)
+		}
+	}
+}
+
+// BenchmarkWarmQueryCache measures the warm path: identical queries
+// answered from the warm-query cache in front of the master, against the
+// same rig the cold fan-out benchmarks walk. Compare ns/op with
+// BenchmarkMasterFanout* for the cold/warm gap.
+func BenchmarkWarmQueryCache(b *testing.B) {
+	rig := newMultiSiteRig(b, 4, 0, 25*time.Microsecond)
+	cache := qcache.New(rig.master, qcache.Config{TTL: time.Hour})
+	if _, err := cache.Collect(rig.query); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Collect(rig.query); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := cache.Stats(); st.Hits < int64(b.N) {
+		b.Fatalf("cache stats %+v: warm path not exercised", st)
+	}
+}

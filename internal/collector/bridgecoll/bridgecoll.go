@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"remos/internal/collector"
+	"remos/internal/conc"
 	"remos/internal/mib"
 	"remos/internal/sim"
 	"remos/internal/snmp"
@@ -34,6 +35,10 @@ type Config struct {
 	// OnMove, if set, is called when monitoring detects that a station
 	// changed its attachment point.
 	OnMove func(mac collector.MAC, from, to netip.Addr)
+	// Parallelism bounds how many bridges are walked concurrently during
+	// startup and station searches. 0 selects GOMAXPROCS; 1 restores the
+	// serial walk.
+	Parallelism int
 }
 
 // switchInfo is everything learned about one bridge.
@@ -95,24 +100,46 @@ func (c *Collector) Name() string { return "bridge" }
 // level-2 topology, and begins location monitoring. "At startup, the
 // Bridge Collector queries all components of a bridged Ethernet to
 // determine its topology, then stores this information in a database."
+// The bridges are walked in parallel (bounded by Config.Parallelism);
+// inference runs once over the committed set.
 func (c *Collector) Start() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, addr := range c.cfg.Switches {
-		si, err := c.walkSwitchLocked(addr)
-		if err != nil {
-			return fmt.Errorf("bridgecoll: walking %v: %w", addr, err)
-		}
-		c.switches[addr] = si
-	}
-	if err := c.inferTopologyLocked(); err != nil {
+	if err := c.rewalkAll(); err != nil {
 		return err
 	}
+	c.mu.Lock()
 	c.started = true
+	c.mu.Unlock()
 	if c.cfg.MonitorInterval > 0 && c.cfg.Sched != nil {
 		c.monitor = c.cfg.Sched.Every(c.cfg.MonitorInterval, c.monitorOnce)
 	}
 	return nil
+}
+
+// rewalkAll walks every configured bridge concurrently outside the mutex
+// (the SNMP client is safe for concurrent use), then commits the new
+// forwarding databases and re-runs topology inference under it. Walk
+// errors surface for the lowest-index switch, independent of completion
+// order.
+func (c *Collector) rewalkAll() error {
+	infos := make([]*switchInfo, len(c.cfg.Switches))
+	err := conc.ForEach(len(c.cfg.Switches), c.cfg.Parallelism, func(i int) error {
+		si, err := c.walkSwitch(c.cfg.Switches[i])
+		if err != nil {
+			return fmt.Errorf("bridgecoll: walking %v: %w", c.cfg.Switches[i], err)
+		}
+		infos[i] = si
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.walkRequests += len(infos)
+	for i, si := range infos {
+		c.switches[c.cfg.Switches[i]] = si
+	}
+	return c.inferTopologyLocked()
 }
 
 // Stop halts location monitoring.
@@ -122,8 +149,11 @@ func (c *Collector) Stop() {
 	}
 }
 
-// walkSwitchLocked reads one bridge's Bridge-MIB and interface table.
-func (c *Collector) walkSwitchLocked(addr netip.Addr) (*switchInfo, error) {
+// walkSwitch reads one bridge's Bridge-MIB and interface table. It takes
+// no locks and touches no collector state, so callers may walk many
+// bridges concurrently and commit the results under c.mu afterwards
+// (walk accounting happens at commit).
+func (c *Collector) walkSwitch(addr netip.Addr) (*switchInfo, error) {
 	a := addr.String()
 	si := &switchInfo{
 		addr:    addr,
@@ -131,7 +161,6 @@ func (c *Collector) walkSwitchLocked(addr netip.Addr) (*switchInfo, error) {
 		perPort: make(map[int][]collector.MAC),
 		speed:   make(map[int]float64),
 	}
-	c.walkRequests++
 	if v, err := c.cfg.Client.GetOne(a, mib.SysName); err == nil {
 		si.name = string(v.Bytes)
 	}

@@ -73,22 +73,20 @@ func (c *Collector) VerifyLocation(mac collector.MAC) (netip.Addr, int, error) {
 }
 
 // SearchStation re-walks all bridges to find a station that moved or is
-// new, updating the database. This is the expensive path.
+// new, updating the database. This is the expensive path; the bridges are
+// walked in parallel and only the commit holds the database mutex, so
+// path queries keep being answered from the previous database while the
+// search runs.
 func (c *Collector) SearchStation(mac collector.MAC) (netip.Addr, int, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	old, hadOld := c.stations[mac]
-	for _, addr := range c.cfg.Switches {
-		si, err := c.walkSwitchLocked(addr)
-		if err != nil {
-			return netip.Addr{}, 0, err
-		}
-		c.switches[addr] = si
-	}
-	if err := c.inferTopologyLocked(); err != nil {
+	c.mu.Unlock()
+	if err := c.rewalkAll(); err != nil {
 		return netip.Addr{}, 0, err
 	}
+	c.mu.Lock()
 	st, ok := c.stations[mac]
+	c.mu.Unlock()
 	if !ok {
 		return netip.Addr{}, 0, fmt.Errorf("bridgecoll: station %v not found on any bridge", mac)
 	}

@@ -61,6 +61,34 @@ type Result struct {
 	Predictions map[HistKey]Forecast
 }
 
+// Clone returns a deep copy of the result, so a cached answer can be
+// handed to multiple consumers without sharing mutable state.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	out := &Result{}
+	if r.Graph != nil {
+		out.Graph = r.Graph.Clone()
+	}
+	if r.History != nil {
+		out.History = make(map[HistKey][]Sample, len(r.History))
+		for k, v := range r.History {
+			out.History[k] = append([]Sample(nil), v...)
+		}
+	}
+	if r.Predictions != nil {
+		out.Predictions = make(map[HistKey]Forecast, len(r.Predictions))
+		for k, v := range r.Predictions {
+			out.Predictions[k] = Forecast{
+				Values: append([]float64(nil), v.Values...),
+				ErrVar: append([]float64(nil), v.ErrVar...),
+			}
+		}
+	}
+	return out
+}
+
 // Interface is implemented by every collector, local or remote. Collect
 // must be safe for concurrent callers.
 type Interface interface {

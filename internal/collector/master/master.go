@@ -6,15 +6,22 @@
 // obtained from multiple collectors". A Master is itself a collector, so
 // masters compose hierarchically — a remote collector may be another
 // Master.
+//
+// The fan-out is concurrent: per-site sub-queries and the wide-area
+// benchmark query run in parallel under a bounded worker pool
+// (Config.Parallelism), and the responses are merged in sorted site order
+// so the coalesced answer is byte-identical to the serial path no matter
+// which sub-query lands first.
 package master
 
 import (
 	"fmt"
 	"net/netip"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"remos/internal/collector"
+	"remos/internal/conc"
 	"remos/internal/topology"
 )
 
@@ -52,14 +59,18 @@ type Config struct {
 	// WideArea answers queries between sites — normally the local
 	// Benchmark Collector. Optional for single-site deployments.
 	WideArea collector.Interface
+	// Parallelism bounds how many sub-queries (per-site plus wide-area)
+	// run concurrently during fan-out. 0 selects GOMAXPROCS; 1 restores
+	// the fully serial path. The merged result is identical either way.
+	Parallelism int
 }
 
 // Master is a Master Collector.
 type Master struct {
 	cfg Config
-	mu  sync.Mutex
-	// served counts queries, for diagnostics.
-	served int
+	// served counts queries, for diagnostics. Atomic so the stats path
+	// never contends with concurrent Collect calls.
+	served atomic.Int64
 }
 
 // New builds a Master Collector.
@@ -74,17 +85,31 @@ func (m *Master) Name() string {
 }
 
 // Prefixes returns the union of the directory's prefixes, so a Master can
-// itself be registered as an Entry of a higher-level Master.
+// itself be registered as an Entry of a higher-level Master. On directory
+// failure it falls back to the static Entries; use PrefixesErr to observe
+// the error.
 func (m *Master) Prefixes() []netip.Prefix {
+	ps, _ := m.PrefixesErr()
+	return ps
+}
+
+// PrefixesErr returns the union of the directory's prefixes along with
+// any directory error. A failing directory does not silently look like an
+// empty one: the static Entries still contribute their prefixes, and the
+// error reports what went wrong.
+func (m *Master) PrefixesErr() ([]netip.Prefix, error) {
 	entries, err := m.entries()
 	if err != nil {
-		return nil
+		// Degrade to the static configuration rather than reporting an
+		// empty responsibility.
+		entries = m.cfg.Entries
+		err = fmt.Errorf("master: directory lookup: %w", err)
 	}
 	var out []netip.Prefix
 	for _, e := range entries {
 		out = append(out, e.Prefixes...)
 	}
-	return out
+	return out, err
 }
 
 // entries resolves the current directory contents.
@@ -111,14 +136,16 @@ func entryFor(entries []Entry, h netip.Addr) (*Entry, bool) {
 	return found, found != nil
 }
 
-// Collect implements collector.Interface.
+// Collect implements collector.Interface. It is safe for concurrent
+// callers; each call fans its sub-queries out in parallel (bounded by
+// Config.Parallelism) and merges the responses in sorted site order
+// followed by the wide-area answer, so the coalesced graph does not
+// depend on sub-query completion order.
 func (m *Master) Collect(q collector.Query) (*collector.Result, error) {
 	if len(q.Hosts) == 0 {
 		return nil, fmt.Errorf("master: empty query")
 	}
-	m.mu.Lock()
-	m.served++
-	m.mu.Unlock()
+	m.served.Add(1)
 
 	// "The first task for the Master Collector is identifying the IP
 	// networks and subnets needed to answer the query, along with the
@@ -128,14 +155,23 @@ func (m *Master) Collect(q collector.Query) (*collector.Result, error) {
 		return nil, fmt.Errorf("master: directory lookup: %w", err)
 	}
 	groups := make(map[string][]netip.Addr)
+	grouped := make(map[string]map[netip.Addr]bool) // set view of groups
 	entries := make(map[string]*Entry)
 	for _, h := range q.Hosts {
 		e, ok := entryFor(all, h)
 		if !ok {
 			return nil, fmt.Errorf("master: no collector is responsible for %v", h)
 		}
-		groups[e.Name] = append(groups[e.Name], h)
-		entries[e.Name] = e
+		set := grouped[e.Name]
+		if set == nil {
+			set = make(map[netip.Addr]bool)
+			grouped[e.Name] = set
+			entries[e.Name] = e
+		}
+		if !set[h] {
+			set[h] = true
+			groups[e.Name] = append(groups[e.Name], h)
+		}
 	}
 	names := make([]string, 0, len(groups))
 	for n := range groups {
@@ -144,32 +180,26 @@ func (m *Master) Collect(q collector.Query) (*collector.Result, error) {
 	sort.Strings(names)
 
 	multiSite := len(names) > 1
-	merged := topology.NewGraph()
-	history := make(map[collector.HistKey][]collector.Sample)
-	forecasts := make(map[collector.HistKey]collector.Forecast)
 
+	// Build the sub-query list: one per site in sorted order, plus (for
+	// multi-site queries) the wide-area benchmark query in the final
+	// slot. Everything fans out together; the slot index fixes the merge
+	// order afterwards.
+	type subQuery struct {
+		coll  collector.Interface
+		hosts []netip.Addr
+		label string
+	}
+	subs := make([]subQuery, 0, len(names)+1)
 	for _, name := range names {
 		e := entries[name]
 		hosts := groups[name]
-		if multiSite && e.BenchHost.IsValid() {
+		if multiSite && e.BenchHost.IsValid() && !grouped[name][e.BenchHost] {
 			// Join point: the site's benchmark endpoint.
-			hosts = appendUnique(hosts, e.BenchHost)
+			hosts = append(hosts, e.BenchHost)
 		}
-		sub, err := e.Collector.Collect(collector.Query{
-			Hosts: hosts, WithHistory: q.WithHistory, WithPredictions: q.WithPredictions,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("master: collector %s: %w", e.Collector.Name(), err)
-		}
-		merged.Merge(sub.Graph)
-		for k, v := range sub.History {
-			history[k] = v
-		}
-		for k, v := range sub.Predictions {
-			forecasts[k] = v
-		}
+		subs = append(subs, subQuery{coll: e.Collector, hosts: hosts, label: "collector " + e.Collector.Name()})
 	}
-
 	if multiSite {
 		if m.cfg.WideArea == nil {
 			return nil, fmt.Errorf("master: query spans %d sites but no wide-area collector is configured", len(names))
@@ -180,17 +210,35 @@ func (m *Master) Collect(q collector.Query) (*collector.Result, error) {
 				benchHosts = append(benchHosts, e.BenchHost)
 			}
 		}
-		wa, err := m.cfg.WideArea.Collect(collector.Query{
-			Hosts: benchHosts, WithHistory: q.WithHistory, WithPredictions: q.WithPredictions,
+		subs = append(subs, subQuery{coll: m.cfg.WideArea, hosts: benchHosts, label: "wide-area collector"})
+	}
+
+	results := make([]*collector.Result, len(subs))
+	err = conc.ForEach(len(subs), m.cfg.Parallelism, func(i int) error {
+		sub, err := subs[i].coll.Collect(collector.Query{
+			Hosts: subs[i].hosts, WithHistory: q.WithHistory, WithPredictions: q.WithPredictions,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("master: wide-area collector: %w", err)
+			return fmt.Errorf("master: %s: %w", subs[i].label, err)
 		}
-		merged.Merge(wa.Graph)
-		for k, v := range wa.History {
+		results[i] = sub
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic coalescing: sites in sorted name order, wide-area
+	// last — the same order the serial implementation used.
+	merged := topology.NewGraph()
+	history := make(map[collector.HistKey][]collector.Sample)
+	forecasts := make(map[collector.HistKey]collector.Forecast)
+	for _, sub := range results {
+		merged.Merge(sub.Graph)
+		for k, v := range sub.History {
 			history[k] = v
 		}
-		for k, v := range wa.Predictions {
+		for k, v := range sub.Predictions {
 			forecasts[k] = v
 		}
 	}
@@ -206,17 +254,4 @@ func (m *Master) Collect(q collector.Query) (*collector.Result, error) {
 }
 
 // Served returns how many queries the master has answered.
-func (m *Master) Served() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.served
-}
-
-func appendUnique(hs []netip.Addr, h netip.Addr) []netip.Addr {
-	for _, x := range hs {
-		if x == h {
-			return hs
-		}
-	}
-	return append(hs, h)
-}
+func (m *Master) Served() int { return int(m.served.Load()) }

@@ -3,7 +3,10 @@ package master
 import (
 	"errors"
 	"net/netip"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"remos/internal/collector"
 	"remos/internal/topology"
@@ -12,13 +15,16 @@ import (
 // fake is a scripted collector.
 type fake struct {
 	name    string
+	mu      sync.Mutex
 	gotQs   []collector.Query
 	results func(q collector.Query) (*collector.Result, error)
 }
 
 func (f *fake) Name() string { return f.name }
 func (f *fake) Collect(q collector.Query) (*collector.Result, error) {
+	f.mu.Lock()
 	f.gotQs = append(f.gotQs, q)
+	f.mu.Unlock()
 	return f.results(q)
 }
 
@@ -212,5 +218,216 @@ func TestHierarchicalMasters(t *testing.T) {
 	}
 	if inner.Served() != 1 || outer.Served() != 1 {
 		t.Fatalf("served counts inner=%d outer=%d", inner.Served(), outer.Served())
+	}
+}
+
+// encodeGraph renders a graph canonically for byte-comparison.
+func encodeGraph(t *testing.T, g *topology.Graph) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := g.EncodeText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestParallelFanoutMatchesSerial asserts the tentpole determinism
+// guarantee: the merged answer is byte-identical whether sub-queries run
+// serially or fan out concurrently, regardless of completion order (the
+// fakes introduce a reversed completion order via staggered sleeps).
+func TestParallelFanoutMatchesSerial(t *testing.T) {
+	build := func(parallelism int, delayA, delayWide time.Duration) *Master {
+		siteA := &fake{name: "snmp-a", results: func(q collector.Query) (*collector.Result, error) {
+			time.Sleep(delayA)
+			var ids []string
+			for _, h := range q.Hosts {
+				ids = append(ids, h.String())
+			}
+			return lineGraph(ids...), nil
+		}}
+		siteB := &fake{name: "snmp-b", results: func(q collector.Query) (*collector.Result, error) {
+			var ids []string
+			for _, h := range q.Hosts {
+				ids = append(ids, h.String())
+			}
+			return lineGraph(ids...), nil
+		}}
+		wide := &fake{name: "bench", results: func(q collector.Query) (*collector.Result, error) {
+			time.Sleep(delayWide)
+			g := topology.NewGraph()
+			g.AddNode(topology.Node{ID: "10.0.1.9", Kind: topology.HostNode, Addr: "10.0.1.9"})
+			g.AddNode(topology.Node{ID: "10.0.2.9", Kind: topology.HostNode, Addr: "10.0.2.9"})
+			g.AddNode(topology.Node{ID: "wan:a-b", Kind: topology.VirtualNode})
+			g.AddLink(topology.Link{From: "10.0.1.9", To: "wan:a-b", Capacity: 3e6})
+			g.AddLink(topology.Link{From: "wan:a-b", To: "10.0.2.9", Capacity: 3e6})
+			return &collector.Result{Graph: g}, nil
+		}}
+		return New(Config{
+			Parallelism: parallelism,
+			Entries: []Entry{
+				{Name: "a", Prefixes: []netip.Prefix{pfx("10.0.1.0/24")}, Collector: siteA, BenchHost: addr("10.0.1.9")},
+				{Name: "b", Prefixes: []netip.Prefix{pfx("10.0.2.0/24")}, Collector: siteB, BenchHost: addr("10.0.2.9")},
+			},
+			WideArea: wide,
+		})
+	}
+	q := collector.Query{Hosts: []netip.Addr{addr("10.0.1.1"), addr("10.0.2.1"), addr("10.0.1.2")}}
+	serial, err := build(1, 0, 0).Collect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encodeGraph(t, serial.Graph)
+	// Several parallel runs with different completion orders.
+	for _, delays := range [][2]time.Duration{
+		{0, 0},
+		{5 * time.Millisecond, 0},                  // site a lands last
+		{0, 5 * time.Millisecond},                  // wide-area lands last
+		{2 * time.Millisecond, 4 * time.Millisecond},
+	} {
+		res, err := build(0, delays[0], delays[1]).Collect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := encodeGraph(t, res.Graph); got != want {
+			t.Fatalf("parallel merge (delays %v) diverged from serial:\n got: %s\nwant: %s", delays, got, want)
+		}
+	}
+}
+
+// TestDuplicateHostsDeduplicated: repeated hosts in a query collapse to
+// one per sub-query (the set-based grouping), and a BenchHost already in
+// the query is not appended twice.
+func TestDuplicateHostsDeduplicated(t *testing.T) {
+	m, siteA, siteB, _ := newTestMaster()
+	_, err := m.Collect(collector.Query{Hosts: []netip.Addr{
+		addr("10.0.1.1"), addr("10.0.1.1"), addr("10.0.1.9"), // dup + a's bench host
+		addr("10.0.2.1"), addr("10.0.2.1"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := siteA.gotQs[0].Hosts; len(got) != 2 {
+		t.Fatalf("site a sub-query hosts = %v, want 2 unique", got)
+	}
+	if got := siteB.gotQs[0].Hosts; len(got) != 2 { // 10.0.2.1 + bench join point
+		t.Fatalf("site b sub-query hosts = %v, want host+bench", got)
+	}
+}
+
+// TestParallelErrorIsDeterministic: when several sites fail concurrently,
+// the reported error is the first site in sorted order, not whichever
+// goroutine lost the race.
+func TestParallelErrorIsDeterministic(t *testing.T) {
+	errA := errors.New("a failed")
+	errB := errors.New("b failed")
+	failing := func(err error, delay time.Duration) *fake {
+		return &fake{name: err.Error(), results: func(collector.Query) (*collector.Result, error) {
+			time.Sleep(delay)
+			return nil, err
+		}}
+	}
+	for trial := 0; trial < 4; trial++ {
+		m := New(Config{
+			Entries: []Entry{
+				{Name: "a", Prefixes: []netip.Prefix{pfx("10.0.1.0/24")}, Collector: failing(errA, 3*time.Millisecond)},
+				{Name: "b", Prefixes: []netip.Prefix{pfx("10.0.2.0/24")}, Collector: failing(errB, 0)},
+			},
+			WideArea: &fake{name: "bench", results: func(collector.Query) (*collector.Result, error) {
+				return lineGraph("x"), nil
+			}},
+		})
+		_, err := m.Collect(collector.Query{Hosts: []netip.Addr{addr("10.0.1.1"), addr("10.0.2.1")}})
+		if !errors.Is(err, errA) {
+			t.Fatalf("trial %d: err = %v, want site a's error (sorted-first)", trial, err)
+		}
+	}
+}
+
+// errDirectory fails lookups after a scripted number of calls.
+type errDirectory struct {
+	entries []Entry
+	fail    bool
+}
+
+func (d *errDirectory) Entries() ([]Entry, error) {
+	if d.fail {
+		return nil, errors.New("directory down")
+	}
+	return d.entries, nil
+}
+
+// TestPrefixesSurfacesDirectoryErrors: a failing directory no longer
+// masquerades as an empty one — PrefixesErr reports the failure and falls
+// back to the static entries.
+func TestPrefixesSurfacesDirectoryErrors(t *testing.T) {
+	static := []Entry{{Name: "a", Prefixes: []netip.Prefix{pfx("10.0.1.0/24")}}}
+	dir := &errDirectory{entries: []Entry{
+		{Name: "a", Prefixes: []netip.Prefix{pfx("10.0.1.0/24")}},
+		{Name: "b", Prefixes: []netip.Prefix{pfx("10.0.2.0/24")}},
+	}}
+	m := New(Config{Entries: static, Directory: dir})
+
+	ps, err := m.PrefixesErr()
+	if err != nil || len(ps) != 2 {
+		t.Fatalf("healthy directory: prefixes=%v err=%v", ps, err)
+	}
+	dir.fail = true
+	ps, err = m.PrefixesErr()
+	if err == nil {
+		t.Fatal("directory failure not reported")
+	}
+	if len(ps) != 1 || ps[0] != pfx("10.0.1.0/24") {
+		t.Fatalf("no fallback to static entries: %v", ps)
+	}
+	// The error-swallowing accessor still degrades gracefully.
+	if got := m.Prefixes(); len(got) != 1 {
+		t.Fatalf("Prefixes() = %v, want static fallback", got)
+	}
+}
+
+// TestConcurrentCollects: many goroutines query one master at once; every
+// answer must be identical and the served counter exact (run under
+// -race).
+func TestConcurrentCollects(t *testing.T) {
+	m, _, _, _ := newTestMaster()
+	q := collector.Query{Hosts: []netip.Addr{addr("10.0.1.1"), addr("10.0.2.1")}}
+	want, err := m.Collect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnc := encodeGraph(t, want.Graph)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	encs := make([]string, goroutines)
+	errs := make([]error, goroutines)
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			res, err := m.Collect(q)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var sb strings.Builder
+			if err := res.Graph.EncodeText(&sb); err != nil {
+				errs[i] = err
+				return
+			}
+			encs[i] = sb.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if encs[i] != wantEnc {
+			t.Fatalf("goroutine %d got a different merged graph", i)
+		}
+	}
+	if m.Served() != goroutines+1 {
+		t.Fatalf("served = %d, want %d", m.Served(), goroutines+1)
 	}
 }

@@ -1,0 +1,231 @@
+// Package qcache puts a warm-query cache with single-flight deduplication
+// in front of any collector — normally the Master Collector, where it
+// turns the paper's cold/warm gap (Fig. 3) into an explicit serving
+// layer: a cold query pays the full collector fan-out, every identical
+// query inside the staleness bound answers from the cached topology, and
+// N concurrent identical queries (the "millions of users" scenario)
+// trigger exactly one fan-out whose answer all N share.
+//
+// The cache key is the sorted host set plus the query flags, so host
+// order never fragments the cache. Results are deep-copied on the way
+// out: consumers may annotate or mutate their answer without corrupting
+// the cached copy or each other's.
+package qcache
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remos/internal/collector"
+)
+
+// Config tunes the cache.
+type Config struct {
+	// TTL is the staleness bound: a cached answer older than this is
+	// re-collected. TTL <= 0 disables retention — the cache then only
+	// coalesces concurrent identical queries (pure single-flight).
+	TTL time.Duration
+	// Now supplies the clock (nil means time.Now). Deployments over the
+	// simulated scheduler pass its Now so TTLs follow simulated time.
+	Now func() time.Time
+	// MaxEntries bounds the number of retained answers (default 1024);
+	// the oldest entries are evicted first.
+	MaxEntries int
+}
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits answered from a fresh cached result.
+	Hits int64
+	// Misses went through to the inner collector.
+	Misses int64
+	// Coalesced callers shared another caller's in-flight collection
+	// instead of starting their own.
+	Coalesced int64
+	// Evictions counts entries dropped for capacity.
+	Evictions int64
+}
+
+// entry is one cache slot. done closes when the in-flight collection
+// lands; res/err/at are written exactly once before the close and only
+// read after it.
+type entry struct {
+	done chan struct{}
+	res  *collector.Result
+	err  error
+	at   time.Time
+}
+
+func (e *entry) landed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Cache is a caching, deduplicating collector wrapper. It implements
+// collector.Interface and is safe for concurrent use.
+type Cache struct {
+	inner collector.Interface
+	cfg   Config
+
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+// New wraps a collector with a warm-query cache.
+func New(inner collector.Interface, cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 1024
+	}
+	return &Cache{inner: inner, cfg: cfg, entries: make(map[string]*entry)}
+}
+
+// Name implements collector.Interface, transparently: the cache answers
+// under the wrapped collector's identity.
+func (c *Cache) Name() string { return c.inner.Name() }
+
+func (c *Cache) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now()
+}
+
+// Key renders the canonical cache key for a query: the host set sorted
+// (so host order does not fragment the cache) plus the query flags.
+func Key(q collector.Query) string {
+	hosts := make([]string, len(q.Hosts))
+	for i, h := range q.Hosts {
+		hosts[i] = h.String()
+	}
+	sort.Strings(hosts)
+	var b strings.Builder
+	b.WriteString(strings.Join(hosts, ","))
+	if q.WithHistory {
+		b.WriteString("|hist")
+	}
+	if q.WithPredictions {
+		b.WriteString("|pred")
+	}
+	return b.String()
+}
+
+// Collect implements collector.Interface. Identical queries inside the
+// TTL answer from cache; concurrent identical queries share a single
+// inner collection; distinct queries proceed independently.
+func (c *Cache) Collect(q collector.Query) (*collector.Result, error) {
+	key := Key(q)
+	c.mu.Lock()
+	e := c.entries[key]
+	if e != nil {
+		if !e.landed() {
+			// In flight: wait outside the lock and share the answer.
+			c.mu.Unlock()
+			<-e.done
+			if e.err != nil {
+				return nil, e.err
+			}
+			c.coalesced.Add(1)
+			return e.res.Clone(), nil
+		}
+		if e.err == nil && c.cfg.TTL > 0 && c.now().Sub(e.at) < c.cfg.TTL {
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return e.res.Clone(), nil
+		}
+		// Stale (or a retained error, which cannot happen — errors are
+		// dropped at fill): fall through and re-collect.
+		delete(c.entries, key)
+	}
+	e = &entry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.evictLocked()
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.res, e.err = c.inner.Collect(q)
+	e.at = c.now()
+	close(e.done)
+	if e.err != nil || c.cfg.TTL <= 0 {
+		// Errors are never cached; without a TTL nothing is retained
+		// beyond the flight itself.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.res.Clone(), nil
+}
+
+// evictLocked enforces MaxEntries: expired entries go first, then the
+// oldest landed entries. In-flight entries are never evicted.
+func (c *Cache) evictLocked() {
+	if len(c.entries) <= c.cfg.MaxEntries {
+		return
+	}
+	now := c.now()
+	for k, e := range c.entries {
+		if e.landed() && c.cfg.TTL > 0 && now.Sub(e.at) >= c.cfg.TTL {
+			delete(c.entries, k)
+			c.evictions.Add(1)
+		}
+	}
+	for len(c.entries) > c.cfg.MaxEntries {
+		oldestKey := ""
+		var oldest time.Time
+		for k, e := range c.entries {
+			if !e.landed() {
+				continue
+			}
+			if oldestKey == "" || e.at.Before(oldest) {
+				oldestKey, oldest = k, e.at
+			}
+		}
+		if oldestKey == "" {
+			return // everything in flight; nothing evictable
+		}
+		delete(c.entries, oldestKey)
+		c.evictions.Add(1)
+	}
+}
+
+// Flush drops every cache slot. Waiters already attached to an in-flight
+// collection still receive its answer, but the flushed flight is not
+// retained when it lands.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.entries)
+}
+
+// Stats returns a snapshot of the effectiveness counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// Len reports the number of cached entries (including in-flight).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,204 @@
+package qcache
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/topology"
+)
+
+// slowColl is a scripted inner collector with a controllable gate.
+type slowColl struct {
+	calls atomic.Int64
+	gate  chan struct{} // when non-nil, Collect blocks until closed
+	err   error
+}
+
+func (s *slowColl) Name() string { return "slow" }
+
+func (s *slowColl) Collect(q collector.Query) (*collector.Result, error) {
+	s.calls.Add(1)
+	if s.gate != nil {
+		<-s.gate
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	g := topology.NewGraph()
+	for _, h := range q.Hosts {
+		g.AddNode(topology.Node{ID: h.String(), Kind: topology.HostNode, Addr: h.String()})
+	}
+	return &collector.Result{Graph: g}, nil
+}
+
+func q(hosts ...string) collector.Query {
+	var out collector.Query
+	for _, h := range hosts {
+		out.Hosts = append(out.Hosts, netip.MustParseAddr(h))
+	}
+	return out
+}
+
+func TestWarmHit(t *testing.T) {
+	inner := &slowColl{}
+	now := time.Unix(0, 0)
+	c := New(inner, Config{TTL: 10 * time.Second, Now: func() time.Time { return now }})
+
+	r1, err := c.Collect(q("10.0.0.1", "10.0.0.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same hosts in another order: same cache slot.
+	r2, err := c.Collect(q("10.0.0.2", "10.0.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls.Load() != 1 {
+		t.Fatalf("inner collected %d times, want 1", inner.calls.Load())
+	}
+	if len(r1.Graph.Nodes()) != 2 || len(r2.Graph.Nodes()) != 2 {
+		t.Fatal("bad graphs")
+	}
+	// Results are isolated copies.
+	if r1.Graph == r2.Graph {
+		t.Fatal("cache handed out a shared graph")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	inner := &slowColl{}
+	now := time.Unix(0, 0)
+	c := New(inner, Config{TTL: 5 * time.Second, Now: func() time.Time { return now }})
+
+	if _, err := c.Collect(q("10.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(4 * time.Second)
+	if _, err := c.Collect(q("10.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls.Load() != 1 {
+		t.Fatalf("fresh query re-collected (calls=%d)", inner.calls.Load())
+	}
+	now = now.Add(2 * time.Second) // past TTL
+	if _, err := c.Collect(q("10.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls.Load() != 2 {
+		t.Fatalf("stale query did not re-collect (calls=%d)", inner.calls.Load())
+	}
+}
+
+func TestFlagsPartitionCache(t *testing.T) {
+	inner := &slowColl{}
+	c := New(inner, Config{TTL: time.Hour})
+	base := q("10.0.0.1")
+	withHist := base
+	withHist.WithHistory = true
+	c.Collect(base)
+	c.Collect(withHist)
+	if inner.calls.Load() != 2 {
+		t.Fatalf("flag variants shared a slot (calls=%d)", inner.calls.Load())
+	}
+}
+
+func TestSingleFlightCoalescesConcurrentIdenticalQueries(t *testing.T) {
+	inner := &slowColl{gate: make(chan struct{})}
+	c := New(inner, Config{TTL: time.Hour})
+
+	const n = 32
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			r, err := c.Collect(q("10.0.0.1", "10.0.0.2"))
+			if err != nil || len(r.Graph.Nodes()) != 2 {
+				t.Errorf("collect: %v", err)
+			}
+		}()
+	}
+	// Wait until the one real collection is in flight, then release it.
+	for inner.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond) // let the rest pile onto the flight
+	close(inner.gate)
+	wg.Wait()
+	if inner.calls.Load() != 1 {
+		t.Fatalf("N concurrent identical queries caused %d fan-outs, want 1", inner.calls.Load())
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced+st.Hits != n-1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNoTTLStillCoalescesButDoesNotRetain(t *testing.T) {
+	inner := &slowColl{}
+	c := New(inner, Config{TTL: 0})
+	c.Collect(q("10.0.0.1"))
+	c.Collect(q("10.0.0.1"))
+	if inner.calls.Load() != 2 {
+		t.Fatalf("TTL=0 retained an answer (calls=%d)", inner.calls.Load())
+	}
+	if c.Len() != 0 {
+		t.Fatalf("TTL=0 left %d entries", c.Len())
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	inner := &slowColl{err: errors.New("boom")}
+	c := New(inner, Config{TTL: time.Hour})
+	if _, err := c.Collect(q("10.0.0.1")); err == nil {
+		t.Fatal("want error")
+	}
+	inner.err = nil
+	if _, err := c.Collect(q("10.0.0.1")); err != nil {
+		t.Fatalf("error was cached: %v", err)
+	}
+	if inner.calls.Load() != 2 {
+		t.Fatalf("calls=%d", inner.calls.Load())
+	}
+}
+
+func TestEvictionBound(t *testing.T) {
+	inner := &slowColl{}
+	now := time.Unix(0, 0)
+	c := New(inner, Config{TTL: time.Hour, MaxEntries: 8, Now: func() time.Time {
+		now = now.Add(time.Millisecond) // distinct fill times for LRU order
+		return now
+	}})
+	for i := 0; i < 64; i++ {
+		if _, err := c.Collect(q(fmt.Sprintf("10.0.%d.1", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > 9 { // MaxEntries plus at most the newest in-flight slot
+		t.Fatalf("cache grew to %d entries", c.Len())
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	inner := &slowColl{}
+	c := New(inner, Config{TTL: time.Hour})
+	c.Collect(q("10.0.0.1"))
+	c.Flush()
+	c.Collect(q("10.0.0.1"))
+	if inner.calls.Load() != 2 {
+		t.Fatalf("flush did not drop the entry (calls=%d)", inner.calls.Load())
+	}
+}

@@ -3,9 +3,11 @@ package snmpcoll
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 
 	"remos/internal/collector"
 	"remos/internal/collector/bridgecoll"
+	"remos/internal/conc"
 	"remos/internal/mib"
 	"remos/internal/snmp"
 	"remos/internal/topology"
@@ -28,6 +30,10 @@ func (c *Collector) CollectWithStats(q collector.Query) (*collector.Result, Quer
 	if len(q.Hosts) == 0 {
 		return nil, QueryStats{}, fmt.Errorf("snmpcoll: empty query")
 	}
+	// Warm the router cache for every distinct first-hop gateway in
+	// parallel before the serial hop-by-hop walk: multi-gateway queries
+	// walk their entry routers concurrently instead of one at a time.
+	c.prefetchGateways(cl, q.Hosts)
 	// Discover the union of pairwise paths. The route cache makes this
 	// effectively linear in the number of new hosts even though it
 	// iterates pairs (the naive algorithm's worst case is O(N²); this
@@ -46,10 +52,28 @@ func (c *Collector) CollectWithStats(q collector.Query) (*collector.Result, Quer
 	}
 
 	// Per-query validation of every cached device involved (reboot and
-	// liveness check) — the warm-cache query cost.
-	for _, ri := range b.routersUsed {
-		if err := c.validateRouter(cl, ri); err != nil {
-			return nil, QueryStats{}, err
+	// liveness check) — the warm-cache query cost. Devices validate in
+	// parallel; the address ordering keeps the reported error (if any)
+	// deterministic.
+	used := make([]netip.Addr, 0, len(b.routersUsed))
+	for a := range b.routersUsed {
+		used = append(used, a)
+	}
+	sort.Slice(used, func(i, j int) bool { return used[i].Less(used[j]) })
+	validated := make([]*routerInfo, len(used))
+	if err := conc.ForEach(len(used), c.cfg.Parallelism, func(i int) error {
+		fresh, err := c.validateRouter(cl, b.routersUsed[used[i]])
+		if err != nil {
+			return err
+		}
+		validated[i] = fresh
+		return nil
+	}); err != nil {
+		return nil, QueryStats{}, err
+	}
+	for i, a := range used {
+		if validated[i] != nil {
+			b.routersUsed[a] = validated[i]
 		}
 	}
 
@@ -66,10 +90,42 @@ func (c *Collector) CollectWithStats(q collector.Query) (*collector.Result, Quer
 		res.Predictions = c.predictions()
 	}
 	reqs, rtt := meter.Snapshot()
-	c.mu.Lock()
-	c.queriesServed++
-	c.mu.Unlock()
+	c.queriesServed.Add(1)
 	return res, QueryStats{Requests: reqs, RTT: rtt, ColdStart: cold}, nil
+}
+
+// prefetchGateways fills the router cache for the distinct gateways of
+// the queried hosts concurrently. Errors are deliberately dropped here:
+// the serial discovery path re-attempts the fetch and reports the failure
+// with full path context. Prefetching is pointless (and would double the
+// measured cost) when the route cache is disabled or there is nothing to
+// do in parallel.
+func (c *Collector) prefetchGateways(cl *snmp.Client, hosts []netip.Addr) {
+	if c.cfg.DisableRouteCache || conc.Limit(c.cfg.Parallelism) == 1 {
+		return
+	}
+	seen := make(map[netip.Addr]bool)
+	var gws []netip.Addr
+	for _, h := range hosts {
+		gw, ok := c.cfg.GatewayOf(h)
+		if !ok || seen[gw] {
+			continue
+		}
+		seen[gw] = true
+		c.mu.Lock()
+		_, cached := c.routers[gw]
+		c.mu.Unlock()
+		if !cached {
+			gws = append(gws, gw)
+		}
+	}
+	if len(gws) < 2 {
+		return
+	}
+	conc.ForEach(len(gws), c.cfg.Parallelism, func(i int) error {
+		c.routerFor(cl, gws[i])
+		return nil
+	})
 }
 
 // build accumulates one query's graph.

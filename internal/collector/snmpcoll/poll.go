@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"remos/internal/collector"
+	"remos/internal/conc"
 	"remos/internal/mib"
 	"remos/internal/snmp"
 )
@@ -61,8 +62,13 @@ func (c *Collector) annotate(cl *snmp.Client, b *build) (coldStart bool) {
 }
 
 // readCounters reads a poll point's octet counters once, recording a
-// utilization sample when a previous baseline exists.
+// utilization sample when a previous baseline exists. The point's mutex
+// is held for the whole exchange, serializing reads of one interface so
+// a query-path baseline read and a parallel poll never interleave their
+// delta computations.
 func (c *Collector) readCounters(cl *snmp.Client, p *pollPoint) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	now := c.now()
 	vbs, err := cl.Get(p.agent.String(),
 		mib.IfInOctets.Append(uint32(p.ifIndex)),
@@ -122,7 +128,11 @@ func (c *Collector) now() time.Time {
 }
 
 // pollOnce reads every monitored interface — the periodic monitoring loop
-// ("by default, the utilization is monitored every five seconds").
+// ("by default, the utilization is monitored every five seconds"). The
+// interfaces are polled by a worker pool (Config.Parallelism wide) so a
+// large monitoring set completes within the poll interval; each sample is
+// timestamped at its own read, and the history store and per-point
+// baselines carry their own locks.
 func (c *Collector) pollOnce() {
 	c.mu.Lock()
 	points := make([]*pollPoint, 0, len(c.monitors))
@@ -137,9 +147,10 @@ func (c *Collector) pollOnce() {
 		return points[i].ifIndex < points[j].ifIndex
 	})
 	cl := c.client(nil)
-	for _, p := range points {
-		c.readCounters(cl, p)
-	}
+	conc.ForEach(len(points), c.cfg.Parallelism, func(i int) error {
+		c.readCounters(cl, points[i])
+		return nil
+	})
 }
 
 // Monitored returns the number of interfaces under periodic monitoring.

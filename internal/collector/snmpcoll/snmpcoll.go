@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"remos/internal/collector"
 	"remos/internal/collector/bridgecoll"
+	"remos/internal/conc"
 	"remos/internal/mib"
 	"remos/internal/rps"
 	"remos/internal/sim"
@@ -49,6 +51,11 @@ type Config struct {
 	// DisableRouteCache turns off route and router-table caching, the
 	// ablation knob behind the Fig 3 cold/warm comparison.
 	DisableRouteCache bool
+	// Parallelism bounds how many devices are walked or polled
+	// concurrently (gateway prefetch, cached-router validation, periodic
+	// polling) and how many of one router's tables are walked at once.
+	// 0 selects GOMAXPROCS; 1 restores the fully serial paths.
+	Parallelism int
 
 	// StreamPredict, when set to an RPS model spec (e.g. "AR(16)"),
 	// attaches a streaming predictor to every monitored link direction:
@@ -63,11 +70,15 @@ type Config struct {
 	StreamHorizon int
 }
 
-// routerInfo caches what has been learned about one router.
+// routerInfo caches what has been learned about one router. Apart from
+// upTime (atomic, advanced by per-query validation) the fields are
+// immutable once fetchRouter returns, so concurrent queries may read a
+// cached routerInfo without locking; a rebooted router is replaced by a
+// fresh routerInfo rather than mutated in place.
 type routerInfo struct {
 	addr    netip.Addr
 	sysName string
-	upTime  uint32 // ticks at cache fill, for reboot detection
+	upTime  atomic.Uint32 // ticks at cache fill/validation, for reboot detection
 	routes  []routeEntry
 	ifSpeed map[int]float64
 	// addrByIf and macByIf come from ipAddrTable and ifPhysAddress:
@@ -94,7 +105,9 @@ type routeEntry struct {
 }
 
 // pollPoint is one monitored interface: the device and ifIndex polled,
-// and the directed graph link it measures.
+// and the directed graph link it measures. The counter baseline is
+// guarded by its own mutex so parallel polling, query-path baseline
+// reads, and reboot invalidation never race.
 type pollPoint struct {
 	agent   netip.Addr
 	ifIndex int
@@ -103,6 +116,7 @@ type pollPoint struct {
 	// outIsFromTo: the port's out-octets measure from->to traffic.
 	outIsFromTo bool
 
+	mu       sync.Mutex
 	prevIn   uint32
 	prevOut  uint32
 	prevAt   time.Time
@@ -133,7 +147,11 @@ type Collector struct {
 	streams  map[collector.HistKey]*streamState
 	poller   *sim.Timer
 
-	queriesServed int
+	// fetches single-flights concurrent cache fills of the same router,
+	// so a query storm walks each device once.
+	fetches conc.Flight[netip.Addr, *routerInfo]
+
+	queriesServed atomic.Int64
 }
 
 type chainKey struct {
@@ -199,7 +217,11 @@ func (c *Collector) PollInterval() time.Duration { return c.cfg.PollInterval }
 // History exposes the measurement history store (for prediction services).
 func (c *Collector) History() *collector.History { return c.hist }
 
-// fetchRouter walks one router's route table and interface speeds.
+// fetchRouter walks one router's route table and interface speeds. The
+// four independent table groups (system+routes, ifSpeed, ifPhysAddr,
+// ipAdEnt) are walked concurrently under the collector's parallelism
+// bound; they fill disjoint routerInfo fields, so the assembled view is
+// identical to a serial fetch.
 func (c *Collector) fetchRouter(cl *snmp.Client, addr netip.Addr) (*routerInfo, error) {
 	a := addr.String()
 	ri := &routerInfo{
@@ -208,19 +230,57 @@ func (c *Collector) fetchRouter(cl *snmp.Client, addr netip.Addr) (*routerInfo, 
 		addrByIf: make(map[int]netip.Addr),
 		macByIf:  make(map[int]collector.MAC),
 	}
+	walks := []func() error{
+		func() error { return c.fetchSystemAndRoutes(cl, a, ri) },
+		func() error {
+			return cl.BulkWalk(a, mib.IfSpeed, 16, func(o snmp.OID, v snmp.Value) bool {
+				ri.ifSpeed[int(o[len(o)-1])] = float64(v.Int)
+				return true
+			})
+		},
+		func() error {
+			return cl.BulkWalk(a, mib.IfPhysAddr, 16, func(o snmp.OID, v snmp.Value) bool {
+				if m, ok := collector.MACFromBytes(v.Bytes); ok {
+					ri.macByIf[int(o[len(o)-1])] = m
+				}
+				return true
+			})
+		},
+		func() error {
+			return cl.BulkWalk(a, mib.IPAdEntIfIndex, 16, func(o snmp.OID, v snmp.Value) bool {
+				if len(o) < 4 {
+					return true
+				}
+				ip := netip.AddrFrom4([4]byte{byte(o[len(o)-4]), byte(o[len(o)-3]), byte(o[len(o)-2]), byte(o[len(o)-1])})
+				ri.addrByIf[int(v.Int)] = ip
+				return true
+			})
+		},
+	}
+	if err := conc.ForEach(len(walks), c.cfg.Parallelism, func(i int) error { return walks[i]() }); err != nil {
+		return nil, err
+	}
+	return ri, nil
+}
+
+// fetchSystemAndRoutes reads the system group and the four route-table
+// columns (dest, mask, next hop, ifIndex). The column walks share the
+// per-destination accumulator, so they stay serial relative to each
+// other; route order follows the dest column, keeping the cached table
+// deterministic.
+func (c *Collector) fetchSystemAndRoutes(cl *snmp.Client, a string, ri *routerInfo) error {
 	vbs, err := cl.Get(a, mib.SysName, mib.SysUpTime)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for _, vb := range vbs {
 		switch {
 		case vb.Name.Cmp(mib.SysName) == 0:
 			ri.sysName = string(vb.Value.Bytes)
 		case vb.Name.Cmp(mib.SysUpTime) == 0:
-			ri.upTime = uint32(vb.Value.Int)
+			ri.upTime.Store(uint32(vb.Value.Int))
 		}
 	}
-	// Route table: collect dest, mask, next hop, ifIndex column walks.
 	type parsed struct {
 		maskLen int
 		nextHop netip.Addr
@@ -245,14 +305,14 @@ func (c *Collector) fetchRouter(cl *snmp.Client, addr netip.Addr) (*routerInfo, 
 		})
 	}
 	if err := col(mib.IPRouteDest, func(e *parsed, v snmp.Value) {}); err != nil {
-		return nil, err
+		return err
 	}
 	if err := col(mib.IPRouteMask, func(e *parsed, v snmp.Value) {
 		if len(v.Bytes) == 4 {
 			e.maskLen = maskBits([4]byte{v.Bytes[0], v.Bytes[1], v.Bytes[2], v.Bytes[3]})
 		}
 	}); err != nil {
-		return nil, err
+		return err
 	}
 	if err := col(mib.IPRouteNext, func(e *parsed, v snmp.Value) {
 		if len(v.Bytes) == 4 {
@@ -262,12 +322,12 @@ func (c *Collector) fetchRouter(cl *snmp.Client, addr netip.Addr) (*routerInfo, 
 			}
 		}
 	}); err != nil {
-		return nil, err
+		return err
 	}
 	if err := col(mib.IPRouteIfIdx, func(e *parsed, v snmp.Value) {
 		e.ifIndex = int(v.Int)
 	}); err != nil {
-		return nil, err
+		return err
 	}
 	for _, ip := range order {
 		e := dests[ip]
@@ -277,31 +337,7 @@ func (c *Collector) fetchRouter(cl *snmp.Client, addr netip.Addr) (*routerInfo, 
 			ifIndex: e.ifIndex,
 		})
 	}
-	if err := cl.BulkWalk(a, mib.IfSpeed, 16, func(o snmp.OID, v snmp.Value) bool {
-		ri.ifSpeed[int(o[len(o)-1])] = float64(v.Int)
-		return true
-	}); err != nil {
-		return nil, err
-	}
-	if err := cl.BulkWalk(a, mib.IfPhysAddr, 16, func(o snmp.OID, v snmp.Value) bool {
-		if m, ok := collector.MACFromBytes(v.Bytes); ok {
-			ri.macByIf[int(o[len(o)-1])] = m
-		}
-		return true
-	}); err != nil {
-		return nil, err
-	}
-	if err := cl.BulkWalk(a, mib.IPAdEntIfIndex, 16, func(o snmp.OID, v snmp.Value) bool {
-		if len(o) < 4 {
-			return true
-		}
-		ip := netip.AddrFrom4([4]byte{byte(o[len(o)-4]), byte(o[len(o)-3]), byte(o[len(o)-2]), byte(o[len(o)-1])})
-		ri.addrByIf[int(v.Int)] = ip
-		return true
-	}); err != nil {
-		return nil, err
-	}
-	return ri, nil
+	return nil
 }
 
 func maskBits(m [4]byte) int {
@@ -319,7 +355,10 @@ func maskBits(m [4]byte) int {
 }
 
 // routerFor returns a (possibly cached) router view; caching is skipped
-// when the ablation knob disables it.
+// when the ablation knob disables it. Cache fills are single-flighted:
+// concurrent queries missing on the same router share one walk instead of
+// each walking the device (skipped under the ablation knob, where every
+// query must pay the full cold cost).
 func (c *Collector) routerFor(cl *snmp.Client, addr netip.Addr) (*routerInfo, error) {
 	c.mu.Lock()
 	ri, ok := c.routers[addr]
@@ -327,48 +366,68 @@ func (c *Collector) routerFor(cl *snmp.Client, addr netip.Addr) (*routerInfo, er
 	if ok && !c.cfg.DisableRouteCache {
 		return ri, nil
 	}
-	ri, err := c.fetchRouter(cl, addr)
-	if err != nil {
-		return nil, err
+	if c.cfg.DisableRouteCache {
+		ri, err := c.fetchRouter(cl, addr)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.routers[addr] = ri
+		c.mu.Unlock()
+		return ri, nil
 	}
-	c.mu.Lock()
-	c.routers[addr] = ri
-	c.mu.Unlock()
-	return ri, nil
+	ri, err, _ := c.fetches.Do(addr, func() (*routerInfo, error) {
+		ri, err := c.fetchRouter(cl, addr)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.routers[addr] = ri
+		c.mu.Unlock()
+		return ri, nil
+	})
+	return ri, err
 }
 
 // validateRouter performs the cheap per-query liveness/reboot check on a
 // cached router: one sysUpTime read. A reboot (uptime going backwards)
 // invalidates the cached tables and the counter baselines for that
-// device and refreshes them; the query proceeds on fresh data. An
+// device and refreshes them; the query proceeds on the returned fresh
+// view (cached routerInfo is replaced, never mutated, so queries already
+// holding the old pointer keep a consistent pre-reboot snapshot). An
 // unreachable agent is an error.
-func (c *Collector) validateRouter(cl *snmp.Client, ri *routerInfo) error {
+func (c *Collector) validateRouter(cl *snmp.Client, ri *routerInfo) (*routerInfo, error) {
 	v, err := cl.GetOne(ri.addr.String(), mib.SysUpTime)
 	if err != nil {
-		return fmt.Errorf("snmpcoll: router %v unreachable: %w", ri.addr, err)
+		return nil, fmt.Errorf("snmpcoll: router %v unreachable: %w", ri.addr, err)
 	}
-	if uint32(v.Int) >= ri.upTime {
-		ri.upTime = uint32(v.Int)
-		return nil
+	if uint32(v.Int) >= ri.upTime.Load() {
+		ri.upTime.Store(uint32(v.Int))
+		return ri, nil
 	}
 	// Rebooted: drop what we believed about it and re-learn.
 	c.mu.Lock()
 	delete(c.routers, ri.addr)
+	points := make([]*pollPoint, 0, len(c.monitors))
 	for _, p := range c.monitors {
 		if p.agent == ri.addr {
-			p.havePrev = false
+			points = append(points, p)
 		}
 	}
 	c.mu.Unlock()
+	for _, p := range points {
+		p.mu.Lock()
+		p.havePrev = false
+		p.mu.Unlock()
+	}
 	fresh, err := c.fetchRouter(cl, ri.addr)
 	if err != nil {
-		return fmt.Errorf("snmpcoll: refreshing rebooted router %v: %w", ri.addr, err)
+		return nil, fmt.Errorf("snmpcoll: refreshing rebooted router %v: %w", ri.addr, err)
 	}
 	c.mu.Lock()
 	c.routers[ri.addr] = fresh
 	c.mu.Unlock()
-	*ri = *fresh
-	return nil
+	return fresh, nil
 }
 
 // lpm finds the longest-prefix route for dst in a cached router table.

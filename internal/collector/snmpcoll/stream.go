@@ -1,6 +1,8 @@
 package snmpcoll
 
 import (
+	"sync"
+
 	"remos/internal/collector"
 	"remos/internal/rps"
 )
@@ -14,8 +16,12 @@ import (
 // enough history has accumulated, then advanced per poll, amortizing the
 // fit over every consumer of every subsequent query.
 
-// streamState is one directed link's predictor.
+// streamState is one directed link's predictor. Its mutex serializes
+// Observe/Last on the underlying stream: with parallel polling, two poll
+// points measuring the same link from opposite ends may feed one key
+// concurrently.
 type streamState struct {
+	mu     sync.Mutex
 	stream *rps.Stream
 	fed    int // samples fed since fitting
 }
@@ -53,8 +59,10 @@ func (c *Collector) feedStream(k collector.HistKey, v float64) {
 		c.mu.Unlock()
 		return // the fit consumed this sample via history
 	}
+	st.mu.Lock()
 	st.stream.Observe(v)
 	st.fed++
+	st.mu.Unlock()
 }
 
 func (c *Collector) streamMinFit() int {
@@ -83,7 +91,9 @@ func (c *Collector) predictions() map[collector.HistKey]collector.Forecast {
 	c.mu.Unlock()
 	out := make(map[collector.HistKey]collector.Forecast, len(keys))
 	for i, st := range states {
+		st.mu.Lock()
 		p, n := st.stream.Last()
+		st.mu.Unlock()
 		if n == 0 || len(p.Values) == 0 {
 			continue
 		}

@@ -1,0 +1,113 @@
+// Package conc provides the small concurrency primitives the collector
+// pipeline is built from: a bounded parallel for-loop with deterministic
+// error selection, and a generic single-flight call deduplicator. The
+// collectors use these instead of unbounded goroutine fan-out so a
+// "millions of users" query storm degrades into queueing, not into a
+// goroutine explosion.
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Limit normalizes a parallelism knob: values <= 0 select GOMAXPROCS.
+func Limit(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0,n) using at most par concurrent
+// workers (par <= 0 selects GOMAXPROCS). With par == 1 the items run
+// serially in order and the loop stops at the first error, exactly like a
+// plain for-loop. With par > 1 every item runs even when some fail, and
+// the returned error is the failing item with the LOWEST index — so the
+// error a caller observes does not depend on goroutine completion order.
+func ForEach(n, par int, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	par = Limit(par)
+	if par > n {
+		par = n
+	}
+	if par == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Flight deduplicates concurrent calls by key: while a call for a key is
+// in flight, later callers for the same key wait for it and share its
+// result instead of repeating the work. Results are not retained once the
+// flight lands — callers wanting a cache layer put one in front (see
+// package qcache). The zero value is ready to use.
+type Flight[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do invokes fn once per key among concurrent callers. shared reports
+// whether the result came from another caller's invocation.
+func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[K]*flightCall[V])
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

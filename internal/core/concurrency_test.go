@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+
+	"remos/internal/collector"
+	"remos/internal/netsim"
+)
+
+var errDiverged = errors.New("concurrent master answer diverged from baseline")
+
+// addrsOf resolves device names to their primary addresses.
+func addrsOf(d map[string]*netsim.Device, names ...string) []netip.Addr {
+	out := make([]netip.Addr, len(names))
+	for i, n := range names {
+		out[i] = d[n].Addr()
+	}
+	return out
+}
+
+// TestConcurrentPipelineStress overlaps Master queries, direct SNMP
+// collector queries, and bridge station searches from many goroutines
+// against one live deployment. Every master answer must be identical —
+// the tentpole's determinism guarantee — and the whole run must be clean
+// under the race detector.
+func TestConcurrentPipelineStress(t *testing.T) {
+	dep, d := twoSites(t)
+	defer dep.Stop()
+	if err := dep.MeasureAllBenchmarks(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := collector.Query{Hosts: addrsOf(d, "app1", "app2", "srv1")}
+	m := dep.Sites["cmu"].Master
+	baseline, err := m.Collect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := baseline.Graph.EncodeText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := sb.String()
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	// Master queries: all answers byte-identical to the baseline.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				res, err := m.Collect(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var b strings.Builder
+				if err := res.Graph.EncodeText(&b); err != nil {
+					errCh <- err
+					return
+				}
+				if b.String() != want {
+					errCh <- errDiverged
+					return
+				}
+			}
+		}()
+	}
+	// Direct SNMP collector queries on both sites, overlapping the
+	// master fan-out that reaches the same collectors.
+	for _, site := range []string{"cmu", "eth"} {
+		site := site
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sq := collector.Query{Hosts: addrsOf(d, "app1", "srv1")}
+			for r := 0; r < rounds; r++ {
+				if _, err := dep.Sites[site].SNMP.Collect(sq); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	// Bridge searches force re-walks concurrent with everything above.
+	for _, host := range []string{"app2", "srv1"} {
+		host := host
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mac := collector.MAC(dep.Net.IfaceByIP(d[host].Addr()).MAC)
+			br := dep.Sites["cmu"].Bridge
+			if host == "srv1" {
+				br = dep.Sites["eth"].Bridge
+			}
+			for r := 0; r < rounds; r++ {
+				if _, _, err := br.SearchStation(mac); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

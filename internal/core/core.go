@@ -79,9 +79,10 @@ type Deployment struct {
 	// it and every site's Master consults it per query.
 	Directory *directory.Service
 
-	siteOrder []string
-	community string
-	refresh   *sim.Timer
+	siteOrder   []string
+	community   string
+	parallelism int
+	refresh     *sim.Timer
 }
 
 // Options tunes deployment-wide behaviour.
@@ -90,6 +91,10 @@ type Options struct {
 	SNMPLatency time.Duration
 	// Community is the SNMP community (default "public").
 	Community string
+	// Parallelism bounds concurrent work in every collector layer:
+	// master fan-out, SNMP device walks and polling, and bridge walks.
+	// 0 selects GOMAXPROCS; 1 restores the fully serial pipeline.
+	Parallelism int
 }
 
 // NewDeployment attaches SNMP agents to every managed device and prepares
@@ -116,6 +121,7 @@ func NewDeployment(s *sim.Sim, n *netsim.Network, opt Options) *Deployment {
 		Sites:     make(map[string]*Site),
 	}
 	d.community = opt.Community
+	d.parallelism = opt.Parallelism
 	return d
 }
 
@@ -164,9 +170,10 @@ func (d *Deployment) AddSite(spec SiteSpec) (*Site, error) {
 			addrs = append(addrs, sw.ManagementAddr())
 		}
 		site.Bridge = bridgecoll.New(bridgecoll.Config{
-			Client:   d.client(),
-			Sched:    d.Sim,
-			Switches: addrs,
+			Client:      d.client(),
+			Sched:       d.Sim,
+			Switches:    addrs,
+			Parallelism: d.parallelism,
 		})
 		if err := site.Bridge.Start(); err != nil {
 			return nil, fmt.Errorf("core: site %s bridge: %w", spec.Name, err)
@@ -196,6 +203,7 @@ func (d *Deployment) AddSite(spec SiteSpec) (*Site, error) {
 		Bridge:        site.Bridge,
 		PollInterval:  spec.PollInterval,
 		StreamPredict: spec.StreamPredict,
+		Parallelism:   d.parallelism,
 	})
 
 	d.Sites[spec.Name] = site
@@ -273,9 +281,10 @@ func (d *Deployment) Finish() error {
 			wide = site.Bench
 		}
 		site.Master = master.New(master.Config{
-			Name:      "master-" + name,
-			Directory: d.Directory,
-			WideArea:  wide,
+			Name:        "master-" + name,
+			Directory:   d.Directory,
+			WideArea:    wide,
+			Parallelism: d.parallelism,
 		})
 	}
 	return nil
