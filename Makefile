@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-concurrency
+.PHONY: build test vet race verify bench bench-concurrency bench-snmp
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,10 @@ bench:
 # the warm-query cache (compare ns/op for the cold/warm gap).
 bench-concurrency:
 	$(GO) test -run xxx -bench 'MasterFanout|WarmQueryCache' ./
+
+# The SNMP data-plane exhibits: device-batched polling vs. per-interface
+# exchanges, and the BER codec with allocation counts. Results stream to
+# BENCH_snmp.json (go test -json events) for tooling.
+bench-snmp:
+	$(GO) test -json -run xxx -bench 'PollBatchedVsSerial|BERCodec' -benchmem \
+		./internal/collector/snmpcoll/ ./internal/snmp/ | tee BENCH_snmp.json

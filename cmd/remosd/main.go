@@ -14,6 +14,7 @@
 //
 //	remosd [-listen :3567] [-http :3568] [-dir :3569] [-hostload :3570]
 //	       [-scenario twosite|campus] [-qcache-ttl 2s] [-parallelism 0]
+//	       [-max-varbinds 24] [-pipeline 4]
 package main
 
 import (
@@ -49,10 +50,18 @@ func main() {
 		"warm-query cache staleness bound; 0 keeps only single-flight dedup of concurrent identical queries")
 	parallelism := flag.Int("parallelism", 0,
 		"collector pipeline parallelism (master fan-out, device walks, polling); 0 = GOMAXPROCS, 1 = serial")
+	maxVarBinds := flag.Int("max-varbinds", 24,
+		"varbinds per polling Get PDU; the poller batches a device's interfaces into PDUs of this size")
+	pipeline := flag.Int("pipeline", 4,
+		"SNMP requests kept outstanding per agent; 1 = classic lock-step exchanges")
 	flag.Parse()
 
 	s := sim.NewSim()
-	dep, hosts, err := buildScenario(s, *scenario, *parallelism)
+	dep, hosts, err := buildScenario(s, *scenario, core.Options{
+		Parallelism: *parallelism,
+		MaxVarBinds: *maxVarBinds,
+		Pipeline:    *pipeline,
+	})
 	if err != nil {
 		log.Fatalf("remosd: %v", err)
 	}
@@ -66,7 +75,8 @@ func main() {
 	// cached state instead of re-walking the network.
 	master := dep.Sites[firstSite(dep)].Master
 	queryable := qcache.New(master, qcache.Config{TTL: *qcacheTTL})
-	log.Printf("remosd: warm-query cache TTL %v, parallelism %d (0=GOMAXPROCS)", *qcacheTTL, *parallelism)
+	log.Printf("remosd: warm-query cache TTL %v, parallelism %d (0=GOMAXPROCS), max-varbinds %d, pipeline %d",
+		*qcacheTTL, *parallelism, *maxVarBinds, *pipeline)
 	tcpSrv := &proto.TCPServer{Collector: queryable}
 	addr, err := tcpSrv.ListenAndServe(*listen)
 	if err != nil {
@@ -147,7 +157,7 @@ func firstSite(dep *core.Deployment) string {
 }
 
 // buildScenario wires one of the demo networks.
-func buildScenario(s *sim.Sim, name string, parallelism int) (*core.Deployment, []*netsim.Device, error) {
+func buildScenario(s *sim.Sim, name string, opts core.Options) (*core.Deployment, []*netsim.Device, error) {
 	n := netsim.New(s)
 	switch name {
 	case "twosite":
@@ -173,7 +183,7 @@ func buildScenario(s *sim.Sim, name string, parallelism int) (*core.Deployment, 
 		// Background load so measurements move.
 		noise1 := app2
 		noise2 := srv
-		dep := core.NewDeployment(s, n, core.Options{Parallelism: parallelism})
+		dep := core.NewDeployment(s, n, opts)
 		if _, err := dep.AddSite(core.SiteSpec{
 			Name: "a", Switches: []*netsim.Device{swA}, BenchHost: benchA,
 		}); err != nil {
@@ -213,7 +223,7 @@ func buildScenario(s *sim.Sim, name string, parallelism int) (*core.Deployment, 
 		}
 		n.AssignSubnets()
 		n.ComputeRoutes()
-		dep := core.NewDeployment(s, n, core.Options{Parallelism: parallelism})
+		dep := core.NewDeployment(s, n, opts)
 		if _, err := dep.AddSite(core.SiteSpec{Name: "campus", Switches: switches}); err != nil {
 			return nil, nil, err
 		}

@@ -176,24 +176,29 @@ func (c *Collector) walkSwitch(addr netip.Addr) (*switchInfo, error) {
 			si.mgmtMAC = m
 		}
 	}
-	err = c.cfg.Client.BulkWalk(a, mib.Dot1dTpFdbPort, 32, func(o snmp.OID, val snmp.Value) bool {
-		mac, ok := collector.MACFromOID(o)
-		if !ok {
-			return true
-		}
-		port := int(val.Int)
-		si.fdb[mac] = port
-		si.perPort[port] = append(si.perPort[port], mac)
-		return true
-	})
-	if err != nil {
-		return nil, err
+	// The FDB and interface-speed walks fill disjoint switchInfo fields,
+	// so they run concurrently under the collector's parallelism bound.
+	walks := []func() error{
+		func() error {
+			return c.cfg.Client.BulkWalk(a, mib.Dot1dTpFdbPort, 32, func(o snmp.OID, val snmp.Value) bool {
+				mac, ok := collector.MACFromOID(o)
+				if !ok {
+					return true
+				}
+				port := int(val.Int)
+				si.fdb[mac] = port
+				si.perPort[port] = append(si.perPort[port], mac)
+				return true
+			})
+		},
+		func() error {
+			return c.cfg.Client.BulkWalk(a, mib.IfSpeed, 16, func(o snmp.OID, val snmp.Value) bool {
+				si.speed[int(o[len(o)-1])] = float64(val.Int)
+				return true
+			})
+		},
 	}
-	err = c.cfg.Client.BulkWalk(a, mib.IfSpeed, 16, func(o snmp.OID, val snmp.Value) bool {
-		si.speed[int(o[len(o)-1])] = float64(val.Int)
-		return true
-	})
-	if err != nil {
+	if err := conc.ForEach(len(walks), c.cfg.Parallelism, func(i int) error { return walks[i]() }); err != nil {
 		return nil, err
 	}
 	// A bridge's own management MAC is the one station MAC every *other*

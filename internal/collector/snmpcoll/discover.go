@@ -25,6 +25,7 @@ func (c *Collector) Collect(q collector.Query) (*collector.Result, error) {
 func (c *Collector) CollectWithStats(q collector.Query) (*collector.Result, QueryStats, error) {
 	meter := &snmp.Meter{}
 	cl := c.client(meter)
+	defer cl.Close() // release any pipelined per-agent sessions
 	b := newBuild(c, cl)
 
 	if len(q.Hosts) == 0 {

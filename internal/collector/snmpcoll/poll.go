@@ -61,6 +61,32 @@ func (c *Collector) annotate(cl *snmp.Client, b *build) (coldStart bool) {
 	return coldStart
 }
 
+// pollOIDs returns the OIDs a point's next read fetches, by mode. A probe
+// asks for both counter generations in one Get so the first (baseline)
+// exchange also decides which pair this interface serves — the cold read
+// stays a single exchange either way.
+func (p *pollPoint) pollOIDs(dst []snmp.OID) []snmp.OID {
+	idx := uint32(p.ifIndex)
+	switch p.mode {
+	case modeHC:
+		return append(dst, mib.IfHCInOctets.Append(idx), mib.IfHCOutOctets.Append(idx))
+	case mode32:
+		return append(dst, mib.IfInOctets.Append(idx), mib.IfOutOctets.Append(idx))
+	default: // modeProbe
+		return append(dst,
+			mib.IfHCInOctets.Append(idx), mib.IfHCOutOctets.Append(idx),
+			mib.IfInOctets.Append(idx), mib.IfOutOctets.Append(idx))
+	}
+}
+
+// counterKind is the value kind the mode's counters must carry.
+func (m counterMode) counterKind() snmp.Kind {
+	if m == modeHC {
+		return snmp.KindCounter64
+	}
+	return snmp.KindCounter32
+}
+
 // readCounters reads a poll point's octet counters once, recording a
 // utilization sample when a previous baseline exists. The point's mutex
 // is held for the whole exchange, serializing reads of one interface so
@@ -69,37 +95,96 @@ func (c *Collector) annotate(cl *snmp.Client, b *build) (coldStart bool) {
 func (c *Collector) readCounters(cl *snmp.Client, p *pollPoint) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	c.readCountersLocked(cl, p)
+}
+
+// readCountersLocked is readCounters with p.mu already held.
+func (c *Collector) readCountersLocked(cl *snmp.Client, p *pollPoint) {
 	now := c.now()
-	vbs, err := cl.Get(p.agent.String(),
-		mib.IfInOctets.Append(uint32(p.ifIndex)),
-		mib.IfOutOctets.Append(uint32(p.ifIndex)))
+	oids := p.pollOIDs(nil)
+	vbs, err := cl.Get(p.agent.String(), oids...)
 	if err != nil {
 		p.havePrev = false // device unreachable; resync next time
 		return
 	}
-	var in, out uint32
-	for _, vb := range vbs {
-		if vb.Value.Kind != snmp.KindCounter32 {
-			p.havePrev = false
-			return
-		}
-		if vb.Name.HasPrefix(mib.IfInOctets) {
-			in = uint32(vb.Value.Int)
-		} else {
-			out = uint32(vb.Value.Int)
+	in, out, ok := p.applyCounterVarBinds(oids, vbs)
+	if !ok {
+		return
+	}
+	c.applyDelta(p, in, out, now)
+}
+
+// applyCounterVarBinds validates a response against the OIDs the point
+// asked for and extracts the (in, out) counter pair. Probe responses
+// resolve the point's mode: high-capacity counters when served, legacy
+// Counter32 otherwise. Any unexpected OID or value kind resynchronizes
+// the point (baseline dropped, mode re-probed) and returns ok=false —
+// the satellite fix for the old matcher, which took any non-ifInOctets
+// varbind for the out-counter.
+func (p *pollPoint) applyCounterVarBinds(oids []snmp.OID, vbs []snmp.VarBind) (in, out uint64, ok bool) {
+	resync := func() (uint64, uint64, bool) {
+		p.havePrev = false
+		p.mode = modeProbe
+		return 0, 0, false
+	}
+	if len(vbs) != len(oids) {
+		return resync()
+	}
+	for i, vb := range vbs {
+		if vb.Name.Cmp(oids[i]) != 0 {
+			return resync()
 		}
 	}
+	if p.mode == modeProbe {
+		// vbs: HCIn, HCOut, In32, Out32.
+		if vbs[0].Value.Kind == snmp.KindCounter64 && vbs[1].Value.Kind == snmp.KindCounter64 {
+			p.mode = modeHC
+			return uint64(vbs[0].Value.Int), uint64(vbs[1].Value.Int), true
+		}
+		if vbs[2].Value.Kind == snmp.KindCounter32 && vbs[3].Value.Kind == snmp.KindCounter32 {
+			p.mode = mode32
+			return uint64(uint32(vbs[2].Value.Int)), uint64(uint32(vbs[3].Value.Int)), true
+		}
+		return resync()
+	}
+	kind := p.mode.counterKind()
+	if vbs[0].Value.Kind != kind || vbs[1].Value.Kind != kind {
+		return resync()
+	}
+	if p.mode == mode32 {
+		return uint64(uint32(vbs[0].Value.Int)), uint64(uint32(vbs[1].Value.Int)), true
+	}
+	return uint64(vbs[0].Value.Int), uint64(vbs[1].Value.Int), true
+}
+
+// applyDelta records a utilization sample from a fresh counter reading
+// taken at now, then advances the baseline. Counter32 deltas use 32-bit
+// wraparound arithmetic exactly as the unbatched poller always did;
+// Counter64 counters never wrap in practice, so any backwards movement is
+// a device reset. Both paths resynchronize on a reset instead of
+// recording an absurd rate.
+func (c *Collector) applyDelta(p *pollPoint, in, out uint64, now time.Time) {
 	if p.havePrev {
 		dt := now.Sub(p.prevAt).Seconds()
 		if dt > 0 {
-			dIn := uint32(in - p.prevIn) // wraps correctly in uint32
-			dOut := uint32(out - p.prevOut)
-			// A counter moving backwards by more than half the range
-			// is a device reset, not a wrap: resynchronize instead of
-			// recording an absurd rate.
-			if dIn > 1<<31 || dOut > 1<<31 {
-				p.prevIn, p.prevOut, p.prevAt = in, out, now
-				return
+			var dIn, dOut uint64
+			if p.mode == modeHC {
+				if in < p.prevIn || out < p.prevOut {
+					p.prevIn, p.prevOut, p.prevAt = in, out, now
+					return
+				}
+				dIn, dOut = in-p.prevIn, out-p.prevOut
+			} else {
+				d32In := uint32(uint32(in) - uint32(p.prevIn)) // wraps correctly in uint32
+				d32Out := uint32(uint32(out) - uint32(p.prevOut))
+				// A counter moving backwards by more than half the range
+				// is a device reset, not a wrap: resynchronize instead of
+				// recording an absurd rate.
+				if d32In > 1<<31 || d32Out > 1<<31 {
+					p.prevIn, p.prevOut, p.prevAt = in, out, now
+					return
+				}
+				dIn, dOut = uint64(d32In), uint64(d32Out)
 			}
 			inBits := float64(dIn) * 8 / dt
 			outBits := float64(dOut) * 8 / dt
@@ -128,11 +213,12 @@ func (c *Collector) now() time.Time {
 }
 
 // pollOnce reads every monitored interface — the periodic monitoring loop
-// ("by default, the utilization is monitored every five seconds"). The
-// interfaces are polled by a worker pool (Config.Parallelism wide) so a
-// large monitoring set completes within the poll interval; each sample is
-// timestamped at its own read, and the history store and per-point
-// baselines carry their own locks.
+// ("by default, the utilization is monitored every five seconds"). Points
+// are grouped by agent and each device's counters are read in multi-
+// varbind Gets bounded by Config.MaxVarBinds, so a poll cycle costs one
+// exchange per device rather than one per interface; the batches are then
+// issued by a worker pool (Config.Parallelism wide) so a large monitoring
+// set completes within the poll interval.
 func (c *Collector) pollOnce() {
 	c.mu.Lock()
 	points := make([]*pollPoint, 0, len(c.monitors))
@@ -146,11 +232,85 @@ func (c *Collector) pollOnce() {
 		}
 		return points[i].ifIndex < points[j].ifIndex
 	})
-	cl := c.client(nil)
-	conc.ForEach(len(points), c.cfg.Parallelism, func(i int) error {
-		c.readCounters(cl, points[i])
+	// Chunk consecutive same-agent points; each chunk is one Get of up to
+	// MaxVarBinds varbinds (two per interface).
+	perPDU := c.maxVarBinds() / 2
+	var batches [][]*pollPoint
+	for start := 0; start < len(points); {
+		end := start + 1
+		for end < len(points) && points[end].agent == points[start].agent && end-start < perPDU {
+			end++
+		}
+		batches = append(batches, points[start:end])
+		start = end
+	}
+	cl := c.pollClient
+	conc.ForEach(len(batches), c.cfg.Parallelism, func(i int) error {
+		c.readBatch(cl, batches[i])
 		return nil
 	})
+}
+
+// readBatch reads one device's chunk of poll points in a single Get,
+// timestamping the whole batch once. Points still probing for their
+// counter generation are read individually (their probe doubles as the
+// baseline read). A failed or short response falls back to per-interface
+// reads, so one misbehaving varbind cannot poison a device's whole batch.
+func (c *Collector) readBatch(cl *snmp.Client, batch []*pollPoint) {
+	for _, p := range batch {
+		p.mu.Lock()
+	}
+	defer func() {
+		for _, p := range batch {
+			p.mu.Unlock()
+		}
+	}()
+	// Separate settled points (2 OIDs each, batchable) from probes.
+	settled := batch[:0:0]
+	for _, p := range batch {
+		if p.mode == modeProbe {
+			c.readCountersLocked(cl, p)
+		} else {
+			settled = append(settled, p)
+		}
+	}
+	if len(settled) == 0 {
+		return
+	}
+	if len(settled) == 1 {
+		c.readCountersLocked(cl, settled[0])
+		return
+	}
+	oids := make([]snmp.OID, 0, 2*len(settled))
+	for _, p := range settled {
+		oids = p.pollOIDs(oids)
+	}
+	now := c.now()
+	vbs, err := cl.Get(settled[0].agent.String(), oids...)
+	if err != nil {
+		for _, p := range settled {
+			p.havePrev = false // device unreachable; resync next time
+		}
+		return
+	}
+	if len(vbs) != len(oids) {
+		// Malformed response: retry each interface on its own.
+		for _, p := range settled {
+			c.readCountersLocked(cl, p)
+		}
+		return
+	}
+	for i, p := range settled {
+		pair := oids[2*i : 2*i+2]
+		in, out, ok := p.applyCounterVarBinds(pair, vbs[2*i:2*i+2])
+		if !ok {
+			// This interface answered with an unexpected OID or kind
+			// (partial error): re-read it alone, which re-probes.
+			c.readCountersLocked(cl, p)
+			continue
+		}
+		c.applyDelta(p, in, out, now)
+	}
 }
 
 // Monitored returns the number of interfaces under periodic monitoring.

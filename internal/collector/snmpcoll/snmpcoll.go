@@ -56,6 +56,17 @@ type Config struct {
 	// polling) and how many of one router's tables are walked at once.
 	// 0 selects GOMAXPROCS; 1 restores the fully serial paths.
 	Parallelism int
+	// MaxVarBinds bounds how many varbinds one polling Get carries
+	// (default 24). The poller batches all of a device's monitored
+	// interfaces into ceil(2*ifaces/MaxVarBinds) exchanges instead of one
+	// exchange per interface. 0 selects the default; values below 2 are
+	// raised to 2 (one interface per PDU).
+	MaxVarBinds int
+	// Pipeline is the number of requests kept outstanding per agent
+	// (passed to the SNMP client). Values <= 1 keep lock-step exchanges;
+	// larger values let concurrent table walks of one router overlap
+	// their round trips (requires a SessionTransport).
+	Pipeline int
 
 	// StreamPredict, when set to an RPS model spec (e.g. "AR(16)"),
 	// attaches a streaming predictor to every monitored link direction:
@@ -104,6 +115,18 @@ type routeEntry struct {
 	ifIndex int
 }
 
+// counterMode tracks which octet counters a poll point reads. A fresh
+// point probes for the 64-bit high-capacity counters (RFC 2863) and locks
+// onto them when served, falling back to the legacy Counter32 pair; any
+// unexpected response re-probes.
+type counterMode int
+
+const (
+	modeProbe counterMode = iota // next read decides: HC or legacy 32-bit
+	modeHC                       // ifHCInOctets/ifHCOutOctets (Counter64)
+	mode32                       // ifInOctets/ifOutOctets (Counter32)
+)
+
 // pollPoint is one monitored interface: the device and ifIndex polled,
 // and the directed graph link it measures. The counter baseline is
 // guarded by its own mutex so parallel polling, query-path baseline
@@ -117,8 +140,9 @@ type pollPoint struct {
 	outIsFromTo bool
 
 	mu       sync.Mutex
-	prevIn   uint32
-	prevOut  uint32
+	mode     counterMode
+	prevIn   uint64
+	prevOut  uint64
 	prevAt   time.Time
 	havePrev bool
 }
@@ -150,6 +174,13 @@ type Collector struct {
 	// fetches single-flights concurrent cache fills of the same router,
 	// so a query storm walks each device once.
 	fetches conc.Flight[netip.Addr, *routerInfo]
+
+	// pollMeter accumulates the cost of periodic polling: with batching,
+	// requests counts exchanges (one per device per cycle), not
+	// interfaces. pollClient is the long-lived client behind it, so
+	// pipelined sessions persist across poll cycles.
+	pollMeter  *snmp.Meter
+	pollClient *snmp.Client
 
 	queriesServed atomic.Int64
 }
@@ -183,6 +214,8 @@ func New(cfg Config) *Collector {
 			panic(fmt.Sprintf("snmpcoll: bad StreamPredict spec %q: %v", cfg.StreamPredict, err))
 		}
 	}
+	c.pollMeter = &snmp.Meter{}
+	c.pollClient = c.client(c.pollMeter)
 	if cfg.Sched != nil {
 		c.poller = cfg.Sched.Every(cfg.PollInterval, c.pollOnce)
 	}
@@ -197,10 +230,13 @@ func (c *Collector) Name() string {
 	return "snmp"
 }
 
-// Stop halts periodic polling.
+// Stop halts periodic polling and releases the poll client's sessions.
 func (c *Collector) Stop() {
 	if c.poller != nil {
 		c.poller.Stop()
+	}
+	if c.pollClient != nil {
+		c.pollClient.Close()
 	}
 }
 
@@ -208,7 +244,28 @@ func (c *Collector) Stop() {
 func (c *Collector) client(m *snmp.Meter) *snmp.Client {
 	cl := snmp.NewClient(c.cfg.Transport, c.cfg.Community)
 	cl.Meter = m
+	cl.Pipeline = c.cfg.Pipeline
 	return cl
+}
+
+// maxVarBinds returns the configured per-PDU varbind bound.
+func (c *Collector) maxVarBinds() int {
+	n := c.cfg.MaxVarBinds
+	if n <= 0 {
+		n = 24
+	}
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// PollStats reports the cumulative cost of periodic polling: the number
+// of SNMP exchanges, the varbinds they carried, and the summed RTT. With
+// batching, exchanges grow with the number of polled devices rather than
+// interfaces.
+func (c *Collector) PollStats() (requests, varbinds int, rtt time.Duration) {
+	return c.pollMeter.Counts()
 }
 
 // PollInterval returns the monitoring period.
@@ -264,22 +321,50 @@ func (c *Collector) fetchRouter(cl *snmp.Client, addr netip.Addr) (*routerInfo, 
 }
 
 // fetchSystemAndRoutes reads the system group and the four route-table
-// columns (dest, mask, next hop, ifIndex). The column walks share the
-// per-destination accumulator, so they stay serial relative to each
-// other; route order follows the dest column, keeping the cached table
-// deterministic.
+// columns (dest, mask, next hop, ifIndex). The system read and the column
+// walks run concurrently under the parallelism bound, each column into
+// its own accumulator; the accumulators then merge in fixed column order
+// with route order following the dest column, so the cached table is
+// identical to a serial fetch.
 func (c *Collector) fetchSystemAndRoutes(cl *snmp.Client, a string, ri *routerInfo) error {
-	vbs, err := cl.Get(a, mib.SysName, mib.SysUpTime)
-	if err != nil {
-		return err
+	type colEntry struct {
+		ip netip.Addr
+		v  snmp.Value
 	}
-	for _, vb := range vbs {
-		switch {
-		case vb.Name.Cmp(mib.SysName) == 0:
-			ri.sysName = string(vb.Value.Bytes)
-		case vb.Name.Cmp(mib.SysUpTime) == 0:
-			ri.upTime.Store(uint32(vb.Value.Int))
-		}
+	roots := []snmp.OID{mib.IPRouteDest, mib.IPRouteMask, mib.IPRouteNext, mib.IPRouteIfIdx}
+	acc := make([][]colEntry, len(roots))
+	tasks := []func() error{
+		func() error {
+			vbs, err := cl.Get(a, mib.SysName, mib.SysUpTime)
+			if err != nil {
+				return err
+			}
+			for _, vb := range vbs {
+				switch {
+				case vb.Name.Cmp(mib.SysName) == 0:
+					ri.sysName = string(vb.Value.Bytes)
+				case vb.Name.Cmp(mib.SysUpTime) == 0:
+					ri.upTime.Store(uint32(vb.Value.Int))
+				}
+			}
+			return nil
+		},
+	}
+	for i, root := range roots {
+		i, root := i, root
+		tasks = append(tasks, func() error {
+			return cl.BulkWalk(a, root, 32, func(o snmp.OID, v snmp.Value) bool {
+				if len(o) < 4 {
+					return true
+				}
+				ip := netip.AddrFrom4([4]byte{byte(o[len(o)-4]), byte(o[len(o)-3]), byte(o[len(o)-2]), byte(o[len(o)-1])})
+				acc[i] = append(acc[i], colEntry{ip: ip, v: v})
+				return true
+			})
+		})
+	}
+	if err := conc.ForEach(len(tasks), c.cfg.Parallelism, func(i int) error { return tasks[i]() }); err != nil {
+		return err
 	}
 	type parsed struct {
 		maskLen int
@@ -288,46 +373,33 @@ func (c *Collector) fetchSystemAndRoutes(cl *snmp.Client, a string, ri *routerIn
 	}
 	dests := map[netip.Addr]*parsed{}
 	order := []netip.Addr{}
-	col := func(root snmp.OID, fn func(e *parsed, v snmp.Value)) error {
-		return cl.BulkWalk(a, root, 32, func(o snmp.OID, v snmp.Value) bool {
-			if len(o) < 4 {
-				return true
-			}
-			ip := netip.AddrFrom4([4]byte{byte(o[len(o)-4]), byte(o[len(o)-3]), byte(o[len(o)-2]), byte(o[len(o)-1])})
-			e := dests[ip]
-			if e == nil {
-				e = &parsed{maskLen: 24}
-				dests[ip] = e
-				order = append(order, ip)
-			}
-			fn(e, v)
-			return true
-		})
-	}
-	if err := col(mib.IPRouteDest, func(e *parsed, v snmp.Value) {}); err != nil {
-		return err
-	}
-	if err := col(mib.IPRouteMask, func(e *parsed, v snmp.Value) {
-		if len(v.Bytes) == 4 {
-			e.maskLen = maskBits([4]byte{v.Bytes[0], v.Bytes[1], v.Bytes[2], v.Bytes[3]})
+	get := func(ip netip.Addr) *parsed {
+		e := dests[ip]
+		if e == nil {
+			e = &parsed{maskLen: 24}
+			dests[ip] = e
+			order = append(order, ip)
 		}
-	}); err != nil {
-		return err
+		return e
 	}
-	if err := col(mib.IPRouteNext, func(e *parsed, v snmp.Value) {
-		if len(v.Bytes) == 4 {
-			nh := netip.AddrFrom4([4]byte{v.Bytes[0], v.Bytes[1], v.Bytes[2], v.Bytes[3]})
+	for _, ce := range acc[0] {
+		get(ce.ip)
+	}
+	for _, ce := range acc[1] {
+		if len(ce.v.Bytes) == 4 {
+			get(ce.ip).maskLen = maskBits([4]byte{ce.v.Bytes[0], ce.v.Bytes[1], ce.v.Bytes[2], ce.v.Bytes[3]})
+		}
+	}
+	for _, ce := range acc[2] {
+		if len(ce.v.Bytes) == 4 {
+			nh := netip.AddrFrom4([4]byte{ce.v.Bytes[0], ce.v.Bytes[1], ce.v.Bytes[2], ce.v.Bytes[3]})
 			if nh != netip.AddrFrom4([4]byte{0, 0, 0, 0}) {
-				e.nextHop = nh
+				get(ce.ip).nextHop = nh
 			}
 		}
-	}); err != nil {
-		return err
 	}
-	if err := col(mib.IPRouteIfIdx, func(e *parsed, v snmp.Value) {
-		e.ifIndex = int(v.Int)
-	}); err != nil {
-		return err
+	for _, ce := range acc[3] {
+		get(ce.ip).ifIndex = int(ce.v.Int)
 	}
 	for _, ip := range order {
 		e := dests[ip]

@@ -82,6 +82,8 @@ type Deployment struct {
 	siteOrder   []string
 	community   string
 	parallelism int
+	maxVarBinds int
+	pipeline    int
 	refresh     *sim.Timer
 }
 
@@ -95,6 +97,11 @@ type Options struct {
 	// master fan-out, SNMP device walks and polling, and bridge walks.
 	// 0 selects GOMAXPROCS; 1 restores the fully serial pipeline.
 	Parallelism int
+	// MaxVarBinds bounds varbinds per polling Get PDU (0 = default 24).
+	MaxVarBinds int
+	// Pipeline is the number of SNMP requests kept outstanding per agent
+	// (0 or 1 = lock-step).
+	Pipeline int
 }
 
 // NewDeployment attaches SNMP agents to every managed device and prepares
@@ -122,11 +129,17 @@ func NewDeployment(s *sim.Sim, n *netsim.Network, opt Options) *Deployment {
 	}
 	d.community = opt.Community
 	d.parallelism = opt.Parallelism
+	d.maxVarBinds = opt.MaxVarBinds
+	d.pipeline = opt.Pipeline
 	return d
 }
 
 // community is stored for collector construction.
-func (d *Deployment) client() *snmp.Client { return snmp.NewClient(d.Transport, d.community) }
+func (d *Deployment) client() *snmp.Client {
+	cl := snmp.NewClient(d.Transport, d.community)
+	cl.Pipeline = d.pipeline
+	return cl
+}
 
 // AddSite wires one site's collectors. Benchmark peering and masters are
 // completed by Finish.
@@ -204,6 +217,8 @@ func (d *Deployment) AddSite(spec SiteSpec) (*Site, error) {
 		PollInterval:  spec.PollInterval,
 		StreamPredict: spec.StreamPredict,
 		Parallelism:   d.parallelism,
+		MaxVarBinds:   d.maxVarBinds,
+		Pipeline:      d.pipeline,
 	})
 
 	d.Sites[spec.Name] = site

@@ -32,6 +32,14 @@ var (
 	IfInOctets  = IfTable.Append(10)
 	IfOutOctets = IfTable.Append(16)
 
+	// ifXTable high-capacity octet counters (RFC 2863): Counter64, so a
+	// gigabit link does not wrap between polls the way Counter32 does
+	// (~34 s at line rate). Collectors prefer these when the agent
+	// serves them.
+	IfXTable      = snmp.MustParseOID("1.3.6.1.2.1.31.1.1.1")
+	IfHCInOctets  = IfXTable.Append(6)
+	IfHCOutOctets = IfXTable.Append(10)
+
 	IPForwarding = snmp.MustParseOID("1.3.6.1.2.1.4.1.0")
 	// ipNetToMediaPhysAddress: the ARP table, indexed ifIndex.ip4.
 	IPNetToMediaPhys = snmp.MustParseOID("1.3.6.1.2.1.4.22.1.2")
@@ -82,6 +90,11 @@ type entry struct {
 type DeviceView struct {
 	net *netsim.Network
 	dev *netsim.Device
+
+	// NoHC, when set before first use, omits the ifXTable high-capacity
+	// counters — modeling legacy gear so collector fallback paths can be
+	// exercised.
+	NoHC bool
 
 	mu      sync.Mutex
 	epoch   int
@@ -149,6 +162,16 @@ func (v *DeviceView) refreshLocked() {
 			_, out := ifc.Counters()
 			return snmp.Counter(out)
 		})
+		if !v.NoHC {
+			add(IfHCInOctets.Append(idx), func() snmp.Value {
+				in, _ := ifc.Counters()
+				return snmp.Counter64Val(in)
+			})
+			add(IfHCOutOctets.Append(idx), func() snmp.Value {
+				_, out := ifc.Counters()
+				return snmp.Counter64Val(out)
+			})
+		}
 	}
 
 	// ip group: forwarding flag and routes (routers only; hosts would

@@ -34,6 +34,16 @@ func (a *Agent) Handle(req *Message) *Message {
 	resp.PDU.RequestID = req.PDU.RequestID
 
 	switch req.PDU.Type {
+	case GetRequest, GetNextRequest:
+		resp.PDU.VarBinds = make([]VarBind, 0, len(req.PDU.VarBinds))
+	case GetBulkRequest:
+		nonRep, maxRep := req.PDU.ErrorStatus, req.PDU.ErrorIndex
+		if n := nonRep + (len(req.PDU.VarBinds)-nonRep)*maxRep; n > 0 && n <= 4096 {
+			resp.PDU.VarBinds = make([]VarBind, 0, n)
+		}
+	}
+
+	switch req.PDU.Type {
 	case GetRequest:
 		for _, vb := range req.PDU.VarBinds {
 			v, ok := a.View.Get(vb.Name)

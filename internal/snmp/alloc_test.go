@@ -1,0 +1,84 @@
+package snmp
+
+import (
+	"testing"
+)
+
+// benchResponse builds a realistic polling response: 12 counter varbinds
+// (6 interfaces x in/out), the shape a batched poller exchanges per device.
+func benchResponse() *Message {
+	m := &Message{Community: "public", PDU: PDU{Type: GetResponse, RequestID: 12345}}
+	for i := 1; i <= 6; i++ {
+		m.PDU.VarBinds = append(m.PDU.VarBinds,
+			VarBind{Name: MustParseOID("1.3.6.1.2.1.31.1.1.1.6").Append(uint32(i)), Value: Counter64Val(1<<40 + uint64(i)*1e9)},
+			VarBind{Name: MustParseOID("1.3.6.1.2.1.31.1.1.1.10").Append(uint32(i)), Value: Counter64Val(2<<40 + uint64(i)*1e9)},
+		)
+	}
+	return m
+}
+
+func TestMarshalAllocationBudget(t *testing.T) {
+	m := benchResponse()
+	// Marshal: exactly one allocation, the output buffer.
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := m.Marshal(); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 1 {
+		t.Fatalf("Marshal allocates %.0f times per call, want <= 1", n)
+	}
+	// AppendMarshal into a buffer with capacity: zero allocations.
+	buf := make([]byte, 0, 4096)
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := m.AppendMarshal(buf[:0]); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("AppendMarshal into sized buffer allocates %.0f times per call, want 0", n)
+	}
+}
+
+// BenchmarkBERCodec measures the codec on a 12-varbind counter response.
+// Run with -benchmem; the encode path should report 0 B/op when the caller
+// reuses its buffer, and decode allocation is bounded by the pre-counted
+// varbind and OID slices.
+func BenchmarkBERCodec(b *testing.B) {
+	m := benchResponse()
+	wire, err := m.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Encode", func(b *testing.B) {
+		buf := make([]byte, 0, 4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.AppendMarshal(buf[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Decode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Unmarshal(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RoundTrip", func(b *testing.B) {
+		buf := make([]byte, 0, 4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			enc, err := m.AppendMarshal(buf[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Unmarshal(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

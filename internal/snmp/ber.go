@@ -107,6 +107,10 @@ func IPv4(b [4]byte) Value { return Value{Kind: KindIPAddress, Bytes: b[:]} }
 // OIDValue returns an ObjectIdentifier value.
 func OIDValue(o OID) Value { return Value{Kind: KindOID, Oid: o} }
 
+// Counter64Val returns a Counter64 value (full 64-bit range; the high-
+// capacity interface counters are served as these).
+func Counter64Val(v uint64) Value { return Value{Kind: KindCounter64, Int: int64(v)} }
+
 // Null is the null value.
 var Null = Value{Kind: KindNull}
 
@@ -138,40 +142,71 @@ func (v Value) String() string {
 // ErrTruncated reports a BER message shorter than its length fields claim.
 var ErrTruncated = errors.New("snmp: truncated BER data")
 
-// appendTLV appends tag, definite length, and content.
-func appendTLV(dst []byte, tag byte, content []byte) []byte {
-	dst = append(dst, tag)
-	dst = appendLength(dst, len(content))
-	return append(dst, content...)
+// The encoder works in two passes over the same Message: a sizing pass
+// that computes every definite length, then an append pass that writes
+// tag, length, and content directly into the destination buffer. No
+// intermediate per-TLV []byte is ever built, so encoding into a recycled
+// buffer allocates nothing.
+
+// sizeLength returns the encoded size of a definite length field.
+func sizeLength(n int) int {
+	if n < 0x80 {
+		return 1
+	}
+	s := 1
+	for x := n; x > 0; x >>= 8 {
+		s++
+	}
+	return s
 }
 
-func appendLength(dst []byte, n int) []byte {
+// sizeTLV returns the full TLV size for a content of the given length.
+func sizeTLV(contentLen int) int { return 1 + sizeLength(contentLen) + contentLen }
+
+// appendHeader appends a tag and definite length.
+func appendHeader(dst []byte, tag byte, n int) []byte {
+	dst = append(dst, tag)
 	if n < 0x80 {
 		return append(dst, byte(n))
 	}
-	// Long form.
 	var tmp [8]byte
 	i := len(tmp)
-	for n > 0 {
+	for x := n; x > 0; x >>= 8 {
 		i--
-		tmp[i] = byte(n)
-		n >>= 8
+		tmp[i] = byte(x)
 	}
 	dst = append(dst, 0x80|byte(len(tmp)-i))
 	return append(dst, tmp[i:]...)
 }
 
-// appendInt encodes a signed integer body (two's complement, minimal).
-func appendIntBody(dst []byte, v int64) []byte {
-	// Compute minimal length.
+// sizeIntBody returns the minimal two's-complement body size for v.
+func sizeIntBody(v int64) int {
 	n := 1
 	for x := v; (x > 0x7f || x < -0x80) && n < 9; n++ {
 		x >>= 8
 	}
+	return n
+}
+
+// appendIntBody encodes a signed integer body (two's complement, minimal).
+func appendIntBody(dst []byte, v int64) []byte {
+	n := sizeIntBody(v)
 	for i := n - 1; i >= 0; i-- {
 		dst = append(dst, byte(v>>(8*i)))
 	}
 	return dst
+}
+
+// sizeUintBody returns the body size appendUintBody will produce.
+func sizeUintBody(v uint64) int {
+	n := 1
+	for x := v; x > 0xff && n < 9; n++ {
+		x >>= 8
+	}
+	if v>>(8*uint(n-1))&0x80 != 0 {
+		n++
+	}
+	return n
 }
 
 // appendUintBody encodes an unsigned integer body with a leading zero when
@@ -190,18 +225,51 @@ func appendUintBody(dst []byte, v uint64) []byte {
 	return dst
 }
 
-func appendOIDBody(dst []byte, o OID) ([]byte, error) {
+// checkOID validates that the encoder can represent the OID head.
+func checkOID(o OID) error {
 	if len(o) < 2 {
-		return nil, fmt.Errorf("snmp: OID %v too short to encode", o)
+		return fmt.Errorf("snmp: OID %v too short to encode", o)
 	}
-	if o[0] > 2 || o[1] >= 40 {
-		return nil, fmt.Errorf("snmp: invalid OID head %d.%d", o[0], o[1])
+	switch {
+	case o[0] < 2:
+		if o[1] >= 40 {
+			return fmt.Errorf("snmp: invalid OID head %d.%d", o[0], o[1])
+		}
+	case o[0] == 2:
+		if o[1] > 0xff-80 {
+			return fmt.Errorf("snmp: invalid OID head %d.%d", o[0], o[1])
+		}
+	default:
+		return fmt.Errorf("snmp: invalid OID head %d.%d", o[0], o[1])
 	}
+	return nil
+}
+
+// sizeOIDBody returns the body size for an OID that passed checkOID.
+func sizeOIDBody(o OID) int {
+	n := 1
+	for _, v := range o[2:] {
+		n += sizeBase128(v)
+	}
+	return n
+}
+
+// appendOIDBody encodes an OID body; the OID must have passed checkOID.
+func appendOIDBody(dst []byte, o OID) []byte {
 	dst = append(dst, byte(o[0]*40+o[1]))
 	for _, v := range o[2:] {
 		dst = appendBase128(dst, v)
 	}
-	return dst, nil
+	return dst
+}
+
+func sizeBase128(v uint32) int {
+	n := 1
+	for v >= 0x80 {
+		n++
+		v >>= 7
+	}
+	return n
 }
 
 func appendBase128(dst []byte, v uint32) []byte {
@@ -217,42 +285,75 @@ func appendBase128(dst []byte, v uint32) []byte {
 	return append(dst, tmp[i:]...)
 }
 
-// marshalValue encodes one Value as a TLV.
-func marshalValue(dst []byte, v Value) ([]byte, error) {
+// sizeValue returns the full TLV size for v, validating it. Every value
+// must pass through here before appendValue may encode it.
+func sizeValue(v Value) (int, error) {
 	switch v.Kind {
-	case KindNull:
-		return append(dst, tagNull, 0), nil
+	case KindNull, KindNoSuchObject, KindNoSuchInstance, KindEndOfMibView:
+		return 2, nil
 	case KindInteger:
-		return appendTLV(dst, tagInteger, appendIntBody(nil, v.Int)), nil
+		return sizeTLV(sizeIntBody(v.Int)), nil
 	case KindOctetString:
-		return appendTLV(dst, tagOctetString, v.Bytes), nil
+		return sizeTLV(len(v.Bytes)), nil
 	case KindOID:
-		body, err := appendOIDBody(nil, v.Oid)
-		if err != nil {
-			return nil, err
+		if err := checkOID(v.Oid); err != nil {
+			return 0, err
 		}
-		return appendTLV(dst, tagOID, body), nil
+		return sizeTLV(sizeOIDBody(v.Oid)), nil
 	case KindIPAddress:
 		if len(v.Bytes) != 4 {
-			return nil, fmt.Errorf("snmp: IpAddress must be 4 bytes, got %d", len(v.Bytes))
+			return 0, fmt.Errorf("snmp: IpAddress must be 4 bytes, got %d", len(v.Bytes))
 		}
-		return appendTLV(dst, tagIPAddress, v.Bytes), nil
-	case KindCounter32:
-		return appendTLV(dst, tagCounter32, appendUintBody(nil, uint64(uint32(v.Int)))), nil
-	case KindGauge32:
-		return appendTLV(dst, tagGauge32, appendUintBody(nil, uint64(uint32(v.Int)))), nil
-	case KindTimeTicks:
-		return appendTLV(dst, tagTimeTicks, appendUintBody(nil, uint64(uint32(v.Int)))), nil
+		return sizeTLV(4), nil
+	case KindCounter32, KindGauge32, KindTimeTicks:
+		return sizeTLV(sizeUintBody(uint64(uint32(v.Int)))), nil
 	case KindCounter64:
-		return appendTLV(dst, tagCounter64, appendUintBody(nil, uint64(v.Int))), nil
-	case KindNoSuchObject:
-		return append(dst, tagNoSuchObject, 0), nil
-	case KindNoSuchInstance:
-		return append(dst, tagNoSuchInst, 0), nil
-	case KindEndOfMibView:
-		return append(dst, tagEndOfMibView, 0), nil
+		return sizeTLV(sizeUintBody(uint64(v.Int))), nil
 	}
-	return nil, fmt.Errorf("snmp: cannot marshal kind %v", v.Kind)
+	return 0, fmt.Errorf("snmp: cannot marshal kind %v", v.Kind)
+}
+
+// appendValue encodes one Value as a TLV. v must have passed sizeValue.
+func appendValue(dst []byte, v Value) []byte {
+	switch v.Kind {
+	case KindNull:
+		return append(dst, tagNull, 0)
+	case KindInteger:
+		dst = appendHeader(dst, tagInteger, sizeIntBody(v.Int))
+		return appendIntBody(dst, v.Int)
+	case KindOctetString:
+		dst = appendHeader(dst, tagOctetString, len(v.Bytes))
+		return append(dst, v.Bytes...)
+	case KindOID:
+		dst = appendHeader(dst, tagOID, sizeOIDBody(v.Oid))
+		return appendOIDBody(dst, v.Oid)
+	case KindIPAddress:
+		dst = appendHeader(dst, tagIPAddress, 4)
+		return append(dst, v.Bytes...)
+	case KindCounter32:
+		u := uint64(uint32(v.Int))
+		dst = appendHeader(dst, tagCounter32, sizeUintBody(u))
+		return appendUintBody(dst, u)
+	case KindGauge32:
+		u := uint64(uint32(v.Int))
+		dst = appendHeader(dst, tagGauge32, sizeUintBody(u))
+		return appendUintBody(dst, u)
+	case KindTimeTicks:
+		u := uint64(uint32(v.Int))
+		dst = appendHeader(dst, tagTimeTicks, sizeUintBody(u))
+		return appendUintBody(dst, u)
+	case KindCounter64:
+		u := uint64(v.Int)
+		dst = appendHeader(dst, tagCounter64, sizeUintBody(u))
+		return appendUintBody(dst, u)
+	case KindNoSuchObject:
+		return append(dst, tagNoSuchObject, 0)
+	case KindNoSuchInstance:
+		return append(dst, tagNoSuchInst, 0)
+	case KindEndOfMibView:
+		return append(dst, tagEndOfMibView, 0)
+	}
+	return dst
 }
 
 // reader is a cursor over BER bytes.
@@ -334,9 +435,19 @@ func parseOIDBody(b []byte) (OID, error) {
 	if len(b) == 0 {
 		return nil, fmt.Errorf("snmp: empty OID body")
 	}
-	o := OID{uint32(b[0]) / 40, uint32(b[0]) % 40}
+	// Pre-count the sub-identifiers (one per byte without the continuation
+	// bit) so the result slice is allocated exactly once at final size.
+	count := 2
+	for _, c := range b[1:] {
+		if c&0x80 == 0 {
+			count++
+		}
+	}
+	o := make(OID, 2, count)
 	if b[0] >= 80 {
-		o = OID{2, uint32(b[0]) - 80}
+		o[0], o[1] = 2, uint32(b[0])-80
+	} else {
+		o[0], o[1] = uint32(b[0])/40, uint32(b[0])%40
 	}
 	var cur uint32
 	inRun := false
@@ -397,12 +508,20 @@ func (r *reader) unmarshalValue() (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		k := map[byte]Kind{
-			tagCounter32: KindCounter32,
-			tagGauge32:   KindGauge32,
-			tagTimeTicks: KindTimeTicks,
-			tagCounter64: KindCounter64,
-		}[tag]
+		var k Kind
+		switch tag {
+		case tagCounter32:
+			k = KindCounter32
+		case tagGauge32:
+			k = KindGauge32
+		case tagTimeTicks:
+			k = KindTimeTicks
+		case tagCounter64:
+			k = KindCounter64
+		}
+		if k != KindCounter64 {
+			v = uint64(uint32(v)) // 32-bit application types truncate
+		}
 		return Value{Kind: k, Int: int64(v)}, nil
 	case tagNoSuchObject:
 		return NoSuchObject, nil

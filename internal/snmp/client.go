@@ -8,22 +8,29 @@ import (
 )
 
 // Meter accumulates the modeled or measured cost of SNMP exchanges: how
-// many requests were sent and the total round-trip time. The SNMP
-// Collector attaches one meter per query to report "query time" the way
-// Figure 3 measures it.
+// many requests were sent, how many varbinds they carried, and the total
+// round-trip time. The SNMP Collector attaches one meter per query to
+// report "query time" the way Figure 3 measures it; with batched polling
+// the request count is the number of exchanges (one per device), not the
+// number of objects read.
 type Meter struct {
 	mu       sync.Mutex
 	requests int
+	varbinds int
 	total    time.Duration
 }
 
-// Add records one exchange.
-func (m *Meter) Add(rtt time.Duration) {
+// Add records one exchange of unknown width.
+func (m *Meter) Add(rtt time.Duration) { m.AddExchange(rtt, 0) }
+
+// AddExchange records one exchange carrying nvb varbinds.
+func (m *Meter) AddExchange(rtt time.Duration, nvb int) {
 	if m == nil {
 		return
 	}
 	m.mu.Lock()
 	m.requests++
+	m.varbinds += nvb
 	m.total += rtt
 	m.mu.Unlock()
 }
@@ -38,6 +45,17 @@ func (m *Meter) Snapshot() (requests int, total time.Duration) {
 	return m.requests, m.total
 }
 
+// Counts returns the exchange count, the total varbinds those exchanges
+// carried, and the summed round-trip time.
+func (m *Meter) Counts() (requests, varbinds int, total time.Duration) {
+	if m == nil {
+		return 0, 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests, m.varbinds, m.total
+}
+
 // Reset zeroes the meter.
 func (m *Meter) Reset() {
 	if m == nil {
@@ -45,9 +63,17 @@ func (m *Meter) Reset() {
 	}
 	m.mu.Lock()
 	m.requests = 0
+	m.varbinds = 0
 	m.total = 0
 	m.mu.Unlock()
 }
+
+// encodePool recycles request encode buffers across roundTrip calls. A
+// pooled buffer may only back the synchronous path: the transport hands
+// the bytes to the agent and returns before roundTrip puts the buffer
+// back, so nothing aliases it afterwards. Pipelined sends keep requests
+// in flight after Send returns and therefore marshal fresh buffers.
+var encodePool = sync.Pool{New: func() any { return new([]byte) }}
 
 // Client issues SNMP requests through a Transport.
 type Client struct {
@@ -57,10 +83,21 @@ type Client struct {
 	// Retries is the number of re-sends after a timeout (default 1).
 	Retries int
 
+	// Pipeline is the number of requests kept outstanding per agent.
+	// Values <= 1 keep the classic lock-step behavior. Larger values
+	// require the Transport to implement SessionTransport; concurrent
+	// callers (parallel table walks during discovery) then overlap their
+	// round trips instead of serializing on RTT. Set before first use.
+	Pipeline int
+
 	// Meter, when set, accumulates exchange costs.
 	Meter *Meter
 
 	reqID atomic.Int32
+
+	mu     sync.Mutex
+	pipes  map[string]*pipe
+	closed bool
 }
 
 // NewClient returns a client over the given transport with the community.
@@ -68,21 +105,56 @@ func NewClient(t Transport, community string) *Client {
 	return &Client{Transport: t, Community: community, Retries: 1}
 }
 
+// Close releases per-agent sessions opened for pipelining. The client
+// itself remains usable in lock-step mode afterwards only if Pipeline <= 1;
+// pipelined calls after Close fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	pipes := c.pipes
+	c.pipes = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, p := range pipes {
+		p.close()
+	}
+	return nil
+}
+
+func (c *Client) attempts() int {
+	if c.Retries < 0 {
+		return 1
+	}
+	return c.Retries + 1
+}
+
+// checkResponse validates a decoded response against the request.
+func checkResponse(resp *Message, reqID int32) (*PDU, error) {
+	if resp.PDU.Type != GetResponse || resp.PDU.RequestID != reqID {
+		return nil, fmt.Errorf("snmp: mismatched response (type %v, id %d)", resp.PDU.Type, resp.PDU.RequestID)
+	}
+	return &resp.PDU, nil
+}
+
 func (c *Client) roundTrip(addr string, pdu PDU) (*PDU, error) {
+	if c.Pipeline > 1 {
+		if st, ok := c.Transport.(SessionTransport); ok {
+			return c.roundTripPipelined(st, addr, pdu)
+		}
+	}
 	pdu.RequestID = c.reqID.Add(1)
 	msg := &Message{Community: c.Community, PDU: pdu}
-	req, err := msg.Marshal()
+	bufp := encodePool.Get().(*[]byte)
+	req, err := msg.AppendMarshal((*bufp)[:0])
 	if err != nil {
+		encodePool.Put(bufp)
 		return nil, err
 	}
-	attempts := c.Retries + 1
-	if attempts < 1 {
-		attempts = 1
-	}
+	*bufp = req
+	defer encodePool.Put(bufp)
 	var lastErr error
-	for i := 0; i < attempts; i++ {
+	for i := 0; i < c.attempts(); i++ {
 		respB, rtt, err := c.Transport.RoundTrip(addr, req)
-		c.Meter.Add(rtt)
+		c.Meter.AddExchange(rtt, len(pdu.VarBinds))
 		if err != nil {
 			lastErr = err
 			continue
@@ -92,17 +164,189 @@ func (c *Client) roundTrip(addr string, pdu PDU) (*PDU, error) {
 			lastErr = err
 			continue
 		}
-		if resp.PDU.Type != GetResponse || resp.PDU.RequestID != pdu.RequestID {
-			lastErr = fmt.Errorf("snmp: mismatched response (type %v, id %d)", resp.PDU.Type, resp.PDU.RequestID)
+		out, err := checkResponse(resp, pdu.RequestID)
+		if err != nil {
+			lastErr = err
 			continue
 		}
-		if resp.PDU.ErrorStatus != ErrStatusNoError {
+		if out.ErrorStatus != ErrStatusNoError {
 			return nil, fmt.Errorf("snmp: agent %s returned error status %d at index %d",
-				addr, resp.PDU.ErrorStatus, resp.PDU.ErrorIndex)
+				addr, out.ErrorStatus, out.ErrorIndex)
 		}
-		return &resp.PDU, nil
+		return out, nil
 	}
 	return nil, fmt.Errorf("snmp: %s: %w", addr, lastErr)
+}
+
+func (c *Client) roundTripPipelined(st SessionTransport, addr string, pdu PDU) (*PDU, error) {
+	p, err := c.pipe(st, addr)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for i := 0; i < c.attempts(); i++ {
+		// A fresh RequestID per attempt: a late response to a timed-out
+		// attempt then fails to match anything and is dropped, instead of
+		// being mistaken for the retry's answer.
+		pdu.RequestID = c.reqID.Add(1)
+		msg := &Message{Community: c.Community, PDU: pdu}
+		req, err := msg.Marshal() // fresh: the session retains it while in flight
+		if err != nil {
+			return nil, err
+		}
+		respB, rtt, err := p.call(pdu.RequestID, req)
+		c.Meter.AddExchange(rtt, len(pdu.VarBinds))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := Unmarshal(respB)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out, err := checkResponse(resp, pdu.RequestID)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if out.ErrorStatus != ErrStatusNoError {
+			return nil, fmt.Errorf("snmp: agent %s returned error status %d at index %d",
+				addr, out.ErrorStatus, out.ErrorIndex)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("snmp: %s: %w", addr, lastErr)
+}
+
+// pipe returns the pipelined session for addr, opening it on first use.
+func (c *Client) pipe(st SessionTransport, addr string) (*pipe, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if p, ok := c.pipes[addr]; ok {
+		return p, nil
+	}
+	sess, err := st.OpenSession(addr)
+	if err != nil {
+		return nil, err
+	}
+	p := newPipe(sess, c.Pipeline)
+	if c.pipes == nil {
+		c.pipes = make(map[string]*pipe)
+	}
+	c.pipes[addr] = p
+	return p, nil
+}
+
+// pipe demultiplexes pipelined exchanges over one Session: up to `window`
+// requests outstanding, each waiter registered under its RequestID, and a
+// single receiver goroutine matching whatever response arrives next to the
+// waiter that sent it.
+type pipe struct {
+	sess   Session
+	window chan struct{}
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiting map[int32]chan pipeResult
+	dead    error // set when the session fails or closes
+}
+
+type pipeResult struct {
+	resp []byte
+	rtt  time.Duration
+	err  error
+}
+
+func newPipe(sess Session, window int) *pipe {
+	if window < 1 {
+		window = 1
+	}
+	p := &pipe{
+		sess:    sess,
+		window:  make(chan struct{}, window),
+		waiting: make(map[int32]chan pipeResult),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	go p.receive()
+	return p
+}
+
+// call sends one encoded request and blocks for its matched response.
+func (p *pipe) call(reqID int32, req []byte) ([]byte, time.Duration, error) {
+	p.window <- struct{}{}
+	defer func() { <-p.window }()
+	ch := make(chan pipeResult, 1)
+	p.mu.Lock()
+	if p.dead != nil {
+		err := p.dead
+		p.mu.Unlock()
+		return nil, 0, err
+	}
+	p.waiting[reqID] = ch
+	p.cond.Signal()
+	p.mu.Unlock()
+	if err := p.sess.Send(reqID, req); err != nil {
+		p.mu.Lock()
+		delete(p.waiting, reqID)
+		p.mu.Unlock()
+		return nil, 0, err
+	}
+	r := <-ch
+	return r.resp, r.rtt, r.err
+}
+
+// receive runs until the session dies, parking while nothing is
+// outstanding so an idle UDP session is not polled.
+func (p *pipe) receive() {
+	for {
+		p.mu.Lock()
+		for len(p.waiting) == 0 && p.dead == nil {
+			p.cond.Wait()
+		}
+		if p.dead != nil {
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+
+		reqID, resp, rtt, err := p.sess.Recv()
+		if err != nil && reqID == 0 {
+			// Session-fatal: fail every waiter and stop.
+			p.fail(err)
+			return
+		}
+		p.mu.Lock()
+		ch := p.waiting[reqID]
+		delete(p.waiting, reqID)
+		p.mu.Unlock()
+		if ch != nil {
+			ch <- pipeResult{resp: resp, rtt: rtt, err: err}
+		}
+	}
+}
+
+// fail marks the pipe dead and releases every waiter with err.
+func (p *pipe) fail(err error) {
+	p.mu.Lock()
+	if p.dead == nil {
+		p.dead = err
+	}
+	waiting := p.waiting
+	p.waiting = make(map[int32]chan pipeResult)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	for _, ch := range waiting {
+		ch <- pipeResult{err: err}
+	}
+}
+
+func (p *pipe) close() {
+	p.sess.Close() // unblocks the receiver's Recv
+	p.fail(ErrClosed)
 }
 
 // Get fetches the exact OIDs. Missing objects come back with

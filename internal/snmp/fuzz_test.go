@@ -1,0 +1,154 @@
+package snmp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// corpusMessages are the seed messages for the decoder fuzzer: one of each
+// PDU type, every value kind, varbind exceptions, multi-byte lengths and
+// base-128 sub-identifiers, and Counter64 values past the 32-bit range.
+func corpusMessages() []*Message {
+	long := make([]byte, 300) // forces a multi-byte BER length
+	for i := range long {
+		long[i] = byte(i)
+	}
+	return []*Message{
+		{Community: "public", PDU: PDU{Type: GetRequest, RequestID: 1,
+			VarBinds: []VarBind{{Name: MustParseOID("1.3.6.1.2.1.1.1.0"), Value: Null}}}},
+		{Community: "public", PDU: PDU{Type: GetResponse, RequestID: 2,
+			VarBinds: []VarBind{
+				{Name: MustParseOID("1.3.6.1.2.1.1.1.0"), Value: Str("remos emulated router r1")},
+				{Name: MustParseOID("1.3.6.1.2.1.2.2.1.10.3"), Value: Counter(4294967295)},
+				{Name: MustParseOID("1.3.6.1.2.1.31.1.1.1.6.3"), Value: Counter64Val(1 << 40)},
+				{Name: MustParseOID("1.3.6.1.2.1.2.2.1.5.3"), Value: Gauge(1000000000)},
+				{Name: MustParseOID("1.3.6.1.2.1.1.3.0"), Value: Ticks(123456)},
+				{Name: MustParseOID("1.3.6.1.2.1.4.21.1.7.10.0.0.1"), Value: IPv4([4]byte{10, 0, 0, 1})},
+				{Name: MustParseOID("1.3.6.1.4.1.99999.1"), Value: OIDValue(MustParseOID("1.3.6.1.4.1.99999.2.300000"))},
+				{Name: MustParseOID("1.3.6.1.2.1.1.9"), Value: Int64(-129)},
+			}}},
+		{Community: "private", PDU: PDU{Type: GetNextRequest, RequestID: -7,
+			VarBinds: []VarBind{{Name: MustParseOID("2.100.3"), Value: Null}}}},
+		{Community: "public", PDU: PDU{Type: GetBulkRequest, RequestID: 3, ErrorStatus: 1, ErrorIndex: 32,
+			VarBinds: []VarBind{{Name: MustParseOID("1.3.6.1.2.1.2.2.1"), Value: Null}}}},
+		{Community: "public", PDU: PDU{Type: GetResponse, RequestID: 4,
+			VarBinds: []VarBind{
+				{Name: MustParseOID("1.3.6.1.99.1"), Value: NoSuchObject},
+				{Name: MustParseOID("1.3.6.1.99.2"), Value: Value{Kind: KindNoSuchInstance}},
+				{Name: MustParseOID("1.3.6.1.99.3"), Value: EndOfMibView},
+			}}},
+		{Community: "public", PDU: PDU{Type: GetResponse, RequestID: 5,
+			VarBinds: []VarBind{{Name: MustParseOID("1.3.6.1.2.1.1.1.0"), Value: Octets(long)}}}},
+		{Community: "", PDU: PDU{Type: SetRequest, RequestID: 6, ErrorStatus: 5, ErrorIndex: 1,
+			VarBinds: []VarBind{{Name: MustParseOID("0.0"), Value: Int64(0)}}}},
+	}
+}
+
+// FuzzDecodeMessage drives the BER decoder with arbitrary bytes. The
+// decoder must never panic or read out of bounds, and anything it accepts
+// must re-encode and re-decode to the identical message (the decoded form
+// is canonical), with peekRequestID agreeing with the full decode.
+func FuzzDecodeMessage(f *testing.F) {
+	for _, m := range corpusMessages() {
+		b, err := m.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x30, 0x84, 0xff, 0xff, 0xff, 0xff}) // absurd length claim
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		ptype, reqID, ok := peekRequestID(b)
+		if !ok || ptype != m.PDU.Type || reqID != m.PDU.RequestID {
+			t.Fatalf("peekRequestID = (%v, %d, %v), decode = (%v, %d)",
+				ptype, reqID, ok, m.PDU.Type, m.PDU.RequestID)
+		}
+		enc, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		m2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("decode(encode(m)) != m:\n m: %+v\nm2: %+v", m, m2)
+		}
+	})
+}
+
+// TestMessageRoundTripProperty checks decode(encode(m)) == m over randomly
+// generated canonical messages covering every value kind.
+func TestMessageRoundTripProperty(t *testing.T) {
+	types := []PDUType{GetRequest, GetNextRequest, GetResponse, SetRequest, GetBulkRequest}
+	genOID := func(rng *rand.Rand) OID {
+		o := OID{1, 3}
+		for n := rng.Intn(10); n > 0; n-- {
+			o = append(o, uint32(rng.Int63n(1<<32)))
+		}
+		return o
+	}
+	genValue := func(rng *rand.Rand) Value {
+		switch rng.Intn(10) {
+		case 0:
+			return Null
+		case 1:
+			return Int64(rng.Int63() - rng.Int63())
+		case 2:
+			b := make([]byte, rng.Intn(40))
+			rng.Read(b)
+			return Octets(b)
+		case 3:
+			return OIDValue(genOID(rng))
+		case 4:
+			return IPv4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+		case 5:
+			return Counter(uint64(rng.Int63()))
+		case 6:
+			return Gauge(uint32(rng.Int63()))
+		case 7:
+			return Ticks(uint32(rng.Int63()))
+		case 8:
+			return Counter64Val(uint64(rng.Int63())<<1 | uint64(rng.Intn(2)))
+		default:
+			return []Value{NoSuchObject, {Kind: KindNoSuchInstance}, EndOfMibView}[rng.Intn(3)]
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &Message{
+			Community: string(rune('a' + rng.Intn(26))),
+			PDU: PDU{
+				Type:        types[rng.Intn(len(types))],
+				RequestID:   int32(rng.Int63()),
+				ErrorStatus: rng.Intn(20),
+				ErrorIndex:  rng.Intn(100),
+				VarBinds:    make([]VarBind, 0, 4),
+			},
+		}
+		for n := rng.Intn(8); n > 0; n-- {
+			m.PDU.VarBinds = append(m.PDU.VarBinds, VarBind{Name: genOID(rng), Value: genValue(rng)})
+		}
+		enc, err := m.Marshal()
+		if err != nil {
+			t.Logf("marshal: %v", err)
+			return false
+		}
+		back, err := Unmarshal(enc)
+		if err != nil {
+			t.Logf("unmarshal: %v", err)
+			return false
+		}
+		return reflect.DeepEqual(m, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -65,37 +65,120 @@ type Message struct {
 
 const snmpVersion2c = 1
 
-// Marshal encodes the message in BER.
-func (m *Message) Marshal() ([]byte, error) {
-	var vbs []byte
-	for _, vb := range m.PDU.VarBinds {
-		nameBody, err := appendOIDBody(nil, vb.Name)
-		if err != nil {
-			return nil, err
+// marshalSize computes the BER sizes needed to encode m in a single pass:
+// the total message size plus the interior pdu and varbind-list content
+// lengths that AppendMarshal needs when writing headers front-to-back.
+// It also validates every varbind, so AppendMarshal cannot fail.
+func (m *Message) marshalSize() (total, pduLen, vbsLen int, err error) {
+	for i := range m.PDU.VarBinds {
+		vb := &m.PDU.VarBinds[i]
+		if err := checkOID(vb.Name); err != nil {
+			return 0, 0, 0, err
 		}
-		entry := appendTLV(nil, tagOID, nameBody)
-		entry, err = marshalValue(entry, vb.Value)
+		vsz, err := sizeValue(vb.Value)
 		if err != nil {
-			return nil, err
+			return 0, 0, 0, err
 		}
-		vbs = appendTLV(vbs, tagSequence, entry)
+		vbsLen += sizeTLV(sizeTLV(sizeOIDBody(vb.Name)) + vsz)
 	}
-	var pdu []byte
-	pdu = appendTLV(pdu, tagInteger, appendIntBody(nil, int64(m.PDU.RequestID)))
-	pdu = appendTLV(pdu, tagInteger, appendIntBody(nil, int64(m.PDU.ErrorStatus)))
-	pdu = appendTLV(pdu, tagInteger, appendIntBody(nil, int64(m.PDU.ErrorIndex)))
-	pdu = appendTLV(pdu, tagSequence, vbs)
-
-	var body []byte
-	body = appendTLV(body, tagInteger, appendIntBody(nil, snmpVersion2c))
-	body = appendTLV(body, tagOctetString, []byte(m.Community))
-	body = appendTLV(body, byte(m.PDU.Type), pdu)
-	return appendTLV(nil, tagSequence, body), nil
+	pduLen = sizeTLV(sizeIntBody(int64(m.PDU.RequestID))) +
+		sizeTLV(sizeIntBody(int64(m.PDU.ErrorStatus))) +
+		sizeTLV(sizeIntBody(int64(m.PDU.ErrorIndex))) +
+		sizeTLV(vbsLen)
+	bodyLen := sizeTLV(sizeIntBody(snmpVersion2c)) +
+		sizeTLV(len(m.Community)) +
+		sizeTLV(pduLen)
+	return sizeTLV(bodyLen), pduLen, vbsLen, nil
 }
 
-// Unmarshal decodes a BER message.
+// AppendMarshal BER-encodes the message onto dst and returns the extended
+// slice. When dst has sufficient capacity no allocation occurs: lengths are
+// computed in a sizing pass, then every tag, length, and body is appended
+// directly — no intermediate per-TLV buffers.
+func (m *Message) AppendMarshal(dst []byte) ([]byte, error) {
+	total, pduLen, vbsLen, err := m.marshalSize()
+	if err != nil {
+		return nil, err
+	}
+	if cap(dst)-len(dst) < total {
+		grown := make([]byte, len(dst), len(dst)+total)
+		copy(grown, dst)
+		dst = grown
+	}
+	bodyLen := sizeTLV(sizeIntBody(snmpVersion2c)) +
+		sizeTLV(len(m.Community)) +
+		sizeTLV(pduLen)
+	dst = appendHeader(dst, tagSequence, bodyLen)
+	dst = appendHeader(dst, tagInteger, sizeIntBody(snmpVersion2c))
+	dst = appendIntBody(dst, snmpVersion2c)
+	dst = appendHeader(dst, tagOctetString, len(m.Community))
+	dst = append(dst, m.Community...)
+	dst = appendHeader(dst, byte(m.PDU.Type), pduLen)
+	dst = appendHeader(dst, tagInteger, sizeIntBody(int64(m.PDU.RequestID)))
+	dst = appendIntBody(dst, int64(m.PDU.RequestID))
+	dst = appendHeader(dst, tagInteger, sizeIntBody(int64(m.PDU.ErrorStatus)))
+	dst = appendIntBody(dst, int64(m.PDU.ErrorStatus))
+	dst = appendHeader(dst, tagInteger, sizeIntBody(int64(m.PDU.ErrorIndex)))
+	dst = appendIntBody(dst, int64(m.PDU.ErrorIndex))
+	dst = appendHeader(dst, tagSequence, vbsLen)
+	for i := range m.PDU.VarBinds {
+		vb := &m.PDU.VarBinds[i]
+		nameLen := sizeOIDBody(vb.Name)
+		vsz, _ := sizeValue(vb.Value) // validated by marshalSize
+		dst = appendHeader(dst, tagSequence, sizeTLV(nameLen)+vsz)
+		dst = appendHeader(dst, tagOID, nameLen)
+		dst = appendOIDBody(dst, vb.Name)
+		dst = appendValue(dst, vb.Value)
+	}
+	return dst, nil
+}
+
+// Marshal encodes the message in BER, allocating exactly one buffer of the
+// final size.
+func (m *Message) Marshal() ([]byte, error) {
+	total, _, _, err := m.marshalSize()
+	if err != nil {
+		return nil, err
+	}
+	return m.AppendMarshal(make([]byte, 0, total))
+}
+
+// peekRequestID extracts the PDU type and request-id from an encoded
+// message without a full decode, for matching pipelined responses to their
+// outstanding requests. ok is false if b is not a parseable message prefix.
+func peekRequestID(b []byte) (PDUType, int32, bool) {
+	r := reader{b: b}
+	tag, length, err := r.readTL()
+	if err != nil || tag != tagSequence {
+		return 0, 0, false
+	}
+	inner, err := r.readBytes(length)
+	if err != nil {
+		return 0, 0, false
+	}
+	r = reader{b: inner}
+	if ver, err := r.unmarshalValue(); err != nil || ver.Kind != KindInteger {
+		return 0, 0, false
+	}
+	if comm, err := r.unmarshalValue(); err != nil || comm.Kind != KindOctetString {
+		return 0, 0, false
+	}
+	ptag, _, err := r.readTL()
+	if err != nil {
+		return 0, 0, false
+	}
+	pr := reader{b: r.b[r.i:]}
+	reqID, err := pr.unmarshalValue()
+	if err != nil || reqID.Kind != KindInteger {
+		return 0, 0, false
+	}
+	return PDUType(ptag), int32(reqID.Int), true
+}
+
+// Unmarshal decodes a BER message. The varbind slice is preallocated at its
+// exact final length by pre-scanning the varbind list's TLV headers.
 func Unmarshal(b []byte) (*Message, error) {
-	r := &reader{b: b}
+	r := reader{b: b}
 	tag, length, err := r.readTL()
 	if err != nil {
 		return nil, err
@@ -107,7 +190,7 @@ func Unmarshal(b []byte) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	r = &reader{b: inner}
+	r = reader{b: inner}
 
 	ver, err := r.unmarshalValue()
 	if err != nil {
@@ -132,7 +215,7 @@ func Unmarshal(b []byte) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	pr := &reader{b: pbody}
+	pr := reader{b: pbody}
 	msg := &Message{Community: string(comm.Bytes)}
 	msg.PDU.Type = PDUType(ptag)
 	switch msg.PDU.Type {
@@ -171,7 +254,19 @@ func Unmarshal(b []byte) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	vr := &reader{b: vbody}
+	// Pre-scan the list's entry headers to size the slice exactly.
+	count := 0
+	for sc := (reader{b: vbody}); sc.remaining() > 0; count++ {
+		_, elen, err := sc.readTL()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sc.readBytes(elen); err != nil {
+			return nil, err
+		}
+	}
+	msg.PDU.VarBinds = make([]VarBind, 0, count)
+	vr := reader{b: vbody}
 	for vr.remaining() > 0 {
 		etag, elen, err := vr.readTL()
 		if err != nil {
@@ -184,7 +279,7 @@ func Unmarshal(b []byte) (*Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		er := &reader{b: ebody}
+		er := reader{b: ebody}
 		name, err := er.unmarshalValue()
 		if err != nil {
 			return nil, err

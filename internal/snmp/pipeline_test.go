@@ -1,0 +1,226 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPipelinedConcurrentGets(t *testing.T) {
+	c, reg := newInProcClient(t, "public")
+	c.Pipeline = 4
+	c.Meter = &Meter{}
+	reg.Register("a", &Agent{Community: "public", View: testView(t)})
+
+	oids := []string{
+		"1.3.6.1.2.1.2.2.1.10.1",
+		"1.3.6.1.2.1.2.2.1.10.2",
+		"1.3.6.1.2.1.2.2.1.10.10",
+		"1.3.6.1.2.1.2.2.1.16.1",
+	}
+	want := []int64{100, 200, 1000, 111}
+	var wg sync.WaitGroup
+	errs := make([]error, len(oids))
+	for i := range oids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOne("a", MustParseOID(oids[i]))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if v.Int != want[i] {
+				errs[i] = fmt.Errorf("oid %s = %d, want %d", oids[i], v.Int, want[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	reqs, vbs, _ := c.Meter.Counts()
+	if reqs != len(oids) || vbs != len(oids) {
+		t.Fatalf("meter = %d requests / %d varbinds, want %d / %d", reqs, vbs, len(oids), len(oids))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reorderSession answers requests synchronously but withholds delivery
+// until `hold` responses have accumulated, then releases them in reverse
+// send order — the adversarial schedule for RequestID matching.
+type reorderSession struct {
+	agent *Agent
+	hold  int
+
+	mu      sync.Mutex
+	pending []inprocResult
+	out     chan inprocResult
+	done    chan struct{}
+	once    sync.Once
+}
+
+type reorderTransport struct {
+	inner InProc
+	hold  int
+}
+
+func (t *reorderTransport) RoundTrip(addr string, req []byte) ([]byte, time.Duration, error) {
+	return t.inner.RoundTrip(addr, req)
+}
+
+func (t *reorderTransport) OpenSession(addr string) (Session, error) {
+	return &reorderSession{
+		agent: t.inner.Registry.Lookup(addr),
+		hold:  t.hold,
+		out:   make(chan inprocResult, t.hold),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+func (s *reorderSession) Send(reqID int32, req []byte) error {
+	resp := s.agent.HandleBytes(req)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = append(s.pending, inprocResult{reqID: reqID, resp: resp, rtt: time.Millisecond})
+	if len(s.pending) >= s.hold {
+		for i := len(s.pending) - 1; i >= 0; i-- {
+			s.out <- s.pending[i]
+		}
+		s.pending = nil
+	}
+	return nil
+}
+
+func (s *reorderSession) Recv() (int32, []byte, time.Duration, error) {
+	select {
+	case r := <-s.out:
+		return r.reqID, r.resp, r.rtt, r.err
+	case <-s.done:
+		return 0, nil, 0, ErrClosed
+	}
+}
+
+func (s *reorderSession) Close() error {
+	s.once.Do(func() { close(s.done) })
+	return nil
+}
+
+func TestPipelinedReorderedResponses(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("a", &Agent{Community: "public", View: testView(t)})
+	tr := &reorderTransport{inner: InProc{Registry: reg}, hold: 2}
+	c := NewClient(tr, "public")
+	c.Pipeline = 2
+	defer c.Close()
+
+	// Two concurrent Gets; the session delivers the second response first.
+	// Each caller must still receive its own value.
+	type res struct {
+		v   Value
+		err error
+	}
+	results := make([]res, 2)
+	oids := []string{"1.3.6.1.2.1.2.2.1.10.1", "1.3.6.1.2.1.2.2.1.10.2"}
+	want := []int64{100, 200}
+	var wg sync.WaitGroup
+	for i := range oids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOne("a", MustParseOID(oids[i]))
+			results[i] = res{v, err}
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i].err != nil {
+			t.Fatal(results[i].err)
+		}
+		if results[i].v.Int != want[i] {
+			t.Fatalf("oid %s answered %d, want %d (responses crossed)", oids[i], results[i].v.Int, want[i])
+		}
+	}
+}
+
+func TestPipelinedTimeoutMetersAttempts(t *testing.T) {
+	c, _ := newInProcClient(t, "public") // no agent registered: every attempt times out
+	c.Pipeline = 2
+	c.Retries = 2
+	c.Meter = &Meter{}
+	defer c.Close()
+	_, err := c.Get("10.9.9.9", MustParseOID("1.3.6.1.2.1.1.1.0"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	reqs, _, _ := c.Meter.Counts()
+	if reqs != 3 {
+		t.Fatalf("meter counted %d attempts, want 3 (1 + 2 retries)", reqs)
+	}
+}
+
+func TestPipelinedClientClose(t *testing.T) {
+	c, reg := newInProcClient(t, "public")
+	c.Pipeline = 2
+	reg.Register("a", &Agent{Community: "public", View: testView(t)})
+	if _, err := c.Get("a", MustParseOID("1.3.6.1.2.1.1.1.0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("a", MustParseOID("1.3.6.1.2.1.1.1.0")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestPipelinedUDPEndToEnd(t *testing.T) {
+	srv := &Server{Agent: &Agent{Community: "public", View: testView(t)}}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewClient(&UDP{Timeout: 2 * time.Second}, "public")
+	c.Pipeline = 4
+	defer c.Close()
+
+	oids := []string{
+		"1.3.6.1.2.1.2.2.1.10.1",
+		"1.3.6.1.2.1.2.2.1.10.2",
+		"1.3.6.1.2.1.2.2.1.10.10",
+		"1.3.6.1.2.1.2.2.1.16.1",
+	}
+	want := []int64{100, 200, 1000, 111}
+	var wg sync.WaitGroup
+	errs := make([]error, len(oids)*2)
+	for round := 0; round < 2; round++ {
+		for i := range oids {
+			wg.Add(1)
+			go func(slot, i int) {
+				defer wg.Done()
+				v, err := c.GetOne(addr, MustParseOID(oids[i]))
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				if v.Int != want[i] {
+					errs[slot] = fmt.Errorf("oid %s = %d, want %d", oids[i], v.Int, want[i])
+				}
+			}(round*len(oids)+i, i)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

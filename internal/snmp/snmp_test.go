@@ -186,10 +186,10 @@ func TestPropertyOIDEncodingRoundTrip(t *testing.T) {
 			o = append(o, uint32(v))
 		}
 		o = append(o, big) // exercise multi-byte base-128
-		body, err := appendOIDBody(nil, o)
-		if err != nil {
+		if err := checkOID(o); err != nil {
 			return false
 		}
+		body := appendOIDBody(nil, o)
 		back, err := parseOIDBody(body)
 		if err != nil {
 			return false
