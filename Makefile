@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-concurrency bench-snmp
+.PHONY: build test vet race verify obs-smoke bench bench-concurrency bench-snmp
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ race:
 	$(GO) test -race ./...
 
 verify: vet build test race
+
+# Boots remosd and asserts the observability plane (/metrics, /healthz,
+# /debug/queries) reports a real query end to end.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	remosctl [-server 127.0.0.1:3567] [-xml http://127.0.0.1:3568] <command> [args]
+//	remosctl [-server 127.0.0.1:3567] [-xml http://127.0.0.1:3568]
+//	         [-obs http://127.0.0.1:3571] [-timeout 10s] <command> [args]
 //
 // Commands:
 //
@@ -13,16 +14,22 @@
 //	best <client> <srv> [...]   rank candidate servers for the client
 //	predict <src> <dst> <model> <k>   RPS forecast over collector history
 //	load <host> [horizon]       current and predicted CPU load (needs -hostload)
+//	stats [metrics|health|queries]    remosd observability plane (needs -obs)
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"net/netip"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"remos"
 )
@@ -31,6 +38,8 @@ func main() {
 	server := flag.String("server", "127.0.0.1:3567", "ASCII protocol server address")
 	xml := flag.String("xml", "", "XML protocol base URL (overrides -server when set)")
 	loadSrv := flag.String("hostload", "127.0.0.1:3570", "host load collector address (for the load command)")
+	obsURL := flag.String("obs", "http://127.0.0.1:3571", "observability base URL (for the stats command)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-command deadline (0 = none)")
 	raw := flag.Bool("raw", false, "topology: skip simplification")
 	predictFlows := flag.Bool("predicted", false, "flows: include RPS prediction")
 	flag.Parse()
@@ -39,19 +48,39 @@ func main() {
 		os.Exit(2)
 	}
 
-	var m *remos.Modeler
-	if *xml != "" {
-		m = remos.ConnectHTTP(*xml)
-	} else if *loadSrv != "" {
-		m = remos.ConnectTCPWithHostLoad(*server, *loadSrv)
-	} else {
-		m = remos.ConnectTCP(*server)
-	}
-
 	die := func(err error) {
 		fmt.Fprintf(os.Stderr, "remosctl: %v\n", err)
 		os.Exit(1)
 	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	args := flag.Args()
+	if args[0] == "stats" {
+		if err := stats(ctx, *obsURL, args[1:]); err != nil {
+			die(err)
+		}
+		return
+	}
+
+	var opts []remos.Option
+	target := "tcp://" + *server
+	if *xml != "" {
+		target = *xml
+	}
+	if *loadSrv != "" {
+		opts = append(opts, remos.WithHostLoad("tcp://"+*loadSrv))
+	}
+	m, err := remos.Dial(target, opts...)
+	if err != nil {
+		die(err)
+	}
+
 	parseAddr := func(s string) netip.Addr {
 		a, err := netip.ParseAddr(s)
 		if err != nil {
@@ -60,13 +89,12 @@ func main() {
 		return a
 	}
 
-	args := flag.Args()
 	switch args[0] {
 	case "bw":
 		if len(args) != 3 {
 			die(errors.New("bw needs <src> <dst>"))
 		}
-		bw, err := m.AvailableBandwidth(parseAddr(args[1]), parseAddr(args[2]))
+		bw, err := m.AvailableBandwidthContext(ctx, parseAddr(args[1]), parseAddr(args[2]))
 		if err != nil {
 			die(err)
 		}
@@ -80,7 +108,7 @@ func main() {
 		for _, a := range args[1:] {
 			hosts = append(hosts, parseAddr(a))
 		}
-		g, err := m.GetTopology(hosts, remos.TopologyOptions{Raw: *raw})
+		g, err := m.GetTopologyContext(ctx, hosts, remos.TopologyOptions{Raw: *raw})
 		if err != nil {
 			die(err)
 		}
@@ -100,7 +128,7 @@ func main() {
 			}
 			flows = append(flows, remos.Flow{Src: parseAddr(parts[0]), Dst: parseAddr(parts[1])})
 		}
-		infos, err := m.GetFlows(flows, remos.FlowOptions{Predict: *predictFlows})
+		infos, err := m.GetFlowsContext(ctx, flows, remos.FlowOptions{Predict: *predictFlows})
 		if err != nil {
 			die(err)
 		}
@@ -125,7 +153,7 @@ func main() {
 		for _, a := range args[2:] {
 			servers = append(servers, parseAddr(a))
 		}
-		ranks, err := m.BestServer(client, servers, remos.FlowOptions{})
+		ranks, err := m.BestServerContext(ctx, client, servers, remos.FlowOptions{})
 		if err != nil {
 			die(err)
 		}
@@ -145,7 +173,7 @@ func main() {
 		if err != nil || k < 1 {
 			die(fmt.Errorf("bad horizon %q", args[4]))
 		}
-		p, err := m.PredictSeries(parseAddr(args[1]), parseAddr(args[2]), args[3], k)
+		p, err := m.PredictSeriesContext(ctx, parseAddr(args[1]), parseAddr(args[2]), args[3], k)
 		if err != nil {
 			die(err)
 		}
@@ -165,7 +193,7 @@ func main() {
 			}
 			horizon = h
 		}
-		info, err := m.HostLoad(parseAddr(args[1]), horizon)
+		info, err := m.HostLoadContext(ctx, parseAddr(args[1]), horizon)
 		if err != nil {
 			die(err)
 		}
@@ -181,4 +209,149 @@ func main() {
 	default:
 		die(fmt.Errorf("unknown command %q", args[0]))
 	}
+}
+
+// stats renders remosd's observability plane. With no argument it shows
+// health, the serving metrics, and a summary of recent queries; an
+// explicit subcommand (metrics|health|queries) dumps that endpoint.
+func stats(ctx context.Context, base string, args []string) error {
+	base = strings.TrimSuffix(base, "/")
+	fetch := func(path string) ([]byte, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		// /healthz answers 503 when a component is down; the body is
+		// still the report the caller wants.
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+			return nil, fmt.Errorf("GET %s%s: %s", base, path, resp.Status)
+		}
+		return body, nil
+	}
+	which := ""
+	if len(args) > 0 {
+		which = args[0]
+	}
+	switch which {
+	case "metrics":
+		body, err := fetch("/metrics")
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(body)
+		return nil
+	case "health":
+		body, err := fetch("/healthz")
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(body)
+		return nil
+	case "queries":
+		body, err := fetch("/debug/queries")
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(body)
+		return nil
+	case "":
+	default:
+		return fmt.Errorf("unknown stats subcommand %q (want metrics, health or queries)", which)
+	}
+
+	// Summary view.
+	body, err := fetch("/healthz")
+	if err != nil {
+		return err
+	}
+	var health struct {
+		Healthy    bool `json:"healthy"`
+		Components []struct {
+			Component   string        `json:"component"`
+			Healthy     bool          `json:"healthy"`
+			Detail      string        `json:"detail"`
+			LastPollAge time.Duration `json:"last_poll_age_ns"`
+		} `json:"components"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		return fmt.Errorf("parsing /healthz: %w", err)
+	}
+	status := "healthy"
+	if !health.Healthy {
+		status = "DEGRADED"
+	}
+	fmt.Printf("service: %s\n", status)
+	for _, c := range health.Components {
+		mark := "ok"
+		if !c.Healthy {
+			mark = "DOWN"
+		}
+		fmt.Printf("  %-20s %-4s", c.Component, mark)
+		if c.LastPollAge > 0 {
+			fmt.Printf("  last poll %v ago", c.LastPollAge.Round(time.Millisecond))
+		}
+		if c.Detail != "" {
+			fmt.Printf("  (%s)", c.Detail)
+		}
+		fmt.Println()
+	}
+
+	body, err = fetch("/metrics")
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nkey metrics:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "remos_requests_total") ||
+			strings.HasPrefix(line, "remos_request_errors_total") ||
+			strings.HasPrefix(line, "remos_qcache_") ||
+			strings.HasPrefix(line, "remos_snmp_exchanges_total") ||
+			strings.HasPrefix(line, "remos_snmp_timeouts_total") ||
+			strings.HasPrefix(line, "remos_master_queries_total") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	body, err = fetch("/debug/queries")
+	if err != nil {
+		return err
+	}
+	var queries []struct {
+		Kind  string        `json:"kind"`
+		Attrs string        `json:"attrs"`
+		Dur   time.Duration `json:"dur_ns"`
+		Slow  bool          `json:"slow"`
+		Err   string        `json:"err"`
+	}
+	if err := json.Unmarshal(body, &queries); err != nil {
+		return fmt.Errorf("parsing /debug/queries: %w", err)
+	}
+	fmt.Printf("\nrecent queries (%d):\n", len(queries))
+	for i, q := range queries {
+		if i >= 10 {
+			fmt.Printf("  ... (%d more; remosctl stats queries for full traces)\n", len(queries)-i)
+			break
+		}
+		flags := ""
+		if q.Slow {
+			flags = "  SLOW"
+		}
+		if q.Err != "" {
+			flags += "  err=" + q.Err
+		}
+		fmt.Printf("  %-10s %-30s %v%s\n", q.Kind, q.Attrs, q.Dur.Round(time.Microsecond), flags)
+	}
+	return nil
 }

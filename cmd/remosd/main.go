@@ -13,19 +13,27 @@
 // Usage:
 //
 //	remosd [-listen :3567] [-http :3568] [-dir :3569] [-hostload :3570]
+//	       [-obs :3571] [-slow-query 500ms]
 //	       [-scenario twosite|campus] [-qcache-ttl 2s] [-parallelism 0]
 //	       [-max-varbinds 24] [-pipeline 4]
+//
+// The -obs listener exposes the observability plane: /metrics
+// (Prometheus text), /healthz (per-collector liveness and last-poll
+// age) and /debug/queries (recent query traces with per-stage
+// durations). remosctl stats renders all three.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"time"
 
+	"net"
 	"net/netip"
 
 	"remos/internal/collector/hostcoll"
@@ -35,6 +43,7 @@ import (
 	"remos/internal/hostload"
 	"remos/internal/mib"
 	"remos/internal/netsim"
+	"remos/internal/obs"
 	"remos/internal/proto"
 	"remos/internal/sim"
 	"remos/internal/snmp"
@@ -54,13 +63,21 @@ func main() {
 		"varbinds per polling Get PDU; the poller batches a device's interfaces into PDUs of this size")
 	pipeline := flag.Int("pipeline", 4,
 		"SNMP requests kept outstanding per agent; 1 = classic lock-step exchanges")
+	obsAddr := flag.String("obs", "127.0.0.1:3571",
+		"observability listen address for /metrics, /healthz and /debug/queries ('' disables)")
+	slowQuery := flag.Duration("slow-query", 500*time.Millisecond,
+		"queries at least this slow are flagged in /debug/queries")
 	flag.Parse()
+
+	reg := obs.New()
+	traces := obs.NewRing(128, *slowQuery)
 
 	s := sim.NewSim()
 	dep, hosts, err := buildScenario(s, *scenario, core.Options{
 		Parallelism: *parallelism,
 		MaxVarBinds: *maxVarBinds,
 		Pipeline:    *pipeline,
+		Obs:         reg,
 	})
 	if err != nil {
 		log.Fatalf("remosd: %v", err)
@@ -74,10 +91,10 @@ func main() {
 	// cache, so repeated and concurrent identical queries answer from
 	// cached state instead of re-walking the network.
 	master := dep.Sites[firstSite(dep)].Master
-	queryable := qcache.New(master, qcache.Config{TTL: *qcacheTTL})
+	queryable := qcache.New(master, qcache.Config{TTL: *qcacheTTL, Obs: reg})
 	log.Printf("remosd: warm-query cache TTL %v, parallelism %d (0=GOMAXPROCS), max-varbinds %d, pipeline %d",
 		*qcacheTTL, *parallelism, *maxVarBinds, *pipeline)
-	tcpSrv := &proto.TCPServer{Collector: queryable}
+	tcpSrv := &proto.TCPServer{Collector: queryable, Obs: reg, Traces: traces}
 	addr, err := tcpSrv.ListenAndServe(*listen)
 	if err != nil {
 		log.Fatalf("remosd: listen: %v", err)
@@ -85,7 +102,7 @@ func main() {
 	defer tcpSrv.Close()
 	log.Printf("remosd: ASCII protocol on %s", addr)
 	if *httpAddr != "" {
-		httpSrv := &proto.HTTPServer{Collector: queryable}
+		httpSrv := &proto.HTTPServer{Collector: queryable, Obs: reg, Traces: traces}
 		haddr, err := httpSrv.ListenAndServe(*httpAddr)
 		if err != nil {
 			log.Fatalf("remosd: http listen: %v", err)
@@ -120,6 +137,17 @@ func main() {
 		defer loadSrv.Close()
 		log.Printf("remosd: host load collector on %s", laddr)
 	}
+	if *obsAddr != "" {
+		oln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			log.Fatalf("remosd: obs listen: %v", err)
+		}
+		defer oln.Close()
+		osrv := &http.Server{Handler: obs.Handler(reg, traces, healthFunc(dep))}
+		go osrv.Serve(oln)
+		defer osrv.Close()
+		log.Printf("remosd: observability on http://%s (/metrics /healthz /debug/queries)", oln.Addr())
+	}
 	if *dirAddr != "" && dep.Directory != nil {
 		dirSrv := &directory.Server{Service: dep.Directory}
 		daddr, err := dirSrv.ListenAndServe(*dirAddr)
@@ -142,6 +170,50 @@ func main() {
 	<-sig
 	close(stop)
 	fmt.Println("remosd: shutting down")
+}
+
+// healthFunc reports per-collector liveness: each site's SNMP collector
+// is healthy once it has completed a poll cycle recently (within three
+// poll periods), and the Master is healthy by construction (it is a
+// pure fan-out with no background activity).
+func healthFunc(dep *core.Deployment) obs.HealthFunc {
+	return func() []obs.ComponentHealth {
+		var out []obs.ComponentHealth
+		names := make([]string, 0, len(dep.Sites))
+		for name := range dep.Sites {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			site := dep.Sites[name]
+			if site.SNMP == nil {
+				continue
+			}
+			h := obs.ComponentHealth{Component: site.SNMP.Name()}
+			last := site.SNMP.LastPoll()
+			if last.IsZero() {
+				h.Detail = "no poll cycle completed yet"
+			} else {
+				// The collector stamps poll cycles on the deployment's
+				// (simulated) clock; age them against the same clock.
+				h.LastPoll = last
+				h.LastPollAge = dep.Sim.Now().Sub(last)
+				if h.LastPollAge <= 3*site.SNMP.PollInterval() {
+					h.Healthy = true
+				} else {
+					h.Detail = fmt.Sprintf("last poll %v ago (interval %v)",
+						h.LastPollAge.Round(time.Millisecond), site.SNMP.PollInterval())
+				}
+			}
+			out = append(out, h)
+			if site.Master != nil {
+				out = append(out, obs.ComponentHealth{
+					Component: site.Master.Name(), Healthy: true,
+				})
+			}
+		}
+		return out
+	}
 }
 
 func firstSite(dep *core.Deployment) string {

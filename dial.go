@@ -1,0 +1,128 @@
+package remos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/collector/qcache"
+	"remos/internal/modeler"
+	"remos/internal/obs"
+	"remos/internal/proto"
+)
+
+// Observability re-exports for library embedders: a MetricsRegistry
+// collects counters/gauges/histograms across the query path and renders
+// them in Prometheus text format; a TraceRing retains the most recent
+// per-query traces with per-stage durations. remosd serves both over
+// HTTP; an embedding application can do the same with ObsHandler.
+type (
+	MetricsRegistry = obs.Registry
+	TraceRing       = obs.Ring
+	TraceRecord     = obs.TraceRecord
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.New() }
+
+// NewTraceRing returns a ring retaining the last n query traces; traces
+// lasting slowAfter or longer are flagged slow (slowAfter <= 0 disables
+// the flag).
+func NewTraceRing(n int, slowAfter time.Duration) *TraceRing { return obs.NewRing(n, slowAfter) }
+
+// dialConfig accumulates Dial options.
+type dialConfig struct {
+	hostLoad  string
+	predictor string
+	cacheTTL  time.Duration
+	obs       *obs.Registry
+	traces    *obs.Ring
+}
+
+// Option customizes Dial.
+type Option func(*dialConfig)
+
+// WithHostLoad points the Modeler's host load queries at a second
+// collector endpoint (same target syntax as Dial).
+func WithHostLoad(target string) Option {
+	return func(c *dialConfig) { c.hostLoad = target }
+}
+
+// WithPredictor sets the default RPS model spec for flow predictions,
+// e.g. "AR(16)" or "REFIT(ARIMA(8,1,8),128)".
+func WithPredictor(spec string) Option {
+	return func(c *dialConfig) { c.predictor = spec }
+}
+
+// WithCacheTTL interposes a client-side warm-query cache: identical
+// queries inside ttl answer locally, and concurrent identical queries
+// share one wire exchange.
+func WithCacheTTL(ttl time.Duration) Option {
+	return func(c *dialConfig) { c.cacheTTL = ttl }
+}
+
+// WithObservability attaches metrics and tracing to the dialed Modeler.
+// Either argument may be nil to enable only the other.
+func WithObservability(reg *MetricsRegistry, traces *TraceRing) Option {
+	return func(c *dialConfig) { c.obs, c.traces = reg, traces }
+}
+
+// clientFor maps a Dial target to a protocol client. "tcp://host:port"
+// (or a bare "host:port") speaks the ASCII protocol; "http://..." and
+// "https://..." speak the XML protocol.
+func clientFor(target string) (collector.Interface, error) {
+	switch {
+	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"):
+		return &proto.HTTPClient{BaseURL: strings.TrimSuffix(target, "/")}, nil
+	case strings.HasPrefix(target, "tcp://"):
+		target = strings.TrimPrefix(target, "tcp://")
+		fallthrough
+	default:
+		if target == "" {
+			return nil, fmt.Errorf("remos: empty dial target")
+		}
+		if strings.Contains(target, "://") {
+			return nil, fmt.Errorf("remos: unsupported scheme in dial target %q (want tcp:// or http://)", target)
+		}
+		return &proto.TCPClient{Addr: target}, nil
+	}
+}
+
+// Dial connects a Modeler to a remote Master Collector. The target
+// scheme selects the protocol — "tcp://host:port" (or a bare
+// "host:port") for ASCII over TCP, "http://host:port" for XML over HTTP
+// — and options configure host load access, prediction defaults,
+// client-side caching, and observability:
+//
+//	m, err := remos.Dial("tcp://master.example.edu:3567",
+//		remos.WithCacheTTL(5*time.Second))
+//	...
+//	bw, err := m.AvailableBandwidthContext(ctx, src, dst)
+//
+// Dialing is lazy: no connection is made until the first query.
+func Dial(target string, opts ...Option) (*Modeler, error) {
+	var dc dialConfig
+	for _, o := range opts {
+		o(&dc)
+	}
+	coll, err := clientFor(target)
+	if err != nil {
+		return nil, err
+	}
+	if dc.cacheTTL > 0 {
+		coll = qcache.New(coll, qcache.Config{TTL: dc.cacheTTL, Obs: dc.obs})
+	}
+	cfg := modeler.Config{
+		Collector:    coll,
+		PredictModel: dc.predictor,
+		Obs:          dc.obs,
+		Traces:       dc.traces,
+	}
+	if dc.hostLoad != "" {
+		if cfg.HostLoad, err = clientFor(dc.hostLoad); err != nil {
+			return nil, fmt.Errorf("remos: host load target: %w", err)
+		}
+	}
+	return modeler.New(cfg), nil
+}

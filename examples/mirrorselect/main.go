@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
@@ -85,14 +86,14 @@ func main() {
 	}
 
 	// Ask Remos which replica to use.
-	m := remos.NewModeler(dep.Sites["home"].Master)
+	m := remos.NewModelerConfig(remos.ModelerConfig{Collector: dep.Sites["home"].Master})
 	var servers []netip.Addr
 	byAddr := map[netip.Addr]string{}
 	for _, r := range replicas {
 		servers = append(servers, r.dev.Addr())
 		byAddr[r.dev.Addr()] = r.name
 	}
-	ranks, err := m.BestServer(client.Addr(), servers, remos.FlowOptions{})
+	ranks, err := m.BestServerContext(context.Background(), client.Addr(), servers, remos.FlowOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
@@ -58,9 +59,12 @@ func main() {
 	defer dep.Stop()
 
 	// 3. The public API: a Modeler over the site's Master Collector.
-	m := remos.NewModeler(dep.Sites["east"].Master)
+	// (A remote deployment would use remos.Dial("tcp://host:3567")
+	// instead; the query API is the same.)
+	m := remos.NewModelerConfig(remos.ModelerConfig{Collector: dep.Sites["east"].Master})
+	ctx := context.Background()
 
-	bw, err := m.AvailableBandwidth(app.Addr(), srv.Addr())
+	bw, err := m.AvailableBandwidthContext(ctx, app.Addr(), srv.Addr())
 	must(err)
 	fmt.Printf("available bandwidth %s -> %s: %.2f Mbit/s\n", app.Addr(), srv.Addr(), bw/1e6)
 
@@ -71,20 +75,20 @@ func main() {
 	must(err)
 	s.RunFor(12 * time.Second) // let the 5s poller observe it
 	must(dep.MeasureAllBenchmarks())
-	bw, err = m.AvailableBandwidth(app.Addr(), srv.Addr())
+	bw, err = m.AvailableBandwidthContext(ctx, app.Addr(), srv.Addr())
 	must(err)
 	fmt.Printf("with 4 Mbit/s of background load:   %.2f Mbit/s\n", bw/1e6)
 	flow.Stop()
 
 	// A topology query, simplified the way applications see it.
-	g, err := m.GetTopology([]netip.Addr{app.Addr(), srv.Addr()}, remos.TopologyOptions{})
+	g, err := m.GetTopologyContext(ctx, []netip.Addr{app.Addr(), srv.Addr()}, remos.TopologyOptions{})
 	must(err)
 	fmt.Println("\nvirtual topology (simplified):")
 	must(g.EncodeText(os.Stdout))
 	fmt.Println()
 
 	// A two-flow query: both flows share the WAN max-min fairly.
-	infos, err := m.GetFlows([]remos.Flow{
+	infos, err := m.GetFlowsContext(ctx, []remos.Flow{
 		{Src: app.Addr(), Dst: srv.Addr()},
 		{Src: peer.Addr(), Dst: srv.Addr()},
 	}, remos.FlowOptions{})

@@ -16,6 +16,7 @@ import (
 	"remos/internal/collector"
 	"remos/internal/conc"
 	"remos/internal/mib"
+	"remos/internal/obs"
 	"remos/internal/sim"
 	"remos/internal/snmp"
 )
@@ -39,6 +40,9 @@ type Config struct {
 	// startup and station searches. 0 selects GOMAXPROCS; 1 restores the
 	// serial walk.
 	Parallelism int
+	// Obs, when set, instruments the collector: its SNMP client's
+	// exchange counters and a bridge-walk counter land in the registry.
+	Obs *obs.Registry
 }
 
 // switchInfo is everything learned about one bridge.
@@ -81,15 +85,22 @@ type Collector struct {
 
 	// walkRequests counts full FDB walks, for cost accounting in tests.
 	walkRequests int
+
+	mWalks *obs.Counter
 }
 
 // New creates a Bridge Collector; call Start to walk the bridges and build
 // the topology database.
 func New(cfg Config) *Collector {
+	if cfg.Client != nil {
+		cfg.Client.Instrument(cfg.Obs)
+	}
 	return &Collector{
 		cfg:      cfg,
 		switches: make(map[netip.Addr]*switchInfo),
 		stations: make(map[collector.MAC]station),
+		mWalks: cfg.Obs.Counter("remos_bridge_walks_total",
+			"full bridge FDB walks performed"),
 	}
 }
 
@@ -136,6 +147,7 @@ func (c *Collector) rewalkAll() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.walkRequests += len(infos)
+	c.mWalks.Add(int64(len(infos)))
 	for i, si := range infos {
 		c.switches[c.cfg.Switches[i]] = si
 	}

@@ -6,6 +6,7 @@
 package collector
 
 import (
+	"context"
 	"net/netip"
 	"sort"
 	"sync"
@@ -30,6 +31,29 @@ type Query struct {
 	// predictions" and shared between consumers. Collectors without
 	// streaming predictors simply return none.
 	WithPredictions bool
+
+	// ctx carries the caller's cancellation and the query's trace. It is
+	// carried http.Request-style — unexported, accessed via Context and
+	// WithContext — so the Collect signature shared by every collector
+	// stays unchanged while cancellation still reaches the fan-out and
+	// SNMP layers.
+	ctx context.Context
+}
+
+// Context returns the query's context, never nil.
+func (q Query) Context() context.Context {
+	if q.ctx != nil {
+		return q.ctx
+	}
+	return context.Background()
+}
+
+// WithContext returns a copy of the query carrying ctx. Collectors that
+// fan out or wait on the wire consult it for cancellation; the per-query
+// trace (package obs) also travels in it.
+func (q Query) WithContext(ctx context.Context) Query {
+	q.ctx = ctx
+	return q
 }
 
 // Forecast is a collector-side streaming prediction for one directed

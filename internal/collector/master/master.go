@@ -22,6 +22,8 @@ import (
 
 	"remos/internal/collector"
 	"remos/internal/conc"
+	"remos/internal/obs"
+	"remos/internal/rerr"
 	"remos/internal/topology"
 )
 
@@ -63,6 +65,8 @@ type Config struct {
 	// run concurrently during fan-out. 0 selects GOMAXPROCS; 1 restores
 	// the fully serial path. The merged result is identical either way.
 	Parallelism int
+	// Obs, when set, receives fan-out metrics. Nil disables.
+	Obs *obs.Registry
 }
 
 // Master is a Master Collector.
@@ -71,10 +75,23 @@ type Master struct {
 	// served counts queries, for diagnostics. Atomic so the stats path
 	// never contends with concurrent Collect calls.
 	served atomic.Int64
+
+	mQueries    *obs.Counter
+	mSubQueries *obs.Counter
+	mErrors     *obs.Counter
 }
 
 // New builds a Master Collector.
-func New(cfg Config) *Master { return &Master{cfg: cfg} }
+func New(cfg Config) *Master {
+	m := &Master{cfg: cfg}
+	m.mQueries = cfg.Obs.Counter("remos_master_queries_total",
+		"queries answered by the master collector")
+	m.mSubQueries = cfg.Obs.Counter("remos_master_subqueries_total",
+		"sub-queries fanned out to site and wide-area collectors")
+	m.mErrors = cfg.Obs.Counter("remos_master_errors_total",
+		"master queries that failed")
+	return m
+}
 
 // Name implements collector.Interface.
 func (m *Master) Name() string {
@@ -141,11 +158,19 @@ func entryFor(entries []Entry, h netip.Addr) (*Entry, bool) {
 // Config.Parallelism) and merges the responses in sorted site order
 // followed by the wide-area answer, so the coalesced graph does not
 // depend on sub-query completion order.
-func (m *Master) Collect(q collector.Query) (*collector.Result, error) {
+func (m *Master) Collect(q collector.Query) (res *collector.Result, err error) {
+	ctx := q.Context()
+	tr := obs.FromContext(ctx)
 	if len(q.Hosts) == 0 {
 		return nil, fmt.Errorf("master: empty query")
 	}
 	m.served.Add(1)
+	m.mQueries.Inc()
+	defer func() {
+		if err != nil {
+			m.mErrors.Inc()
+		}
+	}()
 
 	// "The first task for the Master Collector is identifying the IP
 	// networks and subnets needed to answer the query, along with the
@@ -160,7 +185,7 @@ func (m *Master) Collect(q collector.Query) (*collector.Result, error) {
 	for _, h := range q.Hosts {
 		e, ok := entryFor(all, h)
 		if !ok {
-			return nil, fmt.Errorf("master: no collector is responsible for %v", h)
+			return nil, rerr.Tagf(rerr.ErrUnknownHost, "master: no collector is responsible for %v", h)
 		}
 		set := grouped[e.Name]
 		if set == nil {
@@ -214,22 +239,37 @@ func (m *Master) Collect(q collector.Query) (*collector.Result, error) {
 	}
 
 	results := make([]*collector.Result, len(subs))
-	err = conc.ForEach(len(subs), m.cfg.Parallelism, func(i int) error {
+	fanout := tr.Start("fanout")
+	m.mSubQueries.Add(int64(len(subs)))
+	err = conc.ForEachCtx(ctx, len(subs), m.cfg.Parallelism, func(i int) error {
+		sp := tr.Start("sub:" + subs[i].label)
 		sub, err := subs[i].coll.Collect(collector.Query{
 			Hosts: subs[i].hosts, WithHistory: q.WithHistory, WithPredictions: q.WithPredictions,
-		})
+		}.WithContext(ctx))
 		if err != nil {
-			return fmt.Errorf("master: %s: %w", subs[i].label, err)
+			sp.EndDetail(err.Error())
+			// A failing sub-collector (unless the failure is the caller's
+			// own cancellation) is the UNAVAILABLE class: the master is
+			// fine, a site it depends on is not.
+			err = fmt.Errorf("master: %s: %w", subs[i].label, err)
+			if ctx.Err() == nil {
+				err = rerr.Tag(err, rerr.ErrCollectorUnavailable)
+			}
+			return err
 		}
+		sp.EndDetail(fmt.Sprintf("%d hosts", len(subs[i].hosts)))
 		results[i] = sub
 		return nil
 	})
 	if err != nil {
+		fanout.EndDetail(err.Error())
 		return nil, err
 	}
+	fanout.EndDetail(fmt.Sprintf("%d sub-queries", len(subs)))
 
 	// Deterministic coalescing: sites in sorted name order, wide-area
 	// last — the same order the serial implementation used.
+	sp := tr.Start("merge")
 	merged := topology.NewGraph()
 	history := make(map[collector.HistKey][]collector.Sample)
 	forecasts := make(map[collector.HistKey]collector.Forecast)
@@ -243,7 +283,8 @@ func (m *Master) Collect(q collector.Query) (*collector.Result, error) {
 		}
 	}
 
-	res := &collector.Result{Graph: merged}
+	sp.End()
+	res = &collector.Result{Graph: merged}
 	if q.WithHistory {
 		res.History = history
 	}

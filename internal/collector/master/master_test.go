@@ -280,8 +280,8 @@ func TestParallelFanoutMatchesSerial(t *testing.T) {
 	// Several parallel runs with different completion orders.
 	for _, delays := range [][2]time.Duration{
 		{0, 0},
-		{5 * time.Millisecond, 0},                  // site a lands last
-		{0, 5 * time.Millisecond},                  // wide-area lands last
+		{5 * time.Millisecond, 0}, // site a lands last
+		{0, 5 * time.Millisecond}, // wide-area lands last
 		{2 * time.Millisecond, 4 * time.Millisecond},
 	} {
 		res, err := build(0, delays[0], delays[1]).Collect(q)

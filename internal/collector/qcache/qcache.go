@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"remos/internal/collector"
+	"remos/internal/obs"
 )
 
 // Config tunes the cache.
@@ -34,6 +35,9 @@ type Config struct {
 	// MaxEntries bounds the number of retained answers (default 1024);
 	// the oldest entries are evicted first.
 	MaxEntries int
+	// Obs, when set, receives hit/miss/coalesce/evict counters. Nil
+	// disables instrumentation.
+	Obs *obs.Registry
 }
 
 // Stats is a snapshot of cache effectiveness counters.
@@ -81,6 +85,11 @@ type Cache struct {
 	misses    atomic.Int64
 	coalesced atomic.Int64
 	evictions atomic.Int64
+
+	mHits      *obs.Counter
+	mMisses    *obs.Counter
+	mCoalesced *obs.Counter
+	mEvictions *obs.Counter
 }
 
 // New wraps a collector with a warm-query cache.
@@ -88,7 +97,13 @@ func New(inner collector.Interface, cfg Config) *Cache {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = 1024
 	}
-	return &Cache{inner: inner, cfg: cfg, entries: make(map[string]*entry)}
+	c := &Cache{inner: inner, cfg: cfg, entries: make(map[string]*entry)}
+	c.mHits = cfg.Obs.Counter("remos_qcache_hits_total", "queries answered from the warm cache")
+	c.mMisses = cfg.Obs.Counter("remos_qcache_misses_total", "queries that went through to the collector")
+	c.mCoalesced = cfg.Obs.Counter("remos_qcache_coalesced_total", "queries that shared another caller's in-flight collection")
+	c.mEvictions = cfg.Obs.Counter("remos_qcache_evictions_total", "cache entries dropped for capacity")
+	cfg.Obs.GaugeFunc("remos_qcache_entries", "cached answers currently retained", func() float64 { return float64(c.Len()) })
+	return c
 }
 
 // Name implements collector.Interface, transparently: the cache answers
@@ -125,23 +140,36 @@ func Key(q collector.Query) string {
 // TTL answer from cache; concurrent identical queries share a single
 // inner collection; distinct queries proceed independently.
 func (c *Cache) Collect(q collector.Query) (*collector.Result, error) {
+	ctx := q.Context()
+	tr := obs.FromContext(ctx)
 	key := Key(q)
 	c.mu.Lock()
 	e := c.entries[key]
 	if e != nil {
 		if !e.landed() {
-			// In flight: wait outside the lock and share the answer.
+			// In flight: wait outside the lock and share the answer. The
+			// waiter also honors its own context — the flight belongs to
+			// the caller that started it and keeps running.
 			c.mu.Unlock()
-			<-e.done
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				tr.Event("cache", "canceled waiting on in-flight query")
+				return nil, ctx.Err()
+			}
 			if e.err != nil {
 				return nil, e.err
 			}
 			c.coalesced.Add(1)
+			c.mCoalesced.Inc()
+			tr.Event("cache", "coalesced")
 			return e.res.Clone(), nil
 		}
 		if e.err == nil && c.cfg.TTL > 0 && c.now().Sub(e.at) < c.cfg.TTL {
 			c.mu.Unlock()
 			c.hits.Add(1)
+			c.mHits.Inc()
+			tr.Event("cache", "hit")
 			return e.res.Clone(), nil
 		}
 		// Stale (or a retained error, which cannot happen — errors are
@@ -153,6 +181,8 @@ func (c *Cache) Collect(q collector.Query) (*collector.Result, error) {
 	c.evictLocked()
 	c.mu.Unlock()
 	c.misses.Add(1)
+	c.mMisses.Inc()
+	tr.Event("cache", "miss")
 
 	e.res, e.err = c.inner.Collect(q)
 	e.at = c.now()
@@ -183,6 +213,7 @@ func (c *Cache) evictLocked() {
 		if e.landed() && c.cfg.TTL > 0 && now.Sub(e.at) >= c.cfg.TTL {
 			delete(c.entries, k)
 			c.evictions.Add(1)
+			c.mEvictions.Inc()
 		}
 	}
 	for len(c.entries) > c.cfg.MaxEntries {
@@ -201,6 +232,7 @@ func (c *Cache) evictLocked() {
 		}
 		delete(c.entries, oldestKey)
 		c.evictions.Add(1)
+		c.mEvictions.Inc()
 	}
 }
 

@@ -1,6 +1,7 @@
 package snmpcoll
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"remos/internal/collector/bridgecoll"
 	"remos/internal/conc"
 	"remos/internal/mib"
+	"remos/internal/obs"
 	"remos/internal/snmp"
 	"remos/internal/topology"
 )
@@ -23,18 +25,21 @@ func (c *Collector) Collect(q collector.Query) (*collector.Result, error) {
 // sent and total round-trip time — which the scalability experiments use
 // as the query response time.
 func (c *Collector) CollectWithStats(q collector.Query) (*collector.Result, QueryStats, error) {
+	ctx := q.Context()
+	tr := obs.FromContext(ctx)
 	meter := &snmp.Meter{}
 	cl := c.client(meter)
 	defer cl.Close() // release any pipelined per-agent sessions
-	b := newBuild(c, cl)
+	b := newBuild(ctx, c, cl)
 
 	if len(q.Hosts) == 0 {
 		return nil, QueryStats{}, fmt.Errorf("snmpcoll: empty query")
 	}
+	sp := tr.Start(c.Name() + ":discover")
 	// Warm the router cache for every distinct first-hop gateway in
 	// parallel before the serial hop-by-hop walk: multi-gateway queries
 	// walk their entry routers concurrently instead of one at a time.
-	c.prefetchGateways(cl, q.Hosts)
+	c.prefetchGateways(ctx, cl, q.Hosts)
 	// Discover the union of pairwise paths. The route cache makes this
 	// effectively linear in the number of new hosts even though it
 	// iterates pairs (the naive algorithm's worst case is O(N²); this
@@ -51,6 +56,7 @@ func (c *Collector) CollectWithStats(q collector.Query) (*collector.Result, Quer
 			return nil, QueryStats{}, err
 		}
 	}
+	sp.EndDetail(fmt.Sprintf("%d routers", len(b.routersUsed)))
 
 	// Per-query validation of every cached device involved (reboot and
 	// liveness check) — the warm-cache query cost. Devices validate in
@@ -61,15 +67,17 @@ func (c *Collector) CollectWithStats(q collector.Query) (*collector.Result, Quer
 		used = append(used, a)
 	}
 	sort.Slice(used, func(i, j int) bool { return used[i].Less(used[j]) })
+	sp = tr.Start(c.Name() + ":validate")
 	validated := make([]*routerInfo, len(used))
-	if err := conc.ForEach(len(used), c.cfg.Parallelism, func(i int) error {
-		fresh, err := c.validateRouter(cl, b.routersUsed[used[i]])
+	if err := conc.ForEachCtx(ctx, len(used), c.cfg.Parallelism, func(i int) error {
+		fresh, err := c.validateRouter(ctx, cl, b.routersUsed[used[i]])
 		if err != nil {
 			return err
 		}
 		validated[i] = fresh
 		return nil
 	}); err != nil {
+		sp.EndDetail(err.Error())
 		return nil, QueryStats{}, err
 	}
 	for i, a := range used {
@@ -77,11 +85,14 @@ func (c *Collector) CollectWithStats(q collector.Query) (*collector.Result, Quer
 			b.routersUsed[a] = validated[i]
 		}
 	}
+	sp.EndDetail(fmt.Sprintf("%d devices", len(used)))
 
 	// Annotate utilization from monitoring history, registering any
 	// unmonitored links for the poller; registration performs the
 	// initial counter read.
-	cold := c.annotate(cl, b)
+	sp = tr.Start(c.Name() + ":annotate")
+	cold := c.annotate(ctx, cl, b)
+	sp.End()
 
 	res := &collector.Result{Graph: b.g}
 	if q.WithHistory {
@@ -92,6 +103,11 @@ func (c *Collector) CollectWithStats(q collector.Query) (*collector.Result, Quer
 	}
 	reqs, rtt := meter.Snapshot()
 	c.queriesServed.Add(1)
+	c.mQueries.Inc()
+	if cold {
+		c.mCold.Inc()
+	}
+	tr.Event(c.Name()+":snmp", fmt.Sprintf("%d exchanges, rtt %v", reqs, rtt))
 	return res, QueryStats{Requests: reqs, RTT: rtt, ColdStart: cold}, nil
 }
 
@@ -101,7 +117,7 @@ func (c *Collector) CollectWithStats(q collector.Query) (*collector.Result, Quer
 // with full path context. Prefetching is pointless (and would double the
 // measured cost) when the route cache is disabled or there is nothing to
 // do in parallel.
-func (c *Collector) prefetchGateways(cl *snmp.Client, hosts []netip.Addr) {
+func (c *Collector) prefetchGateways(ctx context.Context, cl *snmp.Client, hosts []netip.Addr) {
 	if c.cfg.DisableRouteCache || conc.Limit(c.cfg.Parallelism) == 1 {
 		return
 	}
@@ -123,17 +139,18 @@ func (c *Collector) prefetchGateways(cl *snmp.Client, hosts []netip.Addr) {
 	if len(gws) < 2 {
 		return
 	}
-	conc.ForEach(len(gws), c.cfg.Parallelism, func(i int) error {
-		c.routerFor(cl, gws[i])
+	conc.ForEachCtx(ctx, len(gws), c.cfg.Parallelism, func(i int) error {
+		c.routerFor(ctx, cl, gws[i])
 		return nil
 	})
 }
 
 // build accumulates one query's graph.
 type build struct {
-	c  *Collector
-	cl *snmp.Client
-	g  *topology.Graph
+	ctx context.Context
+	c   *Collector
+	cl  *snmp.Client
+	g   *topology.Graph
 
 	routersUsed map[netip.Addr]*routerInfo
 	linkPolls   map[string]pollReg // link key -> poll registration
@@ -149,8 +166,9 @@ type pollReg struct {
 	outIsFromTo bool
 }
 
-func newBuild(c *Collector, cl *snmp.Client) *build {
+func newBuild(ctx context.Context, c *Collector, cl *snmp.Client) *build {
 	return &build{
+		ctx:         ctx,
 		c:           c,
 		cl:          cl,
 		g:           topology.NewGraph(),
@@ -205,12 +223,12 @@ func (b *build) resolveMAC(h netip.Addr) (collector.MAC, bool) {
 		return mac, true
 	}
 	if gw, okGw := b.c.cfg.GatewayOf(h); okGw {
-		if ri, err := b.c.routerFor(b.cl, gw); err == nil {
+		if ri, err := b.c.routerFor(b.ctx, b.cl, gw); err == nil {
 			if e, okR := ri.lpm(h); okR {
 				ip4 := h.As4()
 				oid := mib.IPNetToMediaPhys.Append(uint32(e.ifIndex),
 					uint32(ip4[0]), uint32(ip4[1]), uint32(ip4[2]), uint32(ip4[3]))
-				if v, err := b.cl.GetOne(gw.String(), oid); err == nil {
+				if v, err := b.cl.GetOneContext(b.ctx, gw.String(), oid); err == nil {
 					if m, okM := collector.MACFromBytes(v.Bytes); okM {
 						b.c.mu.Lock()
 						b.c.arp[h] = m
@@ -254,7 +272,7 @@ func (b *build) verifyHost(h netip.Addr) error {
 	// One Get of the station's forwarding entry on the bridge it is
 	// believed to be attached to — the cheap location check, issued on
 	// this query's metered client so it counts toward query time.
-	v, err := b.cl.GetOne(sw.String(), mib.Dot1dTpFdbPort.Append(mac.OIDSuffix()...))
+	v, err := b.cl.GetOneContext(b.ctx, sw.String(), mib.Dot1dTpFdbPort.Append(mac.OIDSuffix()...))
 	if err == nil && int(v.Int) == port {
 		return nil
 	}
@@ -367,7 +385,7 @@ func (b *build) useRouter(addr netip.Addr) error {
 	if _, ok := b.routersUsed[addr]; ok {
 		return nil
 	}
-	ri, err := b.c.routerFor(b.cl, addr)
+	ri, err := b.c.routerFor(b.ctx, b.cl, addr)
 	if err != nil {
 		return err
 	}
@@ -514,7 +532,7 @@ func (b *build) arpLookup(via netip.Addr, ri *routerInfo, ifIndex int, target ne
 	ip4 := target.As4()
 	oid := mib.IPNetToMediaPhys.Append(uint32(ifIndex),
 		uint32(ip4[0]), uint32(ip4[1]), uint32(ip4[2]), uint32(ip4[3]))
-	v, err := b.cl.GetOne(via.String(), oid)
+	v, err := b.cl.GetOneContext(b.ctx, via.String(), oid)
 	if err != nil {
 		return collector.MAC{}, false
 	}

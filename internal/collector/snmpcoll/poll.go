@@ -1,6 +1,7 @@
 package snmpcoll
 
 import (
+	"context"
 	"net/netip"
 	"sort"
 	"time"
@@ -14,7 +15,7 @@ import (
 // annotate fills each graph link's utilization from history, registering
 // poll points for links not yet monitored. It reports whether any link was
 // cold (registered just now, so utilization is not yet available).
-func (c *Collector) annotate(cl *snmp.Client, b *build) (coldStart bool) {
+func (c *Collector) annotate(ctx context.Context, cl *snmp.Client, b *build) (coldStart bool) {
 	for _, l := range b.g.Links() {
 		reg, ok := b.linkPolls[linkKey(l.From, l.To)]
 		if !ok || !reg.agent.IsValid() {
@@ -50,7 +51,7 @@ func (c *Collector) annotate(cl *snmp.Client, b *build) (coldStart bool) {
 			coldStart = true
 			// Initial baseline read so the first poll yields a
 			// delta one interval from now.
-			c.readCounters(cl, p)
+			c.readCounters(ctx, cl, p)
 			continue
 		}
 		c.mu.Unlock()
@@ -92,17 +93,17 @@ func (m counterMode) counterKind() snmp.Kind {
 // is held for the whole exchange, serializing reads of one interface so
 // a query-path baseline read and a parallel poll never interleave their
 // delta computations.
-func (c *Collector) readCounters(cl *snmp.Client, p *pollPoint) {
+func (c *Collector) readCounters(ctx context.Context, cl *snmp.Client, p *pollPoint) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	c.readCountersLocked(cl, p)
+	c.readCountersLocked(ctx, cl, p)
 }
 
 // readCountersLocked is readCounters with p.mu already held.
-func (c *Collector) readCountersLocked(cl *snmp.Client, p *pollPoint) {
+func (c *Collector) readCountersLocked(ctx context.Context, cl *snmp.Client, p *pollPoint) {
 	now := c.now()
 	oids := p.pollOIDs(nil)
-	vbs, err := cl.Get(p.agent.String(), oids...)
+	vbs, err := cl.GetContext(ctx, p.agent.String(), oids...)
 	if err != nil {
 		p.havePrev = false // device unreachable; resync next time
 		return
@@ -249,6 +250,7 @@ func (c *Collector) pollOnce() {
 		c.readBatch(cl, batches[i])
 		return nil
 	})
+	c.lastPoll.Store(c.now().UnixNano())
 }
 
 // readBatch reads one device's chunk of poll points in a single Get,
@@ -269,7 +271,7 @@ func (c *Collector) readBatch(cl *snmp.Client, batch []*pollPoint) {
 	settled := batch[:0:0]
 	for _, p := range batch {
 		if p.mode == modeProbe {
-			c.readCountersLocked(cl, p)
+			c.readCountersLocked(context.Background(), cl, p)
 		} else {
 			settled = append(settled, p)
 		}
@@ -278,7 +280,7 @@ func (c *Collector) readBatch(cl *snmp.Client, batch []*pollPoint) {
 		return
 	}
 	if len(settled) == 1 {
-		c.readCountersLocked(cl, settled[0])
+		c.readCountersLocked(context.Background(), cl, settled[0])
 		return
 	}
 	oids := make([]snmp.OID, 0, 2*len(settled))
@@ -296,7 +298,7 @@ func (c *Collector) readBatch(cl *snmp.Client, batch []*pollPoint) {
 	if len(vbs) != len(oids) {
 		// Malformed response: retry each interface on its own.
 		for _, p := range settled {
-			c.readCountersLocked(cl, p)
+			c.readCountersLocked(context.Background(), cl, p)
 		}
 		return
 	}
@@ -306,7 +308,7 @@ func (c *Collector) readBatch(cl *snmp.Client, batch []*pollPoint) {
 		if !ok {
 			// This interface answered with an unexpected OID or kind
 			// (partial error): re-read it alone, which re-probes.
-			c.readCountersLocked(cl, p)
+			c.readCountersLocked(context.Background(), cl, p)
 			continue
 		}
 		c.applyDelta(p, in, out, now)

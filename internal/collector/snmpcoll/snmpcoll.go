@@ -10,6 +10,7 @@
 package snmpcoll
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"remos/internal/collector/bridgecoll"
 	"remos/internal/conc"
 	"remos/internal/mib"
+	"remos/internal/obs"
 	"remos/internal/rps"
 	"remos/internal/sim"
 	"remos/internal/snmp"
@@ -79,6 +81,10 @@ type Config struct {
 	// StreamHorizon is how many steps ahead streaming predictions run
 	// (default 8).
 	StreamHorizon int
+
+	// Obs, when set, receives this collector's metrics (query counts,
+	// cold starts, SNMP exchange costs). Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // routerInfo caches what has been learned about one router. Apart from
@@ -183,6 +189,10 @@ type Collector struct {
 	pollClient *snmp.Client
 
 	queriesServed atomic.Int64
+	lastPoll      atomic.Int64 // unix nanos of the last completed poll cycle
+
+	mQueries *obs.Counter
+	mCold    *obs.Counter
 }
 
 type chainKey struct {
@@ -216,6 +226,10 @@ func New(cfg Config) *Collector {
 	}
 	c.pollMeter = &snmp.Meter{}
 	c.pollClient = c.client(c.pollMeter)
+	c.mQueries = cfg.Obs.Counter("remos_snmpcoll_queries_total",
+		"queries answered by SNMP collectors", "collector", c.Name())
+	c.mCold = cfg.Obs.Counter("remos_snmpcoll_cold_queries_total",
+		"queries that had to start monitoring unmeasured links", "collector", c.Name())
 	if cfg.Sched != nil {
 		c.poller = cfg.Sched.Every(cfg.PollInterval, c.pollOnce)
 	}
@@ -245,7 +259,18 @@ func (c *Collector) client(m *snmp.Meter) *snmp.Client {
 	cl := snmp.NewClient(c.cfg.Transport, c.cfg.Community)
 	cl.Meter = m
 	cl.Pipeline = c.cfg.Pipeline
+	cl.Instrument(c.cfg.Obs)
 	return cl
+}
+
+// LastPoll reports when the periodic poller last completed a cycle (zero
+// before the first cycle) — the /healthz liveness signal.
+func (c *Collector) LastPoll() time.Time {
+	ns := c.lastPoll.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 // maxVarBinds returns the configured per-PDU varbind bound.
@@ -279,7 +304,7 @@ func (c *Collector) History() *collector.History { return c.hist }
 // ipAdEnt) are walked concurrently under the collector's parallelism
 // bound; they fill disjoint routerInfo fields, so the assembled view is
 // identical to a serial fetch.
-func (c *Collector) fetchRouter(cl *snmp.Client, addr netip.Addr) (*routerInfo, error) {
+func (c *Collector) fetchRouter(ctx context.Context, cl *snmp.Client, addr netip.Addr) (*routerInfo, error) {
 	a := addr.String()
 	ri := &routerInfo{
 		addr:     addr,
@@ -288,15 +313,15 @@ func (c *Collector) fetchRouter(cl *snmp.Client, addr netip.Addr) (*routerInfo, 
 		macByIf:  make(map[int]collector.MAC),
 	}
 	walks := []func() error{
-		func() error { return c.fetchSystemAndRoutes(cl, a, ri) },
+		func() error { return c.fetchSystemAndRoutes(ctx, cl, a, ri) },
 		func() error {
-			return cl.BulkWalk(a, mib.IfSpeed, 16, func(o snmp.OID, v snmp.Value) bool {
+			return cl.BulkWalkContext(ctx, a, mib.IfSpeed, 16, func(o snmp.OID, v snmp.Value) bool {
 				ri.ifSpeed[int(o[len(o)-1])] = float64(v.Int)
 				return true
 			})
 		},
 		func() error {
-			return cl.BulkWalk(a, mib.IfPhysAddr, 16, func(o snmp.OID, v snmp.Value) bool {
+			return cl.BulkWalkContext(ctx, a, mib.IfPhysAddr, 16, func(o snmp.OID, v snmp.Value) bool {
 				if m, ok := collector.MACFromBytes(v.Bytes); ok {
 					ri.macByIf[int(o[len(o)-1])] = m
 				}
@@ -304,7 +329,7 @@ func (c *Collector) fetchRouter(cl *snmp.Client, addr netip.Addr) (*routerInfo, 
 			})
 		},
 		func() error {
-			return cl.BulkWalk(a, mib.IPAdEntIfIndex, 16, func(o snmp.OID, v snmp.Value) bool {
+			return cl.BulkWalkContext(ctx, a, mib.IPAdEntIfIndex, 16, func(o snmp.OID, v snmp.Value) bool {
 				if len(o) < 4 {
 					return true
 				}
@@ -314,7 +339,7 @@ func (c *Collector) fetchRouter(cl *snmp.Client, addr netip.Addr) (*routerInfo, 
 			})
 		},
 	}
-	if err := conc.ForEach(len(walks), c.cfg.Parallelism, func(i int) error { return walks[i]() }); err != nil {
+	if err := conc.ForEachCtx(ctx, len(walks), c.cfg.Parallelism, func(i int) error { return walks[i]() }); err != nil {
 		return nil, err
 	}
 	return ri, nil
@@ -326,7 +351,7 @@ func (c *Collector) fetchRouter(cl *snmp.Client, addr netip.Addr) (*routerInfo, 
 // its own accumulator; the accumulators then merge in fixed column order
 // with route order following the dest column, so the cached table is
 // identical to a serial fetch.
-func (c *Collector) fetchSystemAndRoutes(cl *snmp.Client, a string, ri *routerInfo) error {
+func (c *Collector) fetchSystemAndRoutes(ctx context.Context, cl *snmp.Client, a string, ri *routerInfo) error {
 	type colEntry struct {
 		ip netip.Addr
 		v  snmp.Value
@@ -335,7 +360,7 @@ func (c *Collector) fetchSystemAndRoutes(cl *snmp.Client, a string, ri *routerIn
 	acc := make([][]colEntry, len(roots))
 	tasks := []func() error{
 		func() error {
-			vbs, err := cl.Get(a, mib.SysName, mib.SysUpTime)
+			vbs, err := cl.GetContext(ctx, a, mib.SysName, mib.SysUpTime)
 			if err != nil {
 				return err
 			}
@@ -353,7 +378,7 @@ func (c *Collector) fetchSystemAndRoutes(cl *snmp.Client, a string, ri *routerIn
 	for i, root := range roots {
 		i, root := i, root
 		tasks = append(tasks, func() error {
-			return cl.BulkWalk(a, root, 32, func(o snmp.OID, v snmp.Value) bool {
+			return cl.BulkWalkContext(ctx, a, root, 32, func(o snmp.OID, v snmp.Value) bool {
 				if len(o) < 4 {
 					return true
 				}
@@ -363,7 +388,7 @@ func (c *Collector) fetchSystemAndRoutes(cl *snmp.Client, a string, ri *routerIn
 			})
 		})
 	}
-	if err := conc.ForEach(len(tasks), c.cfg.Parallelism, func(i int) error { return tasks[i]() }); err != nil {
+	if err := conc.ForEachCtx(ctx, len(tasks), c.cfg.Parallelism, func(i int) error { return tasks[i]() }); err != nil {
 		return err
 	}
 	type parsed struct {
@@ -431,7 +456,7 @@ func maskBits(m [4]byte) int {
 // concurrent queries missing on the same router share one walk instead of
 // each walking the device (skipped under the ablation knob, where every
 // query must pay the full cold cost).
-func (c *Collector) routerFor(cl *snmp.Client, addr netip.Addr) (*routerInfo, error) {
+func (c *Collector) routerFor(ctx context.Context, cl *snmp.Client, addr netip.Addr) (*routerInfo, error) {
 	c.mu.Lock()
 	ri, ok := c.routers[addr]
 	c.mu.Unlock()
@@ -439,7 +464,7 @@ func (c *Collector) routerFor(cl *snmp.Client, addr netip.Addr) (*routerInfo, er
 		return ri, nil
 	}
 	if c.cfg.DisableRouteCache {
-		ri, err := c.fetchRouter(cl, addr)
+		ri, err := c.fetchRouter(ctx, cl, addr)
 		if err != nil {
 			return nil, err
 		}
@@ -449,7 +474,7 @@ func (c *Collector) routerFor(cl *snmp.Client, addr netip.Addr) (*routerInfo, er
 		return ri, nil
 	}
 	ri, err, _ := c.fetches.Do(addr, func() (*routerInfo, error) {
-		ri, err := c.fetchRouter(cl, addr)
+		ri, err := c.fetchRouter(ctx, cl, addr)
 		if err != nil {
 			return nil, err
 		}
@@ -468,8 +493,8 @@ func (c *Collector) routerFor(cl *snmp.Client, addr netip.Addr) (*routerInfo, er
 // view (cached routerInfo is replaced, never mutated, so queries already
 // holding the old pointer keep a consistent pre-reboot snapshot). An
 // unreachable agent is an error.
-func (c *Collector) validateRouter(cl *snmp.Client, ri *routerInfo) (*routerInfo, error) {
-	v, err := cl.GetOne(ri.addr.String(), mib.SysUpTime)
+func (c *Collector) validateRouter(ctx context.Context, cl *snmp.Client, ri *routerInfo) (*routerInfo, error) {
+	v, err := cl.GetOneContext(ctx, ri.addr.String(), mib.SysUpTime)
 	if err != nil {
 		return nil, fmt.Errorf("snmpcoll: router %v unreachable: %w", ri.addr, err)
 	}
@@ -492,7 +517,7 @@ func (c *Collector) validateRouter(cl *snmp.Client, ri *routerInfo) (*routerInfo
 		p.havePrev = false
 		p.mu.Unlock()
 	}
-	fresh, err := c.fetchRouter(cl, ri.addr)
+	fresh, err := c.fetchRouter(ctx, cl, ri.addr)
 	if err != nil {
 		return nil, fmt.Errorf("snmpcoll: refreshing rebooted router %v: %w", ri.addr, err)
 	}

@@ -7,6 +7,7 @@
 package conc
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,27 @@ func ForEach(n, par int, fn func(int) error) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done, workers
+// stop picking up new items (items already running are left to finish —
+// fn itself observes ctx for in-item cancellation). When the context is
+// canceled before all items ran and no item failed first, the context's
+// error is returned, so callers see context.Canceled / DeadlineExceeded.
+func ForEachCtx(ctx context.Context, n, par int, fn func(int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	err := ForEach(n, par, func(i int) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return fn(i)
+	})
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
 }
 
 // Flight deduplicates concurrent calls by key: while a call for a key is

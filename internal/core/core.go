@@ -20,6 +20,7 @@ import (
 	"remos/internal/directory"
 	"remos/internal/mib"
 	"remos/internal/netsim"
+	"remos/internal/obs"
 	"remos/internal/sim"
 	"remos/internal/snmp"
 )
@@ -80,6 +81,7 @@ type Deployment struct {
 	Directory *directory.Service
 
 	siteOrder   []string
+	obs         *obs.Registry
 	community   string
 	parallelism int
 	maxVarBinds int
@@ -102,6 +104,10 @@ type Options struct {
 	// Pipeline is the number of SNMP requests kept outstanding per agent
 	// (0 or 1 = lock-step).
 	Pipeline int
+	// Obs, when set, instruments every collector layer (SNMP exchange
+	// counters, master fan-out counters, per-collector query counters)
+	// into one registry. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // NewDeployment attaches SNMP agents to every managed device and prepares
@@ -128,6 +134,7 @@ func NewDeployment(s *sim.Sim, n *netsim.Network, opt Options) *Deployment {
 		Sites:     make(map[string]*Site),
 	}
 	d.community = opt.Community
+	d.obs = opt.Obs
 	d.parallelism = opt.Parallelism
 	d.maxVarBinds = opt.MaxVarBinds
 	d.pipeline = opt.Pipeline
@@ -187,6 +194,7 @@ func (d *Deployment) AddSite(spec SiteSpec) (*Site, error) {
 			Sched:       d.Sim,
 			Switches:    addrs,
 			Parallelism: d.parallelism,
+			Obs:         d.obs,
 		})
 		if err := site.Bridge.Start(); err != nil {
 			return nil, fmt.Errorf("core: site %s bridge: %w", spec.Name, err)
@@ -219,6 +227,7 @@ func (d *Deployment) AddSite(spec SiteSpec) (*Site, error) {
 		Parallelism:   d.parallelism,
 		MaxVarBinds:   d.maxVarBinds,
 		Pipeline:      d.pipeline,
+		Obs:           d.obs,
 	})
 
 	d.Sites[spec.Name] = site
@@ -300,6 +309,7 @@ func (d *Deployment) Finish() error {
 			Directory:   d.Directory,
 			WideArea:    wide,
 			Parallelism: d.parallelism,
+			Obs:         d.obs,
 		})
 	}
 	return nil

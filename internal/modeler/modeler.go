@@ -7,12 +7,15 @@
 package modeler
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
+	"strings"
 	"time"
 
 	"remos/internal/collector"
+	"remos/internal/obs"
 	"remos/internal/rps"
 	"remos/internal/topology"
 )
@@ -37,11 +40,42 @@ type Config struct {
 	// collector, local or remote). Optional; HostLoad queries fail
 	// without it.
 	HostLoad collector.Interface
+
+	// Obs, when set, counts API queries by kind. Traces, when set,
+	// records a trace per API call (unless the caller's context already
+	// carries one, as it does under an instrumented protocol server).
+	Obs    *obs.Registry
+	Traces *obs.Ring
 }
 
 // Modeler is a per-application Remos endpoint.
 type Modeler struct {
 	cfg Config
+}
+
+// begin counts an API call and, when tracing is configured and the
+// context does not already carry a trace, opens one. The returned finish
+// must be called when the API call completes.
+func (m *Modeler) begin(ctx context.Context, kind, attrs string) (context.Context, func(error)) {
+	m.cfg.Obs.Counter("remos_modeler_queries_total",
+		"Remos API queries by kind", "kind", kind).Inc()
+	tr := obs.FromContext(ctx)
+	if tr != nil || m.cfg.Traces == nil {
+		return ctx, func(error) {}
+	}
+	tr = obs.NewTrace(kind, attrs)
+	return obs.NewContext(ctx, tr), func(err error) {
+		tr.SetErr(err)
+		m.cfg.Traces.Observe(tr)
+	}
+}
+
+func hostAttrs(hosts []netip.Addr) string {
+	ids := make([]string, len(hosts))
+	for i, h := range hosts {
+		ids[i] = h.String()
+	}
+	return strings.Join(ids, ",")
 }
 
 // New creates a Modeler over the given collector.
@@ -71,14 +105,28 @@ type TopologyOptions struct {
 // degree-2 chains — "to present the topology to the application in a more
 // manageable form".
 func (m *Modeler) GetTopology(hosts []netip.Addr, opt TopologyOptions) (*topology.Graph, error) {
-	res, err := m.cfg.Collector.Collect(collector.Query{Hosts: hosts})
+	return m.GetTopologyContext(context.Background(), hosts, opt)
+}
+
+// GetTopologyContext is GetTopology under the caller's context: the
+// context's cancellation and deadline reach the master fan-out and the
+// SNMP exchanges underneath, and its trace (if any) collects the query's
+// stage timings.
+func (m *Modeler) GetTopologyContext(ctx context.Context, hosts []netip.Addr, opt TopologyOptions) (g *topology.Graph, err error) {
+	ctx, finish := m.begin(ctx, "topology", hostAttrs(hosts))
+	defer func() { finish(err) }()
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("collect")
+	res, err := m.cfg.Collector.Collect(collector.Query{Hosts: hosts}.WithContext(ctx))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	g := res.Graph
+	g = res.Graph
 	if opt.Raw {
 		return g, nil
 	}
+	defer tr.Start("simplify").End()
 	ids := make([]string, len(hosts))
 	protect := make(map[string]bool, len(hosts))
 	for i, h := range hosts {
@@ -144,6 +192,12 @@ type FlowOptions struct {
 // each can expect, on the current topology and optionally on the
 // predicted one.
 func (m *Modeler) GetFlows(flows []Flow, opt FlowOptions) ([]FlowInfo, error) {
+	return m.GetFlowsContext(context.Background(), flows, opt)
+}
+
+// GetFlowsContext is GetFlows under the caller's context (cancellation,
+// deadline, and trace propagate through the whole query path).
+func (m *Modeler) GetFlowsContext(ctx context.Context, flows []Flow, opt FlowOptions) (out []FlowInfo, err error) {
 	if len(flows) == 0 {
 		return nil, fmt.Errorf("modeler: no flows requested")
 	}
@@ -157,24 +211,31 @@ func (m *Modeler) GetFlows(flows []Flow, opt FlowOptions) ([]FlowInfo, error) {
 			}
 		}
 	}
+	ctx, finish := m.begin(ctx, "flows", hostAttrs(hosts))
+	defer func() { finish(err) }()
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("collect")
 	res, err := m.cfg.Collector.Collect(collector.Query{
 		Hosts:           hosts,
 		WithHistory:     opt.Predict,
 		WithPredictions: opt.Predict && opt.FromCollector,
-	})
+	}.WithContext(ctx))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 
+	sp = tr.Start("maxmin")
 	reqs := make([]topology.FlowRequest, len(flows))
 	for i, f := range flows {
 		reqs[i] = topology.FlowRequest{Src: f.Src.String(), Dst: f.Dst.String(), Demand: f.Demand}
 	}
 	preds, err := res.Graph.FlowAlloc(reqs)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]FlowInfo, len(flows))
+	out = make([]FlowInfo, len(flows))
 	for i := range flows {
 		out[i] = FlowInfo{
 			Flow:      flows[i],
@@ -206,6 +267,7 @@ func (m *Modeler) GetFlows(flows []Flow, opt FlowOptions) ([]FlowInfo, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer tr.Start("predict").End()
 	predicted := res.Graph.Clone()
 	linkErr := make(map[string]float64) // link key -> predicted errvar (bits²)
 	for _, l := range predicted.Links() {
@@ -292,7 +354,13 @@ func (m *Modeler) predictSeries(ss []collector.Sample, fitter rps.Fitter, horizo
 // AvailableBandwidth is the scalar convenience query: the max-min
 // bandwidth a single new flow between the two hosts can expect.
 func (m *Modeler) AvailableBandwidth(src, dst netip.Addr) (float64, error) {
-	infos, err := m.GetFlows([]Flow{{Src: src, Dst: dst}}, FlowOptions{})
+	return m.AvailableBandwidthContext(context.Background(), src, dst)
+}
+
+// AvailableBandwidthContext is AvailableBandwidth under the caller's
+// context.
+func (m *Modeler) AvailableBandwidthContext(ctx context.Context, src, dst netip.Addr) (float64, error) {
+	infos, err := m.GetFlowsContext(ctx, []Flow{{Src: src, Dst: dst}}, FlowOptions{})
 	if err != nil {
 		return 0, err
 	}
@@ -311,14 +379,23 @@ type ServerRank struct {
 // selection pattern of Sections 5.4 and 5.5. Unreachable candidates sort
 // last with their error recorded.
 func (m *Modeler) BestServer(client netip.Addr, servers []netip.Addr, opt FlowOptions) ([]ServerRank, error) {
+	return m.BestServerContext(context.Background(), client, servers, opt)
+}
+
+// BestServerContext is BestServer under the caller's context; a
+// cancellation stops the remaining candidate evaluations.
+func (m *Modeler) BestServerContext(ctx context.Context, client netip.Addr, servers []netip.Addr, opt FlowOptions) ([]ServerRank, error) {
 	if len(servers) == 0 {
 		return nil, fmt.Errorf("modeler: no candidate servers")
 	}
 	ranks := make([]ServerRank, len(servers))
 	for i, srv := range servers {
 		ranks[i].Server = srv
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Server-to-client direction: downloads flow that way.
-		infos, err := m.GetFlows([]Flow{{Src: srv, Dst: client}}, opt)
+		infos, err := m.GetFlowsContext(ctx, []Flow{{Src: srv, Dst: client}}, opt)
 		if err != nil {
 			ranks[i].Err = err
 			continue
@@ -358,17 +435,24 @@ type HostLoadInfo struct {
 // Remos/RPS coupling ("RPS provides prediction services and host
 // measurement services to Remos").
 func (m *Modeler) HostLoad(h netip.Addr, horizon int) (HostLoadInfo, error) {
+	return m.HostLoadContext(context.Background(), h, horizon)
+}
+
+// HostLoadContext is HostLoad under the caller's context.
+func (m *Modeler) HostLoadContext(ctx context.Context, h netip.Addr, horizon int) (info HostLoadInfo, err error) {
 	if m.cfg.HostLoad == nil {
 		return HostLoadInfo{}, fmt.Errorf("modeler: no host load collector configured")
 	}
 	if horizon <= 0 {
 		horizon = 1
 	}
+	ctx, finish := m.begin(ctx, "hostload", h.String())
+	defer func() { finish(err) }()
 	res, err := m.cfg.HostLoad.Collect(collector.Query{
 		Hosts:           []netip.Addr{h},
 		WithHistory:     true,
 		WithPredictions: true,
-	})
+	}.WithContext(ctx))
 	if err != nil {
 		return HostLoadInfo{}, err
 	}
@@ -377,7 +461,7 @@ func (m *Modeler) HostLoad(h netip.Addr, horizon int) (HostLoadInfo, error) {
 	if len(hist) == 0 {
 		return HostLoadInfo{}, fmt.Errorf("modeler: no load samples for %v yet", h)
 	}
-	info := HostLoadInfo{Current: hist[len(hist)-1].Bits}
+	info = HostLoadInfo{Current: hist[len(hist)-1].Bits}
 	if fc, ok := res.Predictions[key]; ok && len(fc.Values) > 0 {
 		n := horizon
 		if n > len(fc.Values) {
@@ -404,10 +488,17 @@ func (m *Modeler) HostLoad(h netip.Addr, horizon int) (HostLoadInfo, error) {
 // PredictSeries runs a client-server RPS prediction over the measurement
 // history the collectors hold for the directed pair of node IDs.
 func (m *Modeler) PredictSeries(src, dst netip.Addr, spec string, horizon int) (rps.Prediction, error) {
+	return m.PredictSeriesContext(context.Background(), src, dst, spec, horizon)
+}
+
+// PredictSeriesContext is PredictSeries under the caller's context.
+func (m *Modeler) PredictSeriesContext(ctx context.Context, src, dst netip.Addr, spec string, horizon int) (p rps.Prediction, err error) {
+	ctx, finish := m.begin(ctx, "predict", hostAttrs([]netip.Addr{src, dst}))
+	defer func() { finish(err) }()
 	res, err := m.cfg.Collector.Collect(collector.Query{
 		Hosts:       []netip.Addr{src, dst},
 		WithHistory: true,
-	})
+	}.WithContext(ctx))
 	if err != nil {
 		return rps.Prediction{}, err
 	}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// ComponentHealth is one row of the /healthz answer: the liveness of a
+// collector or serving layer.
+type ComponentHealth struct {
+	Component string `json:"component"`
+	Healthy   bool   `json:"healthy"`
+	Detail    string `json:"detail,omitempty"`
+	// LastPoll is when the component last completed a measurement
+	// cycle (zero when it does not poll).
+	LastPoll time.Time `json:"last_poll,omitempty"`
+	// LastPollAge is the age of LastPoll at serving time, the quantity
+	// an operator actually alerts on.
+	LastPollAge time.Duration `json:"last_poll_age_ns,omitempty"`
+}
+
+// HealthFunc assembles the current component health set.
+type HealthFunc func() []ComponentHealth
+
+// HealthResponse is the /healthz document.
+type HealthResponse struct {
+	Healthy    bool              `json:"healthy"`
+	Components []ComponentHealth `json:"components"`
+}
+
+// Handler serves the observability endpoints over any mux:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/healthz        JSON component health (503 when any component is down)
+//	/debug/queries  JSON ring of recent query traces, newest first
+//
+// Any of reg, ring, health may be nil; the endpoints degrade to empty
+// answers.
+func Handler(reg *Registry, ring *Ring, health HealthFunc) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		resp := HealthResponse{Healthy: true}
+		if health != nil {
+			resp.Components = health()
+		}
+		for _, c := range resp.Components {
+			if !c.Healthy {
+				resp.Healthy = false
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !resp.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		recs := ring.Snapshot()
+		if recs == nil {
+			recs = []TraceRecord{}
+		}
+		json.NewEncoder(w).Encode(recs)
+	})
+	return mux
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := New()
+	r.Counter("remos_q_total", "queries", "kind", "flows").Add(3)
+	r.Counter("remos_q_total", "queries", "kind", "topo").Inc()
+	same := r.Counter("remos_q_total", "queries", "kind", "flows")
+	same.Inc()
+	r.Gauge("remos_inflight", "in flight").Set(2.5)
+	r.GaugeFunc("remos_cache_len", "entries", func() float64 { return 7 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE remos_q_total counter",
+		`remos_q_total{kind="flows"} 4`,
+		`remos_q_total{kind="topo"} 1`,
+		"# TYPE remos_inflight gauge",
+		"remos_inflight 2.5",
+		"remos_cache_len 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 2`, // 0.005 and the 0.01 edge
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "").Inc()
+	r.Gauge("y", "").Set(1)
+	r.Histogram("z", "", nil).Observe(1)
+	r.GaugeFunc("w", "", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Trace
+	tr.Start("s").EndDetail("d")
+	tr.Event("e", "")
+	tr.SetErr(errors.New("x"))
+	tr.Finish()
+	var ring *Ring
+	ring.Observe(tr)
+	if ring.Snapshot() != nil {
+		t.Fatal("nil ring must snapshot nil")
+	}
+}
+
+func TestTraceSpansAndRing(t *testing.T) {
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	tr := NewTraceAt("collect", "10.0.0.1,10.0.0.2", now)
+	sp := tr.Start("fanout")
+	clock = clock.Add(30 * time.Millisecond)
+	sp.EndDetail("2 sites")
+	tr.Event("cache", "miss")
+	clock = clock.Add(20 * time.Millisecond)
+
+	ring := NewRing(2, 40*time.Millisecond)
+	ring.Observe(tr)
+	recs := ring.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	rec := recs[0]
+	if rec.Kind != "collect" || rec.Dur != 50*time.Millisecond || !rec.Slow {
+		t.Fatalf("record = %+v", rec)
+	}
+	if len(rec.Spans) != 2 || rec.Spans[0].Name != "fanout" || rec.Spans[0].Dur != 30*time.Millisecond {
+		t.Fatalf("spans = %+v", rec.Spans)
+	}
+	if rec.Spans[1].Detail != "miss" {
+		t.Fatalf("event lost: %+v", rec.Spans[1])
+	}
+	if ring.SlowCount() != 1 {
+		t.Fatalf("SlowCount = %d", ring.SlowCount())
+	}
+
+	// Ring wraps: 3 observations in a 2-slot ring keep the latest two.
+	for i := 0; i < 3; i++ {
+		ring.Observe(NewTraceAt("t", "", now))
+	}
+	if got := len(ring.Snapshot()); got != 2 {
+		t.Fatalf("after wrap: %d records", got)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("fanout", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := tr.Start("site")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	ring := NewRing(4, 0)
+	ring.Observe(tr)
+	if got := len(ring.Snapshot()[0].Spans); got != 16 {
+		t.Fatalf("spans = %d, want 16", got)
+	}
+}
+
+func TestContextCarriesTrace(t *testing.T) {
+	tr := NewTrace("q", "")
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace lost in context")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("expected nil trace")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	reg := New()
+	reg.Counter("remos_queries_total", "q").Add(2)
+	ring := NewRing(8, 0)
+	tr := NewTrace("collect", "h1")
+	tr.Start("parse").End()
+	ring.Observe(tr)
+	down := false
+	h := Handler(reg, ring, func() []ComponentHealth {
+		return []ComponentHealth{{Component: "snmp-a", Healthy: !down, Detail: "ok"}}
+	})
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	if rec := get("/metrics"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "remos_queries_total 2") {
+		t.Fatalf("/metrics: %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get("/healthz"); rec.Code != 200 {
+		t.Fatalf("/healthz: %d", rec.Code)
+	}
+	down = true
+	if rec := get("/healthz"); rec.Code != 503 {
+		t.Fatalf("/healthz with down component: %d", rec.Code)
+	}
+	rec := get("/debug/queries")
+	var recs []TraceRecord
+	if err := json.Unmarshal(rec.Body.Bytes(), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Kind != "collect" || len(recs[0].Spans) != 1 {
+		t.Fatalf("/debug/queries = %+v", recs)
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"time"
 
 	"remos/internal/collector"
+	"remos/internal/obs"
+	"remos/internal/rerr"
 	"remos/internal/topology"
 )
 
@@ -148,8 +150,17 @@ func writeResult(w io.Writer, res *collector.Result) error {
 	return bw.Flush()
 }
 
+// writeError reports a failure as "ERR <CODE> message" when the error
+// carries a wire code, "ERR message" otherwise — the original untyped
+// form, which old clients keep understanding either way (an unknown
+// first token reads as part of the message).
 func writeError(w io.Writer, err error) {
-	fmt.Fprintf(w, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+	msg := strings.ReplaceAll(err.Error(), "\n", " ")
+	if code := rerr.Code(err); code != "" {
+		fmt.Fprintf(w, "ERR %s %s\n", code, msg)
+		return
+	}
+	fmt.Fprintf(w, "ERR %s\n", msg)
 }
 
 // readResult parses one ASCII result.
@@ -160,7 +171,14 @@ func readResult(r *bufio.Reader) (*collector.Result, error) {
 	}
 	line = strings.TrimSpace(line)
 	if strings.HasPrefix(line, "ERR ") {
-		return nil, fmt.Errorf("proto: remote error: %s", strings.TrimPrefix(line, "ERR "))
+		rest := strings.TrimPrefix(line, "ERR ")
+		code := ""
+		if sp := strings.IndexByte(rest, ' '); sp > 0 && rerr.Known(rest[:sp]) {
+			code, rest = rest[:sp], rest[sp+1:]
+		} else if rerr.Known(rest) {
+			code, rest = rest, ""
+		}
+		return nil, decodeRemoteError(code, "proto: remote error: "+rest)
 	}
 	if line != "OK" {
 		return nil, fmt.Errorf("proto: unexpected response %q", line)
@@ -309,6 +327,13 @@ func (l *lineLimitedReader) Read(p []byte) (int, error) {
 type TCPServer struct {
 	Collector collector.Interface
 
+	// Obs, when set, receives request counters and latency histograms
+	// (labeled proto="ascii"). Traces, when set, records one trace per
+	// served query for /debug/queries. Set both before ListenAndServe.
+	Obs    *obs.Registry
+	Traces *obs.Ring
+
+	m  serverMetrics
 	ln net.Listener
 	wg sync.WaitGroup
 }
@@ -321,6 +346,7 @@ func (s *TCPServer) ListenAndServe(addr string) (string, error) {
 		return "", err
 	}
 	s.ln = ln
+	s.m = newServerMetrics(s.Obs, "ascii")
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -339,12 +365,17 @@ func (s *TCPServer) ListenAndServe(addr string) (string, error) {
 					if err != nil {
 						return // EOF or garbage: drop the connection
 					}
-					res, err := s.Collector.Collect(q)
+					res, err, tr := serveQuery(s.Collector, q, s.m, s.Traces != nil, "ascii")
 					if err != nil {
 						writeError(conn, err)
+						s.Traces.Observe(tr)
 						continue
 					}
-					if err := writeResult(conn, res); err != nil {
+					sp := tr.Start("encode")
+					werr := writeResult(conn, res)
+					sp.End()
+					s.Traces.Observe(tr)
+					if werr != nil {
 						return
 					}
 				}
@@ -379,37 +410,75 @@ type TCPClient struct {
 // Name implements collector.Interface.
 func (c *TCPClient) Name() string { return "remote-ascii:" + c.Addr }
 
-// Collect implements collector.Interface.
+// Collect implements collector.Interface. The query's context bounds
+// the round trip: its deadline tightens the connection deadline, and a
+// cancellation unblocks an in-flight read immediately. Failures are
+// classified — remote errors keep their wire code, local timeouts carry
+// the TIMEOUT class, connection failures the UNAVAILABLE class.
 func (c *TCPClient) Collect(q collector.Query) (*collector.Result, error) {
+	ctx := q.Context()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	try := func() (*collector.Result, error) {
 		if c.conn == nil {
-			conn, err := net.DialTimeout("tcp", c.Addr, timeout)
+			conn, err := net.DialTimeout("tcp", c.Addr, time.Until(deadline))
 			if err != nil {
 				return nil, err
 			}
 			c.conn = conn
 			c.r = bufio.NewReader(conn)
 		}
-		c.conn.SetDeadline(time.Now().Add(timeout))
+		c.conn.SetDeadline(deadline)
+		if done := ctx.Done(); done != nil {
+			// Cancellation watcher: force the blocked read to fail now
+			// rather than at the deadline.
+			stop := make(chan struct{})
+			defer close(stop)
+			conn := c.conn
+			go func() {
+				select {
+				case <-done:
+					conn.SetDeadline(time.Unix(1, 0))
+				case <-stop:
+				}
+			}()
+		}
 		if err := writeQuery(c.conn, q); err != nil {
 			return nil, err
 		}
 		return readResult(c.r)
 	}
 	res, err := try()
-	if err != nil && c.conn != nil {
+	if err != nil && c.conn != nil && ctx.Err() == nil {
 		// Stale connection: reconnect once.
 		c.conn.Close()
 		c.conn = nil
 		res, err = try()
 	}
-	return res, err
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			// The failure was induced by the caller's own cancellation;
+			// the connection state is mid-exchange, so drop it.
+			if c.conn != nil {
+				c.conn.Close()
+				c.conn = nil
+			}
+			return nil, cerr
+		}
+		return nil, classifyClientErr(c.Addr, err)
+	}
+	return res, nil
 }
 
 // Close drops the client connection.

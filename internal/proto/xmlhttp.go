@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"remos/internal/collector"
+	"remos/internal/obs"
+	"remos/internal/rerr"
 	"remos/internal/topology"
 )
 
@@ -163,6 +165,13 @@ func decodeResultXML(b []byte) (*collector.Result, error) {
 type HTTPServer struct {
 	Collector collector.Interface
 
+	// Obs, when set, receives request counters and latency histograms
+	// (labeled proto="xml"). Traces, when set, records one trace per
+	// served query for /debug/queries. Set both before ListenAndServe.
+	Obs    *obs.Registry
+	Traces *obs.Ring
+
+	m   serverMetrics
 	srv *http.Server
 	ln  net.Listener
 }
@@ -170,6 +179,7 @@ type HTTPServer struct {
 // ListenAndServe binds addr and serves in the background, returning the
 // bound address.
 func (s *HTTPServer) ListenAndServe(addr string) (string, error) {
+	s.m = newServerMetrics(s.Obs, "xml")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	ln, err := net.Listen("tcp", addr)
@@ -206,12 +216,22 @@ func (s *HTTPServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		q.Hosts = append(q.Hosts, a)
 	}
-	res, err := s.Collector.Collect(q)
+	// The HTTP request context carries the client's disconnect, so an
+	// abandoned query cancels its fan-out.
+	q = q.WithContext(r.Context())
+	res, err, tr := serveQuery(s.Collector, q, s.m, s.Traces != nil, "xml")
 	if err != nil {
+		if code := rerr.Code(err); code != "" {
+			w.Header().Set(errorCodeHeader, code)
+		}
 		http.Error(w, err.Error(), http.StatusBadGateway)
+		s.Traces.Observe(tr)
 		return
 	}
+	sp := tr.Start("encode")
 	out, err := encodeResultXML(res)
+	sp.End()
+	s.Traces.Observe(tr)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -239,8 +259,11 @@ type HTTPClient struct {
 // Name implements collector.Interface.
 func (c *HTTPClient) Name() string { return "remote-xml:" + c.BaseURL }
 
-// Collect implements collector.Interface.
+// Collect implements collector.Interface. The query's context rides the
+// HTTP request, so deadlines and cancellation propagate to the server;
+// failures are classified the same way as the ASCII client's.
 func (c *HTTPClient) Collect(q collector.Query) (*collector.Result, error) {
+	ctx := q.Context()
 	xq := xmlQuery{History: q.WithHistory, Predictions: q.WithPredictions}
 	for _, h := range q.Hosts {
 		xq.Hosts = append(xq.Hosts, h.String())
@@ -253,17 +276,26 @@ func (c *HTTPClient) Collect(q collector.Query) (*collector.Result, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: 10 * time.Second}
 	}
-	resp, err := hc.Post(c.BaseURL+"/query", "application/xml", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/query", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := hc.Do(req)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, classifyClientErr(c.BaseURL, err)
 	}
 	defer resp.Body.Close()
 	out, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return nil, err
+		return nil, classifyClientErr(c.BaseURL, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("proto: remote error (%d): %s", resp.StatusCode, bytes.TrimSpace(out))
+		msg := fmt.Sprintf("proto: remote error (%d): %s", resp.StatusCode, bytes.TrimSpace(out))
+		return nil, decodeRemoteError(resp.Header.Get(errorCodeHeader), msg)
 	}
 	return decodeResultXML(out)
 }

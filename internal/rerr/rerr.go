@@ -1,0 +1,126 @@
+// Package rerr defines the Remos query-path error taxonomy. The public
+// API (package remos) re-exports these sentinels; every layer of the
+// query path — modeler, master, collectors, wire protocols — tags its
+// failures with one of them so callers can program against
+// errors.Is(err, remos.ErrCollectorUnavailable) instead of matching
+// strings, and so the wire protocols can round-trip the class of a
+// failure instead of flattening it to text.
+package rerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The query-path error classes. Each carries a stable wire code so both
+// protocols (ASCII/TCP and XML/HTTP) preserve the class across process
+// boundaries.
+var (
+	// ErrNoRoute: the topology holds no path between the queried hosts.
+	ErrNoRoute = errors.New("no route between the queried hosts")
+	// ErrUnknownHost: no collector is responsible for a queried host.
+	ErrUnknownHost = errors.New("unknown host: no collector is responsible")
+	// ErrCollectorUnavailable: a collector that should have answered
+	// could not be reached or failed.
+	ErrCollectorUnavailable = errors.New("collector unavailable")
+	// ErrTimeout: the query ran out of time (SNMP exchange, wire
+	// protocol round trip, or context deadline).
+	ErrTimeout = errors.New("query timed out")
+)
+
+// tagged attaches a sentinel class to an underlying error without
+// disturbing either chain: Error() reports the underlying message, and
+// errors.Is/As see both the cause and the class.
+type tagged struct {
+	err      error
+	sentinel error
+}
+
+func (t *tagged) Error() string   { return t.err.Error() }
+func (t *tagged) Unwrap() []error { return []error{t.err, t.sentinel} }
+
+// Tag classifies err under sentinel. A nil err returns nil; tagging with
+// a class the error already carries is a no-op.
+func Tag(err, sentinel error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, sentinel) {
+		return err
+	}
+	return &tagged{err: err, sentinel: sentinel}
+}
+
+// Tagf builds a classified error with a formatted message, wrapping any
+// %w operands as usual.
+func Tagf(sentinel error, format string, args ...any) error {
+	return Tag(fmt.Errorf(format, args...), sentinel)
+}
+
+// The wire codes. Unknown or unclassified errors travel with no code and
+// decode as plain errors, so old peers interoperate.
+const (
+	CodeNoRoute     = "NO_ROUTE"
+	CodeUnknownHost = "UNKNOWN_HOST"
+	CodeUnavailable = "UNAVAILABLE"
+	CodeTimeout     = "TIMEOUT"
+	CodeCanceled    = "CANCELED"
+)
+
+// codes orders the classification from most to least specific: an error
+// can carry several classes (a timeout while reaching a collector), and
+// the first match is the one that travels.
+var codes = []struct {
+	code     string
+	sentinel error
+}{
+	{CodeNoRoute, ErrNoRoute},
+	{CodeUnknownHost, ErrUnknownHost},
+	{CodeTimeout, ErrTimeout},
+	{CodeCanceled, context.Canceled},
+	{CodeUnavailable, ErrCollectorUnavailable},
+}
+
+// Code maps an error to its wire code, or "" for unclassified errors.
+// Context errors are first-class: a deadline maps to TIMEOUT and a
+// cancellation to CANCELED even when no layer tagged them.
+func Code(err error) string {
+	if err == nil {
+		return ""
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return CodeTimeout
+	}
+	for _, c := range codes {
+		if errors.Is(err, c.sentinel) {
+			return c.code
+		}
+	}
+	return ""
+}
+
+// Known reports whether code is one of the defined wire codes — how the
+// ASCII protocol tells a code token from the first word of an old-style
+// untyped error message.
+func Known(code string) bool {
+	for _, c := range codes {
+		if c.code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// FromCode rebuilds a classified error from a wire code and message, so
+// errors.Is holds on the receiving side of a protocol exchange. An
+// unknown or empty code yields a plain error carrying just the message.
+func FromCode(code, msg string) error {
+	err := errors.New(msg)
+	for _, c := range codes {
+		if c.code == code {
+			return Tag(err, c.sentinel)
+		}
+	}
+	return err
+}

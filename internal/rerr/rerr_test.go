@@ -1,0 +1,80 @@
+package rerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestTagPreservesBothChains(t *testing.T) {
+	base := errors.New("dial tcp: connection refused")
+	err := Tagf(ErrCollectorUnavailable, "master: site a: %w", base)
+	if !errors.Is(err, ErrCollectorUnavailable) {
+		t.Fatal("class lost")
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("cause lost")
+	}
+	if got := err.Error(); got != "master: site a: dial tcp: connection refused" {
+		t.Fatalf("message = %q", got)
+	}
+}
+
+func TestTagIdempotent(t *testing.T) {
+	err := Tag(errors.New("x"), ErrTimeout)
+	if again := Tag(err, ErrTimeout); again != err {
+		t.Fatal("re-tagging wrapped again")
+	}
+	if Tag(nil, ErrTimeout) != nil {
+		t.Fatal("nil must stay nil")
+	}
+}
+
+func TestCodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		err  error
+		code string
+	}{
+		{Tagf(ErrNoRoute, "no path"), CodeNoRoute},
+		{Tagf(ErrUnknownHost, "who is 10.0.0.9"), CodeUnknownHost},
+		{Tagf(ErrCollectorUnavailable, "down"), CodeUnavailable},
+		{Tagf(ErrTimeout, "slow"), CodeTimeout},
+		{fmt.Errorf("wrapped: %w", context.Canceled), CodeCanceled},
+		{context.DeadlineExceeded, CodeTimeout},
+		{errors.New("anything else"), ""},
+	}
+	for _, c := range cases {
+		if got := Code(c.err); got != c.code {
+			t.Errorf("Code(%v) = %q, want %q", c.err, got, c.code)
+		}
+		if c.code == "" {
+			continue
+		}
+		back := FromCode(c.code, c.err.Error())
+		if Code(back) != c.code {
+			t.Errorf("FromCode(%q) does not map back", c.code)
+		}
+		if back.Error() != c.err.Error() {
+			t.Errorf("FromCode message = %q, want %q", back.Error(), c.err.Error())
+		}
+	}
+}
+
+func TestCodePrecedence(t *testing.T) {
+	// A timeout reaching a collector is a TIMEOUT, the more specific class.
+	err := Tag(Tagf(ErrTimeout, "snmp: 10.0.0.1: timed out"), ErrCollectorUnavailable)
+	if got := Code(err); got != CodeTimeout {
+		t.Fatalf("Code = %q, want TIMEOUT", got)
+	}
+}
+
+func TestFromCodeUnknown(t *testing.T) {
+	err := FromCode("SOMETHING_NEW", "future failure")
+	if err == nil || err.Error() != "future failure" {
+		t.Fatalf("err = %v", err)
+	}
+	if Code(err) != "" {
+		t.Fatal("unknown code must decode unclassified")
+	}
+}

@@ -1,10 +1,15 @@
 package snmp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"remos/internal/obs"
+	"remos/internal/rerr"
 )
 
 // Meter accumulates the modeled or measured cost of SNMP exchanges: how
@@ -93,6 +98,14 @@ type Client struct {
 	// Meter, when set, accumulates exchange costs.
 	Meter *Meter
 
+	// Pre-resolved metric handles, set by Instrument. All are nil-safe,
+	// so the hot path records unconditionally.
+	mExchanges *obs.Counter
+	mRetries   *obs.Counter
+	mTimeouts  *obs.Counter
+	mRTT       *obs.Histogram
+	mInflight  *obs.Gauge
+
 	reqID atomic.Int32
 
 	mu     sync.Mutex
@@ -103,6 +116,51 @@ type Client struct {
 // NewClient returns a client over the given transport with the community.
 func NewClient(t Transport, community string) *Client {
 	return &Client{Transport: t, Community: community, Retries: 1}
+}
+
+// Instrument resolves the client's metric handles against reg once, so
+// the per-exchange hot path touches atomics only, never the registry
+// map. A nil registry leaves the client uninstrumented. Call before
+// first use.
+func (c *Client) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mExchanges = reg.Counter("remos_snmp_exchanges_total",
+		"SNMP request/response exchanges attempted")
+	c.mRetries = reg.Counter("remos_snmp_retries_total",
+		"SNMP exchanges re-sent after a timeout")
+	c.mTimeouts = reg.Counter("remos_snmp_timeouts_total",
+		"SNMP exchanges that timed out")
+	c.mRTT = reg.Histogram("remos_snmp_rtt_seconds",
+		"SNMP exchange round-trip time", nil)
+	c.mInflight = reg.Gauge("remos_snmp_pipeline_inflight",
+		"SNMP requests currently outstanding on pipelined sessions")
+}
+
+// record updates metrics for one exchange attempt.
+func (c *Client) record(rtt time.Duration, err error, attempt int) {
+	c.mExchanges.Inc()
+	if attempt > 0 {
+		c.mRetries.Inc()
+	}
+	if errors.Is(err, ErrTimeout) {
+		c.mTimeouts.Inc()
+	}
+	if err == nil {
+		c.mRTT.Observe(rtt.Seconds())
+	}
+}
+
+// finalErr shapes the error returned after all attempts failed: the
+// address is prefixed and timeouts carry the rerr.ErrTimeout class so
+// callers up to the public API can errors.Is them.
+func finalErr(addr string, lastErr error) error {
+	err := fmt.Errorf("snmp: %s: %w", addr, lastErr)
+	if errors.Is(lastErr, ErrTimeout) {
+		return rerr.Tag(err, rerr.ErrTimeout)
+	}
+	return err
 }
 
 // Close releases per-agent sessions opened for pipelining. The client
@@ -135,10 +193,10 @@ func checkResponse(resp *Message, reqID int32) (*PDU, error) {
 	return &resp.PDU, nil
 }
 
-func (c *Client) roundTrip(addr string, pdu PDU) (*PDU, error) {
+func (c *Client) roundTrip(ctx context.Context, addr string, pdu PDU) (*PDU, error) {
 	if c.Pipeline > 1 {
 		if st, ok := c.Transport.(SessionTransport); ok {
-			return c.roundTripPipelined(st, addr, pdu)
+			return c.roundTripPipelined(ctx, st, addr, pdu)
 		}
 	}
 	pdu.RequestID = c.reqID.Add(1)
@@ -153,8 +211,15 @@ func (c *Client) roundTrip(addr string, pdu PDU) (*PDU, error) {
 	defer encodePool.Put(bufp)
 	var lastErr error
 	for i := 0; i < c.attempts(); i++ {
+		// The blocking RoundTrip itself is not interruptible, but
+		// cancellation is honored between attempts, so a canceled walk
+		// stops re-sending into a dead agent.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		respB, rtt, err := c.Transport.RoundTrip(addr, req)
 		c.Meter.AddExchange(rtt, len(pdu.VarBinds))
+		c.record(rtt, err, i)
 		if err != nil {
 			lastErr = err
 			continue
@@ -175,16 +240,19 @@ func (c *Client) roundTrip(addr string, pdu PDU) (*PDU, error) {
 		}
 		return out, nil
 	}
-	return nil, fmt.Errorf("snmp: %s: %w", addr, lastErr)
+	return nil, finalErr(addr, lastErr)
 }
 
-func (c *Client) roundTripPipelined(st SessionTransport, addr string, pdu PDU) (*PDU, error) {
+func (c *Client) roundTripPipelined(ctx context.Context, st SessionTransport, addr string, pdu PDU) (*PDU, error) {
 	p, err := c.pipe(st, addr)
 	if err != nil {
 		return nil, err
 	}
 	var lastErr error
 	for i := 0; i < c.attempts(); i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		// A fresh RequestID per attempt: a late response to a timed-out
 		// attempt then fails to match anything and is dropped, instead of
 		// being mistaken for the retry's answer.
@@ -194,9 +262,15 @@ func (c *Client) roundTripPipelined(st SessionTransport, addr string, pdu PDU) (
 		if err != nil {
 			return nil, err
 		}
-		respB, rtt, err := p.call(pdu.RequestID, req)
+		c.mInflight.Add(1)
+		respB, rtt, err := p.call(ctx, pdu.RequestID, req)
+		c.mInflight.Add(-1)
 		c.Meter.AddExchange(rtt, len(pdu.VarBinds))
+		c.record(rtt, err, i)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
 			lastErr = err
 			continue
 		}
@@ -216,7 +290,7 @@ func (c *Client) roundTripPipelined(st SessionTransport, addr string, pdu PDU) (
 		}
 		return out, nil
 	}
-	return nil, fmt.Errorf("snmp: %s: %w", addr, lastErr)
+	return nil, finalErr(addr, lastErr)
 }
 
 // pipe returns the pipelined session for addr, opening it on first use.
@@ -275,9 +349,15 @@ func newPipe(sess Session, window int) *pipe {
 	return p
 }
 
-// call sends one encoded request and blocks for its matched response.
-func (p *pipe) call(reqID int32, req []byte) ([]byte, time.Duration, error) {
-	p.window <- struct{}{}
+// call sends one encoded request and blocks for its matched response or
+// the caller's cancellation. A canceled waiter deregisters itself; its
+// late response (if any) is then unmatched and dropped by the receiver.
+func (p *pipe) call(ctx context.Context, reqID int32, req []byte) ([]byte, time.Duration, error) {
+	select {
+	case p.window <- struct{}{}:
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
 	defer func() { <-p.window }()
 	ch := make(chan pipeResult, 1)
 	p.mu.Lock()
@@ -295,8 +375,15 @@ func (p *pipe) call(reqID int32, req []byte) ([]byte, time.Duration, error) {
 		p.mu.Unlock()
 		return nil, 0, err
 	}
-	r := <-ch
-	return r.resp, r.rtt, r.err
+	select {
+	case r := <-ch:
+		return r.resp, r.rtt, r.err
+	case <-ctx.Done():
+		p.mu.Lock()
+		delete(p.waiting, reqID)
+		p.mu.Unlock()
+		return nil, 0, ctx.Err()
+	}
 }
 
 // receive runs until the session dies, parking while nothing is
@@ -352,11 +439,17 @@ func (p *pipe) close() {
 // Get fetches the exact OIDs. Missing objects come back with
 // KindNoSuchObject values rather than an error.
 func (c *Client) Get(addr string, oids ...OID) ([]VarBind, error) {
+	return c.GetContext(context.Background(), addr, oids...)
+}
+
+// GetContext is Get honoring the context's cancellation between
+// attempts and while waiting on pipelined responses.
+func (c *Client) GetContext(ctx context.Context, addr string, oids ...OID) ([]VarBind, error) {
 	vbs := make([]VarBind, len(oids))
 	for i, o := range oids {
 		vbs[i] = VarBind{Name: o, Value: Null}
 	}
-	pdu, err := c.roundTrip(addr, PDU{Type: GetRequest, VarBinds: vbs})
+	pdu, err := c.roundTrip(ctx, addr, PDU{Type: GetRequest, VarBinds: vbs})
 	if err != nil {
 		return nil, err
 	}
@@ -365,7 +458,12 @@ func (c *Client) Get(addr string, oids ...OID) ([]VarBind, error) {
 
 // GetOne fetches a single OID and requires the object to exist.
 func (c *Client) GetOne(addr string, oid OID) (Value, error) {
-	vbs, err := c.Get(addr, oid)
+	return c.GetOneContext(context.Background(), addr, oid)
+}
+
+// GetOneContext is GetOne honoring the context's cancellation.
+func (c *Client) GetOneContext(ctx context.Context, addr string, oid OID) (Value, error) {
+	vbs, err := c.GetContext(ctx, addr, oid)
 	if err != nil {
 		return Value{}, err
 	}
@@ -382,7 +480,12 @@ func (c *Client) GetOne(addr string, oid OID) (Value, error) {
 
 // Next performs one GetNext step.
 func (c *Client) Next(addr string, oid OID) (OID, Value, error) {
-	pdu, err := c.roundTrip(addr, PDU{Type: GetNextRequest, VarBinds: []VarBind{{Name: oid, Value: Null}}})
+	return c.NextContext(context.Background(), addr, oid)
+}
+
+// NextContext is Next honoring the context's cancellation.
+func (c *Client) NextContext(ctx context.Context, addr string, oid OID) (OID, Value, error) {
+	pdu, err := c.roundTrip(ctx, addr, PDU{Type: GetNextRequest, VarBinds: []VarBind{{Name: oid, Value: Null}}})
 	if err != nil {
 		return nil, Value{}, err
 	}
@@ -399,9 +502,15 @@ func (c *Client) Next(addr string, oid OID) (OID, Value, error) {
 // Walk visits every object under root in order using GetNext, calling fn
 // for each. fn returning false stops the walk early.
 func (c *Client) Walk(addr string, root OID, fn func(OID, Value) bool) error {
+	return c.WalkContext(context.Background(), addr, root, fn)
+}
+
+// WalkContext is Walk honoring the context's cancellation: a canceled
+// walk stops between steps with the context's error.
+func (c *Client) WalkContext(ctx context.Context, addr string, root OID, fn func(OID, Value) bool) error {
 	cur := root
 	for {
-		next, v, err := c.Next(addr, cur)
+		next, v, err := c.NextContext(ctx, addr, cur)
 		if err != nil {
 			return err
 		}
@@ -419,12 +528,17 @@ func (c *Client) Walk(addr string, root OID, fn func(OID, Value) bool) error {
 // repetition count (<=0 selects 32), which costs far fewer round trips
 // than Walk on large tables.
 func (c *Client) BulkWalk(addr string, root OID, maxRep int, fn func(OID, Value) bool) error {
+	return c.BulkWalkContext(context.Background(), addr, root, maxRep, fn)
+}
+
+// BulkWalkContext is BulkWalk honoring the context's cancellation.
+func (c *Client) BulkWalkContext(ctx context.Context, addr string, root OID, maxRep int, fn func(OID, Value) bool) error {
 	if maxRep <= 0 {
 		maxRep = 32
 	}
 	cur := root
 	for {
-		pdu, err := c.roundTrip(addr, PDU{
+		pdu, err := c.roundTrip(ctx, addr, PDU{
 			Type:        GetBulkRequest,
 			ErrorStatus: 0,      // non-repeaters
 			ErrorIndex:  maxRep, // max-repetitions

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"remos/internal/maxmin"
+	"remos/internal/rerr"
 )
 
 // NodeKind classifies graph nodes.
@@ -296,7 +297,7 @@ func (g *Graph) pathHalfLinks(from, to string) ([]halfLink, error) {
 			queue = append(queue, st)
 		}
 	}
-	return nil, fmt.Errorf("topology: no path from %s to %s", from, to)
+	return nil, rerr.Tagf(rerr.ErrNoRoute, "topology: no path from %s to %s", from, to)
 }
 
 // BottleneckAvail returns the path and its bottleneck available bandwidth

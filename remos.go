@@ -19,8 +19,15 @@
 //
 // Quick start against a remote Master Collector:
 //
-//	m := remos.ConnectTCP("master.example.edu:3567")
-//	bw, err := m.AvailableBandwidth(src, dst)
+//	m, err := remos.Dial("tcp://master.example.edu:3567")
+//	if err != nil { ... }
+//	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+//	defer cancel()
+//	bw, err := m.AvailableBandwidthContext(ctx, src, dst)
+//
+// Query failures are classified (ErrNoRoute, ErrUnknownHost,
+// ErrCollectorUnavailable, ErrTimeout) and the classes survive both wire
+// protocols, so errors.Is works against a remote daemon's failures.
 //
 // The examples/ directory contains runnable end-to-end scenarios built on
 // the in-repository network emulator.
@@ -29,7 +36,6 @@ package remos
 import (
 	"remos/internal/collector"
 	"remos/internal/modeler"
-	"remos/internal/proto"
 	"remos/internal/rps"
 	"remos/internal/topology"
 )
@@ -79,6 +85,9 @@ type HostLoadInfo = modeler.HostLoadInfo
 type ModelerConfig = modeler.Config
 
 // NewModeler builds a Modeler over any collector (usually a Master).
+//
+// Deprecated: for remote collectors use Dial; for local collectors use
+// NewModelerConfig, which exposes the full configuration.
 func NewModeler(c Collector) *Modeler {
 	return modeler.New(modeler.Config{Collector: c})
 }
@@ -88,24 +97,30 @@ func NewModelerConfig(cfg ModelerConfig) *Modeler { return modeler.New(cfg) }
 
 // ConnectTCP returns a Modeler speaking the ASCII protocol to a remote
 // Master Collector at addr ("host:port").
+//
+// Deprecated: use Dial("tcp://" + addr).
 func ConnectTCP(addr string) *Modeler {
-	return NewModeler(&proto.TCPClient{Addr: addr})
+	m, _ := Dial("tcp://" + addr)
+	return m
 }
 
 // ConnectHTTP returns a Modeler speaking the XML protocol to a remote
 // Master Collector at baseURL ("http://host:port").
+//
+// Deprecated: use Dial(baseURL).
 func ConnectHTTP(baseURL string) *Modeler {
-	return NewModeler(&proto.HTTPClient{BaseURL: baseURL})
+	m, _ := Dial(baseURL)
+	return m
 }
 
 // ConnectTCPWithHostLoad returns a Modeler that reaches a Master
 // Collector at masterAddr and a host load collector at loadAddr, both
 // over the ASCII protocol.
+//
+// Deprecated: use Dial("tcp://"+masterAddr, WithHostLoad("tcp://"+loadAddr)).
 func ConnectTCPWithHostLoad(masterAddr, loadAddr string) *Modeler {
-	return modeler.New(modeler.Config{
-		Collector: &proto.TCPClient{Addr: masterAddr},
-		HostLoad:  &proto.TCPClient{Addr: loadAddr},
-	})
+	m, _ := Dial("tcp://"+masterAddr, WithHostLoad("tcp://"+loadAddr))
+	return m
 }
 
 // ParsePredictor resolves an RPS model spec such as "AR(16)", "MEAN",

@@ -17,6 +17,13 @@ import (
 // collectors, masters — and returns the pieces end-to-end tests use.
 func stack(t testing.TB) (*core.Deployment, map[string]*netsim.Device) {
 	t.Helper()
+	return stackOpts(t, core.Options{})
+}
+
+// stackOpts is stack with explicit deployment options (observability
+// tests pass a metrics registry).
+func stackOpts(t testing.TB, opts core.Options) (*core.Deployment, map[string]*netsim.Device) {
+	t.Helper()
 	s := sim.NewSim()
 	n := netsim.New(s)
 	d := map[string]*netsim.Device{}
@@ -37,7 +44,7 @@ func stack(t testing.TB) (*core.Deployment, map[string]*netsim.Device) {
 	n.Connect(d["srv"], d["swE"], 100e6, time.Millisecond)
 	n.AssignSubnets()
 	n.ComputeRoutes()
-	dep := core.NewDeployment(s, n, core.Options{})
+	dep := core.NewDeployment(s, n, opts)
 	mustSite := func(spec core.SiteSpec) {
 		if _, err := dep.AddSite(spec); err != nil {
 			t.Fatal(err)
