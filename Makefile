@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify obs-smoke bench bench-concurrency bench-snmp
+.PHONY: build test vet race verify obs-smoke watch-smoke bench bench-concurrency bench-snmp bench-json
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ verify: vet build test race
 obs-smoke:
 	sh scripts/obs_smoke.sh
 
+# Boots remosd with the continuous-collection plane on, subscribes over
+# both wire protocols (ASCII WATCH and HTTP/SSE), and asserts pushed
+# UPDATEs arrive and the sched/watch gauges are exported.
+watch-smoke:
+	sh scripts/watch_smoke.sh
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
@@ -38,3 +44,9 @@ bench-concurrency:
 bench-snmp:
 	$(GO) test -json -run xxx -bench 'PollBatchedVsSerial|BERCodec' -benchmem \
 		./internal/collector/snmpcoll/ ./internal/snmp/ | tee BENCH_snmp.json
+
+# Machine-readable evaluation-regeneration timings: one BENCH_<name>.json
+# record per experiment (a small -maxn keeps it quick; drop the flag to
+# time the paper-scale runs).
+bench-json:
+	$(GO) run ./cmd/remosbench -json -maxn 40 fig3

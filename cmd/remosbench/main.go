@@ -12,9 +12,13 @@
 //	-trials N   mirrored-server trials (default 108 good / 72 poor)
 //	-runs N     video experiment runs (default 21)
 //	-seed N     experiment seed (default 1)
+//	-json       additionally write BENCH_<name>.json per experiment
+//	-timestamp  RFC 3339 timestamp stamped into the JSON records
+//	            (default: wall clock now; pin it for reproducible CI runs)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,12 +27,46 @@ import (
 	"remos/internal/experiments"
 )
 
+// benchRecord is the machine-readable benchmark row -json emits, one
+// BENCH_<name>.json per experiment.
+type benchRecord struct {
+	Name      string  `json:"name"`
+	Metric    string  `json:"metric"`
+	Value     float64 `json:"value"`
+	Unit      string  `json:"unit"`
+	Timestamp string  `json:"timestamp"`
+}
+
+func writeBenchJSON(name string, elapsed time.Duration, stamp string) error {
+	rec := benchRecord{
+		Name:      name,
+		Metric:    "regen_wall_seconds",
+		Value:     elapsed.Seconds(),
+		Unit:      "s",
+		Timestamp: stamp,
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_"+name+".json", append(b, '\n'), 0o644)
+}
+
 func main() {
 	maxN := flag.Int("maxn", 1280, "largest Fig 3 query size")
 	trials := flag.Int("trials", 0, "mirrored-server trials (0 = paper defaults)")
 	runs := flag.Int("runs", 21, "video experiment runs")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json per experiment")
+	stampFlag := flag.String("timestamp", "", "RFC 3339 timestamp for the JSON records (default: now)")
 	flag.Parse()
+	stamp := *stampFlag
+	if stamp == "" {
+		stamp = time.Now().UTC().Format(time.RFC3339)
+	} else if _, err := time.Parse(time.RFC3339, stamp); err != nil {
+		fmt.Fprintf(os.Stderr, "remosbench: -timestamp %q is not RFC 3339: %v\n", stamp, err)
+		os.Exit(2)
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -137,7 +175,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "remosbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("[%s regenerated in %v]\n\n", name, elapsed.Round(time.Millisecond))
+		if *jsonOut {
+			if err := writeBenchJSON(name, elapsed, stamp); err != nil {
+				fmt.Fprintf(os.Stderr, "remosbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	if flag.Arg(0) == "all" {

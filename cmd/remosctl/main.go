@@ -14,7 +14,15 @@
 //	best <client> <srv> [...]   rank candidate servers for the client
 //	predict <src> <dst> <model> <k>   RPS forecast over collector history
 //	load <host> [horizon]       current and predicted CPU load (needs -hostload)
+//	watch <src> <dst> [below <Mbit/s>] [above <Mbit/s>] [change <frac>]
+//	                            stream server-pushed bandwidth updates
 //	stats [metrics|health|queries]    remosd observability plane (needs -obs)
+//
+// watch subscribes to remosd's continuous-collection plane and prints
+// every pushed update. With no predicate it defaults to "change 0.05"
+// (any 5% move). -count N exits successfully after N non-baseline
+// updates; the -timeout deadline also bounds the whole subscription, so
+// scripts can assert "an update arrives within T".
 package main
 
 import (
@@ -42,6 +50,7 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-command deadline (0 = none)")
 	raw := flag.Bool("raw", false, "topology: skip simplification")
 	predictFlows := flag.Bool("predicted", false, "flows: include RPS prediction")
+	count := flag.Int("count", 0, "watch: exit after this many non-baseline updates (0 = stream until interrupted)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
@@ -76,7 +85,7 @@ func main() {
 	if *loadSrv != "" {
 		opts = append(opts, remos.WithHostLoad("tcp://"+*loadSrv))
 	}
-	m, err := remos.Dial(target, opts...)
+	m, err := remos.Connect(target, opts...)
 	if err != nil {
 		die(err)
 	}
@@ -206,6 +215,53 @@ func main() {
 			fmt.Printf("t+%d: %.2f (errvar %.3g)\n", i+1, v, ev)
 		}
 
+	case "watch":
+		if len(args) < 3 {
+			die(errors.New("watch needs <src> <dst> [below|above|change <val>]..."))
+		}
+		src, dst := parseAddr(args[1]), parseAddr(args[2])
+		var wopts []remos.WatchOption
+		for rest := args[3:]; len(rest) > 0; rest = rest[2:] {
+			if len(rest) < 2 {
+				die(fmt.Errorf("watch predicate %q needs a value", rest[0]))
+			}
+			v, err := strconv.ParseFloat(rest[1], 64)
+			if err != nil {
+				die(fmt.Errorf("bad predicate value %q", rest[1]))
+			}
+			switch rest[0] {
+			case "below":
+				wopts = append(wopts, remos.WatchBelow(v*1e6))
+			case "above":
+				wopts = append(wopts, remos.WatchAbove(v*1e6))
+			case "change":
+				wopts = append(wopts, remos.WatchOnChange(v))
+			default:
+				die(fmt.Errorf("unknown predicate %q (want below, above or change)", rest[0]))
+			}
+		}
+		if len(wopts) == 0 {
+			wopts = append(wopts, remos.WatchOnChange(0.05))
+		}
+		ch, err := m.Watch(ctx, remos.WatchQuery{Src: src, Dst: dst}, wopts...)
+		if err != nil {
+			die(err)
+		}
+		seen := 0
+		for u := range ch {
+			if u.Err != nil {
+				die(fmt.Errorf("watch ended: %w", u.Err))
+			}
+			fmt.Printf("%s  %s -> %s  %.3f Mbit/s (prev %.3f)  %s\n",
+				u.At.Format(time.RFC3339), u.Src, u.Dst, u.Avail/1e6, u.Prev/1e6, u.Reason)
+			if u.Reason != "init" {
+				seen++
+			}
+			if *count > 0 && seen >= *count {
+				return
+			}
+		}
+
 	default:
 		die(fmt.Errorf("unknown command %q", args[0]))
 	}
@@ -317,6 +373,8 @@ func stats(ctx context.Context, base string, args []string) error {
 		if strings.HasPrefix(line, "remos_requests_total") ||
 			strings.HasPrefix(line, "remos_request_errors_total") ||
 			strings.HasPrefix(line, "remos_qcache_") ||
+			strings.HasPrefix(line, "remos_sched_") ||
+			strings.HasPrefix(line, "remos_watch_") ||
 			strings.HasPrefix(line, "remos_snmp_exchanges_total") ||
 			strings.HasPrefix(line, "remos_snmp_timeouts_total") ||
 			strings.HasPrefix(line, "remos_master_queries_total") {

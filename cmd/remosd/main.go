@@ -16,11 +16,17 @@
 //	       [-obs :3571] [-slow-query 500ms]
 //	       [-scenario twosite|campus] [-qcache-ttl 2s] [-parallelism 0]
 //	       [-max-varbinds 24] [-pipeline 4]
+//	       [-sched-interval 1s] [-sched-predict 'AR(16)'] [-bench-interval 0]
 //
 // The -obs listener exposes the observability plane: /metrics
 // (Prometheus text), /healthz (per-collector liveness and last-poll
 // age) and /debug/queries (recent query traces with per-stage
 // durations). remosctl stats renders all three.
+//
+// -sched-interval enables the continuous-collection plane: watched and
+// preseeded host pairs are measured in the background at an adaptive
+// interval, their cache entries kept warm, and WATCH subscribers (ASCII
+// verbs or HTTP server-sent events) get threshold crossings pushed.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"net"
 	"net/netip"
 
+	"remos/internal/collector"
 	"remos/internal/collector/hostcoll"
 	"remos/internal/collector/qcache"
 	"remos/internal/core"
@@ -45,8 +52,11 @@ import (
 	"remos/internal/netsim"
 	"remos/internal/obs"
 	"remos/internal/proto"
+	"remos/internal/rerr"
+	"remos/internal/sched"
 	"remos/internal/sim"
 	"remos/internal/snmp"
+	"remos/internal/watch"
 )
 
 func main() {
@@ -67,13 +77,19 @@ func main() {
 		"observability listen address for /metrics, /healthz and /debug/queries ('' disables)")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond,
 		"queries at least this slow are flagged in /debug/queries")
+	schedIval := flag.Duration("sched-interval", time.Second,
+		"continuous-collection base poll interval (adaptive around this); 0 disables the background scheduler and the watch plane")
+	schedPredict := flag.String("sched-predict", "AR(16)",
+		"RPS model fitted per background-polled edge ('' disables streaming predictors)")
+	benchIval := flag.Duration("bench-interval", 0,
+		"wide-area benchmark round interval (0 = collector default); the WAN hop is benchmark-measured, so this bounds watch-update freshness across sites")
 	flag.Parse()
 
 	reg := obs.New()
 	traces := obs.NewRing(128, *slowQuery)
 
 	s := sim.NewSim()
-	dep, hosts, err := buildScenario(s, *scenario, core.Options{
+	dep, hosts, err := buildScenario(s, *scenario, *benchIval, core.Options{
 		Parallelism: *parallelism,
 		MaxVarBinds: *maxVarBinds,
 		Pipeline:    *pipeline,
@@ -94,7 +110,55 @@ func main() {
 	queryable := qcache.New(master, qcache.Config{TTL: *qcacheTTL, Obs: reg})
 	log.Printf("remosd: warm-query cache TTL %v, parallelism %d (0=GOMAXPROCS), max-varbinds %d, pipeline %d",
 		*qcacheTTL, *parallelism, *maxVarBinds, *pipeline)
-	tcpSrv := &proto.TCPServer{Collector: queryable, Obs: reg, Traces: traces}
+	// Continuous-collection plane: a background scheduler keeps watched
+	// (and preseeded) host pairs freshly measured through the cache, and
+	// the watch registry pushes threshold crossings to subscribers over
+	// both wire protocols.
+	var watchReg *watch.Registry
+	if *schedIval > 0 {
+		maxIval := 8 * *schedIval
+		if *qcacheTTL > 0 && *qcacheTTL < maxIval {
+			// Keep the adaptive interval inside the cache's staleness
+			// bound so scheduler-covered queries stay warm.
+			maxIval = *qcacheTTL
+		}
+		var plane *sched.Scheduler
+		watchReg = watch.New(watch.Config{
+			Obs:           reg,
+			Now:           s.Now,
+			EnsureTarget:  func(h []netip.Addr) { plane.AddTarget(h) },
+			ReleaseTarget: func(h []netip.Addr) { plane.RemoveTarget(h) },
+		})
+		plane, err = sched.New(sched.Config{
+			Collector: queryable,
+			Invalidate: func(h []netip.Addr) {
+				queryable.Invalidate(qcache.Key(collector.Query{Hosts: h}))
+			},
+			Sched:        s,
+			BaseInterval: *schedIval,
+			MaxInterval:  maxIval,
+			Predict:      *schedPredict,
+			OnResult: func(_ []netip.Addr, res *collector.Result) {
+				watchReg.Evaluate(res)
+			},
+			Obs: reg,
+		})
+		if err != nil {
+			log.Fatalf("remosd: scheduler: %v", err)
+		}
+		defer plane.Stop()
+		defer watchReg.Close(rerr.Tagf(rerr.ErrCollectorUnavailable, "remosd shutting down"))
+		// Preseed the demo pairs so their queries answer warm from the
+		// first client on; watches add and remove their own targets.
+		if len(hosts) >= 2 && len(hosts) <= 8 {
+			for _, h := range hosts[1:] {
+				plane.AddTarget([]netip.Addr{hosts[0].Addr(), h.Addr()})
+			}
+		}
+		log.Printf("remosd: background scheduler on (base %v, max %v, predict %q); watch plane enabled",
+			*schedIval, maxIval, *schedPredict)
+	}
+	tcpSrv := &proto.TCPServer{Collector: queryable, Watch: watchReg, Obs: reg, Traces: traces}
 	addr, err := tcpSrv.ListenAndServe(*listen)
 	if err != nil {
 		log.Fatalf("remosd: listen: %v", err)
@@ -102,7 +166,7 @@ func main() {
 	defer tcpSrv.Close()
 	log.Printf("remosd: ASCII protocol on %s", addr)
 	if *httpAddr != "" {
-		httpSrv := &proto.HTTPServer{Collector: queryable, Obs: reg, Traces: traces}
+		httpSrv := &proto.HTTPServer{Collector: queryable, Watch: watchReg, Obs: reg, Traces: traces}
 		haddr, err := httpSrv.ListenAndServe(*httpAddr)
 		if err != nil {
 			log.Fatalf("remosd: http listen: %v", err)
@@ -228,8 +292,11 @@ func firstSite(dep *core.Deployment) string {
 	return names[0]
 }
 
-// buildScenario wires one of the demo networks.
-func buildScenario(s *sim.Sim, name string, opts core.Options) (*core.Deployment, []*netsim.Device, error) {
+// buildScenario wires one of the demo networks. benchIval is the
+// wide-area benchmark round interval (0 = benchcoll's default): the
+// inter-site hop is measured by benchmarks, not SNMP, so it bounds how
+// fresh WAN availability — and every watch predicate over it — can be.
+func buildScenario(s *sim.Sim, name string, benchIval time.Duration, opts core.Options) (*core.Deployment, []*netsim.Device, error) {
 	n := netsim.New(s)
 	switch name {
 	case "twosite":
@@ -258,11 +325,13 @@ func buildScenario(s *sim.Sim, name string, opts core.Options) (*core.Deployment
 		dep := core.NewDeployment(s, n, opts)
 		if _, err := dep.AddSite(core.SiteSpec{
 			Name: "a", Switches: []*netsim.Device{swA}, BenchHost: benchA,
+			BenchInterval: benchIval,
 		}); err != nil {
 			return nil, nil, err
 		}
 		if _, err := dep.AddSite(core.SiteSpec{
 			Name: "b", Switches: []*netsim.Device{swB}, BenchHost: benchB,
+			BenchInterval: benchIval,
 		}); err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,105 @@
+package remos
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+
+	"remos/internal/watch"
+)
+
+// Update is one push from a watched subscription: the fresh bottleneck
+// available bandwidth for the watched pair, the previously pushed value,
+// and the reason the predicate fired ("init", "below", "above",
+// "change"). A terminal Update carries the typed close reason in Err
+// (classified like query errors — ErrCollectorUnavailable, the caller's
+// context error, ...) and is followed by the channel closing.
+type Update = watch.Update
+
+// WatchQuery names the endpoint pair a watch monitors. The watched
+// value is the pair's bottleneck available bandwidth — the same number
+// AvailableBandwidth reports.
+type WatchQuery struct {
+	Src, Dst netip.Addr
+}
+
+// WatchOption customizes a watch subscription.
+type WatchOption func(*watch.Spec)
+
+// WatchBelow pushes an update when availability drops below bits/s
+// (edge-triggered: once per downward crossing).
+func WatchBelow(bits float64) WatchOption {
+	return func(s *watch.Spec) { s.Below = bits }
+}
+
+// WatchAbove pushes an update when availability rises above bits/s
+// (edge-triggered).
+func WatchAbove(bits float64) WatchOption {
+	return func(s *watch.Spec) { s.Above = bits }
+}
+
+// WatchOnChange pushes an update whenever availability moves by frac
+// (0.1 = 10%) relative to the last pushed value.
+func WatchOnChange(frac float64) WatchOption {
+	return func(s *watch.Spec) { s.ChangeFrac = frac }
+}
+
+// WatchBuffer sets the update channel depth (default 16). A consumer
+// lagging further behind loses intermediate updates, never blocks the
+// server's measurement path.
+func WatchBuffer(n int) WatchOption {
+	return func(s *watch.Spec) { s.Buf = n }
+}
+
+// watcher is the protocol-client side of the subscription plane; both
+// proto.TCPClient and proto.HTTPClient implement it.
+type watcher interface {
+	Watch(ctx context.Context, spec watch.Spec) (<-chan watch.Update, error)
+}
+
+// Connection is a Modeler plus the subscription plane: everything Dial
+// offers, and Watch for server-pushed updates. Build one with Connect.
+type Connection struct {
+	*Modeler
+	w watcher
+}
+
+// Connect is Dial returning a Connection: the same target grammar and
+// options, plus access to the server's watch plane.
+//
+//	conn, err := remos.Connect("tcp://master.example.edu:3567")
+//	...
+//	ch, err := conn.Watch(ctx, remos.WatchQuery{Src: src, Dst: dst},
+//		remos.WatchBelow(5e6))
+//	for u := range ch { ... }
+func Connect(target string, opts ...Option) (*Connection, error) {
+	m, raw, err := dial(target, opts...)
+	if err != nil {
+		return nil, err
+	}
+	conn := &Connection{Modeler: m}
+	conn.w, _ = raw.(watcher)
+	return conn, nil
+}
+
+// Watch subscribes to server-pushed updates for the pair's available
+// bandwidth. At least one predicate option (WatchBelow, WatchAbove,
+// WatchOnChange) is required. The first update reports the baseline
+// ("init" — or the predicate's reason if it already holds); later
+// updates arrive as the continuously-collecting server sees the
+// predicate fire, with no polling from this client.
+//
+// The channel closes when the watch ends. Cancellation of ctx, server
+// shutdown, and a dropped connection all deliver a final Update whose
+// Err carries the typed close reason, then close the channel; every
+// goroutine involved is torn down.
+func (c *Connection) Watch(ctx context.Context, q WatchQuery, opts ...WatchOption) (<-chan Update, error) {
+	if c.w == nil {
+		return nil, fmt.Errorf("remos: connection target does not support watches")
+	}
+	spec := watch.Spec{Src: q.Src, Dst: q.Dst}
+	for _, o := range opts {
+		o(&spec)
+	}
+	return c.w.Watch(ctx, spec)
+}

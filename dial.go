@@ -102,14 +102,23 @@ func clientFor(target string) (collector.Interface, error) {
 //
 // Dialing is lazy: no connection is made until the first query.
 func Dial(target string, opts ...Option) (*Modeler, error) {
+	m, _, err := dial(target, opts...)
+	return m, err
+}
+
+// dial is the shared body of Dial and Connect: it also returns the raw
+// protocol client so Connect can reach the watch plane beneath any
+// cache wrapping.
+func dial(target string, opts ...Option) (*Modeler, collector.Interface, error) {
 	var dc dialConfig
 	for _, o := range opts {
 		o(&dc)
 	}
-	coll, err := clientFor(target)
+	raw, err := clientFor(target)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	coll := raw
 	if dc.cacheTTL > 0 {
 		coll = qcache.New(coll, qcache.Config{TTL: dc.cacheTTL, Obs: dc.obs})
 	}
@@ -121,8 +130,8 @@ func Dial(target string, opts ...Option) (*Modeler, error) {
 	}
 	if dc.hostLoad != "" {
 		if cfg.HostLoad, err = clientFor(dc.hostLoad); err != nil {
-			return nil, fmt.Errorf("remos: host load target: %w", err)
+			return nil, nil, fmt.Errorf("remos: host load target: %w", err)
 		}
 	}
-	return modeler.New(cfg), nil
+	return modeler.New(cfg), raw, nil
 }

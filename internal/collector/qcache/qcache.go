@@ -86,10 +86,11 @@ type Cache struct {
 	coalesced atomic.Int64
 	evictions atomic.Int64
 
-	mHits      *obs.Counter
-	mMisses    *obs.Counter
-	mCoalesced *obs.Counter
-	mEvictions *obs.Counter
+	mHits         *obs.Counter
+	mMisses       *obs.Counter
+	mCoalesced    *obs.Counter
+	mEvictions    *obs.Counter
+	mInvalidation *obs.Counter
 }
 
 // New wraps a collector with a warm-query cache.
@@ -102,6 +103,7 @@ func New(inner collector.Interface, cfg Config) *Cache {
 	c.mMisses = cfg.Obs.Counter("remos_qcache_misses_total", "queries that went through to the collector")
 	c.mCoalesced = cfg.Obs.Counter("remos_qcache_coalesced_total", "queries that shared another caller's in-flight collection")
 	c.mEvictions = cfg.Obs.Counter("remos_qcache_evictions_total", "cache entries dropped for capacity")
+	c.mInvalidation = cfg.Obs.Counter("remos_qcache_invalidations_total", "cache entries dropped by explicit invalidation")
 	cfg.Obs.GaugeFunc("remos_qcache_entries", "cached answers currently retained", func() float64 { return float64(c.Len()) })
 	return c
 }
@@ -243,6 +245,36 @@ func (c *Cache) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	clear(c.entries)
+}
+
+// Invalidate drops every cached answer whose canonical key starts with
+// one of the prefixes, and returns how many slots were dropped. Use
+// Key(collector.Query{Hosts: hosts}) to build the prefix for a host set:
+// because flag suffixes ("|hist", "|pred") extend the base key, the bare
+// key invalidates all flag variants at once. In-flight entries are
+// dropped too — waiters already attached still receive the flight's
+// answer through their held entry pointer, but the superseded flight is
+// not retained when it lands (the fill path only deletes, never
+// re-inserts). A key that is itself an extension of the prefix (a
+// superset host list sharing the sorted-order prefix) is also dropped;
+// over-invalidation costs one re-collection, never a stale answer.
+func (c *Cache) Invalidate(prefixes ...string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for k := range c.entries {
+		for _, p := range prefixes {
+			if strings.HasPrefix(k, p) {
+				delete(c.entries, k)
+				dropped++
+				break
+			}
+		}
+	}
+	if dropped > 0 {
+		c.mInvalidation.Add(int64(dropped))
+	}
+	return dropped
 }
 
 // Stats returns a snapshot of the effectiveness counters.

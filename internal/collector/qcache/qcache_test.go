@@ -202,3 +202,119 @@ func TestFlush(t *testing.T) {
 		t.Fatalf("flush did not drop the entry (calls=%d)", inner.calls.Load())
 	}
 }
+
+func TestInvalidateDropsMatchingPrefixes(t *testing.T) {
+	inner := &slowColl{}
+	c := New(inner, Config{TTL: time.Hour})
+	base := q("10.0.0.1", "10.0.0.2")
+	withHist := base
+	withHist.WithHistory = true
+	other := q("10.0.0.9")
+	c.Collect(base)
+	c.Collect(withHist)
+	c.Collect(other)
+	if inner.calls.Load() != 3 {
+		t.Fatalf("setup calls = %d", inner.calls.Load())
+	}
+
+	// The canonical prefix for the pair catches both flag variants but
+	// not the unrelated entry.
+	dropped := c.Invalidate(Key(collector.Query{Hosts: base.Hosts}))
+	if dropped != 2 {
+		t.Fatalf("Invalidate dropped %d entries, want 2", dropped)
+	}
+	c.Collect(other)
+	if inner.calls.Load() != 3 {
+		t.Fatal("unrelated entry was invalidated")
+	}
+	c.Collect(base)
+	c.Collect(withHist)
+	if inner.calls.Load() != 5 {
+		t.Fatalf("invalidated entries still warm (calls=%d)", inner.calls.Load())
+	}
+	if got := c.Invalidate("no-such-prefix"); got != 0 {
+		t.Fatalf("phantom invalidations: %d", got)
+	}
+}
+
+// TestInvalidateDuringInFlightFill pins the race the scheduler leans
+// on: Invalidate while a fill is in flight must neither wedge the
+// waiters nor let the superseded flight re-insert itself as warm state.
+func TestInvalidateDuringInFlightFill(t *testing.T) {
+	inner := &slowColl{gate: make(chan struct{})}
+	c := New(inner, Config{TTL: time.Hour})
+
+	const n = 16
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			r, err := c.Collect(q("10.0.0.1", "10.0.0.2"))
+			if err != nil || len(r.Graph.Nodes()) != 2 {
+				t.Errorf("collect: %v", err)
+			}
+		}()
+	}
+	for inner.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// The fill is blocked on the gate; drop its entry out from under it.
+	if dropped := c.Invalidate(Key(collector.Query{Hosts: q("10.0.0.2", "10.0.0.1").Hosts})); dropped != 1 {
+		t.Fatalf("in-flight entry not dropped (%d)", dropped)
+	}
+	close(inner.gate)
+	wg.Wait()
+	// Every waiter was answered by the one flight...
+	if inner.calls.Load() != 1 {
+		t.Fatalf("flight restarted: %d inner calls", inner.calls.Load())
+	}
+	// ...but the invalidated flight must not have been retained: the
+	// next query re-collects.
+	inner.gate = nil
+	c.Collect(q("10.0.0.1", "10.0.0.2"))
+	if inner.calls.Load() != 2 {
+		t.Fatalf("superseded flight re-inserted itself (calls=%d)", inner.calls.Load())
+	}
+}
+
+// TestInvalidateVersusSingleflightChurn hammers Invalidate against
+// concurrent identical queries; run with -race. Nothing to assert
+// beyond "no deadlock, no error, no torn state".
+func TestInvalidateVersusSingleflightChurn(t *testing.T) {
+	inner := &slowColl{}
+	c := New(inner, Config{TTL: time.Hour})
+	prefix := Key(collector.Query{Hosts: q("10.0.0.1", "10.0.0.2").Hosts})
+
+	stop := make(chan struct{})
+	var inval sync.WaitGroup
+	inval.Add(1)
+	go func() {
+		defer inval.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Invalidate(prefix)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r, err := c.Collect(q("10.0.0.1", "10.0.0.2"))
+				if err != nil || len(r.Graph.Nodes()) != 2 {
+					t.Errorf("collect under churn: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	inval.Wait()
+}

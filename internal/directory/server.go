@@ -3,6 +3,7 @@ package directory
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"net/netip"
 	"strconv"
@@ -75,33 +76,36 @@ func (s *Server) Close() error {
 	return s.ln.Close()
 }
 
-func (s *Server) serveOne(conn net.Conn, r *bufio.Reader) error {
+// serveOne reads and answers one command. It takes plain reader/writer
+// halves (rather than a net.Conn) so the parser is drivable from fuzz
+// and unit tests without a socket.
+func (s *Server) serveOne(w io.Writer, r *bufio.Reader) error {
 	line, err := r.ReadString('\n')
 	if err != nil {
 		return err
 	}
 	f := strings.Fields(line)
 	if len(f) == 0 {
-		fmt.Fprintln(conn, "ERR empty command")
+		fmt.Fprintln(w, "ERR empty command")
 		return nil
 	}
 	switch f[0] {
 	case "REGISTER":
 		if len(f) != 6 {
-			fmt.Fprintln(conn, "ERR REGISTER needs name ttl endpoint benchHost nPrefixes")
+			fmt.Fprintln(w, "ERR REGISTER needs name ttl endpoint benchHost nPrefixes")
 			return nil
 		}
 		ttlSec, err1 := strconv.Atoi(f[2])
 		nPrefixes, err2 := strconv.Atoi(f[5])
 		if err1 != nil || err2 != nil || nPrefixes < 0 || nPrefixes > 1024 {
-			fmt.Fprintln(conn, "ERR bad numbers")
+			fmt.Fprintln(w, "ERR bad numbers")
 			return nil
 		}
 		a := Advert{Name: f[1], Endpoint: f[3]}
 		if f[4] != "-" {
 			bh, err := netip.ParseAddr(f[4])
 			if err != nil {
-				fmt.Fprintln(conn, "ERR bad bench host")
+				fmt.Fprintln(w, "ERR bad bench host")
 				return nil
 			}
 			a.BenchHost = bh
@@ -113,26 +117,26 @@ func (s *Server) serveOne(conn net.Conn, r *bufio.Reader) error {
 			}
 			p, err := netip.ParsePrefix(strings.TrimSpace(pl))
 			if err != nil {
-				fmt.Fprintf(conn, "ERR bad prefix %q\n", strings.TrimSpace(pl))
+				fmt.Fprintf(w, "ERR bad prefix %q\n", strings.TrimSpace(pl))
 				return nil
 			}
 			a.Prefixes = append(a.Prefixes, p)
 		}
 		if err := s.Service.Register(a, time.Duration(ttlSec)*time.Second); err != nil {
-			fmt.Fprintf(conn, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+			fmt.Fprintf(w, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
 			return nil
 		}
-		fmt.Fprintln(conn, "OK")
+		fmt.Fprintln(w, "OK")
 	case "DEREGISTER":
 		if len(f) != 2 {
-			fmt.Fprintln(conn, "ERR DEREGISTER needs name")
+			fmt.Fprintln(w, "ERR DEREGISTER needs name")
 			return nil
 		}
 		s.Service.Deregister(f[1])
-		fmt.Fprintln(conn, "OK")
+		fmt.Fprintln(w, "OK")
 	case "LIST":
 		adverts := s.Service.Adverts()
-		bw := bufio.NewWriter(conn)
+		bw := bufio.NewWriter(w)
 		fmt.Fprintf(bw, "OK %d\n", len(adverts))
 		for _, a := range adverts {
 			bench := "-"
@@ -150,7 +154,7 @@ func (s *Server) serveOne(conn net.Conn, r *bufio.Reader) error {
 		}
 		return bw.Flush()
 	default:
-		fmt.Fprintf(conn, "ERR unknown command %q\n", f[0])
+		fmt.Fprintf(w, "ERR unknown command %q\n", f[0])
 	}
 	return nil
 }

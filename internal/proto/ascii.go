@@ -11,6 +11,7 @@ package proto
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"net"
@@ -25,6 +26,7 @@ import (
 	"remos/internal/obs"
 	"remos/internal/rerr"
 	"remos/internal/topology"
+	"remos/internal/watch"
 )
 
 // writeQuery sends one ASCII query. The third header flag (predictions)
@@ -52,6 +54,12 @@ func readQuery(r *bufio.Reader) (collector.Query, error) {
 	if err != nil {
 		return collector.Query{}, err
 	}
+	return readQueryBody(line, r)
+}
+
+// readQueryBody parses a query whose header line was already consumed —
+// the server's verb dispatch reads one line to tell QUERY from WATCH.
+func readQueryBody(line string, r *bufio.Reader) (collector.Query, error) {
 	f := strings.Fields(line)
 	if (len(f) != 3 && len(f) != 4) || f[0] != "QUERY" {
 		return collector.Query{}, fmt.Errorf("proto: bad query header %q", strings.TrimSpace(line))
@@ -73,6 +81,7 @@ func readQuery(r *bufio.Reader) (collector.Query, error) {
 		return collector.Query{}, fmt.Errorf("proto: absurd host count %d", n)
 	}
 	q := collector.Query{WithHistory: hist != 0, WithPredictions: pred != 0}
+	var err error
 	for i := 0; i < n; i++ {
 		line, err := r.ReadString('\n')
 		if err != nil {
@@ -323,9 +332,16 @@ func (l *lineLimitedReader) Read(p []byte) (int, error) {
 }
 
 // TCPServer serves a collector over the ASCII protocol. Connections are
-// persistent: a modeler can issue many queries over one connection.
+// persistent: a modeler can issue many queries over one connection, and
+// with a watch registry attached the same connection also speaks the
+// WATCH/UPDATE/UNWATCH verb set (see watch.go for the grammar).
 type TCPServer struct {
 	Collector collector.Interface
+
+	// Watch, when set, enables the WATCH verb set against this
+	// subscription registry. Nil servers answer WATCH with a typed
+	// UNAVAILABLE error. Set before ListenAndServe.
+	Watch *watch.Registry
 
 	// Obs, when set, receives request counters and latency histograms
 	// (labeled proto="ascii"). Traces, when set, records one trace per
@@ -359,20 +375,46 @@ func (s *TCPServer) ListenAndServe(addr string) (string, error) {
 			go func() {
 				defer s.wg.Done()
 				defer conn.Close()
+				// Whole messages are serialized through one writer so
+				// async UPDATE lines never interleave mid-response.
+				w := &lockedWriter{w: conn}
+				subs := make(map[int64]*watch.Subscription)
+				defer func() {
+					for _, sub := range subs {
+						sub.Close(nil) // disconnect tears down every watch
+					}
+				}()
 				r := bufio.NewReader(conn)
 				for {
-					q, err := readQuery(r)
+					line, err := r.ReadString('\n')
 					if err != nil {
-						return // EOF or garbage: drop the connection
+						return // EOF: drop the connection
+					}
+					verb, _, _ := strings.Cut(strings.TrimSpace(line), " ")
+					switch verb {
+					case "WATCH":
+						s.handleWatchLine(w, line, subs)
+						continue
+					case "UNWATCH":
+						s.handleUnwatchLine(w, line, subs)
+						continue
+					}
+					q, err := readQueryBody(line, r)
+					if err != nil {
+						return // garbage: drop the connection
 					}
 					res, err, tr := serveQuery(s.Collector, q, s.m, s.Traces != nil, "ascii")
 					if err != nil {
-						writeError(conn, err)
+						writeError(w, err)
 						s.Traces.Observe(tr)
 						continue
 					}
 					sp := tr.Start("encode")
-					werr := writeResult(conn, res)
+					var buf bytes.Buffer
+					werr := writeResult(&buf, res)
+					if werr == nil {
+						_, werr = w.Write(buf.Bytes())
+					}
 					sp.End()
 					s.Traces.Observe(tr)
 					if werr != nil {

@@ -1,0 +1,467 @@
+package proto
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/netip"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"remos/internal/rerr"
+	"remos/internal/watch"
+)
+
+// The subscription plane on both wire protocols.
+//
+// ASCII grammar (extends the QUERY protocol on the same connection):
+//
+//	C: WATCH <src> <dst> <below> <above> <changefrac>
+//	S: WATCHING <id>                                  | ERR [CODE] msg
+//	S: UPDATE <id> <seq> <unixnanos> <avail> <prev> <reason>   (async, repeated)
+//	S: END <id> <CODE|-> <message...>                 (server-initiated terminal)
+//	C: UNWATCH <id>
+//	S: UNWATCHED <id>
+//
+// <below>/<above> are bits per second, <changefrac> a fraction; 0 means
+// "predicate unset". UPDATE lines may interleave with query responses:
+// the server serializes whole messages onto the connection, and clients
+// normally dedicate a connection per watch (as TCPClient.Watch does).
+//
+// The HTTP transport serves the same registry as Server-Sent Events at
+// GET /watch?src=&dst=&below=&above=&change=: "update" events carry the
+// Update as JSON, a terminal "end" event carries the typed close reason
+// as {"code","msg"}.
+
+// lockedWriter serializes whole-buffer writes from the connection's
+// query loop and its watch drain goroutines.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// parseWatchLine parses "WATCH <src> <dst> <below> <above> <changefrac>".
+func parseWatchLine(line string) (watch.Spec, error) {
+	f := strings.Fields(line)
+	if len(f) != 6 || f[0] != "WATCH" {
+		return watch.Spec{}, fmt.Errorf("proto: bad watch line %q", strings.TrimSpace(line))
+	}
+	src, err1 := netip.ParseAddr(f[1])
+	dst, err2 := netip.ParseAddr(f[2])
+	if err1 != nil || err2 != nil {
+		return watch.Spec{}, fmt.Errorf("proto: bad watch endpoints %q", strings.TrimSpace(line))
+	}
+	var nums [3]float64
+	for i, s := range f[3:] {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 {
+			return watch.Spec{}, fmt.Errorf("proto: bad watch predicate %q", s)
+		}
+		nums[i] = v
+	}
+	return watch.Spec{Src: src, Dst: dst, Below: nums[0], Above: nums[1], ChangeFrac: nums[2]}, nil
+}
+
+// handleWatchLine serves one WATCH request on an ASCII connection: it
+// subscribes, acknowledges, and starts the drain goroutine that turns
+// pushed updates into UPDATE/END lines. The subscription is recorded in
+// the per-connection map so UNWATCH and connection teardown find it.
+func (s *TCPServer) handleWatchLine(w io.Writer, line string, subs map[int64]*watch.Subscription) {
+	if s.Watch == nil {
+		writeError(w, rerr.Tagf(rerr.ErrCollectorUnavailable, "proto: server has no watch registry"))
+		return
+	}
+	spec, err := parseWatchLine(line)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sub, err := s.Watch.Subscribe(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	subs[sub.ID] = sub
+	fmt.Fprintf(w, "WATCHING %d\n", sub.ID)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		drainASCII(w, sub)
+	}()
+}
+
+// drainASCII forwards one subscription's updates onto the connection
+// until the subscription closes. Write failures are ignored: the
+// connection's read loop notices the broken peer and closes every
+// subscription, which ends this loop.
+func drainASCII(w io.Writer, sub *watch.Subscription) {
+	for u := range sub.Updates() {
+		if u.Err != nil {
+			code := rerr.Code(u.Err)
+			if code == "" {
+				code = "-"
+			}
+			msg := strings.ReplaceAll(u.Err.Error(), "\n", " ")
+			fmt.Fprintf(w, "END %d %s %s\n", sub.ID, code, msg)
+			continue
+		}
+		fmt.Fprintf(w, "UPDATE %d %d %d %g %g %s\n",
+			sub.ID, u.Seq, u.At.UnixNano(), u.Avail, u.Prev, u.Reason)
+	}
+}
+
+// handleUnwatchLine serves "UNWATCH <id>".
+func (s *TCPServer) handleUnwatchLine(w io.Writer, line string, subs map[int64]*watch.Subscription) {
+	f := strings.Fields(line)
+	if len(f) != 2 {
+		writeError(w, fmt.Errorf("proto: bad unwatch line %q", strings.TrimSpace(line)))
+		return
+	}
+	id, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		writeError(w, fmt.Errorf("proto: bad watch id %q", f[1]))
+		return
+	}
+	if sub := subs[id]; sub != nil {
+		sub.Close(nil)
+		delete(subs, id)
+	}
+	fmt.Fprintf(w, "UNWATCHED %d\n", id)
+}
+
+// Watch subscribes over the ASCII protocol on a dedicated connection
+// (updates are long-lived and must not block queries). The returned
+// channel closes after a terminal update whose Err carries the typed
+// close reason: the context's error for caller-initiated cancellation,
+// the decoded wire code when the server ends the watch, UNAVAILABLE when
+// the connection drops. All goroutines exit on cancel, server close, or
+// channel abandonment.
+func (c *TCPClient) Watch(ctx context.Context, spec watch.Spec) (<-chan watch.Update, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", c.Addr, timeout)
+	if err != nil {
+		return nil, classifyClientErr(c.Addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	fmt.Fprintf(conn, "WATCH %s %s %g %g %g\n",
+		spec.Src, spec.Dst, spec.Below, spec.Above, spec.ChangeFrac)
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, classifyClientErr(c.Addr, err)
+	}
+	f := strings.Fields(line)
+	switch {
+	case len(f) >= 1 && f[0] == "ERR":
+		conn.Close()
+		code, msg := "", strings.TrimSpace(strings.TrimPrefix(line, "ERR"))
+		if len(f) >= 2 && rerr.Known(f[1]) {
+			code = f[1]
+			msg = strings.TrimSpace(strings.TrimPrefix(msg, code))
+		}
+		return nil, decodeRemoteError(code, "proto: remote error: "+msg)
+	case len(f) == 2 && f[0] == "WATCHING":
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("proto: unexpected watch response %q", strings.TrimSpace(line))
+	}
+	id := f[1]
+	conn.SetDeadline(time.Time{})
+
+	buf := spec.Buf
+	if buf <= 0 {
+		buf = 16
+	}
+	ch := make(chan watch.Update, buf)
+	done := make(chan struct{})
+	go func() {
+		// Cancellation watcher: a polite UNWATCH, then tear the
+		// connection down so the reader unblocks.
+		select {
+		case <-ctx.Done():
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			fmt.Fprintf(conn, "UNWATCH %s\n", id)
+		case <-done:
+		}
+		conn.Close()
+	}()
+	go func() {
+		defer close(ch)
+		defer close(done)
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				ferr := classifyClientErr(c.Addr, err)
+				if cerr := ctx.Err(); cerr != nil {
+					ferr = cerr
+				}
+				deliverTerminal(ch, watch.Update{Src: spec.Src, Dst: spec.Dst, Err: ferr})
+				return
+			}
+			f := strings.Fields(line)
+			if len(f) == 0 {
+				continue
+			}
+			switch f[0] {
+			case "UPDATE":
+				u, ok := parseUpdateLine(f, spec)
+				if !ok {
+					continue
+				}
+				select {
+				case ch <- u:
+				case <-ctx.Done():
+					// Consumer gone; the watcher goroutine is closing the
+					// connection, the next read fails, and we exit there.
+				}
+			case "END":
+				code, msg := "", ""
+				if len(f) >= 3 && f[2] != "-" {
+					code = f[2]
+				}
+				if len(f) >= 4 {
+					msg = strings.Join(f[3:], " ")
+				}
+				deliverTerminal(ch, watch.Update{Src: spec.Src, Dst: spec.Dst,
+					Err: decodeRemoteError(code, "proto: watch ended by server: "+msg)})
+				return
+			case "UNWATCHED":
+				return
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// parseUpdateLine decodes "UPDATE <id> <seq> <unixnanos> <avail> <prev> <reason>".
+func parseUpdateLine(f []string, spec watch.Spec) (watch.Update, bool) {
+	if len(f) != 7 {
+		return watch.Update{}, false
+	}
+	seq, err1 := strconv.ParseInt(f[2], 10, 64)
+	ns, err2 := strconv.ParseInt(f[3], 10, 64)
+	avail, err3 := strconv.ParseFloat(f[4], 64)
+	prev, err4 := strconv.ParseFloat(f[5], 64)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		return watch.Update{}, false
+	}
+	return watch.Update{
+		Seq: seq, At: time.Unix(0, ns),
+		Src: spec.Src, Dst: spec.Dst,
+		Avail: avail, Prev: prev, Reason: f[6],
+	}, true
+}
+
+// deliverTerminal pushes the close-reason update, evicting one stale
+// buffered update if needed so the reason is not lost on a full channel.
+// The caller is the channel's sole sender.
+func deliverTerminal(ch chan watch.Update, u watch.Update) {
+	select {
+	case ch <- u:
+		return
+	default:
+	}
+	select {
+	case <-ch:
+	default:
+	}
+	select {
+	case ch <- u:
+	default:
+	}
+}
+
+// sseEnd is the JSON body of the terminal SSE event.
+type sseEnd struct {
+	Code string `json:"code,omitempty"`
+	Msg  string `json:"msg"`
+}
+
+// handleWatch serves GET /watch as Server-Sent Events.
+func (s *HTTPServer) handleWatch(w http.ResponseWriter, r *http.Request) {
+	if s.Watch == nil {
+		http.Error(w, "watch not enabled", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	spec := watch.Spec{}
+	var err error
+	if spec.Src, err = netip.ParseAddr(q.Get("src")); err != nil {
+		http.Error(w, "bad src", http.StatusBadRequest)
+		return
+	}
+	if spec.Dst, err = netip.ParseAddr(q.Get("dst")); err != nil {
+		http.Error(w, "bad dst", http.StatusBadRequest)
+		return
+	}
+	for _, p := range []struct {
+		name string
+		dst  *float64
+	}{{"below", &spec.Below}, {"above", &spec.Above}, {"change", &spec.ChangeFrac}} {
+		if v := q.Get(p.name); v != "" {
+			if *p.dst, err = strconv.ParseFloat(v, 64); err != nil || *p.dst < 0 {
+				http.Error(w, "bad "+p.name, http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub, err := s.Watch.Subscribe(spec)
+	if err != nil {
+		if code := rerr.Code(err); code != "" {
+			w.Header().Set(errorCodeHeader, code)
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer sub.Close(nil)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case u, ok := <-sub.Updates():
+			if !ok {
+				return
+			}
+			if u.Err != nil {
+				b, _ := json.Marshal(sseEnd{Code: rerr.Code(u.Err), Msg: u.Err.Error()})
+				fmt.Fprintf(w, "event: end\ndata: %s\n\n", b)
+				fl.Flush()
+				return
+			}
+			b, err := json.Marshal(u)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: update\ndata: %s\n\n", b)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// Watch subscribes over the HTTP transport (Server-Sent Events). Same
+// channel semantics as the ASCII client's Watch.
+func (c *HTTPClient) Watch(ctx context.Context, spec watch.Spec) (<-chan watch.Update, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	vals := url.Values{}
+	vals.Set("src", spec.Src.String())
+	vals.Set("dst", spec.Dst.String())
+	if spec.Below > 0 {
+		vals.Set("below", strconv.FormatFloat(spec.Below, 'g', -1, 64))
+	}
+	if spec.Above > 0 {
+		vals.Set("above", strconv.FormatFloat(spec.Above, 'g', -1, 64))
+	}
+	if spec.ChangeFrac > 0 {
+		vals.Set("change", strconv.FormatFloat(spec.ChangeFrac, 'g', -1, 64))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/watch?"+vals.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	// The stream is long-lived, so the default query client with its
+	// overall timeout would sever it; use the caller's client only if it
+	// carries no timeout.
+	hc := c.Client
+	if hc == nil || hc.Timeout > 0 {
+		hc = &http.Client{}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, classifyClientErr(c.BaseURL, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		msg := fmt.Sprintf("proto: remote error (%d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		return nil, decodeRemoteError(resp.Header.Get(errorCodeHeader), msg)
+	}
+	buf := spec.Buf
+	if buf <= 0 {
+		buf = 16
+	}
+	ch := make(chan watch.Update, buf)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		event, data := "", ""
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "":
+				switch event {
+				case "update":
+					var u watch.Update
+					if json.Unmarshal([]byte(data), &u) == nil {
+						select {
+						case ch <- u:
+						case <-ctx.Done():
+							deliverTerminal(ch, watch.Update{Src: spec.Src, Dst: spec.Dst, Err: ctx.Err()})
+							return
+						}
+					}
+				case "end":
+					var e sseEnd
+					json.Unmarshal([]byte(data), &e)
+					deliverTerminal(ch, watch.Update{Src: spec.Src, Dst: spec.Dst,
+						Err: decodeRemoteError(e.Code, "proto: watch ended by server: "+e.Msg)})
+					return
+				}
+				event, data = "", ""
+			}
+		}
+		ferr := sc.Err()
+		if cerr := ctx.Err(); cerr != nil {
+			deliverTerminal(ch, watch.Update{Src: spec.Src, Dst: spec.Dst, Err: cerr})
+			return
+		}
+		if ferr == nil {
+			ferr = io.ErrUnexpectedEOF
+		}
+		deliverTerminal(ch, watch.Update{Src: spec.Src, Dst: spec.Dst,
+			Err: classifyClientErr(c.BaseURL, ferr)})
+	}()
+	return ch, nil
+}

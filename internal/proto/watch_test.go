@@ -1,0 +1,313 @@
+package proto
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"runtime"
+	"testing"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/rerr"
+	"remos/internal/topology"
+	"remos/internal/watch"
+)
+
+var (
+	watchSrc = netip.MustParseAddr("10.0.1.1")
+	watchDst = netip.MustParseAddr("10.0.2.2")
+)
+
+// availResult builds a result whose src->dst bottleneck availability is
+// exactly avail (capacity 10e6), for driving Registry.Evaluate.
+func availResult(avail float64) *collector.Result {
+	g := topology.NewGraph()
+	g.AddNode(topology.Node{ID: watchSrc.String(), Kind: topology.HostNode, Addr: watchSrc.String()})
+	g.AddNode(topology.Node{ID: watchDst.String(), Kind: topology.HostNode, Addr: watchDst.String()})
+	g.AddLink(topology.Link{
+		From: watchSrc.String(), To: watchDst.String(),
+		Capacity: 10e6, UtilFromTo: 10e6 - avail, UtilToFrom: 10e6 - avail,
+	})
+	return &collector.Result{Graph: g}
+}
+
+func waitActive(t *testing.T, reg *watch.Registry, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Active() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("registry never reached %d active watches (at %d)", n, reg.Active())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func recvUpdate(t *testing.T, ch <-chan watch.Update) watch.Update {
+	t.Helper()
+	select {
+	case u, ok := <-ch:
+		if !ok {
+			t.Fatal("update channel closed early")
+		}
+		return u
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update within 5s")
+	}
+	panic("unreachable")
+}
+
+// watchClient abstracts the two transports for the shared round-trip body.
+type watchClient interface {
+	Watch(ctx context.Context, spec watch.Spec) (<-chan watch.Update, error)
+}
+
+func startASCII(t *testing.T, reg *watch.Registry) watchClient {
+	t.Helper()
+	srv := &TCPServer{Collector: &echoCollector{}, Watch: reg}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl := &TCPClient{Addr: addr}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func startSSE(t *testing.T, reg *watch.Registry) watchClient {
+	t.Helper()
+	srv := &HTTPServer{Collector: &echoCollector{}, Watch: reg}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return &HTTPClient{BaseURL: "http://" + addr}
+}
+
+func testWatchRoundTrip(t *testing.T, mk func(*testing.T, *watch.Registry) watchClient) {
+	reg := watch.New(watch.Config{})
+	defer reg.Close(nil)
+	cl := mk(t, reg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := cl.Watch(ctx, watch.Spec{Src: watchSrc, Dst: watchDst, Below: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitActive(t, reg, 1)
+
+	reg.Evaluate(availResult(8e6))
+	u := recvUpdate(t, ch)
+	if u.Reason != watch.ReasonInit || u.Avail != 8e6 || u.Seq != 1 {
+		t.Fatalf("baseline update = %+v", u)
+	}
+	if u.Src != watchSrc || u.Dst != watchDst {
+		t.Fatalf("endpoints did not survive the wire: %+v", u)
+	}
+
+	reg.Evaluate(availResult(3e6))
+	u = recvUpdate(t, ch)
+	if u.Reason != watch.ReasonBelow || u.Avail != 3e6 || u.Prev != 8e6 || u.Seq != 2 {
+		t.Fatalf("crossing update = %+v", u)
+	}
+
+	// Caller cancellation: terminal update with the context's error,
+	// then the channel closes, then the server forgets the watch.
+	cancel()
+	sawTerminal := false
+	deadline := time.After(5 * time.Second)
+	for open := true; open; {
+		select {
+		case u, ok := <-ch:
+			if !ok {
+				open = false
+				break
+			}
+			if u.Err != nil {
+				if !errors.Is(u.Err, context.Canceled) {
+					t.Fatalf("terminal err = %v, want context.Canceled", u.Err)
+				}
+				sawTerminal = true
+			}
+		case <-deadline:
+			t.Fatal("channel never closed after cancel")
+		}
+	}
+	if !sawTerminal {
+		t.Fatal("no terminal update carried the close reason")
+	}
+	waitActive(t, reg, 0)
+}
+
+func TestASCIIWatchRoundTrip(t *testing.T) { testWatchRoundTrip(t, startASCII) }
+func TestSSEWatchRoundTrip(t *testing.T)   { testWatchRoundTrip(t, startSSE) }
+
+func testWatchServerShutdown(t *testing.T, mk func(*testing.T, *watch.Registry) watchClient) {
+	reg := watch.New(watch.Config{})
+	cl := mk(t, reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := cl.Watch(ctx, watch.Spec{Src: watchSrc, Dst: watchDst, ChangeFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitActive(t, reg, 1)
+
+	// Server-side shutdown: the typed reason crosses the wire.
+	reg.Close(rerr.Tagf(rerr.ErrCollectorUnavailable, "server shutting down"))
+	sawTyped := false
+	deadline := time.After(5 * time.Second)
+	for open := true; open; {
+		select {
+		case u, ok := <-ch:
+			if !ok {
+				open = false
+				break
+			}
+			if u.Err != nil && errors.Is(u.Err, rerr.ErrCollectorUnavailable) {
+				sawTyped = true
+			}
+		case <-deadline:
+			t.Fatal("channel never closed after server shutdown")
+		}
+	}
+	if !sawTyped {
+		t.Fatal("close reason lost its type crossing the wire")
+	}
+}
+
+func TestASCIIWatchServerShutdown(t *testing.T) { testWatchServerShutdown(t, startASCII) }
+func TestSSEWatchServerShutdown(t *testing.T)   { testWatchServerShutdown(t, startSSE) }
+
+func TestWatchRejectsBadSpec(t *testing.T) {
+	reg := watch.New(watch.Config{})
+	defer reg.Close(nil)
+	for name, cl := range map[string]watchClient{
+		"ascii": startASCII(t, reg),
+		"sse":   startSSE(t, reg),
+	} {
+		// No predicate at all: rejected at subscribe time, not silently
+		// accepted as a dead watch.
+		_, err := cl.Watch(context.Background(), watch.Spec{Src: watchSrc, Dst: watchDst})
+		if err == nil {
+			t.Errorf("%s: predicate-free spec accepted", name)
+		}
+	}
+	if reg.Active() != 0 {
+		t.Fatalf("rejected specs left %d active watches", reg.Active())
+	}
+}
+
+func TestWatchAgainstServerWithoutRegistry(t *testing.T) {
+	srv := &TCPServer{Collector: &echoCollector{}}
+	addr, _ := srv.ListenAndServe("127.0.0.1:0")
+	defer srv.Close()
+	cl := &TCPClient{Addr: addr}
+	defer cl.Close()
+	_, err := cl.Watch(context.Background(), watch.Spec{Src: watchSrc, Dst: watchDst, Below: 1e6})
+	if err == nil {
+		t.Fatal("watch against a watchless server succeeded")
+	}
+	if !errors.Is(err, rerr.ErrCollectorUnavailable) {
+		t.Fatalf("err = %v, want typed UNAVAILABLE", err)
+	}
+}
+
+// TestASCIIQueriesAndWatchesShareAConnection drives both verb sets over
+// one raw connection: WATCH, an interleaved QUERY, pushed UPDATEs and
+// UNWATCH all frame correctly through the shared writer.
+func TestASCIIQueriesAndWatchesShareAConnection(t *testing.T) {
+	reg := watch.New(watch.Config{})
+	defer reg.Close(nil)
+	srv := &TCPServer{Collector: &echoCollector{}, Watch: reg}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := &TCPClient{Addr: addr}
+	defer cl.Close()
+
+	// Subscribe on the client's own connection (dedicated), then issue
+	// queries over a second connection while updates flow.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := cl.Watch(ctx, watch.Spec{Src: watchSrc, Dst: watchDst, ChangeFrac: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitActive(t, reg, 1)
+	reg.Evaluate(availResult(8e6))
+	recvUpdate(t, ch)
+
+	for i := 0; i < 5; i++ {
+		res, err := cl.Collect(collector.Query{Hosts: hostList(watchSrc.String(), watchDst.String())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Graph.Nodes()) != 2 {
+			t.Fatalf("query %d returned %d nodes", i, len(res.Graph.Nodes()))
+		}
+		reg.Evaluate(availResult(8e6 * (1 - 0.1*float64(i+1))))
+		recvUpdate(t, ch)
+	}
+}
+
+// TestWatchGoroutineCleanup churns subscriptions over both transports
+// and asserts the process goroutine count settles back: no leaked
+// drains, readers, or cancellation watchers.
+func TestWatchGoroutineCleanup(t *testing.T) {
+	reg := watch.New(watch.Config{})
+	defer reg.Close(nil)
+	ascii := startASCII(t, reg)
+	sse := startSSE(t, reg)
+
+	// Warm both paths once so lazily created machinery (http transport
+	// pools etc.) doesn't count as a leak.
+	warmCtx, warmCancel := context.WithCancel(context.Background())
+	for _, cl := range []watchClient{ascii, sse} {
+		ch, err := cl.Watch(warmCtx, watch.Spec{Src: watchSrc, Dst: watchDst, ChangeFrac: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = ch
+	}
+	warmCancel()
+	waitActive(t, reg, 0)
+	time.Sleep(50 * time.Millisecond)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		for _, cl := range []watchClient{ascii, sse} {
+			ctx, cancel := context.WithCancel(context.Background())
+			ch, err := cl.Watch(ctx, watch.Spec{Src: watchSrc, Dst: watchDst, ChangeFrac: 0.1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitActive(t, reg, 1)
+			reg.Evaluate(availResult(5e6))
+			recvUpdate(t, ch)
+			cancel()
+			for range ch {
+			}
+			waitActive(t, reg, 0)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"remos/internal/obs"
 	"remos/internal/rerr"
 	"remos/internal/topology"
+	"remos/internal/watch"
 )
 
 // The XML-over-HTTP protocol ("we would like to replace [the text format]
@@ -161,9 +162,15 @@ func decodeResultXML(b []byte) (*collector.Result, error) {
 	return res, nil
 }
 
-// HTTPServer serves a collector over the XML protocol at POST /query.
+// HTTPServer serves a collector over the XML protocol at POST /query
+// and, with a watch registry attached, subscriptions as Server-Sent
+// Events at GET /watch.
 type HTTPServer struct {
 	Collector collector.Interface
+
+	// Watch, when set, enables GET /watch (see watch.go). Set before
+	// ListenAndServe.
+	Watch *watch.Registry
 
 	// Obs, when set, receives request counters and latency histograms
 	// (labeled proto="xml"). Traces, when set, records one trace per
@@ -182,6 +189,7 @@ func (s *HTTPServer) ListenAndServe(addr string) (string, error) {
 	s.m = newServerMetrics(s.Obs, "xml")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/watch", s.handleWatch)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err

@@ -36,6 +36,7 @@ type Stream struct {
 	nextSub int
 	last    Prediction
 	n       int
+	closed  bool
 }
 
 // NewStream wraps a fitted model producing k-step predictions.
@@ -81,6 +82,11 @@ func (s *Stream) Subscribe(buf int) (<-chan Prediction, func()) {
 	}
 	ch := make(chan Prediction, buf)
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
 	id := s.nextSub
 	s.nextSub++
 	s.subs[id] = ch
@@ -94,6 +100,25 @@ func (s *Stream) Subscribe(buf int) (<-chan Prediction, func()) {
 		s.mu.Unlock()
 	}
 	return ch, cancel
+}
+
+// Close terminates the stream: every pending subscriber channel is
+// closed and later Subscribe calls receive an already-closed channel.
+// Close is idempotent and safe concurrently with Observe and with
+// subscribers' cancel functions (cancel after Close is a no-op — the
+// subscription is already gone, so the channel is never closed twice).
+// Observe after Close still updates the model but delivers to no one.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for id, ch := range s.subs {
+		delete(s.subs, id)
+		close(ch)
+	}
 }
 
 // ParseFitter builds a Fitter from a compact spec string, the form model

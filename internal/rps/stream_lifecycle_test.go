@@ -1,0 +1,177 @@
+package rps
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Subscriber lifecycle tests for the streaming predictor: the
+// continuous-collection plane keeps one Stream per monitored edge alive
+// for the life of the daemon, so unsubscribe, slow consumers and
+// close-with-pending-subscribers must all be leak- and deadlock-free.
+
+func newTestStream(t *testing.T) *Stream {
+	t.Helper()
+	m, err := LastFitter{}.Fit([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewStream(m, 4)
+}
+
+func TestUnsubscribeMidStream(t *testing.T) {
+	s := newTestStream(t)
+	defer s.Close()
+
+	// Hammer Observe while subscribers churn: cancel mid-delivery must
+	// not panic, deadlock or deliver on a closed channel.
+	stop := make(chan struct{})
+	var obsWG sync.WaitGroup
+	obsWG.Add(1)
+	go func() {
+		defer obsWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Observe(float64(i))
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				ch, cancel := s.Subscribe(2)
+				// Consume a little, then walk away mid-stream.
+				select {
+				case <-ch:
+				default:
+				}
+				cancel()
+				cancel() // double-cancel is a no-op
+				// The canceled channel must be closed, not left open.
+				if _, ok := <-ch; ok {
+					// A buffered prediction may still be pending; the
+					// channel must still close right after.
+					for range ch {
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	obsWG.Wait()
+}
+
+func TestSlowConsumerNeverBlocksObserve(t *testing.T) {
+	s := newTestStream(t)
+	defer s.Close()
+	ch, cancel := s.Subscribe(1)
+	defer cancel()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			s.Observe(float64(i)) // nobody reading ch
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Observe blocked on a slow consumer")
+	}
+	// The subscriber finds at most its buffer depth pending.
+	if n := len(ch); n > 1 {
+		t.Fatalf("buffer overran: %d pending", n)
+	}
+	if _, n := s.Last(); n != 1000 {
+		t.Fatalf("stream consumed %d observations, want 1000", n)
+	}
+}
+
+func TestCloseWithPendingSubscribers(t *testing.T) {
+	s := newTestStream(t)
+	var chans []<-chan Prediction
+	var cancels []func()
+	for i := 0; i < 5; i++ {
+		ch, cancel := s.Subscribe(4)
+		chans = append(chans, ch)
+		cancels = append(cancels, cancel)
+	}
+	s.Observe(42)
+	s.Close()
+	s.Close() // idempotent
+
+	// Every pending subscriber channel drains and closes.
+	for i, ch := range chans {
+		deadline := time.After(5 * time.Second)
+		for open := true; open; {
+			select {
+			case _, ok := <-ch:
+				open = ok
+			case <-deadline:
+				t.Fatalf("subscriber %d channel never closed", i)
+			}
+		}
+	}
+	// Cancel after Close must not double-close.
+	for _, cancel := range cancels {
+		cancel()
+	}
+	// Subscribe after Close hands back an already-closed channel.
+	ch, cancel := s.Subscribe(1)
+	if _, ok := <-ch; ok {
+		t.Fatal("subscribe-after-close channel delivered")
+	}
+	cancel()
+	// Observe after Close still advances the model, delivers to no one.
+	s.Observe(7)
+	if _, n := s.Last(); n != 2 {
+		t.Fatalf("post-close Observe not consumed (n=%d)", n)
+	}
+}
+
+func TestStreamChurnLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		s := newTestStream(t)
+		var wg sync.WaitGroup
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ch, cancel := s.Subscribe(2)
+				s.Observe(1)
+				select {
+				case <-ch:
+				default:
+				}
+				cancel()
+			}()
+		}
+		wg.Wait()
+		s.Close()
+	}
+	// The stream machinery itself spawns no goroutines; churn must not
+	// have left any behind either.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d -> %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,422 @@
+// Package sched is the background poll scheduler of the continuous
+// collection plane: remosd runs one per deployment, and instead of
+// measuring only when a query arrives, the scheduler polls each
+// registered target (a host set, typically a watched endpoint pair)
+// on an adaptive interval — widening while readings are stable,
+// narrowing when the network moves — so the system converts from
+// N-clients-polling to measure-once-push-many.
+//
+// Every poll appends per-edge utilization samples into a
+// collector.History, feeds long-lived rps.Stream predictors per
+// monitored edge (the paper's §2.3 streaming configuration, now with a
+// real producer), and invalidates-then-refreshes the qcache entries it
+// supersedes: because the scheduler collects *through* the cache with
+// the same canonical key a client query produces, hot queries are
+// answered from warm state without triggering new SNMP exchanges.
+// Fresh results are handed to the watch registry (Config.OnResult) for
+// predicate evaluation and push delivery.
+package sched
+
+import (
+	"context"
+	"hash/fnv"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/obs"
+	"remos/internal/rps"
+	"remos/internal/sim"
+)
+
+// Config wires a Scheduler.
+type Config struct {
+	// Collector answers the polls — normally the qcache-wrapped master,
+	// so each poll re-warms the exact entry client queries hit.
+	Collector collector.Interface
+	// Invalidate, when set, is called with the target's hosts just
+	// before each poll so superseded cache entries are dropped and the
+	// poll's answer becomes the new warm state. remosd passes a closure
+	// over qcache.Invalidate.
+	Invalidate func(hosts []netip.Addr)
+	// Sched supplies timers and the clock: the simulated scheduler in
+	// tests and experiments, real time in remosd.
+	Sched sim.Scheduler
+	// BaseInterval is a new target's starting poll interval (default
+	// 2s). MinInterval/MaxInterval bound adaptation (defaults Base/4
+	// and 8*Base).
+	BaseInterval time.Duration
+	MinInterval  time.Duration
+	MaxInterval  time.Duration
+	// Jitter spreads poll times by ±this fraction of the interval
+	// (default 0.1) so targets never phase-lock. Jitter is drawn from a
+	// per-target seeded source: deterministic under the simulated
+	// clock.
+	Jitter float64
+	// ChangeFrac is the per-edge utilization change, relative to link
+	// capacity, that counts as "the network moved" (default 0.05).
+	ChangeFrac float64
+	// Seed perturbs the per-target jitter sources.
+	Seed int64
+	// HistoryLen bounds retained samples per edge (default 512).
+	HistoryLen int
+	// Predict, when non-empty, is the RPS model spec (e.g. "AR(16)")
+	// fitted per monitored edge once PredictMinFit samples (default 64)
+	// accumulate, then advanced every poll; PredictHorizon (default 8)
+	// is the forecast depth.
+	Predict        string
+	PredictMinFit  int
+	PredictHorizon int
+	// OnResult receives every successful poll's result (already a
+	// private clone) — the watch registry's Evaluate hooks in here.
+	OnResult func(hosts []netip.Addr, res *collector.Result)
+	// Obs, when set, receives the scheduler's counters and per-target
+	// poll-interval gauges.
+	Obs *obs.Registry
+}
+
+// Scheduler runs adaptive background poll loops. Safe for concurrent
+// use; poll callbacks run on the sim.Scheduler's goroutine(s).
+type Scheduler struct {
+	cfg    Config
+	hist   *collector.History
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	targets map[string]*target
+	streams map[collector.HistKey]*streamRec
+	closed  bool
+
+	mPolls   *obs.Counter
+	mErrors  *obs.Counter
+	mSamples *obs.Counter
+}
+
+// target is one registered host set with its adaptive poll state.
+type target struct {
+	key      string
+	hosts    []netip.Addr
+	refs     int
+	interval time.Duration
+	timer    *sim.Timer
+	rng      *rand.Rand
+	last     map[collector.HistKey]float64 // per-edge utilization at previous poll
+	gIval    *obs.Gauge
+}
+
+// streamRec is one edge's long-lived streaming predictor.
+type streamRec struct {
+	mu     sync.Mutex
+	stream *rps.Stream
+}
+
+// New validates the config and returns a scheduler with no targets.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.BaseInterval <= 0 {
+		cfg.BaseInterval = 2 * time.Second
+	}
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = cfg.BaseInterval / 4
+	}
+	if cfg.MaxInterval <= 0 {
+		cfg.MaxInterval = 8 * cfg.BaseInterval
+	}
+	if cfg.MaxInterval < cfg.BaseInterval {
+		cfg.MaxInterval = cfg.BaseInterval
+	}
+	if cfg.Jitter <= 0 {
+		cfg.Jitter = 0.1
+	}
+	if cfg.ChangeFrac <= 0 {
+		cfg.ChangeFrac = 0.05
+	}
+	if cfg.HistoryLen <= 0 {
+		cfg.HistoryLen = 512
+	}
+	if cfg.PredictMinFit <= 0 {
+		cfg.PredictMinFit = 64
+	}
+	if cfg.PredictHorizon <= 0 {
+		cfg.PredictHorizon = 8
+	}
+	if cfg.Predict != "" {
+		if _, err := rps.ParseFitter(cfg.Predict); err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:     cfg,
+		hist:    collector.NewHistory(cfg.HistoryLen),
+		ctx:     ctx,
+		cancel:  cancel,
+		targets: make(map[string]*target),
+		streams: make(map[collector.HistKey]*streamRec),
+	}
+	s.mPolls = cfg.Obs.Counter("remos_sched_polls_total", "background polls issued by the scheduler")
+	s.mErrors = cfg.Obs.Counter("remos_sched_poll_errors_total", "background polls that failed")
+	s.mSamples = cfg.Obs.Counter("remos_sched_samples_total", "per-edge samples appended by the scheduler")
+	cfg.Obs.GaugeFunc("remos_sched_targets", "host sets under background polling", func() float64 {
+		return float64(s.Targets())
+	})
+	return s, nil
+}
+
+// targetKey canonicalizes a host set exactly like qcache.Key does for a
+// flagless query: sorted addresses joined by commas.
+func targetKey(hosts []netip.Addr) string {
+	ss := make([]string, len(hosts))
+	for i, h := range hosts {
+		ss[i] = h.String()
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, ",")
+}
+
+// AddTarget registers a host set for background polling. Targets are
+// refcounted: matching AddTarget/RemoveTarget calls nest, and the poll
+// loop runs while the count is positive. The first poll fires almost
+// immediately (a jittered fraction of MinInterval).
+func (s *Scheduler) AddTarget(hosts []netip.Addr) {
+	if len(hosts) == 0 {
+		return
+	}
+	key := targetKey(hosts)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if t := s.targets[key]; t != nil {
+		t.refs++
+		return
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	t := &target{
+		key:      key,
+		hosts:    append([]netip.Addr(nil), hosts...),
+		refs:     1,
+		interval: s.cfg.BaseInterval,
+		rng:      rand.New(rand.NewSource(s.cfg.Seed ^ int64(h.Sum64()))),
+		last:     make(map[collector.HistKey]float64),
+		gIval:    s.cfg.Obs.Gauge("remos_sched_poll_interval_seconds", "current adaptive poll interval", "target", key),
+	}
+	t.gIval.Set(t.interval.Seconds())
+	s.targets[key] = t
+	first := time.Duration(t.rng.Float64() * float64(s.cfg.MinInterval))
+	t.timer = s.cfg.Sched.After(first, func() { s.poll(t) })
+}
+
+// RemoveTarget drops one reference; at zero the poll loop stops.
+func (s *Scheduler) RemoveTarget(hosts []netip.Addr) {
+	key := targetKey(hosts)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.targets[key]
+	if t == nil {
+		return
+	}
+	if t.refs--; t.refs > 0 {
+		return
+	}
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+	t.gIval.Set(0)
+	delete(s.targets, key)
+}
+
+// poll runs one collection for a target, feeds history/streams/watches,
+// adapts the interval, and reschedules itself.
+func (s *Scheduler) poll(t *target) {
+	s.mu.Lock()
+	if s.closed || s.targets[t.key] != t {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	if s.cfg.Invalidate != nil {
+		s.cfg.Invalidate(t.hosts)
+	}
+	q := collector.Query{Hosts: t.hosts}.WithContext(s.ctx)
+	res, err := s.cfg.Collector.Collect(q)
+	s.mPolls.Inc()
+
+	changed := false
+	if err != nil {
+		s.mErrors.Inc()
+	} else if res != nil && res.Graph != nil {
+		now := s.cfg.Sched.Now()
+		maxChange := 0.0
+		for _, l := range res.Graph.Links() {
+			if l.Capacity <= 0 {
+				continue
+			}
+			for _, dir := range [2]struct {
+				k    collector.HistKey
+				util float64
+			}{
+				{collector.HistKey{From: l.From, To: l.To}, l.UtilFromTo},
+				{collector.HistKey{From: l.To, To: l.From}, l.UtilToFrom},
+			} {
+				s.hist.Add(dir.k, collector.Sample{T: now, Bits: dir.util})
+				s.mSamples.Inc()
+				s.feedStream(dir.k, dir.util)
+				if prev, ok := t.last[dir.k]; ok {
+					if d := (dir.util - prev) / l.Capacity; d > maxChange {
+						maxChange = d
+					} else if -d > maxChange {
+						maxChange = -d
+					}
+				}
+				t.last[dir.k] = dir.util
+			}
+		}
+		changed = maxChange >= s.cfg.ChangeFrac
+		if s.cfg.OnResult != nil {
+			s.cfg.OnResult(t.hosts, res)
+		}
+	}
+
+	// Adapt: narrow on movement (or errors — the network may be in
+	// trouble exactly when we fail to see it), widen while stable.
+	if changed || err != nil {
+		t.interval = max(s.cfg.MinInterval, t.interval/2)
+	} else {
+		t.interval = min(s.cfg.MaxInterval, t.interval*3/2)
+	}
+	t.gIval.Set(t.interval.Seconds())
+
+	next := jittered(t.interval, s.cfg.Jitter, t.rng)
+	s.mu.Lock()
+	if !s.closed && s.targets[t.key] == t {
+		t.timer = s.cfg.Sched.After(next, func() { s.poll(t) })
+	}
+	s.mu.Unlock()
+}
+
+// jittered spreads d by ±frac.
+func jittered(d time.Duration, frac float64, rng *rand.Rand) time.Duration {
+	j := 1 + (rng.Float64()*2-1)*frac
+	out := time.Duration(float64(d) * j)
+	if out <= 0 {
+		out = d
+	}
+	return out
+}
+
+// feedStream advances (or lazily fits) the long-lived predictor for one
+// edge, mirroring the snmpcoll streaming configuration.
+func (s *Scheduler) feedStream(k collector.HistKey, v float64) {
+	if s.cfg.Predict == "" {
+		return
+	}
+	s.mu.Lock()
+	rec := s.streams[k]
+	s.mu.Unlock()
+	if rec == nil {
+		hist := s.hist.Get(k)
+		if len(hist) < s.cfg.PredictMinFit {
+			return
+		}
+		fitter, err := rps.ParseFitter(s.cfg.Predict)
+		if err != nil {
+			return // validated in New; defensive
+		}
+		model, err := fitter.Fit(collector.Values(hist))
+		if err != nil {
+			return // degenerate history; retry on a later sample
+		}
+		rec = &streamRec{stream: rps.NewStream(model, s.cfg.PredictHorizon)}
+		s.mu.Lock()
+		if existing := s.streams[k]; existing != nil {
+			rec = existing
+		} else if s.closed {
+			s.mu.Unlock()
+			rec.stream.Close()
+			return
+		} else {
+			s.streams[k] = rec
+		}
+		s.mu.Unlock()
+		return // the fit consumed this sample via history
+	}
+	rec.mu.Lock()
+	rec.stream.Observe(v)
+	rec.mu.Unlock()
+}
+
+// Forecast returns the streaming prediction for one edge, if a
+// predictor is live.
+func (s *Scheduler) Forecast(k collector.HistKey) (collector.Forecast, bool) {
+	s.mu.Lock()
+	rec := s.streams[k]
+	s.mu.Unlock()
+	if rec == nil {
+		return collector.Forecast{}, false
+	}
+	rec.mu.Lock()
+	p, n := rec.stream.Last()
+	rec.mu.Unlock()
+	if n == 0 || len(p.Values) == 0 {
+		return collector.Forecast{}, false
+	}
+	return collector.Forecast{
+		Values: append([]float64(nil), p.Values...),
+		ErrVar: append([]float64(nil), p.ErrVar...),
+	}, true
+}
+
+// History exposes the scheduler's accumulated per-edge samples.
+func (s *Scheduler) History() *collector.History { return s.hist }
+
+// Targets reports how many host sets are under background polling.
+func (s *Scheduler) Targets() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.targets)
+}
+
+// Interval reports a target's current adaptive poll interval (0 if the
+// host set is not registered). Diagnostics and tests.
+func (s *Scheduler) Interval(hosts []netip.Addr) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.targets[targetKey(hosts)]; t != nil {
+		return t.interval
+	}
+	return 0
+}
+
+// Stop cancels every poll loop and in-flight collection and closes the
+// streaming predictors. Idempotent.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, t := range s.targets {
+		if t.timer != nil {
+			t.timer.Stop()
+		}
+	}
+	clear(s.targets)
+	streams := make([]*streamRec, 0, len(s.streams))
+	for _, rec := range s.streams {
+		streams = append(streams, rec)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	for _, rec := range streams {
+		rec.stream.Close()
+	}
+}

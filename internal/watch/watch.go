@@ -1,0 +1,380 @@
+// Package watch is the server-side subscription registry of the
+// continuous-collection plane: clients register predicates over
+// flow/topology results ("available bandwidth from A to B drops below
+// X", "any change beyond Y%"), the background poll scheduler's fresh
+// samples are evaluated against every active watch, and matching
+// updates are pushed to subscribers instead of being re-polled — the
+// measure-once-push-many shape the paper's collectors were built for.
+//
+// The registry is transport-agnostic: internal/proto drains each
+// Subscription's channel onto the ASCII protocol (UPDATE lines) or the
+// HTTP transport (Server-Sent Events), and remos.Connection.Watch is
+// the public face. Pushes never block the measurement path — a slow
+// subscriber loses intermediate updates (counted), never stalls the
+// scheduler.
+package watch
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sync"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/obs"
+	"remos/internal/rerr"
+)
+
+// Reason strings carried on every Update.
+const (
+	// ReasonInit is the first evaluation after subscribing: the baseline
+	// value, pushed so the client knows the starting point.
+	ReasonInit = "init"
+	// ReasonBelow fires when the value crosses under Spec.Below.
+	ReasonBelow = "below"
+	// ReasonAbove fires when the value crosses over Spec.Above.
+	ReasonAbove = "above"
+	// ReasonChange fires when the value moves by Spec.ChangeFrac
+	// relative to the last pushed value.
+	ReasonChange = "change"
+)
+
+// Spec describes one subscription: the monitored endpoint pair and the
+// predicates that trigger a push. At least one of Below, Above or
+// ChangeFrac must be set.
+type Spec struct {
+	// Src, Dst are the endpoints; the watched value is the bottleneck
+	// available bandwidth of the path between them, the same number
+	// AvailableBandwidth reports.
+	Src, Dst netip.Addr
+	// Below pushes when availability drops below this many bits/s
+	// (edge-triggered: once per downward crossing). 0 disables.
+	Below float64
+	// Above pushes when availability rises above this many bits/s
+	// (edge-triggered). 0 disables.
+	Above float64
+	// ChangeFrac pushes whenever availability moves by this fraction
+	// relative to the last pushed value (0.1 = 10%). 0 disables.
+	ChangeFrac float64
+	// Buf is the subscription channel depth (default 16). When the
+	// consumer lags this far behind, intermediate updates are dropped.
+	Buf int
+}
+
+func (s Spec) validate() error {
+	if !s.Src.IsValid() || !s.Dst.IsValid() {
+		return fmt.Errorf("watch: spec needs valid src and dst addresses")
+	}
+	if s.Below <= 0 && s.Above <= 0 && s.ChangeFrac <= 0 {
+		return fmt.Errorf("watch: spec needs at least one predicate (below/above/change)")
+	}
+	if s.Below < 0 || s.Above < 0 || s.ChangeFrac < 0 {
+		return fmt.Errorf("watch: negative predicate values")
+	}
+	return nil
+}
+
+// Update is one push to a subscriber.
+type Update struct {
+	// Seq numbers this subscription's pushes from 1; gaps reveal drops.
+	Seq int64 `json:"seq"`
+	// At is the sample time (the scheduler's clock).
+	At time.Time `json:"at"`
+	// Src, Dst echo the watched pair.
+	Src netip.Addr `json:"src"`
+	Dst netip.Addr `json:"dst"`
+	// Avail is the bottleneck available bandwidth in bits/s.
+	Avail float64 `json:"avail"`
+	// Prev is the previously pushed value (0 on the first push).
+	Prev float64 `json:"prev,omitempty"`
+	// Reason says which predicate fired: init, below, above or change.
+	Reason string `json:"reason"`
+	// Err, when non-nil, is the terminal update: the typed close reason
+	// (internal/rerr taxonomy) delivered just before the channel closes.
+	Err error `json:"-"`
+}
+
+// Config wires a Registry to its surroundings.
+type Config struct {
+	// Now supplies sample timestamps (nil means time.Now). Deployments
+	// over the simulated scheduler pass its Now.
+	Now func() time.Time
+	// EnsureTarget, when set, is called with the endpoint pair of every
+	// new watch so the poll scheduler starts covering it; ReleaseTarget
+	// is called when the last watch on that pair ends. The registry
+	// refcounts pairs — Ensure/Release are invoked once per pair, not
+	// once per subscription.
+	EnsureTarget  func(hosts []netip.Addr)
+	ReleaseTarget func(hosts []netip.Addr)
+	// DefaultBuf overrides the default subscription channel depth.
+	DefaultBuf int
+	// Obs, when set, receives the watch-plane gauges and counters.
+	Obs *obs.Registry
+}
+
+// Registry holds the active subscriptions and evaluates fresh results
+// against them. Safe for concurrent use.
+type Registry struct {
+	cfg Config
+
+	mu       sync.Mutex
+	subs     map[int64]*Subscription
+	nextID   int64
+	pairRefs map[[2]netip.Addr]int
+	closed   bool
+
+	mUpdates *obs.Counter
+	mDrops   *obs.Counter
+	mEvals   *obs.Counter
+}
+
+// New builds an empty registry.
+func New(cfg Config) *Registry {
+	if cfg.DefaultBuf <= 0 {
+		cfg.DefaultBuf = 16
+	}
+	r := &Registry{
+		cfg:      cfg,
+		subs:     make(map[int64]*Subscription),
+		pairRefs: make(map[[2]netip.Addr]int),
+	}
+	cfg.Obs.GaugeFunc("remos_watch_active", "watch subscriptions currently registered", func() float64 {
+		return float64(r.Active())
+	})
+	r.mUpdates = cfg.Obs.Counter("remos_watch_updates_total", "updates pushed to watch subscribers")
+	r.mDrops = cfg.Obs.Counter("remos_watch_dropped_total", "updates dropped because a subscriber lagged")
+	r.mEvals = cfg.Obs.Counter("remos_watch_evals_total", "subscription predicate evaluations")
+	return r
+}
+
+func (r *Registry) now() time.Time {
+	if r.cfg.Now != nil {
+		return r.cfg.Now()
+	}
+	return time.Now()
+}
+
+// Subscription is one active watch. Updates arrive on Updates(); the
+// channel closes after the terminal update (Err set) or a plain Close.
+type Subscription struct {
+	// ID is unique within the registry for the registry's lifetime; the
+	// wire protocols use it to correlate UPDATE lines with watches.
+	ID   int64
+	Spec Spec
+
+	reg *Registry
+	ch  chan Update
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int64
+	lastPush float64 // last value delivered (Prev on the next push; ChangeFrac baseline)
+	lastObs  float64 // last value evaluated, pushed or not (crossing detection)
+	hasPush  bool
+}
+
+// Updates returns the subscription's delivery channel.
+func (s *Subscription) Updates() <-chan Update { return s.ch }
+
+// Subscribe registers a watch. The caller must eventually call Close on
+// the returned subscription (directly or via Registry.Close).
+func (r *Registry) Subscribe(spec Spec) (*Subscription, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if spec.Buf <= 0 {
+		spec.Buf = r.cfg.DefaultBuf
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, rerr.Tagf(rerr.ErrCollectorUnavailable, "watch: registry closed")
+	}
+	r.nextID++
+	sub := &Subscription{ID: r.nextID, Spec: spec, reg: r, ch: make(chan Update, spec.Buf)}
+	r.subs[sub.ID] = sub
+	pk := pairKey(spec.Src, spec.Dst)
+	r.pairRefs[pk]++
+	first := r.pairRefs[pk] == 1
+	r.mu.Unlock()
+	if first && r.cfg.EnsureTarget != nil {
+		r.cfg.EnsureTarget([]netip.Addr{spec.Src, spec.Dst})
+	}
+	return sub, nil
+}
+
+func pairKey(a, b netip.Addr) [2]netip.Addr {
+	if b.Less(a) {
+		a, b = b, a
+	}
+	return [2]netip.Addr{a, b}
+}
+
+// Close ends the subscription. A non-nil reason is delivered as a
+// terminal update (Err set) before the channel closes; nil closes the
+// channel quietly (client-initiated unsubscribe). Idempotent.
+func (s *Subscription) Close(reason error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if reason != nil {
+		s.seq++
+		u := Update{Seq: s.seq, At: s.reg.now(), Src: s.Spec.Src, Dst: s.Spec.Dst, Err: reason}
+		// Strongly prefer delivering the close reason: if the buffer is
+		// full, evict one stale update to make room. We are the sole
+		// sender (evaluate holds s.mu too), so the drain below is safe.
+		select {
+		case s.ch <- u:
+		default:
+			select {
+			case <-s.ch:
+			default:
+			}
+			select {
+			case s.ch <- u:
+			default:
+			}
+		}
+	}
+	close(s.ch)
+	s.mu.Unlock()
+
+	r := s.reg
+	r.mu.Lock()
+	delete(r.subs, s.ID)
+	pk := pairKey(s.Spec.Src, s.Spec.Dst)
+	last := false
+	if n := r.pairRefs[pk]; n > 1 {
+		r.pairRefs[pk] = n - 1
+	} else if n == 1 {
+		delete(r.pairRefs, pk)
+		last = true
+	}
+	r.mu.Unlock()
+	if last && r.cfg.ReleaseTarget != nil {
+		r.cfg.ReleaseTarget([]netip.Addr{s.Spec.Src, s.Spec.Dst})
+	}
+}
+
+// evaluate runs the predicates against a fresh value and pushes if one
+// fires. Returns true if an update was pushed.
+func (s *Subscription) evaluate(v float64, at time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	reason := ""
+	switch {
+	case !s.hasPush:
+		// First evaluation: push the baseline, tagged with the predicate
+		// it already satisfies so a subscriber watching "below X" on a
+		// path that is already under X hears immediately.
+		reason = ReasonInit
+		if s.Spec.Below > 0 && v < s.Spec.Below {
+			reason = ReasonBelow
+		} else if s.Spec.Above > 0 && v > s.Spec.Above {
+			reason = ReasonAbove
+		}
+	// Crossings compare against the last *observed* value so a silent
+	// recovery re-arms the edge; change compares against the last
+	// *pushed* value so slow drifts still accumulate into a push.
+	case s.Spec.Below > 0 && v < s.Spec.Below && s.lastObs >= s.Spec.Below:
+		reason = ReasonBelow
+	case s.Spec.Above > 0 && v > s.Spec.Above && s.lastObs <= s.Spec.Above:
+		reason = ReasonAbove
+	case s.Spec.ChangeFrac > 0 && relChange(v, s.lastPush) >= s.Spec.ChangeFrac:
+		reason = ReasonChange
+	}
+	s.lastObs = v
+	if reason == "" {
+		return false
+	}
+	s.seq++
+	u := Update{
+		Seq: s.seq, At: at,
+		Src: s.Spec.Src, Dst: s.Spec.Dst,
+		Avail: v, Prev: s.lastPush, Reason: reason,
+	}
+	if !s.hasPush {
+		u.Prev = 0
+	}
+	s.lastPush, s.hasPush = v, true
+	select {
+	case s.ch <- u:
+		s.reg.mUpdates.Inc()
+	default:
+		s.reg.mDrops.Inc()
+	}
+	return true
+}
+
+// relChange is |v-prev| relative to prev, guarding a zero baseline.
+func relChange(v, prev float64) float64 {
+	denom := math.Abs(prev)
+	if denom == 0 {
+		if v == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(v-prev) / denom
+}
+
+// Evaluate runs every active subscription whose endpoints resolve in
+// the result's graph against the freshly collected value. The scheduler
+// calls this after each poll; pushes are non-blocking.
+func (r *Registry) Evaluate(res *collector.Result) {
+	if res == nil || res.Graph == nil {
+		return
+	}
+	at := r.now()
+	r.mu.Lock()
+	subs := make([]*Subscription, 0, len(r.subs))
+	for _, s := range r.subs {
+		subs = append(subs, s)
+	}
+	r.mu.Unlock()
+	for _, s := range subs {
+		src, dst := s.Spec.Src.String(), s.Spec.Dst.String()
+		if res.Graph.Node(src) == nil || res.Graph.Node(dst) == nil {
+			continue // this poll covered a different region
+		}
+		v, _, err := res.Graph.BottleneckAvail(src, dst)
+		if err != nil {
+			continue
+		}
+		r.mEvals.Inc()
+		s.evaluate(v, at)
+	}
+}
+
+// Active reports the number of registered subscriptions.
+func (r *Registry) Active() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.subs)
+}
+
+// Close terminates every subscription with the given reason (nil means
+// a quiet close) and rejects future Subscribe calls. Idempotent.
+func (r *Registry) Close(reason error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	subs := make([]*Subscription, 0, len(r.subs))
+	for _, s := range r.subs {
+		subs = append(subs, s)
+	}
+	r.mu.Unlock()
+	for _, s := range subs {
+		s.Close(reason)
+	}
+}

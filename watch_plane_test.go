@@ -1,0 +1,361 @@
+package remos_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/netip"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"remos"
+	"remos/internal/collector"
+	"remos/internal/collector/qcache"
+	"remos/internal/core"
+	"remos/internal/netsim"
+	"remos/internal/proto"
+	"remos/internal/rerr"
+	"remos/internal/sched"
+	"remos/internal/watch"
+)
+
+// watchStack wires the full continuous-collection plane the way remosd
+// does: deployment -> qcache -> background scheduler -> watch registry,
+// served over both wire protocols.
+type watchStack struct {
+	dep   *core.Deployment
+	d     map[string]*netsim.Device
+	reg   *remos.MetricsRegistry
+	cache *qcache.Cache
+	plane *sched.Scheduler
+	watch *watch.Registry
+	tcp   string // ASCII address
+	http  string // XML/SSE base URL
+}
+
+func newWatchStack(t *testing.T) *watchStack {
+	t.Helper()
+	reg := remos.NewMetricsRegistry()
+	dep, d := stackOpts(t, core.Options{Obs: reg})
+
+	cache := qcache.New(dep.Sites["cmu"].Master, qcache.Config{
+		TTL: time.Minute, Now: dep.Sim.Now, Obs: reg,
+	})
+	ws := &watchStack{dep: dep, d: d, reg: reg, cache: cache}
+	ws.watch = watch.New(watch.Config{
+		Obs:           reg,
+		Now:           dep.Sim.Now,
+		EnsureTarget:  func(hosts []netip.Addr) { ws.plane.AddTarget(hosts) },
+		ReleaseTarget: func(hosts []netip.Addr) { ws.plane.RemoveTarget(hosts) },
+	})
+	plane, err := sched.New(sched.Config{
+		Collector: cache,
+		Invalidate: func(hosts []netip.Addr) {
+			cache.Invalidate(qcache.Key(collector.Query{Hosts: hosts}))
+		},
+		Sched:        dep.Sim,
+		BaseInterval: time.Second,
+		MaxInterval:  4 * time.Second,
+		OnResult:     func(_ []netip.Addr, res *collector.Result) { ws.watch.Evaluate(res) },
+		Obs:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.plane = plane
+	t.Cleanup(plane.Stop)
+	t.Cleanup(func() { ws.watch.Close(nil) })
+
+	tsrv := &proto.TCPServer{Collector: cache, Watch: ws.watch, Obs: reg}
+	tcpAddr, err := tsrv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tsrv.Close() })
+	hsrv := &proto.HTTPServer{Collector: cache, Watch: ws.watch, Obs: reg}
+	httpAddr, err := hsrv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hsrv.Close() })
+	ws.tcp = tcpAddr
+	ws.http = "http://" + httpAddr
+	return ws
+}
+
+// pump advances simulated time in slices, yielding real time between
+// slices so the real-goroutine wire machinery (TCP reads, SSE flushes)
+// keeps up, until cond holds or the real deadline passes.
+func pump(t *testing.T, dep *core.Deployment, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached while pumping the simulation")
+		}
+		dep.Sim.RunFor(250 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestWatchPlaneEndToEnd is the PR's acceptance test: a netsim-scripted
+// threshold crossing delivers an UPDATE over the ASCII transport and
+// over HTTP/SSE without the clients issuing a second query, and a
+// query for the scheduler-covered pair is then served from warm cache
+// state with zero new SNMP exchanges.
+func TestWatchPlaneEndToEnd(t *testing.T) {
+	ws := newWatchStack(t)
+	src, dst := ws.d["app"].Addr(), ws.d["srv"].Addr()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Subscribe over both transports: availability below 5e6 on the
+	// app->srv path, whose WAN hop is 8e6.
+	chans := map[string]<-chan remos.Update{}
+	for name, target := range map[string]string{"ascii": "tcp://" + ws.tcp, "sse": ws.http} {
+		conn, err := remos.Connect(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := conn.Watch(ctx, remos.WatchQuery{Src: src, Dst: dst}, remos.WatchBelow(5e6))
+		if err != nil {
+			t.Fatalf("%s watch: %v", name, err)
+		}
+		chans[name] = ch
+	}
+	// Both subscriptions registered server-side; the pair they share is
+	// under background polling.
+	pump(t, ws.dep, func() bool { return ws.watch.Active() == 2 && ws.plane.Targets() == 1 })
+
+	// Baseline: the uncongested path reports ~8e6, above the threshold.
+	baselines := map[string]remos.Update{}
+	pump(t, ws.dep, func() bool {
+		for name, ch := range chans {
+			if _, ok := baselines[name]; ok {
+				continue
+			}
+			select {
+			case u := <-ch:
+				baselines[name] = u
+			default:
+			}
+		}
+		return len(baselines) == 2
+	})
+	for name, u := range baselines {
+		if u.Reason != "init" || math.Abs(u.Avail-8e6) > 1e6 {
+			t.Fatalf("%s baseline = %+v, want init at ~8e6", name, u)
+		}
+	}
+
+	// Perturb: a scripted 6e6 flow congests the 8e6 WAN hop, dropping
+	// availability to ~2e6 — through the threshold.
+	if _, err := ws.dep.Net.StartFlow(ws.d["peer"], ws.d["srv"], netsim.FlowSpec{Demand: 6e6}); err != nil {
+		t.Fatal(err)
+	}
+	crossings := map[string]remos.Update{}
+	pump(t, ws.dep, func() bool {
+		for name, ch := range chans {
+			if _, ok := crossings[name]; ok {
+				continue
+			}
+			select {
+			case u := <-ch:
+				crossings[name] = u
+			default:
+			}
+		}
+		return len(crossings) == 2
+	})
+	for name, u := range crossings {
+		if u.Reason != "below" || u.Avail > 5e6 {
+			t.Fatalf("%s crossing = %+v, want below under 5e6", name, u)
+		}
+		if u.Src != src || u.Dst != dst {
+			t.Fatalf("%s endpoints = %+v", name, u)
+		}
+	}
+
+	// Warm-query guarantee: freeze the simulation (no more polls, no
+	// counter movement except what we cause) and query the covered pair
+	// through the public API. The scheduler's last poll refilled the
+	// cache entry this query hits, so no new SNMP exchanges happen.
+	snmpBefore := ws.reg.Counter("remos_snmp_exchanges_total", "").Value()
+	hitsBefore := ws.reg.Counter("remos_qcache_hits_total", "").Value()
+	m, err := remos.Dial("tcp://" + ws.tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qctx, qcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer qcancel()
+	bw, err := m.AvailableBandwidthContext(qctx, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw > 5e6 {
+		t.Fatalf("warm answer %v does not reflect the congested path", bw)
+	}
+	if got := ws.reg.Counter("remos_snmp_exchanges_total", "").Value(); got != snmpBefore {
+		t.Fatalf("warm query cost %d new SNMP exchanges", got-snmpBefore)
+	}
+	if got := ws.reg.Counter("remos_qcache_hits_total", "").Value(); got != hitsBefore+1 {
+		t.Fatalf("qcache hits %d -> %d, want exactly one warm hit", hitsBefore, got)
+	}
+
+	// The plane's own metrics are exposed for /metrics and remosctl
+	// stats.
+	var b strings.Builder
+	ws.reg.WritePrometheus(&b)
+	metrics := b.String()
+	for _, want := range []string{
+		"remos_watch_active 2",
+		"remos_watch_updates_total",
+		"remos_sched_polls_total",
+		"remos_sched_samples_total",
+		"remos_sched_targets 1",
+		"remos_sched_poll_interval_seconds{target=",
+		"remos_qcache_invalidations_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("metrics:\n%s", metrics)
+	}
+
+	// Unsubscribe both: the scheduler drops the pair once the last watch
+	// on it ends.
+	cancel()
+	pump(t, ws.dep, func() bool { return ws.watch.Active() == 0 && ws.plane.Targets() == 0 })
+	for name, ch := range chans {
+		deadline := time.After(5 * time.Second)
+		for open := true; open; {
+			select {
+			case u, ok := <-ch:
+				if !ok {
+					open = false
+					break
+				}
+				if u.Err != nil && !errors.Is(u.Err, context.Canceled) {
+					t.Fatalf("%s terminal err = %v, want context.Canceled", name, u.Err)
+				}
+			case <-deadline:
+				t.Fatalf("%s channel never closed after cancel", name)
+			}
+		}
+	}
+}
+
+// TestWatchPlaneServerShutdownTypedReason checks the daemon-shutdown
+// path: closing the registry with a typed reason delivers it to every
+// wire subscriber before their channels close.
+func TestWatchPlaneServerShutdownTypedReason(t *testing.T) {
+	ws := newWatchStack(t)
+	src, dst := ws.d["app"].Addr(), ws.d["srv"].Addr()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	chans := map[string]<-chan remos.Update{}
+	for name, target := range map[string]string{"ascii": "tcp://" + ws.tcp, "sse": ws.http} {
+		conn, err := remos.Connect(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := conn.Watch(ctx, remos.WatchQuery{Src: src, Dst: dst}, remos.WatchOnChange(0.05))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[name] = ch
+	}
+	pump(t, ws.dep, func() bool { return ws.watch.Active() == 2 })
+
+	ws.watch.Close(rerr.Tagf(rerr.ErrCollectorUnavailable, "remosd shutting down"))
+	for name, ch := range chans {
+		sawTyped := false
+		deadline := time.After(10 * time.Second)
+		for open := true; open; {
+			select {
+			case u, ok := <-ch:
+				if !ok {
+					open = false
+					break
+				}
+				if u.Err != nil && errors.Is(u.Err, remos.ErrCollectorUnavailable) {
+					sawTyped = true
+				}
+			case <-deadline:
+				t.Fatalf("%s: no close after shutdown", name)
+			}
+		}
+		if !sawTyped {
+			t.Fatalf("%s: shutdown reason lost its type", name)
+		}
+	}
+}
+
+// TestWatchPlaneLeaksNoGoroutines churns watch subscriptions through
+// the whole stack and verifies the goroutine count settles back.
+func TestWatchPlaneLeaksNoGoroutines(t *testing.T) {
+	ws := newWatchStack(t)
+	src, dst := ws.d["app"].Addr(), ws.d["srv"].Addr()
+
+	connect := func(target string) *remos.Connection {
+		conn, err := remos.Connect(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+	asciiConn := connect("tcp://" + ws.tcp)
+	sseConn := connect(ws.http)
+
+	// One warm-up round so lazy machinery is excluded from the baseline.
+	warmCtx, warmCancel := context.WithCancel(context.Background())
+	for _, c := range []*remos.Connection{asciiConn, sseConn} {
+		if _, err := c.Watch(warmCtx, remos.WatchQuery{Src: src, Dst: dst}, remos.WatchOnChange(0.05)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pump(t, ws.dep, func() bool { return ws.watch.Active() == 2 })
+	warmCancel()
+	pump(t, ws.dep, func() bool { return ws.watch.Active() == 0 })
+	time.Sleep(50 * time.Millisecond)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var got []<-chan remos.Update
+		for _, c := range []*remos.Connection{asciiConn, sseConn} {
+			ch, err := c.Watch(ctx, remos.WatchQuery{Src: src, Dst: dst}, remos.WatchOnChange(0.05))
+			if err != nil {
+				cancel()
+				t.Fatal(err)
+			}
+			got = append(got, ch)
+		}
+		pump(t, ws.dep, func() bool { return ws.watch.Active() == 2 })
+		cancel()
+		for _, ch := range got {
+			for range ch {
+			}
+		}
+		pump(t, ws.dep, func() bool { return ws.watch.Active() == 0 && ws.plane.Targets() == 0 })
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
