@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify obs-smoke watch-smoke bench bench-concurrency bench-snmp bench-json
+.PHONY: build test vet lint race verify fuzz-smoke obs-smoke watch-smoke bench bench-concurrency bench-snmp bench-json
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,23 @@ test:
 vet:
 	$(GO) vet ./...
 
+# remoslint: the Remos invariant analyzers — clock injection (wallclock),
+# seeded determinism (globalrand), error taxonomy (errwrap), metric
+# naming (metricname), goroutine hygiene (goctx). Exit 1 on findings;
+# `go run ./cmd/remoslint -json` emits machine-readable diagnostics.
+lint:
+	$(GO) run ./cmd/remoslint ./...
+
 race:
 	$(GO) test -race ./...
 
-verify: vet build test race
+verify: vet lint build test race
+
+# Shake each fuzz target for 10s so the targets (and their seed corpora)
+# can't bit-rot; CI runs this on every push.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzDecodeMessage -fuzztime 10s ./internal/snmp/
+	$(GO) test -run xxx -fuzz FuzzServeCommands -fuzztime 10s ./internal/directory/
 
 # Boots remosd and asserts the observability plane (/metrics, /healthz,
 # /debug/queries) reports a real query end to end.

@@ -1,0 +1,68 @@
+// Command remoslint runs the Remos invariant analyzers over the module
+// containing the working directory. It is dependency-free (stdlib
+// go/parser, go/types, go/importer only) and exits 1 when findings
+// survive, so `make lint` and CI fail on regressions.
+//
+// Usage:
+//
+//	remoslint [-json] [./...]
+//
+// The package pattern is accepted for familiarity but the linter always
+// audits the whole module: the invariants (duplicate metric names, one
+// registration site per family) are whole-program properties.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"remos/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON diagnostics")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: remoslint [-json] [./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "remoslint: unsupported pattern %q (the linter audits the whole module)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Run(pkgs, lint.DefaultPolicy())
+	lint.Relativize(diags, cwd)
+	if *jsonOut {
+		err = lint.WriteJSON(os.Stdout, diags)
+	} else {
+		err = lint.WriteText(os.Stdout, diags)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "remoslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "remoslint:", err)
+	os.Exit(2)
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"remos/internal/netsim"
+	"remos/internal/sim"
 )
 
 // NetsimProber measures through the network emulator: a probe is an
@@ -77,6 +78,7 @@ func (s *Sink) ListenAndServe(addr string) (string, error) {
 	}
 	s.ln = ln
 	s.wg.Add(1)
+	//remoslint:allow goctx accept loop ends when Close closes the listener; Close waits on the group
 	go func() {
 		defer s.wg.Done()
 		for {
@@ -85,6 +87,7 @@ func (s *Sink) ListenAndServe(addr string) (string, error) {
 				return
 			}
 			s.wg.Add(1)
+			//remoslint:allow goctx discard loop ends when the peer or Close tears the connection down
 			go func() {
 				defer s.wg.Done()
 				defer conn.Close()
@@ -119,6 +122,29 @@ type TCPProber struct {
 	// PortOf returns the sink port for a peer address; nil means 7 (the
 	// historical discard port).
 	PortOf func(netip.Addr) int
+	// Sched supplies the clock and pacing timers. Nil selects the real
+	// runtime clock (sim.Real): live deployments measure wall time,
+	// while emulated runs inject their discrete-event scheduler so
+	// probe timing is deterministic.
+	Sched sim.Scheduler
+}
+
+// sched resolves the clock, defaulting to real time.
+func (p *TCPProber) sched() sim.Scheduler {
+	if p.Sched != nil {
+		return p.Sched
+	}
+	return sim.Real{}
+}
+
+// sleepOn blocks the caller for d of the scheduler's time.
+func sleepOn(s sim.Scheduler, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{})
+	s.After(d, func() { close(ch) })
+	<-ch
 }
 
 // Start implements Prober over TCP.
@@ -131,11 +157,12 @@ func (p *TCPProber) Start(src, dst netip.Addr, demand float64) (func() float64, 
 	if err != nil {
 		return nil, err
 	}
+	sched := p.sched()
 	var mu sync.Mutex
 	var sent int64
 	stopCh := make(chan struct{})
 	done := make(chan struct{})
-	start := time.Now()
+	start := sched.Now()
 	go func() {
 		defer close(done)
 		defer conn.Close()
@@ -156,10 +183,10 @@ func (p *TCPProber) Start(src, dst netip.Addr, demand float64) (func() float64, 
 			if demand > 0 {
 				// Pace to the demanded rate.
 				mu.Lock()
-				ahead := time.Duration(float64(sent*8)/demand*float64(time.Second)) - time.Since(start)
+				ahead := time.Duration(float64(sent*8)/demand*float64(time.Second)) - sched.Now().Sub(start)
 				mu.Unlock()
 				if ahead > 0 {
-					time.Sleep(ahead)
+					sleepOn(sched, ahead)
 				}
 			}
 		}
@@ -167,7 +194,7 @@ func (p *TCPProber) Start(src, dst netip.Addr, demand float64) (func() float64, 
 	return func() float64 {
 		close(stopCh)
 		<-done
-		elapsed := time.Since(start)
+		elapsed := sched.Now().Sub(start)
 		mu.Lock()
 		defer mu.Unlock()
 		if elapsed <= 0 {
@@ -183,11 +210,12 @@ func (p *TCPProber) Delay(src, dst netip.Addr) (time.Duration, error) {
 	if p.PortOf != nil {
 		port = p.PortOf(dst)
 	}
-	start := time.Now()
+	sched := p.sched()
+	start := sched.Now()
 	conn, err := net.DialTimeout("tcp", fmt.Sprintf("%s:%d", dst, port), 5*time.Second)
 	if err != nil {
 		return 0, err
 	}
 	conn.Close()
-	return time.Since(start) / 2, nil
+	return sched.Now().Sub(start) / 2, nil
 }

@@ -116,6 +116,7 @@ func (c *Cache) now() time.Time {
 	if c.cfg.Now != nil {
 		return c.cfg.Now()
 	}
+	//remoslint:allow wallclock designated fallback: nil Config.Now means the wall clock by contract
 	return time.Now()
 }
 

@@ -210,6 +210,7 @@ func (c *Collector) now() time.Time {
 	if c.cfg.Sched != nil {
 		return c.cfg.Sched.Now()
 	}
+	//remoslint:allow wallclock designated fallback: nil Config.Sched means the wall clock by contract
 	return time.Now()
 }
 

@@ -45,6 +45,7 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 	}
 	s.ln = ln
 	s.wg.Add(1)
+	//remoslint:allow goctx accept loop ends when Close closes the listener; Close waits on the group
 	go func() {
 		defer s.wg.Done()
 		for {
@@ -53,6 +54,7 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 				return
 			}
 			s.wg.Add(1)
+			//remoslint:allow goctx serve loop ends when the peer disconnects or Close tears the connection down
 			go func() {
 				defer s.wg.Done()
 				defer conn.Close()

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted expectation patterns of one // want
+// comment, analysistest style: // want `re` "re" ...
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// golden runs every analyzer over one testdata package and matches the
+// diagnostics against its // want comments line by line.
+func golden(t *testing.T, name string) []Diagnostic {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir(dir, "golden/"+name)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags := Run([]*Package{pkg}, DefaultPolicy())
+
+	// Collect want expectations: (file base, line) -> patterns.
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				for _, q := range wantRe.FindAllString(rest, -1) {
+					pat := strings.Trim(q, "`")
+					if q[0] == '"' {
+						if u, err := strconv.Unquote(q); err == nil {
+							pat = u
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					k := key{filepath.Base(pos.Filename), pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{filepath.Base(d.File), d.Line}
+		rendered := fmt.Sprintf("[%s] %s", d.Check, d.Message)
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(rendered) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic %s:%d: %s", k.file, k.line, rendered)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+		if len(wants[k]) == 0 {
+			delete(wants, k)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("missing diagnostic at %s:%d matching %q", k.file, k.line, re)
+		}
+	}
+	return diags
+}
+
+func TestWallclockGolden(t *testing.T)  { golden(t, "wallclock") }
+func TestGlobalrandGolden(t *testing.T) { golden(t, "globalrand") }
+func TestErrwrapGolden(t *testing.T)    { golden(t, "errwrap") }
+func TestMetricnameGolden(t *testing.T) { golden(t, "metricname") }
+func TestGoctxGolden(t *testing.T)      { golden(t, "goctx") }
+
+// TestGoldenExitStatus asserts each negative fixture would fail a lint
+// run — the acceptance criterion that remoslint demonstrably exits 1 on
+// each analyzer's golden cases.
+func TestGoldenExitStatus(t *testing.T) {
+	for _, name := range []string{"wallclock", "globalrand", "errwrap", "metricname", "goctx", "allow"} {
+		pkg, err := LoadDir(filepath.Join("testdata", "src", name), "golden/"+name)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		if diags := Run([]*Package{pkg}, DefaultPolicy()); len(diags) == 0 {
+			t.Errorf("%s fixture produced no findings; a lint run over it would exit 0", name)
+		}
+	}
+}
+
+// TestAllowDirectives pins the directive verifier's behaviour: the
+// expectations are listed here because a want comment cannot share a
+// line with a line-comment directive.
+func TestAllowDirectives(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "allow"), "golden/allow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, DefaultPolicy())
+	type want struct {
+		line  int
+		check string
+		re    string
+	}
+	wants := []want{
+		{10, "allow", `unknown check "nonsense"`},
+		{13, "allow", `carries no reason`},
+		{16, "allow", `unused allow directive for wallclock`},
+		{25, "wallclock", `direct time\.Now`},
+	}
+	if len(diags) != len(wants) {
+		t.Errorf("got %d diagnostics, want %d:\n%v", len(diags), len(wants), diags)
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if d.Line == w.line && d.Check == w.check && regexp.MustCompile(w.re).MatchString(d.Message) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic at line %d [%s] matching %q", w.line, w.check, w.re)
+		}
+	}
+	// The suppressed fallback (line 21) must not appear.
+	for _, d := range diags {
+		if d.Line == 21 {
+			t.Errorf("directive at line 20 failed to suppress: %v", d)
+		}
+	}
+}
+
+// TestRepoLintClean asserts the repository itself passes every
+// analyzer: the fix sweep stays fixed, and regressions fail the suite
+// even before CI runs make lint.
+func TestRepoLintClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded (%d); loader lost the module", len(pkgs))
+	}
+	diags := Run(pkgs, DefaultPolicy())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestParseVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []verb
+	}{
+		{"plain", nil},
+		{"%v", []verb{{'v', 0}}},
+		{"a %d b %s", []verb{{'d', 0}, {'s', 1}}},
+		{"%q: %w", []verb{{'q', 0}, {'w', 1}}},
+		{"100%% %v", []verb{{'v', 0}}},
+		{"%-8.3f %v", []verb{{'f', 0}, {'v', 1}}},
+		{"%*d %v", []verb{{'d', 1}, {'v', 2}}},
+		{"%[2]s %[1]s", []verb{{'s', 1}, {'s', 0}}},
+	}
+	for _, c := range cases {
+		got := parseVerbs(c.format)
+		if len(got) != len(c.want) {
+			t.Errorf("parseVerbs(%q) = %v, want %v", c.format, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseVerbs(%q)[%d] = %v, want %v", c.format, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	diags := []Diagnostic{
+		{File: "a.go", Line: 3, Col: 2, Check: "wallclock", Message: "direct time.Now"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var back []Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, buf.String())
+	}
+	if len(back) != 1 || back[0] != diags[0] {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("nil diagnostics rendered %q, want []", buf.String())
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteText(&buf, []Diagnostic{
+		{File: "x/y.go", Line: 12, Col: 1, Check: "goctx", Message: "no signal"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x/y.go:12: [goctx] no signal\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}

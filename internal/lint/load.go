@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked Go package: the unit
+// the analyzers run over.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// ModulePath reads the module path out of root/go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// FindModuleRoot walks up from dir until it finds a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// rawPkg is a parsed-but-not-yet-type-checked package directory.
+type rawPkg struct {
+	importPath string
+	dir        string
+	name       string
+	files      []*ast.File
+	imports    []string // module-internal imports only
+}
+
+// LoadModule discovers, parses, and type-checks every non-test package
+// under the module at root, using only the standard toolchain: stdlib
+// dependencies resolve through go/importer export data (with a
+// source-importer fallback), module-internal imports resolve against the
+// packages loaded here. Test files are not loaded: the invariants the
+// analyzers enforce are about production code, and tests legitimately
+// use wall-clock deadlines and sleeps.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	raws := make(map[string]*rawPkg)
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		raw, err := parseDir(fset, path)
+		if err != nil {
+			return err
+		}
+		if raw == nil {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			raw.importPath = module
+		} else {
+			raw.importPath = module + "/" + filepath.ToSlash(rel)
+		}
+		for _, f := range raw.files {
+			for _, imp := range f.Imports {
+				p, _ := strconv.Unquote(imp.Path.Value)
+				if p == module || strings.HasPrefix(p, module+"/") {
+					raw.imports = append(raw.imports, p)
+				}
+			}
+		}
+		raws[raw.importPath] = raw
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	order, err := topoSort(raws)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := newModImporter(fset)
+	var pkgs []*Package
+	for _, path := range order {
+		pkg, err := typeCheck(fset, raws[path], imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.local[path] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads a single directory as a standalone package (stdlib
+// imports only) — the entry point the golden-file tests use.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	raw, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if raw == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	raw.importPath = importPath
+	return typeCheck(fset, raw, newModImporter(fset))
+}
+
+// parseDir parses the non-test Go files of one directory; nil if the
+// directory holds no Go files.
+func parseDir(fset *token.FileSet, dir string) (*rawPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	raw := &rawPkg{dir: dir}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") ||
+			strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if raw.name == "" {
+			raw.name = f.Name.Name
+		} else if raw.name != f.Name.Name {
+			return nil, fmt.Errorf("lint: %s: packages %s and %s in one directory",
+				dir, raw.name, f.Name.Name)
+		}
+		raw.files = append(raw.files, f)
+	}
+	if len(raw.files) == 0 {
+		return nil, nil
+	}
+	return raw, nil
+}
+
+// topoSort orders the module packages so every package follows its
+// module-internal dependencies.
+func topoSort(raws map[string]*rawPkg) ([]string, error) {
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, dep := range raws[path].imports {
+			if _, ok := raws[dep]; !ok {
+				return fmt.Errorf("lint: %s imports %s, which is not in the module", path, dep)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(raws))
+	for p := range raws {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// typeCheck runs go/types over one parsed package.
+func typeCheck(fset *token.FileSet, raw *rawPkg, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var terrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			terrs = append(terrs, err.Error())
+		},
+	}
+	tpkg, err := conf.Check(raw.importPath, fset, raw.files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("lint: type errors in %s:\n  %s",
+			raw.importPath, strings.Join(terrs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", raw.importPath, err)
+	}
+	return &Package{
+		ImportPath: raw.importPath,
+		Dir:        raw.dir,
+		Name:       raw.name,
+		Fset:       fset,
+		Files:      raw.files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// modImporter resolves stdlib imports through the toolchain's export
+// data (falling back to type-checking the stdlib from source when export
+// data is unavailable) and module-internal imports from the packages
+// already checked this run.
+type modImporter struct {
+	fset  *token.FileSet
+	std   types.Importer
+	src   types.Importer // lazy source-importer fallback
+	local map[string]*types.Package
+	cache map[string]*types.Package
+}
+
+func newModImporter(fset *token.FileSet) *modImporter {
+	return &modImporter{
+		fset:  fset,
+		std:   importer.Default(),
+		local: make(map[string]*types.Package),
+		cache: make(map[string]*types.Package),
+	}
+}
+
+func (m *modImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	if p, ok := m.cache[path]; ok {
+		return p, nil
+	}
+	p, err := m.std.Import(path)
+	if err != nil {
+		if m.src == nil {
+			m.src = importer.ForCompiler(m.fset, "source", nil)
+		}
+		p, err = m.src.Import(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.cache[path] = p
+	return p, nil
+}

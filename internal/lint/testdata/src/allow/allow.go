@@ -1,0 +1,26 @@
+// The allow fixture exercises the directive verifier: malformed and
+// unused directives are findings of their own. Package netsim puts the
+// file under the wallclock policy so one directive has something real
+// to suppress. Expected diagnostics live in TestAllowDirectives, since
+// want comments cannot share a line with a line-comment directive.
+package netsim
+
+import "time"
+
+//remoslint:allow nonsense this check does not exist
+func unknownCheck() {}
+
+//remoslint:allow wallclock
+func missingReason() {}
+
+//remoslint:allow wallclock nothing on the next line uses the wall clock
+func unused() {}
+
+func suppressed() time.Time {
+	//remoslint:allow wallclock justified fallback for the fixture
+	return time.Now()
+}
+
+func unsuppressed() time.Time {
+	return time.Now() // the one real wallclock finding
+}

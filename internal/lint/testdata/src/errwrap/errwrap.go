@@ -1,0 +1,38 @@
+// The errwrap fixture opts in by declaring package proto, an
+// error-taxonomy boundary under the default policy.
+package proto
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func badVerbV(err error) error {
+	return fmt.Errorf("proto: decode: %v", err) // want `\[errwrap\] error operand formatted with %v loses its chain`
+}
+
+func badVerbS(name string, err error) error {
+	return fmt.Errorf("proto: %s failed after %d tries: %s", name, 3, err) // want `\[errwrap\] error operand formatted with %s`
+}
+
+func badWidth(err error) error {
+	return fmt.Errorf("proto: %-6s %v", "pad", err) // want `\[errwrap\] error operand formatted with %v`
+}
+
+func badNonConst(format string, err error) error {
+	return fmt.Errorf(format, err) // want `\[errwrap\] fmt\.Errorf with a non-constant format and an error operand`
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("proto: decode: %w", err)
+}
+
+func goodFresh(line string) error {
+	return fmt.Errorf("proto: bad line %q", line)
+}
+
+func goodEscaped(pct float64) error {
+	return fmt.Errorf("proto: %.0f%% loss", pct)
+}

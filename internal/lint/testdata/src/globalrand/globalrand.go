@@ -1,0 +1,26 @@
+// The globalrand check applies to every package; any name works.
+package traffic
+
+import "math/rand"
+
+func badDraw() int {
+	return rand.Intn(10) // want `\[globalrand\] global rand\.Intn draws from the shared process source`
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want `\[globalrand\] global rand\.Float64`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `\[globalrand\] global rand\.Shuffle`
+}
+
+// Constructing a seeded generator is the sanctioned pattern.
+func goodBuild(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Drawing from an injected generator is what the check steers toward.
+func goodDraw(rng *rand.Rand) float64 {
+	return rng.Float64()
+}

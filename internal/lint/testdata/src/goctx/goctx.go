@@ -1,0 +1,69 @@
+// The goctx fixture opts in by declaring package sched, a long-running
+// package under the default policy.
+package sched
+
+import "context"
+
+func badBare() {
+	go func() { // want `\[goctx\] goroutine has no cancellation signal`
+		for i := 0; i < 1000; i++ {
+			_ = i
+		}
+	}()
+}
+
+func badCall() {
+	go worker(7) // want `\[goctx\] goroutine call carries no ctx or channel argument`
+}
+
+func goodDone(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+func goodSelect(done chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+func goodCtx(ctx context.Context) {
+	go func() {
+		if ctx.Err() != nil {
+			return
+		}
+	}()
+}
+
+func goodRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func goodCallCtx(ctx context.Context) {
+	go workerCtx(ctx)
+}
+
+func goodCallChan(stop chan struct{}) {
+	go workerChan(stop)
+}
+
+func allowedBound() {
+	//remoslint:allow goctx loop is bounded by the fixture's imaginary listener
+	go worker(9)
+}
+
+func worker(n int)                  { _ = n }
+func workerCtx(ctx context.Context) { _ = ctx }
+func workerChan(ch chan struct{})   { _ = ch }

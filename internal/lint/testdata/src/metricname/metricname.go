@@ -1,0 +1,43 @@
+// The metricname check keys on the receiver type name Registry, so the
+// fixture carries a miniature registry of its own.
+package obsfixture
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, kv ...string) *Counter { return nil }
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge     { return nil }
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, kv ...string) {}
+func (r *Registry) Histogram(name, help string, bounds []float64, kv ...string) *Histogram {
+	return nil
+}
+
+func register(r *Registry) {
+	r.Counter("remos_sched_polls_total", "ok")
+	r.Counter("RemosSchedPolls", "x")            // want `\[metricname\] metric "RemosSchedPolls" is not snake_case`
+	r.Counter("sched_polls_total", "x")          // want `\[metricname\] metric "sched_polls_total" is outside the remos_ namespace`
+	r.Counter("remos_mystery_polls_total", "x")  // want `\[metricname\] metric "remos_mystery_polls_total" has no known subsystem token`
+	r.Counter("remos_sched_polls", "x")          // want `\[metricname\] counter "remos_sched_polls" must end in _total`
+	r.Gauge("remos_watch_active", "ok")
+	r.Gauge("remos_watch_updates_total", "x")    // want `\[metricname\] gauge "remos_watch_updates_total" must not end in _total`
+	r.Histogram("remos_snmp_rtt", "x", nil)      // want `\[metricname\] histogram "remos_snmp_rtt" must carry a unit suffix`
+	r.Histogram("remos_snmp_rtt_seconds", "ok", nil)
+	r.GaugeFunc("remos_qcache_entries", "ok", nil)
+	r.Counter("remos_sched_polls_total", "dup")  // want `\[metricname\] metric "remos_sched_polls_total" already registered`
+}
+
+func nonLiteral(r *Registry, name string) {
+	r.Counter(name, "x") // want `\[metricname\] metric name is not a string literal`
+}
+
+// A type that merely shares the method names does not trip the check.
+type notRegistry struct{}
+
+func (notRegistry) Counter(name string) {}
+
+func unrelated() {
+	notRegistry{}.Counter("Whatever Goes")
+}

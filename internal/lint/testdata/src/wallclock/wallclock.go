@@ -1,0 +1,36 @@
+// The wallclock fixture opts into the check by declaring package
+// netsim, a clock-injected package under the default policy.
+package netsim
+
+import "time"
+
+// Clock is the injected clock of this fixture.
+type Clock func() time.Time
+
+func badNow() time.Time {
+	return time.Now() // want `\[wallclock\] direct time\.Now in a clock-injected package`
+}
+
+func badSleep() {
+	time.Sleep(time.Second) // want `\[wallclock\] direct time\.Sleep`
+}
+
+func badAfter() <-chan time.Time {
+	return time.After(time.Second) // want `\[wallclock\] direct time\.After`
+}
+
+func badValue() Clock {
+	return time.Now // want `\[wallclock\] direct time\.Now`
+}
+
+func allowedFallback(now Clock) time.Time {
+	if now != nil {
+		return now()
+	}
+	//remoslint:allow wallclock designated fallback: nil clock means the wall clock by contract
+	return time.Now()
+}
+
+func cleanTypes(d time.Duration, at time.Time) time.Time {
+	return at.Add(d) // time types and arithmetic stay legal
+}

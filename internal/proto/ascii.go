@@ -89,7 +89,7 @@ func readQueryBody(line string, r *bufio.Reader) (collector.Query, error) {
 		}
 		a, err := netip.ParseAddr(strings.TrimSpace(line))
 		if err != nil {
-			return collector.Query{}, fmt.Errorf("proto: bad host %q: %v", strings.TrimSpace(line), err)
+			return collector.Query{}, fmt.Errorf("proto: bad host %q: %w", strings.TrimSpace(line), err)
 		}
 		q.Hosts = append(q.Hosts, a)
 	}
@@ -364,6 +364,7 @@ func (s *TCPServer) ListenAndServe(addr string) (string, error) {
 	s.ln = ln
 	s.m = newServerMetrics(s.Obs, "ascii")
 	s.wg.Add(1)
+	//remoslint:allow goctx accept loop ends when Close closes the listener; Close waits on the group
 	go func() {
 		defer s.wg.Done()
 		for {
@@ -372,6 +373,7 @@ func (s *TCPServer) ListenAndServe(addr string) (string, error) {
 				return
 			}
 			s.wg.Add(1)
+			//remoslint:allow goctx serve loop ends when the peer disconnects or Close tears the connection down
 			go func() {
 				defer s.wg.Done()
 				defer conn.Close()

@@ -97,6 +97,7 @@ func (s *TCPServer) handleWatchLine(w io.Writer, line string, subs map[int64]*wa
 	subs[sub.ID] = sub
 	fmt.Fprintf(w, "WATCHING %d\n", sub.ID)
 	s.wg.Add(1)
+	//remoslint:allow goctx drain loop ends when the subscription closes (disconnect closes every subscription)
 	go func() {
 		defer s.wg.Done()
 		drainASCII(w, sub)

@@ -196,6 +196,7 @@ func (s *HTTPServer) ListenAndServe(addr string) (string, error) {
 	}
 	s.ln = ln
 	s.srv = &http.Server{Handler: mux}
+	//remoslint:allow goctx http.Server.Serve returns when Close shuts the server down
 	go s.srv.Serve(ln)
 	return ln.Addr().String(), nil
 }

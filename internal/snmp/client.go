@@ -345,6 +345,7 @@ func newPipe(sess Session, window int) *pipe {
 		waiting: make(map[int32]chan pipeResult),
 	}
 	p.cond = sync.NewCond(&p.mu)
+	//remoslint:allow goctx receive loop ends when the session closes (Recv returns ErrClosed)
 	go p.receive()
 	return p
 }

@@ -350,6 +350,7 @@ func (s *Server) ListenAndServe(addr string) (string, error) {
 	}
 	s.conn = conn
 	s.wg.Add(1)
+	//remoslint:allow goctx read loop ends when Close closes the UDP socket; Close waits on the group
 	go func() {
 		defer s.wg.Done()
 		buf := make([]byte, 65535)

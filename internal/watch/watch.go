@@ -152,6 +152,7 @@ func (r *Registry) now() time.Time {
 	if r.cfg.Now != nil {
 		return r.cfg.Now()
 	}
+	//remoslint:allow wallclock designated fallback: nil Config.Now means the wall clock by contract
 	return time.Now()
 }
 
