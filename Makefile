@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race verify fuzz-smoke obs-smoke watch-smoke bench bench-concurrency bench-snmp bench-json
+.PHONY: build test vet lint race verify fuzz-smoke obs-smoke watch-smoke bench bench-concurrency bench-snmp bench-json bench-serve bench-baseline bench-check
 
 build:
 	$(GO) build ./...
@@ -43,13 +43,20 @@ obs-smoke:
 watch-smoke:
 	sh scripts/watch_smoke.sh
 
+# Every benchmark in the tree, with allocation counts. A fixed iteration
+# count (not -benchtime 1x, whose single iteration is all warm-up noise)
+# keeps the sweep quick while producing usable numbers.
 bench:
-	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) test -run xxx -bench . -benchtime 100x -benchmem ./...
 
-# The concurrent-pipeline exhibits: cold fan-out serial vs. parallel and
-# the warm-query cache (compare ns/op for the cold/warm gap).
+# The contention exhibits: cold fan-out serial vs. parallel, the
+# warm-query cache serial and hammered from many goroutines, watch-plane
+# evaluation at 1k/10k subscribers with subscribe churn, and the metrics
+# histograms. The -cpu matrix shows the scaling curve; widths past the
+# core count oversubscribe, which is exactly where contended locks cliff.
 bench-concurrency:
-	$(GO) test -run xxx -bench 'MasterFanout|WarmQueryCache' ./
+	$(GO) test -run xxx -bench 'MasterFanout|WarmQueryCache|WatchEvaluate|WatchSubscribeChurn|HistogramObserve' \
+		-benchmem -cpu 1,4,8 ./
 
 # The SNMP data-plane exhibits: device-batched polling vs. per-interface
 # exchanges, and the BER codec with allocation counts. Results stream to
@@ -63,3 +70,27 @@ bench-snmp:
 # time the paper-scale runs).
 bench-json:
 	$(GO) run ./cmd/remosbench -json -maxn 40 fig3
+
+# The end-to-end serving benchmark: a full two-site stack (deployment,
+# warm-query cache, watch plane, both wire protocols) under concurrent
+# mixed cold/warm/watch traffic.
+bench-serve:
+	$(GO) run ./cmd/remosbench -json serve
+
+# Refresh the committed baselines deliberately — run on a quiet machine
+# and commit the new records together with the change that moved them.
+bench-baseline:
+	$(GO) run ./cmd/remosbench -json -maxn 40 fig3
+	$(GO) run ./cmd/remosbench -json serve
+
+# The benchmark regression gate: regenerate both records into .benchfresh/
+# and compare against the committed baselines. BENCH_SLACK widens the
+# thresholds for noisy machines (CI uses 3); even at maximum slack a 2x
+# slowdown fails.
+BENCH_SLACK ?= 2
+bench-check:
+	@mkdir -p .benchfresh
+	$(GO) run ./cmd/remosbench -json -outdir .benchfresh -maxn 40 fig3
+	$(GO) run ./cmd/remosbench -json -outdir .benchfresh serve
+	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_fig3.json .benchfresh/BENCH_fig3.json
+	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_serve.json .benchfresh/BENCH_serve.json

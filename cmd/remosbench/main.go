@@ -1,10 +1,11 @@
 // Command remosbench regenerates every table and figure of the paper's
-// evaluation section. Each subcommand prints the same rows/series the
-// paper reports; "all" runs the full set.
+// evaluation section, plus the end-to-end serving benchmark. Each
+// subcommand prints the same rows/series the paper reports; "all" runs
+// the full set.
 //
 // Usage:
 //
-//	remosbench [flags] {fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|fig10|fig11|all}
+//	remosbench [flags] {fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|fig10|fig11|serve|all}
 //
 // Flags:
 //
@@ -12,44 +13,44 @@
 //	-trials N   mirrored-server trials (default 108 good / 72 poor)
 //	-runs N     video experiment runs (default 21)
 //	-seed N     experiment seed (default 1)
+//	-clients N  serve-bench concurrent clients (default 8)
+//	-queries N  serve-bench total queries (default 800)
 //	-json       additionally write BENCH_<name>.json per experiment
+//	            (the internal/benchfmt record format the bench-check
+//	            gate compares)
+//	-outdir D   directory the JSON records land in (default ".";
+//	            bench-check writes fresh runs next to, not over, the
+//	            committed baselines)
 //	-timestamp  RFC 3339 timestamp stamped into the JSON records
 //	            (default: wall clock now; pin it for reproducible CI runs)
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
+	"remos/internal/benchfmt"
 	"remos/internal/experiments"
+	"remos/internal/servebench"
 )
 
-// benchRecord is the machine-readable benchmark row -json emits, one
-// BENCH_<name>.json per experiment.
-type benchRecord struct {
-	Name      string  `json:"name"`
-	Metric    string  `json:"metric"`
-	Value     float64 `json:"value"`
-	Unit      string  `json:"unit"`
-	Timestamp string  `json:"timestamp"`
-}
-
-func writeBenchJSON(name string, elapsed time.Duration, stamp string) error {
-	rec := benchRecord{
+// writeBenchJSON writes one experiment's wall-clock record in the
+// committed benchmark format.
+func writeBenchJSON(dir, name string, elapsed time.Duration, stamp string) error {
+	rec := benchfmt.Record{
 		Name:      name,
-		Metric:    "regen_wall_seconds",
-		Value:     elapsed.Seconds(),
-		Unit:      "s",
 		Timestamp: stamp,
+		Metrics: []benchfmt.Metric{{
+			Metric: "regen_wall_seconds",
+			Value:  elapsed.Seconds(),
+			Unit:   "s",
+			Kind:   benchfmt.KindWall,
+		}},
 	}
-	b, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile("BENCH_"+name+".json", append(b, '\n'), 0o644)
+	return benchfmt.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), rec)
 }
 
 func main() {
@@ -57,7 +58,10 @@ func main() {
 	trials := flag.Int("trials", 0, "mirrored-server trials (0 = paper defaults)")
 	runs := flag.Int("runs", 21, "video experiment runs")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	clients := flag.Int("clients", 8, "serve-bench concurrent clients")
+	queries := flag.Int("queries", 800, "serve-bench total queries")
 	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json per experiment")
+	outDir := flag.String("outdir", ".", "directory for the JSON records")
 	stampFlag := flag.String("timestamp", "", "RFC 3339 timestamp for the JSON records (default: now)")
 	flag.Parse()
 	stamp := *stampFlag
@@ -161,9 +165,29 @@ func main() {
 			r.Print(os.Stdout)
 			return nil
 		},
+		"serve": func() error {
+			res, err := servebench.Run(servebench.Config{
+				Clients: *clients,
+				Queries: *queries,
+				Seed:    *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Serving benchmark: %d clients, %d queries (%d cold), %d watchers\n",
+				res.Clients, res.Queries, res.ColdQueries, res.Watchers)
+			fmt.Printf("  %10.0f queries/sec\n", res.QPS)
+			fmt.Printf("  %10v p50 latency\n", res.P50.Round(time.Microsecond))
+			fmt.Printf("  %10v p99 latency\n", res.P99.Round(time.Microsecond))
+			fmt.Printf("  %10.0f allocs/op  %.0f B/op (process-wide)\n", res.AllocsPerOp, res.BytesPerOp)
+			if *jsonOut {
+				return benchfmt.WriteFile(filepath.Join(*outDir, "BENCH_serve.json"), res.Record(stamp))
+			}
+			return nil
+		},
 	}
 
-	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "fig10", "fig11"}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "fig10", "fig11", "serve"}
 	run := func(name string) {
 		fn, ok := cmds[name]
 		if !ok {
@@ -177,8 +201,9 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("[%s regenerated in %v]\n\n", name, elapsed.Round(time.Millisecond))
-		if *jsonOut {
-			if err := writeBenchJSON(name, elapsed, stamp); err != nil {
+		// serve writes its own richer record above.
+		if *jsonOut && name != "serve" {
+			if err := writeBenchJSON(*outDir, name, elapsed, stamp); err != nil {
 				fmt.Fprintf(os.Stderr, "remosbench: %s: %v\n", name, err)
 				os.Exit(1)
 			}

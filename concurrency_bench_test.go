@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,8 +22,11 @@ import (
 	"remos/internal/collector/snmpcoll"
 	"remos/internal/mib"
 	"remos/internal/netsim"
+	"remos/internal/obs"
 	"remos/internal/sim"
 	"remos/internal/snmp"
+	"remos/internal/topology"
+	"remos/internal/watch"
 )
 
 // sleepTransport wraps a transport with a real (wall-clock) per-request
@@ -216,6 +220,130 @@ func TestMasterFanoutRigDeterminism(t *testing.T) {
 			t.Fatalf("merged graph misses host %s:\n%s", h, serial)
 		}
 	}
+}
+
+// --- Contention benchmarks ------------------------------------------
+//
+// The serving-path structures (query cache, watch registry, metrics
+// histograms) are shared by every connection goroutine. These benchmarks
+// drive them from GOMAXPROCS-many goroutines; run with -cpu 1,4,8 to see
+// the scaling curve (on a small box the higher widths oversubscribe, which
+// is exactly the regime where a contended lock shows up as a cliff).
+
+// BenchmarkWarmQueryCacheParallel hammers one warm cache entry from many
+// goroutines — the pure read-side contention of the serving hot path.
+// The warm hit takes no lock: a shard snapshot load, a TTL check and two
+// atomic counters.
+func BenchmarkWarmQueryCacheParallel(b *testing.B) {
+	rig := newMultiSiteRig(b, 4, 0, 0)
+	cache := qcache.New(rig.master, qcache.Config{TTL: time.Hour})
+	if _, err := cache.Collect(rig.query); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := cache.Collect(rig.query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	if st := cache.Stats(); st.Hits < int64(b.N) {
+		b.Fatalf("cache stats %+v: warm path not exercised", st)
+	}
+}
+
+// watchFanoutRig builds a star topology graph plus a registry carrying
+// nSubs subscriptions spread over nPairs endpoint pairs.
+func watchFanoutRig(b testing.TB, nPairs, nSubs int) (*watch.Registry, *collector.Result) {
+	b.Helper()
+	g := topology.NewGraph()
+	g.AddNode(topology.Node{ID: "sw", Kind: topology.SwitchNode})
+	pairs := make([][2]netip.Addr, nPairs)
+	for i := 0; i < nPairs; i++ {
+		src := netip.AddrFrom4([4]byte{10, 1, byte(i >> 8), byte(i)})
+		dst := netip.AddrFrom4([4]byte{10, 2, byte(i >> 8), byte(i)})
+		for _, a := range []netip.Addr{src, dst} {
+			g.AddNode(topology.Node{ID: a.String(), Kind: topology.HostNode, Addr: a.String()})
+			g.AddLink(topology.Link{From: a.String(), To: "sw", Capacity: 100e6, UtilFromTo: 10e6})
+		}
+		pairs[i] = [2]netip.Addr{src, dst}
+	}
+	reg := watch.New(watch.Config{})
+	b.Cleanup(func() { reg.Close(nil) })
+	for i := 0; i < nSubs; i++ {
+		p := pairs[i%nPairs]
+		sub, err := reg.Subscribe(watch.Spec{Src: p[0], Dst: p[1], ChangeFrac: 0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = sub // closed by registry Close
+	}
+	return reg, &collector.Result{Graph: g}
+}
+
+// benchWatchEvaluate measures one poll's evaluation sweep. Grouped
+// evaluation makes the graph-walk cost O(pairs); the per-subscription
+// residue is a predicate check. The 10k case is the paper's "many
+// applications watching few paths" regime.
+func benchWatchEvaluate(b *testing.B, nPairs, nSubs int) {
+	reg, res := watchFanoutRig(b, nPairs, nSubs)
+	reg.Evaluate(res) // deliver the initial pushes outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.Evaluate(res)
+	}
+}
+
+func BenchmarkWatchEvaluate1kSubs(b *testing.B)  { benchWatchEvaluate(b, 64, 1000) }
+func BenchmarkWatchEvaluate10kSubs(b *testing.B) { benchWatchEvaluate(b, 64, 10000) }
+
+// BenchmarkWatchSubscribeChurn measures subscribe/close cycling from
+// many goroutines against a registry already carrying 1k standing
+// watchers — the control-plane write path that lock striping shards.
+// Distinct goroutines land on distinct pairs, so stripes are exercised
+// in parallel rather than serializing on one registry lock.
+func BenchmarkWatchSubscribeChurn(b *testing.B) {
+	reg, _ := watchFanoutRig(b, 64, 1000)
+	var seq atomic.Uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		n := seq.Add(1)
+		src := netip.AddrFrom4([4]byte{172, 16, byte(n >> 8), byte(n)})
+		dst := netip.AddrFrom4([4]byte{172, 17, byte(n >> 8), byte(n)})
+		for pb.Next() {
+			sub, err := reg.Subscribe(watch.Spec{Src: src, Dst: dst, ChangeFrac: 0.5})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub.Close(nil)
+		}
+	})
+}
+
+// BenchmarkHistogramObserveParallel hammers one histogram from many
+// goroutines — every served query lands two observations on the request
+// histograms, so this is pure metrics-plane overhead. Striped storage
+// keeps concurrent observers off a shared float64 CAS loop.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	reg := obs.New()
+	h := reg.Histogram("bench_request_seconds", "benchmark histogram", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.0001
+		for pb.Next() {
+			h.Observe(v)
+			v *= 1.7
+			if v > 10 {
+				v = 0.0001
+			}
+		}
+	})
 }
 
 // BenchmarkWarmQueryCache measures the warm path: identical queries

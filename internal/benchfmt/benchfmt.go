@@ -1,0 +1,180 @@
+// Package benchfmt defines the committed benchmark record format and
+// the regression gate that compares a fresh run against it.
+//
+// A Record is one benchmark scenario's results: a set of named metrics,
+// each classified by Kind so the gate knows which direction is worse and
+// how much drift to tolerate. Records are committed to the repository
+// (BENCH_<name>.json) as the performance trajectory; `make bench-check`
+// regenerates them and fails the build on a regression beyond the
+// thresholds.
+//
+// Thresholds are deliberately loose — benchmarks on shared CI hardware
+// wobble — and scale with a caller-supplied slack factor. The invariant
+// the defaults preserve: a genuine 2x slowdown fails the gate even at
+// the maximum supported slack (see MaxSlack).
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Metric kinds. Kind decides the regression direction and threshold.
+const (
+	// KindThroughput is work per second: higher is better.
+	KindThroughput = "throughput"
+	// KindLatency is a latency quantile in seconds: lower is better.
+	KindLatency = "latency"
+	// KindWall is elapsed wall-clock seconds: lower is better.
+	KindWall = "wall"
+	// KindAllocs is allocations (or bytes) per operation: lower is
+	// better, with a looser threshold — allocation counts move in
+	// integer steps and small absolute changes are loud in relative
+	// terms.
+	KindAllocs = "allocs"
+	// KindInfo is recorded but never gated (configuration echoes,
+	// sample counts).
+	KindInfo = "info"
+)
+
+// Relative drift tolerated at slack 1, by kind.
+const (
+	// ThroughputTolerance also bounds latency and wall-clock drift.
+	ThroughputTolerance = 0.15
+	// AllocTolerance bounds allocs/bytes growth.
+	AllocTolerance = 0.25
+)
+
+// MaxSlack is the largest slack multiplier the gate accepts: at 3 the
+// loosest threshold is 1 + 3*0.25 = 1.75x, so a 2x regression still
+// fails. Larger slack would let real slowdowns through, which defeats
+// the gate.
+const MaxSlack = 3.0
+
+// Metric is one measured quantity of a benchmark scenario.
+type Metric struct {
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+	Kind   string  `json:"kind"`
+}
+
+// Record is one benchmark scenario's committed result set.
+type Record struct {
+	Name      string   `json:"name"`
+	Timestamp string   `json:"timestamp"`
+	Metrics   []Metric `json:"metrics"`
+}
+
+// Metric returns the named metric and whether it exists.
+func (r *Record) Metric(name string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Metric == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// WriteFile marshals rec (indented, trailing newline, metrics sorted by
+// name so committed records diff cleanly) to path.
+func WriteFile(path string, rec Record) error {
+	sort.Slice(rec.Metrics, func(i, j int) bool { return rec.Metrics[i].Metric < rec.Metrics[j].Metric })
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadFile parses a committed record.
+func ReadFile(path string) (Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Record{}, err
+	}
+	var rec Record
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return Record{}, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// Delta is the comparison of one metric across two runs.
+type Delta struct {
+	Metric string
+	Kind   string
+	// Base and Fresh are the two values; Ratio is Fresh/Base.
+	Base, Fresh, Ratio float64
+	// Limit is the worst acceptable ratio for this kind at the slack
+	// used (above 1 when lower is better, below 1 for throughput).
+	Limit float64
+	// Failed marks a regression beyond Limit.
+	Failed bool
+	// Missing marks a baseline metric absent from the fresh run —
+	// always a failure (a silently dropped metric is not a pass).
+	Missing bool
+}
+
+// String renders one delta for gate output.
+func (d Delta) String() string {
+	if d.Missing {
+		return fmt.Sprintf("%-28s MISSING from fresh run", d.Metric)
+	}
+	verdict := "ok"
+	if d.Failed {
+		verdict = "REGRESSION"
+	}
+	return fmt.Sprintf("%-28s base=%-12.4g fresh=%-12.4g ratio=%.3f limit=%.3f %s",
+		d.Metric, d.Base, d.Fresh, d.Ratio, d.Limit, verdict)
+}
+
+// Compare gates fresh against base. Every gated baseline metric must be
+// present in the fresh run and within its kind's threshold scaled by
+// slack (clamped to [1, MaxSlack]). Metrics new in fresh are ignored —
+// adding metrics is not a regression. The returned deltas cover every
+// gated baseline metric, failed or not, in baseline order.
+func Compare(base, fresh Record, slack float64) (deltas []Delta, failed bool) {
+	if slack < 1 {
+		slack = 1
+	}
+	if slack > MaxSlack {
+		slack = MaxSlack
+	}
+	for _, bm := range base.Metrics {
+		if bm.Kind == KindInfo || bm.Kind == "" {
+			continue
+		}
+		fm, ok := fresh.Metric(bm.Metric)
+		if !ok {
+			deltas = append(deltas, Delta{Metric: bm.Metric, Kind: bm.Kind, Base: bm.Value, Missing: true, Failed: true})
+			failed = true
+			continue
+		}
+		d := Delta{Metric: bm.Metric, Kind: bm.Kind, Base: bm.Value, Fresh: fm.Value}
+		switch {
+		case bm.Value == 0:
+			// Nothing to take a ratio against; gate only on direction.
+			d.Ratio = 1
+			d.Limit = 1
+			d.Failed = bm.Kind != KindThroughput && fm.Value > 0
+		case bm.Kind == KindThroughput:
+			d.Ratio = fm.Value / bm.Value
+			d.Limit = 1 - ThroughputTolerance*slack
+			d.Failed = d.Ratio < d.Limit
+		case bm.Kind == KindAllocs:
+			d.Ratio = fm.Value / bm.Value
+			d.Limit = 1 + AllocTolerance*slack
+			d.Failed = d.Ratio > d.Limit
+		default: // latency, wall: lower is better
+			d.Ratio = fm.Value / bm.Value
+			d.Limit = 1 + ThroughputTolerance*slack
+			d.Failed = d.Ratio > d.Limit
+		}
+		failed = failed || d.Failed
+		deltas = append(deltas, d)
+	}
+	return deltas, failed
+}

@@ -1,0 +1,152 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func rec(metrics ...Metric) Record {
+	return Record{Name: "serve", Timestamp: "2026-01-01T00:00:00Z", Metrics: metrics}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	in := rec(
+		Metric{Metric: "queries_per_sec", Value: 1234.5, Unit: "1/s", Kind: KindThroughput},
+		Metric{Metric: "p99_seconds", Value: 0.012, Unit: "s", Kind: KindLatency},
+	)
+	if err := WriteFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || len(out.Metrics) != 2 {
+		t.Fatalf("round trip mangled record: %+v", out)
+	}
+	if m, ok := out.Metric("p99_seconds"); !ok || m.Value != 0.012 || m.Kind != KindLatency {
+		t.Fatalf("metric lookup: %+v %v", m, ok)
+	}
+}
+
+func TestWriteFileSortsMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := WriteFile(path, rec(
+		Metric{Metric: "zz", Value: 1, Kind: KindInfo},
+		Metric{Metric: "aa", Value: 2, Kind: KindInfo},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics[0].Metric != "aa" || out.Metrics[1].Metric != "zz" {
+		t.Fatalf("metrics not sorted: %+v", out.Metrics)
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := rec(
+		Metric{Metric: "qps", Value: 1000, Kind: KindThroughput},
+		Metric{Metric: "p99", Value: 0.010, Kind: KindLatency},
+		Metric{Metric: "allocs", Value: 100, Kind: KindAllocs},
+		Metric{Metric: "clients", Value: 16, Kind: KindInfo},
+	)
+	fresh := rec(
+		Metric{Metric: "qps", Value: 900, Kind: KindThroughput},    // -10%
+		Metric{Metric: "p99", Value: 0.011, Kind: KindLatency},     // +10%
+		Metric{Metric: "allocs", Value: 120, Kind: KindAllocs},     // +20%
+		Metric{Metric: "clients", Value: 9999, Kind: KindInfo},     // info never gated
+		Metric{Metric: "brand_new", Value: 1, Kind: KindThroughput}, // extra fresh metric ignored
+	)
+	deltas, failed := Compare(base, fresh, 1)
+	if failed {
+		t.Fatalf("drift within tolerance failed the gate: %+v", deltas)
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("want 3 gated deltas, got %d: %+v", len(deltas), deltas)
+	}
+}
+
+func TestCompareFailsBeyondThreshold(t *testing.T) {
+	base := rec(
+		Metric{Metric: "qps", Value: 1000, Kind: KindThroughput},
+		Metric{Metric: "p99", Value: 0.010, Kind: KindLatency},
+		Metric{Metric: "allocs", Value: 100, Kind: KindAllocs},
+	)
+	cases := []struct {
+		name  string
+		fresh Record
+	}{
+		{"throughput_drop", rec(
+			Metric{Metric: "qps", Value: 800, Kind: KindThroughput}, // -20% > 15%
+			Metric{Metric: "p99", Value: 0.010, Kind: KindLatency},
+			Metric{Metric: "allocs", Value: 100, Kind: KindAllocs},
+		)},
+		{"latency_growth", rec(
+			Metric{Metric: "qps", Value: 1000, Kind: KindThroughput},
+			Metric{Metric: "p99", Value: 0.012, Kind: KindLatency}, // +20% > 15%
+			Metric{Metric: "allocs", Value: 100, Kind: KindAllocs},
+		)},
+		{"alloc_growth", rec(
+			Metric{Metric: "qps", Value: 1000, Kind: KindThroughput},
+			Metric{Metric: "p99", Value: 0.010, Kind: KindLatency},
+			Metric{Metric: "allocs", Value: 130, Kind: KindAllocs}, // +30% > 25%
+		)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, failed := Compare(base, tc.fresh, 1); !failed {
+				t.Fatal("regression passed the gate")
+			}
+		})
+	}
+}
+
+// TestCompareTwoXAlwaysFails is the gate's core invariant: a 2x
+// slowdown (half the throughput, double the latency, double the
+// allocations) fails at every slack the gate accepts, including values
+// above MaxSlack, which clamp.
+func TestCompareTwoXAlwaysFails(t *testing.T) {
+	base := rec(
+		Metric{Metric: "qps", Value: 1000, Kind: KindThroughput},
+		Metric{Metric: "p99", Value: 0.010, Kind: KindLatency},
+		Metric{Metric: "allocs", Value: 100, Kind: KindAllocs},
+	)
+	slow := rec(
+		Metric{Metric: "qps", Value: 500, Kind: KindThroughput},
+		Metric{Metric: "p99", Value: 0.020, Kind: KindLatency},
+		Metric{Metric: "allocs", Value: 200, Kind: KindAllocs},
+	)
+	for _, slack := range []float64{0, 1, 2, MaxSlack, 10} {
+		deltas, failed := Compare(base, slow, slack)
+		if !failed {
+			t.Fatalf("2x slowdown passed at slack %g: %+v", slack, deltas)
+		}
+		for _, d := range deltas {
+			if !d.Failed {
+				t.Fatalf("slack %g: metric %s of a uniform 2x slowdown passed: %+v", slack, d.Metric, d)
+			}
+		}
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	base := rec(Metric{Metric: "qps", Value: 1000, Kind: KindThroughput})
+	deltas, failed := Compare(base, rec(), 1)
+	if !failed || len(deltas) != 1 || !deltas[0].Missing {
+		t.Fatalf("dropped metric not flagged: failed=%v deltas=%+v", failed, deltas)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := rec(Metric{Metric: "allocs", Value: 0, Kind: KindAllocs})
+	if _, failed := Compare(base, rec(Metric{Metric: "allocs", Value: 0, Kind: KindAllocs}), 1); failed {
+		t.Fatal("0 -> 0 failed")
+	}
+	if _, failed := Compare(base, rec(Metric{Metric: "allocs", Value: 5, Kind: KindAllocs}), 1); !failed {
+		t.Fatal("0 -> 5 allocs passed")
+	}
+}

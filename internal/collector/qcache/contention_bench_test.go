@@ -1,0 +1,86 @@
+package qcache
+
+import (
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/topology"
+)
+
+// tinyColl returns a minimal two-node result so the benchmark measures
+// the cache's serving path (lookup + clone), not graph construction.
+type tinyColl struct{ calls atomic.Int64 }
+
+func (c *tinyColl) Name() string { return "tiny" }
+
+func (c *tinyColl) Collect(q collector.Query) (*collector.Result, error) {
+	c.calls.Add(1)
+	g := topology.NewGraph()
+	for _, h := range q.Hosts {
+		g.AddNode(topology.Node{ID: h.String(), Kind: topology.HostNode, Addr: h.String()})
+	}
+	return &collector.Result{Graph: g}, nil
+}
+
+// BenchmarkWarmHitParallel hammers one warm cache slot from every
+// available CPU — the serving shape of N clients repeating the same
+// query. Run with -cpu 1,4,8 to see how hit throughput scales; before
+// the sharded rewrite every hit serialized on one cache-wide mutex.
+func BenchmarkWarmHitParallel(b *testing.B) {
+	inner := &tinyColl{}
+	now := time.Unix(0, 0)
+	c := New(inner, Config{TTL: time.Hour, Now: func() time.Time { return now }})
+	query := collector.Query{Hosts: []netip.Addr{
+		netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"),
+	}}
+	if _, err := c.Collect(query); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Collect(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	if inner.calls.Load() != 1 {
+		b.Fatalf("warm path not exercised: %d inner collections", inner.calls.Load())
+	}
+}
+
+// BenchmarkWarmHitParallelManyKeys spreads the same load over 256
+// distinct warm slots — the multi-tenant shape where sharding (not just
+// a read-write split) is what removes the contention.
+func BenchmarkWarmHitParallelManyKeys(b *testing.B) {
+	inner := &tinyColl{}
+	now := time.Unix(0, 0)
+	c := New(inner, Config{TTL: time.Hour, Now: func() time.Time { return now }})
+	queries := make([]collector.Query, 256)
+	for i := range queries {
+		queries[i] = collector.Query{Hosts: []netip.Addr{
+			netip.MustParseAddr(fmt.Sprintf("10.0.%d.1", i)),
+			netip.MustParseAddr(fmt.Sprintf("10.0.%d.2", i)),
+		}}
+		if _, err := c.Collect(queries[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := c.Collect(queries[i%len(queries)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

@@ -10,6 +10,15 @@
 // order never fragments the cache. Results are deep-copied on the way
 // out: consumers may annotate or mutate their answer without corrupting
 // the cached copy or each other's.
+//
+// Storage is sharded by key hash, and each shard publishes its entry map
+// as an immutable copy-on-write snapshot: the warm-hit path is one atomic
+// pointer load plus a read of a map no writer ever mutates, so hits never
+// take a lock and hit throughput scales with CPUs instead of serializing
+// on a cache-wide mutex. Writers (misses, eviction, invalidation) take
+// the shard mutex, copy the shard map, and publish the replacement —
+// cheap, because a write already pays a collector fan-out and shards stay
+// small (see Config.Shards).
 package qcache
 
 import (
@@ -33,8 +42,16 @@ type Config struct {
 	// simulated scheduler pass its Now so TTLs follow simulated time.
 	Now func() time.Time
 	// MaxEntries bounds the number of retained answers (default 1024);
-	// the oldest entries are evicted first.
+	// the oldest entries are evicted first. The bound is enforced per
+	// shard (MaxEntries/shards each), so a pathological key skew can
+	// hold the total slightly under MaxEntries on other shards.
 	MaxEntries int
+	// Shards is the lock-striping width (default 32, rounded down to a
+	// power of two). It is additionally capped so every shard can hold
+	// at least 8 entries, which keeps small caches on one shard — and
+	// Shards: 1 gives the deterministic global eviction order the tests
+	// pin.
+	Shards int
 	// Obs, when set, receives hit/miss/coalesce/evict counters. Nil
 	// disables instrumentation.
 	Obs *obs.Registry
@@ -72,14 +89,39 @@ func (e *entry) landed() bool {
 	}
 }
 
+// entryMap is an immutable snapshot of one shard's entries. Readers load
+// it atomically and never see a map being written; writers build a
+// replacement under the shard mutex and publish it with one store.
+type entryMap map[string]*entry
+
+// shard is one lock stripe: the mutex serializes writers only.
+type shard struct {
+	mu sync.Mutex
+	m  atomic.Pointer[entryMap]
+}
+
+func (s *shard) load() entryMap { return *s.m.Load() }
+
+// cloneFor copies the current map with room for one more entry. Callers
+// hold s.mu.
+func (s *shard) cloneFor() entryMap {
+	cur := s.load()
+	next := make(entryMap, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	return next
+}
+
 // Cache is a caching, deduplicating collector wrapper. It implements
 // collector.Interface and is safe for concurrent use.
 type Cache struct {
 	inner collector.Interface
 	cfg   Config
 
-	mu      sync.Mutex
-	entries map[string]*entry
+	shards    []shard
+	shardMask uint32
+	perShard  int // MaxEntries budget per shard
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -98,7 +140,24 @@ func New(inner collector.Interface, cfg Config) *Cache {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = 1024
 	}
-	c := &Cache{inner: inner, cfg: cfg, entries: make(map[string]*entry)}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 32
+	}
+	n := 1
+	for n*2 <= cfg.Shards && cfg.MaxEntries/(n*2) >= 8 {
+		n *= 2
+	}
+	c := &Cache{
+		inner:     inner,
+		cfg:       cfg,
+		shards:    make([]shard, n),
+		shardMask: uint32(n - 1),
+		perShard:  (cfg.MaxEntries + n - 1) / n,
+	}
+	empty := make(entryMap)
+	for i := range c.shards {
+		c.shards[i].m.Store(&empty)
+	}
 	c.mHits = cfg.Obs.Counter("remos_qcache_hits_total", "queries answered from the warm cache")
 	c.mMisses = cfg.Obs.Counter("remos_qcache_misses_total", "queries that went through to the collector")
 	c.mCoalesced = cfg.Obs.Counter("remos_qcache_coalesced_total", "queries that shared another caller's in-flight collection")
@@ -120,9 +179,25 @@ func (c *Cache) now() time.Time {
 	return time.Now()
 }
 
+// shardFor picks the stripe for a key (FNV-1a over the key bytes).
+func (c *Cache) shardFor(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h&c.shardMask]
+}
+
 // Key renders the canonical cache key for a query: the host set sorted
 // (so host order does not fragment the cache) plus the query flags.
+// This sits on the warm-hit path, so the common small-query case renders
+// into stack scratch via netip's AppendTo and pays a single allocation
+// (the returned string) instead of one per host.
 func Key(q collector.Query) string {
+	if len(q.Hosts) <= smallHosts {
+		return smallKey(q)
+	}
 	hosts := make([]string, len(q.Hosts))
 	for i, h := range q.Hosts {
 		hosts[i] = h.String()
@@ -139,6 +214,50 @@ func Key(q collector.Query) string {
 	return b.String()
 }
 
+// smallHosts bounds the stack-rendered Key fast path; queries this size
+// cover the serving workload (pairs and small host sets).
+const smallHosts = 8
+
+// smallKey is the allocation-light Key fast path: each host renders into
+// one scratch buffer, an insertion sort orders the rendered spans, and
+// the canonical form is assembled in a second scratch buffer.
+func smallKey(q collector.Query) string {
+	var scratch [8 * 48]byte // 48 bytes covers a zone-qualified IPv6 literal
+	var spans [smallHosts][2]int
+	buf := scratch[:0]
+	for i, h := range q.Hosts {
+		start := len(buf)
+		buf = h.AppendTo(buf)
+		spans[i] = [2]int{start, len(buf)}
+	}
+	n := len(q.Hosts)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a := buf[spans[j-1][0]:spans[j-1][1]]
+			b := buf[spans[j][0]:spans[j][1]]
+			if string(a) <= string(b) { // comparison only; no conversion alloc
+				break
+			}
+			spans[j-1], spans[j] = spans[j], spans[j-1]
+		}
+	}
+	var outArr [8*48 + smallHosts + 10]byte
+	out := outArr[:0]
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, buf[spans[i][0]:spans[i][1]]...)
+	}
+	if q.WithHistory {
+		out = append(out, "|hist"...)
+	}
+	if q.WithPredictions {
+		out = append(out, "|pred"...)
+	}
+	return string(out)
+}
+
 // Collect implements collector.Interface. Identical queries inside the
 // TTL answer from cache; concurrent identical queries share a single
 // inner collection; distinct queries proceed independently.
@@ -146,43 +265,57 @@ func (c *Cache) Collect(q collector.Query) (*collector.Result, error) {
 	ctx := q.Context()
 	tr := obs.FromContext(ctx)
 	key := Key(q)
-	c.mu.Lock()
-	e := c.entries[key]
-	if e != nil {
-		if !e.landed() {
-			// In flight: wait outside the lock and share the answer. The
-			// waiter also honors its own context — the flight belongs to
-			// the caller that started it and keeps running.
-			c.mu.Unlock()
-			select {
-			case <-e.done:
-			case <-ctx.Done():
-				tr.Event("cache", "canceled waiting on in-flight query")
-				return nil, ctx.Err()
+	sh := c.shardFor(key)
+	var e *entry
+	for {
+		e = sh.load()[key]
+		if e != nil {
+			if !e.landed() {
+				// In flight: wait without any lock and share the answer.
+				// The waiter also honors its own context — the flight
+				// belongs to the caller that started it and keeps running.
+				select {
+				case <-e.done:
+				case <-ctx.Done():
+					tr.Event("cache", "canceled waiting on in-flight query")
+					return nil, ctx.Err()
+				}
+				if e.err != nil {
+					return nil, e.err
+				}
+				c.coalesced.Add(1)
+				c.mCoalesced.Inc()
+				tr.Event("cache", "coalesced")
+				return e.res.Clone(), nil
 			}
-			if e.err != nil {
-				return nil, e.err
+			if e.err == nil && c.cfg.TTL > 0 && c.now().Sub(e.at) < c.cfg.TTL {
+				// The warm hit: an atomic snapshot load, a read of an
+				// immutable map, and atomic counters — no lock, exclusive
+				// or shared, anywhere on this path.
+				c.hits.Add(1)
+				c.mHits.Inc()
+				tr.Event("cache", "hit")
+				return e.res.Clone(), nil
 			}
-			c.coalesced.Add(1)
-			c.mCoalesced.Inc()
-			tr.Event("cache", "coalesced")
-			return e.res.Clone(), nil
+			// Stale: fall through and try to install a fresh flight.
 		}
-		if e.err == nil && c.cfg.TTL > 0 && c.now().Sub(e.at) < c.cfg.TTL {
-			c.mu.Unlock()
-			c.hits.Add(1)
-			c.mHits.Inc()
-			tr.Event("cache", "hit")
-			return e.res.Clone(), nil
+
+		sh.mu.Lock()
+		if cur := sh.load()[key]; cur != e {
+			// Another caller already replaced the slot (installed a fresh
+			// flight, or a fresh answer landed): re-evaluate from the top.
+			sh.mu.Unlock()
+			continue
 		}
-		// Stale (or a retained error, which cannot happen — errors are
-		// dropped at fill): fall through and re-collect.
-		delete(c.entries, key)
+		next := sh.cloneFor()
+		delete(next, key) // drop the stale entry, if any
+		e = &entry{done: make(chan struct{})}
+		next[key] = e
+		c.evictInto(next)
+		sh.m.Store(&next)
+		sh.mu.Unlock()
+		break
 	}
-	e = &entry{done: make(chan struct{})}
-	c.entries[key] = e
-	c.evictLocked()
-	c.mu.Unlock()
 	c.misses.Add(1)
 	c.mMisses.Inc()
 	tr.Event("cache", "miss")
@@ -193,11 +326,13 @@ func (c *Cache) Collect(q collector.Query) (*collector.Result, error) {
 	if e.err != nil || c.cfg.TTL <= 0 {
 		// Errors are never cached; without a TTL nothing is retained
 		// beyond the flight itself.
-		c.mu.Lock()
-		if c.entries[key] == e {
-			delete(c.entries, key)
+		sh.mu.Lock()
+		if sh.load()[key] == e {
+			next := sh.cloneFor()
+			delete(next, key)
+			sh.m.Store(&next)
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 	}
 	if e.err != nil {
 		return nil, e.err
@@ -205,24 +340,26 @@ func (c *Cache) Collect(q collector.Query) (*collector.Result, error) {
 	return e.res.Clone(), nil
 }
 
-// evictLocked enforces MaxEntries: expired entries go first, then the
-// oldest landed entries. In-flight entries are never evicted.
-func (c *Cache) evictLocked() {
-	if len(c.entries) <= c.cfg.MaxEntries {
+// evictInto enforces the per-shard entry budget on a map being prepared
+// for publication: expired entries go first, then the oldest landed
+// entries. In-flight entries are never evicted. Callers hold the shard
+// mutex.
+func (c *Cache) evictInto(m entryMap) {
+	if len(m) <= c.perShard {
 		return
 	}
 	now := c.now()
-	for k, e := range c.entries {
+	for k, e := range m {
 		if e.landed() && c.cfg.TTL > 0 && now.Sub(e.at) >= c.cfg.TTL {
-			delete(c.entries, k)
+			delete(m, k)
 			c.evictions.Add(1)
 			c.mEvictions.Inc()
 		}
 	}
-	for len(c.entries) > c.cfg.MaxEntries {
+	for len(m) > c.perShard {
 		oldestKey := ""
 		var oldest time.Time
-		for k, e := range c.entries {
+		for k, e := range m {
 			if !e.landed() {
 				continue
 			}
@@ -233,7 +370,7 @@ func (c *Cache) evictLocked() {
 		if oldestKey == "" {
 			return // everything in flight; nothing evictable
 		}
-		delete(c.entries, oldestKey)
+		delete(m, oldestKey)
 		c.evictions.Add(1)
 		c.mEvictions.Inc()
 	}
@@ -243,9 +380,13 @@ func (c *Cache) evictLocked() {
 // collection still receive its answer, but the flushed flight is not
 // retained when it lands.
 func (c *Cache) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	clear(c.entries)
+	empty := make(entryMap)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m.Store(&empty)
+		sh.mu.Unlock()
+	}
 }
 
 // Invalidate drops every cached answer whose canonical key starts with
@@ -260,17 +401,31 @@ func (c *Cache) Flush() {
 // superset host list sharing the sorted-order prefix) is also dropped;
 // over-invalidation costs one re-collection, never a stale answer.
 func (c *Cache) Invalidate(prefixes ...string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	dropped := 0
-	for k := range c.entries {
-		for _, p := range prefixes {
-			if strings.HasPrefix(k, p) {
-				delete(c.entries, k)
-				dropped++
-				break
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		cur := sh.load()
+		var next entryMap
+		for k := range cur {
+			for _, p := range prefixes {
+				if strings.HasPrefix(k, p) {
+					if next == nil {
+						next = make(entryMap, len(cur))
+						for k2, v2 := range cur {
+							next[k2] = v2
+						}
+					}
+					delete(next, k)
+					dropped++
+					break
+				}
 			}
 		}
+		if next != nil {
+			sh.m.Store(&next)
+		}
+		sh.mu.Unlock()
 	}
 	if dropped > 0 {
 		c.mInvalidation.Add(int64(dropped))
@@ -290,7 +445,9 @@ func (c *Cache) Stats() Stats {
 
 // Len reports the number of cached entries (including in-flight).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		n += len(c.shards[i].load())
+	}
+	return n
 }

@@ -192,6 +192,82 @@ func TestEvictionBound(t *testing.T) {
 	}
 }
 
+// TestEvictionOrderOldestFillFirst pins the eviction policy: entries
+// leave in fill-time order, and a warm hit does not refresh an entry's
+// age (the cache is FIFO by fill, not LRU by access — a deliberately
+// cheaper policy whose order this test documents). Shards: 1 makes the
+// global order deterministic.
+func TestEvictionOrderOldestFillFirst(t *testing.T) {
+	inner := &slowColl{}
+	now := time.Unix(0, 0)
+	c := New(inner, Config{TTL: time.Hour, MaxEntries: 4, Shards: 1, Now: func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}})
+	for i := 0; i < 4; i++ {
+		if _, err := c.Collect(q(fmt.Sprintf("10.0.%d.1", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the oldest entry; under fill-order eviction this must not
+	// save it.
+	if _, err := c.Collect(q("10.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.calls.Load(); got != 4 {
+		t.Fatalf("warm re-read went to the inner collector (calls=%d)", got)
+	}
+	if _, err := c.Collect(q("10.0.9.1")); err != nil { // fifth key: evicts oldest
+		t.Fatal(err)
+	}
+	// The three younger originals must still be warm...
+	for i := 1; i < 4; i++ {
+		if _, err := c.Collect(q(fmt.Sprintf("10.0.%d.1", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inner.calls.Load(); got != 5 {
+		t.Fatalf("younger entries were evicted (calls=%d, want 5)", got)
+	}
+	// ...and the oldest must be gone despite its recent access.
+	if _, err := c.Collect(q("10.0.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.calls.Load(); got != 6 {
+		t.Fatalf("oldest entry survived eviction (calls=%d, want 6)", got)
+	}
+}
+
+// TestEvictionSweepsAllExpiredFirst: when over capacity, every expired
+// entry goes before any live one is considered — the sweep may drop more
+// than the minimum needed to make room.
+func TestEvictionSweepsAllExpiredFirst(t *testing.T) {
+	inner := &slowColl{}
+	now := time.Unix(0, 0)
+	c := New(inner, Config{TTL: 10 * time.Second, MaxEntries: 4, Shards: 1, Now: func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Collect(q(fmt.Sprintf("10.0.%d.1", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = now.Add(time.Minute) // all three now expired
+	if _, err := c.Collect(q("10.0.8.1")); err != nil { // 4 entries: at capacity, no sweep yet
+		t.Fatal(err)
+	}
+	if _, err := c.Collect(q("10.0.9.1")); err != nil { // 5th triggers the sweep
+		t.Fatal(err)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d after sweep, want 2 (only the live pair)", got)
+	}
+	if got := c.Stats().Evictions; got != 3 {
+		t.Fatalf("Evictions = %d, want 3 (every expired entry)", got)
+	}
+}
+
 func TestFlush(t *testing.T) {
 	inner := &slowColl{}
 	c := New(inner, Config{TTL: time.Hour})

@@ -24,6 +24,10 @@
 //	             cancelable: the goroutine receives from a channel,
 //	             observes a context.Context, or the launch is delegated
 //	             to internal/conc.
+//	poolreturn — every sync.Pool Get in a pooled hot-path package is
+//	             balanced by a Put on the same pool within the same
+//	             function (direct or deferred), so serving paths cannot
+//	             quietly stop recycling buffers.
 //
 // A finding is suppressed by a //remoslint:allow <check> <reason>
 // comment on the same line or the line above. The directive itself is
@@ -67,6 +71,9 @@ type Policy struct {
 	ErrWrap map[string]bool
 	// GoCtx packages own long-running goroutines.
 	GoCtx map[string]bool
+	// PoolReturn packages recycle hot-path buffers through sync.Pool;
+	// every Get must have a same-function (possibly deferred) Put.
+	PoolReturn map[string]bool
 	// MetricSubsystems are the allowed second tokens of a metric name
 	// (remos_<subsystem>_...).
 	MetricSubsystems map[string]bool
@@ -80,6 +87,7 @@ func DefaultPolicy() Policy {
 		ErrWrap: set("proto", "master", "remos"),
 		GoCtx: set("proto", "directory", "snmp", "sim", "sched", "watch",
 			"benchcoll", "qcache", "master"),
+		PoolReturn: set("proto", "snmp"),
 		MetricSubsystems: set("bench", "bridge", "directory", "hostload",
 			"master", "modeler", "qcache", "request", "requests", "sched",
 			"snmp", "snmpcoll", "watch", "wireless"),
@@ -151,7 +159,7 @@ type directive struct {
 
 // knownChecks names every analyzer (plus the directive verifier
 // itself), for directive validation.
-var knownChecks = set("wallclock", "globalrand", "errwrap", "metricname", "goctx")
+var knownChecks = set("wallclock", "globalrand", "errwrap", "metricname", "goctx", "poolreturn")
 
 // collectDirectives parses the allow directives of one package.
 func (r *runner) collectDirectives(pkg *Package) {
@@ -195,6 +203,7 @@ func Run(pkgs []*Package, policy Policy) []Diagnostic {
 		errwrapCheck{},
 		&metricnameCheck{},
 		goctxCheck{},
+		poolreturnCheck{},
 	}
 	for _, pkg := range pkgs {
 		r.collectDirectives(pkg)

@@ -1,0 +1,67 @@
+// The poolreturn fixture opts in by declaring package proto, a pooled
+// hot-path package under the default policy.
+package proto
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+var otherPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+type server struct{ pool sync.Pool }
+
+func goodDeferredPut() {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+}
+
+func goodDirectPut() {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	bufPool.Put(buf)
+}
+
+func goodPutInDeferredClosure() {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		bufPool.Put(buf)
+	}()
+}
+
+func goodFieldPool(s *server) {
+	buf := s.pool.Get().(*bytes.Buffer)
+	defer s.pool.Put(buf)
+}
+
+func badLeakedGet() {
+	buf := bufPool.Get().(*bytes.Buffer) // want `\[poolreturn\] sync.Pool Get on bufPool with no Put`
+	buf.Reset()
+}
+
+func badWrongPoolPut() {
+	buf := bufPool.Get().(*bytes.Buffer) // want `\[poolreturn\] sync.Pool Get on bufPool with no Put`
+	otherPool.Put(buf)
+}
+
+func badEarlyReturnLeak(cond bool) *bytes.Buffer {
+	buf := bufPool.Get().(*bytes.Buffer) // want `\[poolreturn\] sync.Pool Get on bufPool with no Put`
+	if cond {
+		return buf
+	}
+	return nil
+}
+
+// A sanctioned handoff: the object outlives this function and a
+// directive names the function responsible for returning it.
+func allowedHandoff() *bytes.Buffer {
+	//remoslint:allow poolreturn caller returns the buffer via releaseBuf
+	return bufPool.Get().(*bytes.Buffer)
+}
+
+func releaseBuf(buf *bytes.Buffer) {
+	bufPool.Put(buf)
+}

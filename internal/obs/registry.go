@@ -76,13 +76,28 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram counts observations into cumulative buckets, with a running
-// sum — the Prometheus histogram shape.
-type Histogram struct {
-	bounds []float64
+// histStripes is the number of independent cells an observation can land
+// in (power of two). Striping keeps concurrent Observe calls off each
+// other's cache lines: the sum in particular is a compare-and-swap loop
+// over a float64, and a single shared cell degrades collapse-style under
+// the request-histogram fan-in of many serving goroutines.
+const histStripes = 8
+
+// histStripe is one cell: per-bucket counters plus a running sum. The
+// pad spaces the hot sum fields a cache line apart.
+type histStripe struct {
 	counts []atomic.Int64 // one per bound, plus +Inf at the end
 	sum    Gauge
-	count  atomic.Int64
+	_      [4]uint64
+}
+
+// Histogram counts observations into cumulative buckets, with a running
+// sum — the Prometheus histogram shape. Storage is striped; rendering
+// and the accessors aggregate.
+type Histogram struct {
+	bounds  []float64
+	stripes []histStripe
+	count   atomic.Int64
 }
 
 // Observe records one value.
@@ -91,11 +106,13 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	// Record into the first bucket whose bound holds v; rendering
-	// accumulates, so storage is per-bucket.
+	// accumulates, so storage is per-bucket. The observation sequence
+	// number spreads concurrent observers across stripes.
 	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i].Add(1)
-	h.sum.Add(v)
-	h.count.Add(1)
+	n := h.count.Add(1)
+	st := &h.stripes[uint64(n)&(histStripes-1)]
+	st.counts[i].Add(1)
+	st.sum.Add(v)
 }
 
 // Count returns the number of observations.
@@ -104,6 +121,25 @@ func (h *Histogram) Count() int64 {
 		return 0
 	}
 	return h.count.Load()
+}
+
+// bucketCount aggregates one bucket's (non-cumulative) count across
+// stripes; index len(bounds) is the +Inf bucket.
+func (h *Histogram) bucketCount(i int) int64 {
+	var n int64
+	for s := range h.stripes {
+		n += h.stripes[s].counts[i].Load()
+	}
+	return n
+}
+
+// sumValue aggregates the running sum across stripes.
+func (h *Histogram) sumValue() float64 {
+	var v float64
+	for s := range h.stripes {
+		v += h.stripes[s].sum.Value()
+	}
+	return v
 }
 
 // series is one rendered time series: a metric instance under a family.
@@ -230,7 +266,11 @@ func (r *Registry) Histogram(name, help string, bounds []float64, kv ...string) 
 	}
 	s := r.lookup(name, "histogram", help, kv)
 	if s.h == nil {
-		s.h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		h := &Histogram{bounds: bounds, stripes: make([]histStripe, histStripes)}
+		for i := range h.stripes {
+			h.stripes[i].counts = make([]atomic.Int64, len(bounds)+1)
+		}
+		s.h = h
 	}
 	return s.h
 }
@@ -293,11 +333,11 @@ func writeHistogram(b *strings.Builder, name string, s *series) {
 	}
 	cum := int64(0)
 	for i, bound := range h.bounds {
-		cum += h.counts[i].Load()
+		cum += h.bucketCount(i)
 		fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketLabels(fmt.Sprintf("%g", bound)), cum)
 	}
-	cum += h.counts[len(h.bounds)].Load()
+	cum += h.bucketCount(len(h.bounds))
 	fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketLabels("+Inf"), cum)
-	fmt.Fprintf(b, "%s_sum%s %g\n", name, s.labels, h.sum.Value())
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, s.labels, h.sumValue())
 	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, h.count.Load())
 }

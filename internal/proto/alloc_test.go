@@ -1,0 +1,255 @@
+package proto
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"remos/internal/collector"
+)
+
+// wireQuery renders one on-the-wire query for nHosts hosts.
+func wireQuery(t testing.TB, nHosts int) []byte {
+	t.Helper()
+	q := collector.Query{WithHistory: true}
+	for i := 0; i < nHosts; i++ {
+		q.Hosts = append(q.Hosts, netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}))
+	}
+	var buf bytes.Buffer
+	if err := writeQuery(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadQueryAllocationBudget pins the steady-state parse cost of the
+// serve hot path. Before the byte-level scanner this was ~12 allocations
+// for a 2-host query (ReadString per line, strings.Split, Sscanf); the
+// budget asserts the >=50% reduction holds: one Hosts slice, one
+// ParseAddr string per host, and nothing per line.
+func TestReadQueryAllocationBudget(t *testing.T) {
+	wire := wireQuery(t, 2)
+	r := bufio.NewReaderSize(nil, 4096)
+	var scratch []byte
+	src := bytes.NewReader(nil)
+	if n := testing.AllocsPerRun(200, func() {
+		src.Reset(wire)
+		r.Reset(src)
+		q, err := readQuery(r, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Hosts) != 2 || !q.WithHistory {
+			t.Fatalf("bad query %+v", q)
+		}
+	}); n > 4 {
+		t.Fatalf("readQuery allocates %.0f times per 2-host query, want <= 4", n)
+	}
+}
+
+// TestWriteQueryAllocationBudget: the request writer is pooled end to
+// end; after warm-up it should not allocate at all. The race detector
+// makes sync.Pool drop items at random to shake out races, so the
+// zero-alloc property only holds in normal builds.
+func TestWriteQueryAllocationBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool sheds items under the race detector")
+	}
+	q := collector.Query{
+		Hosts:       []netip.Addr{netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")},
+		WithHistory: true,
+	}
+	if err := writeQuery(io.Discard, q); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := writeQuery(io.Discard, q); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("writeQuery allocates %.0f times per call, want 0", n)
+	}
+}
+
+// TestReadLineLongLines covers the scratch fallback: lines longer than
+// the bufio buffer must come back intact and reuse the scratch slice.
+func TestReadLineLongLines(t *testing.T) {
+	long := strings.Repeat("x", 10000)
+	input := "short\n" + long + "\n" + long + "y\n"
+	r := bufio.NewReaderSize(strings.NewReader(input), 64)
+	var scratch []byte
+	for i, want := range []string{"short\n", long + "\n", long + "y\n"} {
+		got, err := readLine(r, &scratch)
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if string(got) != want {
+			t.Fatalf("line %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := readLine(r, &scratch); err != io.EOF {
+		t.Fatalf("want EOF at end, got %v", err)
+	}
+}
+
+// TestReadLineUnterminated: a final line without a newline is an error
+// (the protocol always terminates lines), surfacing as io.EOF from
+// ReadSlice — both for short and buffer-straddling lines.
+func TestReadLineUnterminated(t *testing.T) {
+	for _, input := range []string{"dangling", strings.Repeat("z", 200)} {
+		r := bufio.NewReaderSize(strings.NewReader(input), 64)
+		var scratch []byte
+		if _, err := readLine(r, &scratch); err != io.EOF {
+			t.Fatalf("input %d bytes: want io.EOF, got %v", len(input), err)
+		}
+	}
+}
+
+// TestLineLimitedReaderTruncation exercises the graph-decoder adapter on
+// edge shapes: exact-buffer-multiple lines, lines straddling the bufio
+// buffer, an END mid-stream (stop exactly there), and EOF without END.
+func TestLineLimitedReaderTruncation(t *testing.T) {
+	t.Run("stops_at_end", func(t *testing.T) {
+		r := bufio.NewReaderSize(strings.NewReader("a b\nEND\nAFTER\n"), 4096)
+		l := &lineLimitedReader{r: r}
+		all, err := io.ReadAll(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(all) != "a b\nEND\n" {
+			t.Fatalf("read %q, want through END only", all)
+		}
+		// The line after END must still be available to the caller.
+		rest, err := readLine(r, new([]byte))
+		if err != nil || string(rest) != "AFTER\n" {
+			t.Fatalf("after END: %q, %v", rest, err)
+		}
+	})
+	t.Run("long_lines", func(t *testing.T) {
+		long := strings.Repeat("n", 9000)
+		input := long + "\nEND\n"
+		l := &lineLimitedReader{r: bufio.NewReaderSize(strings.NewReader(input), 64)}
+		all, err := io.ReadAll(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(all) != input {
+			t.Fatalf("long line mangled: got %d bytes, want %d", len(all), len(input))
+		}
+	})
+	t.Run("eof_without_end", func(t *testing.T) {
+		// Without an END line the adapter surfaces the underlying EOF, so
+		// a graph decoder mid-parse sees a truncated stream, not a clean
+		// end baked in by the adapter.
+		l := &lineLimitedReader{r: bufio.NewReaderSize(strings.NewReader("a\nb\n"), 4096)}
+		all, err := io.ReadAll(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(all) != "a\nb\n" {
+			t.Fatalf("read %q", all)
+		}
+		if l.done {
+			t.Fatal("adapter claims END was seen")
+		}
+		if _, err := l.Read(make([]byte, 1)); err != io.EOF {
+			t.Fatalf("want io.EOF after exhaustion, got %v", err)
+		}
+	})
+	t.Run("tiny_read_buffer", func(t *testing.T) {
+		l := &lineLimitedReader{r: bufio.NewReaderSize(strings.NewReader("abcdef\nEND\n"), 4096)}
+		var out []byte
+		p := make([]byte, 3) // force multi-Read consumption of one line
+		for {
+			n, err := l.Read(p)
+			out = append(out, p[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if string(out) != "abcdef\nEND\n" {
+			t.Fatalf("chunked read got %q", out)
+		}
+	})
+}
+
+// sampleResult builds a history- and prediction-bearing result of the
+// shape a warm modeler query returns: a small graph plus per-pair series.
+func sampleResult(t testing.TB) *collector.Result {
+	t.Helper()
+	ec := &echoCollector{}
+	q := collector.Query{Hosts: hostList("10.0.1.1", "10.0.2.2", "10.0.3.3"), WithHistory: true}
+	res, err := ec.Collect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := collector.Forecast{Values: make([]float64, 16), ErrVar: make([]float64, 16)}
+	for i := range fc.Values {
+		fc.Values[i] = 1e6 + float64(i)*1e3
+		fc.ErrVar[i] = 0.5 + float64(i)
+	}
+	res.Predictions = map[collector.HistKey]collector.Forecast{
+		{From: "10.0.1.1", To: "10.0.2.2"}: fc,
+	}
+	return res
+}
+
+// BenchmarkASCIIQueryParse measures the serve-side query parse in
+// isolation — the per-request floor of the ASCII protocol.
+func BenchmarkASCIIQueryParse(b *testing.B) {
+	wire := wireQuery(b, 4)
+	r := bufio.NewReaderSize(nil, 4096)
+	src := bytes.NewReader(nil)
+	var scratch []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset(wire)
+		r.Reset(src)
+		if _, err := readQuery(r, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkASCIIResultRoundTrip encodes and decodes a history-bearing
+// result, the dominant payload on the modeler path.
+func BenchmarkASCIIResultRoundTrip(b *testing.B) {
+	res := sampleResult(b)
+	var enc bytes.Buffer
+	if err := writeResult(&enc, res); err != nil {
+		b.Fatal(err)
+	}
+	wire := enc.Bytes()
+	b.Run("Encode", func(b *testing.B) {
+		var buf bytes.Buffer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := writeResult(&buf, res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Decode", func(b *testing.B) {
+		r := bufio.NewReaderSize(nil, 4096)
+		src := bytes.NewReader(nil)
+		var scratch []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src.Reset(wire)
+			r.Reset(src)
+			if _, err := readResult(r, &scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -17,7 +17,6 @@ import (
 	"net"
 	"net/netip"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -31,86 +30,106 @@ import (
 
 // writeQuery sends one ASCII query. The third header flag (predictions)
 // extends the original protocol; servers and clients accept both forms.
+// The request renders into a pooled buffer (bytes.Buffer.Write does not
+// leak its argument, so the number scratch stays on the stack) and goes
+// out as one Write, so the steady-state path allocates nothing and the
+// request hits the wire in a single segment.
 func writeQuery(w io.Writer, q collector.Query) error {
-	hist, pred := 0, 0
+	hist, pred := int64(0), int64(0)
 	if q.WithHistory {
 		hist = 1
 	}
 	if q.WithPredictions {
 		pred = 1
 	}
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "QUERY %d %d %d\n", len(q.Hosts), hist, pred)
+	buf := respPool.Get().(*bytes.Buffer)
+	defer respPool.Put(buf)
+	buf.Reset()
+	buf.WriteString("QUERY ")
+	bufInt(buf, int64(len(q.Hosts)))
+	buf.WriteByte(' ')
+	bufInt(buf, hist)
+	buf.WriteByte(' ')
+	bufInt(buf, pred)
+	buf.WriteByte('\n')
+	var tmp [48]byte
 	for _, h := range q.Hosts {
-		fmt.Fprintln(bw, h.String())
+		buf.Write(h.AppendTo(tmp[:0]))
+		buf.WriteByte('\n')
 	}
-	fmt.Fprintln(bw, "END")
-	return bw.Flush()
+	buf.WriteString("END\n")
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // readQuery parses one ASCII query; io.EOF on a cleanly closed connection.
-func readQuery(r *bufio.Reader) (collector.Query, error) {
-	line, err := r.ReadString('\n')
+func readQuery(r *bufio.Reader, scratch *[]byte) (collector.Query, error) {
+	line, err := readLine(r, scratch)
 	if err != nil {
 		return collector.Query{}, err
 	}
-	return readQueryBody(line, r)
+	return readQueryBody(line, r, scratch)
 }
 
 // readQueryBody parses a query whose header line was already consumed —
 // the server's verb dispatch reads one line to tell QUERY from WATCH.
-func readQueryBody(line string, r *bufio.Reader) (collector.Query, error) {
-	f := strings.Fields(line)
-	if (len(f) != 3 && len(f) != 4) || f[0] != "QUERY" {
-		return collector.Query{}, fmt.Errorf("proto: bad query header %q", strings.TrimSpace(line))
+// The line aliases the reader's buffer; nothing here retains it.
+func readQueryBody(line []byte, r *bufio.Reader, scratch *[]byte) (collector.Query, error) {
+	badHeader := func() error {
+		return fmt.Errorf("proto: bad query header %q", bytes.TrimSpace(line))
 	}
-	nums := make([]int, 0, 3)
-	for _, s := range f[1:] {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			return collector.Query{}, fmt.Errorf("proto: bad query header %q", strings.TrimSpace(line))
+	fs := newFields(line)
+	if !bytes.Equal(fs.next(), []byte("QUERY")) {
+		return collector.Query{}, badHeader()
+	}
+	var nums [3]int64
+	cnt := 0
+	for tok := fs.next(); tok != nil; tok = fs.next() {
+		v, ok := parseInt(tok)
+		if !ok || cnt == len(nums) {
+			return collector.Query{}, badHeader()
 		}
-		nums = append(nums, v)
+		nums[cnt] = v
+		cnt++
 	}
-	n, hist := nums[0], nums[1]
-	pred := 0
-	if len(nums) == 3 {
-		pred = nums[2]
+	if cnt < 2 {
+		return collector.Query{}, badHeader()
 	}
+	n, hist, pred := nums[0], nums[1], nums[2]
 	if n < 0 || n > 1<<20 {
 		return collector.Query{}, fmt.Errorf("proto: absurd host count %d", n)
 	}
 	q := collector.Query{WithHistory: hist != 0, WithPredictions: pred != 0}
-	var err error
-	for i := 0; i < n; i++ {
-		line, err := r.ReadString('\n')
+	if n > 0 {
+		q.Hosts = make([]netip.Addr, 0, n)
+	}
+	for i := int64(0); i < n; i++ {
+		line, err := readLine(r, scratch)
 		if err != nil {
 			return collector.Query{}, err
 		}
-		a, err := netip.ParseAddr(strings.TrimSpace(line))
+		a, err := netip.ParseAddr(string(bytes.TrimSpace(line)))
 		if err != nil {
-			return collector.Query{}, fmt.Errorf("proto: bad host %q: %w", strings.TrimSpace(line), err)
+			return collector.Query{}, fmt.Errorf("proto: bad host %q: %w", bytes.TrimSpace(line), err)
 		}
 		q.Hosts = append(q.Hosts, a)
 	}
-	line, err = r.ReadString('\n')
+	line, err := readLine(r, scratch)
 	if err != nil {
 		return collector.Query{}, err
 	}
-	if strings.TrimSpace(line) != "END" {
-		return collector.Query{}, fmt.Errorf("proto: missing END, got %q", strings.TrimSpace(line))
+	if !bytes.Equal(bytes.TrimSpace(line), []byte("END")) {
+		return collector.Query{}, fmt.Errorf("proto: missing END, got %q", bytes.TrimSpace(line))
 	}
 	return q, nil
 }
 
-// writeResult sends one ASCII result.
-func writeResult(w io.Writer, res *collector.Result) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "OK")
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	if err := res.Graph.EncodeText(w); err != nil {
+// writeResult renders one ASCII result into the response buffer. The
+// per-sample lines go through append-based formatting, not fmt, because
+// a history-bearing answer can carry thousands of them.
+func writeResult(buf *bytes.Buffer, res *collector.Result) error {
+	buf.WriteString("OK\n")
+	if err := res.Graph.EncodeText(buf); err != nil {
 		return err
 	}
 	keys := make([]collector.HistKey, 0, len(res.History))
@@ -123,12 +142,23 @@ func writeResult(w io.Writer, res *collector.Result) error {
 		}
 		return keys[i].To < keys[j].To
 	})
-	fmt.Fprintf(bw, "HISTORY %d\n", len(keys))
+	buf.WriteString("HISTORY ")
+	bufInt(buf, int64(len(keys)))
+	buf.WriteByte('\n')
 	for _, k := range keys {
 		ss := res.History[k]
-		fmt.Fprintf(bw, "HIST %s %s %d\n", k.From, k.To, len(ss))
+		buf.WriteString("HIST ")
+		buf.WriteString(k.From)
+		buf.WriteByte(' ')
+		buf.WriteString(k.To)
+		buf.WriteByte(' ')
+		bufInt(buf, int64(len(ss)))
+		buf.WriteByte('\n')
 		for _, s := range ss {
-			fmt.Fprintf(bw, "%d %g\n", s.T.UnixNano(), s.Bits)
+			bufInt(buf, s.T.UnixNano())
+			buf.WriteByte(' ')
+			bufFloat(buf, s.Bits)
+			buf.WriteByte('\n')
 		}
 	}
 	if len(res.Predictions) > 0 {
@@ -142,21 +172,32 @@ func writeResult(w io.Writer, res *collector.Result) error {
 			}
 			return pkeys[i].To < pkeys[j].To
 		})
-		fmt.Fprintf(bw, "PREDICTIONS %d\n", len(pkeys))
+		buf.WriteString("PREDICTIONS ")
+		bufInt(buf, int64(len(pkeys)))
+		buf.WriteByte('\n')
 		for _, k := range pkeys {
 			f := res.Predictions[k]
-			fmt.Fprintf(bw, "PRED %s %s %d\n", k.From, k.To, len(f.Values))
+			buf.WriteString("PRED ")
+			buf.WriteString(k.From)
+			buf.WriteByte(' ')
+			buf.WriteString(k.To)
+			buf.WriteByte(' ')
+			bufInt(buf, int64(len(f.Values)))
+			buf.WriteByte('\n')
 			for i := range f.Values {
 				ev := 0.0
 				if i < len(f.ErrVar) {
 					ev = f.ErrVar[i]
 				}
-				fmt.Fprintf(bw, "%g %g\n", f.Values[i], ev)
+				bufFloat(buf, f.Values[i])
+				buf.WriteByte(' ')
+				bufFloat(buf, ev)
+				buf.WriteByte('\n')
 			}
 		}
 	}
-	fmt.Fprintln(bw, "DONE")
-	return bw.Flush()
+	buf.WriteString("DONE\n")
+	return nil
 }
 
 // writeError reports a failure as "ERR <CODE> message" when the error
@@ -172,15 +213,17 @@ func writeError(w io.Writer, err error) {
 	fmt.Fprintf(w, "ERR %s\n", msg)
 }
 
-// readResult parses one ASCII result.
-func readResult(r *bufio.Reader) (*collector.Result, error) {
-	line, err := r.ReadString('\n')
+// readResult parses one ASCII result. Per-sample lines are scanned in
+// place; only the strings the Result retains (keys, error text) are
+// materialized.
+func readResult(r *bufio.Reader, scratch *[]byte) (*collector.Result, error) {
+	line, err := readLine(r, scratch)
 	if err != nil {
 		return nil, err
 	}
-	line = strings.TrimSpace(line)
-	if strings.HasPrefix(line, "ERR ") {
-		rest := strings.TrimPrefix(line, "ERR ")
+	head := bytes.TrimSpace(line)
+	if bytes.HasPrefix(head, []byte("ERR ")) {
+		rest := string(head[len("ERR "):])
 		code := ""
 		if sp := strings.IndexByte(rest, ' '); sp > 0 && rerr.Known(rest[:sp]) {
 			code, rest = rest[:sp], rest[sp+1:]
@@ -189,114 +232,109 @@ func readResult(r *bufio.Reader) (*collector.Result, error) {
 		}
 		return nil, decodeRemoteError(code, "proto: remote error: "+rest)
 	}
-	if line != "OK" {
-		return nil, fmt.Errorf("proto: unexpected response %q", line)
+	if !bytes.Equal(head, []byte("OK")) {
+		return nil, fmt.Errorf("proto: unexpected response %q", head)
 	}
 	g, err := topology.DecodeText(&lineLimitedReader{r: r})
 	if err != nil {
 		return nil, err
 	}
 	res := &collector.Result{Graph: g}
-	line, err = r.ReadString('\n')
+	line, err = readLine(r, scratch)
 	if err != nil {
 		return nil, err
 	}
-	var nk int
-	if _, err := fmt.Sscanf(line, "HISTORY %d", &nk); err != nil {
-		return nil, fmt.Errorf("proto: bad history header %q", strings.TrimSpace(line))
+	fs := newFields(line)
+	nk := int64(0)
+	if tok := fs.next(); !bytes.Equal(tok, []byte("HISTORY")) {
+		return nil, fmt.Errorf("proto: bad history header %q", bytes.TrimSpace(line))
+	} else if v, ok := parseInt(fs.next()); !ok || v < 0 || fs.next() != nil {
+		return nil, fmt.Errorf("proto: bad history header %q", bytes.TrimSpace(line))
+	} else {
+		nk = v
 	}
 	if nk > 0 {
 		res.History = make(map[collector.HistKey][]collector.Sample, nk)
 	}
-	for i := 0; i < nk; i++ {
-		line, err := r.ReadString('\n')
+	for i := int64(0); i < nk; i++ {
+		line, err := readLine(r, scratch)
 		if err != nil {
 			return nil, err
 		}
-		f := strings.Fields(line)
-		if len(f) != 4 || f[0] != "HIST" {
-			return nil, fmt.Errorf("proto: bad HIST line %q", strings.TrimSpace(line))
+		fs := newFields(line)
+		verb, from, to, cnt := fs.next(), fs.next(), fs.next(), fs.next()
+		m, ok := parseInt(cnt)
+		if !bytes.Equal(verb, []byte("HIST")) || to == nil || !ok || m < 0 || fs.next() != nil {
+			return nil, fmt.Errorf("proto: bad HIST line %q", bytes.TrimSpace(line))
 		}
-		m, err := strconv.Atoi(f[3])
-		if err != nil || m < 0 {
-			return nil, fmt.Errorf("proto: bad sample count %q", f[3])
-		}
-		key := collector.HistKey{From: f[1], To: f[2]}
+		key := collector.HistKey{From: string(from), To: string(to)}
 		samples := make([]collector.Sample, 0, m)
-		for j := 0; j < m; j++ {
-			line, err := r.ReadString('\n')
+		for j := int64(0); j < m; j++ {
+			line, err := readLine(r, scratch)
 			if err != nil {
 				return nil, err
 			}
-			sf := strings.Fields(line)
-			if len(sf) != 2 {
-				return nil, fmt.Errorf("proto: bad sample line %q", strings.TrimSpace(line))
-			}
-			ns, err1 := strconv.ParseInt(sf[0], 10, 64)
-			bits, err2 := strconv.ParseFloat(sf[1], 64)
-			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("proto: bad sample %q", strings.TrimSpace(line))
+			fs := newFields(line)
+			ns, ok1 := parseInt(fs.next())
+			bits, ok2 := parseFloat(fs.next())
+			if !ok1 || !ok2 || fs.next() != nil {
+				return nil, fmt.Errorf("proto: bad sample line %q", bytes.TrimSpace(line))
 			}
 			samples = append(samples, collector.Sample{T: time.Unix(0, ns), Bits: bits})
 		}
 		res.History[key] = samples
 	}
-	line, err = r.ReadString('\n')
+	line, err = readLine(r, scratch)
 	if err != nil {
 		return nil, err
 	}
-	line = strings.TrimSpace(line)
-	if strings.HasPrefix(line, "PREDICTIONS ") {
-		nk, err := strconv.Atoi(strings.TrimPrefix(line, "PREDICTIONS "))
-		if err != nil || nk < 0 {
-			return nil, fmt.Errorf("proto: bad predictions header %q", line)
+	trail := bytes.TrimSpace(line)
+	if bytes.HasPrefix(trail, []byte("PREDICTIONS ")) {
+		nk, ok := parseInt(trail[len("PREDICTIONS "):])
+		if !ok || nk < 0 {
+			return nil, fmt.Errorf("proto: bad predictions header %q", trail)
 		}
 		if nk > 0 {
 			res.Predictions = make(map[collector.HistKey]collector.Forecast, nk)
 		}
-		for i := 0; i < nk; i++ {
-			line, err := r.ReadString('\n')
+		for i := int64(0); i < nk; i++ {
+			line, err := readLine(r, scratch)
 			if err != nil {
 				return nil, err
 			}
-			f := strings.Fields(line)
-			if len(f) != 4 || f[0] != "PRED" {
-				return nil, fmt.Errorf("proto: bad PRED line %q", strings.TrimSpace(line))
-			}
-			h, err := strconv.Atoi(f[3])
-			if err != nil || h < 0 {
-				return nil, fmt.Errorf("proto: bad horizon %q", f[3])
+			fs := newFields(line)
+			verb, from, to, cnt := fs.next(), fs.next(), fs.next(), fs.next()
+			h, ok := parseInt(cnt)
+			if !bytes.Equal(verb, []byte("PRED")) || to == nil || !ok || h < 0 || fs.next() != nil {
+				return nil, fmt.Errorf("proto: bad PRED line %q", bytes.TrimSpace(line))
 			}
 			fc := collector.Forecast{
 				Values: make([]float64, 0, h),
 				ErrVar: make([]float64, 0, h),
 			}
-			for j := 0; j < h; j++ {
-				line, err := r.ReadString('\n')
+			for j := int64(0); j < h; j++ {
+				line, err := readLine(r, scratch)
 				if err != nil {
 					return nil, err
 				}
-				sf := strings.Fields(line)
-				if len(sf) != 2 {
-					return nil, fmt.Errorf("proto: bad forecast line %q", strings.TrimSpace(line))
-				}
-				v, err1 := strconv.ParseFloat(sf[0], 64)
-				ev, err2 := strconv.ParseFloat(sf[1], 64)
-				if err1 != nil || err2 != nil {
-					return nil, fmt.Errorf("proto: bad forecast numbers %q", strings.TrimSpace(line))
+				fs := newFields(line)
+				v, ok1 := parseFloat(fs.next())
+				ev, ok2 := parseFloat(fs.next())
+				if !ok1 || !ok2 || fs.next() != nil {
+					return nil, fmt.Errorf("proto: bad forecast line %q", bytes.TrimSpace(line))
 				}
 				fc.Values = append(fc.Values, v)
 				fc.ErrVar = append(fc.ErrVar, ev)
 			}
-			res.Predictions[collector.HistKey{From: f[1], To: f[2]}] = fc
+			res.Predictions[collector.HistKey{From: string(from), To: string(to)}] = fc
 		}
-		line2, err := r.ReadString('\n')
+		line, err = readLine(r, scratch)
 		if err != nil {
 			return nil, err
 		}
-		line = strings.TrimSpace(line2)
+		trail = bytes.TrimSpace(line)
 	}
-	if line != "DONE" {
+	if !bytes.Equal(trail, []byte("DONE")) {
 		return nil, fmt.Errorf("proto: missing DONE trailer")
 	}
 	return res, nil
@@ -305,11 +343,13 @@ func readResult(r *bufio.Reader) (*collector.Result, error) {
 // lineLimitedReader adapts a bufio.Reader to io.Reader for the graph
 // decoder without over-reading: the graph format is line-oriented and
 // self-delimiting (header gives counts, END trails), so we feed it exactly
-// the lines it needs.
+// the lines it needs. Served lines alias the bufio buffer (with a scratch
+// fallback for oversized lines) — no per-line copy.
 type lineLimitedReader struct {
-	r    *bufio.Reader
-	buf  []byte
-	done bool
+	r       *bufio.Reader
+	buf     []byte
+	scratch []byte
+	done    bool
 }
 
 func (l *lineLimitedReader) Read(p []byte) (int, error) {
@@ -317,14 +357,14 @@ func (l *lineLimitedReader) Read(p []byte) (int, error) {
 		if l.done {
 			return 0, io.EOF
 		}
-		line, err := l.r.ReadString('\n')
+		line, err := readLine(l.r, &l.scratch)
 		if err != nil {
 			return 0, err
 		}
-		if strings.TrimSpace(line) == "END" {
+		if bytes.Equal(bytes.TrimSpace(line), []byte("END")) {
 			l.done = true
 		}
-		l.buf = []byte(line)
+		l.buf = line
 	}
 	n := copy(p, l.buf)
 	l.buf = l.buf[n:]
@@ -386,22 +426,31 @@ func (s *TCPServer) ListenAndServe(addr string) (string, error) {
 						sub.Close(nil) // disconnect tears down every watch
 					}
 				}()
-				r := bufio.NewReader(conn)
+				r := readerPool.Get().(*bufio.Reader)
+				r.Reset(conn)
+				defer func() {
+					r.Reset(emptyReader{}) // drop the connection reference before pooling
+					readerPool.Put(r)
+				}()
+				var scratch []byte
 				for {
-					line, err := r.ReadString('\n')
+					line, err := readLine(r, &scratch)
 					if err != nil {
 						return // EOF: drop the connection
 					}
-					verb, _, _ := strings.Cut(strings.TrimSpace(line), " ")
-					switch verb {
-					case "WATCH":
-						s.handleWatchLine(w, line, subs)
-						continue
-					case "UNWATCH":
-						s.handleUnwatchLine(w, line, subs)
+					fs := newFields(line)
+					verb := fs.next()
+					// The watch verbs are control-plane rare; their handlers
+					// keep the string-based grammar.
+					if bytes.Equal(verb, []byte("WATCH")) {
+						s.handleWatchLine(w, string(line), subs)
 						continue
 					}
-					q, err := readQueryBody(line, r)
+					if bytes.Equal(verb, []byte("UNWATCH")) {
+						s.handleUnwatchLine(w, string(line), subs)
+						continue
+					}
+					q, err := readQueryBody(line, r, &scratch)
 					if err != nil {
 						return // garbage: drop the connection
 					}
@@ -412,11 +461,13 @@ func (s *TCPServer) ListenAndServe(addr string) (string, error) {
 						continue
 					}
 					sp := tr.Start("encode")
-					var buf bytes.Buffer
-					werr := writeResult(&buf, res)
+					buf := respPool.Get().(*bytes.Buffer)
+					buf.Reset()
+					werr := writeResult(buf, res)
 					if werr == nil {
 						_, werr = w.Write(buf.Bytes())
 					}
+					respPool.Put(buf)
 					sp.End()
 					s.Traces.Observe(tr)
 					if werr != nil {
@@ -446,9 +497,10 @@ type TCPClient struct {
 	// Timeout bounds each query round trip (default 10s).
 	Timeout time.Duration
 
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	scratch []byte
 }
 
 // Name implements collector.Interface.
@@ -501,7 +553,7 @@ func (c *TCPClient) Collect(q collector.Query) (*collector.Result, error) {
 		if err := writeQuery(c.conn, q); err != nil {
 			return nil, err
 		}
-		return readResult(c.r)
+		return readResult(c.r, &c.scratch)
 	}
 	res, err := try()
 	if err != nil && c.conn != nil && ctx.Err() == nil {

@@ -1,0 +1,135 @@
+package proto
+
+// Byte-level line scanning and number formatting for the ASCII wire
+// path. The request/response loops below run once per served query, so
+// they follow the BER codec's zero-allocation discipline: lines are
+// scanned in place from the connection's pooled bufio.Reader (no
+// per-line string), tokens split without building a []string, and
+// numbers append into stack scratch instead of going through fmt.
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Pools for the per-connection reader and the message assembly buffers
+// (server responses, client requests). Connections come and go with
+// clients; pooling keeps a churn of short-lived connections from paying
+// a fresh 4KB buffer each.
+var (
+	readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 4096) }}
+	respPool   = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+// emptyReader is what pooled readers are Reset onto before returning to
+// the pool, so a pooled reader never pins a dead connection.
+type emptyReader struct{}
+
+func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// readLine returns the next newline-terminated line, aliasing the
+// reader's internal buffer — valid only until the next read, never
+// retained. Lines longer than the buffer accumulate into *scratch
+// (grown once, reused across calls). Any error, including a final
+// unterminated line, is returned as is.
+func readLine(r *bufio.Reader, scratch *[]byte) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err == nil {
+		return line, nil
+	}
+	if err != bufio.ErrBufferFull {
+		return nil, err
+	}
+	buf := append((*scratch)[:0], line...)
+	for {
+		line, err = r.ReadSlice('\n')
+		buf = append(buf, line...)
+		*scratch = buf
+		if err == nil {
+			return buf, nil
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
+	}
+}
+
+// fields iterates the whitespace-separated tokens of one line without
+// allocating. next returns nil after the last token.
+type fields struct{ rest []byte }
+
+func newFields(line []byte) fields { return fields{rest: line} }
+
+func asciiSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func (f *fields) next() []byte {
+	i := 0
+	for i < len(f.rest) && asciiSpace(f.rest[i]) {
+		i++
+	}
+	if i == len(f.rest) {
+		f.rest = nil
+		return nil
+	}
+	j := i
+	for j < len(f.rest) && !asciiSpace(f.rest[j]) {
+		j++
+	}
+	tok := f.rest[i:j]
+	f.rest = f.rest[j:]
+	return tok
+}
+
+// parseInt is a minimal decimal parser for wire counts and timestamps
+// (optional leading minus, digits only), avoiding the []byte->string
+// conversion strconv would need.
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	if b[0] == '-' {
+		neg = true
+		b = b[1:]
+		if len(b) == 0 {
+			return 0, false
+		}
+	}
+	var v int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := int64(c - '0')
+		if v > (1<<63-1-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// parseFloat parses a float token. The string conversion does not
+// escape strconv.ParseFloat, so it stays off the heap.
+func parseFloat(b []byte) (float64, bool) {
+	v, err := strconv.ParseFloat(string(b), 64)
+	return v, err == nil
+}
+
+// bufInt / bufFloat append a formatted number to the response buffer
+// through stack scratch — the fmt-free path for the per-sample lines.
+func bufInt(buf *bytes.Buffer, v int64) {
+	var tmp [24]byte
+	buf.Write(strconv.AppendInt(tmp[:0], v, 10))
+}
+
+func bufFloat(buf *bytes.Buffer, v float64) {
+	var tmp [32]byte
+	buf.Write(strconv.AppendFloat(tmp[:0], v, 'g', -1, 64))
+}

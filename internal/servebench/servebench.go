@@ -1,0 +1,352 @@
+// Package servebench measures end-to-end serving throughput: a complete
+// remosd-style stack — a two-site core deployment over the emulated
+// network, the warm-query cache, the watch registry and both wire
+// protocols — driven by concurrent clients issuing a mixed workload of
+// warm queries, cold (cache-invalidating) queries, and standing watches
+// receiving pushes. The output is the committed BENCH_serve.json record:
+// queries/sec, latency quantiles, and per-query allocation cost.
+//
+// The bench exercises the same objects a production daemon serves from;
+// nothing is mocked below the emulated network's SNMP agents. Numbers
+// are therefore end-to-end: protocol parse, cache lookup, collector
+// fan-out on cold paths, encode, and the metrics plane all inside the
+// measured interval.
+package servebench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remos/internal/benchfmt"
+	"remos/internal/collector"
+	"remos/internal/collector/qcache"
+	"remos/internal/core"
+	"remos/internal/netsim"
+	"remos/internal/obs"
+	"remos/internal/proto"
+	"remos/internal/sim"
+	"remos/internal/watch"
+)
+
+// Config shapes one serve-bench run. Zero values select the defaults
+// noted on each field.
+type Config struct {
+	// Clients is the number of concurrent querying clients (default 8).
+	Clients int
+	// Queries is the total query count across all clients (default 800).
+	Queries int
+	// ColdEvery makes every Nth query per client invalidate its cache
+	// slot first, forcing a full collector fan-out (default 8; negative
+	// disables cold traffic).
+	ColdEvery int
+	// HTTPEvery makes every Nth client speak the XML/HTTP protocol
+	// instead of ASCII (default 4; negative keeps every client on
+	// ASCII).
+	HTTPEvery int
+	// Watchers is the number of standing protocol-level watch
+	// subscriptions held open across the run, each receiving pushes
+	// from a background evaluation loop (default 32; negative
+	// disables).
+	Watchers int
+	// Seed randomizes per-client query interleaving (default 1).
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Queries <= 0 {
+		c.Queries = 800
+	}
+	if c.ColdEvery == 0 {
+		c.ColdEvery = 8
+	}
+	if c.HTTPEvery == 0 {
+		c.HTTPEvery = 4
+	}
+	if c.Watchers < 0 {
+		c.Watchers = 0
+	} else if c.Watchers == 0 {
+		c.Watchers = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Result is one run's measurements.
+type Result struct {
+	Clients  int
+	Queries  int
+	Watchers int
+	Elapsed  time.Duration
+	// QPS is completed queries per wall-clock second.
+	QPS float64
+	// P50, P99 are client-observed query latencies.
+	P50, P99 time.Duration
+	// AllocsPerOp and BytesPerOp are process-wide heap mallocs and
+	// bytes per completed query over the measured interval — the
+	// serving cost including every background plane, not just the
+	// request goroutine.
+	AllocsPerOp float64
+	BytesPerOp  float64
+	// ColdQueries counts the cache-invalidating subset.
+	ColdQueries int
+}
+
+// Record renders the result as the committed benchmark record.
+func (r *Result) Record(stamp string) benchfmt.Record {
+	return benchfmt.Record{
+		Name:      "serve",
+		Timestamp: stamp,
+		Metrics: []benchfmt.Metric{
+			{Metric: "queries_per_sec", Value: r.QPS, Unit: "1/s", Kind: benchfmt.KindThroughput},
+			{Metric: "p50_seconds", Value: r.P50.Seconds(), Unit: "s", Kind: benchfmt.KindLatency},
+			{Metric: "p99_seconds", Value: r.P99.Seconds(), Unit: "s", Kind: benchfmt.KindLatency},
+			{Metric: "allocs_per_op", Value: r.AllocsPerOp, Unit: "allocs/op", Kind: benchfmt.KindAllocs},
+			{Metric: "bytes_per_op", Value: r.BytesPerOp, Unit: "B/op", Kind: benchfmt.KindAllocs},
+			{Metric: "clients", Value: float64(r.Clients), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "queries", Value: float64(r.Queries), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "watchers", Value: float64(r.Watchers), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "cold_queries", Value: float64(r.ColdQueries), Unit: "", Kind: benchfmt.KindInfo},
+		},
+	}
+}
+
+// rig is the booted stack.
+type rig struct {
+	dep      *core.Deployment
+	cache    *qcache.Cache
+	watchReg *watch.Registry
+	tcp      *proto.TCPServer
+	http     *proto.HTTPServer
+	tcpAddr  string
+	httpAddr string
+	queries  []collector.Query
+	pairs    [][2]netip.Addr
+}
+
+// buildRig boots a two-site deployment (4 app hosts per site behind a
+// switch and router each, a constrained WAN hop between them) and serves
+// its first site's master through the cache on both protocols.
+func buildRig() (*rig, error) {
+	s := sim.NewSim()
+	n := netsim.New(s)
+	var apps []*netsim.Device
+	type site struct {
+		sw    *netsim.Device
+		bench *netsim.Device
+	}
+	var sites []site
+	hub := n.AddRouter("hub")
+	for i := 0; i < 2; i++ {
+		r := n.AddRouter(fmt.Sprintf("r%d", i))
+		sw := n.AddSwitch(fmt.Sprintf("sw%d", i))
+		bench := n.AddHost(fmt.Sprintf("bench%d", i))
+		n.Connect(r, hub, 10e6, 40*time.Millisecond)
+		n.Connect(sw, r, 1e9, time.Millisecond)
+		n.Connect(bench, sw, 100e6, time.Millisecond)
+		for h := 0; h < 4; h++ {
+			app := n.AddHost(fmt.Sprintf("app%d-%d", i, h))
+			n.Connect(app, sw, 100e6, time.Millisecond)
+			apps = append(apps, app)
+		}
+		sites = append(sites, site{sw: sw, bench: bench})
+	}
+	n.AssignSubnets()
+	n.ComputeRoutes()
+
+	dep := core.NewDeployment(s, n, core.Options{Obs: nil})
+	for i, st := range sites {
+		if _, err := dep.AddSite(core.SiteSpec{
+			Name:      fmt.Sprintf("site%d", i),
+			Switches:  []*netsim.Device{st.sw},
+			BenchHost: st.bench,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := dep.Finish(); err != nil {
+		return nil, err
+	}
+	if err := dep.MeasureAllBenchmarks(); err != nil {
+		return nil, err
+	}
+
+	reg := obs.New()
+	cache := qcache.New(dep.Sites["site0"].Master, qcache.Config{TTL: time.Hour, Obs: reg})
+	watchReg := watch.New(watch.Config{Obs: reg})
+
+	r := &rig{dep: dep, cache: cache, watchReg: watchReg}
+	// The query mix: every same-site pair of site 0's apps, plus one
+	// cross-site pair that exercises master routing over the directory
+	// and the WAN benchmark data.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			q := collector.Query{Hosts: []netip.Addr{apps[i].Addr(), apps[j].Addr()}}
+			r.queries = append(r.queries, q)
+			r.pairs = append(r.pairs, [2]netip.Addr{apps[i].Addr(), apps[j].Addr()})
+		}
+	}
+	r.queries = append(r.queries, collector.Query{Hosts: []netip.Addr{apps[0].Addr(), apps[4].Addr()}})
+
+	r.tcp = &proto.TCPServer{Collector: cache, Watch: watchReg, Obs: reg}
+	addr, err := r.tcp.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	r.tcpAddr = addr
+	r.http = &proto.HTTPServer{Collector: cache, Watch: watchReg, Obs: reg}
+	haddr, err := r.http.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	r.httpAddr = haddr
+	return r, nil
+}
+
+func (r *rig) stop() {
+	r.tcp.Close()
+	r.http.Close()
+	r.watchReg.Close(nil)
+	r.dep.Stop()
+}
+
+// Run executes one serve-bench run and reports its measurements.
+func Run(cfg Config) (*Result, error) {
+	cfg.applyDefaults()
+	rg, err := buildRig()
+	if err != nil {
+		return nil, err
+	}
+	defer rg.stop()
+
+	// Warm every query slot once so the mix starts from the steady
+	// state; cold traffic below re-chills specific slots on purpose.
+	warm := &proto.TCPClient{Addr: rg.tcpAddr}
+	defer warm.Close()
+	var warmRes *collector.Result
+	for _, q := range rg.queries {
+		res, err := warm.Collect(q)
+		if err != nil {
+			return nil, fmt.Errorf("servebench: warmup: %w", err)
+		}
+		warmRes = res
+	}
+
+	// Standing watchers over the protocol, their pushes driven by a
+	// background evaluation loop over the warm result — the serving-path
+	// contention a live watch plane adds.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < cfg.Watchers; i++ {
+		p := rg.pairs[i%len(rg.pairs)]
+		wc := &proto.TCPClient{Addr: rg.tcpAddr}
+		ch, err := wc.Watch(ctx, watch.Spec{Src: p[0], Dst: p[1], ChangeFrac: 0.25})
+		if err != nil {
+			return nil, fmt.Errorf("servebench: watcher %d: %w", i, err)
+		}
+		go func() {
+			for range ch {
+			}
+		}()
+	}
+	evalDone := make(chan struct{})
+	go func() {
+		defer close(evalDone)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				rg.watchReg.Evaluate(warmRes)
+			}
+		}
+	}()
+
+	perClient := cfg.Queries / cfg.Clients
+	total := perClient * cfg.Clients
+	latencies := make([][]time.Duration, cfg.Clients)
+	var cold atomic.Int64
+	var firstErr atomic.Value
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			var collect func(collector.Query) (*collector.Result, error)
+			if cfg.HTTPEvery > 0 && c%cfg.HTTPEvery == cfg.HTTPEvery-1 {
+				cl := &proto.HTTPClient{BaseURL: "http://" + rg.httpAddr}
+				collect = cl.Collect
+			} else {
+				cl := &proto.TCPClient{Addr: rg.tcpAddr}
+				defer cl.Close()
+				collect = cl.Collect
+			}
+			lats := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				q := rg.queries[rnd.Intn(len(rg.queries))]
+				if cfg.ColdEvery > 0 && i%cfg.ColdEvery == cfg.ColdEvery-1 {
+					rg.cache.Invalidate(qcache.Key(q))
+					cold.Add(1)
+				}
+				t0 := time.Now()
+				if _, err := collect(q); err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("servebench: client %d query %d: %w", c, i, err))
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latencies[c] = lats
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	cancel()
+	<-evalDone
+
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	if len(all) != total {
+		return nil, fmt.Errorf("servebench: %d/%d queries completed", len(all), total)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) time.Duration {
+		i := int(q * float64(len(all)-1))
+		return all[i]
+	}
+	return &Result{
+		Clients:     cfg.Clients,
+		Queries:     total,
+		Watchers:    cfg.Watchers,
+		Elapsed:     elapsed,
+		QPS:         float64(total) / elapsed.Seconds(),
+		P50:         quantile(0.50),
+		P99:         quantile(0.99),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
+		BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(total),
+		ColdQueries: int(cold.Load()),
+	}, nil
+}

@@ -1,0 +1,45 @@
+package servebench
+
+import (
+	"testing"
+)
+
+// TestRunSmall boots the full stack and pushes a small mixed workload
+// through it — the integration test for the serve benchmark itself.
+func TestRunSmall(t *testing.T) {
+	res, err := Run(Config{Clients: 4, Queries: 80, Watchers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 80 {
+		t.Fatalf("completed %d queries, want 80", res.Queries)
+	}
+	if res.QPS <= 0 || res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("implausible result %+v", res)
+	}
+	if res.AllocsPerOp <= 0 {
+		t.Fatalf("allocs/op %v", res.AllocsPerOp)
+	}
+	if res.ColdQueries == 0 {
+		t.Fatal("mix carried no cold queries")
+	}
+	rec := res.Record("2026-01-01T00:00:00Z")
+	if rec.Name != "serve" || len(rec.Metrics) != 9 {
+		t.Fatalf("record %+v", rec)
+	}
+	if _, ok := rec.Metric("queries_per_sec"); !ok {
+		t.Fatal("record misses queries_per_sec")
+	}
+}
+
+// TestRunNoWatchers covers the watchless configuration (Watchers: -1
+// disables standing watches entirely).
+func TestRunNoWatchers(t *testing.T) {
+	res, err := Run(Config{Clients: 2, Queries: 20, Watchers: -1, ColdEvery: -1, HTTPEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Watchers != 0 || res.ColdQueries != 0 {
+		t.Fatalf("disabled features ran: %+v", res)
+	}
+}

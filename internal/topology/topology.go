@@ -211,12 +211,30 @@ func (g *Graph) Merge(other *Graph) {
 
 // Clone returns a deep copy.
 func (g *Graph) Clone() *Graph {
-	out := NewGraph()
-	for _, n := range g.nodes {
-		out.AddNode(*n)
+	// Copies sit on the warm-query serving path (every cache hit clones),
+	// so nodes and links are copied into two slabs and presized maps:
+	// four allocations total instead of one per node and link.
+	out := &Graph{
+		nodes:   make(map[string]*Node, len(g.nodes)),
+		linkIdx: make(map[[2]string]*Link, len(g.linkIdx)),
 	}
-	for _, l := range g.links {
-		out.AddLink(*l)
+	nodeSlab := make([]Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		nodeSlab = append(nodeSlab, *n)
+		out.nodes[n.ID] = &nodeSlab[len(nodeSlab)-1]
+	}
+	if len(g.links) > 0 {
+		linkSlab := make([]Link, 0, len(g.links))
+		out.links = make([]*Link, 0, len(g.links))
+		for _, l := range g.links {
+			linkSlab = append(linkSlab, *l)
+			cp := &linkSlab[len(linkSlab)-1]
+			out.links = append(out.links, cp)
+			k := pairKey(l.From, l.To)
+			if _, ok := out.linkIdx[k]; !ok {
+				out.linkIdx[k] = cp // first link wins, as AddLink does
+			}
+		}
 	}
 	return out
 }

@@ -19,6 +19,7 @@ import (
 	"math"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"remos/internal/collector"
@@ -113,16 +114,35 @@ type Config struct {
 	Obs *obs.Registry
 }
 
+// registryShards is the lock-striping width of the subscription store.
+// Subscribe/Close traffic for distinct endpoint pairs lands on distinct
+// stripes, so 10k watchers churning do not serialize on one mutex.
+const registryShards = 16
+
+// pairGroup collects every subscription watching one (unordered)
+// endpoint pair. Grouping is what makes evaluation O(pairs) instead of
+// O(subscriptions): the bottleneck bandwidth is computed once per pair
+// direction and fanned out to every predicate.
+type pairGroup struct {
+	subs map[int64]*Subscription
+}
+
+// regShard is one stripe: a read-write mutex over the pair groups whose
+// keys hash here. Evaluate takes the read side; Subscribe/Close write.
+type regShard struct {
+	mu    sync.RWMutex
+	pairs map[[2]netip.Addr]*pairGroup
+}
+
 // Registry holds the active subscriptions and evaluates fresh results
 // against them. Safe for concurrent use.
 type Registry struct {
 	cfg Config
 
-	mu       sync.Mutex
-	subs     map[int64]*Subscription
-	nextID   int64
-	pairRefs map[[2]netip.Addr]int
-	closed   bool
+	shards [registryShards]regShard
+	nextID atomic.Int64
+	active atomic.Int64
+	closed atomic.Bool
 
 	mUpdates *obs.Counter
 	mDrops   *obs.Counter
@@ -134,10 +154,9 @@ func New(cfg Config) *Registry {
 	if cfg.DefaultBuf <= 0 {
 		cfg.DefaultBuf = 16
 	}
-	r := &Registry{
-		cfg:      cfg,
-		subs:     make(map[int64]*Subscription),
-		pairRefs: make(map[[2]netip.Addr]int),
+	r := &Registry{cfg: cfg}
+	for i := range r.shards {
+		r.shards[i].pairs = make(map[[2]netip.Addr]*pairGroup)
 	}
 	cfg.Obs.GaugeFunc("remos_watch_active", "watch subscriptions currently registered", func() float64 {
 		return float64(r.Active())
@@ -146,6 +165,19 @@ func New(cfg Config) *Registry {
 	r.mDrops = cfg.Obs.Counter("remos_watch_dropped_total", "updates dropped because a subscriber lagged")
 	r.mEvals = cfg.Obs.Counter("remos_watch_evals_total", "subscription predicate evaluations")
 	return r
+}
+
+// shardFor picks the stripe for an unordered pair key.
+func (r *Registry) shardFor(pk [2]netip.Addr) *regShard {
+	h := uint32(2166136261)
+	for _, a := range pk {
+		b := a.As16()
+		for _, c := range b {
+			h ^= uint32(c)
+			h *= 16777619
+		}
+	}
+	return &r.shards[h%registryShards]
 }
 
 func (r *Registry) now() time.Time {
@@ -187,18 +219,23 @@ func (r *Registry) Subscribe(spec Spec) (*Subscription, error) {
 	if spec.Buf <= 0 {
 		spec.Buf = r.cfg.DefaultBuf
 	}
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	sub := &Subscription{ID: r.nextID.Add(1), Spec: spec, reg: r, ch: make(chan Update, spec.Buf)}
+	pk := pairKey(spec.Src, spec.Dst)
+	sh := r.shardFor(pk)
+	sh.mu.Lock()
+	if r.closed.Load() {
+		sh.mu.Unlock()
 		return nil, rerr.Tagf(rerr.ErrCollectorUnavailable, "watch: registry closed")
 	}
-	r.nextID++
-	sub := &Subscription{ID: r.nextID, Spec: spec, reg: r, ch: make(chan Update, spec.Buf)}
-	r.subs[sub.ID] = sub
-	pk := pairKey(spec.Src, spec.Dst)
-	r.pairRefs[pk]++
-	first := r.pairRefs[pk] == 1
-	r.mu.Unlock()
+	g := sh.pairs[pk]
+	first := g == nil
+	if first {
+		g = &pairGroup{subs: make(map[int64]*Subscription)}
+		sh.pairs[pk] = g
+	}
+	g.subs[sub.ID] = sub
+	sh.mu.Unlock()
+	r.active.Add(1)
 	if first && r.cfg.EnsureTarget != nil {
 		r.cfg.EnsureTarget([]netip.Addr{spec.Src, spec.Dst})
 	}
@@ -245,17 +282,21 @@ func (s *Subscription) Close(reason error) {
 	s.mu.Unlock()
 
 	r := s.reg
-	r.mu.Lock()
-	delete(r.subs, s.ID)
 	pk := pairKey(s.Spec.Src, s.Spec.Dst)
+	sh := r.shardFor(pk)
+	sh.mu.Lock()
 	last := false
-	if n := r.pairRefs[pk]; n > 1 {
-		r.pairRefs[pk] = n - 1
-	} else if n == 1 {
-		delete(r.pairRefs, pk)
-		last = true
+	if g := sh.pairs[pk]; g != nil {
+		if _, ok := g.subs[s.ID]; ok {
+			delete(g.subs, s.ID)
+			r.active.Add(-1)
+			if len(g.subs) == 0 {
+				delete(sh.pairs, pk)
+				last = true
+			}
+		}
 	}
-	r.mu.Unlock()
+	sh.mu.Unlock()
 	if last && r.cfg.ReleaseTarget != nil {
 		r.cfg.ReleaseTarget([]netip.Addr{s.Spec.Src, s.Spec.Dst})
 	}
@@ -329,52 +370,83 @@ func relChange(v, prev float64) float64 {
 // Evaluate runs every active subscription whose endpoints resolve in
 // the result's graph against the freshly collected value. The scheduler
 // calls this after each poll; pushes are non-blocking.
+//
+// Work is grouped by endpoint pair: the bottleneck bandwidth of a pair's
+// path is computed once per direction and fanned out to every predicate
+// watching it, so 10k watchers on one path cost one graph walk, not 10k.
 func (r *Registry) Evaluate(res *collector.Result) {
 	if res == nil || res.Graph == nil {
 		return
 	}
 	at := r.now()
-	r.mu.Lock()
-	subs := make([]*Subscription, 0, len(r.subs))
-	for _, s := range r.subs {
-		subs = append(subs, s)
+	type pairWork struct {
+		subs []*Subscription
 	}
-	r.mu.Unlock()
-	for _, s := range subs {
-		src, dst := s.Spec.Src.String(), s.Spec.Dst.String()
-		if res.Graph.Node(src) == nil || res.Graph.Node(dst) == nil {
-			continue // this poll covered a different region
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		groups := make([]pairWork, 0, len(sh.pairs))
+		for _, g := range sh.pairs {
+			w := pairWork{subs: make([]*Subscription, 0, len(g.subs))}
+			for _, s := range g.subs {
+				w.subs = append(w.subs, s)
+			}
+			groups = append(groups, w)
 		}
-		v, _, err := res.Graph.BottleneckAvail(src, dst)
-		if err != nil {
-			continue
+		sh.mu.RUnlock()
+		for _, w := range groups {
+			// One bottleneck computation per direction present in the
+			// group; both directions of an unordered pair share the walk
+			// cache below.
+			type dirVal struct {
+				ok bool
+				v  float64
+			}
+			vals := make(map[[2]netip.Addr]dirVal, 2)
+			for _, s := range w.subs {
+				dk := [2]netip.Addr{s.Spec.Src, s.Spec.Dst}
+				dv, seen := vals[dk]
+				if !seen {
+					src, dst := s.Spec.Src.String(), s.Spec.Dst.String()
+					if res.Graph.Node(src) != nil && res.Graph.Node(dst) != nil {
+						if v, _, err := res.Graph.BottleneckAvail(src, dst); err == nil {
+							dv = dirVal{ok: true, v: v}
+						}
+					}
+					vals[dk] = dv
+				}
+				if !dv.ok {
+					continue // this poll covered a different region
+				}
+				r.mEvals.Inc()
+				s.evaluate(dv.v, at)
+			}
 		}
-		r.mEvals.Inc()
-		s.evaluate(v, at)
 	}
 }
 
 // Active reports the number of registered subscriptions.
 func (r *Registry) Active() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.subs)
+	return int(r.active.Load())
 }
 
 // Close terminates every subscription with the given reason (nil means
 // a quiet close) and rejects future Subscribe calls. Idempotent.
 func (r *Registry) Close(reason error) {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	if r.closed.Swap(true) {
 		return
 	}
-	r.closed = true
-	subs := make([]*Subscription, 0, len(r.subs))
-	for _, s := range r.subs {
-		subs = append(subs, s)
+	var subs []*Subscription
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, g := range sh.pairs {
+			for _, s := range g.subs {
+				subs = append(subs, s)
+			}
+		}
+		sh.mu.RUnlock()
 	}
-	r.mu.Unlock()
 	for _, s := range subs {
 		s.Close(reason)
 	}

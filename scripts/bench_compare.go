@@ -1,0 +1,58 @@
+// Command bench_compare is the benchmark regression gate: it compares a
+// fresh benchmark record against the committed baseline and exits
+// non-zero on a regression beyond the internal/benchfmt thresholds.
+//
+// Usage:
+//
+//	go run ./scripts/bench_compare.go [-slack f] <baseline.json> <fresh.json>
+//
+// Slack scales the tolerated drift for noisy machines (clamped to
+// [1, benchfmt.MaxSlack]); even at maximum slack a uniform 2x slowdown
+// fails. Baselines are updated deliberately — rerun the benchmarks and
+// commit the new records with the change that moved them (see DESIGN.md
+// §11), never by regenerating to make the gate pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"remos/internal/benchfmt"
+)
+
+func main() {
+	slack := flag.Float64("slack", 1, "threshold multiplier for noisy machines (1..3)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench_compare [-slack f] <baseline.json> <fresh.json>")
+		os.Exit(2)
+	}
+	base, err := benchfmt.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench_compare: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	fresh, err := benchfmt.ReadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench_compare: fresh: %v\n", err)
+		os.Exit(2)
+	}
+	if base.Name != fresh.Name {
+		fmt.Fprintf(os.Stderr, "bench_compare: record mismatch: baseline %q vs fresh %q\n", base.Name, fresh.Name)
+		os.Exit(2)
+	}
+	deltas, failed := benchfmt.Compare(base, fresh, *slack)
+	fmt.Printf("bench_compare: %s (baseline %s, slack %g)\n", base.Name, base.Timestamp, *slack)
+	for _, d := range deltas {
+		fmt.Printf("  %s\n", d)
+	}
+	if len(deltas) == 0 {
+		fmt.Println("  (no gated metrics in baseline)")
+	}
+	if failed {
+		fmt.Printf("bench_compare: FAIL: %s regressed beyond thresholds\n", base.Name)
+		os.Exit(1)
+	}
+	fmt.Printf("bench_compare: ok\n")
+}
