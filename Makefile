@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race verify fuzz-smoke obs-smoke watch-smoke bench bench-concurrency bench-snmp bench-json bench-serve bench-baseline bench-check
+.PHONY: build test vet lint race verify fuzz-smoke obs-smoke watch-smoke bench bench-concurrency bench-snmp bench-json bench-serve bench-scale bench-baseline bench-check
 
 build:
 	$(GO) build ./...
@@ -77,11 +77,19 @@ bench-json:
 bench-serve:
 	$(GO) run ./cmd/remosbench -json serve
 
+# The large-topology scale benchmark: a ~10k-node two-tier fabric
+# applied to the snapshot store once, then hammered with flow queries
+# that must never fall back to a collector walk (the rig's collector
+# fails loudly on any miss).
+bench-scale:
+	$(GO) run ./cmd/remosbench -json scale
+
 # Refresh the committed baselines deliberately — run on a quiet machine
 # and commit the new records together with the change that moved them.
 bench-baseline:
 	$(GO) run ./cmd/remosbench -json -maxn 40 fig3
 	$(GO) run ./cmd/remosbench -json serve
+	$(GO) run ./cmd/remosbench -json scale
 
 # The benchmark regression gate: regenerate both records into .benchfresh/
 # and compare against the committed baselines. BENCH_SLACK widens the
@@ -92,5 +100,7 @@ bench-check:
 	@mkdir -p .benchfresh
 	$(GO) run ./cmd/remosbench -json -outdir .benchfresh -maxn 40 fig3
 	$(GO) run ./cmd/remosbench -json -outdir .benchfresh serve
+	$(GO) run ./cmd/remosbench -json -outdir .benchfresh scale
 	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_fig3.json .benchfresh/BENCH_fig3.json
 	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_serve.json .benchfresh/BENCH_serve.json
+	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_scale.json .benchfresh/BENCH_scale.json

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	remosbench [flags] {fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|fig10|fig11|serve|all}
+//	remosbench [flags] {fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|fig10|fig11|serve|scale|all}
 //
 // Flags:
 //
@@ -15,6 +15,9 @@
 //	-seed N     experiment seed (default 1)
 //	-clients N  serve-bench concurrent clients (default 8)
 //	-queries N  serve-bench total queries (default 800)
+//	-scale-leaves N  scale-bench leaf pods (0 = default 100)
+//	-scale-hosts N   scale-bench hosts per leaf (0 = default 100;
+//	            CI shrinks both to keep the fabric small)
 //	-json       additionally write BENCH_<name>.json per experiment
 //	            (the internal/benchfmt record format the bench-check
 //	            gate compares)
@@ -60,6 +63,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	clients := flag.Int("clients", 8, "serve-bench concurrent clients")
 	queries := flag.Int("queries", 800, "serve-bench total queries")
+	scaleLeaves := flag.Int("scale-leaves", 0, "scale-bench leaf pods (0 = default)")
+	scaleHosts := flag.Int("scale-hosts", 0, "scale-bench hosts per leaf (0 = default)")
 	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json per experiment")
 	outDir := flag.String("outdir", ".", "directory for the JSON records")
 	stampFlag := flag.String("timestamp", "", "RFC 3339 timestamp for the JSON records (default: now)")
@@ -185,9 +190,30 @@ func main() {
 			}
 			return nil
 		},
+		"scale": func() error {
+			res, err := servebench.RunScale(servebench.ScaleConfig{
+				Leaves:       *scaleLeaves,
+				HostsPerLeaf: *scaleHosts,
+				Seed:         *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Scale benchmark: %d nodes, %d links, %d clients, %d snapshot-backed flow queries\n",
+				res.Nodes, res.Links, res.Clients, res.Queries)
+			fmt.Printf("  %10.0f queries/sec\n", res.QPS)
+			fmt.Printf("  %10v p50 latency\n", res.P50.Round(time.Microsecond))
+			fmt.Printf("  %10v p99 latency\n", res.P99.Round(time.Microsecond))
+			fmt.Printf("  %10v build (one-time)  %v cold full-graph FlowAlloc\n",
+				res.Build.Round(time.Millisecond), res.ColdAlloc.Round(time.Microsecond))
+			if *jsonOut {
+				return benchfmt.WriteFile(filepath.Join(*outDir, "BENCH_scale.json"), res.Record(stamp))
+			}
+			return nil
+		},
 	}
 
-	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "fig10", "fig11", "serve"}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "fig10", "fig11", "serve", "scale"}
 	run := func(name string) {
 		fn, ok := cmds[name]
 		if !ok {
@@ -201,8 +227,8 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("[%s regenerated in %v]\n\n", name, elapsed.Round(time.Millisecond))
-		// serve writes its own richer record above.
-		if *jsonOut && name != "serve" {
+		// serve and scale write their own richer records above.
+		if *jsonOut && name != "serve" && name != "scale" {
 			if err := writeBenchJSON(*outDir, name, elapsed, stamp); err != nil {
 				fmt.Fprintf(os.Stderr, "remosbench: %s: %v\n", name, err)
 				os.Exit(1)

@@ -77,7 +77,10 @@ func main() {
 		return
 	}
 
-	var opts []remos.Option
+	// Server-side flow answers: the daemon solves flow (and bw) queries
+	// from its snapshot plane instead of shipping the graph here; old
+	// daemons without the FLOWS verb fall back transparently.
+	opts := []remos.Option{remos.WithServerFlows()}
 	target := "tcp://" + *server
 	if *xml != "" {
 		target = *xml

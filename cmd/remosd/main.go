@@ -49,12 +49,14 @@ import (
 	"remos/internal/directory"
 	"remos/internal/hostload"
 	"remos/internal/mib"
+	"remos/internal/modeler"
 	"remos/internal/netsim"
 	"remos/internal/obs"
 	"remos/internal/proto"
 	"remos/internal/rerr"
 	"remos/internal/sched"
 	"remos/internal/sim"
+	"remos/internal/snapshot"
 	"remos/internal/snmp"
 	"remos/internal/watch"
 )
@@ -83,6 +85,10 @@ func main() {
 		"RPS model fitted per background-polled edge ('' disables streaming predictors)")
 	benchIval := flag.Duration("bench-interval", 0,
 		"wide-area benchmark round interval (0 = collector default); the WAN hop is benchmark-measured, so this bounds watch-update freshness across sites")
+	snapOn := flag.Bool("snapshot", true,
+		"maintain the versioned topology snapshot plane from background polls and answer FLOWS/flow queries from it (zero collector round-trips while fresh)")
+	snapStale := flag.Duration("snapshot-stale", 5*time.Second,
+		"staleness bound for snapshot-backed answers; older generations fall back to a coalesced collector walk")
 	flag.Parse()
 
 	reg := obs.New()
@@ -114,6 +120,14 @@ func main() {
 	// (and preseeded) host pairs freshly measured through the cache, and
 	// the watch registry pushes threshold crossings to subscribers over
 	// both wire protocols.
+	// Snapshot plane: every scheduler poll advances the current topology
+	// generation, and the server-side Modeler (the FLOWS verb and POST
+	// /flows) answers from it while fresh — no walk, no graph shipping.
+	var snapStore *snapshot.Store
+	if *snapOn {
+		snapStore = snapshot.New(snapshot.Config{Now: s.Now, Obs: reg})
+		log.Printf("remosd: snapshot plane on (staleness bound %v)", *snapStale)
+	}
 	var watchReg *watch.Registry
 	if *schedIval > 0 {
 		maxIval := 8 * *schedIval
@@ -141,7 +155,8 @@ func main() {
 			OnResult: func(_ []netip.Addr, res *collector.Result) {
 				watchReg.Evaluate(res)
 			},
-			Obs: reg,
+			Snapshot: snapStore,
+			Obs:      reg,
 		})
 		if err != nil {
 			log.Fatalf("remosd: scheduler: %v", err)
@@ -158,7 +173,14 @@ func main() {
 		log.Printf("remosd: background scheduler on (base %v, max %v, predict %q); watch plane enabled",
 			*schedIval, maxIval, *schedPredict)
 	}
-	tcpSrv := &proto.TCPServer{Collector: queryable, Watch: watchReg, Obs: reg, Traces: traces}
+	// The server-side Modeler behind the FLOWS verb: snapshot-backed
+	// when the plane is on, collector-backed (through the cache)
+	// otherwise.
+	mdl := modeler.New(modeler.Config{
+		Collector: queryable, Snapshot: snapStore, MaxStale: *snapStale,
+		Obs: reg, Traces: traces,
+	})
+	tcpSrv := &proto.TCPServer{Collector: queryable, Watch: watchReg, Flows: mdl, Obs: reg, Traces: traces}
 	addr, err := tcpSrv.ListenAndServe(*listen)
 	if err != nil {
 		log.Fatalf("remosd: listen: %v", err)
@@ -166,7 +188,7 @@ func main() {
 	defer tcpSrv.Close()
 	log.Printf("remosd: ASCII protocol on %s", addr)
 	if *httpAddr != "" {
-		httpSrv := &proto.HTTPServer{Collector: queryable, Watch: watchReg, Obs: reg, Traces: traces}
+		httpSrv := &proto.HTTPServer{Collector: queryable, Watch: watchReg, Flows: mdl, Obs: reg, Traces: traces}
 		haddr, err := httpSrv.ListenAndServe(*httpAddr)
 		if err != nil {
 			log.Fatalf("remosd: http listen: %v", err)

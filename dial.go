@@ -38,6 +38,7 @@ type dialConfig struct {
 	cacheTTL  time.Duration
 	obs       *obs.Registry
 	traces    *obs.Ring
+	srvFlows  bool
 }
 
 // Option customizes Dial.
@@ -60,6 +61,15 @@ func WithPredictor(spec string) Option {
 // share one wire exchange.
 func WithCacheTTL(ttl time.Duration) Option {
 	return func(c *dialConfig) { c.cacheTTL = ttl }
+}
+
+// WithServerFlows delegates flow queries (and the bandwidth queries
+// built on them) to the daemon's FLOWS verb, so answers come from the
+// server's versioned topology snapshot without shipping the graph.
+// Prediction queries still run client-side, and a server that predates
+// the verb falls back transparently to the graph-fetching path.
+func WithServerFlows() Option {
+	return func(c *dialConfig) { c.srvFlows = true }
 }
 
 // WithObservability attaches metrics and tracing to the dialed Modeler.
@@ -127,6 +137,14 @@ func dial(target string, opts ...Option) (*Modeler, collector.Interface, error) 
 		PredictModel: dc.predictor,
 		Obs:          dc.obs,
 		Traces:       dc.traces,
+	}
+	if dc.srvFlows {
+		// Both protocol clients speak the FLOWS verb; delegation goes
+		// around any client-side cache (the server answers from its
+		// snapshot plane, which is cheaper than a cached graph here).
+		if fc, ok := raw.(modeler.FlowsClient); ok {
+			cfg.RemoteFlows = fc
+		}
 	}
 	if dc.hostLoad != "" {
 		if cfg.HostLoad, err = clientFor(dc.hostLoad); err != nil {

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// epochkeyCheck enforces the snapshot plane's memoization discipline:
+// a long-lived map keyed by a snapshot epoch (any named type called
+// "Epoch", or a struct key carrying a field of such a type) gains a
+// fresh key population every epoch swap, so unless something evicts the
+// previous generation's entries the map is an unbounded leak driven by
+// the poll loop. The check requires the declaring package to delete
+// from or clear a map of that name somewhere; memoizations whose
+// bounding lives elsewhere (a handoff, an external sweep) state it in
+// an allow directive. It runs in every package: epoch-keyed caches
+// outside internal/snapshot leak the same way.
+//
+// Only declarations that outlive a call — struct fields and
+// package-level vars — are checked; function-local epoch-keyed maps die
+// with their frame and are inherently bounded.
+type epochkeyCheck struct{}
+
+func (epochkeyCheck) name() string { return "epochkey" }
+
+func (epochkeyCheck) run(p *pass) {
+	type site struct {
+		pos  ast.Node
+		name string
+		kind string
+	}
+	var maps []site
+	evicted := make(map[string]bool)
+	for _, f := range p.pkg.Files {
+		// Package-level vars.
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := p.pkg.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if isEpochKeyedMap(obj.Type()) {
+						maps = append(maps, site{pos: name, name: name.Name, kind: "package-level var"})
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, fld := range n.Fields.List {
+					t := p.pkg.TypesInfo.TypeOf(fld.Type)
+					if t == nil || !isEpochKeyedMap(t) {
+						continue
+					}
+					for _, name := range fld.Names {
+						maps = append(maps, site{pos: name, name: name.Name, kind: "struct field"})
+					}
+				}
+			case *ast.CallExpr:
+				id, ok := n.Fun.(*ast.Ident)
+				if !ok || len(n.Args) == 0 {
+					return true
+				}
+				if _, isBuiltin := p.pkg.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if id.Name == "delete" || id.Name == "clear" {
+					evicted[lastPathName(n.Args[0])] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, m := range maps {
+		if !evicted[m.name] {
+			p.report(m.pos.Pos(), "epochkey", fmt.Sprintf(
+				"%s %s is a map keyed by snapshot epoch with no delete or clear in this package; evict stale generations on epoch swap or state the external bound in an allow directive",
+				m.kind, m.name))
+		}
+	}
+}
+
+// isEpochKeyedMap reports whether t is a map whose key type is, or is a
+// struct embedding, a named type called "Epoch".
+func isEpochKeyedMap(t types.Type) bool {
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	return mentionsEpoch(m.Key(), make(map[types.Type]bool))
+}
+
+func mentionsEpoch(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if named.Obj().Name() == "Epoch" {
+			return true
+		}
+		return mentionsEpoch(named.Underlying(), seen)
+	}
+	if st, ok := t.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if mentionsEpoch(st.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lastPathName reduces an eviction target to the name granularity the
+// declarations are recorded at: the final selector component ("subs"
+// for delete(st.subs, k)).
+func lastPathName(e ast.Expr) string {
+	text := exprText(e)
+	if i := strings.LastIndex(text, "."); i >= 0 {
+		return text[i+1:]
+	}
+	return text
+}

@@ -28,6 +28,11 @@
 //	             balanced by a Put on the same pool within the same
 //	             function (direct or deferred), so serving paths cannot
 //	             quietly stop recycling buffers.
+//	epochkey   — every long-lived map keyed by a snapshot epoch (a named
+//	             Epoch type, directly or inside a struct key) is bounded:
+//	             the declaring package must delete from or clear it, so
+//	             epoch-keyed memoizations cannot leak one generation per
+//	             poll.
 //
 // A finding is suppressed by a //remoslint:allow <check> <reason>
 // comment on the same line or the line above. The directive itself is
@@ -83,14 +88,14 @@ type Policy struct {
 func DefaultPolicy() Policy {
 	return Policy{
 		Wallclock: set("netsim", "maxmin", "sched", "watch", "qcache",
-			"snmpcoll", "benchcoll", "rps"),
+			"snmpcoll", "benchcoll", "rps", "snapshot"),
 		ErrWrap: set("proto", "master", "remos"),
 		GoCtx: set("proto", "directory", "snmp", "sim", "sched", "watch",
 			"benchcoll", "qcache", "master"),
 		PoolReturn: set("proto", "snmp"),
 		MetricSubsystems: set("bench", "bridge", "directory", "hostload",
 			"master", "modeler", "qcache", "request", "requests", "sched",
-			"snmp", "snmpcoll", "watch", "wireless"),
+			"snapshot", "snmp", "snmpcoll", "watch", "wireless"),
 	}
 }
 
@@ -159,7 +164,7 @@ type directive struct {
 
 // knownChecks names every analyzer (plus the directive verifier
 // itself), for directive validation.
-var knownChecks = set("wallclock", "globalrand", "errwrap", "metricname", "goctx", "poolreturn")
+var knownChecks = set("wallclock", "globalrand", "errwrap", "metricname", "goctx", "poolreturn", "epochkey")
 
 // collectDirectives parses the allow directives of one package.
 func (r *runner) collectDirectives(pkg *Package) {
@@ -204,6 +209,7 @@ func Run(pkgs []*Package, policy Policy) []Diagnostic {
 		&metricnameCheck{},
 		goctxCheck{},
 		poolreturnCheck{},
+		epochkeyCheck{},
 	}
 	for _, pkg := range pkgs {
 		r.collectDirectives(pkg)

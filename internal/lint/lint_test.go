@@ -95,12 +95,13 @@ func TestErrwrapGolden(t *testing.T)    { golden(t, "errwrap") }
 func TestMetricnameGolden(t *testing.T) { golden(t, "metricname") }
 func TestGoctxGolden(t *testing.T)      { golden(t, "goctx") }
 func TestPoolreturnGolden(t *testing.T) { golden(t, "poolreturn") }
+func TestEpochkeyGolden(t *testing.T)   { golden(t, "epochkey") }
 
 // TestGoldenExitStatus asserts each negative fixture would fail a lint
 // run — the acceptance criterion that remoslint demonstrably exits 1 on
 // each analyzer's golden cases.
 func TestGoldenExitStatus(t *testing.T) {
-	for _, name := range []string{"wallclock", "globalrand", "errwrap", "metricname", "goctx", "poolreturn", "allow"} {
+	for _, name := range []string{"wallclock", "globalrand", "errwrap", "metricname", "goctx", "poolreturn", "epochkey", "allow"} {
 		pkg, err := LoadDir(filepath.Join("testdata", "src", name), "golden/"+name)
 		if err != nil {
 			t.Fatalf("load %s: %v", name, err)

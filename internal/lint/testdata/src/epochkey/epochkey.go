@@ -1,0 +1,67 @@
+// The epochkey fixture: long-lived maps keyed by a snapshot epoch must
+// be evicted (delete or clear) by the declaring package. The check runs
+// in every package, so any package clause opts in.
+package epochkey
+
+// Epoch mirrors the snapshot plane's generation counter; the check
+// matches any named type of this name.
+type Epoch uint64
+
+type memoKey struct {
+	epoch Epoch
+	sig   string
+}
+
+// goodStore evicts its epoch-keyed memo on swap.
+type goodStore struct {
+	subs map[memoKey]int
+}
+
+func (s *goodStore) swap(cur Epoch) {
+	for k := range s.subs {
+		if k.epoch != cur {
+			delete(s.subs, k)
+		}
+	}
+}
+
+// goodCleared bounds its direct epoch-keyed map with clear.
+type goodCleared struct {
+	byEpoch map[Epoch][]string
+}
+
+func (s *goodCleared) reset() {
+	clear(s.byEpoch)
+}
+
+// badStore memoizes per epoch and never evicts: one generation leaks
+// per poll.
+type badStore struct {
+	subs2 map[memoKey]int // want `map keyed by snapshot epoch with no delete or clear`
+}
+
+func (s *badStore) fill(e Epoch, sig string, v int) {
+	if s.subs2 == nil {
+		s.subs2 = make(map[memoKey]int)
+	}
+	s.subs2[memoKey{epoch: e, sig: sig}] = v
+}
+
+// badGlobal is a package-level epoch-keyed map with no eviction.
+var badGlobal = map[Epoch]string{} // want `map keyed by snapshot epoch with no delete or clear`
+
+// allowedHandoff's bounding lives elsewhere; the directive states it.
+type allowedHandoff struct {
+	//remoslint:allow epochkey evicted by the owning store's swap loop
+	ext map[Epoch]int
+}
+
+func (s *badStore) use() (string, map[Epoch]int) {
+	// Function-local epoch-keyed maps die with the frame: not flagged.
+	local := map[Epoch]int{1: 1}
+	return badGlobal[0], local
+}
+
+var _ = goodStore{}
+var _ = goodCleared{}
+var _ = allowedHandoff{}

@@ -1,0 +1,108 @@
+package maxmin
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAllocatorMatchesAllocate pins the batching contract: AllocateInto
+// with reused scratch computes exactly the rates Allocate does, problem
+// after problem of varying shapes.
+func TestAllocatorMatchesAllocate(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var a Allocator
+	var dst []float64
+	for i := 0; i < 200; i++ {
+		caps, flows := randomProblem(r)
+		want, err := Allocate(caps, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err = a.AllocateInto(dst[:0], caps, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dst) != len(want) {
+			t.Fatalf("problem %d: %d rates, want %d", i, len(dst), len(want))
+		}
+		for fi := range want {
+			// Identical arithmetic: the results must match bit for bit,
+			// not just approximately.
+			if dst[fi] != want[fi] && !(math.IsInf(dst[fi], 1) && math.IsInf(want[fi], 1)) {
+				t.Fatalf("problem %d flow %d: AllocateInto %v, Allocate %v", i, fi, dst[fi], want[fi])
+			}
+		}
+	}
+}
+
+// TestAllocatorReuseZeroAllocs pins the serving-path guarantee: once the
+// Allocator has seen a problem of a given size, same-size problems
+// allocate nothing.
+func TestAllocatorReuseZeroAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	caps, flows := randomProblem(r)
+	var a Allocator
+	dst, err := a.AllocateInto(nil, caps, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		dst, err = a.AllocateInto(dst[:0], caps, flows)
+		if err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm AllocateInto allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestAllocatorShrinkingProblemReusesScratch pins that a large problem
+// grows the scratch once and smaller follow-ups ride on it.
+func TestAllocatorShrinkingProblemReusesScratch(t *testing.T) {
+	var a Allocator
+	big := make([]Flow, 64)
+	caps := make([]float64, 32)
+	for i := range caps {
+		caps[i] = 100
+	}
+	for i := range big {
+		big[i] = Flow{Links: []int{i % 32}}
+	}
+	dst, err := a.AllocateInto(nil, caps, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := []Flow{{Links: []int{0, 1}}}
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		dst, err = a.AllocateInto(dst[:0], caps[:8], small)
+		if err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("shrunk problem allocates %v per run, want 0", allocs)
+	}
+	if !approx(dst[0], 100) {
+		t.Fatalf("shrunk problem rate = %v, want 100", dst[0])
+	}
+}
+
+// TestAllocatorBadLinkLeavesAllocatorUsable pins error recovery: a bad
+// problem reports ErrBadLink and the next valid problem still computes.
+func TestAllocatorBadLinkLeavesAllocatorUsable(t *testing.T) {
+	var a Allocator
+	if _, err := a.AllocateInto(nil, []float64{1}, []Flow{{Links: []int{5}}}); err != ErrBadLink {
+		t.Fatalf("err = %v, want ErrBadLink", err)
+	}
+	rates, err := a.AllocateInto(nil, []float64{10}, []Flow{{Links: []int{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(rates[0], 10) {
+		t.Fatalf("post-error rate = %v, want 10", rates[0])
+	}
+}

@@ -36,21 +36,53 @@ var ErrBadLink = errors.New("maxmin: flow references unknown link")
 // A flow crossing no links is limited only by its demand; if it is also
 // elastic its rate is +Inf.
 func Allocate(capacities []float64, flows []Flow) ([]float64, error) {
-	rates := make([]float64, len(flows))
+	var a Allocator
+	return a.AllocateInto(nil, capacities, flows)
+}
+
+// Allocator runs Allocate with reusable scratch vectors (residual
+// capacities, per-link active counts, per-flow frozen flags), so batched
+// allocations on a serving path do not pay three slice allocations per
+// call. The zero value is ready; an Allocator is not safe for concurrent
+// use — pool instances instead.
+type Allocator struct {
+	residual []float64
+	active   []int
+	frozen   []bool
+}
+
+// AllocateInto is Allocate writing rates into dst (grown as needed) and
+// drawing its scratch from the Allocator. Once the Allocator has served
+// a problem of a given size, same-or-smaller problems allocate nothing
+// beyond a possibly-growing dst.
+func (a *Allocator) AllocateInto(dst []float64, capacities []float64, flows []Flow) ([]float64, error) {
+	rates := growFloats(dst, len(flows))
+	for i := range rates {
+		rates[i] = 0
+	}
 	if len(flows) == 0 {
 		return rates, nil
 	}
 
 	// residual capacity per link, count of unfrozen flows per link
-	residual := make([]float64, len(capacities))
+	a.residual = growFloats(a.residual, len(capacities))
+	residual := a.residual
 	for i, c := range capacities {
 		if c < 0 {
 			c = 0
 		}
 		residual[i] = c
 	}
-	active := make([]int, len(capacities))
-	frozen := make([]bool, len(flows))
+	a.active = growInts(a.active, len(capacities))
+	active := a.active
+	for i := range active {
+		active[i] = 0
+	}
+	a.frozen = growBools(a.frozen, len(flows))
+	frozen := a.frozen
+	for i := range frozen {
+		frozen[i] = false
+	}
 
 	for _, f := range flows {
 		for _, li := range f.Links {
@@ -150,6 +182,29 @@ func Allocate(capacities []float64, flows []Flow) ([]float64, error) {
 		}
 	}
 	return rates, nil
+}
+
+// growFloats returns s resized to n, reallocating only when capacity is
+// short. Contents are unspecified; callers reinitialize.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }
 
 // Bottleneck returns the naive bottleneck estimate for a single flow:

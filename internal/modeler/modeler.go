@@ -8,6 +8,7 @@ package modeler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -16,7 +17,9 @@ import (
 
 	"remos/internal/collector"
 	"remos/internal/obs"
+	"remos/internal/rerr"
 	"remos/internal/rps"
+	"remos/internal/snapshot"
 	"remos/internal/topology"
 )
 
@@ -25,6 +28,29 @@ type Config struct {
 	// Collector answers the Modeler's queries — normally a Master
 	// Collector, local or reached through one of the wire protocols.
 	Collector collector.Interface
+
+	// Snapshot, when set, is the versioned snapshot plane: topology and
+	// flow queries are answered from the current generation when it is
+	// fresh within the staleness bound — no collector round-trip, no
+	// graph rebuild — and fall back to collector fan-out (coalesced
+	// through the store's single-flight) on miss or stale. Raw topology
+	// queries and prediction-bearing flow queries always go to the
+	// collectors: the first reports what collectors see right now, the
+	// second needs measurement history the snapshot does not carry.
+	Snapshot *snapshot.Store
+
+	// MaxStale is the default staleness bound for snapshot-backed
+	// answers (default 5s); per-query options override it.
+	MaxStale time.Duration
+
+	// RemoteFlows, when set, delegates flow queries to a remote daemon's
+	// FLOWS verb so the answer comes from the server's snapshot plane
+	// without shipping the graph. Only queries on the default staleness
+	// bound delegate — predictions need local model choices and explicit
+	// MaxStale bounds cannot cross the wire. A server that does not
+	// answer FLOWS (rerr.ErrCollectorUnavailable) falls back to fetching
+	// the graph and solving locally.
+	RemoteFlows FlowsClient
 
 	// PredictModel is the RPS model spec used for flow predictions
 	// (default "AR(16)", the paper's host-load choice; bandwidth series
@@ -86,16 +112,73 @@ func New(cfg Config) *Modeler {
 	if cfg.MinHistory <= 0 {
 		cfg.MinHistory = 64
 	}
+	if cfg.MaxStale <= 0 {
+		cfg.MaxStale = 5 * time.Second
+	}
 	return &Modeler{cfg: cfg}
+}
+
+// dedupeHosts returns the unique hosts in first-seen order. Queries
+// built from flow lists (or careless callers) repeat endpoints, and a
+// duplicated host both walks the collectors twice and fragments the
+// warm-query cache key ("a,a,b" is not "a,b"), so every collector-bound
+// host set passes through here first.
+func dedupeHosts(hosts []netip.Addr) []netip.Addr {
+	seen := make(map[netip.Addr]bool, len(hosts))
+	out := make([]netip.Addr, 0, len(hosts))
+	for _, h := range hosts {
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// staleBound resolves a per-query staleness bound against the modeler
+// default: 0 inherits Config.MaxStale, negative disables the snapshot
+// path for this query.
+func (m *Modeler) staleBound(q time.Duration) time.Duration {
+	if q < 0 {
+		return 0
+	}
+	if q > 0 {
+		return q
+	}
+	return m.cfg.MaxStale
+}
+
+// snapshotFor returns a generation covering hosts within bound,
+// running the coalesced refresh on miss. nil means "serve this query
+// through a direct collect" — the plane is off, disabled for this
+// query, or the shared walk failed (its failure is shared, the
+// fallback is private).
+func (m *Modeler) snapshotFor(ctx context.Context, hosts []netip.Addr, bound time.Duration) *snapshot.Snapshot {
+	st := m.cfg.Snapshot
+	if st == nil || bound <= 0 {
+		return nil
+	}
+	if s := st.Fresh(hosts, bound); s != nil {
+		return s
+	}
+	s, err := st.Refresh(ctx, m.cfg.Collector, hosts)
+	if err != nil {
+		return nil
+	}
+	return s
 }
 
 // TopologyOptions controls post-processing of topology query results.
 type TopologyOptions struct {
 	// Raw disables all simplification, returning the collectors' graph.
+	// Raw queries never answer from the snapshot plane.
 	Raw bool
 	// KeepSwitches retains individual switches instead of collapsing
 	// switch clouds into virtual switches.
 	KeepSwitches bool
+	// MaxStale bounds how stale a snapshot-backed answer may be: 0
+	// inherits the modeler default, negative forces a collector walk.
+	MaxStale time.Duration
 }
 
 // GetTopology answers the Remos topology query: the virtual topology
@@ -113,9 +196,26 @@ func (m *Modeler) GetTopology(hosts []netip.Addr, opt TopologyOptions) (*topolog
 // SNMP exchanges underneath, and its trace (if any) collects the query's
 // stage timings.
 func (m *Modeler) GetTopologyContext(ctx context.Context, hosts []netip.Addr, opt TopologyOptions) (g *topology.Graph, err error) {
+	hosts = dedupeHosts(hosts)
 	ctx, finish := m.begin(ctx, "topology", hostAttrs(hosts))
 	defer func() { finish(err) }()
 	tr := obs.FromContext(ctx)
+	ids := make([]string, len(hosts))
+	for i, h := range hosts {
+		ids[i] = h.String()
+	}
+	if !opt.Raw {
+		if snap := m.snapshotFor(ctx, hosts, m.staleBound(opt.MaxStale)); snap != nil {
+			sp := tr.Start("simplify")
+			g, err := m.cfg.Snapshot.Subgraph(snap, ids, opt.KeepSwitches)
+			sp.End()
+			if err == nil {
+				return g, nil
+			}
+			// The snapshot cannot place these endpoints (e.g. a host it
+			// has never polled under this ID); a direct walk still can.
+		}
+	}
 	sp := tr.Start("collect")
 	res, err := m.cfg.Collector.Collect(collector.Query{Hosts: hosts}.WithContext(ctx))
 	sp.End()
@@ -127,11 +227,9 @@ func (m *Modeler) GetTopologyContext(ctx context.Context, hosts []netip.Addr, op
 		return g, nil
 	}
 	defer tr.Start("simplify").End()
-	ids := make([]string, len(hosts))
 	protect := make(map[string]bool, len(hosts))
-	for i, h := range hosts {
-		ids[i] = h.String()
-		protect[ids[i]] = true
+	for _, id := range ids {
+		protect[id] = true
 	}
 	g, err = g.Prune(ids)
 	if err != nil {
@@ -170,6 +268,12 @@ type FlowInfo struct {
 	ErrVar    float64
 }
 
+// FlowsClient is the client side of the wire FLOWS verb; both protocol
+// clients implement it. See Config.RemoteFlows.
+type FlowsClient interface {
+	Flows(ctx context.Context, flows []Flow) ([]FlowInfo, error)
+}
+
 // FlowOptions controls flow queries.
 type FlowOptions struct {
 	// Predict asks for a prediction Horizon poll intervals ahead using
@@ -185,6 +289,10 @@ type FlowOptions struct {
 	// client-side fitting honors per-application model choices. Links
 	// without a streaming forecast fall back to client-side fitting.
 	FromCollector bool
+	// MaxStale bounds how stale a snapshot-backed answer may be: 0
+	// inherits the modeler default, negative forces a collector walk.
+	// Prediction queries ignore it — they always collect, for history.
+	MaxStale time.Duration
 }
 
 // GetFlows answers the Remos flow query: for the set of flows the
@@ -201,19 +309,66 @@ func (m *Modeler) GetFlowsContext(ctx context.Context, flows []Flow, opt FlowOpt
 	if len(flows) == 0 {
 		return nil, fmt.Errorf("modeler: no flows requested")
 	}
-	hostSet := map[netip.Addr]bool{}
-	var hosts []netip.Addr
+	endpoints := make([]netip.Addr, 0, len(flows)*2)
 	for _, f := range flows {
-		for _, h := range []netip.Addr{f.Src, f.Dst} {
-			if !hostSet[h] {
-				hostSet[h] = true
-				hosts = append(hosts, h)
-			}
-		}
+		endpoints = append(endpoints, f.Src, f.Dst)
 	}
+	hosts := dedupeHosts(endpoints)
 	ctx, finish := m.begin(ctx, "flows", hostAttrs(hosts))
 	defer func() { finish(err) }()
 	tr := obs.FromContext(ctx)
+	reqs := make([]topology.FlowRequest, len(flows))
+	for i, f := range flows {
+		reqs[i] = topology.FlowRequest{Src: f.Src.String(), Dst: f.Dst.String(), Demand: f.Demand}
+	}
+
+	// The snapshot fast path: a fresh-enough generation answers from its
+	// memoized path index — no collector round-trip, no graph clone, and
+	// a max-min run over only the links these flows cross. Prediction
+	// queries skip it; they need collector-side history.
+	if !opt.Predict {
+		if snap := m.snapshotFor(ctx, hosts, m.staleBound(opt.MaxStale)); snap != nil {
+			sp := tr.Start("maxmin")
+			preds, perr := snap.Paths().FlowAlloc(reqs)
+			sp.End()
+			if perr == nil {
+				out = make([]FlowInfo, len(flows))
+				for i := range flows {
+					out[i] = FlowInfo{
+						Flow:      flows[i],
+						Available: preds[i].Available,
+						Latency:   preds[i].Latency,
+						Jitter:    preds[i].Jitter,
+						Path:      preds[i].Path,
+						Predicted: preds[i].Available,
+					}
+				}
+				return out, nil
+			}
+			if !errors.Is(perr, rerr.ErrUnknownHost) {
+				// A routing answer (e.g. no path) from a fresh snapshot
+				// is the answer; only unknown endpoints merit a walk.
+				return nil, perr
+			}
+		}
+		// Remote delegation: let the daemon answer from its own snapshot
+		// plane instead of shipping the graph here. Only default-bound
+		// queries qualify — an explicit MaxStale cannot cross the wire.
+		if rf := m.cfg.RemoteFlows; rf != nil && opt.MaxStale == 0 {
+			sp := tr.Start("remote")
+			rout, rferr := rf.Flows(ctx, flows)
+			sp.End()
+			if rferr == nil {
+				return rout, nil
+			}
+			if !errors.Is(rferr, rerr.ErrCollectorUnavailable) {
+				return nil, rferr
+			}
+			// The server predates the FLOWS verb (or runs without a flow
+			// answerer): fetch the graph and solve locally instead.
+		}
+	}
+
 	sp := tr.Start("collect")
 	res, err := m.cfg.Collector.Collect(collector.Query{
 		Hosts:           hosts,
@@ -226,10 +381,6 @@ func (m *Modeler) GetFlowsContext(ctx context.Context, flows []Flow, opt FlowOpt
 	}
 
 	sp = tr.Start("maxmin")
-	reqs := make([]topology.FlowRequest, len(flows))
-	for i, f := range flows {
-		reqs[i] = topology.FlowRequest{Src: f.Src.String(), Dst: f.Dst.String(), Demand: f.Demand}
-	}
 	preds, err := res.Graph.FlowAlloc(reqs)
 	sp.End()
 	if err != nil {

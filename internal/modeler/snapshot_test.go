@@ -1,0 +1,231 @@
+package modeler
+
+import (
+	"math"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/snapshot"
+)
+
+// countingColl wraps the dumbbell fake with a collect counter.
+type countingColl struct {
+	fakeColl
+	calls atomic.Int64
+}
+
+func (c *countingColl) Collect(q collector.Query) (*collector.Result, error) {
+	c.calls.Add(1)
+	return c.fakeColl.Collect(q)
+}
+
+// testClock is a settable clock for snapshot staleness tests.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func snapModeler(cc collector.Interface, ck *testClock) *Modeler {
+	store := snapshot.New(snapshot.Config{Now: ck.Now})
+	return New(Config{Collector: cc, Snapshot: store, MaxStale: 5 * time.Second})
+}
+
+// TestSnapshotHitGetFlowsZeroCollectorRoundTrips pins the acceptance
+// criterion: once the snapshot plane holds a fresh generation, flow
+// queries perform zero collector round-trips and still return the
+// collect-path answer.
+func TestSnapshotHitGetFlowsZeroCollectorRoundTrips(t *testing.T) {
+	cc := &countingColl{}
+	ck := &testClock{t: time.Unix(1000, 0)}
+	m := snapModeler(cc, ck)
+	flows := []Flow{{Src: a("10.0.1.1"), Dst: a("10.0.2.1")}}
+
+	// First query: cold, one coalesced walk populates the snapshot.
+	if _, err := m.GetFlows(flows, FlowOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.calls.Load(); got != 1 {
+		t.Fatalf("cold query ran %d walks, want 1", got)
+	}
+	// Warm queries: all snapshot hits.
+	for i := 0; i < 50; i++ {
+		infos, err := m.GetFlows(flows, FlowOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(infos[0].Available-6e6) > 1 {
+			t.Fatalf("snapshot answer %v, want 6e6", infos[0].Available)
+		}
+		if infos[0].Latency != 14*time.Millisecond {
+			t.Fatalf("snapshot latency %v, want 14ms", infos[0].Latency)
+		}
+		if len(infos[0].Path) != 6 {
+			t.Fatalf("snapshot path %v, want the full 6-hop path", infos[0].Path)
+		}
+	}
+	if got := cc.calls.Load(); got != 1 {
+		t.Fatalf("snapshot-hit GetFlows performed %d collector round-trips, want 0", got-1)
+	}
+}
+
+func TestSnapshotStaleFallsBackToRefresh(t *testing.T) {
+	cc := &countingColl{}
+	ck := &testClock{t: time.Unix(1000, 0)}
+	m := snapModeler(cc, ck)
+	flows := []Flow{{Src: a("10.0.1.1"), Dst: a("10.0.2.1")}}
+	if _, err := m.GetFlows(flows, FlowOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Advance(10 * time.Second) // past the 5s default bound
+	if _, err := m.GetFlows(flows, FlowOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.calls.Load(); got != 2 {
+		t.Fatalf("stale snapshot ran %d walks, want a refresh (2 total)", got)
+	}
+	// The refresh restored freshness: the next query hits again.
+	if _, err := m.GetFlows(flows, FlowOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.calls.Load(); got != 2 {
+		t.Fatalf("post-refresh query walked again (%d walks)", got)
+	}
+}
+
+func TestNegativeMaxStaleForcesCollectorWalk(t *testing.T) {
+	cc := &countingColl{}
+	ck := &testClock{t: time.Unix(1000, 0)}
+	m := snapModeler(cc, ck)
+	flows := []Flow{{Src: a("10.0.1.1"), Dst: a("10.0.2.1")}}
+	if _, err := m.GetFlows(flows, FlowOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Opting out per query bypasses the (fresh) snapshot.
+	if _, err := m.GetFlows(flows, FlowOptions{MaxStale: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.calls.Load(); got != 2 {
+		t.Fatalf("MaxStale<0 query ran %d walks total, want 2", got)
+	}
+	// Same for topology queries.
+	if _, err := m.GetTopology([]netip.Addr{a("10.0.1.1"), a("10.0.2.1")},
+		TopologyOptions{MaxStale: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.calls.Load(); got != 3 {
+		t.Fatalf("MaxStale<0 topology query ran %d walks total, want 3", got)
+	}
+}
+
+func TestPredictionQueriesBypassSnapshot(t *testing.T) {
+	cc := &countingColl{}
+	cc.histGen = steadyHistory(8e6, 200)
+	ck := &testClock{t: time.Unix(1000, 0)}
+	m := snapModeler(cc, ck)
+	flows := []Flow{{Src: a("10.0.1.1"), Dst: a("10.0.2.1")}}
+	if _, err := m.GetFlows(flows, FlowOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Prediction needs history: always a collector walk, snapshot or not.
+	if _, err := m.GetFlows(flows, FlowOptions{Predict: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.calls.Load(); got != 2 {
+		t.Fatalf("prediction query ran %d walks total, want 2", got)
+	}
+	if !cc.lastQ.WithHistory {
+		t.Fatal("prediction walk did not request history")
+	}
+}
+
+func TestSnapshotTopologyAnswersFromSubgraphMemo(t *testing.T) {
+	cc := &countingColl{}
+	ck := &testClock{t: time.Unix(1000, 0)}
+	m := snapModeler(cc, ck)
+	hosts := []netip.Addr{a("10.0.1.1"), a("10.0.2.1")}
+	g1, err := m.GetTopology(hosts, TopologyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same simplification contract as the collect path.
+	if g1.Node("10.0.1.2") != nil || g1.Node("s1") != nil || g1.Node("s2") != nil {
+		t.Fatal("snapshot-backed topology not simplified")
+	}
+	bw, _, err := g1.BottleneckAvail("10.0.1.1", "10.0.2.1")
+	if err != nil || math.Abs(bw-6e6) > 1 {
+		t.Fatalf("bw = %v err = %v, want 6e6", bw, err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := m.GetTopology(hosts, TopologyOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cc.calls.Load(); got != 1 {
+		t.Fatalf("warm topology queries ran %d walks, want 1", got)
+	}
+	// Raw queries never answer from the snapshot.
+	if _, err := m.GetTopology(hosts, TopologyOptions{Raw: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.calls.Load(); got != 2 {
+		t.Fatalf("raw query ran %d walks total, want 2", got)
+	}
+}
+
+// TestGetFlowsDedupesHostsOneWalkPerUniqueHost pins the fan-out fix:
+// flow lists repeating endpoints must walk each unique host once.
+func TestGetFlowsDedupesHostsOneWalkPerUniqueHost(t *testing.T) {
+	cc := &countingColl{}
+	m := New(Config{Collector: cc}) // no snapshot: direct fan-out path
+	_, err := m.GetFlows([]Flow{
+		{Src: a("10.0.1.1"), Dst: a("10.0.2.1")},
+		{Src: a("10.0.1.1"), Dst: a("10.0.2.1")},
+		{Src: a("10.0.2.1"), Dst: a("10.0.1.1")},
+	}, FlowOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.calls.Load(); got != 1 {
+		t.Fatalf("fan-out ran %d collects, want 1", got)
+	}
+	assertUnique(t, cc.lastQ.Hosts, 2)
+}
+
+func TestGetTopologyDedupesHosts(t *testing.T) {
+	cc := &countingColl{}
+	m := New(Config{Collector: cc})
+	hosts := []netip.Addr{a("10.0.1.1"), a("10.0.2.1"), a("10.0.1.1"), a("10.0.2.1")}
+	if _, err := m.GetTopology(hosts, TopologyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	assertUnique(t, cc.lastQ.Hosts, 2)
+}
+
+func assertUnique(t *testing.T, hosts []netip.Addr, want int) {
+	t.Helper()
+	if len(hosts) != want {
+		t.Fatalf("fan-out walked %d hosts %v, want %d unique", len(hosts), hosts, want)
+	}
+	seen := make(map[netip.Addr]bool)
+	for _, h := range hosts {
+		if seen[h] {
+			t.Fatalf("duplicate host %v in fan-out %v", h, hosts)
+		}
+		seen[h] = true
+	}
+}

@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// TwoTierSpec parameterizes a spine/leaf datacenter-style topology: a
+// layer of spine routers, a set of leaf pods each holding a leaf router,
+// an access switch and a block of hosts. Every leaf router uplinks to
+// every spine, so the fabric has the full-bisection shape of a folded
+// Clos / fat-tree built from two stages. With the defaults the network
+// holds well over ten thousand devices — the scale the snapshot plane's
+// query path is benchmarked at.
+//
+// Zero values select the defaults noted on each field.
+type TwoTierSpec struct {
+	// Spines is the number of spine routers (default 4).
+	Spines int
+	// Leaves is the number of leaf pods (default 100).
+	Leaves int
+	// HostsPerLeaf is the number of hosts on each leaf's access switch
+	// (default 100).
+	HostsPerLeaf int
+
+	// SpineCapacity is the leaf-router-to-spine uplink capacity in bits
+	// per second (default 40e9). SpineDelay is its one-way propagation
+	// delay (default 10µs).
+	SpineCapacity float64
+	SpineDelay    time.Duration
+	// AccessCapacity is the host-to-switch and switch-to-router link
+	// capacity (default 10e9). AccessDelay is its one-way delay
+	// (default 5µs).
+	AccessCapacity float64
+	AccessDelay    time.Duration
+}
+
+func (s *TwoTierSpec) applyDefaults() {
+	if s.Spines <= 0 {
+		s.Spines = 4
+	}
+	if s.Leaves <= 0 {
+		s.Leaves = 100
+	}
+	if s.HostsPerLeaf <= 0 {
+		s.HostsPerLeaf = 100
+	}
+	if s.SpineCapacity <= 0 {
+		s.SpineCapacity = 40e9
+	}
+	if s.SpineDelay <= 0 {
+		s.SpineDelay = 10 * time.Microsecond
+	}
+	if s.AccessCapacity <= 0 {
+		s.AccessCapacity = 10e9
+	}
+	if s.AccessDelay <= 0 {
+		s.AccessDelay = 5 * time.Microsecond
+	}
+}
+
+// NodeCount returns the device count the spec builds: spines plus, per
+// leaf, one router, one switch and the host block.
+func (s TwoTierSpec) NodeCount() int {
+	s.applyDefaults()
+	return s.Spines + s.Leaves*(2+s.HostsPerLeaf)
+}
+
+// TwoTier is a built two-tier fabric: the devices by role, in
+// construction order.
+type TwoTier struct {
+	Spec        TwoTierSpec
+	Spines      []*Device
+	LeafRouters []*Device
+	LeafSwitch  []*Device
+	// Hosts holds every host, leaf-major: hosts of leaf i occupy
+	// Hosts[i*HostsPerLeaf : (i+1)*HostsPerLeaf].
+	Hosts []*Device
+}
+
+// BuildTwoTier populates n with the spec's fabric and finishes it:
+// subnets are assigned and routes computed, so the returned network is
+// ready for traffic and SNMP walks. Each leaf-to-spine uplink is a
+// point-to-point routed link; each leaf's router, switch and hosts share
+// one broadcast domain.
+func BuildTwoTier(n *Network, spec TwoTierSpec) *TwoTier {
+	spec.applyDefaults()
+	t := &TwoTier{Spec: spec}
+	for i := 0; i < spec.Spines; i++ {
+		t.Spines = append(t.Spines, n.AddRouter(fmt.Sprintf("spine%d", i)))
+	}
+	for l := 0; l < spec.Leaves; l++ {
+		lr := n.AddRouter(fmt.Sprintf("leaf%d", l))
+		sw := n.AddSwitch(fmt.Sprintf("lsw%d", l))
+		for _, sp := range t.Spines {
+			n.Connect(lr, sp, spec.SpineCapacity, spec.SpineDelay)
+		}
+		n.Connect(sw, lr, spec.AccessCapacity, spec.AccessDelay)
+		for h := 0; h < spec.HostsPerLeaf; h++ {
+			host := n.AddHost(fmt.Sprintf("h%d-%d", l, h))
+			n.Connect(host, sw, spec.AccessCapacity, spec.AccessDelay)
+			t.Hosts = append(t.Hosts, host)
+		}
+		t.LeafRouters = append(t.LeafRouters, lr)
+		t.LeafSwitch = append(t.LeafSwitch, sw)
+	}
+	n.AssignSubnets()
+	n.ComputeRoutes()
+	return t
+}

@@ -1,0 +1,45 @@
+package netsim
+
+import (
+	"testing"
+
+	"remos/internal/sim"
+)
+
+func TestBuildTwoTierSmall(t *testing.T) {
+	s := sim.NewSim()
+	n := New(s)
+	spec := TwoTierSpec{Spines: 2, Leaves: 3, HostsPerLeaf: 4}
+	if got, want := spec.NodeCount(), 2+3*(2+4); got != want {
+		t.Fatalf("NodeCount = %d, want %d", got, want)
+	}
+	tt := BuildTwoTier(n, spec)
+	if len(tt.Spines) != 2 || len(tt.LeafRouters) != 3 || len(tt.LeafSwitch) != 3 || len(tt.Hosts) != 12 {
+		t.Fatalf("device counts = %d/%d/%d/%d", len(tt.Spines), len(tt.LeafRouters), len(tt.LeafSwitch), len(tt.Hosts))
+	}
+	if len(n.Devices()) != spec.NodeCount() {
+		t.Fatalf("network holds %d devices, want %d", len(n.Devices()), spec.NodeCount())
+	}
+	for i, h := range tt.Hosts {
+		if !h.Addr().IsValid() {
+			t.Fatalf("host %d has no address", i)
+		}
+	}
+	// Cross-leaf transfer must route over a spine and see the access
+	// bottleneck.
+	src, dst := tt.Hosts[0], tt.Hosts[2*4] // leaf0 host0 -> leaf2 host0
+	tput, _, err := n.Transfer(src, dst, 1e6, 0)
+	if err != nil {
+		t.Fatalf("cross-leaf transfer: %v", err)
+	}
+	if tput <= 0 || tput > tt.Spec.AccessCapacity+1 {
+		t.Fatalf("cross-leaf throughput = %g (access capacity %g)", tput, tt.Spec.AccessCapacity)
+	}
+}
+
+func TestTwoTierDefaultsReachTenThousandNodes(t *testing.T) {
+	var spec TwoTierSpec
+	if got := spec.NodeCount(); got < 10000 {
+		t.Fatalf("default NodeCount = %d, want >= 10000", got)
+	}
+}

@@ -12,6 +12,7 @@ package proto
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -383,6 +384,11 @@ type TCPServer struct {
 	// UNAVAILABLE error. Set before ListenAndServe.
 	Watch *watch.Registry
 
+	// Flows, when set, enables the FLOWS verb (server-side flow
+	// answers; see flows.go). Nil servers answer FLOWS with a typed
+	// UNAVAILABLE error. Set before ListenAndServe.
+	Flows FlowAnswerer
+
 	// Obs, when set, receives request counters and latency histograms
 	// (labeled proto="ascii"). Traces, when set, records one trace per
 	// served query for /debug/queries. Set both before ListenAndServe.
@@ -450,6 +456,12 @@ func (s *TCPServer) ListenAndServe(addr string) (string, error) {
 						s.handleUnwatchLine(w, string(line), subs)
 						continue
 					}
+					if bytes.Equal(verb, []byte("FLOWS")) {
+						if s.serveFlows(w, line, r, &scratch) != nil {
+							return
+						}
+						continue
+					}
 					q, err := readQueryBody(line, r, &scratch)
 					if err != nil {
 						return // garbage: drop the connection
@@ -512,9 +524,27 @@ func (c *TCPClient) Name() string { return "remote-ascii:" + c.Addr }
 // classified — remote errors keep their wire code, local timeouts carry
 // the TIMEOUT class, connection failures the UNAVAILABLE class.
 func (c *TCPClient) Collect(q collector.Query) (*collector.Result, error) {
-	ctx := q.Context()
-	if err := ctx.Err(); err != nil {
+	var res *collector.Result
+	err := c.exchange(q.Context(), func(w io.Writer) error {
+		return writeQuery(w, q)
+	}, func(r *bufio.Reader, scratch *[]byte) error {
+		var rdErr error
+		res, rdErr = readResult(r, scratch)
+		return rdErr
+	})
+	if err != nil {
 		return nil, err
+	}
+	return res, nil
+}
+
+// exchange runs one request/response round trip under the client lock
+// with the shared deadline, cancellation-watcher, and reconnect-once
+// discipline. send writes the request; recv reads the response off the
+// client's pooled reader.
+func (c *TCPClient) exchange(ctx context.Context, send func(io.Writer) error, recv func(*bufio.Reader, *[]byte) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -526,11 +556,11 @@ func (c *TCPClient) Collect(q collector.Query) (*collector.Result, error) {
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	try := func() (*collector.Result, error) {
+	try := func() error {
 		if c.conn == nil {
 			conn, err := net.DialTimeout("tcp", c.Addr, time.Until(deadline))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			c.conn = conn
 			c.r = bufio.NewReader(conn)
@@ -550,17 +580,17 @@ func (c *TCPClient) Collect(q collector.Query) (*collector.Result, error) {
 				}
 			}()
 		}
-		if err := writeQuery(c.conn, q); err != nil {
-			return nil, err
+		if err := send(c.conn); err != nil {
+			return err
 		}
-		return readResult(c.r, &c.scratch)
+		return recv(c.r, &c.scratch)
 	}
-	res, err := try()
+	err := try()
 	if err != nil && c.conn != nil && ctx.Err() == nil {
 		// Stale connection: reconnect once.
 		c.conn.Close()
 		c.conn = nil
-		res, err = try()
+		err = try()
 	}
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
@@ -570,11 +600,11 @@ func (c *TCPClient) Collect(q collector.Query) (*collector.Result, error) {
 				c.conn.Close()
 				c.conn = nil
 			}
-			return nil, cerr
+			return cerr
 		}
-		return nil, classifyClientErr(c.Addr, err)
+		return classifyClientErr(c.Addr, err)
 	}
-	return res, nil
+	return nil
 }
 
 // Close drops the client connection.

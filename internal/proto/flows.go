@@ -1,0 +1,407 @@
+package proto
+
+// The FLOWS verb: flow queries answered server-side. A topology QUERY
+// ships the whole annotated graph so the client-side Modeler can run
+// its own calculations; a FLOWS exchange instead asks the server's
+// Modeler (snapshot-backed in remosd) and carries back one line per
+// flow — available bandwidth, latency, jitter, path. For the warm
+// serving path that turns a graph encode/decode round trip into a few
+// dozen bytes each way.
+//
+// Grammar (request):
+//
+//	FLOWS <n>
+//	<src> <dst> <demand>      (n lines; demand 0 = elastic)
+//	END
+//
+// Response:
+//
+//	OKF <n>
+//	<avail> <lat_ns> <jit_ns> <k> <node1> ... <nodek>
+//	DONE
+//
+// or the shared "ERR [CODE] message" line. The same exchange rides the
+// XML protocol as POST /flows with <flows><flow src dst demand/></flows>.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"strings"
+	"time"
+
+	"remos/internal/modeler"
+	"remos/internal/rerr"
+)
+
+// FlowAnswerer answers flow queries server-side; the Modeler implements
+// it. remosd attaches its snapshot-backed Modeler so FLOWS exchanges
+// are answered from the current topology generation without a
+// collector round trip.
+type FlowAnswerer interface {
+	GetFlowsContext(ctx context.Context, flows []modeler.Flow, opt modeler.FlowOptions) ([]modeler.FlowInfo, error)
+}
+
+// writeFlowsQuery renders one FLOWS request into a single Write, same
+// pooled-buffer discipline as writeQuery.
+func writeFlowsQuery(w io.Writer, flows []modeler.Flow) error {
+	buf := respPool.Get().(*bytes.Buffer)
+	defer respPool.Put(buf)
+	buf.Reset()
+	buf.WriteString("FLOWS ")
+	bufInt(buf, int64(len(flows)))
+	buf.WriteByte('\n')
+	var tmp [48]byte
+	for _, f := range flows {
+		buf.Write(f.Src.AppendTo(tmp[:0]))
+		buf.WriteByte(' ')
+		buf.Write(f.Dst.AppendTo(tmp[:0]))
+		buf.WriteByte(' ')
+		bufFloat(buf, f.Demand)
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("END\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readFlowsBody parses a FLOWS request whose header line was already
+// consumed by the server's verb dispatch.
+func readFlowsBody(line []byte, r *bufio.Reader, scratch *[]byte) ([]modeler.Flow, error) {
+	fs := newFields(line)
+	fs.next() // FLOWS, checked by the dispatcher
+	n, ok := parseInt(fs.next())
+	if !ok || n < 0 || n > 1<<20 || fs.next() != nil {
+		return nil, fmt.Errorf("proto: bad flows header %q", bytes.TrimSpace(line))
+	}
+	flows := make([]modeler.Flow, 0, n)
+	for i := int64(0); i < n; i++ {
+		line, err := readLine(r, scratch)
+		if err != nil {
+			return nil, err
+		}
+		fs := newFields(line)
+		srcTok, dstTok, demTok := fs.next(), fs.next(), fs.next()
+		dem, ok := parseFloat(demTok)
+		if !ok || fs.next() != nil {
+			return nil, fmt.Errorf("proto: bad flow line %q", bytes.TrimSpace(line))
+		}
+		src, err := netip.ParseAddr(string(srcTok))
+		if err != nil {
+			return nil, fmt.Errorf("proto: bad flow src %q: %w", srcTok, err)
+		}
+		dst, err := netip.ParseAddr(string(dstTok))
+		if err != nil {
+			return nil, fmt.Errorf("proto: bad flow dst %q: %w", dstTok, err)
+		}
+		flows = append(flows, modeler.Flow{Src: src, Dst: dst, Demand: dem})
+	}
+	line, err := readLine(r, scratch)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(bytes.TrimSpace(line), []byte("END")) {
+		return nil, fmt.Errorf("proto: missing END, got %q", bytes.TrimSpace(line))
+	}
+	return flows, nil
+}
+
+// writeFlowsResult renders one FLOWS answer into buf.
+func writeFlowsResult(buf *bytes.Buffer, infos []modeler.FlowInfo) {
+	buf.WriteString("OKF ")
+	bufInt(buf, int64(len(infos)))
+	buf.WriteByte('\n')
+	for _, fi := range infos {
+		bufFloat(buf, fi.Available)
+		buf.WriteByte(' ')
+		bufInt(buf, fi.Latency.Nanoseconds())
+		buf.WriteByte(' ')
+		bufInt(buf, fi.Jitter.Nanoseconds())
+		buf.WriteByte(' ')
+		bufInt(buf, int64(len(fi.Path)))
+		for _, id := range fi.Path {
+			buf.WriteByte(' ')
+			buf.WriteString(id)
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("DONE\n")
+}
+
+// readFlowsResult parses one FLOWS answer (or the shared ERR line).
+func readFlowsResult(r *bufio.Reader, scratch *[]byte) ([]modeler.FlowInfo, error) {
+	line, err := readLine(r, scratch)
+	if err != nil {
+		return nil, err
+	}
+	head := bytes.TrimSpace(line)
+	if bytes.HasPrefix(head, []byte("ERR ")) {
+		rest := string(head[len("ERR "):])
+		code := ""
+		if sp := strings.IndexByte(rest, ' '); sp > 0 && rerr.Known(rest[:sp]) {
+			code, rest = rest[:sp], rest[sp+1:]
+		} else if rerr.Known(rest) {
+			code, rest = rest, ""
+		}
+		return nil, decodeRemoteError(code, "proto: remote error: "+rest)
+	}
+	fs := newFields(head)
+	if !bytes.Equal(fs.next(), []byte("OKF")) {
+		return nil, fmt.Errorf("proto: unexpected flows response %q", head)
+	}
+	n, ok := parseInt(fs.next())
+	if !ok || n < 0 || fs.next() != nil {
+		return nil, fmt.Errorf("proto: bad flows response header %q", head)
+	}
+	infos := make([]modeler.FlowInfo, 0, n)
+	for i := int64(0); i < n; i++ {
+		line, err := readLine(r, scratch)
+		if err != nil {
+			return nil, err
+		}
+		fs := newFields(line)
+		avail, ok1 := parseFloat(fs.next())
+		latNs, ok2 := parseInt(fs.next())
+		jitNs, ok3 := parseInt(fs.next())
+		k, ok4 := parseInt(fs.next())
+		if !ok1 || !ok2 || !ok3 || !ok4 || k < 0 {
+			return nil, fmt.Errorf("proto: bad flow answer line %q", bytes.TrimSpace(line))
+		}
+		fi := modeler.FlowInfo{
+			Available: avail,
+			Latency:   time.Duration(latNs),
+			Jitter:    time.Duration(jitNs),
+			Predicted: avail,
+		}
+		if k > 0 {
+			fi.Path = make([]string, 0, k)
+			for j := int64(0); j < k; j++ {
+				tok := fs.next()
+				if tok == nil {
+					return nil, fmt.Errorf("proto: short flow path in %q", bytes.TrimSpace(line))
+				}
+				fi.Path = append(fi.Path, string(tok))
+			}
+		}
+		if fs.next() != nil {
+			return nil, fmt.Errorf("proto: trailing tokens in flow answer %q", bytes.TrimSpace(line))
+		}
+		infos = append(infos, fi)
+	}
+	line, err = readLine(r, scratch)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(bytes.TrimSpace(line), []byte("DONE")) {
+		return nil, fmt.Errorf("proto: missing DONE trailer")
+	}
+	return infos, nil
+}
+
+// serveFlows handles one FLOWS exchange on the ASCII server. A non-nil
+// return means the connection is unusable and should be dropped.
+func (s *TCPServer) serveFlows(w io.Writer, line []byte, r *bufio.Reader, scratch *[]byte) error {
+	flows, err := readFlowsBody(line, r, scratch)
+	if err != nil {
+		return err // garbage mid-request: drop the connection
+	}
+	if s.Flows == nil {
+		writeError(w, rerr.Tagf(rerr.ErrCollectorUnavailable, "proto: server has no flow answerer"))
+		return nil
+	}
+	start := time.Now()
+	infos, err := s.Flows.GetFlowsContext(context.Background(), flows, modeler.FlowOptions{})
+	s.m.requests.Inc()
+	s.m.seconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.m.errors.Inc()
+		writeError(w, err)
+		return nil
+	}
+	buf := respPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	writeFlowsResult(buf, infos)
+	_, werr := w.Write(buf.Bytes())
+	respPool.Put(buf)
+	return werr
+}
+
+// Flows asks the remote server's Modeler for flow answers over the
+// ASCII protocol. It shares the client connection, deadline and
+// reconnect discipline with Collect.
+func (c *TCPClient) Flows(ctx context.Context, flows []modeler.Flow) ([]modeler.FlowInfo, error) {
+	var infos []modeler.FlowInfo
+	err := c.exchange(ctx, func(w io.Writer) error {
+		return writeFlowsQuery(w, flows)
+	}, func(r *bufio.Reader, scratch *[]byte) error {
+		var err error
+		infos, err = readFlowsResult(r, scratch)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The wire answer is positional; re-attach the requests.
+	for i := range infos {
+		if i < len(flows) {
+			infos[i].Flow = flows[i]
+		}
+	}
+	return infos, nil
+}
+
+// The XML bodies of POST /flows.
+type xmlFlowsQuery struct {
+	XMLName xml.Name     `xml:"flows"`
+	Flows   []xmlFlowReq `xml:"flow"`
+}
+
+type xmlFlowReq struct {
+	Src    string  `xml:"src,attr"`
+	Dst    string  `xml:"dst,attr"`
+	Demand float64 `xml:"demand,attr,omitempty"`
+}
+
+type xmlFlowsResult struct {
+	XMLName xml.Name      `xml:"flowresult"`
+	Flows   []xmlFlowInfo `xml:"flow"`
+}
+
+type xmlFlowInfo struct {
+	Src       string  `xml:"src,attr"`
+	Dst       string  `xml:"dst,attr"`
+	Avail     float64 `xml:"avail,attr"`
+	LatencyNs int64   `xml:"latns,attr"`
+	JitterNs  int64   `xml:"jitns,attr"`
+	Path      string  `xml:"path,attr"` // space-separated node IDs
+}
+
+// handleFlows serves POST /flows on the XML protocol.
+func (s *HTTPServer) handleFlows(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.Flows == nil {
+		w.Header().Set(errorCodeHeader, rerr.Code(rerr.ErrCollectorUnavailable))
+		http.Error(w, "server has no flow answerer", http.StatusServiceUnavailable)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var xq xmlFlowsQuery
+	if err := xml.Unmarshal(body, &xq); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	flows := make([]modeler.Flow, 0, len(xq.Flows))
+	for _, xf := range xq.Flows {
+		src, err := netip.ParseAddr(xf.Src)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad src %q", xf.Src), http.StatusBadRequest)
+			return
+		}
+		dst, err := netip.ParseAddr(xf.Dst)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad dst %q", xf.Dst), http.StatusBadRequest)
+			return
+		}
+		flows = append(flows, modeler.Flow{Src: src, Dst: dst, Demand: xf.Demand})
+	}
+	start := time.Now()
+	infos, err := s.Flows.GetFlowsContext(r.Context(), flows, modeler.FlowOptions{})
+	s.m.requests.Inc()
+	s.m.seconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.m.errors.Inc()
+		if code := rerr.Code(err); code != "" {
+			w.Header().Set(errorCodeHeader, code)
+		}
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	out := xmlFlowsResult{Flows: make([]xmlFlowInfo, len(infos))}
+	for i, fi := range infos {
+		out.Flows[i] = xmlFlowInfo{
+			Src: fi.Flow.Src.String(), Dst: fi.Flow.Dst.String(),
+			Avail: fi.Available, LatencyNs: fi.Latency.Nanoseconds(),
+			JitterNs: fi.Jitter.Nanoseconds(), Path: strings.Join(fi.Path, " "),
+		}
+	}
+	enc, err := xml.Marshal(out)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(enc)
+}
+
+// Flows asks the remote server's Modeler for flow answers over the XML
+// protocol.
+func (c *HTTPClient) Flows(ctx context.Context, flows []modeler.Flow) ([]modeler.FlowInfo, error) {
+	xq := xmlFlowsQuery{Flows: make([]xmlFlowReq, len(flows))}
+	for i, f := range flows {
+		xq.Flows[i] = xmlFlowReq{Src: f.Src.String(), Dst: f.Dst.String(), Demand: f.Demand}
+	}
+	body, err := xml.Marshal(xq)
+	if err != nil {
+		return nil, err
+	}
+	hc := c.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/flows", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := hc.Do(req)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, classifyClientErr(c.BaseURL, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, classifyClientErr(c.BaseURL, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := fmt.Sprintf("proto: remote error (%d): %s", resp.StatusCode, bytes.TrimSpace(out))
+		return nil, decodeRemoteError(resp.Header.Get(errorCodeHeader), msg)
+	}
+	var xr xmlFlowsResult
+	if err := xml.Unmarshal(out, &xr); err != nil {
+		return nil, err
+	}
+	infos := make([]modeler.FlowInfo, len(xr.Flows))
+	for i, xf := range xr.Flows {
+		infos[i] = modeler.FlowInfo{
+			Available: xf.Avail,
+			Latency:   time.Duration(xf.LatencyNs),
+			Jitter:    time.Duration(xf.JitterNs),
+			Predicted: xf.Avail,
+		}
+		if src, err := netip.ParseAddr(xf.Src); err == nil {
+			infos[i].Flow.Src = src
+		}
+		if dst, err := netip.ParseAddr(xf.Dst); err == nil {
+			infos[i].Flow.Dst = dst
+		}
+		if xf.Path != "" {
+			infos[i].Path = strings.Split(xf.Path, " ")
+		}
+	}
+	return infos, nil
+}

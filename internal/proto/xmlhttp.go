@@ -172,6 +172,10 @@ type HTTPServer struct {
 	// ListenAndServe.
 	Watch *watch.Registry
 
+	// Flows, when set, enables POST /flows (server-side flow answers;
+	// see flows.go). Set before ListenAndServe.
+	Flows FlowAnswerer
+
 	// Obs, when set, receives request counters and latency histograms
 	// (labeled proto="xml"). Traces, when set, records one trace per
 	// served query for /debug/queries. Set both before ListenAndServe.
@@ -190,6 +194,7 @@ func (s *HTTPServer) ListenAndServe(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/watch", s.handleWatch)
+	mux.HandleFunc("/flows", s.handleFlows)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err

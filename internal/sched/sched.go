@@ -31,6 +31,7 @@ import (
 	"remos/internal/obs"
 	"remos/internal/rps"
 	"remos/internal/sim"
+	"remos/internal/snapshot"
 )
 
 // Config wires a Scheduler.
@@ -74,6 +75,10 @@ type Config struct {
 	// OnResult receives every successful poll's result (already a
 	// private clone) — the watch registry's Evaluate hooks in here.
 	OnResult func(hosts []netip.Addr, res *collector.Result)
+	// Snapshot, when set, receives every successful poll via Apply, so
+	// the versioned snapshot plane advances one epoch per poll and
+	// snapshot-backed queries stay fresh without their own walks.
+	Snapshot *snapshot.Store
 	// Obs, when set, receives the scheduler's counters and per-target
 	// poll-interval gauges.
 	Obs *obs.Registry
@@ -280,6 +285,9 @@ func (s *Scheduler) poll(t *target) {
 			}
 		}
 		changed = maxChange >= s.cfg.ChangeFrac
+		if s.cfg.Snapshot != nil {
+			s.cfg.Snapshot.Apply(t.hosts, res, now)
+		}
 		if s.cfg.OnResult != nil {
 			s.cfg.OnResult(t.hosts, res)
 		}

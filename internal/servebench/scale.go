@@ -1,0 +1,269 @@
+package servebench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"remos/internal/benchfmt"
+	"remos/internal/collector"
+	"remos/internal/modeler"
+	"remos/internal/netsim"
+	"remos/internal/obs"
+	"remos/internal/rerr"
+	"remos/internal/sim"
+	"remos/internal/snapshot"
+	"remos/internal/topology"
+)
+
+// The scale benchmark: flow queries against the snapshot plane over a
+// two-tier fabric of ten-thousand-plus devices. Where the serve bench
+// measures the full wire stack on a small deployment, this one isolates
+// the question the snapshot plane exists to answer — does per-query
+// cost stay independent of graph size once queries are served from an
+// epoch-swapped snapshot instead of per-query rebuilds? The collector
+// behind the modeler refuses every call, so any snapshot miss fails the
+// run loudly instead of quietly re-measuring the fallback path.
+
+// ScaleConfig shapes one scale-bench run. Zero values select the
+// defaults noted on each field.
+type ScaleConfig struct {
+	// Spines, Leaves and HostsPerLeaf parameterize the two-tier fabric
+	// (defaults 4/100/100: 10204 devices). CI runs shrink Leaves and
+	// HostsPerLeaf; the committed baseline uses the defaults.
+	Spines       int
+	Leaves       int
+	HostsPerLeaf int
+	// Clients is the number of concurrent querying goroutines
+	// (default 4).
+	Clients int
+	// Queries is the total flow-query count across all clients
+	// (default 2000).
+	Queries int
+	// SrcSample bounds the distinct source hosts queried (default 32).
+	// Sources pay a one-time BFS-tree build memoized per snapshot
+	// epoch, so the sample bounds that memo the way a real app mix
+	// (few querying hosts, many destinations) does.
+	SrcSample int
+	// Seed randomizes pair selection (default 1).
+	Seed int64
+}
+
+func (c *ScaleConfig) applyDefaults() {
+	if c.Spines <= 0 {
+		c.Spines = 4
+	}
+	if c.Leaves <= 0 {
+		c.Leaves = 100
+	}
+	if c.HostsPerLeaf <= 0 {
+		c.HostsPerLeaf = 100
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Queries <= 0 {
+		c.Queries = 2000
+	}
+	if c.SrcSample <= 0 {
+		c.SrcSample = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ScaleResult is one scale-bench run's measurements.
+type ScaleResult struct {
+	Nodes   int
+	Links   int
+	Clients int
+	Queries int
+	Elapsed time.Duration
+	// QPS is completed snapshot-backed flow queries per wall-clock
+	// second; P50 and P99 are per-query latencies.
+	QPS      float64
+	P50, P99 time.Duration
+	// Build is the one-time cost outside the measured interval:
+	// fabric construction, ground-truth graph derivation and the
+	// snapshot Apply.
+	Build time.Duration
+	// ColdAlloc is a single full-graph FlowAlloc over the same fabric —
+	// the per-query cost a rebuild-per-query design would pay, for
+	// comparison against P50.
+	ColdAlloc time.Duration
+}
+
+// Record renders the result as the committed benchmark record.
+func (r *ScaleResult) Record(stamp string) benchfmt.Record {
+	return benchfmt.Record{
+		Name:      "scale",
+		Timestamp: stamp,
+		Metrics: []benchfmt.Metric{
+			{Metric: "queries_per_sec", Value: r.QPS, Unit: "1/s", Kind: benchfmt.KindThroughput},
+			{Metric: "p50_seconds", Value: r.P50.Seconds(), Unit: "s", Kind: benchfmt.KindLatency},
+			{Metric: "p99_seconds", Value: r.P99.Seconds(), Unit: "s", Kind: benchfmt.KindLatency},
+			{Metric: "build_seconds", Value: r.Build.Seconds(), Unit: "s", Kind: benchfmt.KindInfo},
+			{Metric: "cold_flowalloc_seconds", Value: r.ColdAlloc.Seconds(), Unit: "s", Kind: benchfmt.KindInfo},
+			{Metric: "nodes", Value: float64(r.Nodes), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "links", Value: float64(r.Links), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "clients", Value: float64(r.Clients), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "queries", Value: float64(r.Queries), Unit: "", Kind: benchfmt.KindInfo},
+		},
+	}
+}
+
+// groundTruthGraph derives the topology graph the collectors would
+// assemble from a full walk of the network, using the collector naming
+// convention: every node's ID is its (management) address string.
+func groundTruthGraph(n *netsim.Network) (*topology.Graph, error) {
+	g := topology.NewGraph()
+	kind := func(d *netsim.Device) topology.NodeKind {
+		switch d.Kind {
+		case netsim.Router:
+			return topology.RouterNode
+		case netsim.Switch:
+			return topology.SwitchNode
+		default:
+			return topology.HostNode
+		}
+	}
+	for _, d := range n.Devices() {
+		addr := d.ManagementAddr().String()
+		g.AddNode(topology.Node{ID: addr, Kind: kind(d), Addr: addr})
+	}
+	for _, l := range n.Links() {
+		if _, err := g.AddLink(topology.Link{
+			From:     l.A.Dev.ManagementAddr().String(),
+			To:       l.B.Dev.ManagementAddr().String(),
+			Capacity: l.Capacity,
+			Latency:  l.Delay,
+			Jitter:   l.Jitter,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// failCollector refuses every collect, pinning that the measured loop
+// never leaves the snapshot plane.
+type failCollector struct{}
+
+func (failCollector) Name() string { return "scalebench-fail" }
+func (failCollector) Collect(collector.Query) (*collector.Result, error) {
+	return nil, rerr.Tagf(rerr.ErrCollectorUnavailable, "scalebench: snapshot miss fell back to the collector")
+}
+
+// RunScale executes one scale-bench run and reports its measurements.
+func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
+	cfg.applyDefaults()
+	s := sim.NewSim()
+	n := netsim.New(s)
+	t0 := time.Now()
+	tt := netsim.BuildTwoTier(n, netsim.TwoTierSpec{
+		Spines: cfg.Spines, Leaves: cfg.Leaves, HostsPerLeaf: cfg.HostsPerLeaf,
+	})
+	g, err := groundTruthGraph(n)
+	if err != nil {
+		return nil, fmt.Errorf("scalebench: ground truth graph: %w", err)
+	}
+	hosts := make([]netip.Addr, len(tt.Hosts))
+	for i, h := range tt.Hosts {
+		hosts[i] = h.Addr()
+	}
+	reg := obs.New()
+	store := snapshot.New(snapshot.Config{Now: s.Now, Obs: reg})
+	store.Apply(hosts, &collector.Result{Graph: g}, s.Now())
+	build := time.Since(t0)
+
+	mdl := modeler.New(modeler.Config{
+		Collector: failCollector{}, Snapshot: store, MaxStale: time.Hour, Obs: reg,
+	})
+
+	// The query mix: SrcSample distinct sources, destinations uniform
+	// over every host.
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	srcs := make([]netip.Addr, cfg.SrcSample)
+	for i := range srcs {
+		srcs[i] = hosts[rnd.Intn(len(hosts))]
+	}
+
+	// One full-graph allocation for the rebuild-per-query comparison.
+	c0 := time.Now()
+	if _, err := g.FlowAlloc([]topology.FlowRequest{{Src: srcs[0].String(), Dst: hosts[len(hosts)-1].String()}}); err != nil {
+		return nil, fmt.Errorf("scalebench: cold FlowAlloc: %w", err)
+	}
+	coldAlloc := time.Since(c0)
+
+	perClient := cfg.Queries / cfg.Clients
+	total := perClient * cfg.Clients
+	latencies := make([][]time.Duration, cfg.Clients)
+	var firstErr error
+	var errMu sync.Mutex
+	ctx := context.Background()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			crnd := rand.New(rand.NewSource(cfg.Seed + 7919*int64(c+1)))
+			fq := make([]modeler.Flow, 1)
+			lats := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				src := srcs[crnd.Intn(len(srcs))]
+				dst := hosts[crnd.Intn(len(hosts))]
+				for dst == src {
+					dst = hosts[crnd.Intn(len(hosts))]
+				}
+				fq[0] = modeler.Flow{Src: src, Dst: dst}
+				t0 := time.Now()
+				if _, err := mdl.GetFlowsContext(ctx, fq, modeler.FlowOptions{}); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("scalebench: client %d query %d: %w", c, i, err)
+					}
+					errMu.Unlock()
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latencies[c] = lats
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	if len(all) != total {
+		return nil, fmt.Errorf("scalebench: %d/%d queries completed", len(all), total)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	quantile := func(q float64) time.Duration {
+		return all[int(q*float64(len(all)-1))]
+	}
+	return &ScaleResult{
+		Nodes:     len(n.Devices()),
+		Links:     len(n.Links()),
+		Clients:   cfg.Clients,
+		Queries:   total,
+		Elapsed:   elapsed,
+		QPS:       float64(total) / elapsed.Seconds(),
+		P50:       quantile(0.50),
+		P99:       quantile(0.99),
+		Build:     build,
+		ColdAlloc: coldAlloc,
+	}, nil
+}

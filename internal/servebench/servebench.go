@@ -1,16 +1,18 @@
 // Package servebench measures end-to-end serving throughput: a complete
 // remosd-style stack — a two-site core deployment over the emulated
-// network, the warm-query cache, the watch registry and both wire
-// protocols — driven by concurrent clients issuing a mixed workload of
-// warm queries, cold (cache-invalidating) queries, and standing watches
-// receiving pushes. The output is the committed BENCH_serve.json record:
+// network, the warm-query cache, the versioned snapshot plane, the
+// watch registry and both wire protocols — driven by concurrent clients
+// issuing a mixed workload of warm flow queries (the FLOWS verb / POST
+// /flows, answered by the server-side snapshot-backed Modeler), cold
+// cache-invalidating topology queries, and standing watches receiving
+// pushes. The output is the committed BENCH_serve.json record:
 // queries/sec, latency quantiles, and per-query allocation cost.
 //
 // The bench exercises the same objects a production daemon serves from;
 // nothing is mocked below the emulated network's SNMP agents. Numbers
-// are therefore end-to-end: protocol parse, cache lookup, collector
-// fan-out on cold paths, encode, and the metrics plane all inside the
-// measured interval.
+// are therefore end-to-end: protocol parse, snapshot/cache lookup,
+// collector fan-out on cold paths, encode, and the metrics plane all
+// inside the measured interval.
 package servebench
 
 import (
@@ -28,10 +30,12 @@ import (
 	"remos/internal/collector"
 	"remos/internal/collector/qcache"
 	"remos/internal/core"
+	"remos/internal/modeler"
 	"remos/internal/netsim"
 	"remos/internal/obs"
 	"remos/internal/proto"
 	"remos/internal/sim"
+	"remos/internal/snapshot"
 	"remos/internal/watch"
 )
 
@@ -40,11 +44,13 @@ import (
 type Config struct {
 	// Clients is the number of concurrent querying clients (default 8).
 	Clients int
-	// Queries is the total query count across all clients (default 800).
+	// Queries is the total operation count across all clients (default
+	// 800). Most operations are warm flow queries answered from the
+	// snapshot plane; see ColdEvery.
 	Queries int
-	// ColdEvery makes every Nth query per client invalidate its cache
-	// slot first, forcing a full collector fan-out (default 8; negative
-	// disables cold traffic).
+	// ColdEvery makes every Nth operation per client a full topology
+	// query that invalidates its cache slot first, forcing a collector
+	// fan-out (default 8; negative disables cold traffic).
 	ColdEvery int
 	// HTTPEvery makes every Nth client speak the XML/HTTP protocol
 	// instead of ASCII (default 4; negative keeps every client on
@@ -88,7 +94,8 @@ type Result struct {
 	Queries  int
 	Watchers int
 	Elapsed  time.Duration
-	// QPS is completed queries per wall-clock second.
+	// QPS is completed operations per wall-clock second: warm flow
+	// queries plus the cold topology-query subset.
 	QPS float64
 	// P50, P99 are client-observed query latencies.
 	P50, P99 time.Duration
@@ -125,6 +132,7 @@ func (r *Result) Record(stamp string) benchfmt.Record {
 type rig struct {
 	dep      *core.Deployment
 	cache    *qcache.Cache
+	snap     *snapshot.Store
 	watchReg *watch.Registry
 	tcp      *proto.TCPServer
 	http     *proto.HTTPServer
@@ -132,6 +140,7 @@ type rig struct {
 	httpAddr string
 	queries  []collector.Query
 	pairs    [][2]netip.Addr
+	flows    []modeler.Flow
 }
 
 // buildRig boots a two-site deployment (4 app hosts per site behind a
@@ -184,8 +193,14 @@ func buildRig() (*rig, error) {
 	reg := obs.New()
 	cache := qcache.New(dep.Sites["site0"].Master, qcache.Config{TTL: time.Hour, Obs: reg})
 	watchReg := watch.New(watch.Config{Obs: reg})
+	// The snapshot plane backs the FLOWS verb: warm flow queries are
+	// answered from the epoch-swapped snapshot by the server-side
+	// modeler with zero collector round-trips; the store refills (via
+	// the cache) only when stale or never applied.
+	snap := snapshot.New(snapshot.Config{Now: s.Now, Obs: reg})
+	mdl := modeler.New(modeler.Config{Collector: cache, Snapshot: snap, MaxStale: time.Hour, Obs: reg})
 
-	r := &rig{dep: dep, cache: cache, watchReg: watchReg}
+	r := &rig{dep: dep, cache: cache, snap: snap, watchReg: watchReg}
 	// The query mix: every same-site pair of site 0's apps, plus one
 	// cross-site pair that exercises master routing over the directory
 	// and the WAN benchmark data.
@@ -197,14 +212,19 @@ func buildRig() (*rig, error) {
 		}
 	}
 	r.queries = append(r.queries, collector.Query{Hosts: []netip.Addr{apps[0].Addr(), apps[4].Addr()}})
+	// The warm flow mix mirrors the query mix pair-for-pair, including
+	// the cross-site pair.
+	for _, q := range r.queries {
+		r.flows = append(r.flows, modeler.Flow{Src: q.Hosts[0], Dst: q.Hosts[1]})
+	}
 
-	r.tcp = &proto.TCPServer{Collector: cache, Watch: watchReg, Obs: reg}
+	r.tcp = &proto.TCPServer{Collector: cache, Watch: watchReg, Flows: mdl, Obs: reg}
 	addr, err := r.tcp.ListenAndServe("127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	r.tcpAddr = addr
-	r.http = &proto.HTTPServer{Collector: cache, Watch: watchReg, Obs: reg}
+	r.http = &proto.HTTPServer{Collector: cache, Watch: watchReg, Flows: mdl, Obs: reg}
 	haddr, err := r.http.ListenAndServe("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -240,6 +260,12 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("servebench: warmup: %w", err)
 		}
 		warmRes = res
+	}
+	// One flow query across the full mix seeds the snapshot store (a
+	// single coalesced refresh over the merged host set), so the
+	// measured interval starts from the steady snapshot-hit state.
+	if _, err := warm.Flows(context.Background(), rg.flows); err != nil {
+		return nil, fmt.Errorf("servebench: flow warmup: %w", err)
 	}
 
 	// Standing watchers over the protocol, their pushes driven by a
@@ -291,24 +317,39 @@ func Run(cfg Config) (*Result, error) {
 			defer wg.Done()
 			rnd := rand.New(rand.NewSource(cfg.Seed + int64(c)))
 			var collect func(collector.Query) (*collector.Result, error)
+			var flows func(context.Context, []modeler.Flow) ([]modeler.FlowInfo, error)
 			if cfg.HTTPEvery > 0 && c%cfg.HTTPEvery == cfg.HTTPEvery-1 {
 				cl := &proto.HTTPClient{BaseURL: "http://" + rg.httpAddr}
 				collect = cl.Collect
+				flows = cl.Flows
 			} else {
 				cl := &proto.TCPClient{Addr: rg.tcpAddr}
 				defer cl.Close()
 				collect = cl.Collect
+				flows = cl.Flows
 			}
 			lats := make([]time.Duration, 0, perClient)
+			fq := make([]modeler.Flow, 1)
 			for i := 0; i < perClient; i++ {
-				q := rg.queries[rnd.Intn(len(rg.queries))]
 				if cfg.ColdEvery > 0 && i%cfg.ColdEvery == cfg.ColdEvery-1 {
+					// Cold topology query: re-chill the cache slot, then
+					// pay the full collector fan-out and graph encode.
+					q := rg.queries[rnd.Intn(len(rg.queries))]
 					rg.cache.Invalidate(qcache.Key(q))
 					cold.Add(1)
+					t0 := time.Now()
+					if _, err := collect(q); err != nil {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("servebench: client %d query %d: %w", c, i, err))
+						return
+					}
+					lats = append(lats, time.Since(t0))
+					continue
 				}
+				// Warm flow query answered from the snapshot plane.
+				fq[0] = rg.flows[rnd.Intn(len(rg.flows))]
 				t0 := time.Now()
-				if _, err := collect(q); err != nil {
-					firstErr.CompareAndSwap(nil, fmt.Errorf("servebench: client %d query %d: %w", c, i, err))
+				if _, err := flows(ctx, fq); err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("servebench: client %d flow query %d: %w", c, i, err))
 					return
 				}
 				lats = append(lats, time.Since(t0))

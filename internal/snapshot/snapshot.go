@@ -1,0 +1,350 @@
+// Package snapshot is the versioned topology snapshot plane: an
+// immutable topology+metrics generation maintained incrementally from
+// background poll completions (internal/sched) and swapped in via
+// atomic.Pointer, the same copy-on-write discipline the warm-query
+// cache uses. The Modeler answers topology and flow queries from the
+// current generation when it is fresh enough — zero collector
+// round-trips, zero graph clones — and falls back to collector fan-out
+// only on miss or staleness, with overlapping cold queries single-flight
+// coalesced by merged host set so N clients asking about the same
+// region trigger one walk.
+//
+// Each generation (an Epoch) carries the merged graph, per-host
+// freshness stamps, an address index, and a topology.PathIndex whose
+// memoized BFS trees and reduced-capacity max-min make flow answers
+// O(path length) instead of O(graph size). Derived structures keyed by
+// epoch — the pruned/collapsed subgraph memo — are evicted on every
+// epoch swap, the invariant remoslint's epochkey check enforces.
+package snapshot
+
+import (
+	"context"
+	"net/netip"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/obs"
+	"remos/internal/topology"
+)
+
+// Epoch numbers snapshot generations. Every Apply produces a new epoch;
+// derived state keyed by an Epoch is only valid while that generation
+// is current and must be evicted when it is superseded.
+type Epoch uint64
+
+// Snapshot is one immutable generation. All fields are frozen at Apply
+// time; readers share the struct without synchronization.
+type Snapshot struct {
+	epoch  Epoch
+	graph  *topology.Graph
+	paths  *topology.PathIndex
+	byAddr map[string]string // host address -> node ID
+	hostAt map[netip.Addr]time.Time
+	at     time.Time // most recent apply folded in
+}
+
+// Epoch returns the generation number.
+func (s *Snapshot) Epoch() Epoch { return s.epoch }
+
+// Graph returns the generation's merged graph. It is shared and must
+// not be mutated; use Clone (or Store.Subgraph) for a caller-owned copy.
+func (s *Snapshot) Graph() *topology.Graph { return s.graph }
+
+// Paths returns the generation's path index.
+func (s *Snapshot) Paths() *topology.PathIndex { return s.paths }
+
+// At returns the time of the apply that produced this generation.
+func (s *Snapshot) At() time.Time { return s.at }
+
+// NodeID resolves a host address to its node ID in the generation's
+// graph ("" if unknown), via the index built at apply time — O(1) where
+// Graph.NodeByAddr scans.
+func (s *Snapshot) NodeID(addr netip.Addr) string { return s.byAddr[addr.String()] }
+
+// FreshFor reports whether every given host was refreshed within bound
+// of now. A host never applied is never fresh.
+func (s *Snapshot) FreshFor(hosts []netip.Addr, bound time.Duration, now time.Time) bool {
+	for _, h := range hosts {
+		at, ok := s.hostAt[h]
+		if !ok || now.Sub(at) > bound {
+			return false
+		}
+	}
+	return true
+}
+
+// Config wires a Store.
+type Config struct {
+	// Now supplies the clock (the deployment's sim clock in tests and
+	// benchmarks, wall time in remosd). Required.
+	Now func() time.Time
+	// Obs, when set, receives the snapshot_* metrics.
+	Obs *obs.Registry
+}
+
+// Store maintains the current generation and its derived-state memos.
+// All methods are safe for concurrent use; readers of Current never
+// block writers and vice versa.
+type Store struct {
+	now func() time.Time
+	cur atomic.Pointer[Snapshot]
+
+	applyMu sync.Mutex // serializes Apply (epoch construction + swap)
+
+	subMu sync.Mutex
+	subs  map[subKey]*topology.Graph // epoch-keyed; evicted on swap
+
+	flightMu sync.Mutex
+	inflight *flight
+	pending  *flight
+
+	mApplies    *obs.Counter
+	mHits       *obs.Counter
+	mMisses     *obs.Counter
+	mRefreshes  *obs.Counter
+	mRefreshErr *obs.Counter
+	mCoalesced  *obs.Counter
+	mSubHits    *obs.Counter
+	mSubBuilds  *obs.Counter
+	gEpoch      *obs.Gauge
+}
+
+// subKey identifies one memoized pruned/collapsed subgraph: the
+// generation it was derived from and the canonical endpoint-set
+// signature (sorted node IDs joined by commas).
+type subKey struct {
+	epoch Epoch
+	sig   string
+}
+
+// flight is one in-progress coalesced collector walk.
+type flight struct {
+	hosts map[netip.Addr]bool
+	done  chan struct{}
+	snap  *Snapshot
+	err   error
+}
+
+// New creates an empty store.
+func New(cfg Config) *Store {
+	st := &Store{
+		now:  cfg.Now,
+		subs: make(map[subKey]*topology.Graph),
+	}
+	if st.now == nil {
+		st.now = time.Now //remoslint:allow wallclock designated nil-Now fallback for production construction
+	}
+	st.mApplies = cfg.Obs.Counter("remos_snapshot_applies_total", "poll results folded into the snapshot plane")
+	st.mHits = cfg.Obs.Counter("remos_snapshot_hits_total", "queries answered from a fresh snapshot")
+	st.mMisses = cfg.Obs.Counter("remos_snapshot_misses_total", "queries that found no fresh-enough snapshot")
+	st.mRefreshes = cfg.Obs.Counter("remos_snapshot_refreshes_total", "coalesced collector walks launched on snapshot miss")
+	st.mRefreshErr = cfg.Obs.Counter("remos_snapshot_refresh_errors_total", "coalesced collector walks that failed")
+	st.mCoalesced = cfg.Obs.Counter("remos_snapshot_coalesced_total", "cold queries that joined an in-flight walk instead of launching one")
+	st.mSubHits = cfg.Obs.Counter("remos_snapshot_subgraph_hits_total", "simplified-subgraph memo hits")
+	st.mSubBuilds = cfg.Obs.Counter("remos_snapshot_subgraph_builds_total", "simplified subgraphs computed and memoized")
+	st.gEpoch = cfg.Obs.Gauge("remos_snapshot_epoch", "current snapshot generation number")
+	return st
+}
+
+// Current returns the latest generation, or nil before the first Apply.
+func (st *Store) Current() *Snapshot { return st.cur.Load() }
+
+// Fresh returns the current generation if every host is within bound of
+// the store's clock, else nil. It records the hit/miss metrics, so call
+// it once per query decision.
+func (st *Store) Fresh(hosts []netip.Addr, bound time.Duration) *Snapshot {
+	s := st.cur.Load()
+	if s == nil || bound <= 0 || !s.FreshFor(hosts, bound, st.now()) {
+		st.mMisses.Inc()
+		return nil
+	}
+	st.mHits.Inc()
+	return s
+}
+
+// Apply folds one poll result into a new generation: the previous graph
+// is cloned, the result is merged latest-wins (topology.Update), the
+// polled hosts' freshness stamps advance, and the new Snapshot — with a
+// fresh PathIndex and address index — is swapped in atomically. Derived
+// memos of superseded epochs are evicted. Returns the new generation.
+func (st *Store) Apply(hosts []netip.Addr, res *collector.Result, at time.Time) *Snapshot {
+	if res == nil || res.Graph == nil {
+		return st.cur.Load()
+	}
+	st.applyMu.Lock()
+	old := st.cur.Load()
+	var g *topology.Graph
+	var hostAt map[netip.Addr]time.Time
+	var epoch Epoch
+	if old != nil {
+		g = old.graph.Clone()
+		hostAt = make(map[netip.Addr]time.Time, len(old.hostAt)+len(hosts))
+		for h, t := range old.hostAt {
+			hostAt[h] = t
+		}
+		epoch = old.epoch + 1
+	} else {
+		g = topology.NewGraph()
+		hostAt = make(map[netip.Addr]time.Time, len(hosts))
+		epoch = 1
+	}
+	g.Update(res.Graph)
+	for _, h := range hosts {
+		hostAt[h] = at
+	}
+	byAddr := make(map[string]string, len(g.Nodes()))
+	for _, n := range g.Nodes() {
+		if n.Addr != "" {
+			byAddr[n.Addr] = n.ID
+		}
+	}
+	snap := &Snapshot{
+		epoch: epoch, graph: g, paths: topology.NewPathIndex(g),
+		byAddr: byAddr, hostAt: hostAt, at: at,
+	}
+	st.cur.Store(snap)
+	st.applyMu.Unlock()
+
+	// Evict derived state of superseded epochs: an epoch-keyed map must
+	// shrink on swap or it grows one orphaned family per poll.
+	st.subMu.Lock()
+	for k := range st.subs {
+		if k.epoch != epoch {
+			delete(st.subs, k)
+		}
+	}
+	st.subMu.Unlock()
+
+	st.mApplies.Inc()
+	st.gEpoch.Set(float64(epoch))
+	return snap
+}
+
+// Subgraph returns the pruned + collapsed simplification of the
+// generation's graph for the given endpoint node IDs, memoized per
+// (epoch, endpoint-set signature). The returned graph is a private
+// clone the caller owns.
+func (st *Store) Subgraph(s *Snapshot, ids []string, keepSwitches bool) (*topology.Graph, error) {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	sig := strings.Join(sorted, ",")
+	if keepSwitches {
+		sig = "ks|" + sig
+	}
+	key := subKey{epoch: s.epoch, sig: sig}
+	st.subMu.Lock()
+	g, ok := st.subs[key]
+	st.subMu.Unlock()
+	if ok {
+		st.mSubHits.Inc()
+		return g.Clone(), nil
+	}
+	pruned, err := s.graph.Prune(ids)
+	if err != nil {
+		return nil, err
+	}
+	if !keepSwitches {
+		pruned.CollapseSwitchClouds("vswitch")
+	}
+	protect := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		protect[id] = true
+	}
+	pruned.CollapseChains(protect)
+	st.subMu.Lock()
+	// Memoize only while the epoch is still current; a stale fill would
+	// linger until the next swap's evict pass.
+	if st.cur.Load() == s {
+		st.subs[key] = pruned
+	}
+	st.subMu.Unlock()
+	st.mSubBuilds.Inc()
+	return pruned.Clone(), nil
+}
+
+// Refresh performs a coalesced collector walk covering hosts and
+// applies the result, returning the resulting generation. Concurrent
+// callers share walks: a caller whose hosts are covered by the walk in
+// flight joins it; otherwise its hosts merge into the next walk, which
+// one merged caller leads once the current one lands. Each waiter still
+// honors its own context. On error the caller should fall back to a
+// direct collect — the flight's failure is shared, its fallback is not.
+func (st *Store) Refresh(ctx context.Context, coll collector.Interface, hosts []netip.Addr) (*Snapshot, error) {
+	for {
+		st.flightMu.Lock()
+		if f := st.inflight; f != nil {
+			if coveredBy(hosts, f.hosts) {
+				st.flightMu.Unlock()
+				st.mCoalesced.Inc()
+				select {
+				case <-f.done:
+					return f.snap, f.err
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			// Not covered: merge into the accumulating next walk and
+			// wait for the current one to land, then loop — either
+			// another merged caller has become the leader (we are
+			// covered by the new inflight) or we lead it ourselves.
+			if st.pending == nil {
+				st.pending = &flight{hosts: make(map[netip.Addr]bool, len(hosts)), done: make(chan struct{})}
+			}
+			for _, h := range hosts {
+				st.pending.hosts[h] = true
+			}
+			st.flightMu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		// No walk in flight: lead one, absorbing any accumulated batch.
+		f := st.pending
+		st.pending = nil
+		if f == nil {
+			f = &flight{hosts: make(map[netip.Addr]bool, len(hosts)), done: make(chan struct{})}
+		}
+		for _, h := range hosts {
+			f.hosts[h] = true
+		}
+		st.inflight = f
+		st.flightMu.Unlock()
+
+		st.mRefreshes.Inc()
+		merged := make([]netip.Addr, 0, len(f.hosts))
+		for h := range f.hosts {
+			merged = append(merged, h)
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i].Less(merged[j]) })
+		res, err := coll.Collect(collector.Query{Hosts: merged}.WithContext(ctx))
+		var snap *Snapshot
+		if err != nil {
+			st.mRefreshErr.Inc()
+		} else {
+			snap = st.Apply(merged, res, st.now())
+		}
+		st.flightMu.Lock()
+		f.snap, f.err = snap, err
+		st.inflight = nil
+		st.flightMu.Unlock()
+		close(f.done)
+		return snap, err
+	}
+}
+
+// coveredBy reports whether every host is in set.
+func coveredBy(hosts []netip.Addr, set map[netip.Addr]bool) bool {
+	for _, h := range hosts {
+		if !set[h] {
+			return false
+		}
+	}
+	return true
+}

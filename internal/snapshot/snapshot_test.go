@@ -1,0 +1,283 @@
+package snapshot
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/topology"
+)
+
+func a(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// dumbbell builds the standard two-site test graph.
+func dumbbell() *topology.Graph {
+	g := topology.NewGraph()
+	for _, n := range []topology.Node{
+		{ID: "10.0.1.1", Kind: topology.HostNode, Addr: "10.0.1.1"},
+		{ID: "10.0.1.2", Kind: topology.HostNode, Addr: "10.0.1.2"},
+		{ID: "10.0.2.1", Kind: topology.HostNode, Addr: "10.0.2.1"},
+		{ID: "s1", Kind: topology.SwitchNode},
+		{ID: "r1", Kind: topology.RouterNode},
+		{ID: "r2", Kind: topology.RouterNode},
+	} {
+		g.AddNode(n)
+	}
+	links := []topology.Link{
+		{From: "10.0.1.1", To: "s1", Capacity: 100e6, Latency: time.Millisecond},
+		{From: "10.0.1.2", To: "s1", Capacity: 100e6, Latency: time.Millisecond},
+		{From: "s1", To: "r1", Capacity: 100e6, Latency: time.Millisecond},
+		{From: "r1", To: "r2", Capacity: 10e6, UtilFromTo: 4e6, Latency: 10 * time.Millisecond},
+		{From: "r2", To: "10.0.2.1", Capacity: 100e6, Latency: time.Millisecond},
+	}
+	for _, l := range links {
+		if _, err := g.AddLink(l); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// clock is a settable test clock.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *clock { return &clock{t: time.Unix(1000, 0)} }
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+var testHosts = []netip.Addr{a("10.0.1.1"), a("10.0.1.2"), a("10.0.2.1")}
+
+func TestApplyAdvancesEpochAndFreshness(t *testing.T) {
+	ck := newClock()
+	st := New(Config{Now: ck.Now})
+	if st.Current() != nil {
+		t.Fatal("empty store has a current snapshot")
+	}
+	if st.Fresh(testHosts, time.Second) != nil {
+		t.Fatal("empty store reported fresh")
+	}
+	s1 := st.Apply(testHosts, &collector.Result{Graph: dumbbell()}, ck.Now())
+	if s1.Epoch() != 1 {
+		t.Fatalf("first epoch = %d", s1.Epoch())
+	}
+	if st.Fresh(testHosts, time.Second) != s1 {
+		t.Fatal("fresh snapshot not returned")
+	}
+	if got := s1.NodeID(a("10.0.1.1")); got != "10.0.1.1" {
+		t.Fatalf("NodeID = %q", got)
+	}
+	// A host never applied is never fresh.
+	if st.Fresh([]netip.Addr{a("10.0.9.9")}, time.Second) != nil {
+		t.Fatal("unknown host reported fresh")
+	}
+	// Staleness: advance past the bound.
+	ck.Advance(2 * time.Second)
+	if st.Fresh(testHosts, time.Second) != nil {
+		t.Fatal("stale snapshot reported fresh")
+	}
+	// A new apply refreshes the stamps and bumps the epoch.
+	s2 := st.Apply(testHosts, &collector.Result{Graph: dumbbell()}, ck.Now())
+	if s2.Epoch() != 2 {
+		t.Fatalf("second epoch = %d", s2.Epoch())
+	}
+	if st.Fresh(testHosts, time.Second) != s2 {
+		t.Fatal("refreshed snapshot not fresh")
+	}
+}
+
+func TestApplyUpdatesReadingsLatestWins(t *testing.T) {
+	ck := newClock()
+	st := New(Config{Now: ck.Now})
+	st.Apply(testHosts, &collector.Result{Graph: dumbbell()}, ck.Now())
+	// Second poll reports the WAN hotter.
+	g2 := dumbbell()
+	g2.FindLink("r1", "r2").UtilFromTo = 8e6
+	s := st.Apply(testHosts, &collector.Result{Graph: g2}, ck.Now())
+	if got := s.Graph().FindLink("r1", "r2").UtilFromTo; got != 8e6 {
+		t.Fatalf("merged WAN util = %g, want latest-wins 8e6", got)
+	}
+}
+
+func TestSubgraphMemoizedPerEpochAndEvicted(t *testing.T) {
+	ck := newClock()
+	st := New(Config{Now: ck.Now})
+	s1 := st.Apply(testHosts, &collector.Result{Graph: dumbbell()}, ck.Now())
+	ids := []string{"10.0.1.1", "10.0.2.1"}
+	g1, err := st.Subgraph(s1, ids, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Node("10.0.1.2") != nil || g1.Node("s1") != nil {
+		t.Fatal("subgraph not simplified")
+	}
+	if len(st.subs) != 1 {
+		t.Fatalf("memo holds %d entries, want 1", len(st.subs))
+	}
+	// The hit returns a private clone: mutating it must not poison the memo.
+	g1.FindLink("10.0.1.1", "r1").Capacity = 1
+	g2, err := st.Subgraph(s1, ids, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.FindLink("10.0.1.1", "r1").Capacity == 1 {
+		t.Fatal("caller mutation reached the memo")
+	}
+	// Epoch swap evicts the superseded memo family.
+	st.Apply(testHosts, &collector.Result{Graph: dumbbell()}, ck.Now())
+	if len(st.subs) != 0 {
+		t.Fatalf("memo holds %d entries after swap, want 0", len(st.subs))
+	}
+}
+
+// gateColl counts collects and optionally blocks them on a gate.
+type gateColl struct {
+	mu      sync.Mutex
+	calls   int
+	queries []collector.Query
+	gate    chan struct{}
+	started chan struct{} // closed on first collect
+	once    sync.Once
+}
+
+func (g *gateColl) Name() string { return "gate" }
+func (g *gateColl) Collect(q collector.Query) (*collector.Result, error) {
+	g.mu.Lock()
+	g.calls++
+	g.queries = append(g.queries, q)
+	g.mu.Unlock()
+	if g.started != nil {
+		g.once.Do(func() { close(g.started) })
+	}
+	if g.gate != nil {
+		<-g.gate
+	}
+	return &collector.Result{Graph: dumbbell()}, nil
+}
+
+func TestRefreshCoalescesConcurrentColdQueries(t *testing.T) {
+	ck := newClock()
+	st := New(Config{Now: ck.Now})
+	gc := &gateColl{gate: make(chan struct{}), started: make(chan struct{})}
+	const n = 8
+	var wg sync.WaitGroup
+	snaps := make([]*Snapshot, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snaps[i], errs[i] = st.Refresh(context.Background(), gc, testHosts)
+		}(i)
+	}
+	// Wait until the leader is inside Collect, give the waiters time to
+	// park on the flight, then release the walk.
+	<-gc.started
+	time.Sleep(50 * time.Millisecond)
+	close(gc.gate)
+	wg.Wait()
+	if gc.calls != 1 {
+		t.Fatalf("%d concurrent cold queries ran %d collector walks, want 1", n, gc.calls)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		if snaps[i] == nil || snaps[i].Epoch() != 1 {
+			t.Fatalf("waiter %d got snapshot %+v", i, snaps[i])
+		}
+	}
+}
+
+func TestRefreshMergesUncoveredIntoNextWalk(t *testing.T) {
+	ck := newClock()
+	st := New(Config{Now: ck.Now})
+	gc := &gateColl{gate: make(chan struct{}, 1), started: make(chan struct{})}
+
+	aHosts := []netip.Addr{a("10.0.1.1")}
+	bHosts := []netip.Addr{a("10.0.2.1")}
+	done1 := make(chan error, 1)
+	go func() {
+		_, err := st.Refresh(context.Background(), gc, aHosts)
+		done1 <- err
+	}()
+	<-gc.started
+	// B's hosts are not covered by the in-flight walk: it must merge into
+	// the next one rather than join.
+	done2 := make(chan error, 1)
+	go func() {
+		_, err := st.Refresh(context.Background(), gc, bHosts)
+		done2 <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	gc.gate <- struct{}{} // release walk 1
+	gc.gate <- struct{}{} // release walk 2
+	if err := <-done1; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if gc.calls != 2 {
+		t.Fatalf("ran %d walks, want 2", gc.calls)
+	}
+	second := gc.queries[1].Hosts
+	found := false
+	for _, h := range second {
+		if h == bHosts[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("second walk %v does not cover the merged host %v", second, bHosts[0])
+	}
+}
+
+func TestRefreshWaiterHonorsContext(t *testing.T) {
+	ck := newClock()
+	st := New(Config{Now: ck.Now})
+	gc := &gateColl{gate: make(chan struct{}), started: make(chan struct{})}
+	go st.Refresh(context.Background(), gc, testHosts)
+	<-gc.started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := st.Refresh(ctx, gc, testHosts); err == nil {
+		t.Fatal("canceled waiter returned no error")
+	}
+	close(gc.gate)
+}
+
+func TestRefreshErrorShared(t *testing.T) {
+	ck := newClock()
+	st := New(Config{Now: ck.Now})
+	fail := &failColl{}
+	if _, err := st.Refresh(context.Background(), fail, testHosts); err == nil {
+		t.Fatal("collector failure swallowed")
+	}
+	if st.Current() != nil {
+		t.Fatal("failed walk produced a snapshot")
+	}
+}
+
+type failColl struct{}
+
+func (failColl) Name() string { return "fail" }
+func (failColl) Collect(collector.Query) (*collector.Result, error) {
+	return nil, fmt.Errorf("down")
+}

@@ -1,0 +1,173 @@
+package topology
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"remos/internal/rerr"
+)
+
+// TestPathIndexMatchesGraph pins the snapshot plane's core equivalence:
+// PathIndex answers (paths, bottlenecks, max-min allocations over the
+// reduced capacity vector) are identical to the whole-graph calculation
+// on random topologies.
+func TestPathIndexMatchesGraph(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x1dec5))
+		g, hosts := randomTree(rng)
+		px := NewPathIndex(g)
+		// All-pairs single answers.
+		for i := 0; i < len(hosts); i++ {
+			for j := 0; j < len(hosts); j++ {
+				if i == j {
+					continue
+				}
+				a, b := hosts[i], hosts[j]
+				wantPath, err1 := g.Path(a, b)
+				gotPath, err2 := px.Path(a, b)
+				if err1 != nil || err2 != nil {
+					t.Logf("path errors: %v / %v", err1, err2)
+					return false
+				}
+				if len(wantPath) != len(gotPath) {
+					t.Logf("path %s->%s: %v vs %v", a, b, wantPath, gotPath)
+					return false
+				}
+				wantBw, _, err1 := g.BottleneckAvail(a, b)
+				gotBw, _, err2 := px.BottleneckAvail(a, b)
+				if err1 != nil || err2 != nil || math.Abs(wantBw-gotBw) > 1e-6*math.Max(1, wantBw) {
+					t.Logf("bottleneck %s->%s: %v vs %v (%v/%v)", a, b, wantBw, gotBw, err1, err2)
+					return false
+				}
+			}
+		}
+		// A batched flow query: reduced-vector max-min must equal the
+		// whole-graph allocation.
+		nFlows := 2 + rng.Intn(4)
+		reqs := make([]FlowRequest, nFlows)
+		for i := range reqs {
+			src := hosts[rng.Intn(len(hosts))]
+			dst := hosts[rng.Intn(len(hosts))]
+			for dst == src {
+				dst = hosts[rng.Intn(len(hosts))]
+			}
+			var demand float64
+			if rng.Intn(2) == 0 {
+				demand = float64(1+rng.Intn(50)) * 1e6
+			}
+			reqs[i] = FlowRequest{Src: src, Dst: dst, Demand: demand}
+		}
+		want, err1 := g.FlowAlloc(reqs)
+		got, err2 := px.FlowAlloc(reqs)
+		if err1 != nil || err2 != nil {
+			t.Logf("alloc errors: %v / %v", err1, err2)
+			return false
+		}
+		for i := range want {
+			if math.Abs(want[i].Available-got[i].Available) > 1e-6*math.Max(1, want[i].Available) {
+				t.Logf("flow %d: available %v vs %v", i, want[i].Available, got[i].Available)
+				return false
+			}
+			if want[i].Latency != got[i].Latency || len(want[i].Path) != len(got[i].Path) {
+				t.Logf("flow %d: latency/path %v %v vs %v %v",
+					i, want[i].Latency, want[i].Path, got[i].Latency, got[i].Path)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pathIndexFixture() *PathIndex {
+	g := NewGraph()
+	for _, n := range []Node{
+		{ID: "h1", Kind: HostNode}, {ID: "h2", Kind: HostNode},
+		{ID: "r1", Kind: RouterNode},
+		{ID: "island", Kind: HostNode}, // no links: unreachable
+	} {
+		g.AddNode(n)
+	}
+	g.AddLink(Link{From: "h1", To: "r1", Capacity: 100e6})
+	g.AddLink(Link{From: "r1", To: "h2", Capacity: 10e6, UtilFromTo: 4e6})
+	return NewPathIndex(g)
+}
+
+func TestPathIndexUnknownHost(t *testing.T) {
+	px := pathIndexFixture()
+	if _, err := px.Path("ghost", "h2"); !errors.Is(err, rerr.ErrUnknownHost) {
+		t.Fatalf("unknown source err = %v, want ErrUnknownHost", err)
+	}
+	if _, err := px.Path("h1", "ghost"); !errors.Is(err, rerr.ErrUnknownHost) {
+		t.Fatalf("unknown destination err = %v, want ErrUnknownHost", err)
+	}
+	if _, err := px.FlowAlloc([]FlowRequest{{Src: "h1", Dst: "ghost"}}); !errors.Is(err, rerr.ErrUnknownHost) {
+		t.Fatalf("FlowAlloc unknown host err = %v, want ErrUnknownHost", err)
+	}
+}
+
+func TestPathIndexNoRoute(t *testing.T) {
+	px := pathIndexFixture()
+	if _, err := px.Path("h1", "island"); !errors.Is(err, rerr.ErrNoRoute) {
+		t.Fatalf("unreachable err = %v, want ErrNoRoute", err)
+	}
+	if _, _, err := px.BottleneckAvail("island", "h2"); !errors.Is(err, rerr.ErrNoRoute) {
+		t.Fatalf("unreachable bottleneck err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestPathIndexSameEndpoint(t *testing.T) {
+	px := pathIndexFixture()
+	p, err := px.Path("h1", "h1")
+	if err != nil || len(p) != 1 || p[0] != "h1" {
+		t.Fatalf("self path = %v err = %v", p, err)
+	}
+	// A self flow crosses no links: elastic means unbounded, like the
+	// whole-graph calculation.
+	preds, err := px.FlowAlloc([]FlowRequest{{Src: "h1", Dst: "h1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPreds, err := px.Graph().FlowAlloc([]FlowRequest{{Src: "h1", Dst: "h1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(preds[0].Available, 1) || preds[0].Available != wantPreds[0].Available {
+		t.Fatalf("self flow available = %v, graph says %v", preds[0].Available, wantPreds[0].Available)
+	}
+}
+
+// TestPathIndexConcurrentUse exercises the tree memo under concurrent
+// readers (meaningful under -race).
+func TestPathIndexConcurrentUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, hosts := randomTree(rng)
+	px := NewPathIndex(g)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				src := hosts[(w+i)%len(hosts)]
+				dst := hosts[(w+i+1)%len(hosts)]
+				if _, err := px.FlowAlloc([]FlowRequest{{Src: src, Dst: dst}}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

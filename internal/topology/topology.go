@@ -209,6 +209,39 @@ func (g *Graph) Merge(other *Graph) {
 	}
 }
 
+// Update folds a fresher partial measurement into g: nodes are united by
+// ID with other's attributes winning, and duplicate links take other's
+// readings outright. Where Merge resolves concurrent measurements of the
+// same link by keeping the larger utilization, Update is for snapshot
+// maintenance — other is a newer poll of the same region, so latest wins.
+func (g *Graph) Update(other *Graph) {
+	for _, n := range other.nodes {
+		if exist := g.nodes[n.ID]; exist != nil {
+			exist.Kind = n.Kind
+			if n.Addr != "" {
+				exist.Addr = n.Addr
+			}
+			continue
+		}
+		g.AddNode(*n)
+	}
+	for _, l := range other.links {
+		if exist := g.FindLink(l.From, l.To); exist != nil {
+			a, b := l.UtilFromTo, l.UtilToFrom
+			if exist.From != l.From {
+				a, b = b, a
+			}
+			exist.UtilFromTo = a
+			exist.UtilToFrom = b
+			exist.Capacity = l.Capacity
+			exist.Latency = l.Latency
+			exist.Jitter = l.Jitter
+			continue
+		}
+		g.AddLink(*l)
+	}
+}
+
 // Clone returns a deep copy.
 func (g *Graph) Clone() *Graph {
 	// Copies sit on the warm-query serving path (every cache hit clones),
