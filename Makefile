@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race verify fuzz-smoke obs-smoke watch-smoke bench bench-concurrency bench-snmp bench-json bench-serve bench-scale bench-baseline bench-check
+.PHONY: build test vet lint race verify fuzz-smoke obs-smoke watch-smoke bench bench-concurrency bench-snmp bench-json bench-serve bench-shed bench-scale bench-baseline bench-check
 
 build:
 	$(GO) build ./...
@@ -84,11 +84,19 @@ bench-serve:
 bench-scale:
 	$(GO) run ./cmd/remosbench -json scale
 
+# The load-shedding benchmark: well-behaved interactive tenants measured
+# with and without a fleet of misbehaving batch clients hammering far
+# over their token budget. Fails structurally if any misbehaving request
+# ends in anything but admission or a typed retry-hinted shed.
+bench-shed:
+	$(GO) run ./cmd/remosbench -json shed
+
 # Refresh the committed baselines deliberately — run on a quiet machine
 # and commit the new records together with the change that moved them.
 bench-baseline:
 	$(GO) run ./cmd/remosbench -json -maxn 40 fig3
 	$(GO) run ./cmd/remosbench -json serve
+	$(GO) run ./cmd/remosbench -json shed
 	$(GO) run ./cmd/remosbench -json scale
 
 # The benchmark regression gate: regenerate both records into .benchfresh/
@@ -100,7 +108,9 @@ bench-check:
 	@mkdir -p .benchfresh
 	$(GO) run ./cmd/remosbench -json -outdir .benchfresh -maxn 40 fig3
 	$(GO) run ./cmd/remosbench -json -outdir .benchfresh serve
+	$(GO) run ./cmd/remosbench -json -outdir .benchfresh shed
 	$(GO) run ./cmd/remosbench -json -outdir .benchfresh scale
 	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_fig3.json .benchfresh/BENCH_fig3.json
 	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_serve.json .benchfresh/BENCH_serve.json
+	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_shed.json .benchfresh/BENCH_shed.json
 	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_scale.json .benchfresh/BENCH_scale.json

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	remosbench [flags] {fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|fig10|fig11|serve|scale|all}
+//	remosbench [flags] {fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|fig10|fig11|serve|shed|scale|all}
 //
 // Flags:
 //
@@ -18,6 +18,8 @@
 //	-scale-leaves N  scale-bench leaf pods (0 = default 100)
 //	-scale-hosts N   scale-bench hosts per leaf (0 = default 100;
 //	            CI shrinks both to keep the fabric small)
+//	-shed-bad N      shed-bench misbehaving clients (default 8)
+//	-shed-phase D    shed-bench measured phase duration (default 1s)
 //	-json       additionally write BENCH_<name>.json per experiment
 //	            (the internal/benchfmt record format the bench-check
 //	            gate compares)
@@ -65,6 +67,8 @@ func main() {
 	queries := flag.Int("queries", 800, "serve-bench total queries")
 	scaleLeaves := flag.Int("scale-leaves", 0, "scale-bench leaf pods (0 = default)")
 	scaleHosts := flag.Int("scale-hosts", 0, "scale-bench hosts per leaf (0 = default)")
+	shedBad := flag.Int("shed-bad", 0, "shed-bench misbehaving clients (0 = default 8)")
+	shedPhase := flag.Duration("shed-phase", 0, "shed-bench measured phase duration (0 = default 1s)")
 	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json per experiment")
 	outDir := flag.String("outdir", ".", "directory for the JSON records")
 	stampFlag := flag.String("timestamp", "", "RFC 3339 timestamp for the JSON records (default: now)")
@@ -190,6 +194,30 @@ func main() {
 			}
 			return nil
 		},
+		"shed": func() error {
+			res, err := servebench.RunShed(servebench.ShedConfig{
+				Bad:           *shedBad,
+				PhaseDuration: *shedPhase,
+				Seed:          *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Load-shedding benchmark: %d good clients vs %d misbehaving clients\n",
+				res.Good, res.Bad)
+			fmt.Printf("  %10v good p50   %10v good p99   (uncontended baseline)\n",
+				res.BaselineP50.Round(time.Microsecond), res.BaselineP99.Round(time.Microsecond))
+			fmt.Printf("  %10v good p50   %10v good p99   (under misbehaving load)\n",
+				res.ContendedP50.Round(time.Microsecond), res.ContendedP99.Round(time.Microsecond))
+			fmt.Printf("  %10.3f p99 ratio (contended/baseline)\n", res.P99Ratio)
+			fmt.Printf("  %10.0f good queries/sec contended (%d queries)\n", res.GoodQPS, res.GoodQueries)
+			fmt.Printf("  %10d misbehaving attempts: %d admitted, %d shed typed (%d retry-hinted), 0 dropped\n",
+				res.BadAttempts, res.BadAdmitted, res.BadShed, res.RetryHinted)
+			if *jsonOut {
+				return benchfmt.WriteFile(filepath.Join(*outDir, "BENCH_shed.json"), res.Record(stamp))
+			}
+			return nil
+		},
 		"scale": func() error {
 			res, err := servebench.RunScale(servebench.ScaleConfig{
 				Leaves:       *scaleLeaves,
@@ -213,7 +241,7 @@ func main() {
 		},
 	}
 
-	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "fig10", "fig11", "serve", "scale"}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "fig10", "fig11", "serve", "shed", "scale"}
 	run := func(name string) {
 		fn, ok := cmds[name]
 		if !ok {
@@ -227,8 +255,8 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("[%s regenerated in %v]\n\n", name, elapsed.Round(time.Millisecond))
-		// serve and scale write their own richer records above.
-		if *jsonOut && name != "serve" && name != "scale" {
+		// serve, shed and scale write their own richer records above.
+		if *jsonOut && name != "serve" && name != "shed" && name != "scale" {
 			if err := writeBenchJSON(*outDir, name, elapsed, stamp); err != nil {
 				fmt.Fprintf(os.Stderr, "remosbench: %s: %v\n", name, err)
 				os.Exit(1)

@@ -16,7 +16,7 @@
 //	load <host> [horizon]       current and predicted CPU load (needs -hostload)
 //	watch <src> <dst> [below <Mbit/s>] [above <Mbit/s>] [change <frac>]
 //	                            stream server-pushed bandwidth updates
-//	stats [metrics|health|queries]    remosd observability plane (needs -obs)
+//	stats [metrics|health|queries|tenants]    remosd observability plane (needs -obs)
 //
 // watch subscribes to remosd's continuous-collection plane and prints
 // every pushed update. With no predicate it defaults to "change 0.05"
@@ -51,6 +51,8 @@ func main() {
 	raw := flag.Bool("raw", false, "topology: skip simplification")
 	predictFlows := flag.Bool("predicted", false, "flows: include RPS prediction")
 	count := flag.Int("count", 0, "watch: exit after this many non-baseline updates (0 = stream until interrupted)")
+	serverFlows := flag.Bool("server-flows", true,
+		"delegate flow/bw queries to the daemon's snapshot-backed FLOWS verb; false fetches the graph and computes client-side")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
@@ -59,6 +61,13 @@ func main() {
 
 	die := func(err error) {
 		fmt.Fprintf(os.Stderr, "remosctl: %v\n", err)
+		// A shed request carries the admission layer's backoff hint;
+		// surface it so scripts (and humans) retry at the right time.
+		if errors.Is(err, remos.ErrOverloaded) {
+			if d, ok := remos.RetryAfter(err); ok {
+				fmt.Fprintf(os.Stderr, "remosctl: server overloaded; retry in %v\n", d)
+			}
+		}
 		os.Exit(1)
 	}
 
@@ -80,7 +89,10 @@ func main() {
 	// Server-side flow answers: the daemon solves flow (and bw) queries
 	// from its snapshot plane instead of shipping the graph here; old
 	// daemons without the FLOWS verb fall back transparently.
-	opts := []remos.Option{remos.WithServerFlows()}
+	var opts []remos.Option
+	if *serverFlows {
+		opts = append(opts, remos.WithServerFlows())
+	}
 	target := "tcp://" + *server
 	if *xml != "" {
 		target = *xml
@@ -322,9 +334,15 @@ func stats(ctx context.Context, base string, args []string) error {
 		}
 		os.Stdout.Write(body)
 		return nil
+	case "tenants":
+		body, err := fetch("/debug/tenants")
+		if err != nil {
+			return err
+		}
+		return printTenants(body)
 	case "":
 	default:
-		return fmt.Errorf("unknown stats subcommand %q (want metrics, health or queries)", which)
+		return fmt.Errorf("unknown stats subcommand %q (want metrics, health, queries or tenants)", which)
 	}
 
 	// Summary view.
@@ -378,10 +396,20 @@ func stats(ctx context.Context, base string, args []string) error {
 			strings.HasPrefix(line, "remos_qcache_") ||
 			strings.HasPrefix(line, "remos_sched_") ||
 			strings.HasPrefix(line, "remos_watch_") ||
+			strings.HasPrefix(line, "remos_admission_") ||
 			strings.HasPrefix(line, "remos_snmp_exchanges_total") ||
 			strings.HasPrefix(line, "remos_snmp_timeouts_total") ||
 			strings.HasPrefix(line, "remos_master_queries_total") {
 			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	// Per-tenant admission state; daemons without the admission layer
+	// (or older ones without the endpoint) simply omit the section.
+	if body, err := fetch("/debug/tenants"); err == nil {
+		fmt.Println("\ntenants:")
+		if err := printTenants(body); err != nil {
+			return err
 		}
 	}
 
@@ -413,6 +441,52 @@ func stats(ctx context.Context, base string, args []string) error {
 			flags += "  err=" + q.Err
 		}
 		fmt.Printf("  %-10s %-30s %v%s\n", q.Kind, q.Attrs, q.Dur.Round(time.Microsecond), flags)
+	}
+	return nil
+}
+
+// printTenants renders /debug/tenants: one line per tenant with its
+// bucket level, live usage, and lifetime admitted/queued/shed counters.
+func printTenants(body []byte) error {
+	var report struct {
+		Tenants []struct {
+			Tenant        string  `json:"tenant"`
+			Tier          string  `json:"tier"`
+			Rate          float64 `json:"rate"`
+			Burst         float64 `json:"burst"`
+			Tokens        float64 `json:"tokens"`
+			InFlight      int     `json:"in_flight"`
+			MaxConcurrent int     `json:"max_concurrent"`
+			Watches       int     `json:"watches"`
+			MaxWatches    int     `json:"max_watches"`
+			Queued        int     `json:"queued"`
+			Admitted      int64   `json:"admitted"`
+			QueuedTotal   int64   `json:"queued_total"`
+			Shed          int64   `json:"shed"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		return fmt.Errorf("parsing /debug/tenants: %w", err)
+	}
+	if len(report.Tenants) == 0 {
+		fmt.Println("  (no tenants seen yet)")
+		return nil
+	}
+	lim := func(n int) string {
+		if n <= 0 {
+			return "-"
+		}
+		return strconv.Itoa(n)
+	}
+	for _, t := range report.Tenants {
+		bucket := "unmetered"
+		if t.Rate > 0 {
+			bucket = fmt.Sprintf("%.1f/%.0f tokens (rate %g/s)", t.Tokens, t.Burst, t.Rate)
+		}
+		fmt.Printf("  %-16s %-11s %-28s inflight %d/%s  watches %d/%s  queued %d  admitted %d  queued-total %d  shed %d\n",
+			t.Tenant, t.Tier, bucket,
+			t.InFlight, lim(t.MaxConcurrent), t.Watches, lim(t.MaxWatches),
+			t.Queued, t.Admitted, t.QueuedTotal, t.Shed)
 	}
 	return nil
 }

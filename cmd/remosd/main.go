@@ -10,6 +10,10 @@
 // instead (see package snmp's UDP transport and package benchcoll's
 // TCPProber).
 //
+// The command is a thin flag→option translator over the embeddable
+// remosd package; everything below is equally settable programmatically
+// via remosd.Start.
+//
 // Usage:
 //
 //	remosd [-listen :3567] [-http :3568] [-dir :3569] [-hostload :3570]
@@ -17,49 +21,115 @@
 //	       [-scenario twosite|campus] [-qcache-ttl 2s] [-parallelism 0]
 //	       [-max-varbinds 24] [-pipeline 4]
 //	       [-sched-interval 1s] [-sched-predict 'AR(16)'] [-bench-interval 0]
+//	       [-tenant id:key:rate:burst:conc:watches:tier ...]
+//	       [-anon-limits rate:burst:conc:watches] [-max-queue-wait 500ms]
 //
 // The -obs listener exposes the observability plane: /metrics
 // (Prometheus text), /healthz (per-collector liveness and last-poll
-// age) and /debug/queries (recent query traces with per-stage
-// durations). remosctl stats renders all three.
+// age), /debug/queries (recent query traces) and /debug/tenants
+// (per-tenant admission state). remosctl stats renders them.
 //
-// -sched-interval enables the continuous-collection plane: watched and
-// preseeded host pairs are measured in the background at an adaptive
-// interval, their cache entries kept warm, and WATCH subscribers (ASCII
-// verbs or HTTP server-sent events) get threshold crossings pushed.
+// -tenant (repeatable) registers one tenant with the multi-tenant
+// admission layer: a shared key, a token-bucket rate and burst, a
+// concurrent-query cap, a watch-subscription quota, and a default
+// priority tier ("interactive" or "batch"). Empty fields mean
+// unlimited (or no key), and trailing fields may be omitted:
+//
+//	remosd -tenant 'app:sekrit:50:100' -tenant 'crawler::::::batch' \
+//	       -anon-limits 5:10 -max-queue-wait 250ms
+//
+// Identified clients (remos.WithTenant) are metered against their own
+// limits; unidentified ones share the -anon-limits pool. Excess load
+// is shed with a typed overload error carrying a retry-after hint on
+// both wire protocols, never by dropping connections.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
-	"sort"
+	"strconv"
+	"strings"
 	"time"
 
-	"net"
-	"net/netip"
-
-	"remos/internal/collector"
-	"remos/internal/collector/hostcoll"
-	"remos/internal/collector/qcache"
-	"remos/internal/core"
-	"remos/internal/directory"
-	"remos/internal/hostload"
-	"remos/internal/mib"
-	"remos/internal/modeler"
-	"remos/internal/netsim"
-	"remos/internal/obs"
-	"remos/internal/proto"
-	"remos/internal/rerr"
-	"remos/internal/sched"
-	"remos/internal/sim"
-	"remos/internal/snapshot"
-	"remos/internal/snmp"
-	"remos/internal/watch"
+	"remos/remosd"
 )
+
+// tenantFlags accumulates repeated -tenant flags.
+type tenantFlags struct{ opts []remosd.Option }
+
+func (t *tenantFlags) String() string { return "" }
+
+func (t *tenantFlags) Set(v string) error {
+	id, key, lim, err := parseTenantSpec(v)
+	if err != nil {
+		return err
+	}
+	t.opts = append(t.opts, remosd.WithTenant(id, key, lim))
+	return nil
+}
+
+// parseTenantSpec parses "id:key:rate:burst:conc:watches:tier" with
+// trailing fields optional and empty fields meaning unlimited/no key.
+func parseTenantSpec(v string) (id, key string, lim remosd.Limits, err error) {
+	f := strings.Split(v, ":")
+	if f[0] == "" {
+		return "", "", lim, fmt.Errorf("tenant spec %q: empty id", v)
+	}
+	if len(f) > 7 {
+		return "", "", lim, fmt.Errorf("tenant spec %q: too many fields", v)
+	}
+	id = f[0]
+	get := func(i int) string {
+		if i < len(f) {
+			return f[i]
+		}
+		return ""
+	}
+	key = get(1)
+	num := func(i int, dst *float64) error {
+		if s := get(i); s != "" {
+			x, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return fmt.Errorf("tenant spec %q: field %d: %v", v, i, err)
+			}
+			*dst = x
+		}
+		return nil
+	}
+	cnt := func(i int, dst *int) error {
+		if s := get(i); s != "" {
+			x, err := strconv.Atoi(s)
+			if err != nil {
+				return fmt.Errorf("tenant spec %q: field %d: %v", v, i, err)
+			}
+			*dst = x
+		}
+		return nil
+	}
+	if err := num(2, &lim.Rate); err != nil {
+		return "", "", lim, err
+	}
+	if err := num(3, &lim.Burst); err != nil {
+		return "", "", lim, err
+	}
+	if err := cnt(4, &lim.MaxConcurrent); err != nil {
+		return "", "", lim, err
+	}
+	if err := cnt(5, &lim.MaxWatches); err != nil {
+		return "", "", lim, err
+	}
+	lim.Priority = get(6)
+	return id, key, lim, nil
+}
+
+// parseAnonSpec parses -anon-limits "rate:burst:conc:watches".
+func parseAnonSpec(v string) (remosd.Limits, error) {
+	_, _, lim, err := parseTenantSpec("anonymous::" + v)
+	return lim, err
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:3567", "ASCII protocol listen address")
@@ -76,7 +146,7 @@ func main() {
 	pipeline := flag.Int("pipeline", 4,
 		"SNMP requests kept outstanding per agent; 1 = classic lock-step exchanges")
 	obsAddr := flag.String("obs", "127.0.0.1:3571",
-		"observability listen address for /metrics, /healthz and /debug/queries ('' disables)")
+		"observability listen address for /metrics, /healthz, /debug/queries and /debug/tenants ('' disables)")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond,
 		"queries at least this slow are flagged in /debug/queries")
 	schedIval := flag.Duration("sched-interval", time.Second,
@@ -89,311 +159,54 @@ func main() {
 		"maintain the versioned topology snapshot plane from background polls and answer FLOWS/flow queries from it (zero collector round-trips while fresh)")
 	snapStale := flag.Duration("snapshot-stale", 5*time.Second,
 		"staleness bound for snapshot-backed answers; older generations fall back to a coalesced collector walk")
+	var tenants tenantFlags
+	flag.Var(&tenants, "tenant",
+		"register one admission tenant as id:key:rate:burst:conc:watches:tier (repeatable; empty fields unlimited)")
+	anonSpec := flag.String("anon-limits", "",
+		"admission limits for unidentified connections as rate:burst:conc:watches ('' = unlimited)")
+	maxQueueWait := flag.Duration("max-queue-wait", 0,
+		"bound on admission queueing before a request is shed (0 = admission default)")
 	flag.Parse()
 
-	reg := obs.New()
-	traces := obs.NewRing(128, *slowQuery)
-
-	s := sim.NewSim()
-	dep, hosts, err := buildScenario(s, *scenario, *benchIval, core.Options{
-		Parallelism: *parallelism,
-		MaxVarBinds: *maxVarBinds,
-		Pipeline:    *pipeline,
-		Obs:         reg,
-	})
-	if err != nil {
-		log.Fatalf("remosd: %v", err)
+	opts := []remosd.Option{
+		remosd.WithListen(*listen),
+		remosd.WithHTTP(*httpAddr),
+		remosd.WithDirectory(*dirAddr),
+		remosd.WithHostLoad(*loadAddr),
+		remosd.WithObs(*obsAddr),
+		remosd.WithScenario(*scenario),
+		remosd.WithQueryCacheTTL(*qcacheTTL),
+		remosd.WithCollectorTuning(*parallelism, *maxVarBinds, *pipeline),
+		remosd.WithSlowQuery(*slowQuery),
+		remosd.WithScheduler(*schedIval, *schedPredict),
+		remosd.WithBenchInterval(*benchIval),
+		remosd.WithLogf(log.Printf),
 	}
-	defer dep.Stop()
-	if err := dep.MeasureAllBenchmarks(); err != nil {
-		log.Printf("remosd: initial benchmarks: %v", err)
-	}
-
-	// The served collector: the first site's Master behind the warm-query
-	// cache, so repeated and concurrent identical queries answer from
-	// cached state instead of re-walking the network.
-	master := dep.Sites[firstSite(dep)].Master
-	queryable := qcache.New(master, qcache.Config{TTL: *qcacheTTL, Obs: reg})
-	log.Printf("remosd: warm-query cache TTL %v, parallelism %d (0=GOMAXPROCS), max-varbinds %d, pipeline %d",
-		*qcacheTTL, *parallelism, *maxVarBinds, *pipeline)
-	// Continuous-collection plane: a background scheduler keeps watched
-	// (and preseeded) host pairs freshly measured through the cache, and
-	// the watch registry pushes threshold crossings to subscribers over
-	// both wire protocols.
-	// Snapshot plane: every scheduler poll advances the current topology
-	// generation, and the server-side Modeler (the FLOWS verb and POST
-	// /flows) answers from it while fresh — no walk, no graph shipping.
-	var snapStore *snapshot.Store
 	if *snapOn {
-		snapStore = snapshot.New(snapshot.Config{Now: s.Now, Obs: reg})
-		log.Printf("remosd: snapshot plane on (staleness bound %v)", *snapStale)
+		opts = append(opts, remosd.WithSnapshotStaleness(*snapStale))
+	} else {
+		opts = append(opts, remosd.WithoutSnapshot())
 	}
-	var watchReg *watch.Registry
-	if *schedIval > 0 {
-		maxIval := 8 * *schedIval
-		if *qcacheTTL > 0 && *qcacheTTL < maxIval {
-			// Keep the adaptive interval inside the cache's staleness
-			// bound so scheduler-covered queries stay warm.
-			maxIval = *qcacheTTL
-		}
-		var plane *sched.Scheduler
-		watchReg = watch.New(watch.Config{
-			Obs:           reg,
-			Now:           s.Now,
-			EnsureTarget:  func(h []netip.Addr) { plane.AddTarget(h) },
-			ReleaseTarget: func(h []netip.Addr) { plane.RemoveTarget(h) },
-		})
-		plane, err = sched.New(sched.Config{
-			Collector: queryable,
-			Invalidate: func(h []netip.Addr) {
-				queryable.Invalidate(qcache.Key(collector.Query{Hosts: h}))
-			},
-			Sched:        s,
-			BaseInterval: *schedIval,
-			MaxInterval:  maxIval,
-			Predict:      *schedPredict,
-			OnResult: func(_ []netip.Addr, res *collector.Result) {
-				watchReg.Evaluate(res)
-			},
-			Snapshot: snapStore,
-			Obs:      reg,
-		})
+	opts = append(opts, tenants.opts...)
+	if *anonSpec != "" {
+		lim, err := parseAnonSpec(*anonSpec)
 		if err != nil {
-			log.Fatalf("remosd: scheduler: %v", err)
+			log.Fatalf("remosd: -anon-limits: %v", err)
 		}
-		defer plane.Stop()
-		defer watchReg.Close(rerr.Tagf(rerr.ErrCollectorUnavailable, "remosd shutting down"))
-		// Preseed the demo pairs so their queries answer warm from the
-		// first client on; watches add and remove their own targets.
-		if len(hosts) >= 2 && len(hosts) <= 8 {
-			for _, h := range hosts[1:] {
-				plane.AddTarget([]netip.Addr{hosts[0].Addr(), h.Addr()})
-			}
-		}
-		log.Printf("remosd: background scheduler on (base %v, max %v, predict %q); watch plane enabled",
-			*schedIval, maxIval, *schedPredict)
+		opts = append(opts, remosd.WithAnonymousLimits(lim))
 	}
-	// The server-side Modeler behind the FLOWS verb: snapshot-backed
-	// when the plane is on, collector-backed (through the cache)
-	// otherwise.
-	mdl := modeler.New(modeler.Config{
-		Collector: queryable, Snapshot: snapStore, MaxStale: *snapStale,
-		Obs: reg, Traces: traces,
-	})
-	tcpSrv := &proto.TCPServer{Collector: queryable, Watch: watchReg, Flows: mdl, Obs: reg, Traces: traces}
-	addr, err := tcpSrv.ListenAndServe(*listen)
-	if err != nil {
-		log.Fatalf("remosd: listen: %v", err)
-	}
-	defer tcpSrv.Close()
-	log.Printf("remosd: ASCII protocol on %s", addr)
-	if *httpAddr != "" {
-		httpSrv := &proto.HTTPServer{Collector: queryable, Watch: watchReg, Flows: mdl, Obs: reg, Traces: traces}
-		haddr, err := httpSrv.ListenAndServe(*httpAddr)
-		if err != nil {
-			log.Fatalf("remosd: http listen: %v", err)
-		}
-		defer httpSrv.Close()
-		log.Printf("remosd: XML protocol on http://%s", haddr)
-	}
-	if *loadAddr != "" {
-		// Host load: attach synthetic load signals to the demo hosts,
-		// run a host load collector at 1 Hz, and serve it over the
-		// ASCII protocol (remosctl load / ConnectTCPWithHostLoad).
-		var managed []netip.Addr
-		for i, h := range hosts {
-			gen := hostload.NewGenerator(hostload.Config{Seed: int64(100 + i)})
-			h.SetLoadSource(gen.Next)
-			h.SNMP.Reachable = true
-			managed = append(managed, h.Addr())
-		}
-		mib.AttachAll(dep.Net, dep.Registry) // re-attach: hosts now reachable
-		hc := hostcoll.New(hostcoll.Config{
-			Client:        snmp.NewClient(dep.Transport, "public"),
-			Sched:         s,
-			Hosts:         managed,
-			StreamPredict: "AR(16)",
-		})
-		defer hc.Stop()
-		loadSrv := &proto.TCPServer{Collector: hc}
-		laddr, err := loadSrv.ListenAndServe(*loadAddr)
-		if err != nil {
-			log.Fatalf("remosd: host load listen: %v", err)
-		}
-		defer loadSrv.Close()
-		log.Printf("remosd: host load collector on %s", laddr)
-	}
-	if *obsAddr != "" {
-		oln, err := net.Listen("tcp", *obsAddr)
-		if err != nil {
-			log.Fatalf("remosd: obs listen: %v", err)
-		}
-		defer oln.Close()
-		osrv := &http.Server{Handler: obs.Handler(reg, traces, healthFunc(dep))}
-		go osrv.Serve(oln)
-		defer osrv.Close()
-		log.Printf("remosd: observability on http://%s (/metrics /healthz /debug/queries)", oln.Addr())
-	}
-	if *dirAddr != "" && dep.Directory != nil {
-		dirSrv := &directory.Server{Service: dep.Directory}
-		daddr, err := dirSrv.ListenAndServe(*dirAddr)
-		if err != nil {
-			log.Fatalf("remosd: directory listen: %v", err)
-		}
-		defer dirSrv.Close()
-		log.Printf("remosd: directory service on %s (remote collectors may REGISTER)", daddr)
-	}
-	log.Printf("remosd: scenario %q; queryable hosts:", *scenario)
-	for _, h := range hosts {
-		log.Printf("remosd:   %-12s %s", h.Name, h.Addr())
+	if *maxQueueWait > 0 {
+		opts = append(opts, remosd.WithMaxQueueWait(*maxQueueWait))
 	}
 
-	stop := make(chan struct{})
-	go s.RunRealTime(50*time.Millisecond, stop)
+	d, err := remosd.Start(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	close(stop)
 	fmt.Println("remosd: shutting down")
-}
-
-// healthFunc reports per-collector liveness: each site's SNMP collector
-// is healthy once it has completed a poll cycle recently (within three
-// poll periods), and the Master is healthy by construction (it is a
-// pure fan-out with no background activity).
-func healthFunc(dep *core.Deployment) obs.HealthFunc {
-	return func() []obs.ComponentHealth {
-		var out []obs.ComponentHealth
-		names := make([]string, 0, len(dep.Sites))
-		for name := range dep.Sites {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			site := dep.Sites[name]
-			if site.SNMP == nil {
-				continue
-			}
-			h := obs.ComponentHealth{Component: site.SNMP.Name()}
-			last := site.SNMP.LastPoll()
-			if last.IsZero() {
-				h.Detail = "no poll cycle completed yet"
-			} else {
-				// The collector stamps poll cycles on the deployment's
-				// (simulated) clock; age them against the same clock.
-				h.LastPoll = last
-				h.LastPollAge = dep.Sim.Now().Sub(last)
-				if h.LastPollAge <= 3*site.SNMP.PollInterval() {
-					h.Healthy = true
-				} else {
-					h.Detail = fmt.Sprintf("last poll %v ago (interval %v)",
-						h.LastPollAge.Round(time.Millisecond), site.SNMP.PollInterval())
-				}
-			}
-			out = append(out, h)
-			if site.Master != nil {
-				out = append(out, obs.ComponentHealth{
-					Component: site.Master.Name(), Healthy: true,
-				})
-			}
-		}
-		return out
-	}
-}
-
-func firstSite(dep *core.Deployment) string {
-	names := make([]string, 0, len(dep.Sites))
-	for name := range dep.Sites {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		return ""
-	}
-	return names[0]
-}
-
-// buildScenario wires one of the demo networks. benchIval is the
-// wide-area benchmark round interval (0 = benchcoll's default): the
-// inter-site hop is measured by benchmarks, not SNMP, so it bounds how
-// fresh WAN availability — and every watch predicate over it — can be.
-func buildScenario(s *sim.Sim, name string, benchIval time.Duration, opts core.Options) (*core.Deployment, []*netsim.Device, error) {
-	n := netsim.New(s)
-	switch name {
-	case "twosite":
-		app1 := n.AddHost("app1")
-		app2 := n.AddHost("app2")
-		benchA := n.AddHost("bench-a")
-		benchB := n.AddHost("bench-b")
-		srv := n.AddHost("srv")
-		swA := n.AddSwitch("swA")
-		swB := n.AddSwitch("swB")
-		rA := n.AddRouter("rA")
-		rB := n.AddRouter("rB")
-		n.Connect(app1, swA, 100e6, time.Millisecond)
-		n.Connect(app2, swA, 100e6, time.Millisecond)
-		n.Connect(benchA, swA, 100e6, time.Millisecond)
-		n.Connect(swA, rA, 1e9, time.Millisecond)
-		n.Connect(rA, rB, 10e6, 40*time.Millisecond)
-		n.Connect(rB, swB, 1e9, time.Millisecond)
-		n.Connect(benchB, swB, 100e6, time.Millisecond)
-		n.Connect(srv, swB, 100e6, time.Millisecond)
-		n.AssignSubnets()
-		n.ComputeRoutes()
-		// Background load so measurements move.
-		noise1 := app2
-		noise2 := srv
-		dep := core.NewDeployment(s, n, opts)
-		if _, err := dep.AddSite(core.SiteSpec{
-			Name: "a", Switches: []*netsim.Device{swA}, BenchHost: benchA,
-			BenchInterval: benchIval,
-		}); err != nil {
-			return nil, nil, err
-		}
-		if _, err := dep.AddSite(core.SiteSpec{
-			Name: "b", Switches: []*netsim.Device{swB}, BenchHost: benchB,
-			BenchInterval: benchIval,
-		}); err != nil {
-			return nil, nil, err
-		}
-		if err := dep.Finish(); err != nil {
-			return nil, nil, err
-		}
-		if _, err := n.StartCrossTraffic(noise1, noise2, netsim.CrossTrafficSpec{
-			Mean: 3e6, Jitter: 0.4, Period: 2 * time.Second, Seed: 7,
-		}); err != nil {
-			return nil, nil, err
-		}
-		return dep, []*netsim.Device{app1, app2, srv, benchA, benchB}, nil
-	case "campus":
-		// A small campus: one wing per quadrant, 8 hosts each.
-		var switches []*netsim.Device
-		coreSw := n.AddSwitch("core-sw")
-		switches = append(switches, coreSw)
-		var hosts []*netsim.Device
-		for w := 0; w < 4; w++ {
-			r := n.AddRouter(fmt.Sprintf("gw%d", w))
-			n.Connect(r, coreSw, 1e9, time.Millisecond)
-			edge := n.AddSwitch(fmt.Sprintf("edge%d", w))
-			switches = append(switches, edge)
-			n.Connect(edge, r, 1e9, time.Millisecond)
-			for h := 0; h < 8; h++ {
-				host := n.AddHost(fmt.Sprintf("h%d-%d", w, h))
-				n.Connect(host, edge, 100e6, time.Millisecond)
-				hosts = append(hosts, host)
-			}
-		}
-		n.AssignSubnets()
-		n.ComputeRoutes()
-		dep := core.NewDeployment(s, n, opts)
-		if _, err := dep.AddSite(core.SiteSpec{Name: "campus", Switches: switches}); err != nil {
-			return nil, nil, err
-		}
-		if err := dep.Finish(); err != nil {
-			return nil, nil, err
-		}
-		return dep, hosts[:8], nil
-	}
-	return nil, nil, fmt.Errorf("unknown scenario %q", name)
 }

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"remos/remosd"
+)
+
+func TestParseTenantSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		id, key string
+		lim     remosd.Limits
+		bad     bool
+	}{
+		{in: "app:sekrit:50:100:8:4:interactive", id: "app", key: "sekrit",
+			lim: remosd.Limits{Rate: 50, Burst: 100, MaxConcurrent: 8, MaxWatches: 4, Priority: "interactive"}},
+		{in: "crawler::::::batch", id: "crawler", lim: remosd.Limits{Priority: "batch"}},
+		{in: "solo", id: "solo"},
+		{in: "metered::0.5:2", id: "metered", lim: remosd.Limits{Rate: 0.5, Burst: 2}},
+		{in: "", bad: true},
+		{in: ":key", bad: true},
+		{in: "x:k:notanumber", bad: true},
+		{in: "x:k:1:2:3:4:interactive:extra", bad: true},
+	}
+	for _, c := range cases {
+		id, key, lim, err := parseTenantSpec(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("parseTenantSpec(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseTenantSpec(%q): %v", c.in, err)
+			continue
+		}
+		if id != c.id || key != c.key || lim != c.lim {
+			t.Errorf("parseTenantSpec(%q) = %q, %q, %+v", c.in, id, key, lim)
+		}
+	}
+}
+
+func TestParseAnonSpec(t *testing.T) {
+	lim, err := parseAnonSpec("5:10:2:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := remosd.Limits{Rate: 5, Burst: 10, MaxConcurrent: 2, MaxWatches: 1}
+	if lim != want {
+		t.Fatalf("parseAnonSpec = %+v, want %+v", lim, want)
+	}
+}

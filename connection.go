@@ -3,7 +3,9 @@ package remos
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/netip"
+	"sync"
 
 	"remos/internal/watch"
 )
@@ -61,7 +63,12 @@ type watcher interface {
 // offers, and Watch for server-pushed updates. Build one with Connect.
 type Connection struct {
 	*Modeler
-	w watcher
+	w   watcher
+	raw io.Closer // the protocol client, when it holds a connection
+
+	mu      sync.Mutex
+	cancels []context.CancelFunc
+	closed  bool
 }
 
 // Connect is Dial returning a Connection: the same target grammar and
@@ -79,7 +86,30 @@ func Connect(target string, opts ...Option) (*Connection, error) {
 	}
 	conn := &Connection{Modeler: m}
 	conn.w, _ = raw.(watcher)
+	conn.raw, _ = raw.(io.Closer)
 	return conn, nil
+}
+
+// Close tears the connection down: every live Watch started through it
+// is cancelled — the server releases the subscriptions and the tenant's
+// watch quota — and the underlying protocol connection is dropped.
+// Update channels drain their terminal update and close as usual.
+// Close is idempotent; queries after Close redial transparently on the
+// protocols that can (ASCII), so Close is also a way to reset a
+// connection.
+func (c *Connection) Close() error {
+	c.mu.Lock()
+	cancels := c.cancels
+	c.cancels = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	if c.raw != nil {
+		return c.raw.Close()
+	}
+	return nil
 }
 
 // Watch subscribes to server-pushed updates for the pair's available
@@ -101,5 +131,21 @@ func (c *Connection) Watch(ctx context.Context, q WatchQuery, opts ...WatchOptio
 	for _, o := range opts {
 		o(&spec)
 	}
-	return c.w.Watch(ctx, spec)
+	// Track the watch so Connection.Close tears it down (releasing the
+	// server-side subscription and the tenant's quota slot).
+	wctx, cancel := context.WithCancel(ctx)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("remos: connection is closed")
+	}
+	c.cancels = append(c.cancels, cancel)
+	c.mu.Unlock()
+	ch, err := c.w.Watch(wctx, spec)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	return ch, nil
 }

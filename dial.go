@@ -39,7 +39,22 @@ type dialConfig struct {
 	obs       *obs.Registry
 	traces    *obs.Ring
 	srvFlows  bool
+	tenant    string
+	tenantKey string
+	priority  string
 }
+
+// Priority is a queue tier for the server's admission layer.
+type Priority string
+
+const (
+	// PriorityInteractive queries dispatch ahead of batch ones when the
+	// server queues under load — a human is waiting on the answer.
+	PriorityInteractive Priority = "interactive"
+	// PriorityBatch queries yield to interactive ones and absorb the
+	// queueing delay.
+	PriorityBatch Priority = "batch"
+)
 
 // Option customizes Dial.
 type Option func(*dialConfig)
@@ -78,13 +93,37 @@ func WithObservability(reg *MetricsRegistry, traces *TraceRing) Option {
 	return func(c *dialConfig) { c.obs, c.traces = reg, traces }
 }
 
+// WithTenant identifies this client to the server's multi-tenant
+// admission layer. The identity rides both wire protocols (an ASCII
+// TENANT preamble, X-Remos-Tenant headers on HTTP) and selects the
+// tenant's rate limits, concurrency caps, and watch quota; bad
+// credentials surface as ErrUnauthenticated, shed requests as
+// ErrOverloaded with a RetryAfter hint. Servers without an admission
+// layer ignore the identity, so tenant-configured clients interoperate
+// with older daemons.
+func WithTenant(id, key string) Option {
+	return func(c *dialConfig) { c.tenant, c.tenantKey = id, key }
+}
+
+// WithPriority sets the default queue tier for this client's queries
+// (PriorityInteractive or PriorityBatch). Under load, the server's
+// admission queue dispatches interactive queries first. Unset means the
+// tenant's server-configured default.
+func WithPriority(tier Priority) Option {
+	return func(c *dialConfig) { c.priority = string(tier) }
+}
+
 // clientFor maps a Dial target to a protocol client. "tcp://host:port"
 // (or a bare "host:port") speaks the ASCII protocol; "http://..." and
-// "https://..." speak the XML protocol.
-func clientFor(target string) (collector.Interface, error) {
+// "https://..." speak the XML protocol. The dial config's tenant
+// identity is stamped onto whichever client is built.
+func clientFor(target string, dc *dialConfig) (collector.Interface, error) {
 	switch {
 	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"):
-		return &proto.HTTPClient{BaseURL: strings.TrimSuffix(target, "/")}, nil
+		return &proto.HTTPClient{
+			BaseURL: strings.TrimSuffix(target, "/"),
+			Tenant:  dc.tenant, TenantKey: dc.tenantKey, Priority: dc.priority,
+		}, nil
 	case strings.HasPrefix(target, "tcp://"):
 		target = strings.TrimPrefix(target, "tcp://")
 		fallthrough
@@ -95,7 +134,10 @@ func clientFor(target string) (collector.Interface, error) {
 		if strings.Contains(target, "://") {
 			return nil, fmt.Errorf("remos: unsupported scheme in dial target %q (want tcp:// or http://)", target)
 		}
-		return &proto.TCPClient{Addr: target}, nil
+		return &proto.TCPClient{
+			Addr:   target,
+			Tenant: dc.tenant, TenantKey: dc.tenantKey, Priority: dc.priority,
+		}, nil
 	}
 }
 
@@ -124,7 +166,7 @@ func dial(target string, opts ...Option) (*Modeler, collector.Interface, error) 
 	for _, o := range opts {
 		o(&dc)
 	}
-	raw, err := clientFor(target)
+	raw, err := clientFor(target, &dc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -147,7 +189,7 @@ func dial(target string, opts ...Option) (*Modeler, collector.Interface, error) 
 		}
 	}
 	if dc.hostLoad != "" {
-		if cfg.HostLoad, err = clientFor(dc.hostLoad); err != nil {
+		if cfg.HostLoad, err = clientFor(dc.hostLoad, &dc); err != nil {
 			return nil, nil, fmt.Errorf("remos: host load target: %w", err)
 		}
 	}

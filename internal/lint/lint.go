@@ -88,14 +88,14 @@ type Policy struct {
 func DefaultPolicy() Policy {
 	return Policy{
 		Wallclock: set("netsim", "maxmin", "sched", "watch", "qcache",
-			"snmpcoll", "benchcoll", "rps", "snapshot"),
+			"snmpcoll", "benchcoll", "rps", "snapshot", "admission"),
 		ErrWrap: set("proto", "master", "remos"),
 		GoCtx: set("proto", "directory", "snmp", "sim", "sched", "watch",
-			"benchcoll", "qcache", "master"),
+			"benchcoll", "qcache", "master", "admission"),
 		PoolReturn: set("proto", "snmp"),
-		MetricSubsystems: set("bench", "bridge", "directory", "hostload",
-			"master", "modeler", "qcache", "request", "requests", "sched",
-			"snapshot", "snmp", "snmpcoll", "watch", "wireless"),
+		MetricSubsystems: set("admission", "bench", "bridge", "directory",
+			"hostload", "master", "modeler", "qcache", "request", "requests",
+			"sched", "snapshot", "snmp", "snmpcoll", "watch", "wireless"),
 	}
 }
 

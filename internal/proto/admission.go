@@ -1,0 +1,237 @@
+package proto
+
+// Tenant identification and admission on both wire protocols.
+//
+// ASCII grammar (extends the persistent-connection protocol):
+//
+//	C: TENANT <id> <key> [tier]
+//
+// The preamble is silent on success — the client pipelines it ahead of
+// its first QUERY for zero extra round trips — and answers with the
+// shared "ERR UNAUTHENTICATED msg" line (then drops the connection) on
+// bad credentials. "-" stands for an empty id or key so every token
+// stays non-empty; <tier> is "interactive" or "batch". A server without
+// an admission controller accepts any preamble silently, so tenant-
+// aware clients interoperate with older daemons.
+//
+// Shed requests answer with the shared ERR line extended by a
+// retry-after hint:
+//
+//	S: ERR OVERLOADED RETRY=<ms> message
+//
+// Old clients fold the unknown RETRY= token into the message text; new
+// clients surface it via rerr.RetryAfter.
+//
+// The XML/HTTP protocol carries the same identity as request headers
+// (X-Remos-Tenant, X-Remos-Tenant-Key, X-Remos-Priority) and sheds with
+// 429 Too Many Requests carrying both the standard Retry-After header
+// (whole seconds, rounded up) and X-Remos-Retry-After (milliseconds);
+// bad credentials are 401 with the usual X-Remos-Error-Code.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"remos/internal/admission"
+	"remos/internal/rerr"
+)
+
+// The tenant identification headers on the XML/HTTP protocol.
+const (
+	tenantHeader     = "X-Remos-Tenant"
+	tenantKeyHeader  = "X-Remos-Tenant-Key"
+	priorityHeader   = "X-Remos-Priority"
+	retryAfterHeader = "X-Remos-Retry-After" // milliseconds
+)
+
+// blankToken is the ASCII stand-in for an empty id or key.
+const blankToken = "-"
+
+func unblank(tok string) string {
+	if tok == blankToken {
+		return ""
+	}
+	return tok
+}
+
+// handleTenantLine serves one TENANT preamble on an ASCII connection,
+// resolving the connection's identity and default tier. It reports
+// whether the connection may continue. Every failure — malformed line,
+// unknown tier, bad credentials — answers with an ERR line and drops
+// the connection: the preamble pipelines ahead of the first request, so
+// keeping a connection whose preamble was answered with an error would
+// desync the request/response pairing.
+func (s *TCPServer) handleTenantLine(w io.Writer, line string, ten *admission.Tenant, tier *admission.Tier) bool {
+	f := strings.Fields(line)
+	if len(f) < 2 || len(f) > 4 {
+		writeError(w, fmt.Errorf("proto: bad tenant line %q", strings.TrimSpace(line)))
+		return false
+	}
+	id := unblank(f[1])
+	key := ""
+	if len(f) >= 3 {
+		key = unblank(f[2])
+	}
+	wireTier := ""
+	if len(f) == 4 {
+		wireTier = f[3]
+	}
+	newTier, ok := admission.ParseTier(wireTier)
+	if !ok {
+		writeError(w, fmt.Errorf("proto: unknown priority tier %q", wireTier))
+		return false
+	}
+	newTen, err := s.Admission.Authenticate(id, key)
+	if err != nil {
+		writeError(w, err)
+		return false
+	}
+	*ten, *tier = newTen, newTier
+	return true
+}
+
+// preambleLine renders the TENANT line a tenant-configured client sends
+// after every fresh dial, or "" when the client carries no identity.
+func preambleLine(tenant, key, priority string) string {
+	if tenant == "" && key == "" && priority == "" {
+		return ""
+	}
+	id, k := tenant, key
+	if id == "" {
+		id = blankToken
+	}
+	if k == "" {
+		k = blankToken
+	}
+	if priority == "" {
+		return "TENANT " + id + " " + k + "\n"
+	}
+	return "TENANT " + id + " " + k + " " + priority + "\n"
+}
+
+// decodeErrLine decodes the tail of an ASCII "ERR " line: an optional
+// wire code, an optional RETRY=<ms> hint, then the message. Both
+// extensions degrade to message text on old peers.
+func decodeErrLine(rest string) error {
+	code := ""
+	if sp := strings.IndexByte(rest, ' '); sp > 0 && rerr.Known(rest[:sp]) {
+		code, rest = rest[:sp], rest[sp+1:]
+	} else if rerr.Known(rest) {
+		code, rest = rest, ""
+	}
+	var retry time.Duration
+	if tail, ok := strings.CutPrefix(rest, "RETRY="); ok {
+		tok := tail
+		if sp := strings.IndexByte(tail, ' '); sp >= 0 {
+			tok, tail = tail[:sp], tail[sp+1:]
+		} else {
+			tail = ""
+		}
+		if ms, err := strconv.ParseInt(tok, 10, 64); err == nil && ms > 0 {
+			retry = time.Duration(ms) * time.Millisecond
+			rest = tail
+		}
+	}
+	return rerr.WithRetryAfter(decodeRemoteError(code, "proto: remote error: "+rest), retry)
+}
+
+// writeHTTPError reports a failure with its wire code header, its
+// retry-after hint (when carried), and the given status.
+func writeHTTPError(w http.ResponseWriter, err error, status int) {
+	if code := rerr.Code(err); code != "" {
+		w.Header().Set(errorCodeHeader, code)
+	}
+	if d, ok := rerr.RetryAfter(err); ok {
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((d+time.Second-1)/time.Second), 10))
+		w.Header().Set(retryAfterHeader, strconv.FormatInt(int64((d+time.Millisecond-1)/time.Millisecond), 10))
+	}
+	http.Error(w, err.Error(), status)
+}
+
+// authenticateHTTP resolves one HTTP request's tenant identity and
+// priority tier from its headers, answering 401/400 itself on failure.
+func (s *HTTPServer) authenticateHTTP(w http.ResponseWriter, r *http.Request) (admission.Tenant, admission.Tier, bool) {
+	ten, err := s.Admission.Authenticate(r.Header.Get(tenantHeader), r.Header.Get(tenantKeyHeader))
+	if err != nil {
+		writeHTTPError(w, err, http.StatusUnauthorized)
+		return admission.Tenant{}, admission.TierDefault, false
+	}
+	tier, ok := admission.ParseTier(r.Header.Get(priorityHeader))
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown priority tier %q", r.Header.Get(priorityHeader)), http.StatusBadRequest)
+		return admission.Tenant{}, admission.TierDefault, false
+	}
+	return ten, tier, true
+}
+
+// admitHTTP gates one HTTP request through the admission controller,
+// answering 401/400/429 itself. The returned release func must be
+// called when the request finishes.
+func (s *HTTPServer) admitHTTP(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	ten, tier, ok := s.authenticateHTTP(w, r)
+	if !ok {
+		return nil, false
+	}
+	release, err := s.Admission.Admit(r.Context(), ten, tier)
+	if err != nil {
+		writeHTTPError(w, err, admissionStatus(err))
+		return nil, false
+	}
+	return release, true
+}
+
+// admissionStatus maps an admission failure to its HTTP status.
+func admissionStatus(err error) int {
+	switch {
+	case rerr.Code(err) == rerr.CodeOverloaded:
+		return http.StatusTooManyRequests
+	case rerr.Code(err) == rerr.CodeUnauthenticated:
+		return http.StatusUnauthorized
+	default:
+		return http.StatusServiceUnavailable
+	}
+}
+
+// decodeHTTPError rebuilds a remote failure from a non-200 response,
+// including any retry-after hint the server attached.
+func decodeHTTPError(resp *http.Response, msg string) error {
+	err := decodeRemoteError(resp.Header.Get(errorCodeHeader), msg)
+	if v := resp.Header.Get(retryAfterHeader); v != "" {
+		if ms, perr := strconv.ParseInt(v, 10, 64); perr == nil && ms > 0 {
+			return rerr.WithRetryAfter(err, time.Duration(ms)*time.Millisecond)
+		}
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if sec, perr := strconv.ParseInt(v, 10, 64); perr == nil && sec > 0 {
+			return rerr.WithRetryAfter(err, time.Duration(sec)*time.Second)
+		}
+	}
+	return err
+}
+
+// setTenantHeaders stamps the client's identity onto an outgoing
+// request.
+func setTenantHeaders(req *http.Request, tenant, key, priority string) {
+	if tenant != "" {
+		req.Header.Set(tenantHeader, tenant)
+	}
+	if key != "" {
+		req.Header.Set(tenantKeyHeader, key)
+	}
+	if priority != "" {
+		req.Header.Set(priorityHeader, priority)
+	}
+}
+
+// admitASCII gates one decoded ASCII request. Kept as a method for
+// symmetry with admitHTTP; the ASCII protocol carries no per-request
+// context, so queue waits are bounded by the controller's MaxQueueWait
+// alone.
+func (s *TCPServer) admitASCII(ten admission.Tenant, tier admission.Tier) (func(), error) {
+	return s.Admission.Admit(context.Background(), ten, tier)
+}

@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -22,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"remos/internal/admission"
 	"remos/internal/collector"
 	"remos/internal/obs"
 	"remos/internal/rerr"
@@ -204,14 +206,21 @@ func writeResult(buf *bytes.Buffer, res *collector.Result) error {
 // writeError reports a failure as "ERR <CODE> message" when the error
 // carries a wire code, "ERR message" otherwise — the original untyped
 // form, which old clients keep understanding either way (an unknown
-// first token reads as part of the message).
+// first token reads as part of the message). An admission shed
+// additionally carries its retry hint as a RETRY=<ms> token, which old
+// clients likewise fold into the message.
 func writeError(w io.Writer, err error) {
 	msg := strings.ReplaceAll(err.Error(), "\n", " ")
-	if code := rerr.Code(err); code != "" {
-		fmt.Fprintf(w, "ERR %s %s\n", code, msg)
+	code := rerr.Code(err)
+	if code == "" {
+		fmt.Fprintf(w, "ERR %s\n", msg)
 		return
 	}
-	fmt.Fprintf(w, "ERR %s\n", msg)
+	if d, ok := rerr.RetryAfter(err); ok {
+		fmt.Fprintf(w, "ERR %s RETRY=%d %s\n", code, int64((d+time.Millisecond-1)/time.Millisecond), msg)
+		return
+	}
+	fmt.Fprintf(w, "ERR %s %s\n", code, msg)
 }
 
 // readResult parses one ASCII result. Per-sample lines are scanned in
@@ -224,14 +233,7 @@ func readResult(r *bufio.Reader, scratch *[]byte) (*collector.Result, error) {
 	}
 	head := bytes.TrimSpace(line)
 	if bytes.HasPrefix(head, []byte("ERR ")) {
-		rest := string(head[len("ERR "):])
-		code := ""
-		if sp := strings.IndexByte(rest, ' '); sp > 0 && rerr.Known(rest[:sp]) {
-			code, rest = rest[:sp], rest[sp+1:]
-		} else if rerr.Known(rest) {
-			code, rest = rest, ""
-		}
-		return nil, decodeRemoteError(code, "proto: remote error: "+rest)
+		return nil, decodeErrLine(string(head[len("ERR "):]))
 	}
 	if !bytes.Equal(head, []byte("OK")) {
 		return nil, fmt.Errorf("proto: unexpected response %q", head)
@@ -389,6 +391,12 @@ type TCPServer struct {
 	// UNAVAILABLE error. Set before ListenAndServe.
 	Flows FlowAnswerer
 
+	// Admission, when set, gates every QUERY/FLOWS/WATCH through the
+	// multi-tenant admission controller; connections identify
+	// themselves with the TENANT preamble (see admission.go). Nil
+	// servers admit everything. Set before ListenAndServe.
+	Admission *admission.Controller
+
 	// Obs, when set, receives request counters and latency histograms
 	// (labeled proto="ascii"). Traces, when set, records one trace per
 	// served query for /debug/queries. Set both before ListenAndServe.
@@ -438,6 +446,10 @@ func (s *TCPServer) ListenAndServe(addr string) (string, error) {
 					r.Reset(emptyReader{}) // drop the connection reference before pooling
 					readerPool.Put(r)
 				}()
+				// Connections start anonymous; a TENANT preamble swaps
+				// in the authenticated identity and default tier.
+				ten, _ := s.Admission.Authenticate("", "")
+				tier := admission.TierDefault
 				var scratch []byte
 				for {
 					line, err := readLine(r, &scratch)
@@ -446,10 +458,16 @@ func (s *TCPServer) ListenAndServe(addr string) (string, error) {
 					}
 					fs := newFields(line)
 					verb := fs.next()
-					// The watch verbs are control-plane rare; their handlers
-					// keep the string-based grammar.
+					// The watch and tenant verbs are control-plane rare;
+					// their handlers keep the string-based grammar.
+					if bytes.Equal(verb, []byte("TENANT")) {
+						if !s.handleTenantLine(w, string(line), &ten, &tier) {
+							return // bad credentials: drop the connection
+						}
+						continue
+					}
 					if bytes.Equal(verb, []byte("WATCH")) {
-						s.handleWatchLine(w, string(line), subs)
+						s.handleWatchLine(w, string(line), subs, ten)
 						continue
 					}
 					if bytes.Equal(verb, []byte("UNWATCH")) {
@@ -457,7 +475,7 @@ func (s *TCPServer) ListenAndServe(addr string) (string, error) {
 						continue
 					}
 					if bytes.Equal(verb, []byte("FLOWS")) {
-						if s.serveFlows(w, line, r, &scratch) != nil {
+						if s.serveFlows(w, line, r, &scratch, ten, tier) != nil {
 							return
 						}
 						continue
@@ -466,7 +484,15 @@ func (s *TCPServer) ListenAndServe(addr string) (string, error) {
 					if err != nil {
 						return // garbage: drop the connection
 					}
+					// Admit after the body is consumed so a shed leaves the
+					// connection aligned on the next request.
+					release, aerr := s.admitASCII(ten, tier)
+					if aerr != nil {
+						writeError(w, aerr)
+						continue
+					}
 					res, err, tr := serveQuery(s.Collector, q, s.m, s.Traces != nil, "ascii")
+					release()
 					if err != nil {
 						writeError(w, err)
 						s.Traces.Observe(tr)
@@ -508,6 +534,15 @@ type TCPClient struct {
 	Addr string
 	// Timeout bounds each query round trip (default 10s).
 	Timeout time.Duration
+
+	// Tenant/TenantKey identify this client to the server's admission
+	// layer; Priority ("interactive" or "batch") sets its default
+	// queue tier. When any is set, every fresh connection opens with a
+	// TENANT preamble (see admission.go). Older servers without an
+	// admission controller accept the preamble silently.
+	Tenant    string
+	TenantKey string
+	Priority  string
 
 	mu      sync.Mutex
 	conn    net.Conn
@@ -564,6 +599,14 @@ func (c *TCPClient) exchange(ctx context.Context, send func(io.Writer) error, re
 			}
 			c.conn = conn
 			c.r = bufio.NewReader(conn)
+			// The preamble is silent on success, so it pipelines ahead
+			// of the first request at no round-trip cost; an auth
+			// failure surfaces as the typed ERR answer to that request.
+			if p := preambleLine(c.Tenant, c.TenantKey, c.Priority); p != "" {
+				if _, err := io.WriteString(conn, p); err != nil {
+					return err
+				}
+			}
 		}
 		c.conn.SetDeadline(deadline)
 		if done := ctx.Done(); done != nil {
@@ -586,8 +629,11 @@ func (c *TCPClient) exchange(ctx context.Context, send func(io.Writer) error, re
 		return recv(c.r, &c.scratch)
 	}
 	err := try()
-	if err != nil && c.conn != nil && ctx.Err() == nil {
-		// Stale connection: reconnect once.
+	var rem *remoteError
+	if err != nil && c.conn != nil && ctx.Err() == nil && !errors.As(err, &rem) {
+		// Stale connection: reconnect once. A decoded remote error is
+		// not staleness — the exchange completed and the connection is
+		// healthy — and retrying one would hammer a shedding server.
 		c.conn.Close()
 		c.conn = nil
 		err = try()

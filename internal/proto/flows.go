@@ -35,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"remos/internal/admission"
 	"remos/internal/modeler"
 	"remos/internal/rerr"
 )
@@ -141,14 +142,7 @@ func readFlowsResult(r *bufio.Reader, scratch *[]byte) ([]modeler.FlowInfo, erro
 	}
 	head := bytes.TrimSpace(line)
 	if bytes.HasPrefix(head, []byte("ERR ")) {
-		rest := string(head[len("ERR "):])
-		code := ""
-		if sp := strings.IndexByte(rest, ' '); sp > 0 && rerr.Known(rest[:sp]) {
-			code, rest = rest[:sp], rest[sp+1:]
-		} else if rerr.Known(rest) {
-			code, rest = rest, ""
-		}
-		return nil, decodeRemoteError(code, "proto: remote error: "+rest)
+		return nil, decodeErrLine(string(head[len("ERR "):]))
 	}
 	fs := newFields(head)
 	if !bytes.Equal(fs.next(), []byte("OKF")) {
@@ -205,7 +199,7 @@ func readFlowsResult(r *bufio.Reader, scratch *[]byte) ([]modeler.FlowInfo, erro
 
 // serveFlows handles one FLOWS exchange on the ASCII server. A non-nil
 // return means the connection is unusable and should be dropped.
-func (s *TCPServer) serveFlows(w io.Writer, line []byte, r *bufio.Reader, scratch *[]byte) error {
+func (s *TCPServer) serveFlows(w io.Writer, line []byte, r *bufio.Reader, scratch *[]byte, ten admission.Tenant, tier admission.Tier) error {
 	flows, err := readFlowsBody(line, r, scratch)
 	if err != nil {
 		return err // garbage mid-request: drop the connection
@@ -214,6 +208,12 @@ func (s *TCPServer) serveFlows(w io.Writer, line []byte, r *bufio.Reader, scratc
 		writeError(w, rerr.Tagf(rerr.ErrCollectorUnavailable, "proto: server has no flow answerer"))
 		return nil
 	}
+	release, aerr := s.admitASCII(ten, tier)
+	if aerr != nil {
+		writeError(w, aerr)
+		return nil
+	}
+	defer release()
 	start := time.Now()
 	infos, err := s.Flows.GetFlowsContext(context.Background(), flows, modeler.FlowOptions{})
 	s.m.requests.Inc()
@@ -292,6 +292,11 @@ func (s *HTTPServer) handleFlows(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "server has no flow answerer", http.StatusServiceUnavailable)
 		return
 	}
+	release, ok := s.admitHTTP(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -365,6 +370,7 @@ func (c *HTTPClient) Flows(ctx context.Context, flows []modeler.Flow) ([]modeler
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/xml")
+	setTenantHeaders(req, c.Tenant, c.TenantKey, c.Priority)
 	resp, err := hc.Do(req)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
@@ -379,7 +385,7 @@ func (c *HTTPClient) Flows(ctx context.Context, flows []modeler.Flow) ([]modeler
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg := fmt.Sprintf("proto: remote error (%d): %s", resp.StatusCode, bytes.TrimSpace(out))
-		return nil, decodeRemoteError(resp.Header.Get(errorCodeHeader), msg)
+		return nil, decodeHTTPError(resp, msg)
 	}
 	var xr xmlFlowsResult
 	if err := xml.Unmarshal(out, &xr); err != nil {

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"remos/internal/admission"
 	"remos/internal/rerr"
 	"remos/internal/watch"
 )
@@ -79,7 +80,7 @@ func parseWatchLine(line string) (watch.Spec, error) {
 // subscribes, acknowledges, and starts the drain goroutine that turns
 // pushed updates into UPDATE/END lines. The subscription is recorded in
 // the per-connection map so UNWATCH and connection teardown find it.
-func (s *TCPServer) handleWatchLine(w io.Writer, line string, subs map[int64]*watch.Subscription) {
+func (s *TCPServer) handleWatchLine(w io.Writer, line string, subs map[int64]*watch.Subscription, ten admission.Tenant) {
 	if s.Watch == nil {
 		writeError(w, rerr.Tagf(rerr.ErrCollectorUnavailable, "proto: server has no watch registry"))
 		return
@@ -89,8 +90,17 @@ func (s *TCPServer) handleWatchLine(w io.Writer, line string, subs map[int64]*wa
 		writeError(w, err)
 		return
 	}
+	// Charge the tenant's watch quota before subscribing; the drain
+	// goroutine's defer releases it on every teardown path (UNWATCH,
+	// server-side END, disconnect) exactly once.
+	wrel, err := s.Admission.AcquireWatch(ten)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	sub, err := s.Watch.Subscribe(spec)
 	if err != nil {
+		wrel()
 		writeError(w, err)
 		return
 	}
@@ -100,6 +110,7 @@ func (s *TCPServer) handleWatchLine(w io.Writer, line string, subs map[int64]*wa
 	//remoslint:allow goctx drain loop ends when the subscription closes (disconnect closes every subscription)
 	go func() {
 		defer s.wg.Done()
+		defer wrel()
 		drainASCII(w, sub)
 	}()
 }
@@ -163,6 +174,14 @@ func (c *TCPClient) Watch(ctx context.Context, spec watch.Spec) (<-chan watch.Up
 		return nil, classifyClientErr(c.Addr, err)
 	}
 	conn.SetDeadline(time.Now().Add(timeout))
+	// Watches ride a dedicated connection, so it carries its own
+	// tenant preamble (silent on success).
+	if p := preambleLine(c.Tenant, c.TenantKey, c.Priority); p != "" {
+		if _, err := io.WriteString(conn, p); err != nil {
+			conn.Close()
+			return nil, classifyClientErr(c.Addr, err)
+		}
+	}
 	fmt.Fprintf(conn, "WATCH %s %s %g %g %g\n",
 		spec.Src, spec.Dst, spec.Below, spec.Above, spec.ChangeFrac)
 	r := bufio.NewReader(conn)
@@ -175,12 +194,7 @@ func (c *TCPClient) Watch(ctx context.Context, spec watch.Spec) (<-chan watch.Up
 	switch {
 	case len(f) >= 1 && f[0] == "ERR":
 		conn.Close()
-		code, msg := "", strings.TrimSpace(strings.TrimPrefix(line, "ERR"))
-		if len(f) >= 2 && rerr.Known(f[1]) {
-			code = f[1]
-			msg = strings.TrimSpace(strings.TrimPrefix(msg, code))
-		}
-		return nil, decodeRemoteError(code, "proto: remote error: "+msg)
+		return nil, decodeErrLine(strings.TrimSpace(strings.TrimPrefix(line, "ERR")))
 	case len(f) == 2 && f[0] == "WATCHING":
 	default:
 		conn.Close()
@@ -335,6 +349,16 @@ func (s *HTTPServer) handleWatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
+	ten, _, ok := s.authenticateHTTP(w, r)
+	if !ok {
+		return
+	}
+	wrel, err := s.Admission.AcquireWatch(ten)
+	if err != nil {
+		writeHTTPError(w, err, admissionStatus(err))
+		return
+	}
+	defer wrel()
 	sub, err := s.Watch.Subscribe(spec)
 	if err != nil {
 		if code := rerr.Code(err); code != "" {
@@ -394,6 +418,7 @@ func (c *HTTPClient) Watch(ctx context.Context, spec watch.Spec) (<-chan watch.U
 	if err != nil {
 		return nil, err
 	}
+	setTenantHeaders(req, c.Tenant, c.TenantKey, c.Priority)
 	// The stream is long-lived, so the default query client with its
 	// overall timeout would sever it; use the caller's client only if it
 	// carries no timeout.
@@ -412,7 +437,7 @@ func (c *HTTPClient) Watch(ctx context.Context, spec watch.Spec) (<-chan watch.U
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 		msg := fmt.Sprintf("proto: remote error (%d): %s", resp.StatusCode, strings.TrimSpace(string(body)))
-		return nil, decodeRemoteError(resp.Header.Get(errorCodeHeader), msg)
+		return nil, decodeHTTPError(resp, msg)
 	}
 	buf := spec.Buf
 	if buf <= 0 {

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"remos/internal/admission"
 	"remos/internal/collector"
 	"remos/internal/obs"
 	"remos/internal/rerr"
@@ -176,6 +177,12 @@ type HTTPServer struct {
 	// see flows.go). Set before ListenAndServe.
 	Flows FlowAnswerer
 
+	// Admission, when set, gates /query, /flows and /watch through the
+	// multi-tenant admission controller; requests identify themselves
+	// with the X-Remos-Tenant headers (see admission.go). Nil servers
+	// admit everything. Set before ListenAndServe.
+	Admission *admission.Controller
+
 	// Obs, when set, receives request counters and latency histograms
 	// (labeled proto="xml"). Traces, when set, records one trace per
 	// served query for /debug/queries. Set both before ListenAndServe.
@@ -211,6 +218,11 @@ func (s *HTTPServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	release, ok := s.admitHTTP(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -268,6 +280,15 @@ type HTTPClient struct {
 	BaseURL string
 	// Client overrides the HTTP client (default: 10s timeout).
 	Client *http.Client
+
+	// Tenant/TenantKey identify this client to the server's admission
+	// layer; Priority ("interactive" or "batch") sets its default
+	// queue tier. Carried as X-Remos-Tenant headers on every request
+	// (see admission.go); servers without an admission controller
+	// ignore them.
+	Tenant    string
+	TenantKey string
+	Priority  string
 }
 
 // Name implements collector.Interface.
@@ -295,6 +316,7 @@ func (c *HTTPClient) Collect(q collector.Query) (*collector.Result, error) {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/xml")
+	setTenantHeaders(req, c.Tenant, c.TenantKey, c.Priority)
 	resp, err := hc.Do(req)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
@@ -309,7 +331,7 @@ func (c *HTTPClient) Collect(q collector.Query) (*collector.Result, error) {
 	}
 	if resp.StatusCode != http.StatusOK {
 		msg := fmt.Sprintf("proto: remote error (%d): %s", resp.StatusCode, bytes.TrimSpace(out))
-		return nil, decodeRemoteError(resp.Header.Get(errorCodeHeader), msg)
+		return nil, decodeHTTPError(resp, msg)
 	}
 	return decodeResultXML(out)
 }

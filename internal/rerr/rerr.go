@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // The query-path error classes. Each carries a stable wire code so both
@@ -27,6 +28,13 @@ var (
 	// ErrTimeout: the query ran out of time (SNMP exchange, wire
 	// protocol round trip, or context deadline).
 	ErrTimeout = errors.New("query timed out")
+	// ErrOverloaded: the server's admission layer shed the request —
+	// rate limit, concurrency cap, quota, or queue overflow. The error
+	// may carry a retry-after hint; see RetryAfter.
+	ErrOverloaded = errors.New("server overloaded")
+	// ErrUnauthenticated: the presented tenant credentials were not
+	// accepted by the server's admission layer.
+	ErrUnauthenticated = errors.New("unauthenticated tenant")
 )
 
 // tagged attaches a sentinel class to an underlying error without
@@ -61,11 +69,13 @@ func Tagf(sentinel error, format string, args ...any) error {
 // The wire codes. Unknown or unclassified errors travel with no code and
 // decode as plain errors, so old peers interoperate.
 const (
-	CodeNoRoute     = "NO_ROUTE"
-	CodeUnknownHost = "UNKNOWN_HOST"
-	CodeUnavailable = "UNAVAILABLE"
-	CodeTimeout     = "TIMEOUT"
-	CodeCanceled    = "CANCELED"
+	CodeNoRoute         = "NO_ROUTE"
+	CodeUnknownHost     = "UNKNOWN_HOST"
+	CodeUnavailable     = "UNAVAILABLE"
+	CodeTimeout         = "TIMEOUT"
+	CodeCanceled        = "CANCELED"
+	CodeOverloaded      = "OVERLOADED"
+	CodeUnauthenticated = "UNAUTHENTICATED"
 )
 
 // codes orders the classification from most to least specific: an error
@@ -77,6 +87,8 @@ var codes = []struct {
 }{
 	{CodeNoRoute, ErrNoRoute},
 	{CodeUnknownHost, ErrUnknownHost},
+	{CodeOverloaded, ErrOverloaded},
+	{CodeUnauthenticated, ErrUnauthenticated},
 	{CodeTimeout, ErrTimeout},
 	{CodeCanceled, context.Canceled},
 	{CodeUnavailable, ErrCollectorUnavailable},
@@ -123,4 +135,38 @@ func FromCode(code, msg string) error {
 		}
 	}
 	return err
+}
+
+// retryAfterError decorates an error with a retry-after hint without
+// disturbing its chain. The admission layer attaches hints to its
+// ErrOverloaded sheds, and the wire protocols round-trip them (the
+// ASCII RETRY= token, the X-Remos-Retry-After header).
+type retryAfterError struct {
+	err error
+	d   time.Duration
+}
+
+func (r *retryAfterError) Error() string { return r.err.Error() }
+func (r *retryAfterError) Unwrap() error { return r.err }
+
+// WithRetryAfter attaches a retry-after hint to err. Non-positive hints
+// and nil errors pass through unchanged.
+func WithRetryAfter(err error, d time.Duration) error {
+	if err == nil || d <= 0 {
+		return err
+	}
+	return &retryAfterError{err: err, d: d}
+}
+
+// RetryAfter extracts the retry-after hint carried by err, if any. A
+// shed caller should back off for at least the hinted duration before
+// retrying:
+//
+//	if d, ok := rerr.RetryAfter(err); ok { sleep(d); retry() }
+func RetryAfter(err error) (time.Duration, bool) {
+	var r *retryAfterError
+	if errors.As(err, &r) {
+		return r.d, true
+	}
+	return 0, false
 }

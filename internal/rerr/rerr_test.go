@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 )
 
 func TestTagPreservesBothChains(t *testing.T) {
@@ -39,6 +40,8 @@ func TestCodeRoundTrip(t *testing.T) {
 		{Tagf(ErrNoRoute, "no path"), CodeNoRoute},
 		{Tagf(ErrUnknownHost, "who is 10.0.0.9"), CodeUnknownHost},
 		{Tagf(ErrCollectorUnavailable, "down"), CodeUnavailable},
+		{Tagf(ErrOverloaded, "bucket empty"), CodeOverloaded},
+		{Tagf(ErrUnauthenticated, "bad key"), CodeUnauthenticated},
 		{Tagf(ErrTimeout, "slow"), CodeTimeout},
 		{fmt.Errorf("wrapped: %w", context.Canceled), CodeCanceled},
 		{context.DeadlineExceeded, CodeTimeout},
@@ -66,6 +69,35 @@ func TestCodePrecedence(t *testing.T) {
 	err := Tag(Tagf(ErrTimeout, "snmp: 10.0.0.1: timed out"), ErrCollectorUnavailable)
 	if got := Code(err); got != CodeTimeout {
 		t.Fatalf("Code = %q, want TIMEOUT", got)
+	}
+}
+
+func TestRetryAfter(t *testing.T) {
+	base := Tagf(ErrOverloaded, "tenant bulk out of tokens")
+	err := WithRetryAfter(base, 150*time.Millisecond)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatal("class lost through the retry-after carrier")
+	}
+	if err.Error() != base.Error() {
+		t.Fatalf("message changed: %q", err.Error())
+	}
+	d, ok := RetryAfter(err)
+	if !ok || d != 150*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, %t", d, ok)
+	}
+	// The hint survives further wrapping.
+	d, ok = RetryAfter(fmt.Errorf("query failed: %w", err))
+	if !ok || d != 150*time.Millisecond {
+		t.Fatalf("RetryAfter through wrap = %v, %t", d, ok)
+	}
+	if _, ok := RetryAfter(base); ok {
+		t.Fatal("hint invented on a bare error")
+	}
+	if WithRetryAfter(nil, time.Second) != nil {
+		t.Fatal("nil must stay nil")
+	}
+	if got := WithRetryAfter(base, 0); got != base {
+		t.Fatal("non-positive hint must pass through unchanged")
 	}
 }
 

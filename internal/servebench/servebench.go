@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"remos/internal/admission"
 	"remos/internal/benchfmt"
 	"remos/internal/collector"
 	"remos/internal/collector/qcache"
@@ -145,8 +146,10 @@ type rig struct {
 
 // buildRig boots a two-site deployment (4 app hosts per site behind a
 // switch and router each, a constrained WAN hop between them) and serves
-// its first site's master through the cache on both protocols.
-func buildRig() (*rig, error) {
+// its first site's master through the cache on both protocols. ctrl, when
+// non-nil, gates both servers through the admission layer (the shed
+// scenario); nil serves ungated as the plain serve bench always has.
+func buildRig(ctrl *admission.Controller) (*rig, error) {
 	s := sim.NewSim()
 	n := netsim.New(s)
 	var apps []*netsim.Device
@@ -218,13 +221,13 @@ func buildRig() (*rig, error) {
 		r.flows = append(r.flows, modeler.Flow{Src: q.Hosts[0], Dst: q.Hosts[1]})
 	}
 
-	r.tcp = &proto.TCPServer{Collector: cache, Watch: watchReg, Flows: mdl, Obs: reg}
+	r.tcp = &proto.TCPServer{Collector: cache, Watch: watchReg, Flows: mdl, Admission: ctrl, Obs: reg}
 	addr, err := r.tcp.ListenAndServe("127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	r.tcpAddr = addr
-	r.http = &proto.HTTPServer{Collector: cache, Watch: watchReg, Flows: mdl, Obs: reg}
+	r.http = &proto.HTTPServer{Collector: cache, Watch: watchReg, Flows: mdl, Admission: ctrl, Obs: reg}
 	haddr, err := r.http.ListenAndServe("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -243,7 +246,7 @@ func (r *rig) stop() {
 // Run executes one serve-bench run and reports its measurements.
 func Run(cfg Config) (*Result, error) {
 	cfg.applyDefaults()
-	rg, err := buildRig()
+	rg, err := buildRig(nil)
 	if err != nil {
 		return nil, err
 	}

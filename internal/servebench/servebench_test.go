@@ -2,6 +2,7 @@ package servebench
 
 import (
 	"testing"
+	"time"
 )
 
 // TestRunSmall boots the full stack and pushes a small mixed workload
@@ -41,5 +42,38 @@ func TestRunNoWatchers(t *testing.T) {
 	}
 	if res.Watchers != 0 || res.ColdQueries != 0 {
 		t.Fatalf("disabled features ran: %+v", res)
+	}
+}
+
+// TestRunShedSmall is the small-N shed smoke: with misbehaving clients
+// hammering a tight shared bucket, the run completes with every
+// misbehaving request either admitted or typed-shed with a retry hint
+// (RunShed fails structurally otherwise), and the good tenants' phases
+// both complete in full.
+func TestRunShedSmall(t *testing.T) {
+	res, err := RunShed(ShedConfig{Good: 2, Bad: 3, PhaseDuration: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GoodQueries == 0 {
+		t.Fatal("no good queries completed")
+	}
+	if res.BadShed == 0 || res.RetryHinted != res.BadShed {
+		t.Fatalf("shed accounting: %+v", res)
+	}
+	if res.BadAttempts != res.BadAdmitted+res.BadShed {
+		t.Fatalf("attempts %d != admitted %d + shed %d", res.BadAttempts, res.BadAdmitted, res.BadShed)
+	}
+	if res.BaselineP99 <= 0 || res.ContendedP99 <= 0 || res.P99Ratio <= 0 {
+		t.Fatalf("implausible latencies: %+v", res)
+	}
+	rec := res.Record("2026-01-01T00:00:00Z")
+	if rec.Name != "shed" || len(rec.Metrics) != 10 {
+		t.Fatalf("record %+v", rec)
+	}
+	for _, m := range []string{"good_qps", "p99_ratio", "contended_p99_seconds"} {
+		if _, ok := rec.Metric(m); !ok {
+			t.Fatalf("record misses %s", m)
+		}
 	}
 }

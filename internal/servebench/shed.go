@@ -1,0 +1,332 @@
+package servebench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remos/internal/admission"
+	"remos/internal/benchfmt"
+	"remos/internal/modeler"
+	"remos/internal/proto"
+	"remos/internal/rerr"
+)
+
+// ShedConfig shapes one load-shedding run: well-behaved interactive
+// tenants measured for latency, alongside misbehaving batch-tier
+// clients that hammer far over their token budget and ignore every
+// retry-after hint. Zero values select the noted defaults.
+type ShedConfig struct {
+	// Good is the number of well-behaved clients (default 4), each an
+	// interactive-tier tenant with no limits.
+	Good int
+	// Bad is the number of misbehaving clients (default 8). They share
+	// one tight batch-tier tenant bucket (BadRate/BadBurst) and issue
+	// BadInterval-spaced requests regardless of sheds.
+	Bad int
+	// PhaseDuration is how long each measured phase runs (default 1s).
+	// Good clients issue warm flow queries back to back for the whole
+	// phase, so the sample count scales with the machine; a duration
+	// (rather than a count) keeps the rate-based bucket saturated on
+	// fast and slow hardware alike.
+	PhaseDuration time.Duration
+	// Rounds alternates baseline and contended phases this many times
+	// (default 3), pooling each side's samples. Interleaving means
+	// machine jitter lands on both sides alike instead of skewing
+	// whichever single phase it happened to hit.
+	Rounds int
+	// BadRate and BadBurst bound the misbehaving tenant's bucket
+	// (defaults 50/s, burst 25) — far under the offered load, so almost
+	// every misbehaving request is shed.
+	BadRate, BadBurst float64
+	// BadInterval paces each misbehaving client's attempts (default
+	// 1ms: 1000 attempts/s per client, ~160x the shared budget with 8
+	// clients). Misbehavior here means ignoring backpressure, not
+	// saturating the loopback with a spin loop.
+	BadInterval time.Duration
+	// Seed randomizes per-client query interleaving (default 1).
+	Seed int64
+}
+
+func (c *ShedConfig) applyDefaults() {
+	if c.Good <= 0 {
+		c.Good = 4
+	}
+	if c.Bad <= 0 {
+		c.Bad = 8
+	}
+	if c.PhaseDuration <= 0 {
+		c.PhaseDuration = time.Second
+	}
+	if c.BadRate <= 0 {
+		c.BadRate = 50
+	}
+	if c.BadBurst <= 0 {
+		c.BadBurst = 25
+	}
+	if c.BadInterval <= 0 {
+		c.BadInterval = time.Millisecond
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ShedResult is one load-shedding run's measurements: the good tenants'
+// latency without and then with the misbehaving load, and how the
+// admission layer disposed of that load.
+type ShedResult struct {
+	Good, Bad   int
+	GoodQueries int // contended-phase completions across all good clients
+
+	// Phase latencies as the good clients observe them.
+	BaselineP50, BaselineP99   time.Duration
+	ContendedP50, ContendedP99 time.Duration
+	// P99Ratio is ContendedP99/BaselineP99 — the number the scenario
+	// exists to bound: typed shedding should keep the misbehaving load
+	// from inflating well-behaved tail latency.
+	P99Ratio float64
+	// GoodQPS is the good clients' contended-phase throughput.
+	GoodQPS float64
+
+	// The misbehaving side's disposition. Every attempt must end
+	// admitted or typed-shed; RunShed fails on any other outcome (a raw
+	// connection drop, an untyped error).
+	BadAttempts, BadAdmitted, BadShed int64
+	// RetryHinted counts sheds that carried a retry-after hint (should
+	// equal BadShed).
+	RetryHinted int64
+}
+
+// Record renders the result as the committed benchmark record.
+func (r *ShedResult) Record(stamp string) benchfmt.Record {
+	return benchfmt.Record{
+		Name:      "shed",
+		Timestamp: stamp,
+		Metrics: []benchfmt.Metric{
+			{Metric: "good_qps", Value: r.GoodQPS, Unit: "1/s", Kind: benchfmt.KindThroughput},
+			{Metric: "baseline_p99_seconds", Value: r.BaselineP99.Seconds(), Unit: "s", Kind: benchfmt.KindLatency},
+			{Metric: "contended_p99_seconds", Value: r.ContendedP99.Seconds(), Unit: "s", Kind: benchfmt.KindLatency},
+			{Metric: "p99_ratio", Value: r.P99Ratio, Unit: "", Kind: benchfmt.KindLatency},
+			{Metric: "good_clients", Value: float64(r.Good), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "bad_clients", Value: float64(r.Bad), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "good_queries", Value: float64(r.GoodQueries), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "bad_attempts", Value: float64(r.BadAttempts), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "bad_admitted", Value: float64(r.BadAdmitted), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "bad_shed", Value: float64(r.BadShed), Unit: "", Kind: benchfmt.KindInfo},
+		},
+	}
+}
+
+// The tenant ids the shed scenario configures.
+const (
+	shedGoodTenant = "good"
+	shedBadTenant  = "crawler"
+)
+
+// RunShed executes the load-shedding scenario: alternating rounds
+// measure the good tenants alone (the uncontended baseline) and then
+// the identical workload while the misbehaving clients hammer, and the
+// result compares the pooled phases. Structural failures — a good query erroring,
+// a misbehaving request ending in anything but admission or a typed
+// retry-hinted shed — fail the run; latency judgement is left to the
+// caller (the committed BENCH_shed.json record and its bench-check
+// gate).
+func RunShed(cfg ShedConfig) (*ShedResult, error) {
+	cfg.applyDefaults()
+	ctrl := admission.New(admission.Config{
+		Tenants: map[string]admission.TenantConfig{
+			shedGoodTenant: {Limits: admission.Limits{Tier: admission.Interactive}},
+			shedBadTenant: {Limits: admission.Limits{
+				Rate: cfg.BadRate, Burst: cfg.BadBurst,
+				MaxConcurrent: 2, MaxQueued: 8, Tier: admission.Batch,
+			}},
+		},
+		// Keep queue waits short: a misbehaving client's request either
+		// rides a promptly available token or sheds now.
+		MaxQueueWait: 20 * time.Millisecond,
+	})
+	defer ctrl.Close()
+	rg, err := buildRig(ctrl)
+	if err != nil {
+		return nil, err
+	}
+	defer rg.stop()
+
+	// Warm the snapshot plane exactly as the serve bench does, so both
+	// phases run from the steady snapshot-hit state.
+	warm := &proto.TCPClient{Addr: rg.tcpAddr, Tenant: shedGoodTenant}
+	defer warm.Close()
+	for _, q := range rg.queries {
+		if _, err := warm.Collect(q); err != nil {
+			return nil, fmt.Errorf("servebench: shed warmup: %w", err)
+		}
+	}
+	if _, err := warm.Flows(context.Background(), rg.flows); err != nil {
+		return nil, fmt.Errorf("servebench: shed flow warmup: %w", err)
+	}
+
+	// goodPhase runs the warm flow workload back to back across the
+	// good clients for the phase duration and returns every observed
+	// latency plus the elapsed time.
+	goodPhase := func() ([]time.Duration, time.Duration, error) {
+		latencies := make([][]time.Duration, cfg.Good)
+		var firstErr atomic.Value
+		start := time.Now()
+		deadline := start.Add(cfg.PhaseDuration)
+		var wg sync.WaitGroup
+		for c := 0; c < cfg.Good; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rnd := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+				cl := &proto.TCPClient{Addr: rg.tcpAddr, Tenant: shedGoodTenant, Priority: "interactive"}
+				defer cl.Close()
+				var lats []time.Duration
+				fq := make([]modeler.Flow, 1)
+				for i := 0; time.Now().Before(deadline); i++ {
+					fq[0] = rg.flows[rnd.Intn(len(rg.flows))]
+					t0 := time.Now()
+					if _, err := cl.Flows(context.Background(), fq); err != nil {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("servebench: good client %d query %d: %w", c, i, err))
+						return
+					}
+					lats = append(lats, time.Since(t0))
+				}
+				latencies[c] = lats
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err, ok := firstErr.Load().(error); ok && err != nil {
+			return nil, 0, err
+		}
+		var all []time.Duration
+		for _, ls := range latencies {
+			all = append(all, ls...)
+		}
+		if len(all) == 0 {
+			return nil, 0, fmt.Errorf("servebench: no good queries completed in %v", cfg.PhaseDuration)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		return all, elapsed, nil
+	}
+	quantile := func(all []time.Duration, q float64) time.Duration {
+		return all[int(q*float64(len(all)-1))]
+	}
+
+	// startBadFleet launches the misbehaving clients and returns a stop
+	// function that halts them and reports the first structural failure.
+	var attempts, admitted, shed, hinted atomic.Int64
+	startBadFleet := func(round int) func() error {
+		stop := make(chan struct{})
+		var badErr atomic.Value
+		var badWG sync.WaitGroup
+		for b := 0; b < cfg.Bad; b++ {
+			badWG.Add(1)
+			go func(b int) {
+				defer badWG.Done()
+				rnd := rand.New(rand.NewSource(cfg.Seed + 1000*int64(round+1) + int64(b)))
+				cl := &proto.TCPClient{Addr: rg.tcpAddr, Tenant: shedBadTenant, Priority: "batch"}
+				defer cl.Close()
+				fq := make([]modeler.Flow, 1)
+				tick := time.NewTicker(cfg.BadInterval)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+					}
+					fq[0] = rg.flows[rnd.Intn(len(rg.flows))]
+					attempts.Add(1)
+					_, err := cl.Flows(context.Background(), fq)
+					switch {
+					case err == nil:
+						admitted.Add(1)
+					case errors.Is(err, rerr.ErrOverloaded):
+						shed.Add(1)
+						if _, ok := rerr.RetryAfter(err); ok {
+							hinted.Add(1)
+						}
+					default:
+						// Anything else — a dropped connection, an untyped
+						// error — is exactly what graceful shedding promises
+						// not to do.
+						badErr.CompareAndSwap(nil, fmt.Errorf("servebench: misbehaving client %d: non-shed error: %w", b, err))
+						return
+					}
+				}
+			}(b)
+		}
+		return func() error {
+			close(stop)
+			badWG.Wait()
+			if err, ok := badErr.Load().(error); ok && err != nil {
+				return err
+			}
+			return nil
+		}
+	}
+
+	// Alternate baseline and contended phases, pooling each side's
+	// samples across the rounds.
+	var baseline, contended []time.Duration
+	var contendedElapsed time.Duration
+	for round := 0; round < cfg.Rounds; round++ {
+		base, _, err := goodPhase()
+		if err != nil {
+			return nil, err
+		}
+		baseline = append(baseline, base...)
+
+		stopBad := startBadFleet(round)
+		// Lead-in: let the misbehaving fleet drain its refilled burst so
+		// the contended phase measures the steady shedding state, not the
+		// bucket's honeymoon.
+		time.Sleep(100 * time.Millisecond)
+		cont, elapsed, gerr := goodPhase()
+		berr := stopBad()
+		if gerr != nil {
+			return nil, gerr
+		}
+		if berr != nil {
+			return nil, berr
+		}
+		contended = append(contended, cont...)
+		contendedElapsed += elapsed
+	}
+	sort.Slice(baseline, func(i, j int) bool { return baseline[i] < baseline[j] })
+	sort.Slice(contended, func(i, j int) bool { return contended[i] < contended[j] })
+	if shed.Load() == 0 {
+		return nil, fmt.Errorf("servebench: misbehaving load was never shed (%d attempts, %d admitted)",
+			attempts.Load(), admitted.Load())
+	}
+	if h, s := hinted.Load(), shed.Load(); h != s {
+		return nil, fmt.Errorf("servebench: %d/%d sheds carried no retry-after hint", s-h, s)
+	}
+
+	total := len(contended)
+	res := &ShedResult{
+		Good: cfg.Good, Bad: cfg.Bad, GoodQueries: total,
+		BaselineP50:  quantile(baseline, 0.50),
+		BaselineP99:  quantile(baseline, 0.99),
+		ContendedP50: quantile(contended, 0.50),
+		ContendedP99: quantile(contended, 0.99),
+		GoodQPS:      float64(total) / contendedElapsed.Seconds(),
+		BadAttempts:  attempts.Load(),
+		BadAdmitted:  admitted.Load(),
+		BadShed:      shed.Load(),
+		RetryHinted:  hinted.Load(),
+	}
+	res.P99Ratio = float64(res.ContendedP99) / float64(res.BaselineP99)
+	return res, nil
+}

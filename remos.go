@@ -98,7 +98,10 @@ func NewModelerConfig(cfg ModelerConfig) *Modeler { return modeler.New(cfg) }
 // ConnectTCP returns a Modeler speaking the ASCII protocol to a remote
 // Master Collector at addr ("host:port").
 //
-// Deprecated: use Dial("tcp://" + addr).
+// Deprecated: use Dial("tcp://" + addr). Dial reports dial-time
+// errors and takes Options; in particular these wrappers cannot carry
+// tenant credentials (WithTenant), so against a daemon with admission
+// limits configured they are metered as the anonymous pool.
 func ConnectTCP(addr string) *Modeler {
 	m, _ := Dial("tcp://" + addr)
 	return m
@@ -107,7 +110,7 @@ func ConnectTCP(addr string) *Modeler {
 // ConnectHTTP returns a Modeler speaking the XML protocol to a remote
 // Master Collector at baseURL ("http://host:port").
 //
-// Deprecated: use Dial(baseURL).
+// Deprecated: use Dial(baseURL), for the same reasons as ConnectTCP.
 func ConnectHTTP(baseURL string) *Modeler {
 	m, _ := Dial(baseURL)
 	return m
@@ -117,7 +120,8 @@ func ConnectHTTP(baseURL string) *Modeler {
 // Collector at masterAddr and a host load collector at loadAddr, both
 // over the ASCII protocol.
 //
-// Deprecated: use Dial("tcp://"+masterAddr, WithHostLoad("tcp://"+loadAddr)).
+// Deprecated: use Dial("tcp://"+masterAddr, WithHostLoad("tcp://"+loadAddr)),
+// for the same reasons as ConnectTCP.
 func ConnectTCPWithHostLoad(masterAddr, loadAddr string) *Modeler {
 	m, _ := Dial("tcp://"+masterAddr, WithHostLoad("tcp://"+loadAddr))
 	return m

@@ -1,0 +1,639 @@
+// Package remosd embeds the Remos measurement daemon. It is the
+// programmatic twin of cmd/remosd: the same demo deployment over the
+// in-repository network emulator, the same serving stack — ASCII and
+// XML wire protocols, directory service, host load collector,
+// observability plane, continuous collection, snapshot plane, and the
+// multi-tenant admission layer — configured through an exported Config
+// (or the equivalent functional options) instead of flags:
+//
+//	d, err := remosd.Start(
+//		remosd.WithListen("127.0.0.1:0"),
+//		remosd.WithHTTP("127.0.0.1:0"),
+//		remosd.WithTenant("app", "sekrit", remosd.Limits{Rate: 50, Burst: 100}),
+//	)
+//	...
+//	m, err := remos.Dial("tcp://"+d.ASCIIAddr, remos.WithTenant("app", "sekrit"))
+//	...
+//	d.Close()
+//
+// cmd/remosd is now a thin flag→option translator over this package,
+// so everything settable on the command line is settable here too.
+package remosd
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"remos/internal/admission"
+	"remos/internal/collector"
+	"remos/internal/collector/hostcoll"
+	"remos/internal/collector/qcache"
+	"remos/internal/core"
+	"remos/internal/directory"
+	"remos/internal/hostload"
+	"remos/internal/mib"
+	"remos/internal/modeler"
+	"remos/internal/netsim"
+	"remos/internal/obs"
+	"remos/internal/proto"
+	"remos/internal/rerr"
+	"remos/internal/sched"
+	"remos/internal/sim"
+	"remos/internal/snapshot"
+	"remos/internal/snmp"
+	"remos/internal/watch"
+)
+
+// Limits bounds one tenant's (or the anonymous pool's) use of the
+// daemon. The zero value of any field means unlimited.
+type Limits struct {
+	// Rate is the sustained request rate in requests/second; Burst is
+	// the token-bucket depth (defaults to max(Rate, 1) when Rate is
+	// set).
+	Rate, Burst float64
+	// MaxConcurrent caps requests in flight; MaxWatches caps live watch
+	// subscriptions; MaxQueued caps requests waiting for admission.
+	MaxConcurrent, MaxWatches, MaxQueued int
+	// Priority is the tenant's default queue tier: "interactive",
+	// "batch", or "" (interactive).
+	Priority string
+}
+
+// Tenant is one configured identity: its shared key (empty means the
+// id alone suffices) and its limits.
+type Tenant struct {
+	Key    string
+	Limits Limits
+}
+
+// Config holds every daemon setting; DefaultConfig mirrors the
+// command-line defaults. Zero-value listen addresses disable their
+// plane (except ListenASCII, which is required).
+type Config struct {
+	ListenASCII     string // ASCII protocol listen address
+	ListenHTTP      string // XML/HTTP protocol ("" disables)
+	ListenDirectory string // directory service ("" disables)
+	ListenHostLoad  string // host load collector ("" disables)
+	ListenObs       string // /metrics, /healthz, /debug/* ("" disables)
+
+	Scenario    string // demo scenario: "twosite" or "campus"
+	Parallelism int    // collector pipeline parallelism; 0 = GOMAXPROCS
+	MaxVarBinds int    // varbinds per polling Get PDU
+	Pipeline    int    // SNMP requests outstanding per agent
+
+	QueryCacheTTL time.Duration // warm-query cache staleness bound
+	SlowQuery     time.Duration // trace-flagging threshold
+
+	SchedInterval time.Duration // background poll base interval; 0 disables
+	SchedPredict  string        // RPS model per background-polled edge
+	BenchInterval time.Duration // wide-area benchmark round interval
+
+	Snapshot      bool          // maintain the versioned topology snapshot plane
+	SnapshotStale time.Duration // staleness bound for snapshot-backed answers
+
+	// Admission: the multi-tenant front end. The controller is built
+	// when any of these are set; otherwise both servers run ungated,
+	// as before the admission layer existed.
+	Tenants      map[string]Tenant
+	Anonymous    *Limits       // limits for unidentified connections
+	MaxQueueWait time.Duration // queue-wait bound before shedding
+
+	Logf func(format string, args ...any) // nil = silent
+}
+
+// DefaultConfig returns the settings cmd/remosd uses when no flags are
+// given.
+func DefaultConfig() Config {
+	return Config{
+		ListenASCII:     "127.0.0.1:3567",
+		ListenHTTP:      "127.0.0.1:3568",
+		ListenDirectory: "127.0.0.1:3569",
+		ListenHostLoad:  "127.0.0.1:3570",
+		ListenObs:       "127.0.0.1:3571",
+		Scenario:        "twosite",
+		MaxVarBinds:     24,
+		Pipeline:        4,
+		QueryCacheTTL:   2 * time.Second,
+		SlowQuery:       500 * time.Millisecond,
+		SchedInterval:   time.Second,
+		SchedPredict:    "AR(16)",
+		Snapshot:        true,
+		SnapshotStale:   5 * time.Second,
+	}
+}
+
+// Option mutates a Config; pass options to Start.
+type Option func(*Config)
+
+// WithListen sets the ASCII protocol listen address.
+func WithListen(addr string) Option { return func(c *Config) { c.ListenASCII = addr } }
+
+// WithHTTP sets the XML/HTTP listen address ("" disables).
+func WithHTTP(addr string) Option { return func(c *Config) { c.ListenHTTP = addr } }
+
+// WithDirectory sets the directory service listen address ("" disables).
+func WithDirectory(addr string) Option { return func(c *Config) { c.ListenDirectory = addr } }
+
+// WithHostLoad sets the host load collector listen address ("" disables).
+func WithHostLoad(addr string) Option { return func(c *Config) { c.ListenHostLoad = addr } }
+
+// WithObs sets the observability listen address ("" disables).
+func WithObs(addr string) Option { return func(c *Config) { c.ListenObs = addr } }
+
+// WithScenario selects the demo network ("twosite" or "campus").
+func WithScenario(name string) Option { return func(c *Config) { c.Scenario = name } }
+
+// WithQueryCacheTTL bounds warm-query cache staleness.
+func WithQueryCacheTTL(ttl time.Duration) Option {
+	return func(c *Config) { c.QueryCacheTTL = ttl }
+}
+
+// WithCollectorTuning sets the collector pipeline's parallelism,
+// varbinds per PDU, and outstanding requests per agent.
+func WithCollectorTuning(parallelism, maxVarBinds, pipeline int) Option {
+	return func(c *Config) {
+		c.Parallelism, c.MaxVarBinds, c.Pipeline = parallelism, maxVarBinds, pipeline
+	}
+}
+
+// WithScheduler configures the continuous-collection plane (base = 0
+// disables it and the watch plane).
+func WithScheduler(base time.Duration, predict string) Option {
+	return func(c *Config) { c.SchedInterval, c.SchedPredict = base, predict }
+}
+
+// WithSnapshotStaleness bounds snapshot-backed answer staleness.
+func WithSnapshotStaleness(d time.Duration) Option {
+	return func(c *Config) { c.Snapshot, c.SnapshotStale = true, d }
+}
+
+// WithoutSnapshot disables the versioned topology snapshot plane.
+func WithoutSnapshot() Option { return func(c *Config) { c.Snapshot = false } }
+
+// WithBenchInterval sets the wide-area benchmark round interval.
+func WithBenchInterval(d time.Duration) Option { return func(c *Config) { c.BenchInterval = d } }
+
+// WithSlowQuery sets the trace-flagging threshold.
+func WithSlowQuery(d time.Duration) Option { return func(c *Config) { c.SlowQuery = d } }
+
+// WithTenant registers one tenant identity with its limits. Repeatable.
+func WithTenant(id, key string, lim Limits) Option {
+	return func(c *Config) {
+		if c.Tenants == nil {
+			c.Tenants = map[string]Tenant{}
+		}
+		c.Tenants[id] = Tenant{Key: key, Limits: lim}
+	}
+}
+
+// WithAnonymousLimits bounds connections that carry no tenant identity.
+func WithAnonymousLimits(lim Limits) Option {
+	return func(c *Config) { c.Anonymous = &lim }
+}
+
+// WithMaxQueueWait bounds how long an admitted-later request may queue
+// before it is shed.
+func WithMaxQueueWait(d time.Duration) Option { return func(c *Config) { c.MaxQueueWait = d } }
+
+// WithLogf directs the daemon's progress log (nil keeps it silent).
+func WithLogf(logf func(format string, args ...any)) Option {
+	return func(c *Config) { c.Logf = logf }
+}
+
+// HostInfo names one queryable demo host.
+type HostInfo struct {
+	Name string
+	Addr netip.Addr
+}
+
+// Daemon is a running remosd. The *Addr fields carry the bound
+// addresses (useful with ":0" listeners); Close tears the whole stack
+// down in reverse start order.
+type Daemon struct {
+	ASCIIAddr     string
+	HTTPAddr      string // "" when disabled
+	DirectoryAddr string // "" when disabled
+	HostLoadAddr  string // "" when disabled
+	ObsAddr       string // "" when disabled
+	Hosts         []HostInfo
+
+	// Metrics is the daemon's registry — the same one /metrics renders.
+	Metrics *obs.Registry
+
+	closeOnce sync.Once
+	closers   []func()
+}
+
+// Close stops every plane the daemon started. It is idempotent.
+func (d *Daemon) Close() error {
+	d.closeOnce.Do(func() {
+		for i := len(d.closers) - 1; i >= 0; i-- {
+			d.closers[i]()
+		}
+	})
+	return nil
+}
+
+func (d *Daemon) onClose(f func()) { d.closers = append(d.closers, f) }
+
+// Start builds DefaultConfig, applies the options, and starts the
+// daemon.
+func Start(opts ...Option) (*Daemon, error) {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.Start()
+}
+
+// admissionController translates the Config's tenant section, or
+// returns nil when no admission settings are present (both servers
+// then run ungated, exactly as before the admission layer existed).
+func (cfg Config) admissionController(s sim.Scheduler, reg *obs.Registry) (*admission.Controller, error) {
+	if len(cfg.Tenants) == 0 && cfg.Anonymous == nil && cfg.MaxQueueWait == 0 {
+		return nil, nil
+	}
+	translate := func(id string, l Limits) (admission.Limits, error) {
+		tier, ok := admission.ParseTier(l.Priority)
+		if !ok {
+			return admission.Limits{}, fmt.Errorf("remosd: tenant %q: unknown priority tier %q", id, l.Priority)
+		}
+		return admission.Limits{
+			Rate: l.Rate, Burst: l.Burst,
+			MaxConcurrent: l.MaxConcurrent, MaxWatches: l.MaxWatches, MaxQueued: l.MaxQueued,
+			Tier: tier,
+		}, nil
+	}
+	acfg := admission.Config{
+		Tenants:      make(map[string]admission.TenantConfig, len(cfg.Tenants)),
+		MaxQueueWait: cfg.MaxQueueWait,
+		Sched:        s,
+		Obs:          reg,
+	}
+	for id, t := range cfg.Tenants {
+		lim, err := translate(id, t.Limits)
+		if err != nil {
+			return nil, err
+		}
+		acfg.Tenants[id] = admission.TenantConfig{Key: t.Key, Limits: lim}
+	}
+	if cfg.Anonymous != nil {
+		lim, err := translate(admission.AnonymousTenant, *cfg.Anonymous)
+		if err != nil {
+			return nil, err
+		}
+		acfg.Anonymous = lim
+	}
+	return admission.New(acfg), nil
+}
+
+// Start brings the configured daemon up. On error, everything already
+// started is torn down before returning.
+func (cfg Config) Start() (*Daemon, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	reg := obs.New()
+	traces := obs.NewRing(128, cfg.SlowQuery)
+	d := &Daemon{Metrics: reg}
+	fail := func(err error) (*Daemon, error) {
+		d.Close()
+		return nil, err
+	}
+
+	s := sim.NewSim()
+	dep, hosts, err := buildScenario(s, cfg.Scenario, cfg.BenchInterval, core.Options{
+		Parallelism: cfg.Parallelism,
+		MaxVarBinds: cfg.MaxVarBinds,
+		Pipeline:    cfg.Pipeline,
+		Obs:         reg,
+	})
+	if err != nil {
+		return fail(fmt.Errorf("remosd: %w", err))
+	}
+	d.onClose(dep.Stop)
+	if err := dep.MeasureAllBenchmarks(); err != nil {
+		logf("remosd: initial benchmarks: %v", err)
+	}
+	for _, h := range hosts {
+		d.Hosts = append(d.Hosts, HostInfo{Name: h.Name, Addr: h.Addr()})
+	}
+
+	// The served collector: the first site's Master behind the
+	// warm-query cache.
+	master := dep.Sites[firstSite(dep)].Master
+	queryable := qcache.New(master, qcache.Config{TTL: cfg.QueryCacheTTL, Obs: reg})
+	logf("remosd: warm-query cache TTL %v, parallelism %d (0=GOMAXPROCS), max-varbinds %d, pipeline %d",
+		cfg.QueryCacheTTL, cfg.Parallelism, cfg.MaxVarBinds, cfg.Pipeline)
+
+	// Admission front end, shared by both wire servers.
+	ctrl, err := cfg.admissionController(s, reg)
+	if err != nil {
+		return fail(err)
+	}
+	if ctrl != nil {
+		d.onClose(ctrl.Close)
+		logf("remosd: admission on (%d tenants, anonymous limits %v)", len(cfg.Tenants), cfg.Anonymous != nil)
+	}
+
+	// Snapshot plane.
+	var snapStore *snapshot.Store
+	if cfg.Snapshot {
+		snapStore = snapshot.New(snapshot.Config{Now: s.Now, Obs: reg})
+		logf("remosd: snapshot plane on (staleness bound %v)", cfg.SnapshotStale)
+	}
+
+	// Continuous-collection plane and watch registry.
+	var watchReg *watch.Registry
+	if cfg.SchedInterval > 0 {
+		maxIval := 8 * cfg.SchedInterval
+		if cfg.QueryCacheTTL > 0 && cfg.QueryCacheTTL < maxIval {
+			// Keep the adaptive interval inside the cache's staleness
+			// bound so scheduler-covered queries stay warm.
+			maxIval = cfg.QueryCacheTTL
+		}
+		var plane *sched.Scheduler
+		watchReg = watch.New(watch.Config{
+			Obs:           reg,
+			Now:           s.Now,
+			EnsureTarget:  func(h []netip.Addr) { plane.AddTarget(h) },
+			ReleaseTarget: func(h []netip.Addr) { plane.RemoveTarget(h) },
+		})
+		plane, err = sched.New(sched.Config{
+			Collector: queryable,
+			Invalidate: func(h []netip.Addr) {
+				queryable.Invalidate(qcache.Key(collector.Query{Hosts: h}))
+			},
+			Sched:        s,
+			BaseInterval: cfg.SchedInterval,
+			MaxInterval:  maxIval,
+			Predict:      cfg.SchedPredict,
+			OnResult: func(_ []netip.Addr, res *collector.Result) {
+				watchReg.Evaluate(res)
+			},
+			Snapshot: snapStore,
+			Obs:      reg,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("remosd: scheduler: %w", err))
+		}
+		d.onClose(plane.Stop)
+		d.onClose(func() {
+			watchReg.Close(rerr.Tagf(rerr.ErrCollectorUnavailable, "remosd shutting down"))
+		})
+		// Preseed the demo pairs so their queries answer warm from the
+		// first client on; watches add and remove their own targets.
+		if len(hosts) >= 2 && len(hosts) <= 8 {
+			for _, h := range hosts[1:] {
+				plane.AddTarget([]netip.Addr{hosts[0].Addr(), h.Addr()})
+			}
+		}
+		logf("remosd: background scheduler on (base %v, max %v, predict %q); watch plane enabled",
+			cfg.SchedInterval, maxIval, cfg.SchedPredict)
+	}
+
+	// The server-side Modeler behind the FLOWS verb.
+	mdl := modeler.New(modeler.Config{
+		Collector: queryable, Snapshot: snapStore, MaxStale: cfg.SnapshotStale,
+		Obs: reg, Traces: traces,
+	})
+	tcpSrv := &proto.TCPServer{
+		Collector: queryable, Watch: watchReg, Flows: mdl,
+		Admission: ctrl, Obs: reg, Traces: traces,
+	}
+	addr, err := tcpSrv.ListenAndServe(cfg.ListenASCII)
+	if err != nil {
+		return fail(fmt.Errorf("remosd: listen: %w", err))
+	}
+	d.onClose(func() { tcpSrv.Close() })
+	d.ASCIIAddr = addr
+	logf("remosd: ASCII protocol on %s", addr)
+
+	if cfg.ListenHTTP != "" {
+		httpSrv := &proto.HTTPServer{
+			Collector: queryable, Watch: watchReg, Flows: mdl,
+			Admission: ctrl, Obs: reg, Traces: traces,
+		}
+		haddr, err := httpSrv.ListenAndServe(cfg.ListenHTTP)
+		if err != nil {
+			return fail(fmt.Errorf("remosd: http listen: %w", err))
+		}
+		d.onClose(func() { httpSrv.Close() })
+		d.HTTPAddr = haddr
+		logf("remosd: XML protocol on http://%s", haddr)
+	}
+
+	if cfg.ListenHostLoad != "" {
+		// Host load: attach synthetic load signals to the demo hosts,
+		// run a host load collector at 1 Hz, and serve it over the
+		// ASCII protocol (remosctl load / WithHostLoad).
+		var managed []netip.Addr
+		for i, h := range hosts {
+			gen := hostload.NewGenerator(hostload.Config{Seed: int64(100 + i)})
+			h.SetLoadSource(gen.Next)
+			h.SNMP.Reachable = true
+			managed = append(managed, h.Addr())
+		}
+		mib.AttachAll(dep.Net, dep.Registry) // re-attach: hosts now reachable
+		hc := hostcoll.New(hostcoll.Config{
+			Client:        snmp.NewClient(dep.Transport, "public"),
+			Sched:         s,
+			Hosts:         managed,
+			StreamPredict: "AR(16)",
+		})
+		d.onClose(hc.Stop)
+		loadSrv := &proto.TCPServer{Collector: hc}
+		laddr, err := loadSrv.ListenAndServe(cfg.ListenHostLoad)
+		if err != nil {
+			return fail(fmt.Errorf("remosd: host load listen: %w", err))
+		}
+		d.onClose(func() { loadSrv.Close() })
+		d.HostLoadAddr = laddr
+		logf("remosd: host load collector on %s", laddr)
+	}
+
+	if cfg.ListenObs != "" {
+		oln, err := net.Listen("tcp", cfg.ListenObs)
+		if err != nil {
+			return fail(fmt.Errorf("remosd: obs listen: %w", err))
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(reg, traces, healthFunc(dep)))
+		if ctrl != nil {
+			mux.Handle("/debug/tenants", ctrl.DebugHandler())
+		}
+		osrv := &http.Server{Handler: mux}
+		go osrv.Serve(oln)
+		d.onClose(func() { osrv.Close() })
+		d.ObsAddr = oln.Addr().String()
+		logf("remosd: observability on http://%s (/metrics /healthz /debug/queries /debug/tenants)", d.ObsAddr)
+	}
+
+	if cfg.ListenDirectory != "" && dep.Directory != nil {
+		dirSrv := &directory.Server{Service: dep.Directory}
+		daddr, err := dirSrv.ListenAndServe(cfg.ListenDirectory)
+		if err != nil {
+			return fail(fmt.Errorf("remosd: directory listen: %w", err))
+		}
+		d.onClose(func() { dirSrv.Close() })
+		d.DirectoryAddr = daddr
+		logf("remosd: directory service on %s (remote collectors may REGISTER)", daddr)
+	}
+
+	logf("remosd: scenario %q; queryable hosts:", cfg.Scenario)
+	for _, h := range d.Hosts {
+		logf("remosd:   %-12s %s", h.Name, h.Addr)
+	}
+
+	// Drive the emulated network in step with the wall clock.
+	stop := make(chan struct{})
+	go s.RunRealTime(50*time.Millisecond, stop)
+	d.onClose(func() { close(stop) })
+	return d, nil
+}
+
+// healthFunc reports per-collector liveness: each site's SNMP collector
+// is healthy once it has completed a poll cycle recently (within three
+// poll periods), and the Master is healthy by construction (it is a
+// pure fan-out with no background activity).
+func healthFunc(dep *core.Deployment) obs.HealthFunc {
+	return func() []obs.ComponentHealth {
+		var out []obs.ComponentHealth
+		names := make([]string, 0, len(dep.Sites))
+		for name := range dep.Sites {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			site := dep.Sites[name]
+			if site.SNMP == nil {
+				continue
+			}
+			h := obs.ComponentHealth{Component: site.SNMP.Name()}
+			last := site.SNMP.LastPoll()
+			if last.IsZero() {
+				h.Detail = "no poll cycle completed yet"
+			} else {
+				// The collector stamps poll cycles on the deployment's
+				// (simulated) clock; age them against the same clock.
+				h.LastPoll = last
+				h.LastPollAge = dep.Sim.Now().Sub(last)
+				if h.LastPollAge <= 3*site.SNMP.PollInterval() {
+					h.Healthy = true
+				} else {
+					h.Detail = fmt.Sprintf("last poll %v ago (interval %v)",
+						h.LastPollAge.Round(time.Millisecond), site.SNMP.PollInterval())
+				}
+			}
+			out = append(out, h)
+			if site.Master != nil {
+				out = append(out, obs.ComponentHealth{
+					Component: site.Master.Name(), Healthy: true,
+				})
+			}
+		}
+		return out
+	}
+}
+
+func firstSite(dep *core.Deployment) string {
+	names := make([]string, 0, len(dep.Sites))
+	for name := range dep.Sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0]
+}
+
+// buildScenario wires one of the demo networks. benchIval is the
+// wide-area benchmark round interval (0 = benchcoll's default): the
+// inter-site hop is measured by benchmarks, not SNMP, so it bounds how
+// fresh WAN availability — and every watch predicate over it — can be.
+func buildScenario(s *sim.Sim, name string, benchIval time.Duration, opts core.Options) (*core.Deployment, []*netsim.Device, error) {
+	n := netsim.New(s)
+	switch name {
+	case "twosite":
+		app1 := n.AddHost("app1")
+		app2 := n.AddHost("app2")
+		benchA := n.AddHost("bench-a")
+		benchB := n.AddHost("bench-b")
+		srv := n.AddHost("srv")
+		swA := n.AddSwitch("swA")
+		swB := n.AddSwitch("swB")
+		rA := n.AddRouter("rA")
+		rB := n.AddRouter("rB")
+		n.Connect(app1, swA, 100e6, time.Millisecond)
+		n.Connect(app2, swA, 100e6, time.Millisecond)
+		n.Connect(benchA, swA, 100e6, time.Millisecond)
+		n.Connect(swA, rA, 1e9, time.Millisecond)
+		n.Connect(rA, rB, 10e6, 40*time.Millisecond)
+		n.Connect(rB, swB, 1e9, time.Millisecond)
+		n.Connect(benchB, swB, 100e6, time.Millisecond)
+		n.Connect(srv, swB, 100e6, time.Millisecond)
+		n.AssignSubnets()
+		n.ComputeRoutes()
+		// Background load so measurements move.
+		noise1 := app2
+		noise2 := srv
+		dep := core.NewDeployment(s, n, opts)
+		if _, err := dep.AddSite(core.SiteSpec{
+			Name: "a", Switches: []*netsim.Device{swA}, BenchHost: benchA,
+			BenchInterval: benchIval,
+		}); err != nil {
+			return nil, nil, err
+		}
+		if _, err := dep.AddSite(core.SiteSpec{
+			Name: "b", Switches: []*netsim.Device{swB}, BenchHost: benchB,
+			BenchInterval: benchIval,
+		}); err != nil {
+			return nil, nil, err
+		}
+		if err := dep.Finish(); err != nil {
+			return nil, nil, err
+		}
+		if _, err := n.StartCrossTraffic(noise1, noise2, netsim.CrossTrafficSpec{
+			Mean: 3e6, Jitter: 0.4, Period: 2 * time.Second, Seed: 7,
+		}); err != nil {
+			return nil, nil, err
+		}
+		return dep, []*netsim.Device{app1, app2, srv, benchA, benchB}, nil
+	case "campus":
+		// A small campus: one wing per quadrant, 8 hosts each.
+		var switches []*netsim.Device
+		coreSw := n.AddSwitch("core-sw")
+		switches = append(switches, coreSw)
+		var hosts []*netsim.Device
+		for w := 0; w < 4; w++ {
+			r := n.AddRouter(fmt.Sprintf("gw%d", w))
+			n.Connect(r, coreSw, 1e9, time.Millisecond)
+			edge := n.AddSwitch(fmt.Sprintf("edge%d", w))
+			switches = append(switches, edge)
+			n.Connect(edge, r, 1e9, time.Millisecond)
+			for h := 0; h < 8; h++ {
+				host := n.AddHost(fmt.Sprintf("h%d-%d", w, h))
+				n.Connect(host, edge, 100e6, time.Millisecond)
+				hosts = append(hosts, host)
+			}
+		}
+		n.AssignSubnets()
+		n.ComputeRoutes()
+		dep := core.NewDeployment(s, n, opts)
+		if _, err := dep.AddSite(core.SiteSpec{Name: "campus", Switches: switches}); err != nil {
+			return nil, nil, err
+		}
+		if err := dep.Finish(); err != nil {
+			return nil, nil, err
+		}
+		return dep, hosts[:8], nil
+	}
+	return nil, nil, fmt.Errorf("remosd: unknown scenario %q", name)
+}

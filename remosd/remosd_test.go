@@ -1,0 +1,101 @@
+package remosd_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"remos"
+	"remos/remosd"
+)
+
+// TestStartProgrammatic boots the daemon through the exported options
+// — ephemeral ports, two tenants — and drives it through the public
+// client API: a metered tenant's queries succeed inside its burst and
+// shed typed beyond it, and the observability plane exposes the
+// per-tenant admission state.
+func TestStartProgrammatic(t *testing.T) {
+	d, err := remosd.Start(
+		remosd.WithListen("127.0.0.1:0"),
+		remosd.WithHTTP("127.0.0.1:0"),
+		remosd.WithObs("127.0.0.1:0"),
+		remosd.WithDirectory(""),
+		remosd.WithHostLoad(""),
+		remosd.WithScheduler(0, ""),
+		// Refill is negligible over the test's lifetime, so the burst
+		// is the whole budget: one query in, the next one shed.
+		remosd.WithTenant("app", "sekrit", remosd.Limits{Rate: 0.001, Burst: 1}),
+		remosd.WithTenant("bulk", "", remosd.Limits{Priority: "batch"}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.ASCIIAddr == "" || d.HTTPAddr == "" || d.ObsAddr == "" {
+		t.Fatalf("bound addresses missing: %+v", d)
+	}
+	if d.DirectoryAddr != "" || d.HostLoadAddr != "" {
+		t.Fatalf("disabled planes bound addresses: %+v", d)
+	}
+	if len(d.Hosts) < 2 {
+		t.Fatalf("scenario hosts = %v", d.Hosts)
+	}
+
+	m, err := remos.Dial("tcp://"+d.ASCIIAddr, remos.WithTenant("app", "sekrit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	src, dst := d.Hosts[0].Addr, d.Hosts[1].Addr
+	if _, err := m.AvailableBandwidthContext(ctx, src, dst); err != nil {
+		t.Fatalf("burst query: %v", err)
+	}
+	_, err = m.AvailableBandwidthContext(ctx, src, dst)
+	if !errors.Is(err, remos.ErrOverloaded) {
+		t.Fatalf("shed error = %v, want remos.ErrOverloaded", err)
+	}
+	if hint, ok := remos.RetryAfter(err); !ok || hint <= 0 {
+		t.Fatalf("retry hint = %v, %t", hint, ok)
+	}
+
+	for path, wants := range map[string][]string{
+		"/debug/tenants": {`"tenant": "app"`, `"shed": 1`},
+		"/metrics":       {`remos_admission_admitted_total{tenant="app"} 1`, `remos_admission_shed_total{tenant="app"} 1`},
+	} {
+		resp, err := http.Get("http://" + d.ObsAddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for _, want := range wants {
+			if !strings.Contains(string(body), want) {
+				t.Errorf("%s missing %q:\n%s", path, want, body)
+			}
+		}
+	}
+
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close() // idempotent
+}
+
+// TestStartRejectsBadTier: config errors surface from Start, with
+// everything already started torn back down.
+func TestStartRejectsBadTier(t *testing.T) {
+	_, err := remosd.Start(
+		remosd.WithListen("127.0.0.1:0"),
+		remosd.WithHTTP(""), remosd.WithObs(""), remosd.WithDirectory(""),
+		remosd.WithHostLoad(""), remosd.WithScheduler(0, ""),
+		remosd.WithTenant("x", "", remosd.Limits{Priority: "urgent"}),
+	)
+	if err == nil || !strings.Contains(err.Error(), "unknown priority tier") {
+		t.Fatalf("Start error = %v, want unknown priority tier", err)
+	}
+}

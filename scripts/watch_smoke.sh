@@ -78,9 +78,11 @@ done
 
 # A scheduler-covered pair answers warm: the preseeded app1 pairs are
 # polled in the background, so this query must be a cache hit.
+# -server-flows=false keeps it on the graph-fetching path — the warm
+# query cache is what this asserts, not the snapshot plane.
 echo "watch-smoke: warm query $APP -> $SRV"
 before=$(awk '/^remos_qcache_hits_total /{print $2}' "$WORK/metrics")
-"$WORK/remosctl" -server "$ASCII" -hostload '' bw "$APP" "$SRV"
+"$WORK/remosctl" -server "$ASCII" -hostload '' -server-flows=false bw "$APP" "$SRV"
 "$WORK/remosctl" -obs "http://$OBS" stats metrics >"$WORK/metrics2"
 after=$(awk '/^remos_qcache_hits_total /{print $2}' "$WORK/metrics2")
 if [ "${after:-0}" -le "${before:-0}" ]; then

@@ -1,0 +1,228 @@
+package remos_test
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"remos"
+	"remos/internal/admission"
+	"remos/internal/collector"
+	"remos/internal/proto"
+	"remos/internal/sim"
+	"remos/internal/topology"
+	"remos/internal/watch"
+)
+
+// linkCollector answers any query with a chain of 10e6 links between
+// the queried hosts — just enough topology for bandwidth queries.
+type linkCollector struct{}
+
+func (linkCollector) Name() string { return "link" }
+
+func (linkCollector) Collect(q collector.Query) (*collector.Result, error) {
+	g := topology.NewGraph()
+	for _, h := range q.Hosts {
+		g.AddNode(topology.Node{ID: h.String(), Kind: topology.HostNode, Addr: h.String()})
+	}
+	for i := 0; i+1 < len(q.Hosts); i++ {
+		g.AddLink(topology.Link{
+			From: q.Hosts[i].String(), To: q.Hosts[i+1].String(),
+			Capacity: 10e6, UtilFromTo: 1e6, Latency: 5 * time.Millisecond,
+		})
+	}
+	return &collector.Result{Graph: g}, nil
+}
+
+// tenantStack is a pair of tenant-aware servers sharing one admission
+// controller on a frozen sim clock, so shed decisions and retry hints
+// are deterministic through the public API.
+type tenantStack struct {
+	ctrl *admission.Controller
+	sim  *sim.Sim
+	reg  *watch.Registry
+	tcp  string
+	http string
+}
+
+func newTenantStack(t *testing.T, cfg admission.Config) *tenantStack {
+	t.Helper()
+	ts := &tenantStack{sim: sim.NewSim()}
+	cfg.Sched = ts.sim
+	ts.ctrl = admission.New(cfg)
+	t.Cleanup(ts.ctrl.Close)
+	ts.reg = watch.New(watch.Config{})
+	t.Cleanup(func() { ts.reg.Close(nil) })
+
+	tsrv := &proto.TCPServer{Collector: linkCollector{}, Watch: ts.reg, Admission: ts.ctrl}
+	addr, err := tsrv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tsrv.Close() })
+	ts.tcp = "tcp://" + addr
+
+	hsrv := &proto.HTTPServer{Collector: linkCollector{}, Watch: ts.reg, Admission: ts.ctrl}
+	haddr, err := hsrv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hsrv.Close() })
+	ts.http = "http://" + haddr
+	return ts
+}
+
+func (ts *tenantStack) watches(tenant string) int {
+	for _, st := range ts.ctrl.Snapshot() {
+		if st.Tenant == tenant {
+			return st.Watches
+		}
+	}
+	return 0
+}
+
+// TestTenantDialEndToEnd drives the tenant options through the public
+// API on both transports: metered queries succeed inside the burst,
+// the shed surfaces as remos.ErrOverloaded with the server's exact
+// retry hint, and bad credentials as remos.ErrUnauthenticated.
+func TestTenantDialEndToEnd(t *testing.T) {
+	cfg := admission.Config{
+		Tenants: map[string]admission.TenantConfig{
+			"app": {Key: "sekrit", Limits: admission.Limits{Rate: 0.5, Burst: 2}},
+		},
+	}
+	src, dst := netip.MustParseAddr("10.0.1.1"), netip.MustParseAddr("10.0.2.2")
+	for _, proto := range []string{"ascii", "xml"} {
+		t.Run(proto, func(t *testing.T) {
+			ts := newTenantStack(t, cfg)
+			target := ts.tcp
+			if proto == "xml" {
+				target = ts.http
+			}
+			m, err := remos.Dial(target,
+				remos.WithTenant("app", "sekrit"),
+				remos.WithPriority(remos.PriorityInteractive))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if _, err := m.AvailableBandwidth(src, dst); err != nil {
+					t.Fatalf("burst query %d: %v", i, err)
+				}
+			}
+			_, err = m.AvailableBandwidth(src, dst)
+			if !errors.Is(err, remos.ErrOverloaded) {
+				t.Fatalf("shed error = %v, want remos.ErrOverloaded", err)
+			}
+			if d, ok := remos.RetryAfter(err); !ok || d != 2*time.Second {
+				t.Fatalf("remos.RetryAfter = %v, %t; want 2s", d, ok)
+			}
+			// Back off exactly as told (on the injected clock) and the
+			// same Modeler queries again.
+			ts.sim.RunFor(2 * time.Second)
+			if _, err := m.AvailableBandwidth(src, dst); err != nil {
+				t.Fatalf("query after backoff: %v", err)
+			}
+
+			bad, err := remos.Dial(target, remos.WithTenant("app", "wrong"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := bad.AvailableBandwidth(src, dst); !errors.Is(err, remos.ErrUnauthenticated) {
+				t.Fatalf("bad-key error = %v, want remos.ErrUnauthenticated", err)
+			}
+		})
+	}
+}
+
+// TestConnectionCloseReleasesWatchQuota is the quota-teardown
+// acceptance test: Connection.Close cancels the connection's watches,
+// the server frees the tenant's quota slots, and a fresh connection
+// can subscribe again.
+func TestConnectionCloseReleasesWatchQuota(t *testing.T) {
+	cfg := admission.Config{
+		Tenants: map[string]admission.TenantConfig{
+			"app": {Limits: admission.Limits{MaxWatches: 1}},
+		},
+	}
+	src, dst := netip.MustParseAddr("10.0.1.1"), netip.MustParseAddr("10.0.2.2")
+	for _, proto := range []string{"ascii", "xml"} {
+		t.Run(proto, func(t *testing.T) {
+			ts := newTenantStack(t, cfg)
+			target := ts.tcp
+			if proto == "xml" {
+				target = ts.http
+			}
+			dial := func() *remos.Connection {
+				conn, err := remos.Connect(target, remos.WithTenant("app", ""))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return conn
+			}
+
+			conn := dial()
+			ch, err := conn.Watch(context.Background(),
+				remos.WatchQuery{Src: src, Dst: dst}, remos.WatchBelow(5e6))
+			if err != nil {
+				t.Fatalf("first watch: %v", err)
+			}
+			waitCond(t, func() bool { return ts.watches("app") == 1 })
+
+			other := dial()
+			if _, err := other.Watch(context.Background(),
+				remos.WatchQuery{Src: src, Dst: dst}, remos.WatchBelow(5e6)); !errors.Is(err, remos.ErrOverloaded) {
+				t.Fatalf("quota not enforced: %v", err)
+			}
+
+			// Close tears the watch down without the caller cancelling
+			// anything; the channel closes and the quota slot frees.
+			if err := conn.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			drained := make(chan struct{})
+			go func() {
+				for range ch {
+				}
+				close(drained)
+			}()
+			select {
+			case <-drained:
+			case <-time.After(10 * time.Second):
+				t.Fatal("watch channel never closed after Connection.Close")
+			}
+			waitCond(t, func() bool { return ts.watches("app") == 0 })
+
+			if _, err := other.Watch(context.Background(),
+				remos.WatchQuery{Src: src, Dst: dst}, remos.WatchBelow(5e6)); err != nil {
+				t.Fatalf("slot not released after Close: %v", err)
+			}
+			if err := other.Close(); err != nil {
+				t.Fatalf("close second conn: %v", err)
+			}
+			waitCond(t, func() bool { return ts.watches("app") == 0 })
+
+			// A closed connection refuses new watches instead of leaking
+			// an untracked subscription.
+			if _, err := conn.Watch(context.Background(),
+				remos.WatchQuery{Src: src, Dst: dst}, remos.WatchBelow(5e6)); err == nil {
+				t.Fatal("watch on closed connection succeeded")
+			}
+		})
+	}
+}
+
+// waitCond polls cond for up to 5s of real time (server-side teardown
+// runs asynchronously after the client observes the close).
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
