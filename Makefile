@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race verify fuzz-smoke obs-smoke watch-smoke bench bench-concurrency bench-snmp bench-json bench-serve bench-shed bench-scale bench-baseline bench-check
+.PHONY: build test vet lint race verify fuzz-smoke obs-smoke watch-smoke bench bench-concurrency bench-snmp bench-json bench-serve bench-shed bench-scale bench-fed bench-baseline bench-check
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,14 @@ bench-scale:
 bench-shed:
 	$(GO) run ./cmd/remosbench -json shed
 
+# The federation benchmark: a multi-domain collector mesh over real
+# sockets under mixed intra/cross-domain flow queries, with domain 0's
+# primary master killed mid-run. Fails structurally if any sampled
+# answer diverges from a single-master walk, any client error is
+# untyped, or the standby never takes over via lease expiry.
+bench-fed:
+	$(GO) run ./cmd/remosbench -json fed
+
 # Refresh the committed baselines deliberately — run on a quiet machine
 # and commit the new records together with the change that moved them.
 bench-baseline:
@@ -98,6 +106,7 @@ bench-baseline:
 	$(GO) run ./cmd/remosbench -json serve
 	$(GO) run ./cmd/remosbench -json shed
 	$(GO) run ./cmd/remosbench -json scale
+	$(GO) run ./cmd/remosbench -json fed
 
 # The benchmark regression gate: regenerate both records into .benchfresh/
 # and compare against the committed baselines. BENCH_SLACK widens the
@@ -110,7 +119,9 @@ bench-check:
 	$(GO) run ./cmd/remosbench -json -outdir .benchfresh serve
 	$(GO) run ./cmd/remosbench -json -outdir .benchfresh shed
 	$(GO) run ./cmd/remosbench -json -outdir .benchfresh scale
+	$(GO) run ./cmd/remosbench -json -outdir .benchfresh fed
 	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_fig3.json .benchfresh/BENCH_fig3.json
 	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_serve.json .benchfresh/BENCH_serve.json
 	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_shed.json .benchfresh/BENCH_shed.json
 	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_scale.json .benchfresh/BENCH_scale.json
+	$(GO) run ./scripts/bench_compare.go -slack $(BENCH_SLACK) BENCH_fed.json .benchfresh/BENCH_fed.json

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	remosbench [flags] {fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|fig10|fig11|serve|shed|scale|all}
+//	remosbench [flags] {fig3|fig4|fig5|fig6|fig7|fig8|fig9|table1|fig10|fig11|serve|shed|scale|fed|all}
 //
 // Flags:
 //
@@ -20,6 +20,9 @@
 //	            CI shrinks both to keep the fabric small)
 //	-shed-bad N      shed-bench misbehaving clients (default 8)
 //	-shed-phase D    shed-bench measured phase duration (default 1s)
+//	-fed-domains N   fed-bench administrative domains (0 = default 3;
+//	            CI shrinks to 2 for a quick smoke)
+//	-fed-queries N   fed-bench total flow queries (0 = default 20000)
 //	-json       additionally write BENCH_<name>.json per experiment
 //	            (the internal/benchfmt record format the bench-check
 //	            gate compares)
@@ -69,6 +72,8 @@ func main() {
 	scaleHosts := flag.Int("scale-hosts", 0, "scale-bench hosts per leaf (0 = default)")
 	shedBad := flag.Int("shed-bad", 0, "shed-bench misbehaving clients (0 = default 8)")
 	shedPhase := flag.Duration("shed-phase", 0, "shed-bench measured phase duration (0 = default 1s)")
+	fedDomains := flag.Int("fed-domains", 0, "fed-bench administrative domains (0 = default 3)")
+	fedQueries := flag.Int("fed-queries", 0, "fed-bench total flow queries (0 = default 20000)")
 	jsonOut := flag.Bool("json", false, "write BENCH_<name>.json per experiment")
 	outDir := flag.String("outdir", ".", "directory for the JSON records")
 	stampFlag := flag.String("timestamp", "", "RFC 3339 timestamp for the JSON records (default: now)")
@@ -239,9 +244,24 @@ func main() {
 			}
 			return nil
 		},
+		"fed": func() error {
+			res, err := servebench.RunFed(servebench.FedConfig{
+				Domains: *fedDomains,
+				Queries: *fedQueries,
+				Seed:    *seed,
+			})
+			if err != nil {
+				return err
+			}
+			res.Print()
+			if *jsonOut {
+				return benchfmt.WriteFile(filepath.Join(*outDir, "BENCH_fed.json"), res.Record(stamp))
+			}
+			return nil
+		},
 	}
 
-	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "fig10", "fig11", "serve", "shed", "scale"}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "fig10", "fig11", "serve", "shed", "scale", "fed"}
 	run := func(name string) {
 		fn, ok := cmds[name]
 		if !ok {
@@ -255,8 +275,8 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("[%s regenerated in %v]\n\n", name, elapsed.Round(time.Millisecond))
-		// serve, shed and scale write their own richer records above.
-		if *jsonOut && name != "serve" && name != "shed" && name != "scale" {
+		// serve, shed, scale and fed write their own richer records above.
+		if *jsonOut && name != "serve" && name != "shed" && name != "scale" && name != "fed" {
 			if err := writeBenchJSON(*outDir, name, elapsed, stamp); err != nil {
 				fmt.Fprintf(os.Stderr, "remosbench: %s: %v\n", name, err)
 				os.Exit(1)

@@ -16,7 +16,8 @@
 //	load <host> [horizon]       current and predicted CPU load (needs -hostload)
 //	watch <src> <dst> [below <Mbit/s>] [above <Mbit/s>] [change <frac>]
 //	                            stream server-pushed bandwidth updates
-//	stats [metrics|health|queries|tenants]    remosd observability plane (needs -obs)
+//	stats [metrics|health|queries|tenants|federation]
+//	                            remosd observability plane (needs -obs)
 //
 // watch subscribes to remosd's continuous-collection plane and prints
 // every pushed update. With no predicate it defaults to "change 0.05"
@@ -340,9 +341,15 @@ func stats(ctx context.Context, base string, args []string) error {
 			return err
 		}
 		return printTenants(body)
+	case "federation":
+		body, err := fetch("/debug/federation")
+		if err != nil {
+			return err
+		}
+		return printFederation(body)
 	case "":
 	default:
-		return fmt.Errorf("unknown stats subcommand %q (want metrics, health, queries or tenants)", which)
+		return fmt.Errorf("unknown stats subcommand %q (want metrics, health, queries, tenants or federation)", which)
 	}
 
 	// Summary view.
@@ -399,7 +406,8 @@ func stats(ctx context.Context, base string, args []string) error {
 			strings.HasPrefix(line, "remos_admission_") ||
 			strings.HasPrefix(line, "remos_snmp_exchanges_total") ||
 			strings.HasPrefix(line, "remos_snmp_timeouts_total") ||
-			strings.HasPrefix(line, "remos_master_queries_total") {
+			strings.HasPrefix(line, "remos_master_queries_total") ||
+			strings.HasPrefix(line, "remos_federation_") {
 			fmt.Printf("  %s\n", line)
 		}
 	}
@@ -409,6 +417,16 @@ func stats(ctx context.Context, base string, args []string) error {
 	if body, err := fetch("/debug/tenants"); err == nil {
 		fmt.Println("\ntenants:")
 		if err := printTenants(body); err != nil {
+			return err
+		}
+	}
+
+	// The federation mesh; only federated daemons serve the endpoint
+	// with domains in it.
+	if body, err := fetch("/debug/federation"); err == nil &&
+		strings.Contains(string(body), `"domain"`) {
+		fmt.Println()
+		if err := printFederation(body); err != nil {
 			return err
 		}
 	}
@@ -442,6 +460,69 @@ func stats(ctx context.Context, base string, args []string) error {
 		}
 		fmt.Printf("  %-10s %-30s %v%s\n", q.Kind, q.Attrs, q.Dur.Round(time.Microsecond), flags)
 	}
+	return nil
+}
+
+// printFederation renders /debug/federation: every advertised domain
+// with its masters in failover order (lease ages against the daemon's
+// clock), the router's cached epoch per domain, and the mesh counters.
+func printFederation(body []byte) error {
+	var snap struct {
+		Domains []struct {
+			Domain  string `json:"domain"`
+			Adverts []struct {
+				Name     string  `json:"name"`
+				Endpoint string  `json:"endpoint"`
+				Local    bool    `json:"local"`
+				Priority int     `json:"priority"`
+				Epoch    uint64  `json:"epoch"`
+				LeaseAge float64 `json:"lease_age_seconds"`
+				LeaseTTL float64 `json:"lease_ttl_seconds"`
+			} `json:"adverts"`
+			CachedFrom  string `json:"cached_from"`
+			CachedEpoch uint64 `json:"cached_epoch"`
+			Stale       bool   `json:"stale"`
+		} `json:"domains"`
+		FlowQueries int64 `json:"flow_queries"`
+		Collects    int64 `json:"collects"`
+		Fetches     int64 `json:"domain_fetches"`
+		CacheHits   int64 `json:"cache_hits"`
+		StaleServes int64 `json:"stale_serves"`
+		Failovers   int64 `json:"failovers"`
+		Stitches    int64 `json:"stitches"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("parsing /debug/federation: %w", err)
+	}
+	if len(snap.Domains) == 0 {
+		fmt.Println("no federated domains advertised (daemon not in federated mode, or no leases yet)")
+		return nil
+	}
+	fmt.Printf("federated domains (%d):\n", len(snap.Domains))
+	for _, d := range snap.Domains {
+		cache := "not cached"
+		switch {
+		case d.Stale:
+			cache = fmt.Sprintf("cached from %s@%d (STALE: all masters unreachable)", d.CachedFrom, d.CachedEpoch)
+		case d.CachedFrom != "":
+			cache = fmt.Sprintf("cached from %s@%d", d.CachedFrom, d.CachedEpoch)
+		}
+		fmt.Printf("  %-8s %s\n", d.Domain, cache)
+		for _, a := range d.Adverts {
+			loc := a.Endpoint
+			if a.Local {
+				loc = "local"
+				if a.Endpoint != "" {
+					loc = "local, " + a.Endpoint
+				}
+			}
+			fmt.Printf("    prio %d  %-12s epoch %-6d lease renewed %.1fs ago, %.1fs left  (%s)\n",
+				a.Priority, a.Name, a.Epoch, a.LeaseAge, a.LeaseTTL, loc)
+		}
+	}
+	fmt.Printf("router: %d flow queries, %d collects, %d fetches (%d cache hits), %d failovers, %d stale serves, %d stitches\n",
+		snap.FlowQueries, snap.Collects, snap.Fetches, snap.CacheHits,
+		snap.Failovers, snap.StaleServes, snap.Stitches)
 	return nil
 }
 

@@ -23,6 +23,7 @@
 //	       [-sched-interval 1s] [-sched-predict 'AR(16)'] [-bench-interval 0]
 //	       [-tenant id:key:rate:burst:conc:watches:tier ...]
 //	       [-anon-limits rate:burst:conc:watches] [-max-queue-wait 500ms]
+//	       [-domains 2 -domain 0 -peer host:port ...]
 //
 // The -obs listener exposes the observability plane: /metrics
 // (Prometheus text), /healthz (per-collector liveness and last-poll
@@ -42,6 +43,23 @@
 // limits; unidentified ones share the -anon-limits pool. Excess load
 // is shed with a typed overload error carrying a retry-after hint on
 // both wire protocols, never by dropping connections.
+//
+// -domains N puts the daemon in federated mode: the scenario network
+// is partitioned into N administrative domains, this daemon masters
+// domain -domain, its directory lease replicates to every -peer (the
+// peers' -dir addresses), and both wire servers answer through the
+// federation router, which stitches per-domain serving graphs at the
+// declared border links — so clients of any daemon get exact
+// cross-domain answers. A two-daemon mesh on one machine:
+//
+//	remosd -domains 2 -domain 0 -listen :3567 -http '' -dir :3569 \
+//	       -hostload '' -obs :3571 -peer 127.0.0.1:4569
+//	remosd -domains 2 -domain 1 -listen :4567 -http '' -dir :4569 \
+//	       -hostload '' -obs :4571 -peer 127.0.0.1:3569
+//
+// remosctl stats federation (against either -obs) renders the mesh:
+// every advertised domain, its masters' lease ages, and the router's
+// cache and failover counters.
 package main
 
 import (
@@ -56,6 +74,19 @@ import (
 
 	"remos/remosd"
 )
+
+// peerFlags accumulates repeated -peer flags.
+type peerFlags struct{ addrs []string }
+
+func (p *peerFlags) String() string { return strings.Join(p.addrs, ",") }
+
+func (p *peerFlags) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty -peer address")
+	}
+	p.addrs = append(p.addrs, v)
+	return nil
+}
 
 // tenantFlags accumulates repeated -tenant flags.
 type tenantFlags struct{ opts []remosd.Option }
@@ -166,6 +197,19 @@ func main() {
 		"admission limits for unidentified connections as rate:burst:conc:watches ('' = unlimited)")
 	maxQueueWait := flag.Duration("max-queue-wait", 0,
 		"bound on admission queueing before a request is shed (0 = admission default)")
+	domains := flag.Int("domains", 0,
+		"federated mode: partition the scenario into this many administrative domains (0/1 = single master)")
+	domain := flag.Int("domain", 0,
+		"federated mode: the domain index this daemon masters, in [0, -domains)")
+	var peers peerFlags
+	flag.Var(&peers, "peer",
+		"peer daemon's directory address for lease replication (repeatable)")
+	fedPriority := flag.Int("fed-priority", 0,
+		"this master's failover rank among its domain's replicas (lower preferred)")
+	fedRefresh := flag.Duration("fed-refresh", 0,
+		"federation heartbeat/serving-graph refresh interval (0 = 1s default)")
+	fedLease := flag.Duration("fed-lease", 0,
+		"federation advert lease lifetime (0 = 3x refresh default)")
 	flag.Parse()
 
 	opts := []remosd.Option{
@@ -197,6 +241,18 @@ func main() {
 	}
 	if *maxQueueWait > 0 {
 		opts = append(opts, remosd.WithMaxQueueWait(*maxQueueWait))
+	}
+	if *domains > 1 {
+		opts = append(opts,
+			remosd.WithFederation(*domains, *domain),
+			remosd.WithFederationPriority(*fedPriority),
+			remosd.WithFederationLease(*fedRefresh, *fedLease),
+		)
+		for _, p := range peers.addrs {
+			opts = append(opts, remosd.WithFederationPeer(p))
+		}
+	} else if len(peers.addrs) > 0 || *fedPriority != 0 {
+		log.Fatalf("remosd: -peer and -fed-priority need federated mode (-domains >= 2)")
 	}
 
 	d, err := remosd.Start(opts...)

@@ -35,11 +35,30 @@ type Advert struct {
 	// BenchHost is the site's benchmark endpoint, used as the join
 	// point for inter-site queries.
 	BenchHost netip.Addr
+
+	// Domain names the administrative domain a federated master serves;
+	// empty for non-federated registrations.
+	Domain string
+	// Priority orders replica masters for the same domain: lower is
+	// preferred, so failover walks surviving adverts in priority order.
+	Priority int
+	// Epoch is the registrant's current snapshot generation, refreshed
+	// on every heartbeat re-registration. The federation plane compares
+	// it against cached remote answers for domain-scoped invalidation.
+	Epoch uint64
+	// Seq is the lease sequence number. Local registrations bump it
+	// monotonically; replicated adverts apply only when at least as new,
+	// so a stale replica can never overwrite a fresher lease
+	// (latest-lease-wins).
+	Seq uint64
 }
 
 type entry struct {
 	advert  Advert
 	expires time.Time
+	// renewed is when the current lease was granted (registration or a
+	// replicated newer lease), for lease-age diagnostics.
+	renewed time.Time
 }
 
 // Service is a directory instance.
@@ -61,6 +80,9 @@ func New(sched sim.Scheduler) *Service {
 const DefaultTTL = 3 * time.Hour
 
 // Register adds or refreshes an advertisement with the given lifetime.
+// The stored lease sequence advances monotonically: a re-registration is
+// a fresh lease, so it supersedes both the previous local lease and any
+// replicated copy of it still circulating between peers.
 func (s *Service) Register(a Advert, ttl time.Duration) error {
 	if a.Name == "" {
 		return fmt.Errorf("directory: advertisement needs a name")
@@ -73,8 +95,47 @@ func (s *Service) Register(a Advert, ttl time.Duration) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.entries[a.Name] = entry{advert: a, expires: s.sched.Now().Add(ttl)}
+	if prev, ok := s.entries[a.Name]; ok && a.Seq <= prev.advert.Seq {
+		a.Seq = prev.advert.Seq + 1
+	} else if a.Seq == 0 {
+		a.Seq = 1
+	}
+	now := s.sched.Now()
+	s.entries[a.Name] = entry{advert: a, expires: now.Add(ttl), renewed: now}
 	return nil
+}
+
+// ReplicaApply folds a peer-replicated advertisement in under
+// latest-lease-wins: a strictly newer sequence replaces the entry, an
+// equal sequence can only extend the expiry (anti-entropy re-pushes the
+// same lease), and an older sequence is rejected. It reports whether
+// the advert was applied.
+func (s *Service) ReplicaApply(a Advert, ttl time.Duration) bool {
+	if a.Name == "" || (a.Collector == nil && a.Endpoint == "") {
+		return false
+	}
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.sched.Now()
+	expires := now.Add(ttl)
+	prev, ok := s.entries[a.Name]
+	if ok && !prev.expires.Before(now) {
+		if a.Seq < prev.advert.Seq {
+			return false
+		}
+		if a.Seq == prev.advert.Seq {
+			if expires.After(prev.expires) {
+				prev.expires = expires
+				s.entries[a.Name] = prev
+			}
+			return true
+		}
+	}
+	s.entries[a.Name] = entry{advert: a, expires: expires, renewed: now}
+	return true
 }
 
 // Deregister removes an advertisement.
@@ -105,18 +166,81 @@ func (s *Service) Adverts() []Advert {
 // Lookup returns the advertisement responsible for the address by
 // longest-prefix match.
 func (s *Service) Lookup(h netip.Addr) (Advert, bool) {
-	best := -1
-	var found Advert
+	all := s.LookupAll(h)
+	if len(all) == 0 {
+		return Advert{}, false
+	}
+	return all[0], true
+}
+
+// LookupAll returns every unexpired advertisement with a prefix
+// containing the address, best first: longest matching prefix, then
+// lowest Priority, then name. The federation router walks this list for
+// failover — when the preferred master's lease has lapsed (its advert
+// is gone), the next surviving replica answers.
+func (s *Service) LookupAll(h netip.Addr) []Advert {
+	type match struct {
+		a    Advert
+		bits int
+	}
+	var ms []match
 	for _, a := range s.Adverts() {
+		best := -1
 		for _, p := range a.Prefixes {
 			if p.Contains(h) && p.Bits() > best {
 				best = p.Bits()
-				found = a
 			}
 		}
+		if best >= 0 {
+			ms = append(ms, match{a: a, bits: best})
+		}
 	}
-	return found, best >= 0
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].bits != ms[j].bits {
+			return ms[i].bits > ms[j].bits
+		}
+		if ms[i].a.Priority != ms[j].a.Priority {
+			return ms[i].a.Priority < ms[j].a.Priority
+		}
+		return ms[i].a.Name < ms[j].a.Name
+	})
+	out := make([]Advert, len(ms))
+	for i, m := range ms {
+		out[i] = m.a
+	}
+	return out
 }
+
+// AdvertStatus is one advertisement with its lease expiry, for
+// diagnostics (remosctl stats federation renders lease ages from it).
+type AdvertStatus struct {
+	Advert
+	Expires time.Time
+	// Renewed is when the current lease was granted.
+	Renewed time.Time
+}
+
+// Status returns the unexpired advertisements with their lease
+// expiries, sorted by name.
+func (s *Service) Status() []AdvertStatus {
+	now := s.sched.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []AdvertStatus
+	for name, e := range s.entries {
+		if e.expires.Before(now) {
+			delete(s.entries, name)
+			continue
+		}
+		out = append(out, AdvertStatus{Advert: e.advert, Expires: e.expires, Renewed: e.renewed})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Now exposes the directory's clock, so callers rendering Status can
+// compute lease ages against the same time base.
+func (s *Service) Now() time.Time { return s.sched.Now() }
 
 // Resolve turns an advertisement into a usable collector: the local
 // handle when present, otherwise a protocol client for the endpoint.

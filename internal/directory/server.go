@@ -27,6 +27,33 @@ import (
 //	S: OK <n>
 //	S: ADVERT <name> <endpoint> <benchHost|-> <nPrefixes>
 //	S: <prefix> ... (n lines, repeated per advert)
+//
+// The federation plane adds two verbs. REPLICATE pushes one advert
+// between peer directories under latest-lease-wins (the reply's flag
+// reports whether it was applied or lost to a fresher lease), carrying
+// the lease fields REGISTER does not: domain, replica priority,
+// snapshot epoch and lease sequence. LISTX is LIST with those fields
+// and the lease's remaining lifetime, so a peer can re-lease exactly.
+//
+//	C: REPLICATE <name> <ttlSeconds> <endpoint> <benchHost|-> <domain|-> <priority> <epoch> <seq> <nPrefixes>
+//	C: <prefix> ... (n lines)
+//	S: OK <applied:0|1> | ERR <message>
+//
+//	C: LISTX
+//	S: OK <n>
+//	S: ADVERTX <name> <endpoint> <benchHost|-> <domain|-> <priority> <epoch> <seq> <ttlSeconds> <nPrefixes>
+//	S: <prefix> ... (n lines, repeated per advert)
+
+// wireTTL renders a live lease's lifetime in the whole seconds the wire
+// grammar carries, rounding up: truncation would collapse a sub-second
+// lease to 0, which the receiving side reads as "use DefaultTTL" — a
+// 500ms lease must not arrive as a three-hour one.
+func wireTTL(ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	return int((ttl + time.Second - 1) / time.Second)
+}
 
 // Server exposes a Service over TCP.
 type Server struct {
@@ -129,6 +156,50 @@ func (s *Server) serveOne(w io.Writer, r *bufio.Reader) error {
 			return nil
 		}
 		fmt.Fprintln(w, "OK")
+	case "REPLICATE":
+		if len(f) != 10 {
+			fmt.Fprintln(w, "ERR REPLICATE needs name ttl endpoint benchHost domain priority epoch seq nPrefixes")
+			return nil
+		}
+		ttlSec, err1 := strconv.Atoi(f[2])
+		prio, err2 := strconv.Atoi(f[6])
+		epoch, err3 := strconv.ParseUint(f[7], 10, 64)
+		seq, err4 := strconv.ParseUint(f[8], 10, 64)
+		nPrefixes, err5 := strconv.Atoi(f[9])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil || nPrefixes < 0 || nPrefixes > 1024 {
+			fmt.Fprintln(w, "ERR bad numbers")
+			return nil
+		}
+		a := Advert{Name: f[1], Endpoint: f[3], Priority: prio, Epoch: epoch, Seq: seq}
+		if f[4] != "-" {
+			bh, err := netip.ParseAddr(f[4])
+			if err != nil {
+				fmt.Fprintln(w, "ERR bad bench host")
+				return nil
+			}
+			a.BenchHost = bh
+		}
+		if f[5] != "-" {
+			a.Domain = f[5]
+		}
+		for i := 0; i < nPrefixes; i++ {
+			pl, err := r.ReadString('\n')
+			if err != nil {
+				return err
+			}
+			p, err := netip.ParsePrefix(strings.TrimSpace(pl))
+			if err != nil {
+				fmt.Fprintf(w, "ERR bad prefix %q\n", strings.TrimSpace(pl))
+				return nil
+			}
+			a.Prefixes = append(a.Prefixes, p)
+		}
+		applied := s.Service.ReplicaApply(a, time.Duration(ttlSec)*time.Second)
+		flag := 0
+		if applied {
+			flag = 1
+		}
+		fmt.Fprintf(w, "OK %d\n", flag)
 	case "DEREGISTER":
 		if len(f) != 2 {
 			fmt.Fprintln(w, "ERR DEREGISTER needs name")
@@ -151,6 +222,30 @@ func (s *Server) serveOne(w io.Writer, r *bufio.Reader) error {
 			}
 			fmt.Fprintf(bw, "ADVERT %s %s %s %d\n", a.Name, endpoint, bench, len(a.Prefixes))
 			for _, p := range a.Prefixes {
+				fmt.Fprintln(bw, p.String())
+			}
+		}
+		return bw.Flush()
+	case "LISTX":
+		status := s.Service.Status()
+		now := s.Service.Now()
+		bw := bufio.NewWriter(w)
+		fmt.Fprintf(bw, "OK %d\n", len(status))
+		for _, st := range status {
+			bench, endpoint, domain := "-", st.Endpoint, st.Domain
+			if st.BenchHost.IsValid() {
+				bench = st.BenchHost.String()
+			}
+			if endpoint == "" {
+				endpoint = "-"
+			}
+			if domain == "" {
+				domain = "-"
+			}
+			ttl := wireTTL(st.Expires.Sub(now))
+			fmt.Fprintf(bw, "ADVERTX %s %s %s %s %d %d %d %d %d\n",
+				st.Name, endpoint, bench, domain, st.Priority, st.Epoch, st.Seq, ttl, len(st.Prefixes))
+			for _, p := range st.Prefixes {
 				fmt.Fprintln(bw, p.String())
 			}
 		}
@@ -210,7 +305,7 @@ func (c *Client) Register(a Advert, ttl time.Duration) error {
 		}
 		bw := bufio.NewWriter(conn)
 		fmt.Fprintf(bw, "REGISTER %s %d %s %s %d\n",
-			a.Name, int(ttl.Seconds()), a.Endpoint, bench, len(a.Prefixes))
+			a.Name, wireTTL(ttl), a.Endpoint, bench, len(a.Prefixes))
 		for _, p := range a.Prefixes {
 			fmt.Fprintln(bw, p.String())
 		}

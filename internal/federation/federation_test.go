@@ -1,0 +1,483 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"remos/internal/collector"
+	"remos/internal/directory"
+	"remos/internal/modeler"
+	"remos/internal/netsim"
+	"remos/internal/obs"
+	"remos/internal/proto"
+	"remos/internal/rerr"
+	"remos/internal/sim"
+	"remos/internal/topology"
+)
+
+// mesh is one in-process federated deployment: a fabric partitioned
+// into k domains, each with a local master heartbeating into one shared
+// directory (standing in for a converged replica), and a router over it.
+type mesh struct {
+	s       *sim.Sim
+	n       *netsim.Network
+	p       *netsim.Partition
+	dir     *directory.Service
+	router  *Router
+	masters []*DomainServer
+	hosts   []netip.Addr
+	reg     *obs.Registry
+}
+
+func buildMesh(t *testing.T, n *netsim.Network, s *sim.Sim, k int) *mesh {
+	t.Helper()
+	p, err := netsim.PartitionDomains(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &mesh{s: s, n: n, p: p, dir: directory.New(s), reg: obs.New()}
+	for i := 0; i < k; i++ {
+		i := i
+		ds, err := StartDomain(DomainConfig{
+			Name:      fmt.Sprintf("dom%d-a", i),
+			Domain:    fmt.Sprintf("dom%d", i),
+			Graph:     func() (*topology.Graph, error) { return m.p.ServingGraph(i) },
+			Hosts:     p.DomainHosts(i),
+			Prefixes:  p.HostPrefixes(i),
+			Directory: m.dir,
+			Sched:     s,
+			Obs:       m.reg,
+			Refresh:   time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ds.Close)
+		m.masters = append(m.masters, ds)
+		m.hosts = append(m.hosts, p.DomainHosts(i)...)
+	}
+	m.router, err = NewRouter(RouterConfig{Directory: m.dir, Obs: m.reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// checkFlowsMatchGroundTruth asks the router for the flows and compares
+// the answer — byte for byte, == on every field — against a single
+// master's walk of the whole unpartitioned topology.
+func checkFlowsMatchGroundTruth(t *testing.T, m *mesh, flows []modeler.Flow) {
+	t.Helper()
+	got, err := m.router.GetFlowsContext(context.Background(), flows, modeler.FlowOptions{})
+	if err != nil {
+		t.Fatalf("federated flows: %v", err)
+	}
+	truth, err := netsim.TopologyGraph(m.n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]topology.FlowRequest, len(flows))
+	for i, f := range flows {
+		reqs[i] = topology.FlowRequest{Src: f.Src.String(), Dst: f.Dst.String(), Demand: f.Demand}
+	}
+	want, err := truth.FlowAlloc(reqs)
+	if err != nil {
+		t.Fatalf("ground-truth walk: %v", err)
+	}
+	for i := range flows {
+		if got[i].Available != want[i].Available ||
+			got[i].Latency != want[i].Latency ||
+			got[i].Jitter != want[i].Jitter ||
+			!reflect.DeepEqual(got[i].Path, want[i].Path) {
+			t.Fatalf("flow %d (%v -> %v) diverges from single-master walk:\ngot  %v %v %v %v\nwant %v %v %v %v",
+				i, flows[i].Src, flows[i].Dst,
+				got[i].Available, got[i].Latency, got[i].Jitter, got[i].Path,
+				want[i].Available, want[i].Latency, want[i].Jitter, want[i].Path)
+		}
+	}
+}
+
+func TestStitchedFlowsMatchSingleMasterTwoTier(t *testing.T) {
+	s := sim.NewSim()
+	n := netsim.New(s)
+	tt := netsim.BuildTwoTier(n, netsim.TwoTierSpec{Spines: 2, Leaves: 6, HostsPerLeaf: 3})
+	m := buildMesh(t, n, s, 3)
+
+	// Mixed traffic: intra-domain, cross-domain, and demand-limited.
+	rnd := rand.New(rand.NewSource(7))
+	var flows []modeler.Flow
+	for i := 0; i < 24; i++ {
+		a := tt.Hosts[rnd.Intn(len(tt.Hosts))].Addr()
+		b := tt.Hosts[rnd.Intn(len(tt.Hosts))].Addr()
+		if a == b {
+			continue
+		}
+		var demand float64
+		if i%3 == 0 {
+			demand = float64(1+rnd.Intn(50)) * 1e6
+		}
+		flows = append(flows, modeler.Flow{Src: a, Dst: b, Demand: demand})
+	}
+	checkFlowsMatchGroundTruth(t, m, flows)
+}
+
+// TestStitchedFlowsMatchSingleMasterRandom is the randomized stitching
+// property test: over random fabrics, random partitions, and random
+// flow sets — with cross traffic perturbing utilizations between rounds
+// — the federated answer equals the single-master ground-truth walk
+// exactly, and the stitched path index's bottleneck walk (max-min over
+// the path's reduced capacities) matches the whole graph's.
+func TestStitchedFlowsMatchSingleMasterRandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		s := sim.NewSim()
+		n := netsim.New(s)
+		nr := 2 + rnd.Intn(5)
+		routers := make([]*netsim.Device, nr)
+		wired := map[[2]int]bool{}
+		connect := func(a, b int, capacity float64) {
+			key := [2]int{min(a, b), max(a, b)}
+			if a == b || wired[key] {
+				return
+			}
+			wired[key] = true
+			n.Connect(routers[a], routers[b], capacity, time.Millisecond)
+		}
+		for i := range routers {
+			routers[i] = n.AddRouter(fmt.Sprintf("r%d", i))
+			if i > 0 {
+				connect(i, rnd.Intn(i), 1e9)
+			}
+		}
+		for extra := rnd.Intn(nr); extra > 0; extra-- {
+			connect(rnd.Intn(nr), rnd.Intn(nr), 1e9+float64(rnd.Intn(5))*1e8)
+		}
+		var hostDevs []*netsim.Device
+		for i, r := range routers {
+			sw := n.AddSwitch(fmt.Sprintf("sw%d", i))
+			n.Connect(sw, r, 1e9, time.Millisecond)
+			for h := 0; h < 2+rnd.Intn(2); h++ {
+				host := n.AddHost(fmt.Sprintf("h%d-%d", i, h))
+				n.Connect(host, sw, 100e6, time.Millisecond)
+				hostDevs = append(hostDevs, host)
+			}
+		}
+		n.AssignSubnets()
+		n.ComputeRoutes()
+
+		k := 1 + rnd.Intn(nr)
+		m := buildMesh(t, n, s, k)
+
+		// Perturb utilizations so the serving graphs carry non-zero load,
+		// then refresh every master at the same instant — the moment a
+		// deployment's schedulers would all have polled.
+		if len(hostDevs) >= 2 {
+			if _, err := n.StartCrossTraffic(hostDevs[0], hostDevs[len(hostDevs)-1], netsim.CrossTrafficSpec{
+				Mean: 5e6, Jitter: 0.5, Period: 500 * time.Millisecond, Seed: int64(trial + 1),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.RunFor(3 * time.Second)
+
+		var flows []modeler.Flow
+		for i := 0; i < 16; i++ {
+			a := m.hosts[rnd.Intn(len(m.hosts))]
+			b := m.hosts[rnd.Intn(len(m.hosts))]
+			if a == b {
+				continue
+			}
+			flows = append(flows, modeler.Flow{Src: a, Dst: b})
+		}
+		if len(flows) == 0 {
+			continue
+		}
+		checkFlowsMatchGroundTruth(t, m, flows)
+
+		// The bottleneck walk on the stitched index equals the walk on
+		// the whole graph (same maxmin.Bottleneck over the same links).
+		truth, err := netsim.TopologyGraph(m.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := m.router.stitchedPaths(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range flows[:1] {
+			gotBW, gotPath, gotErr := paths.BottleneckAvail(f.Src.String(), f.Dst.String())
+			wantBW, wantPath, wantErr := truth.BottleneckAvail(f.Src.String(), f.Dst.String())
+			if (gotErr == nil) != (wantErr == nil) || gotBW != wantBW || !reflect.DeepEqual(gotPath, wantPath) {
+				t.Fatalf("trial %d: bottleneck diverges: got %v %v %v, want %v %v %v",
+					trial, gotBW, gotPath, gotErr, wantBW, wantPath, wantErr)
+			}
+		}
+	}
+}
+
+func TestEpochCacheInvalidation(t *testing.T) {
+	s := sim.NewSim()
+	n := netsim.New(s)
+	tt := netsim.BuildTwoTier(n, netsim.TwoTierSpec{Spines: 2, Leaves: 4, HostsPerLeaf: 2})
+	m := buildMesh(t, n, s, 2)
+	flows := []modeler.Flow{{Src: tt.Hosts[0].Addr(), Dst: tt.Hosts[len(tt.Hosts)-1].Addr()}}
+
+	checkFlowsMatchGroundTruth(t, m, flows)
+	fetches := m.router.mFetches.Value()
+	stitches := m.router.mStitches.Value()
+
+	// Same epochs: the repeat query is answered entirely from cache.
+	checkFlowsMatchGroundTruth(t, m, flows)
+	if got := m.router.mFetches.Value(); got != fetches {
+		t.Fatalf("repeat query fetched %d domains, want 0", got-fetches)
+	}
+	if got := m.router.mStitches.Value(); got != stitches {
+		t.Fatalf("repeat query rebuilt the stitched graph")
+	}
+	if m.router.mCacheHits.Value() == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+
+	// Heartbeats advance every domain's epoch: the next query must
+	// re-fetch and re-stitch.
+	s.RunFor(time.Second)
+	checkFlowsMatchGroundTruth(t, m, flows)
+	if got := m.router.mFetches.Value(); got == fetches {
+		t.Fatal("epoch moved but no re-fetch happened")
+	}
+	if got := m.router.mStitches.Value(); got == stitches {
+		t.Fatal("epoch moved but the stitched graph was not rebuilt")
+	}
+}
+
+// TestFailoverToSecondaryOnLeaseExpiry kills a domain's primary master
+// and lets its lease lapse: queries keep answering exactly, now from
+// the surviving secondary, with no non-typed error in between.
+func TestFailoverToSecondaryOnLeaseExpiry(t *testing.T) {
+	s := sim.NewSim()
+	n := netsim.New(s)
+	tt := netsim.BuildTwoTier(n, netsim.TwoTierSpec{Spines: 2, Leaves: 4, HostsPerLeaf: 2})
+	m := buildMesh(t, n, s, 2)
+
+	// A secondary for domain 0, lower preference.
+	sec, err := StartDomain(DomainConfig{
+		Name:      "dom0-b",
+		Domain:    "dom0",
+		Priority:  1,
+		Graph:     func() (*topology.Graph, error) { return m.p.ServingGraph(0) },
+		Hosts:     m.p.DomainHosts(0),
+		Prefixes:  m.p.HostPrefixes(0),
+		Directory: m.dir,
+		Sched:     s,
+		Obs:       m.reg,
+		Refresh:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sec.Close()
+
+	flows := []modeler.Flow{{Src: tt.Hosts[0].Addr(), Dst: tt.Hosts[len(tt.Hosts)-1].Addr()}}
+	checkFlowsMatchGroundTruth(t, m, flows)
+
+	// Crash the primary: heartbeat stops, lease left to lapse (TTL is
+	// 3×Refresh = 3s).
+	m.masters[0].Kill()
+	s.RunFor(4 * time.Second)
+	if _, ok := m.dir.Lookup(m.p.DomainHosts(0)[0]); !ok {
+		t.Fatal("domain 0 lost both adverts")
+	}
+	checkFlowsMatchGroundTruth(t, m, flows)
+	snap := m.router.Snapshot()
+	var dom0 *DomainSnapshot
+	for i := range snap.Domains {
+		if snap.Domains[i].Domain == "dom0" {
+			dom0 = &snap.Domains[i]
+		}
+	}
+	if dom0 == nil || dom0.CachedFrom != "dom0-b" {
+		t.Fatalf("domain 0 not served by the secondary after lease expiry: %+v", dom0)
+	}
+}
+
+// TestStaleServeWhenAllMastersUnreachable covers the last-resort step:
+// the domain's only master is reachable over the wire, caches an
+// answer, then crashes with its lease still live. Queries inside that
+// window serve the stale cached graph — and never a non-typed error.
+func TestStaleServeWhenAllMastersUnreachable(t *testing.T) {
+	s := sim.NewSim()
+	n := netsim.New(s)
+	tt := netsim.BuildTwoTier(n, netsim.TwoTierSpec{Spines: 2, Leaves: 4, HostsPerLeaf: 2})
+	p, err := netsim.PartitionDomains(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := directory.New(s)
+	reg := obs.New()
+
+	// Domain 0 is remote: its master serves over a real TCP socket and
+	// registers endpoint-form, so crashing is closing the listener.
+	d0, err := StartDomain(DomainConfig{
+		Name:   "dom0-a",
+		Domain: "dom0",
+		Graph:  func() (*topology.Graph, error) { return p.ServingGraph(0) },
+		// Registered below with the endpoint; keep it out of the local
+		// directory so resolution must go through the wire.
+		Hosts: p.DomainHosts(0), Prefixes: p.HostPrefixes(0),
+		Directory: directory.New(s), Sched: s, Obs: reg, Refresh: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d0.Close()
+	gate := &gatedCollector{inner: d0.Collector()}
+	srv := &proto.TCPServer{Collector: gate}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Register(directory.Advert{
+		Name: "dom0-a", Domain: "dom0", Endpoint: "tcp://" + addr,
+		Prefixes: p.HostPrefixes(0),
+	}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	// Domain 1 is local.
+	d1, err := StartDomain(DomainConfig{
+		Name: "dom1-a", Domain: "dom1",
+		Graph: func() (*topology.Graph, error) { return p.ServingGraph(1) },
+		Hosts: p.DomainHosts(1), Prefixes: p.HostPrefixes(1),
+		Directory: dir, Sched: s, Obs: reg, Refresh: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d1.Close()
+
+	router, err := NewRouter(RouterConfig{Directory: dir, Obs: reg, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &mesh{s: s, n: n, p: p, dir: dir, router: router, reg: reg}
+	flows := []modeler.Flow{{Src: tt.Hosts[0].Addr(), Dst: tt.Hosts[len(tt.Hosts)-1].Addr()}}
+	checkFlowsMatchGroundTruth(t, m, flows)
+
+	// Crash the remote master with its lease still live, and let a
+	// replicated heartbeat (sent before the crash) move the advertised
+	// epoch on — the cache is now invalid AND the master unreachable.
+	gate.dead.Store(true)
+	srv.Close()
+	if err := dir.Register(directory.Advert{
+		Name: "dom0-a", Domain: "dom0", Endpoint: "tcp://" + addr,
+		Prefixes: p.HostPrefixes(0), Epoch: uint64(d0.Epoch()) + 1,
+	}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	got, err := router.GetFlowsContext(context.Background(), flows, modeler.FlowOptions{})
+	if err != nil {
+		t.Fatalf("stale window query failed: %v", err)
+	}
+	if len(got) != 1 || got[0].Available <= 0 {
+		t.Fatalf("stale window answer: %+v", got)
+	}
+	if router.mStale.Value() == 0 {
+		t.Fatal("no stale serve recorded")
+	}
+	if !router.Snapshot().Domains[0].Stale {
+		t.Fatal("snapshot does not mark dom0 stale")
+	}
+}
+
+// gatedCollector refuses every query once dead is set — a master whose
+// process is gone while its listener's pooled connections linger.
+type gatedCollector struct {
+	inner collector.Interface
+	dead  atomic.Bool
+}
+
+func (g *gatedCollector) Name() string { return g.inner.Name() }
+func (g *gatedCollector) Collect(q collector.Query) (*collector.Result, error) {
+	if g.dead.Load() {
+		return nil, rerr.Tagf(rerr.ErrCollectorUnavailable, "master crashed")
+	}
+	return g.inner.Collect(q)
+}
+
+// TestRouterCollectFanOut pins the collector face: hosts grouped by
+// owning master, answered over the wire where the advert is remote,
+// merged deterministically, and unknown hosts refused with the typed
+// no-responsible-collector error (distinct from domain-unreachable).
+func TestRouterCollectFanOut(t *testing.T) {
+	s := sim.NewSim()
+	n := netsim.New(s)
+	tt := netsim.BuildTwoTier(n, netsim.TwoTierSpec{Spines: 2, Leaves: 4, HostsPerLeaf: 2})
+	m := buildMesh(t, n, s, 2)
+
+	// Find a pair of hosts owned by different domains.
+	var src, dst netip.Addr
+	for _, h := range tt.Hosts[1:] {
+		if m.p.DomainOf(h) != m.p.DomainOf(tt.Hosts[0]) {
+			src, dst = tt.Hosts[0].Addr(), h.Addr()
+			break
+		}
+	}
+	if !dst.IsValid() {
+		t.Fatal("partition put every host in one domain")
+	}
+	res, err := m.router.Collect(collector.Query{Hosts: []netip.Addr{src, dst}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NodeByAddr(src.String()) == nil || res.Graph.NodeByAddr(dst.String()) == nil {
+		t.Fatal("merged cross-domain answer missing an endpoint")
+	}
+	// The merged serving graphs must route between the domains.
+	if _, _, err := res.Graph.BottleneckAvail(src.String(), dst.String()); err != nil {
+		t.Fatalf("no cross-domain route in merged answer: %v", err)
+	}
+
+	_, err = m.router.Collect(collector.Query{Hosts: []netip.Addr{netip.MustParseAddr("192.0.2.1")}})
+	if !errors.Is(err, rerr.ErrUnknownHost) {
+		t.Fatalf("unknown host error = %v, want ErrUnknownHost", err)
+	}
+	if errors.Is(err, rerr.ErrCollectorUnavailable) {
+		t.Fatal("unknown host conflated with domain-unreachable")
+	}
+}
+
+// TestDomainUnreachableIsTyped pins the other side of that distinction:
+// a host whose domain is advertised but whose masters cannot be reached
+// (and no cache exists) fails with ErrCollectorUnavailable, not
+// ErrNoRoute or a bare error.
+func TestDomainUnreachableIsTyped(t *testing.T) {
+	s := sim.NewSim()
+	dir := directory.New(s)
+	if err := dir.Register(directory.Advert{
+		Name: "ghost-a", Domain: "ghost",
+		Endpoint: "tcp://127.0.0.1:1", // nothing listens here
+		Prefixes: []netip.Prefix{netip.MustParsePrefix("10.9.0.0/16")},
+	}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewRouter(RouterConfig{Directory: dir, Timeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = router.GetFlowsContext(context.Background(),
+		[]modeler.Flow{{Src: netip.MustParseAddr("10.9.0.1"), Dst: netip.MustParseAddr("10.9.0.2")}},
+		modeler.FlowOptions{})
+	if !errors.Is(err, rerr.ErrCollectorUnavailable) {
+		t.Fatalf("unreachable domain error = %v, want ErrCollectorUnavailable", err)
+	}
+	if errors.Is(err, rerr.ErrNoRoute) {
+		t.Fatal("domain-unreachable conflated with no-route")
+	}
+}

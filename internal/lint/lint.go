@@ -88,14 +88,16 @@ type Policy struct {
 func DefaultPolicy() Policy {
 	return Policy{
 		Wallclock: set("netsim", "maxmin", "sched", "watch", "qcache",
-			"snmpcoll", "benchcoll", "rps", "snapshot", "admission"),
+			"snmpcoll", "benchcoll", "rps", "snapshot", "admission",
+			"federation"),
 		ErrWrap: set("proto", "master", "remos"),
 		GoCtx: set("proto", "directory", "snmp", "sim", "sched", "watch",
-			"benchcoll", "qcache", "master", "admission"),
+			"benchcoll", "qcache", "master", "admission", "federation"),
 		PoolReturn: set("proto", "snmp"),
 		MetricSubsystems: set("admission", "bench", "bridge", "directory",
-			"hostload", "master", "modeler", "qcache", "request", "requests",
-			"sched", "snapshot", "snmp", "snmpcoll", "watch", "wireless"),
+			"federation", "hostload", "master", "modeler", "qcache",
+			"request", "requests", "sched", "snapshot", "snmp", "snmpcoll",
+			"watch", "wireless"),
 	}
 }
 
@@ -266,7 +268,7 @@ func Run(pkgs []*Package, policy Policy) []Diagnostic {
 		case !d.used:
 			diags = append(diags, Diagnostic{
 				File: d.pos.Filename, Line: d.pos.Line, Col: d.pos.Column,
-				Check: "allow",
+				Check:   "allow",
 				Message: fmt.Sprintf("unused allow directive for %s (no finding suppressed)", d.check),
 			})
 		}

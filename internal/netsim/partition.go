@@ -1,0 +1,273 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"remos/internal/topology"
+)
+
+// Domain partitioning: the federation plane splits one emulated network
+// into k administrative domains, each run by its own master, with the
+// links crossing domain boundaries declared explicitly as border links.
+// The invariant the federation stitch depends on — and the property test
+// pins — is that the union of the per-domain subgraphs plus the border
+// links reconstructs the original topology exactly.
+
+// Partition is one division of a network into k domains.
+type Partition struct {
+	net *Network
+	k   int
+
+	// Domains holds each domain's devices in network insertion order.
+	Domains [][]*Device
+	// Borders are the links whose endpoints lie in different domains, in
+	// network link order.
+	Borders []*Link
+
+	domainOf map[*Device]int
+}
+
+// PartitionDomains splits the network into k connected domains by
+// deterministic multi-source BFS: k seed devices are chosen evenly
+// spaced over the device list, and every device joins the domain of the
+// seed that reaches it first (ties break toward the lower domain
+// index). Devices unreachable from any seed fall into domain 0.
+func PartitionDomains(n *Network, k int) (*Partition, error) {
+	devs := n.Devices()
+	if k <= 0 {
+		return nil, fmt.Errorf("netsim: partition needs k >= 1, got %d", k)
+	}
+	if k > len(devs) {
+		return nil, fmt.Errorf("netsim: cannot partition %d devices into %d domains", len(devs), k)
+	}
+	p := &Partition{
+		net:      n,
+		k:        k,
+		Domains:  make([][]*Device, k),
+		domainOf: make(map[*Device]int, len(devs)),
+	}
+	// Seeds are routers when enough exist (evenly spaced over the router
+	// list), otherwise evenly spaced devices. Router seeds keep broadcast
+	// domains whole: a leaf pod's switch and hosts are reachable only
+	// through their own router, so the pod follows the router's domain
+	// and no advertised host subnet ever spans two domains.
+	seeds := make([]*Device, 0, len(devs))
+	for _, d := range devs {
+		if d.Kind == Router {
+			seeds = append(seeds, d)
+		}
+	}
+	if len(seeds) < k {
+		seeds = devs
+	}
+	type qent struct {
+		dev *Device
+		dom int
+	}
+	queue := make([]qent, 0, len(devs))
+	for i := 0; i < k; i++ {
+		seed := seeds[i*len(seeds)/k]
+		if _, taken := p.domainOf[seed]; taken {
+			// Degenerate spacing (k close to len(devs)); take the next
+			// unclaimed device.
+			for _, d := range devs {
+				if _, ok := p.domainOf[d]; !ok {
+					seed = d
+					break
+				}
+			}
+		}
+		p.domainOf[seed] = i
+		queue = append(queue, qent{seed, i})
+	}
+	// One BFS over the union frontier: the queue already interleaves the
+	// seeds, so expansion proceeds ring by ring and the first domain to
+	// reach a device claims it.
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, ifc := range cur.dev.Ifaces() {
+			peer := ifc.Peer()
+			if peer == nil {
+				continue
+			}
+			if _, ok := p.domainOf[peer.Dev]; ok {
+				continue
+			}
+			p.domainOf[peer.Dev] = cur.dom
+			queue = append(queue, qent{peer.Dev, cur.dom})
+		}
+	}
+	for _, d := range devs {
+		dom, ok := p.domainOf[d]
+		if !ok {
+			// Disconnected from every seed: keep the partition total.
+			dom = 0
+			p.domainOf[d] = 0
+		}
+		p.Domains[dom] = append(p.Domains[dom], d)
+	}
+	for _, l := range n.Links() {
+		if p.domainOf[l.A.Dev] != p.domainOf[l.B.Dev] {
+			p.Borders = append(p.Borders, l)
+		}
+	}
+	return p, nil
+}
+
+// K returns the number of domains.
+func (p *Partition) K() int { return p.k }
+
+// DomainOf returns the domain index a device belongs to.
+func (p *Partition) DomainOf(d *Device) int { return p.domainOf[d] }
+
+// nodeFor renders one device as a topology node under the collector
+// naming convention: the node ID is the management address string.
+func nodeFor(d *Device) topology.Node {
+	addr := d.ManagementAddr().String()
+	var kind topology.NodeKind
+	switch d.Kind {
+	case Router:
+		kind = topology.RouterNode
+	case Switch:
+		kind = topology.SwitchNode
+	default:
+		kind = topology.HostNode
+	}
+	return topology.Node{ID: addr, Kind: kind, Addr: addr}
+}
+
+func linkFor(l *Link) topology.Link {
+	return topology.Link{
+		From:     l.A.Dev.ManagementAddr().String(),
+		To:       l.B.Dev.ManagementAddr().String(),
+		Capacity: l.Capacity,
+		Latency:  l.Delay,
+		Jitter:   l.Jitter,
+	}
+}
+
+// TopologyGraph derives the full topology graph a single master's
+// collectors would assemble from a complete walk of the network — the
+// federation plane's ground truth.
+func TopologyGraph(n *Network) (*topology.Graph, error) {
+	g := topology.NewGraph()
+	for _, d := range n.Devices() {
+		g.AddNode(nodeFor(d))
+	}
+	for _, l := range n.Links() {
+		if _, err := g.AddLink(linkFor(l)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// DomainGraph returns domain i's interior: its devices and the links
+// with both endpoints inside the domain.
+func (p *Partition) DomainGraph(i int) (*topology.Graph, error) {
+	if i < 0 || i >= p.k {
+		return nil, fmt.Errorf("netsim: domain %d out of range [0,%d)", i, p.k)
+	}
+	g := topology.NewGraph()
+	for _, d := range p.Domains[i] {
+		g.AddNode(nodeFor(d))
+	}
+	for _, l := range p.net.Links() {
+		if p.domainOf[l.A.Dev] == i && p.domainOf[l.B.Dev] == i {
+			if _, err := g.AddLink(linkFor(l)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// ServingGraph returns what domain i's master serves to the federation:
+// the domain interior plus the border links incident to the domain,
+// with the far endpoints included as stub nodes. Stitching the serving
+// graphs of every domain (topology.Graph.Merge unites stubs with their
+// home domain's real nodes and dedupes border links declared from both
+// sides) reconstructs the full topology exactly.
+func (p *Partition) ServingGraph(i int) (*topology.Graph, error) {
+	g, err := p.DomainGraph(i)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range p.Borders {
+		da, db := p.domainOf[l.A.Dev], p.domainOf[l.B.Dev]
+		if da != i && db != i {
+			continue
+		}
+		for _, stub := range [2]*Device{l.A.Dev, l.B.Dev} {
+			if p.domainOf[stub] != i {
+				if g.Node(stub.ManagementAddr().String()) == nil {
+					g.AddNode(nodeFor(stub))
+				}
+			}
+		}
+		if _, err := g.AddLink(linkFor(l)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// HostPrefixes returns the network prefixes domain i's master is
+// responsible for: the distinct interface subnets of its devices plus
+// host routes for devices whose management address lies outside them
+// (switch management addresses). Sorted for deterministic adverts.
+func (p *Partition) HostPrefixes(i int) []netip.Prefix {
+	if i < 0 || i >= p.k {
+		return nil
+	}
+	seen := make(map[netip.Prefix]bool)
+	var out []netip.Prefix
+	add := func(pfx netip.Prefix) {
+		if pfx.IsValid() && !seen[pfx] {
+			seen[pfx] = true
+			out = append(out, pfx)
+		}
+	}
+	for _, d := range p.Domains[i] {
+		covered := false
+		for _, ifc := range d.Ifaces() {
+			if ifc.Prefix.IsValid() {
+				add(ifc.Prefix.Masked())
+				if ifc.IP.IsValid() {
+					covered = true
+				}
+			}
+		}
+		if !covered {
+			if ip := d.ManagementAddr(); ip.IsValid() {
+				add(netip.PrefixFrom(ip, ip.BitLen()))
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Bits() != out[b].Bits() {
+			return out[a].Bits() > out[b].Bits()
+		}
+		return out[a].Addr().Less(out[b].Addr())
+	})
+	return out
+}
+
+// DomainHosts returns the management addresses of domain i's hosts (end
+// systems only), in insertion order — the query population for
+// federation benchmarks.
+func (p *Partition) DomainHosts(i int) []netip.Addr {
+	if i < 0 || i >= p.k {
+		return nil
+	}
+	var out []netip.Addr
+	for _, d := range p.Domains[i] {
+		if d.Kind == Host {
+			out = append(out, d.ManagementAddr())
+		}
+	}
+	return out
+}

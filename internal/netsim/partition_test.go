@@ -1,0 +1,204 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"remos/internal/sim"
+	"remos/internal/topology"
+)
+
+// graphSignature renders a graph canonically: nodes sorted by ID, links
+// sorted with endpoints in lexicographic order, every annotation
+// included. Two graphs with equal signatures are exactly equal.
+func graphSignature(g *topology.Graph) string {
+	var b strings.Builder
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&b, "N %s %s %s\n", n.ID, n.Kind, n.Addr)
+	}
+	lines := make([]string, 0, len(g.Links()))
+	for _, l := range g.Links() {
+		from, to := l.From, l.To
+		uf, ut := l.UtilFromTo, l.UtilToFrom
+		if from > to {
+			from, to = to, from
+			uf, ut = ut, uf
+		}
+		lines = append(lines, fmt.Sprintf("L %s %s %g %g %g %v %v", from, to, l.Capacity, uf, ut, l.Latency, l.Jitter))
+	}
+	sort.Strings(lines)
+	b.WriteString(strings.Join(lines, "\n"))
+	return b.String()
+}
+
+// checkReconstruction pins the federation stitch invariant on one
+// network: for every tested k, the union of the per-domain interiors
+// plus the border links — and equally the merge of the serving graphs —
+// reconstructs the original topology exactly.
+func checkReconstruction(t *testing.T, n *Network, k int) {
+	t.Helper()
+	truth, err := TopologyGraph(n)
+	if err != nil {
+		t.Fatalf("TopologyGraph: %v", err)
+	}
+	p, err := PartitionDomains(n, k)
+	if err != nil {
+		t.Fatalf("PartitionDomains(k=%d): %v", k, err)
+	}
+	total := 0
+	for i := range p.Domains {
+		total += len(p.Domains[i])
+	}
+	if total != len(n.Devices()) {
+		t.Fatalf("k=%d: partition covers %d of %d devices", k, total, len(n.Devices()))
+	}
+
+	// Interiors plus declared borders.
+	union := topology.NewGraph()
+	for i := 0; i < k; i++ {
+		dg, err := p.DomainGraph(i)
+		if err != nil {
+			t.Fatalf("DomainGraph(%d): %v", i, err)
+		}
+		union.Merge(dg)
+	}
+	intraLinks := len(union.Links())
+	for _, l := range p.Borders {
+		union.Merge(borderOnly(l))
+	}
+	if got, want := graphSignature(union), graphSignature(truth); got != want {
+		t.Fatalf("k=%d: domain union + borders != original topology\ngot:\n%s\nwant:\n%s", k, got, want)
+	}
+	if intraLinks+len(p.Borders) != len(truth.Links()) {
+		t.Fatalf("k=%d: %d intra + %d border links != %d total", k, intraLinks, len(p.Borders), len(truth.Links()))
+	}
+
+	// Serving graphs stitched the way the federation router stitches.
+	stitched := topology.NewGraph()
+	for i := 0; i < k; i++ {
+		sg, err := p.ServingGraph(i)
+		if err != nil {
+			t.Fatalf("ServingGraph(%d): %v", i, err)
+		}
+		stitched.Merge(sg)
+	}
+	if got, want := graphSignature(stitched), graphSignature(truth); got != want {
+		t.Fatalf("k=%d: stitched serving graphs != original topology\ngot:\n%s\nwant:\n%s", k, got, want)
+	}
+}
+
+// borderOnly renders one border link as a two-node graph for merging.
+func borderOnly(l *Link) *topology.Graph {
+	g := topology.NewGraph()
+	g.AddNode(nodeFor(l.A.Dev))
+	g.AddNode(nodeFor(l.B.Dev))
+	if _, err := g.AddLink(linkFor(l)); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestPartitionReconstructsTwoTier(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		s := sim.NewSim()
+		n := New(s)
+		BuildTwoTier(n, TwoTierSpec{Spines: 3, Leaves: 8, HostsPerLeaf: 4})
+		checkReconstruction(t, n, k)
+	}
+}
+
+func TestPartitionReconstructsRandomNetworks(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 24; trial++ {
+		s := sim.NewSim()
+		n := New(s)
+		// A random router core (spanning tree plus chords) with a random
+		// block of hosts behind a switch on each router.
+		nr := 2 + rnd.Intn(6)
+		routers := make([]*Device, nr)
+		// The virtual topology keeps one link per device pair (Merge
+		// dedupes by unordered endpoints), so the generator does too.
+		wired := map[[2]int]bool{}
+		connect := func(a, b int, capacity float64) {
+			key := [2]int{min(a, b), max(a, b)}
+			if a == b || wired[key] {
+				return
+			}
+			wired[key] = true
+			n.Connect(routers[a], routers[b], capacity, time.Millisecond)
+		}
+		for i := range routers {
+			routers[i] = n.AddRouter(fmt.Sprintf("r%d", i))
+			if i > 0 {
+				connect(i, rnd.Intn(i), 1e9)
+			}
+		}
+		for extra := rnd.Intn(nr); extra > 0; extra-- {
+			connect(rnd.Intn(nr), rnd.Intn(nr), 1e9+float64(rnd.Intn(5))*1e8)
+		}
+		for i, r := range routers {
+			sw := n.AddSwitch(fmt.Sprintf("sw%d", i))
+			n.Connect(sw, r, 1e9, time.Millisecond)
+			for h := 0; h < 1+rnd.Intn(3); h++ {
+				host := n.AddHost(fmt.Sprintf("h%d-%d", i, h))
+				n.Connect(host, sw, 100e6, time.Millisecond)
+			}
+		}
+		n.AssignSubnets()
+		n.ComputeRoutes()
+		k := 1 + rnd.Intn(nr)
+		checkReconstruction(t, n, k)
+	}
+}
+
+func TestPartitionDomainsErrors(t *testing.T) {
+	s := sim.NewSim()
+	n := New(s)
+	BuildTwoTier(n, TwoTierSpec{Spines: 1, Leaves: 1, HostsPerLeaf: 1})
+	if _, err := PartitionDomains(n, 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := PartitionDomains(n, len(n.Devices())+1); err == nil {
+		t.Fatal("k > devices should fail")
+	}
+}
+
+func TestPartitionHostPrefixesCoverHosts(t *testing.T) {
+	s := sim.NewSim()
+	n := New(s)
+	tt := BuildTwoTier(n, TwoTierSpec{Spines: 2, Leaves: 6, HostsPerLeaf: 3})
+	p, err := PartitionDomains(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range tt.Hosts {
+		dom := p.DomainOf(h)
+		covered := false
+		for _, pfx := range p.HostPrefixes(dom) {
+			if pfx.Contains(h.ManagementAddr()) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("host %s (domain %d) not covered by its domain's prefixes", h.ManagementAddr(), dom)
+		}
+		// The owning domain must hold the longest matching prefix across
+		// all domains, so directory lookups route to the right master.
+		best, bestDom := -1, -1
+		for i := 0; i < p.K(); i++ {
+			for _, pfx := range p.HostPrefixes(i) {
+				if pfx.Contains(h.ManagementAddr()) && pfx.Bits() > best {
+					best, bestDom = pfx.Bits(), i
+				}
+			}
+		}
+		if bestDom != dom {
+			t.Fatalf("host %s: longest prefix owned by domain %d, device in domain %d", h.ManagementAddr(), bestDom, dom)
+		}
+	}
+}

@@ -1,0 +1,499 @@
+package servebench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"remos/internal/benchfmt"
+	"remos/internal/collector"
+	"remos/internal/directory"
+	"remos/internal/federation"
+	"remos/internal/modeler"
+	"remos/internal/netsim"
+	"remos/internal/obs"
+	"remos/internal/proto"
+	"remos/internal/rerr"
+	"remos/internal/sim"
+	"remos/internal/snapshot"
+	"remos/internal/topology"
+)
+
+// The federation benchmark: a K-domain collector mesh over real
+// sockets. Each domain's master runs behind its own wire server with a
+// private directory replica that pushes its lease to the querying
+// daemon's directory; clients hammer the federation router with mixed
+// intra- and cross-domain flow queries; and halfway through, domain 0's
+// primary master is killed without deregistering — the crash path — so
+// the rest of the run measures priority-ordered failover to the
+// surviving standby while the dead lease ages out of the directory.
+//
+// The bench is structural as well as quantitative: every sampled answer
+// is compared byte-for-byte against a single-master ground-truth server
+// walking the whole fabric, any client error must carry a typed rerr
+// code, and the run fails if the router never recorded a failover or
+// domain 0 is not served by the standby at the end.
+
+// FedConfig shapes one federation-bench run. Zero values select the
+// defaults noted on each field.
+type FedConfig struct {
+	// Domains is the number of administrative domains the fabric is
+	// partitioned into (default 3). Domain 0 gets a standby master in
+	// addition to its primary.
+	Domains int
+	// Clients is the number of concurrent querying clients (default 4).
+	Clients int
+	// Queries is the total flow-query count across all clients (default
+	// 20000 — long enough that the run spans several refresh epochs, so
+	// the latency tail consistently includes epoch-bump restitches).
+	// The primary kill lands halfway through each client's run.
+	Queries int
+	// SampleEvery compares every Nth successful answer per client
+	// against the single-master ground-truth server (default 4;
+	// negative disables sampling).
+	SampleEvery int
+	// Refresh is each master's heartbeat/serving-graph refresh interval
+	// and the lease replication push period (default 100ms).
+	Refresh time.Duration
+	// LeaseTTL is the advert lease lifetime (default 500ms) — how long
+	// a crashed master's registration haunts the directory.
+	LeaseTTL time.Duration
+	// Seed randomizes per-client pair selection (default 1).
+	Seed int64
+}
+
+func (c *FedConfig) applyDefaults() {
+	if c.Domains <= 0 {
+		c.Domains = 3
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Queries <= 0 {
+		c.Queries = 20000
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 4
+	}
+	if c.Refresh <= 0 {
+		c.Refresh = 100 * time.Millisecond
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 500 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// FedResult is one federation-bench run's measurements.
+type FedResult struct {
+	Domains int
+	Nodes   int
+	Borders int
+	Clients int
+	Queries int
+	Elapsed time.Duration
+	// QPS is completed federated flow queries per wall-clock second
+	// across the whole run, kill round included. P50 and P99 are
+	// per-query latencies.
+	QPS      float64
+	P50, P99 time.Duration
+	// Sampled is how many answers were compared against the
+	// single-master ground truth (all matched, or the run failed).
+	Sampled int
+	// Cross is how many queries spanned domains.
+	Cross int
+	// TypedErrors counts client errors during the kill round; every one
+	// carried a typed rerr code (the run fails otherwise).
+	TypedErrors int
+	// Failovers is the router's failover counter at the end of the run:
+	// sub-queries answered by the standby after the primary died.
+	Failovers int64
+}
+
+// Record renders the result as the committed benchmark record.
+func (r *FedResult) Record(stamp string) benchfmt.Record {
+	return benchfmt.Record{
+		Name:      "fed",
+		Timestamp: stamp,
+		Metrics: []benchfmt.Metric{
+			{Metric: "queries_per_sec", Value: r.QPS, Unit: "1/s", Kind: benchfmt.KindThroughput},
+			{Metric: "p50_seconds", Value: r.P50.Seconds(), Unit: "s", Kind: benchfmt.KindLatency},
+			{Metric: "p99_seconds", Value: r.P99.Seconds(), Unit: "s", Kind: benchfmt.KindLatency},
+			{Metric: "domains", Value: float64(r.Domains), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "nodes", Value: float64(r.Nodes), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "border_links", Value: float64(r.Borders), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "clients", Value: float64(r.Clients), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "queries", Value: float64(r.Queries), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "cross_domain_queries", Value: float64(r.Cross), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "sampled_exact", Value: float64(r.Sampled), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "typed_errors", Value: float64(r.TypedErrors), Unit: "", Kind: benchfmt.KindInfo},
+			{Metric: "failovers", Value: float64(r.Failovers), Unit: "", Kind: benchfmt.KindInfo},
+		},
+	}
+}
+
+// fedMasterGate fronts a domain master's wire server so the bench can
+// crash it: once dead it refuses with a typed error, exactly what a
+// connection to a rebooting machine degrades into.
+type fedMasterGate struct {
+	mu    sync.Mutex
+	inner collector.Interface
+	dead  bool
+}
+
+func (g *fedMasterGate) Name() string { return "fed-master-gate" }
+
+func (g *fedMasterGate) set(c collector.Interface) {
+	g.mu.Lock()
+	g.inner = c
+	g.mu.Unlock()
+}
+
+func (g *fedMasterGate) kill() {
+	g.mu.Lock()
+	g.dead = true
+	g.mu.Unlock()
+}
+
+func (g *fedMasterGate) Collect(q collector.Query) (*collector.Result, error) {
+	g.mu.Lock()
+	inner, dead := g.inner, g.dead
+	g.mu.Unlock()
+	if dead || inner == nil {
+		return nil, rerr.Tagf(rerr.ErrCollectorUnavailable, "fedbench: master is down")
+	}
+	return inner.Collect(q)
+}
+
+// fedMaster is one running domain master: its wire server, its private
+// directory replica pushing the lease to the querying daemon, and the
+// crash switch.
+type fedMaster struct {
+	ds   *federation.DomainServer
+	srv  *proto.TCPServer
+	rep  *directory.Replicator
+	gate *fedMasterGate
+}
+
+// crash simulates the machine dying: heartbeat, replication and the
+// wire server all stop at once, and the lease is left to lapse.
+func (m *fedMaster) crash() {
+	m.ds.Kill()
+	m.rep.Close()
+	m.gate.kill()
+	m.srv.Close()
+}
+
+func (m *fedMaster) close() {
+	m.rep.Close()
+	m.ds.Close()
+	m.srv.Close()
+}
+
+// RunFed executes one federation-bench run and reports its
+// measurements.
+func RunFed(cfg FedConfig) (*FedResult, error) {
+	cfg.applyDefaults()
+	clk := sim.Real{}
+
+	// The fabric: a two-tier pod network partitioned into K domains,
+	// two pods per domain, so every spine link is a border link and the
+	// query mix crosses domains constantly.
+	s := sim.NewSim()
+	n := netsim.New(s)
+	tt := netsim.BuildTwoTier(n, netsim.TwoTierSpec{
+		Spines: 2, Leaves: 2 * cfg.Domains, HostsPerLeaf: 4,
+	})
+	part, err := netsim.PartitionDomains(n, cfg.Domains)
+	if err != nil {
+		return nil, fmt.Errorf("fedbench: partition: %w", err)
+	}
+	truth, err := netsim.TopologyGraph(n)
+	if err != nil {
+		return nil, fmt.Errorf("fedbench: ground truth graph: %w", err)
+	}
+	hosts := make([]netip.Addr, len(tt.Hosts))
+	domainOf := make(map[netip.Addr]int, len(tt.Hosts))
+	for i, h := range tt.Hosts {
+		hosts[i] = h.Addr()
+		domainOf[h.Addr()] = part.DomainOf(h)
+	}
+
+	// The single-master ground truth: the whole fabric applied to one
+	// snapshot store, served over its own wire server. Sampled
+	// federated answers must match its wire answers exactly.
+	truthStore := snapshot.New(snapshot.Config{Now: clk.Now})
+	truthStore.Apply(hosts, &collector.Result{Graph: truth}, clk.Now())
+	truthSrv := &proto.TCPServer{
+		Collector: failCollector{},
+		Flows: modeler.New(modeler.Config{
+			Collector: failCollector{}, Snapshot: truthStore, MaxStale: time.Hour,
+		}),
+	}
+	truthAddr, err := truthSrv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("fedbench: truth listen: %w", err)
+	}
+	defer truthSrv.Close()
+
+	// The querying daemon: a directory replica receiving every master's
+	// lease over the wire, and the federation router serving clients.
+	reg := obs.New()
+	rdir := directory.New(clk)
+	rdirSrv := &directory.Server{Service: rdir}
+	rdirAddr, err := rdirSrv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("fedbench: directory listen: %w", err)
+	}
+	defer rdirSrv.Close()
+	router, err := federation.NewRouter(federation.RouterConfig{
+		Directory: rdir, Obs: reg, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fedbench: %w", err)
+	}
+	routerSrv := &proto.TCPServer{Collector: router, Flows: router, Obs: reg}
+	routerAddr, err := routerSrv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("fedbench: router listen: %w", err)
+	}
+	defer routerSrv.Close()
+
+	// The masters: one primary per domain, plus a standby for domain 0
+	// (the one the bench crashes). Each listens first, then registers
+	// with its bound address as the advert endpoint, then starts
+	// pushing the lease to the querying daemon's directory.
+	startMaster := func(domain, priority int) (*fedMaster, error) {
+		gate := &fedMasterGate{}
+		srv := &proto.TCPServer{Collector: gate}
+		addr, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("fedbench: master listen: %w", err)
+		}
+		mdir := directory.New(clk)
+		ds, err := federation.StartDomain(federation.DomainConfig{
+			Name:      fmt.Sprintf("d%d-p%d", domain, priority),
+			Domain:    fmt.Sprintf("d%d", domain),
+			Priority:  priority,
+			Endpoint:  "tcp://" + addr,
+			Graph:     func() (*topology.Graph, error) { return part.ServingGraph(domain) },
+			Hosts:     part.DomainHosts(domain),
+			Prefixes:  part.HostPrefixes(domain),
+			Directory: mdir,
+			Sched:     clk,
+			Refresh:   cfg.Refresh,
+			LeaseTTL:  cfg.LeaseTTL,
+		})
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		gate.set(ds.Collector())
+		rep := directory.StartReplicator(directory.ReplicatorConfig{
+			Service: mdir, Peers: []string{rdirAddr}, Sched: clk, Interval: cfg.Refresh,
+		})
+		rep.Push() // seed the querying daemon immediately
+		return &fedMaster{ds: ds, srv: srv, rep: rep, gate: gate}, nil
+	}
+	var masters []*fedMaster
+	defer func() {
+		for _, m := range masters {
+			m.close()
+		}
+	}()
+	var victim, standby *fedMaster
+	for i := 0; i < cfg.Domains; i++ {
+		m, err := startMaster(i, 0)
+		if err != nil {
+			return nil, err
+		}
+		masters = append(masters, m)
+		if i == 0 {
+			victim = m
+		}
+	}
+	standby, err = startMaster(0, 1)
+	if err != nil {
+		return nil, err
+	}
+	masters = append(masters, standby)
+
+	// The workload: each client dials the router daemon and issues
+	// random-pair flow queries, sampling answers against the truth
+	// server. Halfway through its run, client 0 crashes domain 0's
+	// primary; every error after that must still carry a typed code.
+	perClient := cfg.Queries / cfg.Clients
+	total := perClient * cfg.Clients
+	type clientStats struct {
+		lats    []time.Duration
+		cross   int
+		sampled int
+		typed   int
+		err     error
+	}
+	stats := make([]clientStats, cfg.Clients)
+	killAt := perClient / 2
+	var killOnce sync.Once
+	ctx := context.Background()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			cl := &proto.TCPClient{Addr: routerAddr}
+			tc := &proto.TCPClient{Addr: truthAddr}
+			rnd := rand.New(rand.NewSource(cfg.Seed + 7919*int64(c+1)))
+			fq := make([]modeler.Flow, 1)
+			for i := 0; i < perClient; i++ {
+				if c == 0 && i == killAt {
+					killOnce.Do(func() {
+						victim.crash()
+						// Drive the failover path while the dead lease
+						// still stands: a host-scoped topology sub-query
+						// makes the router walk domain 0's adverts in
+						// priority order — the dead primary refuses, the
+						// standby answers.
+						cq := collector.Query{Hosts: part.DomainHosts(0)[:1]}.WithContext(ctx)
+						for try := 0; try < 100; try++ {
+							if _, err := cl.Collect(cq); err != nil && rerr.Code(err) == "" {
+								st.err = fmt.Errorf("fedbench: post-kill collect: untyped error: %w", err)
+								return
+							}
+							if router.Snapshot().Failovers > 0 {
+								return
+							}
+							time.Sleep(10 * time.Millisecond)
+						}
+						st.err = fmt.Errorf("fedbench: no failover observed after the primary kill")
+					})
+					if st.err != nil {
+						return
+					}
+				}
+				src := hosts[rnd.Intn(len(hosts))]
+				dst := hosts[rnd.Intn(len(hosts))]
+				for dst == src {
+					dst = hosts[rnd.Intn(len(hosts))]
+				}
+				if domainOf[src] != domainOf[dst] {
+					st.cross++
+				}
+				fq[0] = modeler.Flow{Src: src, Dst: dst}
+				t0 := time.Now()
+				infos, err := cl.Flows(ctx, fq)
+				if err != nil {
+					// The kill round sheds some in-flight sub-queries;
+					// each must surface as a typed, routable failure.
+					if rerr.Code(err) == "" {
+						st.err = fmt.Errorf("fedbench: client %d query %d: untyped error: %w", c, i, err)
+						return
+					}
+					st.typed++
+					continue
+				}
+				st.lats = append(st.lats, time.Since(t0))
+				if cfg.SampleEvery > 0 && i%cfg.SampleEvery == 0 {
+					want, err := tc.Flows(ctx, fq)
+					if err != nil {
+						st.err = fmt.Errorf("fedbench: client %d truth query %d: %w", c, i, err)
+						return
+					}
+					if !reflect.DeepEqual(infos, want) {
+						st.err = fmt.Errorf("fedbench: client %d query %d (%v->%v): federated answer diverges from single-master walk:\n got %+v\nwant %+v",
+							c, i, src, dst, infos, want)
+						return
+					}
+					st.sampled++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	res := &FedResult{
+		Domains: cfg.Domains,
+		Nodes:   len(n.Devices()),
+		Borders: len(part.Borders),
+		Clients: cfg.Clients,
+		Queries: total,
+		Elapsed: elapsed,
+	}
+	for c := range stats {
+		if stats[c].err != nil {
+			return nil, stats[c].err
+		}
+		all = append(all, stats[c].lats...)
+		res.Cross += stats[c].cross
+		res.Sampled += stats[c].sampled
+		res.TypedErrors += stats[c].typed
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) == 0 {
+		return nil, fmt.Errorf("fedbench: no query succeeded")
+	}
+	res.QPS = float64(len(all)) / elapsed.Seconds()
+	res.P50 = all[len(all)/2]
+	res.P99 = all[int(0.99*float64(len(all)-1))]
+
+	// Structural postconditions: the crash was survived by failover,
+	// and once the dead lease ages out the standby owns domain 0.
+	deadline := time.Now().Add(cfg.LeaseTTL + 4*cfg.Refresh + 2*time.Second)
+	cl := &proto.TCPClient{Addr: routerAddr}
+	d0 := part.DomainHosts(0)
+	for {
+		fq := []modeler.Flow{{Src: d0[0], Dst: hosts[len(hosts)-1]}}
+		if _, err := cl.Flows(ctx, fq); err == nil {
+			snap := router.Snapshot()
+			okStandby, primaryGone := false, true
+			for _, dom := range snap.Domains {
+				if dom.Domain != "d0" {
+					continue
+				}
+				if dom.CachedFrom == "d0-p1" && !dom.Stale {
+					okStandby = true
+				}
+				for _, a := range dom.Adverts {
+					if a.Name == "d0-p0" {
+						primaryGone = false
+					}
+				}
+			}
+			res.Failovers = snap.Failovers
+			if okStandby && primaryGone && snap.Failovers > 0 {
+				break
+			}
+		} else if rerr.Code(err) == "" {
+			return nil, fmt.Errorf("fedbench: post-kill query: untyped error: %w", err)
+		}
+		if time.Now().After(deadline) {
+			snap := router.Snapshot()
+			return nil, fmt.Errorf("fedbench: domain 0 never settled on the standby (failovers %d, domains %+v)",
+				snap.Failovers, snap.Domains)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return res, nil
+}
+
+// Print renders the human-readable summary remosbench prints.
+func (r *FedResult) Print() {
+	fmt.Printf("federation bench: %d domains (%d nodes, %d border links), %d clients, %d queries (%d cross-domain)\n",
+		r.Domains, r.Nodes, r.Borders, r.Clients, r.Queries, r.Cross)
+	fmt.Printf("  %.0f queries/s over %v; p50 %v, p99 %v\n",
+		r.QPS, r.Elapsed.Round(time.Millisecond), r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	fmt.Printf("  %d answers sampled against the single-master walk (all exact)\n", r.Sampled)
+	fmt.Printf("  primary kill mid-run: %d failovers to the standby, %d typed client errors, 0 untyped\n",
+		r.Failovers, r.TypedErrors)
+}

@@ -1,0 +1,39 @@
+package servebench
+
+import "testing"
+
+// TestRunFedSmoke is the small-K CI smoke of the federation bench: two
+// domains, a handful of queries, the mid-run primary kill included. The
+// run itself asserts the structural postconditions (sampled answers
+// exact against the single-master walk, only typed errors, failover to
+// the standby observed), so the test just checks the run completes and
+// the accounting is sane.
+func TestRunFedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins a real socket mesh")
+	}
+	res, err := RunFed(FedConfig{
+		Domains: 2,
+		Clients: 2,
+		Queries: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sampled == 0 {
+		t.Fatalf("no answers were sampled against the ground truth: %+v", res)
+	}
+	if res.Cross == 0 {
+		t.Fatalf("no cross-domain queries in the mix: %+v", res)
+	}
+	if res.Failovers == 0 {
+		t.Fatalf("primary kill produced no failovers: %+v", res)
+	}
+	if res.QPS <= 0 || res.P99 < res.P50 {
+		t.Fatalf("implausible measurements: %+v", res)
+	}
+	rec := res.Record("2001-01-01T00:00:00Z")
+	if rec.Name != "fed" || len(rec.Metrics) == 0 {
+		t.Fatalf("bad bench record: %+v", rec)
+	}
+}

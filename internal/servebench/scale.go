@@ -117,39 +117,6 @@ func (r *ScaleResult) Record(stamp string) benchfmt.Record {
 	}
 }
 
-// groundTruthGraph derives the topology graph the collectors would
-// assemble from a full walk of the network, using the collector naming
-// convention: every node's ID is its (management) address string.
-func groundTruthGraph(n *netsim.Network) (*topology.Graph, error) {
-	g := topology.NewGraph()
-	kind := func(d *netsim.Device) topology.NodeKind {
-		switch d.Kind {
-		case netsim.Router:
-			return topology.RouterNode
-		case netsim.Switch:
-			return topology.SwitchNode
-		default:
-			return topology.HostNode
-		}
-	}
-	for _, d := range n.Devices() {
-		addr := d.ManagementAddr().String()
-		g.AddNode(topology.Node{ID: addr, Kind: kind(d), Addr: addr})
-	}
-	for _, l := range n.Links() {
-		if _, err := g.AddLink(topology.Link{
-			From:     l.A.Dev.ManagementAddr().String(),
-			To:       l.B.Dev.ManagementAddr().String(),
-			Capacity: l.Capacity,
-			Latency:  l.Delay,
-			Jitter:   l.Jitter,
-		}); err != nil {
-			return nil, err
-		}
-	}
-	return g, nil
-}
-
 // failCollector refuses every collect, pinning that the measured loop
 // never leaves the snapshot plane.
 type failCollector struct{}
@@ -168,7 +135,7 @@ func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
 	tt := netsim.BuildTwoTier(n, netsim.TwoTierSpec{
 		Spines: cfg.Spines, Leaves: cfg.Leaves, HostsPerLeaf: cfg.HostsPerLeaf,
 	})
-	g, err := groundTruthGraph(n)
+	g, err := netsim.TopologyGraph(n)
 	if err != nil {
 		return nil, fmt.Errorf("scalebench: ground truth graph: %w", err)
 	}

@@ -292,6 +292,16 @@ func (g *Graph) adjacency() map[string][]halfLink {
 		adj[l.From] = append(adj[l.From], halfLink{link: l, fromA: true})
 		adj[l.To] = append(adj[l.To], halfLink{link: l, fromA: false})
 	}
+	// Canonical neighbor order: BFS tie-breaking must depend on the
+	// graph's content, not on link insertion history, so that two graphs
+	// with the same nodes and links route identically no matter how they
+	// were assembled (a federated stitch of per-domain subgraphs arrives
+	// in a different link order than a single-master walk). Sort each
+	// node's neighbors by peer ID; parallel links between the same pair
+	// keep their relative insertion order.
+	for _, hs := range adj {
+		sort.SliceStable(hs, func(i, j int) bool { return hs[i].peer() < hs[j].peer() })
+	}
 	return adj
 }
 

@@ -103,6 +103,22 @@ type Config struct {
 	Anonymous    *Limits       // limits for unidentified connections
 	MaxQueueWait time.Duration // queue-wait bound before shedding
 
+	// Federation: when Domains > 1 the daemon runs in federated mode.
+	// The scenario network is partitioned into Domains administrative
+	// domains, this daemon serves domain index Domain as a federated
+	// master (advertised into its directory replica with FedPriority),
+	// and the wire servers answer through the federation router, which
+	// stitches per-domain serving graphs at the declared border links.
+	// FedPeers are the peer daemons' directory addresses; leases
+	// replicate to them so every replica can route around a dead
+	// master once its lease lapses.
+	Domains     int
+	Domain      int
+	FedPeers    []string
+	FedPriority int
+	FedRefresh  time.Duration // heartbeat/refresh interval (default 1s)
+	FedLeaseTTL time.Duration // advert lease lifetime (default 3×refresh)
+
 	Logf func(format string, args ...any) // nil = silent
 }
 
@@ -200,6 +216,29 @@ func WithAnonymousLimits(lim Limits) Option {
 // before it is shed.
 func WithMaxQueueWait(d time.Duration) Option { return func(c *Config) { c.MaxQueueWait = d } }
 
+// WithFederation puts the daemon in federated mode: the scenario
+// network is split into domains administrative domains and this daemon
+// serves domain index domain as a federated master.
+func WithFederation(domains, domain int) Option {
+	return func(c *Config) { c.Domains, c.Domain = domains, domain }
+}
+
+// WithFederationPeer adds one peer daemon's directory address for
+// lease replication. Repeatable.
+func WithFederationPeer(addr string) Option {
+	return func(c *Config) { c.FedPeers = append(c.FedPeers, addr) }
+}
+
+// WithFederationPriority sets this master's failover rank among its
+// domain's replicas (lower is preferred).
+func WithFederationPriority(p int) Option { return func(c *Config) { c.FedPriority = p } }
+
+// WithFederationLease tunes the federation heartbeat interval and
+// advert lease lifetime (zero keeps the defaults).
+func WithFederationLease(refresh, ttl time.Duration) Option {
+	return func(c *Config) { c.FedRefresh, c.FedLeaseTTL = refresh, ttl }
+}
+
 // WithLogf directs the daemon's progress log (nil keeps it silent).
 func WithLogf(logf func(format string, args ...any)) Option {
 	return func(c *Config) { c.Logf = logf }
@@ -221,6 +260,10 @@ type Daemon struct {
 	HostLoadAddr  string // "" when disabled
 	ObsAddr       string // "" when disabled
 	Hosts         []HostInfo
+
+	// FedDomain names the administrative domain this daemon serves in
+	// federated mode ("" otherwise).
+	FedDomain string
 
 	// Metrics is the daemon's registry — the same one /metrics renders.
 	Metrics *obs.Registry
@@ -298,6 +341,9 @@ func (cfg Config) Start() (*Daemon, error) {
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
+	}
+	if cfg.Domains > 1 {
+		return cfg.startFederated(logf)
 	}
 	reg := obs.New()
 	traces := obs.NewRing(128, cfg.SlowQuery)
@@ -554,11 +600,24 @@ func firstSite(dep *core.Deployment) string {
 	return names[0]
 }
 
-// buildScenario wires one of the demo networks. benchIval is the
-// wide-area benchmark round interval (0 = benchcoll's default): the
-// inter-site hop is measured by benchmarks, not SNMP, so it bounds how
-// fresh WAN availability — and every watch predicate over it — can be.
-func buildScenario(s *sim.Sim, name string, benchIval time.Duration, opts core.Options) (*core.Deployment, []*netsim.Device, error) {
+// scenarioNet is one demo network before any collectors attach: the
+// fabric itself, the hosts clients may query, the site specs a
+// single-master deployment would attach collectors to, and an optional
+// background-traffic starter. The federated boot path reuses the same
+// fabric and partitions it into domains instead of attaching sites.
+type scenarioNet struct {
+	n     *netsim.Network
+	hosts []*netsim.Device
+	sites []core.SiteSpec
+	// traffic starts the scenario's background load (nil = none). The
+	// single-master path runs it so measurements move; the federated
+	// path skips it so every daemon's copy of the fabric stays
+	// identical and stitched answers match across the mesh.
+	traffic func() error
+}
+
+// buildNetwork wires one of the demo fabrics.
+func buildNetwork(s *sim.Sim, name string) (*scenarioNet, error) {
 	n := netsim.New(s)
 	switch name {
 	case "twosite":
@@ -581,31 +640,21 @@ func buildScenario(s *sim.Sim, name string, benchIval time.Duration, opts core.O
 		n.Connect(srv, swB, 100e6, time.Millisecond)
 		n.AssignSubnets()
 		n.ComputeRoutes()
-		// Background load so measurements move.
-		noise1 := app2
-		noise2 := srv
-		dep := core.NewDeployment(s, n, opts)
-		if _, err := dep.AddSite(core.SiteSpec{
-			Name: "a", Switches: []*netsim.Device{swA}, BenchHost: benchA,
-			BenchInterval: benchIval,
-		}); err != nil {
-			return nil, nil, err
-		}
-		if _, err := dep.AddSite(core.SiteSpec{
-			Name: "b", Switches: []*netsim.Device{swB}, BenchHost: benchB,
-			BenchInterval: benchIval,
-		}); err != nil {
-			return nil, nil, err
-		}
-		if err := dep.Finish(); err != nil {
-			return nil, nil, err
-		}
-		if _, err := n.StartCrossTraffic(noise1, noise2, netsim.CrossTrafficSpec{
-			Mean: 3e6, Jitter: 0.4, Period: 2 * time.Second, Seed: 7,
-		}); err != nil {
-			return nil, nil, err
-		}
-		return dep, []*netsim.Device{app1, app2, srv, benchA, benchB}, nil
+		return &scenarioNet{
+			n:     n,
+			hosts: []*netsim.Device{app1, app2, srv, benchA, benchB},
+			sites: []core.SiteSpec{
+				{Name: "a", Switches: []*netsim.Device{swA}, BenchHost: benchA},
+				{Name: "b", Switches: []*netsim.Device{swB}, BenchHost: benchB},
+			},
+			traffic: func() error {
+				// Background load so measurements move.
+				_, err := n.StartCrossTraffic(app2, srv, netsim.CrossTrafficSpec{
+					Mean: 3e6, Jitter: 0.4, Period: 2 * time.Second, Seed: 7,
+				})
+				return err
+			},
+		}, nil
 	case "campus":
 		// A small campus: one wing per quadrant, 8 hosts each.
 		var switches []*netsim.Device
@@ -626,14 +675,39 @@ func buildScenario(s *sim.Sim, name string, benchIval time.Duration, opts core.O
 		}
 		n.AssignSubnets()
 		n.ComputeRoutes()
-		dep := core.NewDeployment(s, n, opts)
-		if _, err := dep.AddSite(core.SiteSpec{Name: "campus", Switches: switches}); err != nil {
-			return nil, nil, err
-		}
-		if err := dep.Finish(); err != nil {
-			return nil, nil, err
-		}
-		return dep, hosts[:8], nil
+		return &scenarioNet{
+			n:     n,
+			hosts: hosts[:8],
+			sites: []core.SiteSpec{{Name: "campus", Switches: switches}},
+		}, nil
 	}
-	return nil, nil, fmt.Errorf("remosd: unknown scenario %q", name)
+	return nil, fmt.Errorf("remosd: unknown scenario %q", name)
+}
+
+// buildScenario wires one of the demo networks with its single-master
+// collector deployment. benchIval is the wide-area benchmark round
+// interval (0 = benchcoll's default): the inter-site hop is measured by
+// benchmarks, not SNMP, so it bounds how fresh WAN availability — and
+// every watch predicate over it — can be.
+func buildScenario(s *sim.Sim, name string, benchIval time.Duration, opts core.Options) (*core.Deployment, []*netsim.Device, error) {
+	sn, err := buildNetwork(s, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	dep := core.NewDeployment(s, sn.n, opts)
+	for _, spec := range sn.sites {
+		spec.BenchInterval = benchIval
+		if _, err := dep.AddSite(spec); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := dep.Finish(); err != nil {
+		return nil, nil, err
+	}
+	if sn.traffic != nil {
+		if err := sn.traffic(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return dep, sn.hosts, nil
 }
