@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race verify fuzz-smoke obs-smoke watch-smoke bench bench-concurrency bench-snmp bench-json bench-serve bench-shed bench-scale bench-fed bench-baseline bench-check
+.PHONY: build test vet lint race race-hot verify fuzz-smoke obs-smoke watch-smoke bench bench-concurrency bench-snmp bench-json bench-serve bench-shed bench-scale bench-fed bench-baseline bench-check
 
 build:
 	$(GO) build ./...
@@ -16,13 +16,24 @@ vet:
 
 # remoslint: the Remos invariant analyzers — clock injection (wallclock),
 # seeded determinism (globalrand), error taxonomy (errwrap), metric
-# naming (metricname), goroutine hygiene (goctx). Exit 1 on findings;
-# `go run ./cmd/remoslint -json` emits machine-readable diagnostics.
+# naming (metricname), goroutine hygiene (goctx), and the concurrency
+# discipline (lockorder, lockheld, pubimmutable). Exit 1 on findings OR
+# when total analysis time exceeds lint.TimeBudget, so the suite can
+# never quietly grow too slow for CI; `go run ./cmd/remoslint -json`
+# emits machine-readable diagnostics with per-check wall time.
 lint:
 	$(GO) run ./cmd/remoslint ./...
 
 race:
 	$(GO) test -race ./...
+
+# The race detector focused on the concurrency-heavy packages the
+# lockorder/lockheld analyzers police — the fast inner loop while
+# working on locking code (full-tree `make race` stays the merge gate).
+race-hot:
+	$(GO) test -race ./internal/proto/ ./internal/collector/qcache/ \
+		./internal/watch/ ./internal/obs/ ./internal/admission/ \
+		./internal/snapshot/ ./internal/federation/ ./internal/directory/
 
 verify: vet lint build test race
 

@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	remoslint [-json] [./...]
+//	remoslint [-json] [-budget d] [-allows] [./...]
+//
+// -json emits the full report: findings plus per-check wall time and
+// the budget verdict. -budget bounds total analysis time (default
+// lint.TimeBudget); exceeding it is a failure even with zero findings,
+// so the lint suite can never quietly grow too slow for CI. -allows
+// audits every live //remoslint:allow directive (file, line, check,
+// reason) and exits 0 — directive creep is reviewed, not gated.
 //
 // The package pattern is accepted for familiarity but the linter always
 // audits the whole module: the invariants (duplicate metric names, one
@@ -16,14 +23,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"remos/internal/lint"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON diagnostics")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (findings + per-check timing)")
+	budget := flag.Duration("budget", lint.TimeBudget, "fail when total analysis time exceeds this")
+	allows := flag.Bool("allows", false, "list every live //remoslint:allow directive and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: remoslint [-json] [./...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: remoslint [-json] [-budget d] [-allows] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,20 +56,62 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags := lint.Run(pkgs, lint.DefaultPolicy())
+
+	if *allows {
+		listAllows(pkgs, cwd, *jsonOut)
+		return
+	}
+
+	start := time.Now()
+	diags, times := lint.RunTimed(pkgs, lint.DefaultPolicy())
+	total := time.Since(start)
 	lint.Relativize(diags, cwd)
 	if *jsonOut {
-		err = lint.WriteJSON(os.Stdout, diags)
+		err = lint.WriteReport(os.Stdout, lint.NewReport(diags, times, total, *budget))
 	} else {
 		err = lint.WriteText(os.Stdout, diags)
 	}
 	if err != nil {
 		fatal(err)
 	}
+	failed := false
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "remoslint: %d finding(s)\n", len(diags))
+		failed = true
+	}
+	if total > *budget {
+		fmt.Fprintf(os.Stderr, "remoslint: analysis took %s, over the %s budget\n",
+			total.Round(time.Millisecond), *budget)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// listAllows prints the //remoslint:allow audit: one row per live
+// directive. Paths are relativized like findings.
+func listAllows(pkgs []*lint.Package, cwd string, jsonOut bool) {
+	rows := lint.Allows(pkgs)
+	// Reuse the Diagnostic relativization by round-tripping the paths.
+	diags := make([]lint.Diagnostic, len(rows))
+	for i, a := range rows {
+		diags[i] = lint.Diagnostic{File: a.File}
+	}
+	lint.Relativize(diags, cwd)
+	for i := range rows {
+		rows[i].File = diags[i].File
+	}
+	if jsonOut {
+		if err := lint.WriteAllows(os.Stdout, rows); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, a := range rows {
+		fmt.Printf("%s:%d: [%s] %s\n", a.File, a.Line, a.Check, a.Reason)
+	}
+	fmt.Fprintf(os.Stderr, "remoslint: %d live allow directive(s)\n", len(rows))
 }
 
 func fatal(err error) {

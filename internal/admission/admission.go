@@ -351,9 +351,28 @@ func (c *Controller) grant(st *tenantState) func() {
 		once.Do(func() {
 			c.mu.Lock()
 			st.inflight--
-			c.dispatch(c.sched.Now())
+			ds := c.dispatch(c.sched.Now())
 			c.mu.Unlock()
+			deliver(ds)
 		})
+	}
+}
+
+// delivery is one dispatch outcome bound for a waiter's channel. The
+// sends happen outside c.mu: the channels are buffered, but the lock
+// hierarchy treats any channel send as a parking point, and keeping the
+// controller lock free of them costs nothing.
+type delivery struct {
+	w   *waiter
+	res admitResult
+}
+
+// deliver completes queued admissions after the controller lock is
+// released. Each waiter channel has capacity 1 and receives exactly one
+// result, so these sends never block.
+func deliver(ds []delivery) {
+	for _, d := range ds {
+		d.w.ch <- d.res
 	}
 }
 
@@ -419,8 +438,9 @@ func (c *Controller) Admit(ctx context.Context, t Tenant, tier Tier) (func(), er
 	st.queuedTotal++
 	st.mQueued.Inc()
 	c.queues[qi] = append(c.queues[qi], w)
-	c.dispatch(now) // arms the wake timer for this waiter
+	ds := c.dispatch(now) // arms the wake timer for this waiter
 	c.mu.Unlock()
+	deliver(ds)
 
 	select {
 	case res := <-w.ch:
@@ -457,10 +477,13 @@ func (c *Controller) removeWaiter(w *waiter) bool {
 
 // dispatch scans the queues in tier order, shedding expired waiters,
 // granting eligible ones, and arming a timer for the earliest future
-// wake (token availability or deadline). Caller holds c.mu. Within a
-// tier the scan is FIFO per tenant but skips token-starved tenants so
-// one drained bucket cannot head-of-line-block the others.
-func (c *Controller) dispatch(now time.Time) {
+// wake (token availability or deadline). Caller holds c.mu, and must
+// deliver the returned results after releasing it — no channel sends
+// happen under the controller lock. Within a tier the scan is FIFO per
+// tenant but skips token-starved tenants so one drained bucket cannot
+// head-of-line-block the others.
+func (c *Controller) dispatch(now time.Time) []delivery {
+	var ds []delivery
 	var wake time.Time
 	for qi := range c.queues {
 		kept := c.queues[qi][:0]
@@ -468,14 +491,14 @@ func (c *Controller) dispatch(now time.Time) {
 			st := w.st
 			if !now.Before(w.deadline) {
 				st.queued--
-				w.ch <- admitResult{err: st.shedErr(st.tokenWait(), "queue wait exceeded")}
+				ds = append(ds, delivery{w: w, res: admitResult{err: st.shedErr(st.tokenWait(), "queue wait exceeded")}})
 				continue
 			}
 			st.refill(now)
 			tw := st.tokenWait()
 			if tw == 0 && st.hasSlot() {
 				st.queued--
-				w.ch <- admitResult{release: c.grant(st)}
+				ds = append(ds, delivery{w: w, res: admitResult{release: c.grant(st)}})
 				continue
 			}
 			kept = append(kept, w)
@@ -505,10 +528,12 @@ func (c *Controller) dispatch(now time.Time) {
 	if !wake.IsZero() && !c.closed {
 		c.timer = c.sched.At(wake, func() {
 			c.mu.Lock()
-			c.dispatch(c.sched.Now())
+			late := c.dispatch(c.sched.Now())
 			c.mu.Unlock()
+			deliver(late)
 		})
 	}
+	return ds
 }
 
 // AcquireWatch charges one watch subscription to t's quota, returning a
@@ -546,12 +571,12 @@ func (c *Controller) Close() {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
+	var ds []delivery
 	for qi := range c.queues {
 		for _, w := range c.queues[qi] {
 			w.st.queued--
-			w.ch <- admitResult{err: w.st.shedErr(0, "server shutting down")}
+			ds = append(ds, delivery{w: w, res: admitResult{err: w.st.shedErr(0, "server shutting down")}})
 		}
 		c.queues[qi] = nil
 	}
@@ -559,6 +584,8 @@ func (c *Controller) Close() {
 		c.timer.Stop()
 		c.timer = nil
 	}
+	c.mu.Unlock()
+	deliver(ds)
 }
 
 // TenantStatus is one tenant's accounting snapshot, as served on

@@ -33,6 +33,19 @@
 //	             the declaring package must delete from or clear it, so
 //	             epoch-keyed memoizations cannot leak one generation per
 //	             poll.
+//	lockorder  — the declared lock hierarchy (Policy.LockLevels) holds
+//	             everywhere: while a ranked lock is held, only strictly
+//	             lower-ranked locks may be acquired, directly or through
+//	             the module-local call graph; same-level locks never
+//	             nest.
+//	lockheld   — no blocking operation (channel send/recv, select
+//	             without default, Wait, network I/O, time.Sleep, nested
+//	             unranked mutexes) runs between Lock/RLock and Unlock in
+//	             the hot-path packages, directly or through calls.
+//	pubimmutable — a value published through atomic.Pointer.Store, or
+//	             read from Load, is never written through afterward in
+//	             the storing/loading function or same-package callees
+//	             (copy-on-write values are immutable once shared).
 //
 // A finding is suppressed by a //remoslint:allow <check> <reason>
 // comment on the same line or the line above. The directive itself is
@@ -49,6 +62,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, positioned and attributed to a check.
@@ -82,6 +96,15 @@ type Policy struct {
 	// MetricSubsystems are the allowed second tokens of a metric name
 	// (remos_<subsystem>_...).
 	MetricSubsystems map[string]bool
+	// LockLevels is the repo-wide lock hierarchy: ranked mutex fields
+	// keyed "pkgName.TypeName.fieldName", lowest level innermost. While
+	// a level-L lock is held only strictly lower levels may be
+	// acquired; same-level locks must never nest. Amending the table is
+	// an API change — see DESIGN.md §10 for the procedure.
+	LockLevels map[string]int
+	// LockHeld packages are hot paths where nothing may block while a
+	// mutex is held.
+	LockHeld map[string]bool
 }
 
 // DefaultPolicy is the Remos repository policy.
@@ -98,6 +121,21 @@ func DefaultPolicy() Policy {
 			"federation", "hostload", "master", "modeler", "qcache",
 			"request", "requests", "sched", "snapshot", "snmp", "snmpcoll",
 			"watch", "wireless"),
+		// The serving-stack hierarchy, innermost (lowest) first. The
+		// levels are spaced by 10 so a new structure can slot between
+		// existing planes without renumbering.
+		LockLevels: map[string]int{
+			"qcache.shard.mu":         10, // COW shard spinout: clone-and-swap only
+			"watch.regShard.mu":       20, // watch registry stripe
+			"obs.Registry.mu":         30, // metric family registration
+			"obs.Trace.mu":            30, // span assembly
+			"obs.Ring.mu":             30, // trace ring
+			"admission.Controller.mu": 40, // tenant buckets + queues; reports into obs
+			"federation.Router.mu":    50, // domain cache + stitching
+			"directory.Service.mu":    50, // lease table
+		},
+		LockHeld: set("proto", "qcache", "watch", "obs", "admission",
+			"snapshot", "federation", "directory"),
 	}
 }
 
@@ -166,7 +204,8 @@ type directive struct {
 
 // knownChecks names every analyzer (plus the directive verifier
 // itself), for directive validation.
-var knownChecks = set("wallclock", "globalrand", "errwrap", "metricname", "goctx", "poolreturn", "epochkey")
+var knownChecks = set("wallclock", "globalrand", "errwrap", "metricname", "goctx",
+	"poolreturn", "epochkey", "lockorder", "lockheld", "pubimmutable")
 
 // collectDirectives parses the allow directives of one package.
 func (r *runner) collectDirectives(pkg *Package) {
@@ -200,10 +239,34 @@ func (r *runner) collectDirectives(pkg *Package) {
 	}
 }
 
+// CheckTime is one analyzer's accumulated wall time across every
+// package it ran over (including its finish pass).
+type CheckTime struct {
+	Check   string  `json:"check"`
+	Seconds float64 `json:"seconds"`
+}
+
+// TimeBudget bounds a full repo lint in make lint / CI. Chosen by
+// measuring `remoslint ./...` on the dev container (~2s wall including
+// the type-check load, of which the analyzers themselves are <300ms)
+// and multiplying by ~30x so only a real pathology — an analyzer gone
+// quadratic, an interface expansion explosion — trips it, never a slow
+// shared runner.
+const TimeBudget = 60 * time.Second
+
 // Run executes every analyzer over the packages and returns the
 // surviving diagnostics, sorted by position.
 func Run(pkgs []*Package, policy Policy) []Diagnostic {
+	diags, _ := RunTimed(pkgs, policy)
+	return diags
+}
+
+// RunTimed is Run plus per-check wall time. The shared concurrency
+// substrate (function summaries + call graph) is built lazily by the
+// first check that needs it, so its cost lands on lockorder's row.
+func RunTimed(pkgs []*Package, policy Policy) ([]Diagnostic, []CheckTime) {
 	r := &runner{policy: policy, metrics: make(map[string][]metricSite)}
+	cs := newConcState(policy)
 	checks := []checker{
 		wallclockCheck{},
 		globalrandCheck{},
@@ -212,18 +275,30 @@ func Run(pkgs []*Package, policy Policy) []Diagnostic {
 		goctxCheck{},
 		poolreturnCheck{},
 		epochkeyCheck{},
+		&lockorderCheck{cs: cs},
+		&lockheldCheck{cs: cs},
+		pubimmutableCheck{},
 	}
+	elapsed := make([]time.Duration, len(checks))
 	for _, pkg := range pkgs {
 		r.collectDirectives(pkg)
 		p := &pass{pkg: pkg, policy: policy, r: r}
-		for _, c := range checks {
+		for i, c := range checks {
+			start := time.Now()
 			c.run(p)
+			elapsed[i] += time.Since(start)
 		}
 	}
-	for _, c := range checks {
+	for i, c := range checks {
 		if f, ok := c.(finisher); ok {
+			start := time.Now()
 			f.finish(r)
+			elapsed[i] += time.Since(start)
 		}
+	}
+	times := make([]CheckTime, len(checks))
+	for i, c := range checks {
+		times[i] = CheckTime{Check: c.name(), Seconds: elapsed[i].Seconds()}
 	}
 
 	// Suppress findings covered by a valid directive on the same line
@@ -282,7 +357,85 @@ func Run(pkgs []*Package, policy Policy) []Diagnostic {
 		}
 		return diags[i].Col < diags[j].Col
 	})
-	return diags
+	return diags, times
+}
+
+// AllowDirective is one live //remoslint:allow comment, for the
+// -allows audit listing (malformed directives are findings instead and
+// do not appear here).
+type AllowDirective struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Check  string `json:"check"`
+	Reason string `json:"reason"`
+}
+
+// Allows lists every well-formed allow directive in the packages,
+// sorted by position — the audit surface that keeps directive creep
+// visible in review.
+func Allows(pkgs []*Package) []AllowDirective {
+	r := &runner{}
+	for _, pkg := range pkgs {
+		r.collectDirectives(pkg)
+	}
+	var out []AllowDirective
+	for _, d := range r.directives {
+		if d.invalid != "" {
+			continue
+		}
+		out = append(out, AllowDirective{
+			File: d.pos.Filename, Line: d.pos.Line,
+			Check: d.check, Reason: d.reason,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// WriteAllows renders the -allows audit as a JSON array.
+func WriteAllows(w io.Writer, allows []AllowDirective) error {
+	if allows == nil {
+		allows = []AllowDirective{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(allows)
+}
+
+// Report is the -json document: findings plus the timing that gates
+// make lint's budget.
+type Report struct {
+	Findings      []Diagnostic `json:"findings"`
+	Checks        []CheckTime  `json:"checks"`
+	TotalSeconds  float64      `json:"total_seconds"`
+	BudgetSeconds float64      `json:"budget_seconds"`
+	OverBudget    bool         `json:"over_budget"`
+}
+
+// NewReport assembles a Report against the given budget.
+func NewReport(diags []Diagnostic, times []CheckTime, total, budget time.Duration) Report {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	return Report{
+		Findings:      diags,
+		Checks:        times,
+		TotalSeconds:  total.Seconds(),
+		BudgetSeconds: budget.Seconds(),
+		OverBudget:    total > budget,
+	}
+}
+
+// WriteReport renders the full -json document.
+func WriteReport(w io.Writer, rep Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // Relativize rewrites diagnostic file paths relative to dir (best

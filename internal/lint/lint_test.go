@@ -15,6 +15,22 @@ import (
 // comment, analysistest style: // want `re` "re" ...
 var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 
+// fixturePolicy is DefaultPolicy plus the opt-ins a fixture cannot
+// express through its package clause alone: the lockorder fixture
+// declares its own two-level hierarchy, and the lockheld fixture names
+// itself a hot-path package.
+func fixturePolicy(name string) Policy {
+	p := DefaultPolicy()
+	switch name {
+	case "lockorder":
+		p.LockLevels["lockorder.Inner.mu"] = 10
+		p.LockLevels["lockorder.Outer.mu"] = 20
+	case "lockheld":
+		p.LockHeld["lockheld"] = true
+	}
+	return p
+}
+
 // golden runs every analyzer over one testdata package and matches the
 // diagnostics against its // want comments line by line.
 func golden(t *testing.T, name string) []Diagnostic {
@@ -24,7 +40,7 @@ func golden(t *testing.T, name string) []Diagnostic {
 	if err != nil {
 		t.Fatalf("load %s: %v", dir, err)
 	}
-	diags := Run([]*Package{pkg}, DefaultPolicy())
+	diags := Run([]*Package{pkg}, fixturePolicy(name))
 
 	// Collect want expectations: (file base, line) -> patterns.
 	type key struct {
@@ -97,16 +113,21 @@ func TestGoctxGolden(t *testing.T)      { golden(t, "goctx") }
 func TestPoolreturnGolden(t *testing.T) { golden(t, "poolreturn") }
 func TestEpochkeyGolden(t *testing.T)   { golden(t, "epochkey") }
 
+func TestLockorderGolden(t *testing.T)    { golden(t, "lockorder") }
+func TestLockheldGolden(t *testing.T)     { golden(t, "lockheld") }
+func TestPubimmutableGolden(t *testing.T) { golden(t, "pubimmutable") }
+
 // TestGoldenExitStatus asserts each negative fixture would fail a lint
 // run — the acceptance criterion that remoslint demonstrably exits 1 on
 // each analyzer's golden cases.
 func TestGoldenExitStatus(t *testing.T) {
-	for _, name := range []string{"wallclock", "globalrand", "errwrap", "metricname", "goctx", "poolreturn", "epochkey", "allow"} {
+	for _, name := range []string{"wallclock", "globalrand", "errwrap", "metricname", "goctx",
+		"poolreturn", "epochkey", "lockorder", "lockheld", "pubimmutable", "allow"} {
 		pkg, err := LoadDir(filepath.Join("testdata", "src", name), "golden/"+name)
 		if err != nil {
 			t.Fatalf("load %s: %v", name, err)
 		}
-		if diags := Run([]*Package{pkg}, DefaultPolicy()); len(diags) == 0 {
+		if diags := Run([]*Package{pkg}, fixturePolicy(name)); len(diags) == 0 {
 			t.Errorf("%s fixture produced no findings; a lint run over it would exit 0", name)
 		}
 	}
@@ -170,9 +191,84 @@ func TestRepoLintClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("suspiciously few packages loaded (%d); loader lost the module", len(pkgs))
 	}
-	diags := Run(pkgs, DefaultPolicy())
+	diags, times := RunTimed(pkgs, DefaultPolicy())
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+
+	// Pinned: the newest, least-hardened concurrent code (federation's
+	// router, the directory's replication plane) is inside the coverage
+	// of all three concurrency checks rather than out of policy — being
+	// clean must mean "checked and clean".
+	pol := DefaultPolicy()
+	for _, pkg := range []string{"federation", "directory"} {
+		if !pol.LockHeld[pkg] {
+			t.Errorf("package %s is not in the lockheld policy; its locks are unpoliced", pkg)
+		}
+	}
+	for _, cls := range []string{"federation.Router.mu", "directory.Service.mu"} {
+		if _, ok := pol.LockLevels[cls]; !ok {
+			t.Errorf("%s is not ranked in LockLevels; lockorder cannot see it", cls)
+		}
+	}
+	ran := make(map[string]bool, len(times))
+	for _, ct := range times {
+		ran[ct.Check] = true
+	}
+	for _, check := range []string{"lockorder", "lockheld", "pubimmutable"} {
+		if !ran[check] {
+			t.Errorf("check %s did not run over the repository", check)
+		}
+	}
+}
+
+// TestRunTimedReportsChecks pins the timing surface make lint's budget
+// gate is built on: one entry per analyzer, non-negative durations.
+func TestRunTimedReportsChecks(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "lockorder"), "golden/lockorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, times := RunTimed([]*Package{pkg}, fixturePolicy("lockorder"))
+	seen := make(map[string]bool, len(times))
+	for _, ct := range times {
+		if ct.Seconds < 0 {
+			t.Errorf("check %s reports negative wall time %v", ct.Check, ct.Seconds)
+		}
+		if seen[ct.Check] {
+			t.Errorf("check %s reported twice", ct.Check)
+		}
+		seen[ct.Check] = true
+	}
+	for check := range knownChecks {
+		if check == "allow" {
+			continue
+		}
+		if !seen[check] {
+			t.Errorf("no timing entry for check %s", check)
+		}
+	}
+}
+
+// TestAllows pins the -allows audit listing over the allow fixture: the
+// two well-formed directives appear with their reasons; the malformed
+// ones are findings, not audit rows.
+func TestAllows(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "allow"), "golden/allow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows := Allows([]*Package{pkg})
+	if len(allows) != 2 {
+		t.Fatalf("got %d directives, want 2: %+v", len(allows), allows)
+	}
+	for _, a := range allows {
+		if a.Check != "wallclock" || a.Reason == "" || a.Line == 0 {
+			t.Errorf("malformed audit row: %+v", a)
+		}
+	}
+	if allows[0].Line >= allows[1].Line {
+		t.Errorf("audit rows not sorted by line: %+v", allows)
 	}
 }
 

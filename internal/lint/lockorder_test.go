@@ -1,0 +1,120 @@
+package lint
+
+// White-box tests for the lockorder call-graph builder, over the
+// two-package module under testdata/mod/lockmod: cross-package method
+// calls, interface dispatch (conservatively every implementation), and
+// deferred unlocks must all be modeled.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadLockmod(t *testing.T) []*Package {
+	t.Helper()
+	pkgs, err := LoadModule(filepath.Join("testdata", "mod", "lockmod"))
+	if err != nil {
+		t.Fatalf("load lockmod: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (a, b)", len(pkgs))
+	}
+	return pkgs
+}
+
+func lockmodPolicy() Policy {
+	p := DefaultPolicy()
+	p.LockLevels["a.Stripe.mu"] = 10
+	p.LockLevels["b.Outer.mu"] = 20
+	return p
+}
+
+func TestLockorderCallGraph(t *testing.T) {
+	pkgs := loadLockmod(t)
+	cs := newConcState(lockmodPolicy())
+	for _, pkg := range pkgs {
+		cs.collect(pkg)
+	}
+	cs.finalize()
+	node := func(name string) *concNode {
+		t.Helper()
+		for _, n := range cs.nodes {
+			if n.name == name {
+				return n
+			}
+		}
+		t.Fatalf("no call-graph node named %q (have %d nodes)", name, len(cs.nodes))
+		return nil
+	}
+
+	// Cross-package method edge: Descend's transitive acquisitions must
+	// include the stripe class, reached through a.Bump in the other
+	// package.
+	d := node("b.(Outer).Descend")
+	if tr := d.transAcq["a.Stripe.mu"]; tr == nil {
+		t.Errorf("Descend does not see a.Stripe.mu transitively; cross-package method calls are unmodeled")
+	} else if len(tr.via) == 0 || tr.via[0] != "a.(Stripe).Bump" {
+		t.Errorf("Descend's trace to a.Stripe.mu goes via %v, want a.(Stripe).Bump", tr.via)
+	}
+
+	// Interface expansion: WithLock dispatches through a.Grabber, whose
+	// only module implementation is b.Outer — the level-20 acquisition
+	// must be visible despite the dynamic call.
+	w := node("a.(Stripe).WithLock")
+	found := false
+	for _, c := range w.calls {
+		for _, tgt := range c.targets {
+			if tgt.name == "b.(Outer).Grab" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("WithLock's interface dispatch did not expand to b.(Outer).Grab")
+	}
+
+	// Deferred unlock: Reacquire's call to Bump must happen with the
+	// stripe lock recorded as still held.
+	r := node("a.(Stripe).Reacquire")
+	if len(r.callEvents) == 0 {
+		t.Fatalf("Reacquire records no under-lock call events; deferred unlock released the section early")
+	}
+	held := r.callEvents[0].held
+	if len(held) != 1 || held[0].class != "a.Stripe.mu" {
+		t.Errorf("Reacquire's call event holds %v, want [a.Stripe.mu]", held)
+	}
+}
+
+// TestLockorderModuleFindings runs the full suite over lockmod: exactly
+// the interface-dispatch ascent and the deferred-unlock reacquisition
+// are findings; the descending cross-package call is legal.
+func TestLockorderModuleFindings(t *testing.T) {
+	pkgs := loadLockmod(t)
+	diags := Run(pkgs, lockmodPolicy())
+	var iface, reacquire bool
+	for _, d := range diags {
+		if d.Check != "lockorder" {
+			t.Errorf("unexpected non-lockorder diagnostic: %s", d)
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "b.Outer.mu") && strings.Contains(d.Message, "g.grab") ||
+			strings.Contains(d.Message, "g.Grab"):
+			iface = true
+		case strings.Contains(d.Message, "same-level"):
+			reacquire = true
+		default:
+			t.Errorf("unexpected lockorder diagnostic: %s", d)
+		}
+	}
+	if !iface {
+		t.Errorf("missing finding: WithLock's interface dispatch to b.(Outer).Grab")
+	}
+	if !reacquire {
+		t.Errorf("missing finding: Reacquire's same-level reacquisition under a deferred unlock")
+	}
+	if len(diags) != 2 {
+		t.Errorf("got %d findings, want exactly 2:\n%v", len(diags), diags)
+	}
+}

@@ -1,0 +1,626 @@
+package lint
+
+// pubimmutable enforces the copy-on-write discipline around
+// atomic.Pointer: once a value has been published through Store, or
+// obtained from Load, it is shared with concurrent readers and must
+// never be written through again — not in the storing/loading function
+// and not by any same-package function it passes the value to. Field
+// writes, map writes, slice-element writes, deletes, and appends into
+// the retained structure are all findings. The check is flow-sensitive
+// within a function (rebinding the variable to a fresh value resets
+// it — the COW clone-then-swap loop stays legal) and propagates one
+// level through local calls via a writes-through-parameter summary.
+//
+// The check runs in every package: atomic.Pointer appears only in the
+// COW hot paths, so there is nothing to scope by policy.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+type pubimmutableCheck struct{}
+
+func (pubimmutableCheck) name() string { return "pubimmutable" }
+
+func (pubimmutableCheck) run(p *pass) {
+	a := &pubiPkg{pass: p, funcs: make(map[types.Object]*pubiFunc)}
+	for _, f := range p.pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				a.collect(fd)
+			}
+		}
+	}
+	a.fixpoint()
+	a.report()
+}
+
+// pubiPkg is the per-package analysis state.
+type pubiPkg struct {
+	pass  *pass
+	funcs map[types.Object]*pubiFunc
+	order []*pubiFunc
+}
+
+// pubiFunc summarizes one function: its bindings, writes, Stores,
+// aliasing inserts, and local calls, all in positional source order.
+type pubiFunc struct {
+	obj    types.Object
+	params []types.Object // receiver first, then parameters
+
+	binds   map[types.Object][]pubiBind
+	writes  []pubiSite
+	stores  []pubiStore
+	inserts []pubiInsert
+	calls   []pubiCall
+
+	retLoadSyntactic bool
+	retIdents        []types.Object
+	retCallees       []types.Object
+	retLoad          bool
+	writesParam      map[int]bool
+}
+
+// pubiBind is one assignment to a plain local variable, classified by
+// what its right-hand side is rooted in.
+type pubiBind struct {
+	pos        token.Pos
+	loadRooted bool         // rooted at atomic.Pointer Load()
+	callee     types.Object // rooted at a call to this local function
+	alias      types.Object // rooted at this plain identifier
+}
+
+type pubiSite struct {
+	pos  token.Pos
+	root types.Object
+	text string
+}
+
+type pubiStore struct {
+	pos  token.Pos
+	base types.Object
+	text string
+	line int
+}
+
+type pubiInsert struct {
+	pos       token.Pos
+	container types.Object
+	value     types.Object
+}
+
+type pubiCall struct {
+	pos    token.Pos
+	callee types.Object
+	label  string
+	args   map[int]types.Object // param index -> plain-ident argument
+}
+
+func (a *pubiPkg) info() *types.Info { return a.pass.pkg.TypesInfo }
+
+func (a *pubiPkg) collect(fd *ast.FuncDecl) {
+	obj := a.info().Defs[fd.Name]
+	if obj == nil {
+		return
+	}
+	fn := &pubiFunc{
+		obj:         obj,
+		binds:       make(map[types.Object][]pubiBind),
+		writesParam: make(map[int]bool),
+	}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		fn.params = append(fn.params, a.info().Defs[fd.Recv.List[0].Names[0]])
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, nm := range field.Names {
+				fn.params = append(fn.params, a.info().Defs[nm])
+			}
+		}
+	}
+	a.funcs[obj] = fn
+	a.order = append(a.order, fn)
+
+	// Closure bodies are attributed to the enclosing function: writes
+	// after publication are findings wherever the statement lives.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			a.assign(fn, n)
+		case *ast.IncDecStmt:
+			if root := rootIdentObj(a.info(), n.X); root != nil {
+				fn.writes = append(fn.writes, pubiSite{pos: n.Pos(), root: root, text: exprText(n.X)})
+			}
+		case *ast.CallExpr:
+			a.callExpr(fn, n)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				a.returnResult(fn, res)
+			}
+		}
+		return true
+	})
+}
+
+func (a *pubiPkg) assign(fn *pubiFunc, st *ast.AssignStmt) {
+	matched := len(st.Lhs) == len(st.Rhs)
+	for i, lhs := range st.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if id.Name == "_" {
+				continue
+			}
+			obj := a.info().ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			b := pubiBind{pos: st.Pos()}
+			if matched {
+				b = a.classifyRHS(st.Rhs[i])
+				b.pos = st.Pos()
+			}
+			fn.binds[obj] = append(fn.binds[obj], b)
+			continue
+		}
+		// Non-identifier LHS: a write through whatever the expression is
+		// rooted at (e.res = ..., m[k] = ..., *p = ...).
+		root := rootIdentObj(a.info(), lhs)
+		if root == nil {
+			continue
+		}
+		fn.writes = append(fn.writes, pubiSite{pos: st.Pos(), root: root, text: exprText(lhs)})
+		if matched {
+			// The assigned value is now reachable from the container: an
+			// aliasing edge for the published-via-container analysis.
+			for _, v := range insertedIdents(a.info(), st.Rhs[i]) {
+				fn.inserts = append(fn.inserts, pubiInsert{pos: st.Pos(), container: root, value: v})
+			}
+		}
+	}
+}
+
+// insertedIdents extracts the plain identifiers an RHS makes reachable
+// from the assigned container: the ident itself, &ident, or the
+// identifier arguments of an append call.
+func insertedIdents(info *types.Info, e ast.Expr) []types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o := info.ObjectOf(e); o != nil {
+			return []types.Object{o}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return insertedIdents(info, e.X)
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" {
+			var out []types.Object
+			for _, arg := range e.Args[1:] {
+				out = append(out, insertedIdents(info, arg)...)
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+func (a *pubiPkg) callExpr(fn *pubiFunc, c *ast.CallExpr) {
+	info := a.info()
+	if id, ok := c.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "delete" && len(c.Args) > 0 {
+				if root := rootIdentObj(info, c.Args[0]); root != nil {
+					fn.writes = append(fn.writes, pubiSite{
+						pos: c.Pos(), root: root, text: "delete(" + exprText(c.Args[0]) + ", ...)"})
+				}
+			}
+			return
+		}
+	}
+	if sel, ok := c.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Store" &&
+		isAtomicPointer(info, sel.X) && len(c.Args) == 1 {
+		if base := storedIdent(info, c.Args[0]); base != nil {
+			fn.stores = append(fn.stores, pubiStore{
+				pos: c.Pos(), base: base, text: exprText(c.Fun),
+				line: a.pass.pkg.Fset.Position(c.Pos()).Line,
+			})
+		}
+		return
+	}
+	// Same-package call: map plain-ident arguments onto parameter slots
+	// for the writes-through-parameter propagation.
+	callee, recvArg := a.localCallee(c)
+	if callee == nil {
+		return
+	}
+	pc := pubiCall{pos: c.Pos(), callee: callee, label: exprText(c.Fun), args: make(map[int]types.Object)}
+	off := 0
+	if recvArg != nil {
+		if o := rootPlainIdent(info, recvArg); o != nil {
+			pc.args[0] = o
+		}
+		off = 1
+	}
+	for i, arg := range c.Args {
+		if o := rootPlainIdent(info, arg); o != nil {
+			pc.args[off+i] = o
+		}
+	}
+	fn.calls = append(fn.calls, pc)
+}
+
+// localCallee resolves a call to a function or method declared in this
+// package, returning the receiver expression for methods.
+func (a *pubiPkg) localCallee(c *ast.CallExpr) (types.Object, ast.Expr) {
+	info := a.info()
+	switch fun := c.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok && f.Pkg() == a.pass.pkg.Types {
+			return originFunc(f), nil
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[fun]; ok {
+			if f, ok := s.Obj().(*types.Func); ok && f.Pkg() == a.pass.pkg.Types {
+				return originFunc(f), fun.X
+			}
+		}
+	}
+	return nil, nil
+}
+
+func originFunc(f *types.Func) types.Object {
+	if o := f.Origin(); o != nil {
+		return o
+	}
+	return f
+}
+
+func (a *pubiPkg) returnResult(fn *pubiFunc, e ast.Expr) {
+	switch root := rootOf(a.info(), e).(type) {
+	case rootLoad:
+		fn.retLoadSyntactic = true
+	case rootCallee:
+		fn.retCallees = append(fn.retCallees, types.Object(root))
+	case rootAlias:
+		fn.retIdents = append(fn.retIdents, types.Object(root))
+	}
+}
+
+// classifyRHS decides what a binding's right-hand side is rooted in.
+func (a *pubiPkg) classifyRHS(e ast.Expr) pubiBind {
+	switch root := rootOf(a.info(), e).(type) {
+	case rootLoad:
+		return pubiBind{loadRooted: true}
+	case rootCallee:
+		return pubiBind{callee: types.Object(root)}
+	case rootAlias:
+		return pubiBind{alias: types.Object(root)}
+	}
+	return pubiBind{}
+}
+
+// rootOf strips indexing, selection, derefs, slicing, asserts, and
+// conversions to find what an expression is rooted in: an atomic Load
+// call, a local function call, or a plain identifier.
+type rootLoad struct{}
+type rootCallee types.Object
+type rootAlias types.Object
+
+func rootOf(info *types.Info, e ast.Expr) any {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			// Selecting a field keeps pointing into the same structure
+			// only for the alias analysis; a load-rooted base stays
+			// load-rooted (x.Load().f). Walk to the base.
+			e = x.X
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Load" &&
+				isAtomicPointer(info, sel.X) {
+				return rootLoad{}
+			}
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				e = x.Args[0] // conversion: look through
+				continue
+			}
+			switch fun := x.Fun.(type) {
+			case *ast.Ident:
+				if f, ok := info.Uses[fun].(*types.Func); ok {
+					return rootCallee(originFunc(f))
+				}
+			case *ast.SelectorExpr:
+				if s, ok := info.Selections[fun]; ok {
+					if f, ok := s.Obj().(*types.Func); ok {
+						return rootCallee(originFunc(f))
+					}
+				}
+			}
+			return nil
+		case *ast.Ident:
+			if o := info.ObjectOf(x); o != nil {
+				return rootAlias(o)
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// rootIdentObj finds the plain identifier an lvalue is rooted at.
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.Ident:
+			if o, ok := info.ObjectOf(x).(*types.Var); ok {
+				return o
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// rootPlainIdent is rootIdentObj restricted to the bare-identifier and
+// &identifier argument forms worth tracking across a call.
+func rootPlainIdent(info *types.Info, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if o, ok := info.ObjectOf(x).(*types.Var); ok {
+			return o
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return rootPlainIdent(info, x.X)
+		}
+	case *ast.ParenExpr:
+		return rootPlainIdent(info, x.X)
+	}
+	return nil
+}
+
+func isAtomicPointer(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named := namedOf(tv.Type)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pointer" && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// storedIdent strips &, parens, and conversions off a Store argument.
+func storedIdent(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		case *ast.CallExpr:
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return nil
+		case *ast.Ident:
+			if o, ok := info.ObjectOf(x).(*types.Var); ok {
+				return o
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// fixpoint resolves the two package-wide summaries: which functions
+// return load-derived values, and which write through their parameters.
+func (a *pubiPkg) fixpoint() {
+	for _, fn := range a.order {
+		fn.retLoad = fn.retLoadSyntactic
+		for i, p := range fn.params {
+			for _, w := range fn.writes {
+				if w.root == p {
+					fn.writesParam[i] = true
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range a.order {
+			if !fn.retLoad {
+				for _, callee := range fn.retCallees {
+					if c := a.funcs[callee]; c != nil && c.retLoad {
+						fn.retLoad = true
+						changed = true
+					}
+				}
+				for _, id := range fn.retIdents {
+					for _, b := range fn.binds[id] {
+						if b.loadRooted || (b.callee != nil && a.funcs[b.callee] != nil && a.funcs[b.callee].retLoad) {
+							fn.retLoad = true
+							changed = true
+						}
+					}
+				}
+			}
+			for _, c := range fn.calls {
+				callee := a.funcs[c.callee]
+				if callee == nil {
+					continue
+				}
+				for j, argObj := range c.args {
+					if !callee.writesParam[j] {
+						continue
+					}
+					for i, p := range fn.params {
+						if p == argObj && !fn.writesParam[i] {
+							fn.writesParam[i] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// pubiStatus is the verdict on a variable at a program point.
+type pubiStatus struct {
+	published bool
+	loaded    bool
+	store     pubiStore
+}
+
+func (s pubiStatus) tracked() bool { return s.published || s.loaded }
+
+// statusAt decides whether obj is published or load-derived just before
+// pos, following plain-alias chains.
+func (a *pubiPkg) statusAt(fn *pubiFunc, obj types.Object, pos token.Pos, seen map[types.Object]bool) pubiStatus {
+	if obj == nil || seen[obj] {
+		return pubiStatus{}
+	}
+	seen[obj] = true
+	b, ok := latestBind(fn, obj, pos)
+	if !ok {
+		return pubiStatus{}
+	}
+	st := pubiStatus{}
+	switch {
+	case b.loadRooted:
+		st.loaded = true
+	case b.callee != nil:
+		if c := a.funcs[b.callee]; c != nil && c.retLoad {
+			st.loaded = true
+		}
+	case b.alias != nil:
+		st = a.statusAt(fn, b.alias, b.pos, seen)
+	}
+	if st.tracked() {
+		return st
+	}
+	// Published directly: this binding flowed into a Store before pos.
+	for _, s := range fn.stores {
+		if s.pos >= pos || s.pos < b.pos {
+			continue
+		}
+		if s.base == obj {
+			return pubiStatus{published: true, store: s}
+		}
+		// Published via container: obj was inserted into the stored
+		// value (one level deep) between its binding and the Store.
+		for _, ins := range fn.inserts {
+			if ins.value != obj || ins.pos < b.pos || ins.pos > s.pos || ins.container != s.base {
+				continue
+			}
+			cb, cok := latestBind(fn, ins.container, ins.pos)
+			sb, sok := latestBind(fn, ins.container, s.pos)
+			if cok == sok && (!cok || cb.pos == sb.pos) {
+				return pubiStatus{published: true, store: s}
+			}
+		}
+	}
+	return pubiStatus{}
+}
+
+func latestBind(fn *pubiFunc, obj types.Object, pos token.Pos) (pubiBind, bool) {
+	var best pubiBind
+	found := false
+	for _, b := range fn.binds[obj] {
+		if b.pos < pos && (!found || b.pos > best.pos) {
+			best = b
+			found = true
+		}
+	}
+	return best, found
+}
+
+func (a *pubiPkg) report() {
+	type dedup struct {
+		pos  token.Pos
+		root types.Object
+	}
+	reported := make(map[dedup]bool)
+	for _, fn := range a.order {
+		isParam := make(map[types.Object]bool, len(fn.params))
+		for _, p := range fn.params {
+			isParam[p] = true
+		}
+		for _, w := range fn.writes {
+			if isParam[w.root] {
+				continue // cross-function publication is the caller's scope
+			}
+			st := a.statusAt(fn, w.root, w.pos, map[types.Object]bool{})
+			if !st.tracked() || reported[dedup{w.pos, w.root}] {
+				continue
+			}
+			reported[dedup{w.pos, w.root}] = true
+			a.pass.report(w.pos, "pubimmutable", writeMsg(w.text, st))
+		}
+		for _, c := range fn.calls {
+			callee := a.funcs[c.callee]
+			if callee == nil {
+				continue
+			}
+			for j, argObj := range c.args {
+				if !callee.writesParam[j] || isParam[argObj] {
+					continue
+				}
+				st := a.statusAt(fn, argObj, c.pos, map[types.Object]bool{})
+				if !st.tracked() || reported[dedup{c.pos, argObj}] {
+					continue
+				}
+				reported[dedup{c.pos, argObj}] = true
+				a.pass.report(c.pos, "pubimmutable",
+					fmt.Sprintf("passes %s to %s, which writes through it, %s", argObj.Name(), c.label, afterClause(st)))
+			}
+		}
+	}
+}
+
+func writeMsg(text string, st pubiStatus) string {
+	return fmt.Sprintf("write through %s %s", text, afterClause(st))
+}
+
+func afterClause(st pubiStatus) string {
+	if st.published {
+		return fmt.Sprintf("after publication via %s at line %d (stored values are shared and immutable)", st.text(), st.store.line)
+	}
+	return "after it was obtained from an atomic Load (loaded values are shared and immutable)"
+}
+
+func (s pubiStatus) text() string { return s.store.text }

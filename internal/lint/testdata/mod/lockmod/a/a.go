@@ -1,0 +1,40 @@
+// Package a is the low plane of the lockmod white-box module: Stripe.mu
+// is ranked level 10 by the test policy.
+package a
+
+import "sync"
+
+type Stripe struct {
+	mu sync.Mutex
+	N  int
+}
+
+// Bump is the cross-package call-graph probe: callers holding a ranked
+// lock must see this acquisition transitively.
+func (s *Stripe) Bump() {
+	s.mu.Lock()
+	s.N++
+	s.mu.Unlock()
+}
+
+// Grabber is a module-defined interface; lockorder conservatively
+// expands calls through it to every implementation in the module.
+type Grabber interface{ Grab() }
+
+// WithLock holds the stripe lock across an interface dispatch. Package
+// b's Outer implements Grabber by taking its level-20 lock, so this is
+// an ascending acquisition through dynamic dispatch.
+func (s *Stripe) WithLock(g Grabber) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g.Grab()
+}
+
+// Reacquire defers its unlock and then calls Bump, which takes the same
+// stripe lock again: the deferred unlock must keep the section open,
+// making this a same-level violation through the call graph.
+func (s *Stripe) Reacquire() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Bump()
+}

@@ -1,0 +1,29 @@
+// Package b is the high plane of the lockmod white-box module: Outer.mu
+// is ranked level 20 by the test policy.
+package b
+
+import (
+	"sync"
+
+	"lockmod/a"
+)
+
+type Outer struct {
+	mu sync.Mutex
+	S  *a.Stripe
+}
+
+// Grab implements a.Grabber by taking the outer lock.
+func (o *Outer) Grab() {
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// Descend takes the outer lock and calls into the stripe through the
+// cross-package method: the sanctioned descending direction, modeled
+// but not flagged.
+func (o *Outer) Descend() {
+	o.mu.Lock()
+	o.S.Bump()
+	o.mu.Unlock()
+}

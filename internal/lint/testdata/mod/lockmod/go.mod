@@ -1,0 +1,3 @@
+module lockmod
+
+go 1.22

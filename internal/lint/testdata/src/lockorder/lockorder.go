@@ -1,0 +1,97 @@
+// The lockorder fixture declares its own two-level hierarchy through
+// the test policy: lockorder.Inner.mu is level 10, lockorder.Outer.mu
+// is level 20. While a ranked lock is held, only strictly lower levels
+// may be acquired; same-level locks must never nest.
+package lockorder
+
+import "sync"
+
+type Inner struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Outer struct {
+	mu sync.RWMutex
+	in *Inner
+}
+
+// ascending acquires upward: inner (10) held, outer (20) acquired.
+func ascending(o *Outer, in *Inner) {
+	in.mu.Lock()
+	o.mu.Lock() // want `acquires lockorder\.Outer\.mu \(level 20\) while holding in\.mu \(lockorder\.Inner\.mu, level 10\)`
+	o.mu.Unlock()
+	in.mu.Unlock()
+}
+
+// descending is the sanctioned direction: outer before inner.
+func descending(o *Outer) {
+	o.mu.Lock()
+	o.in.mu.Lock()
+	o.in.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// twoStripes nests two same-level locks: stripes have no order between
+// them, so this deadlocks under inverse interleaving.
+func twoStripes(a, b *Inner) {
+	a.mu.Lock()
+	b.mu.Lock() // want `same-level locks must never nest`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockOuter(o *Outer) {
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// viaCall reaches the violation through the call graph.
+func viaCall(o *Outer, in *Inner) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	helper(o) // want `call to helper acquires lockorder\.Outer\.mu \(level 20\) via lockorder\.helper -> lockorder\.lockOuter`
+}
+
+func helper(o *Outer) { lockOuter(o) }
+
+// deferredHeld: a deferred unlock keeps the section open to the end of
+// the function.
+func deferredHeld(in *Inner, o *Outer) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.n++
+	o.mu.Lock() // want `while holding in\.mu \(lockorder\.Inner\.mu, level 10\)`
+	o.mu.Unlock()
+}
+
+// sequential sections don't nest: no finding.
+func sequential(a, b *Inner) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// rlocked: a read lock counts as held, and descending stays legal.
+func rlocked(o *Outer, in *Inner) {
+	o.mu.RLock()
+	in.mu.Lock()
+	in.mu.Unlock()
+	o.mu.RUnlock()
+}
+
+type locker interface{ grab() }
+
+func (o *Outer) grab() {
+	o.mu.Lock()
+	o.mu.Unlock()
+}
+
+// ifaceCall dispatches through a module interface: conservatively every
+// implementation, so Outer.grab's acquisition is visible.
+func ifaceCall(l locker, in *Inner) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	l.grab() // want `call to l\.grab acquires lockorder\.Outer\.mu`
+}

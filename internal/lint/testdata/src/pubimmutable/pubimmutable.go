@@ -1,0 +1,69 @@
+// The pubimmutable fixture: a value published through an
+// atomic.Pointer Store, or read back via Load, is shared with
+// concurrent readers and must never be written through afterward.
+// Rebinding to a fresh value (the COW clone-then-swap loop) resets the
+// tracking.
+package pubimmutable
+
+import "sync/atomic"
+
+type box struct{ n int }
+
+type table map[string]*box
+
+type store struct {
+	p atomic.Pointer[table]
+}
+
+func (s *store) snap() table { return *s.p.Load() }
+
+// writeAfterStore mutates the generation it just published.
+func writeAfterStore(s *store) {
+	next := make(table)
+	b := &box{}
+	next["k"] = b
+	s.p.Store(&next)
+	next["j"] = b // want `write through next\[\.\.\.\] after publication via s\.p\.Store`
+	b.n = 1       // want `write through b\.n after publication`
+}
+
+// deleteAfterStore: delete is a write too.
+func deleteAfterStore(s *store) {
+	next := make(table)
+	s.p.Store(&next)
+	delete(next, "k") // want `after publication via s\.p\.Store`
+}
+
+// writeAfterLoad mutates the shared current generation in place.
+func writeAfterLoad(s *store) {
+	cur := s.snap()
+	cur["k"] = &box{} // want `write through cur\[\.\.\.\] after it was obtained from an atomic Load`
+}
+
+// writeLoadedElem follows an element out of the loaded map.
+func writeLoadedElem(s *store) {
+	e := s.snap()["k"]
+	e.n = 2 // want `write through e\.n after it was obtained from an atomic Load`
+}
+
+func fill(m table) { m["x"] = &box{} }
+
+// passLoadedToWriter hands the shared map to a helper that writes
+// through its parameter.
+func passLoadedToWriter(s *store) {
+	m := s.snap()
+	fill(m) // want `passes m to fill, which writes through it`
+}
+
+// cowLoop is the sanctioned pattern: clone, mutate the clone, publish,
+// rebind to a fresh generation before touching anything again.
+func cowLoop(s *store) {
+	next := make(table)
+	next["k"] = &box{n: 1}
+	fill(next)
+	s.p.Store(&next)
+
+	next = make(table) // fresh generation: writes are legal again
+	next["k"] = &box{n: 2}
+	s.p.Store(&next)
+}

@@ -628,6 +628,10 @@ func (c *TCPClient) exchange(ctx context.Context, send func(io.Writer) error, re
 		}
 		return recv(c.r, &c.scratch)
 	}
+	// The client mutex is connection ownership, not a data lock: one
+	// exchange owns conn+reader for the whole round trip, so the dial
+	// and wire I/O inside try intentionally run under it.
+	//remoslint:allow lockheld client lock is connection ownership for the full round trip
 	err := try()
 	var rem *remoteError
 	if err != nil && c.conn != nil && ctx.Err() == nil && !errors.As(err, &rem) {
@@ -636,6 +640,7 @@ func (c *TCPClient) exchange(ctx context.Context, send func(io.Writer) error, re
 		// healthy — and retrying one would hammer a shedding server.
 		c.conn.Close()
 		c.conn = nil
+		//remoslint:allow lockheld client lock is connection ownership for the full round trip
 		err = try()
 	}
 	if err != nil {
